@@ -1,0 +1,200 @@
+// Package astro is a decentralized payment system that avoids consensus:
+// payments execute by merely broadcasting messages through Byzantine
+// reliable broadcast, as described in "Online Payments by Merely
+// Broadcasting Messages" (DSN 2020).
+//
+// The package is the public facade over the implementation packages:
+//
+//   - internal/core — exclusive logs, the approve/settle engine, the two
+//     Astro variants (echo-based Astro I, signature-based Astro II with
+//     CREDIT dependency certificates), representatives, batching, clients;
+//   - internal/brb — the two Byzantine reliable broadcast protocols;
+//   - internal/shard — asynchronous sharding topology;
+//   - internal/consensus — a PBFT-style baseline for comparison;
+//   - internal/reconfig — consensus-free membership reconfiguration;
+//   - internal/sim, internal/workload, internal/metrics — the experiment
+//     harness reproducing the paper's evaluation.
+//
+// The quickest way to a running system is New, which deploys replicas
+// over an in-process simulated network:
+//
+//	sys, err := astro.New(astro.Options{Replicas: 4, Genesis: 1000})
+//	if err != nil { ... }
+//	defer sys.Close()
+//	alice := sys.Client(1)
+//	id, _ := alice.Pay(2, 100)
+//	_ = alice.WaitConfirm(id, 5*time.Second)
+//
+// Multi-process deployments over TCP use cmd/astro-node and
+// cmd/astro-client.
+package astro
+
+import (
+	"fmt"
+	"time"
+
+	"astro/internal/core"
+	"astro/internal/crypto"
+	"astro/internal/shard"
+	"astro/internal/sim"
+	"astro/internal/transport/memnet"
+	"astro/internal/types"
+)
+
+// Re-exported identifier and value types.
+type (
+	// ClientID identifies a client (the owner of one exclusive log).
+	ClientID = types.ClientID
+	// ReplicaID identifies a replica.
+	ReplicaID = types.ReplicaID
+	// Amount is a non-negative quantity of funds.
+	Amount = types.Amount
+	// Seq is a client-assigned sequence number within an exclusive log.
+	Seq = types.Seq
+	// PaymentID is the pair (spender, sequence number).
+	PaymentID = types.PaymentID
+	// Payment is one transfer recorded in the spender's exclusive log.
+	Payment = types.Payment
+	// Client submits payments to its representative and receives
+	// settlement confirmations.
+	Client = core.Client
+	// Replica is one node of an Astro deployment.
+	Replica = core.Replica
+	// Version selects between the paper's two system variants.
+	Version = core.Version
+	// Topology partitions replicas into shards.
+	Topology = shard.Topology
+)
+
+// The two system variants.
+const (
+	// AstroI uses Bracha's echo-based broadcast (MACs, O(N²), totality).
+	AstroI = core.AstroI
+	// AstroII uses signature-based broadcast (O(N), dependency
+	// certificates, sharding support). The default.
+	AstroII = core.AstroII
+)
+
+// Options configures an embedded deployment.
+type Options struct {
+	// Version selects Astro I or Astro II. Default AstroII.
+	Version Version
+	// Replicas is the replica count for a single-shard deployment.
+	// Ignored if Shards is set. Default 4.
+	Replicas int
+	// Shards configures a sharded deployment (Astro II only).
+	Shards Topology
+	// Genesis is every client's initial balance.
+	Genesis Amount
+	// BatchSize caps payments per broadcast batch. Default 256.
+	BatchSize int
+	// BatchDelay bounds batching latency. Default 5ms.
+	BatchDelay time.Duration
+	// LinkLatency sets a fixed one-way link latency between replicas.
+	// Zero means instant links (fastest; useful for tests). Use
+	// WANLatency for the paper's multi-region profile.
+	LinkLatency time.Duration
+	// WANLatency applies the paper's European multi-region latency
+	// profile (~20ms inter-region RTT), overriding LinkLatency.
+	WANLatency bool
+}
+
+// System is an embedded Astro deployment: replicas over an in-process
+// network, with real ECDSA keys, ready to serve clients.
+type System struct {
+	cluster  *sim.AstroCluster
+	topology Topology
+}
+
+// New deploys a system.
+func New(opts Options) (*System, error) {
+	if opts.Version == 0 {
+		opts.Version = AstroII
+	}
+	top := opts.Shards
+	if top.NumShards == 0 {
+		n := opts.Replicas
+		if n == 0 {
+			n = 4
+		}
+		top = Topology{NumShards: 1, PerShard: n}
+	}
+	if top.NumShards > 1 && opts.Version != AstroII {
+		return nil, fmt.Errorf("astro: sharding requires Astro II")
+	}
+	var latency memnet.LatencyModel
+	switch {
+	case opts.WANLatency:
+		latency = memnet.EuropeWAN()
+	case opts.LinkLatency > 0:
+		latency = memnet.Fixed(opts.LinkLatency)
+	default:
+		latency = memnet.Fixed(0)
+	}
+	cluster, err := sim.NewAstroCluster(sim.AstroOpts{
+		Version:    opts.Version,
+		Topology:   top,
+		Latency:    latency,
+		BatchSize:  opts.BatchSize,
+		BatchDelay: opts.BatchDelay,
+		Genesis:    opts.Genesis,
+		Bandwidth:  -1,   // embedded systems are not bandwidth-simulated
+		RealCrypto: true, // the library always uses real ECDSA
+	})
+	if err != nil {
+		return nil, fmt.Errorf("astro: %w", err)
+	}
+	return &System{cluster: cluster, topology: top}, nil
+}
+
+// Client returns the client with the given identity, creating it on first
+// use. Not safe for concurrent first-use of the same id.
+func (s *System) Client(id ClientID) *Client { return s.cluster.Client(id) }
+
+// Replica returns a replica handle (for balance inspection and audit).
+func (s *System) Replica(id ReplicaID) *Replica { return s.cluster.Replicas[id] }
+
+// Replicas returns all replica identities.
+func (s *System) Replicas() []ReplicaID { return s.topology.AllReplicas() }
+
+// Topology returns the deployment's shard topology.
+func (s *System) Topology() Topology { return s.topology }
+
+// RepresentativeOf returns the replica brokering a client's payments.
+func (s *System) RepresentativeOf(id ClientID) ReplicaID { return s.cluster.RepOf(id) }
+
+// Balance returns a client's spendable balance as seen by its
+// representative (settled funds plus pending dependency certificates).
+func (s *System) Balance(id ClientID) Amount {
+	return s.cluster.Replicas[s.cluster.RepOf(id)].Balance(id)
+}
+
+// Audit returns a copy of a client's exclusive log from the given replica
+// and whether it is internally consistent.
+func (s *System) Audit(replica ReplicaID, client ClientID) ([]Payment, bool) {
+	r := s.cluster.Replicas[replica]
+	if r == nil {
+		return nil, false
+	}
+	log := r.XLogSnapshot(client)
+	for i, p := range log {
+		if p.Spender != client || p.Seq != Seq(i+1) {
+			return log, false
+		}
+	}
+	return log, true
+}
+
+// Crash crash-stops a replica (fault injection).
+func (s *System) Crash(id ReplicaID) { s.cluster.Crash(id) }
+
+// DelayReplica injects extra outbound delay at a replica (asynchrony
+// injection, like `tc netem delay`).
+func (s *System) DelayReplica(id ReplicaID, d time.Duration) { s.cluster.Delay(id, d) }
+
+// Close shuts the system down.
+func (s *System) Close() { s.cluster.Close() }
+
+// GenerateKeyPair creates an ECDSA P-256 key pair, exposed for callers
+// assembling custom deployments with the internal packages.
+func GenerateKeyPair() (*crypto.KeyPair, error) { return crypto.GenerateKeyPair() }

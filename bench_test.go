@@ -1,0 +1,207 @@
+package astro
+
+// One benchmark per table/figure of the paper's evaluation (§VI and
+// Appendix A), scaled to run quickly under `go test -bench`. The full
+// parameter sweeps (larger N, longer windows, all cells) are produced by
+// cmd/astro-bench; these benches regenerate each artifact's core
+// measurement and report it as custom metrics, so `go test -bench=.
+// -benchmem` gives a one-screen summary of the whole evaluation.
+//
+// Metric conventions: pps = confirmed payments/sec; ms metrics are
+// latencies; joinms = reconfiguration join latency.
+
+import (
+	"testing"
+	"time"
+
+	"astro/internal/sim"
+)
+
+// benchMeasurePoint runs one fig3/fig4-style measurement per benchmark
+// iteration and reports throughput and latency.
+func benchMeasurePoint(b *testing.B, system sim.System, n, clients int) {
+	b.Helper()
+	var tput, avg, p95 float64
+	for i := 0; i < b.N; i++ {
+		res, err := sim.Fig3(sim.Fig3Config{
+			Sizes:    []int{n},
+			Systems:  []sim.System{system},
+			Duration: 400 * time.Millisecond,
+			Clients:  clients,
+			Seed:     uint64(i + 1),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		m := res[0]
+		tput += m.Throughput
+		avg += float64(m.AvgLatency.Milliseconds())
+		p95 += float64(m.P95Latency.Milliseconds())
+	}
+	b.ReportMetric(tput/float64(b.N), "pps")
+	b.ReportMetric(avg/float64(b.N), "avg_ms")
+	b.ReportMetric(p95/float64(b.N), "p95_ms")
+}
+
+// Figure 3 — peak throughput vs system size (one point per system).
+func BenchmarkFig3AstroI(b *testing.B)    { benchMeasurePoint(b, sim.SystemAstroI, 4, 32) }
+func BenchmarkFig3AstroII(b *testing.B)   { benchMeasurePoint(b, sim.SystemAstroII, 4, 32) }
+func BenchmarkFig3Consensus(b *testing.B) { benchMeasurePoint(b, sim.SystemConsensus, 4, 32) }
+
+// Figure 4 — latency/throughput at larger N (one load point per system).
+func BenchmarkFig4AstroI(b *testing.B)    { benchMeasurePoint(b, sim.SystemAstroI, 10, 16) }
+func BenchmarkFig4AstroII(b *testing.B)   { benchMeasurePoint(b, sim.SystemAstroII, 10, 16) }
+func BenchmarkFig4Consensus(b *testing.B) { benchMeasurePoint(b, sim.SystemConsensus, 10, 16) }
+
+// Table I — sharded Smallbank (2 shards) plus the consensus upper bound.
+func BenchmarkTable1Smallbank(b *testing.B) {
+	var total, perShard, cross float64
+	for i := 0; i < b.N; i++ {
+		rows, err := sim.Table1(sim.Table1Config{
+			ShardCounts:    []int{2},
+			PerShard:       4,
+			ExtraDelays:    []time.Duration{0},
+			OwnersPerShard: 8,
+			Duration:       500 * time.Millisecond,
+			BatchSize:      64,
+			Seed:           uint64(i + 1),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		total += rows[0].TotalTput
+		perShard += rows[0].PerShardTput
+		cross += rows[0].CrossFraction
+	}
+	b.ReportMetric(total/float64(b.N), "tps")
+	b.ReportMetric(perShard/float64(b.N), "tps_per_shard")
+	b.ReportMetric(100*cross/float64(b.N), "cross_pct")
+}
+
+func BenchmarkTable1ConsensusBound(b *testing.B) {
+	var total float64
+	for i := 0; i < b.N; i++ {
+		rows, err := sim.Table1(sim.Table1Config{
+			ShardCounts:     []int{2},
+			PerShard:        4,
+			ExtraDelays:     []time.Duration{0},
+			OwnersPerShard:  8,
+			Duration:        500 * time.Millisecond,
+			BatchSize:       64,
+			IncludeBaseline: true,
+			Seed:            uint64(i + 1),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		total += rows[len(rows)-1].TotalTput
+	}
+	b.ReportMetric(total/float64(b.N), "tps_upper_bound")
+}
+
+// benchTimeline runs one robustness timeline per iteration and reports
+// pre-fault and post-fault throughput.
+func benchTimeline(b *testing.B, cfg sim.TimelineConfig) {
+	b.Helper()
+	cfg.N = 4
+	cfg.Clients = 4
+	cfg.Window = 2 * time.Second
+	cfg.FaultAt = time.Second
+	cfg.BinWidth = 250 * time.Millisecond
+	if cfg.RequestTimeout == 0 {
+		cfg.RequestTimeout = 400 * time.Millisecond
+	}
+	cfg.ViewChangeSyncCost = 100 * time.Millisecond
+	var pre, post float64
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = uint64(i + 1)
+		res, err := sim.Timeline(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		k := len(res.Rates)
+		for _, r := range res.Rates[:k/2] {
+			pre += r
+		}
+		for _, r := range res.Rates[k/2:] {
+			post += r
+		}
+	}
+	half := float64(b.N * 4) // bins per half
+	b.ReportMetric(pre/half, "prefault_pps")
+	b.ReportMetric(post/half, "postfault_pps")
+}
+
+// Figure 5 — crash-stop robustness.
+func BenchmarkFig5BroadcastCrash(b *testing.B) {
+	benchTimeline(b, sim.TimelineConfig{
+		System: sim.SystemAstroI, Fault: sim.FaultCrash, Target: sim.TargetRandom,
+	})
+}
+
+func BenchmarkFig5ConsensusLeaderCrash(b *testing.B) {
+	benchTimeline(b, sim.TimelineConfig{
+		System: sim.SystemConsensus, Fault: sim.FaultCrash, Target: sim.TargetLeader,
+	})
+}
+
+// Figure 6 — asynchrony robustness.
+func BenchmarkFig6BroadcastAsync(b *testing.B) {
+	benchTimeline(b, sim.TimelineConfig{
+		System: sim.SystemAstroI, Fault: sim.FaultDelay, Target: sim.TargetRandom,
+	})
+}
+
+func BenchmarkFig6ConsensusLeaderAsync(b *testing.B) {
+	benchTimeline(b, sim.TimelineConfig{
+		System: sim.SystemConsensus, Fault: sim.FaultDelay, Target: sim.TargetLeader,
+		RequestTimeout: 10 * time.Second, // loose: Consensus-Leader-A
+	})
+}
+
+// Figure 7 — the same perturbations with Astro II (the paper uses larger
+// N; the bench keeps the fault matrix).
+func BenchmarkFig7BroadcastIICrash(b *testing.B) {
+	benchTimeline(b, sim.TimelineConfig{
+		System: sim.SystemAstroII, Fault: sim.FaultCrash, Target: sim.TargetRandom,
+	})
+}
+
+func BenchmarkFig7BroadcastIIAsync(b *testing.B) {
+	benchTimeline(b, sim.TimelineConfig{
+		System: sim.SystemAstroII, Fault: sim.FaultDelay, Target: sim.TargetRandom,
+	})
+}
+
+// Figure 8 — reconfiguration join latency (async vs consensus-style).
+func BenchmarkFig8JoinAstro(b *testing.B) {
+	benchJoin(b, sim.SystemAstroII)
+}
+
+func BenchmarkFig8JoinConsensus(b *testing.B) {
+	benchJoin(b, sim.SystemConsensus)
+}
+
+func benchJoin(b *testing.B, system sim.System) {
+	b.Helper()
+	var total time.Duration
+	joins := 0
+	for i := 0; i < b.N; i++ {
+		points, err := sim.Fig8(sim.Fig8Config{
+			StartN:        4,
+			EndN:          8,
+			StateClients:  20,
+			StatePayments: 5,
+			Systems:       []sim.System{system},
+			Seed:          uint64(i + 1),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, p := range points {
+			total += p.Latency
+			joins++
+		}
+	}
+	b.ReportMetric(float64(total.Milliseconds())/float64(joins), "joinms")
+}

@@ -1,0 +1,328 @@
+// Command astro-bench regenerates every table and figure of the paper's
+// evaluation (§VI and Appendix A) on the in-process simulated network.
+//
+// Usage:
+//
+//	astro-bench [flags] <experiment>
+//
+// Experiments:
+//
+//	fig3    throughput vs system size (Astro I, Astro II, consensus)
+//	fig4    latency vs throughput at fixed N
+//	table1  sharded Smallbank benchmark (Astro II + consensus bound)
+//	fig5    throughput timeline under a crash-stop failure (N=49)
+//	fig6    throughput timeline under asynchrony (N=49)
+//	fig7    crash + asynchrony at N=100
+//	fig8    reconfiguration join latency, growing 4 -> 80
+//	all     run everything
+//
+// The -fast flag shrinks system sizes and durations for a quick pass on a
+// laptop; absolute numbers shrink accordingly, the comparative shapes
+// remain.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"astro/internal/sim"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "astro-bench:", err)
+		os.Exit(1)
+	}
+}
+
+type options struct {
+	fast       bool
+	duration   time.Duration
+	clients    int
+	sizes      string
+	window     time.Duration
+	realCrypto bool
+	n          int
+	endN       int
+	seed       uint64
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("astro-bench", flag.ContinueOnError)
+	opt := options{}
+	fs.BoolVar(&opt.fast, "fast", false, "shrink sizes and durations for a quick pass")
+	fs.DurationVar(&opt.duration, "duration", 0, "duration per measurement point (0 = experiment default)")
+	fs.IntVar(&opt.clients, "clients", 0, "closed-loop clients per point (0 = default)")
+	fs.StringVar(&opt.sizes, "sizes", "", "comma-separated system sizes for fig3 (e.g. 4,10,22)")
+	fs.DurationVar(&opt.window, "window", 0, "observation window for fig5-fig7 (0 = default)")
+	fs.BoolVar(&opt.realCrypto, "realcrypto", false, "use real ECDSA in the harness instead of simulated authenticators")
+	fs.IntVar(&opt.n, "n", 0, "system size for fig4-fig7 (0 = paper default)")
+	fs.IntVar(&opt.endN, "endn", 0, "final system size for fig8 (0 = paper default 80)")
+	var seed uint64
+	fs.Uint64Var(&seed, "seed", 1, "simulation seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	opt.seed = seed
+	if fs.NArg() != 1 {
+		fs.Usage()
+		return fmt.Errorf("expected one experiment, got %d args", fs.NArg())
+	}
+	exp := fs.Arg(0)
+	switch exp {
+	case "fig3":
+		return fig3(opt)
+	case "fig4":
+		return fig4(opt)
+	case "table1":
+		return table1(opt)
+	case "fig5":
+		return fig5(opt)
+	case "fig6":
+		return fig6(opt)
+	case "fig7":
+		return fig7(opt)
+	case "fig8":
+		return fig8(opt)
+	case "all":
+		for _, f := range []func(options) error{fig3, fig4, table1, fig5, fig6, fig7, fig8} {
+			if err := f(opt); err != nil {
+				return err
+			}
+			fmt.Println()
+		}
+		return nil
+	default:
+		return fmt.Errorf("unknown experiment %q", exp)
+	}
+}
+
+func parseSizes(s string) ([]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return nil, fmt.Errorf("bad size %q: %w", part, err)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+func fig3(opt options) error {
+	sizes, err := parseSizes(opt.sizes)
+	if err != nil {
+		return err
+	}
+	cfg := sim.Fig3Config{Sizes: sizes, Duration: opt.duration, Clients: opt.clients, RealCrypto: opt.realCrypto, Seed: opt.seed}
+	if opt.fast {
+		if cfg.Sizes == nil {
+			cfg.Sizes = []int{4, 10, 16}
+		}
+		if cfg.Duration == 0 {
+			cfg.Duration = 2 * time.Second
+		}
+		if cfg.Clients == 0 {
+			cfg.Clients = 32
+		}
+	}
+	fmt.Println("== Figure 3: peak throughput vs system size ==")
+	fmt.Printf("%-14s %6s %14s %12s %12s\n", "system", "N", "tput (pps)", "avg lat", "p95 lat")
+	res, err := sim.Fig3(cfg)
+	for _, m := range res {
+		fmt.Printf("%-14s %6d %14.0f %12v %12v\n",
+			m.System, m.N, m.Throughput,
+			m.AvgLatency.Round(time.Millisecond), m.P95Latency.Round(time.Millisecond))
+	}
+	return err
+}
+
+func fig4(opt options) error {
+	cfg := sim.Fig4Config{N: opt.n, Duration: opt.duration, RealCrypto: opt.realCrypto, Seed: opt.seed}
+	if opt.fast {
+		if cfg.N == 0 {
+			cfg.N = 10
+		}
+		cfg.ClientCounts = []int{2, 8, 32}
+		if cfg.Duration == 0 {
+			cfg.Duration = 2 * time.Second
+		}
+	}
+	n := cfg.N
+	if n == 0 {
+		n = 100
+	}
+	fmt.Printf("== Figure 4: latency vs throughput at N=%d ==\n", n)
+	fmt.Printf("%-14s %8s %14s %12s %12s %12s\n", "system", "clients", "tput (pps)", "avg lat", "p95 lat", "p99 lat")
+	res, err := sim.Fig4(cfg)
+	for _, m := range res {
+		fmt.Printf("%-14s %8d %14.0f %12v %12v %12v\n",
+			m.System, m.Clients, m.Throughput,
+			m.AvgLatency.Round(time.Millisecond), m.P95Latency.Round(time.Millisecond),
+			m.P99Latency.Round(time.Millisecond))
+	}
+	return err
+}
+
+func table1(opt options) error {
+	cfg := sim.Table1Config{Duration: opt.duration, IncludeBaseline: true, RealCrypto: opt.realCrypto, Seed: opt.seed}
+	if opt.n > 0 {
+		cfg.PerShard = opt.n
+	}
+	if opt.clients > 0 {
+		cfg.OwnersPerShard = opt.clients
+	}
+	if opt.fast {
+		cfg.ShardCounts = []int{2, 3}
+		if cfg.PerShard == 0 {
+			cfg.PerShard = 7
+		}
+		if cfg.OwnersPerShard == 0 {
+			cfg.OwnersPerShard = 8
+		}
+		if cfg.Duration == 0 {
+			cfg.Duration = 2 * time.Second
+		}
+	}
+	per := cfg.PerShard
+	if per == 0 {
+		per = 52
+	}
+	fmt.Printf("== Table I: Smallbank sharded benchmark (N=%d per shard) ==\n", per)
+	fmt.Printf("%-11s %7s %9s %16s %14s %10s %10s %8s\n",
+		"system", "shards", "tc delay", "per-shard (pps)", "total (pps)", "avg lat", "p95 lat", "cross%")
+	rows, err := sim.Table1(cfg)
+	for _, r := range rows {
+		fmt.Printf("%-11s %7d %9v %16.0f %14.0f %10v %10v %7.1f%%\n",
+			r.System, r.Shards, r.ExtraDelay, r.PerShardTput, r.TotalTput,
+			r.AvgLatency.Round(time.Millisecond), r.P95Latency.Round(time.Millisecond),
+			100*r.CrossFraction)
+	}
+	if err == nil {
+		fmt.Println("note: consensus rows are optimistic upper bounds from a single-shard run,")
+		fmt.Println("      scaled by the shard count with no cross-shard coordination charged (as in the paper).")
+	}
+	return err
+}
+
+// timelineDefaults applies the shared fig5-7 settings.
+func timelineDefaults(opt options, paperN int) (window, faultAt time.Duration, size, clients int) {
+	window = 20 * time.Second
+	if opt.window > 0 {
+		window = opt.window
+	}
+	size = paperN
+	if opt.n > 0 {
+		size = opt.n
+	}
+	clients = 10
+	if opt.fast {
+		window = 6 * time.Second
+		if opt.window > 0 {
+			window = opt.window
+		}
+		if opt.n == 0 {
+			size = 10
+		}
+	}
+	faultAt = window / 2
+	return window, faultAt, size, clients
+}
+
+func printTimeline(res sim.TimelineResult) {
+	fmt.Printf("%-28s", res.Label)
+	for _, r := range res.Rates {
+		fmt.Printf(" %5.0f", r)
+	}
+	if res.ViewChanges > 0 {
+		fmt.Printf("   (view changes: %d)", res.ViewChanges)
+	}
+	fmt.Println()
+}
+
+func fig5(opt options) error {
+	window, faultAt, n, clients := timelineDefaults(opt, 49)
+	fmt.Printf("== Figure 5: crash-stop failure at t=%v (N=%d, pps per %v bin) ==\n", faultAt, n, time.Second)
+	runs := []sim.TimelineConfig{
+		{System: sim.SystemConsensus, Target: sim.TargetLeader, Fault: sim.FaultCrash},
+		{System: sim.SystemConsensus, Target: sim.TargetRandom, Fault: sim.FaultCrash},
+		{System: sim.SystemAstroI, Target: sim.TargetRandom, Fault: sim.FaultCrash},
+	}
+	return runTimelines(runs, n, clients, window, faultAt, opt)
+}
+
+func fig6(opt options) error {
+	window, faultAt, n, clients := timelineDefaults(opt, 49)
+	fmt.Printf("== Figure 6: asynchrony (100ms delay) at t=%v (N=%d) ==\n", faultAt, n)
+	runs := []sim.TimelineConfig{
+		// Leader-A: loose timeout, degradation persists without a view change.
+		{System: sim.SystemConsensus, Target: sim.TargetLeader, Fault: sim.FaultDelay,
+			RequestTimeout: window * 4},
+		// Leader-B: tight timeout, a view change replaces the slow leader.
+		// The timeout must sit between the healthy (~100ms) and the
+		// delay-inflated (~200ms) request latency for the suspicion to
+		// fire — the paper's view-change timeout tradeoff (§VI-D): too
+		// aggressive risks spurious view changes in good conditions.
+		{System: sim.SystemConsensus, Target: sim.TargetLeader, Fault: sim.FaultDelay,
+			RequestTimeout: 150 * time.Millisecond, ViewChangeSyncCost: 300 * time.Millisecond},
+		{System: sim.SystemConsensus, Target: sim.TargetRandom, Fault: sim.FaultDelay},
+		{System: sim.SystemAstroI, Target: sim.TargetRandom, Fault: sim.FaultDelay},
+	}
+	return runTimelines(runs, n, clients, window, faultAt, opt)
+}
+
+func fig7(opt options) error {
+	window, faultAt, n, clients := timelineDefaults(opt, 100)
+	fmt.Printf("== Figure 7: crash or asynchrony at t=%v (N=%d) ==\n", faultAt, n)
+	runs := []sim.TimelineConfig{
+		{System: sim.SystemConsensus, Target: sim.TargetLeader, Fault: sim.FaultCrash},
+		{System: sim.SystemConsensus, Target: sim.TargetLeader, Fault: sim.FaultDelay,
+			RequestTimeout: window * 4},
+		{System: sim.SystemAstroI, Target: sim.TargetRandom, Fault: sim.FaultCrash},
+		{System: sim.SystemAstroI, Target: sim.TargetRandom, Fault: sim.FaultDelay},
+	}
+	return runTimelines(runs, n, clients, window, faultAt, opt)
+}
+
+func runTimelines(runs []sim.TimelineConfig, n, clients int, window, faultAt time.Duration, opt options) error {
+	for _, cfg := range runs {
+		cfg.N = n
+		cfg.Clients = clients
+		cfg.Window = window
+		cfg.FaultAt = faultAt
+		cfg.Seed = opt.seed
+		res, err := sim.Timeline(cfg)
+		if err != nil {
+			return err
+		}
+		printTimeline(res)
+	}
+	fmt.Printf("(fault injected after bin %d)\n", int(faultAt/time.Second))
+	return nil
+}
+
+func fig8(opt options) error {
+	cfg := sim.Fig8Config{StateClients: 100, StatePayments: 10, EndN: opt.endN, Seed: opt.seed}
+	if opt.fast && cfg.EndN == 0 {
+		cfg.StartN = 4
+		cfg.EndN = 16
+	}
+	end := cfg.EndN
+	if end == 0 {
+		end = 80
+	}
+	fmt.Printf("== Figure 8: reconfiguration join latency, growing to N=%d ==\n", end)
+	points, err := sim.Fig8(cfg)
+	fmt.Printf("%-11s %6s %14s\n", "system", "N", "join latency")
+	for _, p := range points {
+		fmt.Printf("%-11s %6d %14v\n", p.System, p.N, p.Latency.Round(time.Millisecond))
+	}
+	return err
+}

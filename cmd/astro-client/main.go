@@ -1,0 +1,114 @@
+// Command astro-client drives an Astro deployment started with
+// cmd/astro-node, submitting payments and querying balances over TCP.
+//
+//	astro-client -id 1 -peers 0=127.0.0.1:7000,...  balance
+//	astro-client -id 1 -peers ...  pay -to 2 -amount 50 -count 10
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"astro/internal/core"
+	"astro/internal/transport"
+	"astro/internal/transport/tcpnet"
+	"astro/internal/types"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "astro-client:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		id    = flag.Uint64("id", 1, "this client's identity")
+		peers = flag.String("peers", "", "comma-separated id=host:port for every replica")
+	)
+	flag.Parse()
+	if flag.NArg() < 1 {
+		return fmt.Errorf("usage: astro-client [flags] {pay|balance} [command flags]")
+	}
+
+	peerMap, ids, err := parsePeers(*peers)
+	if err != nil {
+		return err
+	}
+	ep, err := tcpnet.New(tcpnet.Config{
+		Self:  transport.ClientNode(types.ClientID(*id)),
+		Peers: peerMap,
+	})
+	if err != nil {
+		return err
+	}
+	defer ep.Close()
+	mux := transport.NewMux(ep)
+
+	repOf := func(c types.ClientID) types.ReplicaID {
+		return ids[uint64(c)%uint64(len(ids))]
+	}
+	client := core.NewClient(types.ClientID(*id), repOf, mux)
+
+	switch flag.Arg(0) {
+	case "pay":
+		fs := flag.NewFlagSet("pay", flag.ContinueOnError)
+		to := fs.Uint64("to", 2, "beneficiary client id")
+		amount := fs.Uint64("amount", 1, "amount per payment")
+		count := fs.Int("count", 1, "number of payments")
+		timeout := fs.Duration("timeout", 10*time.Second, "per-payment confirmation timeout")
+		if err := fs.Parse(flag.Args()[1:]); err != nil {
+			return err
+		}
+		start := time.Now()
+		for i := 0; i < *count; i++ {
+			pid, err := client.Pay(types.ClientID(*to), types.Amount(*amount))
+			if err != nil {
+				return fmt.Errorf("pay: %w", err)
+			}
+			if err := client.WaitConfirm(pid, *timeout); err != nil {
+				return fmt.Errorf("payment %v: %w", pid, err)
+			}
+			fmt.Printf("settled %v: %d -> %d amount %d\n", pid, *id, *to, *amount)
+		}
+		elapsed := time.Since(start)
+		fmt.Printf("%d payments in %v (%.1f pps)\n", *count, elapsed.Round(time.Millisecond),
+			float64(*count)/elapsed.Seconds())
+		return nil
+	case "balance":
+		bal, err := client.QueryBalance(10 * time.Second)
+		if err != nil {
+			return fmt.Errorf("balance: %w", err)
+		}
+		fmt.Printf("client %d balance: %d\n", *id, bal)
+		return nil
+	default:
+		return fmt.Errorf("unknown command %q", flag.Arg(0))
+	}
+}
+
+func parsePeers(s string) (map[transport.NodeID]string, []types.ReplicaID, error) {
+	if s == "" {
+		return nil, nil, fmt.Errorf("-peers is required")
+	}
+	peers := make(map[transport.NodeID]string)
+	var ids []types.ReplicaID
+	for _, part := range strings.Split(s, ",") {
+		kv := strings.SplitN(strings.TrimSpace(part), "=", 2)
+		if len(kv) != 2 {
+			return nil, nil, fmt.Errorf("bad peer %q (want id=host:port)", part)
+		}
+		id, err := strconv.Atoi(kv[0])
+		if err != nil {
+			return nil, nil, fmt.Errorf("bad peer id %q: %w", kv[0], err)
+		}
+		peers[transport.NodeID(id)] = kv[1]
+		ids = append(ids, types.ReplicaID(id))
+	}
+	return peers, ids, nil
+}

@@ -1,0 +1,142 @@
+// Command astro-node runs one Astro replica over real TCP, for
+// multi-process deployments.
+//
+// A four-replica Astro II deployment on one machine:
+//
+//	astro-node -id 0 -listen :7000 -peers 0=127.0.0.1:7000,1=127.0.0.1:7001,2=127.0.0.1:7002,3=127.0.0.1:7003 &
+//	astro-node -id 1 -listen :7001 -peers ... &
+//	astro-node -id 2 -listen :7002 -peers ... &
+//	astro-node -id 3 -listen :7003 -peers ... &
+//
+// then drive it with cmd/astro-client.
+//
+// Keys are derived deterministically from -secret so all nodes share a
+// registry without a distribution step — a demo convenience; production
+// deployments distribute independently generated keys.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"astro/internal/core"
+	"astro/internal/crypto"
+	"astro/internal/transport"
+	"astro/internal/transport/tcpnet"
+	"astro/internal/types"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "astro-node:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		id      = flag.Int("id", 0, "this replica's identity")
+		listen  = flag.String("listen", ":7000", "TCP listen address")
+		peers   = flag.String("peers", "", "comma-separated id=host:port for every replica (including this one)")
+		version = flag.Int("version", 2, "Astro variant: 1 (echo-based) or 2 (signature-based)")
+		genesis = flag.Uint64("genesis", 1_000_000, "initial balance of every client")
+		secret  = flag.String("secret", "astro-demo", "shared secret for deterministic demo keys")
+		batch   = flag.Int("batch", 256, "max payments per broadcast batch")
+		delay   = flag.Duration("batch-delay", 5*time.Millisecond, "batch assembly delay bound")
+	)
+	flag.Parse()
+
+	peerMap, ids, err := parsePeers(*peers)
+	if err != nil {
+		return err
+	}
+	if _, ok := peerMap[transport.NodeID(*id)]; !ok {
+		return fmt.Errorf("-peers must include this replica (id %d)", *id)
+	}
+
+	ep, err := tcpnet.New(tcpnet.Config{
+		Self:   transport.NodeID(*id),
+		Listen: *listen,
+		Peers:  peerMap,
+	})
+	if err != nil {
+		return err
+	}
+	defer ep.Close()
+	mux := transport.NewMux(ep)
+
+	registry := crypto.NewRegistry()
+	var myKeys *crypto.KeyPair
+	for _, rid := range ids {
+		kp, err := crypto.DeriveKeyPair([]byte(fmt.Sprintf("%s/%d", *secret, rid)))
+		if err != nil {
+			return err
+		}
+		registry.Add(rid, kp.Public())
+		if rid == types.ReplicaID(*id) {
+			myKeys = kp
+		}
+	}
+
+	v := core.AstroII
+	if *version == 1 {
+		v = core.AstroI
+	}
+	g := types.Amount(*genesis)
+	_, err = core.NewReplica(core.Config{
+		Version:    v,
+		Self:       types.ReplicaID(*id),
+		Replicas:   ids,
+		F:          types.MaxFaults(len(ids)),
+		Mux:        mux,
+		Genesis:    func(types.ClientID) types.Amount { return g },
+		BatchSize:  *batch,
+		BatchDelay: *delay,
+		Auth:       crypto.NewLinkAuthenticator(types.ReplicaID(*id), []byte(*secret)),
+		Keys:       myKeys,
+		Registry:   registry,
+	})
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("astro-node: replica %d (%s) serving %d-replica %v deployment on %s\n",
+		*id, ep.Addr(), len(ids), v, *listen)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	<-sig
+	fmt.Println("astro-node: shutting down")
+	return nil
+}
+
+// parsePeers parses "0=host:port,1=host:port,...".
+func parsePeers(s string) (map[transport.NodeID]string, []types.ReplicaID, error) {
+	if s == "" {
+		return nil, nil, fmt.Errorf("-peers is required")
+	}
+	peers := make(map[transport.NodeID]string)
+	var ids []types.ReplicaID
+	for _, part := range strings.Split(s, ",") {
+		kv := strings.SplitN(strings.TrimSpace(part), "=", 2)
+		if len(kv) != 2 {
+			return nil, nil, fmt.Errorf("bad peer %q (want id=host:port)", part)
+		}
+		id, err := strconv.Atoi(kv[0])
+		if err != nil {
+			return nil, nil, fmt.Errorf("bad peer id %q: %w", kv[0], err)
+		}
+		peers[transport.NodeID(id)] = kv[1]
+		ids = append(ids, types.ReplicaID(id))
+	}
+	if len(ids) < 4 {
+		return nil, nil, fmt.Errorf("need at least 4 replicas (3f+1, f>=1), got %d", len(ids))
+	}
+	return peers, ids, nil
+}

@@ -1,0 +1,96 @@
+// Robustness: the property the paper's Figures 5-7 demonstrate — Astro's
+// throughput is unaffected by a crashed or slowed replica (beyond the
+// clients it represented), because there is no leader.
+//
+// Ten clients pump payments through a 7-replica system; halfway through we
+// crash one replica. Watch per-second throughput: it dips only by the
+// share of clients represented by the crashed replica.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"astro"
+)
+
+func main() {
+	sys, err := astro.New(astro.Options{
+		Replicas:   7,
+		Genesis:    1 << 40,
+		WANLatency: true, // the paper's multi-region latency profile
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer sys.Close()
+
+	const (
+		nClients = 10
+		seconds  = 8
+		crashAt  = 4
+	)
+	victim := sys.RepresentativeOf(1)
+
+	// Count confirmations separately for clients of the doomed replica
+	// (fate-sharing: they stop when it crashes) and everyone else.
+	var confirmedAffected, confirmedOthers atomic.Uint64
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+
+	affected := 0
+	for i := 0; i < nClients; i++ {
+		cid := astro.ClientID(i + 1)
+		counter := &confirmedOthers
+		if sys.RepresentativeOf(cid) == victim {
+			counter = &confirmedAffected
+			affected++
+		}
+		c := sys.Client(cid)
+		wg.Add(1)
+		go func(c *astro.Client, counter *atomic.Uint64) {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				id, err := c.Pay(astro.ClientID(100), 1)
+				if err != nil {
+					continue
+				}
+				if err := c.WaitConfirm(id, 2*time.Second); err != nil {
+					continue // the crashed representative's clients stall here
+				}
+				counter.Add(1)
+			}
+		}(c, counter)
+	}
+
+	fmt.Printf("running %d clients over 7 replicas; will crash replica %d (representing %d clients) at t=%ds\n",
+		nClients, victim, affected, crashAt)
+
+	lastA, lastO := uint64(0), uint64(0)
+	for s := 1; s <= seconds; s++ {
+		time.Sleep(time.Second)
+		if s == crashAt {
+			sys.Crash(victim)
+		}
+		curA, curO := confirmedAffected.Load(), confirmedOthers.Load()
+		marker := ""
+		if s == crashAt {
+			marker = fmt.Sprintf("   <- replica %d crashed", victim)
+		}
+		fmt.Printf("t=%ds  unaffected clients %4d pps | crashed rep's clients %4d pps%s\n",
+			s, curO-lastO, curA-lastA, marker)
+		lastA, lastO = curA, curO
+	}
+	close(stop)
+	wg.Wait()
+	fmt.Println("the system has no leader: only the crashed representative's own clients stopped;")
+	fmt.Println("every other client kept settling payments throughout (contrast the paper's Figure 5 consensus curves)")
+}

@@ -1,0 +1,140 @@
+package brb
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"astro/internal/crypto"
+	"astro/internal/transport"
+	"astro/internal/transport/memnet"
+	"astro/internal/types"
+)
+
+// benchGroup builds an n-replica broadcast group and returns the
+// broadcasters plus a waiter for total deliveries.
+func benchGroup(b *testing.B, proto protocol, n int) ([]Broadcaster, func(int)) {
+	b.Helper()
+	net := memnet.New()
+	b.Cleanup(net.Close)
+	return benchGroupWithNet(b, proto, n, net)
+}
+
+func benchBroadcast(b *testing.B, proto protocol, n int) {
+	bcs, wait := benchGroup(b, proto, n)
+	payload := make([]byte, 8192) // a 256-payment batch
+	// Bound the number of in-flight broadcasts: unbounded flooding can
+	// fill the simulated network's bounded inboxes faster than the
+	// single-threaded dispatchers drain them.
+	const window = 64
+	b.ResetTimer()
+	b.SetBytes(int64(len(payload)))
+	for i := 0; i < b.N; i++ {
+		if _, err := bcs[0].Broadcast(payload); err != nil {
+			b.Fatal(err)
+		}
+		if i >= window {
+			wait((i - window + 1) * n)
+		}
+	}
+	done := make(chan struct{})
+	go func() {
+		wait(b.N * n)
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Minute):
+		b.Fatal("deliveries timed out")
+	}
+}
+
+func BenchmarkBrachaN4(b *testing.B)  { benchBroadcast(b, protoBracha, 4) }
+func BenchmarkBrachaN10(b *testing.B) { benchBroadcast(b, protoBracha, 10) }
+func BenchmarkSignedN4(b *testing.B)  { benchBroadcast(b, protoSigned, 4) }
+func BenchmarkSignedN10(b *testing.B) { benchBroadcast(b, protoSigned, 10) }
+
+// BenchmarkMessageComplexity reports messages per broadcast for both
+// protocols at N=10 — the O(N²) vs O(N) gap of §IV-A.
+func BenchmarkMessageComplexity(b *testing.B) {
+	for _, tc := range []struct {
+		name  string
+		proto protocol
+	}{{"bracha", protoBracha}, {"signed", protoSigned}} {
+		b.Run(tc.name, func(b *testing.B) {
+			net := memnet.New()
+			defer net.Close()
+			bcs, wait := benchGroupWithNet(b, tc.proto, 10, net)
+			net.ResetStats()
+			b.ResetTimer()
+			// Self-paced: wait for each broadcast to deliver everywhere
+			// before issuing the next, so the in-flight instance count
+			// stays bounded regardless of b.N.
+			for i := 0; i < b.N; i++ {
+				if _, err := bcs[0].Broadcast([]byte(fmt.Sprintf("m%d", i))); err != nil {
+					b.Fatal(err)
+				}
+				wait((i + 1) * 10)
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(net.Stats().MessagesSent)/float64(b.N), "msgs/broadcast")
+		})
+	}
+}
+
+func benchGroupWithNet(b *testing.B, proto protocol, n int, net *memnet.Network) ([]Broadcaster, func(int)) {
+	b.Helper()
+	peers := make([]types.ReplicaID, n)
+	for i := range peers {
+		peers[i] = types.ReplicaID(i)
+	}
+	var mu sync.Mutex
+	delivered := 0
+	cond := sync.NewCond(&mu)
+	var registry *crypto.Registry
+	var keys []*crypto.KeyPair
+	if proto == protoSigned {
+		registry = crypto.NewRegistry()
+		master := []byte("bench")
+		registry.EnableSim(master)
+		for i := 0; i < n; i++ {
+			keys = append(keys, crypto.NewSimKeyPair(types.ReplicaID(i), master))
+			registry.AddSim(types.ReplicaID(i))
+		}
+	}
+	var bcs []Broadcaster
+	for i := 0; i < n; i++ {
+		mux := transport.NewMux(net.Node(transport.ReplicaNode(types.ReplicaID(i))))
+		cfg := Config{
+			Mux: mux, Self: types.ReplicaID(i), Peers: peers, F: types.MaxFaults(n),
+			Deliver: func(types.ReplicaID, uint64, []byte) {
+				mu.Lock()
+				delivered++
+				cond.Broadcast()
+				mu.Unlock()
+			},
+		}
+		var bc Broadcaster
+		var err error
+		if proto == protoSigned {
+			cfg.Keys = keys[i]
+			cfg.Registry = registry
+			bc, err = NewSigned(cfg)
+		} else {
+			bc, err = NewBracha(cfg)
+		}
+		if err != nil {
+			b.Fatal(err)
+		}
+		bcs = append(bcs, bc)
+	}
+	wait := func(total int) {
+		mu.Lock()
+		for delivered < total {
+			cond.Wait()
+		}
+		mu.Unlock()
+	}
+	return bcs, wait
+}

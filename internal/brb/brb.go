@@ -1,0 +1,221 @@
+// Package brb implements Byzantine reliable broadcast (BRB), the
+// replication primitive at the heart of Astro. Two protocols are provided,
+// matching the paper's two system variants:
+//
+//   - Bracha: the echo/ready protocol of Bracha & Toueg used by Astro I.
+//     O(N²) messages per broadcast, MAC-authenticated links, provides
+//     totality.
+//   - Signed: the signature-based protocol (after Malkhi & Reiter) used by
+//     Astro II. O(N) messages: the origin gathers a Byzantine quorum of
+//     signed ACKs into a COMMIT certificate. No totality — the payment
+//     layer compensates with CREDIT dependency certificates.
+//
+// Both protocols deliver payloads per origin in slot order (FIFO), exactly
+// like the paper's per-client sequence-number delivery rule, and both
+// guarantee agreement per (origin, slot): no two correct replicas deliver
+// different payloads for the same identifier.
+//
+// An external-validity hook lets the payment layer refuse to endorse
+// payloads containing payments that conflict with previously endorsed ones
+// (the double-spend check when batching).
+package brb
+
+import (
+	"errors"
+
+	"astro/internal/crypto"
+	"astro/internal/transport"
+	"astro/internal/types"
+	"astro/internal/wire"
+)
+
+// Validator decides whether this replica endorses (echoes or acks) the
+// payload proposed for an instance. Returning false withholds this
+// replica's contribution; a payload endorsed by fewer than a quorum of
+// replicas is never delivered anywhere.
+type Validator func(origin types.ReplicaID, slot uint64, payload []byte) bool
+
+// DeliverFunc receives delivered payloads, per origin in slot order.
+type DeliverFunc func(origin types.ReplicaID, slot uint64, payload []byte)
+
+// Broadcaster is the common interface of both BRB implementations.
+type Broadcaster interface {
+	// Broadcast reliably sends payload to all replicas, assigning it the
+	// next slot of this replica's sequence. It returns the assigned slot.
+	Broadcast(payload []byte) (uint64, error)
+	// Delivered returns the highest slot delivered for an origin.
+	Delivered(origin types.ReplicaID) uint64
+}
+
+// Config carries the parameters shared by both protocols.
+type Config struct {
+	// Mux is the node's transport multiplexer; the protocol registers
+	// itself on transport.ChanBRB.
+	Mux *transport.Mux
+	// Self is this replica's identity.
+	Self types.ReplicaID
+	// Peers lists all replicas participating in the broadcast group
+	// (including Self). For sharded deployments this is the shard.
+	Peers []types.ReplicaID
+	// F is the number of Byzantine replicas tolerated; len(Peers) must be
+	// at least 3F+1.
+	F int
+	// Validator is the external-validity hook; nil accepts everything.
+	Validator Validator
+	// Deliver receives delivered payloads. Must be non-nil.
+	Deliver DeliverFunc
+
+	// Auth authenticates links with pairwise MACs (Astro I). Optional;
+	// when set, every protocol message carries an HMAC tag, costing the
+	// MAC computation the paper attributes to Bracha's protocol.
+	Auth *crypto.LinkAuthenticator
+
+	// Keys and Registry supply the signing key and peer public keys for
+	// the signature-based protocol (required by Signed, ignored by
+	// Bracha).
+	Keys     *crypto.KeyPair
+	Registry *crypto.Registry
+}
+
+// Errors returned by Broadcast.
+var (
+	ErrNoQuorum  = errors.New("brb: fewer than 3f+1 peers")
+	ErrNoDeliver = errors.New("brb: Deliver callback not set")
+)
+
+func (c *Config) validate() error {
+	if len(c.Peers) < 3*c.F+1 {
+		return ErrNoQuorum
+	}
+	if c.Deliver == nil {
+		return ErrNoDeliver
+	}
+	return nil
+}
+
+func (c *Config) quorum() int { return 2*c.F + 1 }
+
+// instanceID identifies one broadcast instance.
+type instanceID struct {
+	origin types.ReplicaID
+	slot   uint64
+}
+
+// Message kinds on ChanBRB.
+const (
+	kindPrepare byte = 1
+	kindEcho    byte = 2
+	kindReady   byte = 3
+	kindAck     byte = 4
+	kindCommit  byte = 5
+)
+
+// EncodePrepare encodes a PREPARE message. Exported for tests that forge
+// Byzantine traffic.
+func EncodePrepare(origin types.ReplicaID, slot uint64, payload []byte) []byte {
+	w := wire.NewWriter(16 + len(payload))
+	w.U8(kindPrepare)
+	w.U32(uint32(origin))
+	w.U64(slot)
+	w.Chunk(payload)
+	return w.Bytes()
+}
+
+// EncodeEcho encodes an ECHO message (Bracha). Exported for tests.
+func EncodeEcho(origin types.ReplicaID, slot uint64, payload []byte) []byte {
+	w := wire.NewWriter(16 + len(payload))
+	w.U8(kindEcho)
+	w.U32(uint32(origin))
+	w.U64(slot)
+	w.Chunk(payload)
+	return w.Bytes()
+}
+
+// EncodeReady encodes a READY message (Bracha). Exported for tests.
+func EncodeReady(origin types.ReplicaID, slot uint64, payload []byte) []byte {
+	w := wire.NewWriter(16 + len(payload))
+	w.U8(kindReady)
+	w.U32(uint32(origin))
+	w.U64(slot)
+	w.Chunk(payload)
+	return w.Bytes()
+}
+
+// EncodeAck encodes an ACK message (Signed). Exported for tests.
+func EncodeAck(origin types.ReplicaID, slot uint64, digest types.Digest, sig []byte) []byte {
+	w := wire.NewWriter(64 + len(sig))
+	w.U8(kindAck)
+	w.U32(uint32(origin))
+	w.U64(slot)
+	w.Bytes32(digest)
+	w.Chunk(sig)
+	return w.Bytes()
+}
+
+// EncodeCommit encodes a COMMIT message (Signed). Exported for tests.
+func EncodeCommit(origin types.ReplicaID, slot uint64, payload []byte, cert crypto.Certificate) []byte {
+	w := wire.NewWriter(64 + len(payload))
+	w.U8(kindCommit)
+	w.U32(uint32(origin))
+	w.U64(slot)
+	w.Chunk(payload)
+	crypto.EncodeCertificate(w, cert)
+	return w.Bytes()
+}
+
+// SignedDigest computes the digest a replica signs when acknowledging an
+// instance in the signature-based protocol. The domain byte prevents
+// cross-protocol signature reuse.
+func SignedDigest(origin types.ReplicaID, slot uint64, payload []byte) types.Digest {
+	ph := types.HashBytes(payload)
+	w := wire.NewWriter(64)
+	w.U8(0x42) // domain: brb-ack
+	w.U32(uint32(origin))
+	w.U64(slot)
+	w.Bytes32(ph)
+	return types.HashBytes(w.Bytes())
+}
+
+// fifo tracks per-origin delivery order, buffering out-of-order deliveries.
+type fifo struct {
+	delivered map[types.ReplicaID]uint64
+	pending   map[instanceID][]byte
+}
+
+func newFIFO() *fifo {
+	return &fifo{
+		delivered: make(map[types.ReplicaID]uint64),
+		pending:   make(map[instanceID][]byte),
+	}
+}
+
+// ready records a deliverable payload and returns the consecutive run now
+// deliverable for that origin, in slot order.
+type delivery struct {
+	origin  types.ReplicaID
+	slot    uint64
+	payload []byte
+}
+
+func (f *fifo) ready(id instanceID, payload []byte) []delivery {
+	if id.slot <= f.delivered[id.origin] {
+		return nil // stale duplicate
+	}
+	if _, dup := f.pending[id]; dup {
+		return nil
+	}
+	f.pending[id] = payload
+	var out []delivery
+	next := f.delivered[id.origin] + 1
+	for {
+		p, ok := f.pending[instanceID{origin: id.origin, slot: next}]
+		if !ok {
+			break
+		}
+		delete(f.pending, instanceID{origin: id.origin, slot: next})
+		out = append(out, delivery{origin: id.origin, slot: next, payload: p})
+		f.delivered[id.origin] = next
+		next++
+	}
+	return out
+}

@@ -1,0 +1,254 @@
+package brb
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"astro/internal/crypto"
+	"astro/internal/transport"
+	"astro/internal/types"
+	"astro/internal/wire"
+)
+
+// Signed implements BRB with digital signatures (after Malkhi & Reiter),
+// the broadcast layer of Astro II (paper §IV-A, Listing 6).
+//
+// Per instance: the origin PREPAREs the payload to all replicas; each
+// replica signs an ACK for the first payload it sees for the instance
+// (subject to the validator) and unicasts it back to the origin; on
+// gathering a Byzantine quorum (2f+1) of valid ACKs the origin sends a
+// COMMIT carrying the payload and the aggregated certificate; replicas
+// verify the certificate and deliver, in per-origin slot order.
+//
+// Message complexity is O(N) — the all-to-all phases of Bracha are
+// replaced by unicasts to and from the origin — at the price of signature
+// computation. The protocol does not provide totality: if the origin is
+// faulty, some correct replicas may deliver while others never do. Astro II
+// compensates at the payment layer with CREDIT dependency certificates.
+type Signed struct {
+	cfg Config
+
+	mu      sync.Mutex
+	nextOut uint64
+	mine    map[uint64]*outInstance   // my in-flight broadcasts, by slot
+	acked   map[instanceID]*ackRecord // instances I have acknowledged
+	order   *fifo
+}
+
+var _ Broadcaster = (*Signed)(nil)
+
+type outInstance struct {
+	payload   []byte
+	digest    types.Digest
+	cert      crypto.Certificate
+	committed bool
+}
+
+type ackRecord struct {
+	digest    types.Digest
+	delivered bool
+}
+
+// Errors specific to the signed protocol.
+var ErrNoKeys = errors.New("brb: signed protocol requires Keys and Registry")
+
+// NewSigned creates the protocol instance and registers it on the mux's
+// BRB channel.
+func NewSigned(cfg Config) (*Signed, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Keys == nil || cfg.Registry == nil {
+		return nil, ErrNoKeys
+	}
+	s := &Signed{
+		cfg:   cfg,
+		mine:  make(map[uint64]*outInstance),
+		acked: make(map[instanceID]*ackRecord),
+		order: newFIFO(),
+	}
+	cfg.Mux.Register(transport.ChanBRB, s.onMessage)
+	return s, nil
+}
+
+// Broadcast implements Broadcaster.
+func (s *Signed) Broadcast(payload []byte) (uint64, error) {
+	s.mu.Lock()
+	s.nextOut++
+	slot := s.nextOut
+	buf := make([]byte, len(payload))
+	copy(buf, payload)
+	s.mine[slot] = &outInstance{
+		payload: buf,
+		digest:  SignedDigest(s.cfg.Self, slot, payload),
+	}
+	s.mu.Unlock()
+
+	msg := EncodePrepare(s.cfg.Self, slot, payload)
+	for _, p := range s.cfg.Peers {
+		_ = s.cfg.Mux.Send(transport.ReplicaNode(p), transport.ChanBRB, msg)
+	}
+	return slot, nil
+}
+
+// Delivered implements Broadcaster.
+func (s *Signed) Delivered(origin types.ReplicaID) uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.order.delivered[origin]
+}
+
+func (s *Signed) onMessage(from transport.NodeID, payload []byte) {
+	peer := types.ReplicaID(from)
+	r := wire.NewReader(payload)
+	kind := r.U8()
+	origin := types.ReplicaID(r.U32())
+	slot := r.U64()
+	if r.Err() != nil {
+		return
+	}
+	id := instanceID{origin: origin, slot: slot}
+	switch kind {
+	case kindPrepare:
+		if peer != origin {
+			return // spoofed prepare
+		}
+		body := r.Chunk()
+		if r.Err() != nil {
+			return
+		}
+		s.handlePrepare(id, body)
+	case kindAck:
+		digest := r.Bytes32()
+		sig := r.Chunk()
+		if r.Err() != nil {
+			return
+		}
+		s.handleAck(id, peer, digest, sig)
+	case kindCommit:
+		body := r.Chunk()
+		cert, err := crypto.DecodeCertificate(r)
+		if err != nil || r.Err() != nil {
+			return
+		}
+		s.handleCommit(id, body, cert)
+	}
+}
+
+// handlePrepare acknowledges the first (and only the first) payload seen
+// for the instance — the equivocation check of Listing 6.
+func (s *Signed) handlePrepare(id instanceID, payload []byte) {
+	d := SignedDigest(id.origin, id.slot, payload)
+
+	s.mu.Lock()
+	if rec, seen := s.acked[id]; seen {
+		s.mu.Unlock()
+		_ = rec // already acknowledged (same or conflicting); stay silent
+		return
+	}
+	if s.cfg.Validator != nil && !s.cfg.Validator(id.origin, id.slot, payload) {
+		s.mu.Unlock()
+		return
+	}
+	s.acked[id] = &ackRecord{digest: d}
+	s.mu.Unlock()
+
+	sig, err := s.cfg.Keys.Sign(d)
+	if err != nil {
+		return // entropy failure; withholding an ack is always safe
+	}
+	msg := EncodeAck(id.origin, id.slot, d, sig)
+	_ = s.cfg.Mux.Send(transport.ReplicaNode(id.origin), transport.ChanBRB, msg)
+}
+
+// handleAck runs at the origin: gather a quorum of valid signatures, then
+// commit.
+func (s *Signed) handleAck(id instanceID, peer types.ReplicaID, digest types.Digest, sig []byte) {
+	if id.origin != s.cfg.Self {
+		return // ack for someone else's instance; misdirected
+	}
+
+	s.mu.Lock()
+	out := s.mine[id.slot]
+	if out == nil || out.committed || digest != out.digest {
+		s.mu.Unlock()
+		return
+	}
+	s.mu.Unlock()
+
+	// Verify outside the lock: signature checks dominate CPU cost.
+	if !s.cfg.Registry.VerifySig(peer, digest, sig) {
+		return
+	}
+
+	s.mu.Lock()
+	if out.committed {
+		s.mu.Unlock()
+		return
+	}
+	out.cert.Add(crypto.PartialSig{Replica: peer, Sig: sig})
+	commit := out.cert.Len() >= s.cfg.quorum()
+	if commit {
+		out.committed = true
+	}
+	payload := out.payload
+	cert := out.cert
+	s.mu.Unlock()
+
+	if commit {
+		msg := EncodeCommit(id.origin, id.slot, payload, cert)
+		for _, p := range s.cfg.Peers {
+			_ = s.cfg.Mux.Send(transport.ReplicaNode(p), transport.ChanBRB, msg)
+		}
+	}
+}
+
+// handleCommit verifies the certificate and delivers in FIFO order.
+func (s *Signed) handleCommit(id instanceID, payload []byte, cert crypto.Certificate) {
+	s.mu.Lock()
+	if rec := s.acked[id]; rec != nil && rec.delivered {
+		s.mu.Unlock()
+		return
+	}
+	s.mu.Unlock()
+
+	d := SignedDigest(id.origin, id.slot, payload)
+	if err := crypto.VerifyCertificate(s.cfg.Registry, cert, d, s.cfg.quorum(), s.membership); err != nil {
+		return // invalid or insufficient certificate
+	}
+
+	s.mu.Lock()
+	rec := s.acked[id]
+	if rec == nil {
+		rec = &ackRecord{digest: d}
+		s.acked[id] = rec
+	}
+	if rec.delivered {
+		s.mu.Unlock()
+		return
+	}
+	rec.delivered = true
+	deliveries := s.order.ready(id, payload)
+	s.mu.Unlock()
+
+	for _, dv := range deliveries {
+		s.cfg.Deliver(dv.origin, dv.slot, dv.payload)
+	}
+}
+
+func (s *Signed) membership(id types.ReplicaID) bool {
+	for _, p := range s.cfg.Peers {
+		if p == id {
+			return true
+		}
+	}
+	return false
+}
+
+// String implements fmt.Stringer for diagnostics.
+func (s *Signed) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return fmt.Sprintf("signedbrb{self=%d peers=%d f=%d out=%d}", s.cfg.Self, len(s.cfg.Peers), s.cfg.F, s.nextOut)
+}

@@ -1,0 +1,118 @@
+package consensus
+
+import (
+	"sync"
+	"time"
+
+	"astro/internal/transport"
+	"astro/internal/types"
+)
+
+// Client is a consensus-system client in the BFT-SMaRt style: it keeps
+// logical connections to all replicas, submits every payment to all of
+// them, and accepts a payment as executed once f+1 replicas confirm it
+// (at least one of which must be correct).
+type Client struct {
+	id       types.ClientID
+	replicas []types.ReplicaID
+	f        int
+	mux      *transport.Mux
+
+	mu      sync.Mutex
+	nextSeq types.Seq
+	votes   map[types.PaymentID]map[types.ReplicaID]struct{}
+	done    map[types.PaymentID]struct{}
+
+	confirms chan types.PaymentID
+}
+
+// NewClient creates a client bound to the replica set.
+func NewClient(id types.ClientID, replicas []types.ReplicaID, f int, mux *transport.Mux) *Client {
+	c := &Client{
+		id:       id,
+		replicas: append([]types.ReplicaID(nil), replicas...),
+		f:        f,
+		mux:      mux,
+		nextSeq:  1,
+		votes:    make(map[types.PaymentID]map[types.ReplicaID]struct{}),
+		done:     make(map[types.PaymentID]struct{}),
+		confirms: make(chan types.PaymentID, 1<<12),
+	}
+	mux.Register(transport.ChanPayment, c.onMessage)
+	return c
+}
+
+// ID returns the client identity.
+func (c *Client) ID() types.ClientID { return c.id }
+
+// Pay submits a payment to all replicas and returns its identifier.
+func (c *Client) Pay(b types.ClientID, x types.Amount) (types.PaymentID, error) {
+	c.mu.Lock()
+	p := types.Payment{Spender: c.id, Seq: c.nextSeq, Beneficiary: b, Amount: x}
+	c.nextSeq++
+	c.mu.Unlock()
+	msg := encodeClientSubmit(p)
+	for _, r := range c.replicas {
+		_ = c.mux.Send(transport.ReplicaNode(r), transport.ChanPayment, msg)
+	}
+	return p.ID(), nil
+}
+
+// Confirmations streams identifiers of payments confirmed by f+1 replicas.
+func (c *Client) Confirmations() <-chan types.PaymentID { return c.confirms }
+
+// WaitConfirm blocks until the payment gathers f+1 confirmations or the
+// timeout expires.
+func (c *Client) WaitConfirm(id types.PaymentID, timeout time.Duration) error {
+	deadline := time.NewTimer(timeout)
+	defer deadline.Stop()
+	for {
+		select {
+		case got := <-c.confirms:
+			if got == id || got.Seq > id.Seq {
+				return nil
+			}
+		case <-deadline.C:
+			return errTimeout
+		}
+	}
+}
+
+var errTimeout = timeoutError{}
+
+type timeoutError struct{}
+
+func (timeoutError) Error() string { return "consensus: client timed out" }
+
+func (c *Client) onMessage(from transport.NodeID, payload []byte) {
+	id, ok := decodeClientConfirm(payload)
+	if !ok || id.Spender != c.id {
+		return
+	}
+	replica := types.ReplicaID(from)
+
+	c.mu.Lock()
+	if _, fin := c.done[id]; fin {
+		c.mu.Unlock()
+		return
+	}
+	set := c.votes[id]
+	if set == nil {
+		set = make(map[types.ReplicaID]struct{})
+		c.votes[id] = set
+	}
+	set[replica] = struct{}{}
+	confirmed := len(set) >= c.f+1
+	if confirmed {
+		c.done[id] = struct{}{}
+		delete(c.votes, id)
+	}
+	c.mu.Unlock()
+
+	if confirmed {
+		select {
+		case c.confirms <- id:
+		default:
+		}
+	}
+}

@@ -1,0 +1,98 @@
+package core
+
+import (
+	"fmt"
+
+	"astro/internal/types"
+	"astro/internal/wire"
+)
+
+// A batch is the unit the representative broadcasts (paper §VI-A): a set
+// of payments, potentially from different clients, assembled to amortize
+// authentication and network overheads. In Astro II each payment may carry
+// the dependencies its spender accumulated since their last broadcast
+// (paper Listing 7).
+
+// BatchEntry is one payment plus its attached dependencies (Astro II; the
+// slice is empty for Astro I batches) and, when end-to-end client
+// signatures are enabled, the spender's signature over the payment.
+type BatchEntry struct {
+	Payment types.Payment
+	// Sig is the spender's signature over PaymentDigest(Payment); empty
+	// when client authentication is disabled.
+	Sig  []byte
+	Deps []Dependency
+}
+
+// PaymentDigest is what a client signs when end-to-end client signatures
+// are enabled: a domain-separated hash of the payment's canonical
+// encoding.
+func PaymentDigest(p types.Payment) types.Digest {
+	buf := make([]byte, 0, 1+types.PaymentWireSize)
+	buf = append(buf, 0x45) // domain: client payment
+	buf = p.AppendBinary(buf)
+	return types.HashBytes(buf)
+}
+
+// maxBatch bounds decoded batch sizes.
+const maxBatch = 1 << 16
+
+// EncodeBatch produces the broadcast payload for a batch.
+func EncodeBatch(entries []BatchEntry) []byte {
+	w := wire.NewWriter(8 + len(entries)*(types.PaymentWireSize+8))
+	w.U32(uint32(len(entries)))
+	for _, e := range entries {
+		w.Raw(e.Payment.AppendBinary(nil))
+		w.Chunk(e.Sig)
+		w.U32(uint32(len(e.Deps)))
+		for _, d := range e.Deps {
+			encodeDependency(w, d)
+		}
+	}
+	return w.Bytes()
+}
+
+// DecodeBatch parses a broadcast payload.
+func DecodeBatch(payload []byte) ([]BatchEntry, error) {
+	r := wire.NewReader(payload)
+	n := r.U32()
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	if n > maxBatch {
+		return nil, fmt.Errorf("batch: %d entries exceeds cap", n)
+	}
+	entries := make([]BatchEntry, 0, n)
+	for i := uint32(0); i < n; i++ {
+		var e BatchEntry
+		raw := r.Fixed(types.PaymentWireSize)
+		if err := r.Err(); err != nil {
+			return nil, err
+		}
+		if err := e.Payment.UnmarshalBinary(raw); err != nil {
+			return nil, err
+		}
+		if sig := r.Chunk(); len(sig) > 0 {
+			e.Sig = sig
+		}
+		nd := r.U32()
+		if err := r.Err(); err != nil {
+			return nil, err
+		}
+		if nd > maxBatch {
+			return nil, fmt.Errorf("batch: %d deps exceeds cap", nd)
+		}
+		for j := uint32(0); j < nd; j++ {
+			d, err := decodeDependency(r)
+			if err != nil {
+				return nil, err
+			}
+			e.Deps = append(e.Deps, d)
+		}
+		entries = append(entries, e)
+	}
+	if err := r.Finish(); err != nil {
+		return nil, err
+	}
+	return entries, nil
+}

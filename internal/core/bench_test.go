@@ -1,0 +1,62 @@
+package core
+
+import (
+	"testing"
+
+	"astro/internal/types"
+)
+
+func BenchmarkSettleAstroI(b *testing.B) {
+	s := NewState(AstroI, func(types.ClientID) types.Amount { return 1 << 40 }, nil)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := types.Payment{
+			Spender: types.ClientID(i % 64), Seq: types.Seq(i/64 + 1),
+			Beneficiary: types.ClientID((i + 1) % 64), Amount: 1,
+		}
+		s.ApplyEntry(BatchEntry{Payment: p})
+	}
+}
+
+func BenchmarkSettleAstroII(b *testing.B) {
+	s := NewState(AstroII, func(types.ClientID) types.Amount { return 1 << 40 }, nil)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := types.Payment{
+			Spender: types.ClientID(i % 64), Seq: types.Seq(i/64 + 1),
+			Beneficiary: types.ClientID((i + 1) % 64), Amount: 1,
+		}
+		s.ApplyEntry(BatchEntry{Payment: p})
+	}
+}
+
+func BenchmarkBatchEncode(b *testing.B) {
+	entries := make([]BatchEntry, 256)
+	for i := range entries {
+		entries[i] = BatchEntry{Payment: types.Payment{
+			Spender: types.ClientID(i), Seq: 1, Beneficiary: types.ClientID(i + 1), Amount: 10,
+		}}
+	}
+	b.ResetTimer()
+	b.SetBytes(int64(256 * types.PaymentWireSize))
+	for i := 0; i < b.N; i++ {
+		EncodeBatch(entries)
+	}
+}
+
+func BenchmarkBatchDecode(b *testing.B) {
+	entries := make([]BatchEntry, 256)
+	for i := range entries {
+		entries[i] = BatchEntry{Payment: types.Payment{
+			Spender: types.ClientID(i), Seq: 1, Beneficiary: types.ClientID(i + 1), Amount: 10,
+		}}
+	}
+	data := EncodeBatch(entries)
+	b.ResetTimer()
+	b.SetBytes(int64(len(data)))
+	for i := 0; i < b.N; i++ {
+		if _, err := DecodeBatch(data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

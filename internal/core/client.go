@@ -1,0 +1,168 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"astro/internal/crypto"
+	"astro/internal/transport"
+	"astro/internal/types"
+)
+
+// Client is a lightweight Astro participant (paper §III, Listing 1). It
+// orders its own payments by assigning sequence numbers and submits them to
+// its representative replica, which brokers them into the replication
+// layer. The client receives settlement confirmations and can query its
+// balance.
+type Client struct {
+	id   types.ClientID
+	rep  types.ReplicaID
+	mux  *transport.Mux
+	keys *crypto.KeyPair // nil unless end-to-end signatures are enabled
+
+	mu      sync.Mutex
+	nextSeq types.Seq
+
+	confirms chan types.PaymentID
+	balances chan types.Amount
+}
+
+// ErrTimeout is returned when a client-side wait expires.
+var ErrTimeout = errors.New("core: client timed out")
+
+// NewClient creates a client bound to its representative. The mux must be
+// an endpoint on the client's own node (transport.ClientNode(id)).
+func NewClient(id types.ClientID, repOf func(types.ClientID) types.ReplicaID, mux *transport.Mux) *Client {
+	c := &Client{
+		id:       id,
+		rep:      repOf(id),
+		mux:      mux,
+		nextSeq:  1,
+		confirms: make(chan types.PaymentID, 1<<12),
+		balances: make(chan types.Amount, 8),
+	}
+	mux.Register(transport.ChanPayment, c.onMessage)
+	return c
+}
+
+// NewAuthClient creates a client that signs every payment with its key —
+// for deployments with end-to-end client signatures (core.Config
+// ClientKeys). The key's public half must be registered with the
+// replicas' ClientKeys registry.
+func NewAuthClient(id types.ClientID, repOf func(types.ClientID) types.ReplicaID, mux *transport.Mux, keys *crypto.KeyPair) *Client {
+	c := NewClient(id, repOf, mux)
+	c.keys = keys
+	return c
+}
+
+// ID returns the client's identity.
+func (c *Client) ID() types.ClientID { return c.id }
+
+// Representative returns the replica brokering this client's payments.
+func (c *Client) Representative() types.ReplicaID { return c.rep }
+
+// Pay submits a payment of amount x to beneficiary b (paper Listing 1):
+// assign the next sequence number, increment it, and send the payment to
+// the representative over the authenticated channel. It returns the
+// payment's identifier; settlement is confirmed asynchronously through
+// Confirmations.
+func (c *Client) Pay(b types.ClientID, x types.Amount) (types.PaymentID, error) {
+	c.mu.Lock()
+	p := types.Payment{Spender: c.id, Seq: c.nextSeq, Beneficiary: b, Amount: x}
+	c.nextSeq++
+	c.mu.Unlock()
+	var sig []byte
+	if c.keys != nil {
+		var err error
+		sig, err = c.keys.Sign(PaymentDigest(p))
+		if err != nil {
+			return types.PaymentID{}, fmt.Errorf("sign payment: %w", err)
+		}
+	}
+	if err := c.mux.Send(transport.ReplicaNode(c.rep), transport.ChanPayment, encodeSubmit(p, sig)); err != nil {
+		return types.PaymentID{}, err
+	}
+	return p.ID(), nil
+}
+
+// Confirmations returns the stream of settled payment identifiers, in
+// settlement order.
+func (c *Client) Confirmations() <-chan types.PaymentID { return c.confirms }
+
+// WaitConfirm blocks until the given payment is confirmed or the timeout
+// expires. Confirmations arrive in sequence order, so waiting for id also
+// drains all earlier confirmations.
+func (c *Client) WaitConfirm(id types.PaymentID, timeout time.Duration) error {
+	deadline := time.NewTimer(timeout)
+	defer deadline.Stop()
+	for {
+		select {
+		case got := <-c.confirms:
+			if got == id {
+				return nil
+			}
+			if got.Seq > id.Seq {
+				// Confirmation order is per-xlog sequence order; seeing a
+				// later seq means ours was confirmed earlier and already
+				// consumed by another waiter — treat as confirmed.
+				return nil
+			}
+		case <-deadline.C:
+			return ErrTimeout
+		}
+	}
+}
+
+// QueryBalance asks the representative for this client's spendable
+// balance (paper §III "Checking the Balance").
+func (c *Client) QueryBalance(timeout time.Duration) (types.Amount, error) {
+	if err := c.mux.Send(transport.ReplicaNode(c.rep), transport.ChanPayment, encodeBalanceReq(c.id)); err != nil {
+		return 0, err
+	}
+	select {
+	case bal := <-c.balances:
+		return bal, nil
+	case <-time.After(timeout):
+		return 0, ErrTimeout
+	}
+}
+
+func (c *Client) onMessage(from transport.NodeID, payload []byte) {
+	if len(payload) == 0 || from != transport.ReplicaNode(c.rep) {
+		return
+	}
+	switch payload[0] {
+	case msgConfirm:
+		if len(payload) != 17 {
+			return
+		}
+		var id types.PaymentID
+		id.Spender = types.ClientID(be64(payload[1:9]))
+		id.Seq = types.Seq(be64(payload[9:17]))
+		if id.Spender != c.id {
+			return
+		}
+		select {
+		case c.confirms <- id:
+		default: // confirmation buffer full: drop oldest semantics not needed; drop new
+		}
+	case msgBalanceResp:
+		if len(payload) != 17 {
+			return
+		}
+		if types.ClientID(be64(payload[1:9])) != c.id {
+			return
+		}
+		select {
+		case c.balances <- types.Amount(be64(payload[9:17])):
+		default:
+		}
+	}
+}
+
+func be64(b []byte) uint64 {
+	return uint64(b[0])<<56 | uint64(b[1])<<48 | uint64(b[2])<<40 | uint64(b[3])<<32 |
+		uint64(b[4])<<24 | uint64(b[5])<<16 | uint64(b[6])<<8 | uint64(b[7])
+}

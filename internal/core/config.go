@@ -1,0 +1,111 @@
+// Package core implements the Astro payment protocol (paper §III–§V):
+// exclusive logs replicated through Byzantine reliable broadcast,
+// client/representative interaction, batching, and — for Astro II — the
+// CREDIT/dependency mechanism that replaces totality and enables
+// asynchronous sharding.
+package core
+
+import (
+	"errors"
+	"time"
+
+	"astro/internal/crypto"
+	"astro/internal/transport"
+	"astro/internal/types"
+)
+
+// Config assembles one replica of an Astro deployment.
+type Config struct {
+	// Version selects Astro I (Bracha BRB, direct credits) or Astro II
+	// (signed BRB, dependency certificates).
+	Version Version
+	// Self is this replica's identity.
+	Self types.ReplicaID
+	// Replicas lists the replicas of this replica's shard (including
+	// Self), the broadcast group for its BRB instance.
+	Replicas []types.ReplicaID
+	// F is the number of Byzantine replicas tolerated per shard;
+	// len(Replicas) >= 3F+1.
+	F int
+	// Mux is the node's transport multiplexer.
+	Mux *transport.Mux
+
+	// RepOf maps each client to its representative replica. The mapping
+	// is public knowledge (paper §III). Defaults to client mod replicas
+	// within the client's shard.
+	RepOf func(types.ClientID) types.ReplicaID
+	// ShardOf maps each client (xlog) to its shard. Defaults to a single
+	// shard.
+	ShardOf func(types.ClientID) types.ShardID
+	// ReplicaShard maps each replica to its shard. Defaults to shard 0.
+	ReplicaShard func(types.ReplicaID) types.ShardID
+	// Genesis returns each client's initial balance; it must be identical
+	// at all replicas. Defaults to zero balances.
+	Genesis func(types.ClientID) types.Amount
+
+	// BatchSize is the maximum payments per broadcast batch (paper uses
+	// 256). Defaults to 256.
+	BatchSize int
+	// BatchDelay bounds how long a submitted payment may wait for its
+	// batch to fill. Defaults to 5ms.
+	BatchDelay time.Duration
+
+	// Auth supplies MAC link authentication for Astro I's broadcast.
+	Auth *crypto.LinkAuthenticator
+	// Keys is this replica's signing key (required for Astro II).
+	Keys *crypto.KeyPair
+	// Registry holds the public keys of all replicas of all shards
+	// (required for Astro II).
+	Registry *crypto.Registry
+	// ClientKeys enables end-to-end client signatures (paper §VI-A):
+	// when set, every submission and every batch entry must carry the
+	// spender's signature, verified by all replicas before endorsement.
+	// Nil disables client authentication (submissions are authenticated
+	// by the transport only, and clients trust their representative).
+	ClientKeys *crypto.ClientKeys
+}
+
+// Configuration errors.
+var (
+	ErrConfigMux     = errors.New("core: config requires Mux")
+	ErrConfigQuorum  = errors.New("core: fewer than 3f+1 replicas")
+	ErrConfigVersion = errors.New("core: unknown version")
+	ErrConfigKeys    = errors.New("core: Astro II requires Keys and Registry")
+)
+
+func (c *Config) normalize() error {
+	if c.Mux == nil {
+		return ErrConfigMux
+	}
+	if c.Version != AstroI && c.Version != AstroII {
+		return ErrConfigVersion
+	}
+	if len(c.Replicas) < 3*c.F+1 {
+		return ErrConfigQuorum
+	}
+	if c.Version == AstroII && (c.Keys == nil || c.Registry == nil) {
+		return ErrConfigKeys
+	}
+	if c.RepOf == nil {
+		replicas := append([]types.ReplicaID(nil), c.Replicas...)
+		c.RepOf = func(cl types.ClientID) types.ReplicaID {
+			return replicas[uint64(cl)%uint64(len(replicas))]
+		}
+	}
+	if c.ShardOf == nil {
+		c.ShardOf = types.SingleShard
+	}
+	if c.ReplicaShard == nil {
+		c.ReplicaShard = func(types.ReplicaID) types.ShardID { return 0 }
+	}
+	if c.Genesis == nil {
+		c.Genesis = func(types.ClientID) types.Amount { return 0 }
+	}
+	if c.BatchSize <= 0 {
+		c.BatchSize = 256
+	}
+	if c.BatchDelay <= 0 {
+		c.BatchDelay = 5 * time.Millisecond
+	}
+	return nil
+}

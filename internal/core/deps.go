@@ -1,0 +1,129 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"astro/internal/crypto"
+	"astro/internal/types"
+	"astro/internal/wire"
+)
+
+// Astro II replaces direct beneficiary crediting with dependencies (paper
+// §IV-A, §V, Listings 7–10): when a replica settles a payment, it unicasts
+// a signed CREDIT message to the beneficiary's representative. f+1 matching
+// CREDIT messages form a dependency certificate — proof that the payment
+// was approved by at least one correct replica of the spender's shard.
+// The certificate is attached to the beneficiary's next outgoing payment
+// and materializes into balance when that payment settles.
+//
+// Following the paper's two-level batching (§VI-A), CREDIT messages carry a
+// *group* of payments whose beneficiaries share the same representative,
+// with a single signature over the group digest — one signature per
+// sub-batch rather than per payment.
+
+// CreditGroupDigest computes the digest signed in CREDIT messages: a
+// domain-separated hash over the canonical encoding of the group.
+func CreditGroupDigest(group []types.Payment) types.Digest {
+	w := wire.NewWriter(8 + len(group)*types.PaymentWireSize)
+	w.U8(0x43) // domain: credit-group
+	w.U32(uint32(len(group)))
+	for _, p := range group {
+		w.Raw(p.AppendBinary(nil))
+	}
+	return types.HashBytes(w.Bytes())
+}
+
+// Dependency is a credit group together with a certificate of at least
+// f+1 signatures over its digest by replicas of the spender's shard. It is
+// transferable: any shard can verify it against the global key registry
+// and the public shard assignment.
+type Dependency struct {
+	Group []types.Payment
+	Cert  crypto.Certificate
+}
+
+// Value returns the total amount the dependency credits to client c.
+// A single group may credit several clients of the same representative;
+// each extracts only its own payments.
+func (d Dependency) Value(c types.ClientID) types.Amount {
+	var sum types.Amount
+	for _, p := range d.Group {
+		if p.Beneficiary == c {
+			sum += p.Amount
+		}
+	}
+	return sum
+}
+
+// Errors from dependency verification.
+var (
+	ErrDepEmpty      = errors.New("dependency: empty group")
+	ErrDepMixedShard = errors.New("dependency: spenders from different shards")
+)
+
+// VerifyDependency checks that the dependency's certificate carries at
+// least f+1 valid signatures from replicas of the (single) shard all the
+// group's spenders belong to.
+func VerifyDependency(
+	d Dependency,
+	reg *crypto.Registry,
+	f int,
+	shardOf func(types.ClientID) types.ShardID,
+	replicaShard func(types.ReplicaID) types.ShardID,
+) error {
+	if len(d.Group) == 0 {
+		return ErrDepEmpty
+	}
+	shard := shardOf(d.Group[0].Spender)
+	for _, p := range d.Group[1:] {
+		if shardOf(p.Spender) != shard {
+			return ErrDepMixedShard
+		}
+	}
+	digest := CreditGroupDigest(d.Group)
+	member := func(r types.ReplicaID) bool { return replicaShard(r) == shard }
+	if err := crypto.VerifyCertificate(reg, d.Cert, digest, f+1, member); err != nil {
+		return fmt.Errorf("dependency: %w", err)
+	}
+	return nil
+}
+
+// encodeDependency appends the dependency's wire form.
+func encodeDependency(w *wire.Writer, d Dependency) {
+	w.U32(uint32(len(d.Group)))
+	for _, p := range d.Group {
+		w.Raw(p.AppendBinary(nil))
+	}
+	crypto.EncodeCertificate(w, d.Cert)
+}
+
+// maxGroup bounds decoded group sizes (defense against hostile input).
+const maxGroup = 1 << 16
+
+func decodeDependency(r *wire.Reader) (Dependency, error) {
+	var d Dependency
+	n := r.U32()
+	if err := r.Err(); err != nil {
+		return d, err
+	}
+	if n == 0 || n > maxGroup {
+		return d, fmt.Errorf("dependency: bad group size %d", n)
+	}
+	d.Group = make([]types.Payment, n)
+	for i := range d.Group {
+		raw := r.Fixed(types.PaymentWireSize)
+		if err := r.Err(); err != nil {
+			return d, err
+		}
+		if err := d.Group[i].UnmarshalBinary(raw); err != nil {
+			return d, err
+		}
+	}
+	cert, err := crypto.DecodeCertificate(r)
+	if err != nil {
+		return d, err
+	}
+	d.Cert = cert
+	return d, nil
+}

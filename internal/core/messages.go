@@ -1,0 +1,123 @@
+package core
+
+import (
+	"fmt"
+
+	"astro/internal/crypto"
+	"astro/internal/types"
+	"astro/internal/wire"
+)
+
+// Message kinds on the payment channel (client <-> representative).
+const (
+	msgSubmit      byte = 1 // client -> representative: a new payment
+	msgConfirm     byte = 2 // representative -> client: payment settled
+	msgBalanceReq  byte = 3 // client -> representative: balance query
+	msgBalanceResp byte = 4 // representative -> client: balance answer
+)
+
+// Local event kinds on transport.ChanLocal.
+const (
+	localFlush byte = 1 // batch timer fired
+)
+
+func encodeSubmit(p types.Payment, sig []byte) []byte {
+	w := wire.NewWriter(8 + types.PaymentWireSize + len(sig))
+	w.U8(msgSubmit)
+	w.Raw(p.AppendBinary(nil))
+	w.Chunk(sig)
+	return w.Bytes()
+}
+
+func decodeSubmit(payload []byte) (types.Payment, []byte, bool) {
+	var p types.Payment
+	r := wire.NewReader(payload)
+	raw := r.Fixed(types.PaymentWireSize)
+	if r.Err() != nil {
+		return p, nil, false
+	}
+	if err := p.UnmarshalBinary(raw); err != nil {
+		return p, nil, false
+	}
+	sig := r.Chunk()
+	if r.Finish() != nil {
+		return p, nil, false
+	}
+	return p, sig, true
+}
+
+func encodeConfirm(id types.PaymentID) []byte {
+	w := wire.NewWriter(17)
+	w.U8(msgConfirm)
+	w.U64(uint64(id.Spender))
+	w.U64(uint64(id.Seq))
+	return w.Bytes()
+}
+
+func encodeBalanceReq(c types.ClientID) []byte {
+	w := wire.NewWriter(9)
+	w.U8(msgBalanceReq)
+	w.U64(uint64(c))
+	return w.Bytes()
+}
+
+func encodeBalanceResp(c types.ClientID, a types.Amount) []byte {
+	w := wire.NewWriter(17)
+	w.U8(msgBalanceResp)
+	w.U64(uint64(c))
+	w.U64(uint64(a))
+	return w.Bytes()
+}
+
+// CREDIT message (transport.ChanCredit): a settling replica's signed
+// endorsement that a group of payments (beneficiaries all represented by
+// the destination replica) settled in its shard (paper §V, Listing 9).
+type creditMsg struct {
+	Signer types.ReplicaID
+	Group  []types.Payment
+	Sig    []byte
+}
+
+func encodeCredit(m creditMsg) []byte {
+	w := wire.NewWriter(16 + len(m.Group)*types.PaymentWireSize + len(m.Sig))
+	w.U32(uint32(m.Signer))
+	w.U32(uint32(len(m.Group)))
+	for _, p := range m.Group {
+		w.Raw(p.AppendBinary(nil))
+	}
+	w.Chunk(m.Sig)
+	return w.Bytes()
+}
+
+func decodeCredit(payload []byte) (creditMsg, error) {
+	var m creditMsg
+	r := wire.NewReader(payload)
+	m.Signer = types.ReplicaID(r.U32())
+	n := r.U32()
+	if err := r.Err(); err != nil {
+		return m, err
+	}
+	if n == 0 || n > maxGroup {
+		return m, fmt.Errorf("credit: bad group size %d", n)
+	}
+	m.Group = make([]types.Payment, n)
+	for i := range m.Group {
+		raw := r.Fixed(types.PaymentWireSize)
+		if err := r.Err(); err != nil {
+			return m, err
+		}
+		if err := m.Group[i].UnmarshalBinary(raw); err != nil {
+			return m, err
+		}
+	}
+	m.Sig = r.Chunk()
+	if err := r.Finish(); err != nil {
+		return m, err
+	}
+	return m, nil
+}
+
+// verifyCreditSig checks the signer's signature over the group digest.
+func verifyCreditSig(reg *crypto.Registry, m creditMsg) bool {
+	return reg.VerifySig(m.Signer, CreditGroupDigest(m.Group), m.Sig)
+}

@@ -1,0 +1,55 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"astro/internal/types"
+)
+
+// ReconstructState rebuilds a replica's state from transferred exclusive
+// logs — the final step of reconfiguration state transfer (paper Appendix
+// A: "our state transfer protocol simply consists of sending all xlogs to
+// the joining replica"). The xlogs are replayed through the normal
+// approve/settle engine, so the reconstructed state satisfies exactly the
+// invariants a replica that observed the history would hold.
+//
+// Reconstruction uses Astro I settle semantics (direct beneficiary
+// credits): xlogs alone determine balances under direct crediting, which
+// is also the paper's rationale for keeping full logs rather than bare
+// balances. (Under Astro II semantics, balances additionally depend on
+// which dependency certificates were attached where; Astro II state
+// transfer ships those alongside, see reconfig.)
+func ReconstructState(genesis func(types.ClientID) types.Amount, xlogs map[types.ClientID][]types.Payment) (*State, error) {
+	s := NewState(AstroI, genesis, nil)
+
+	// Validate per-xlog invariants up front: owner spends, gapless seqs.
+	clients := make([]types.ClientID, 0, len(xlogs))
+	for c, log := range xlogs {
+		for i, p := range log {
+			if p.Spender != c {
+				return nil, fmt.Errorf("reconstruct: xlog %d contains foreign payment %v", c, p)
+			}
+			if p.Seq != types.Seq(i+1) {
+				return nil, fmt.Errorf("reconstruct: xlog %d has gap at position %d (seq %d)", c, i, p.Seq)
+			}
+		}
+		clients = append(clients, c)
+	}
+	sort.Slice(clients, func(i, j int) bool { return clients[i] < clients[j] })
+
+	// Replay everything; the engine's pending queues resolve funding
+	// order automatically (a payment that depended on an incoming credit
+	// settles once the crediting payment replays).
+	total := 0
+	for _, c := range clients {
+		for _, p := range xlogs[c] {
+			s.ApplyEntry(BatchEntry{Payment: p})
+			total++
+		}
+	}
+	if got := int(s.Counters().Settled); got != total {
+		return nil, fmt.Errorf("reconstruct: %d of %d payments did not settle (histories inconsistent with genesis)", total-got, total)
+	}
+	return s, nil
+}

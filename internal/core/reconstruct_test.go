@@ -1,0 +1,88 @@
+package core
+
+import (
+	"testing"
+
+	"astro/internal/types"
+)
+
+func TestReconstructState(t *testing.T) {
+	// Build a history on a live state, snapshot the xlogs, reconstruct,
+	// and compare balances.
+	src := NewState(AstroI, genesis100, nil)
+	history := []types.Payment{
+		pay(1, 1, 2, 30),
+		pay(2, 1, 3, 120), // funded only by 1's credit
+		pay(3, 1, 1, 5),
+		pay(1, 2, 3, 10),
+	}
+	for _, p := range history {
+		src.ApplyEntry(BatchEntry{Payment: p})
+	}
+	if src.Counters().Settled != uint64(len(history)) {
+		t.Fatalf("source history incomplete: %+v", src.Counters())
+	}
+
+	xlogs := make(map[types.ClientID][]types.Payment)
+	for _, c := range src.Clients() {
+		xlogs[c] = src.XLog(c).Snapshot()
+	}
+	dst, err := ReconstructState(genesis100, xlogs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range src.Clients() {
+		if got, want := dst.Balance(c), src.Balance(c); got != want {
+			t.Errorf("client %d: reconstructed balance %d, want %d", c, got, want)
+		}
+		if got, want := dst.NextSeq(c), src.NextSeq(c); got != want {
+			t.Errorf("client %d: reconstructed seq %d, want %d", c, got, want)
+		}
+	}
+}
+
+func TestReconstructReplayOrderIndependence(t *testing.T) {
+	// Payment 2->3 depends on 1->2's credit. Reconstruction must succeed
+	// even though client 2's xlog replays before client 1's credit only
+	// when ordered map iteration would... the engine's queues handle it.
+	xlogs := map[types.ClientID][]types.Payment{
+		2: {pay(2, 1, 3, 150)}, // needs 1's credit
+		1: {pay(1, 1, 2, 100)},
+	}
+	s, err := ReconstructState(genesis100, xlogs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Balance(2) != 50 || s.Balance(3) != 250 {
+		t.Errorf("balances: 2=%d 3=%d", s.Balance(2), s.Balance(3))
+	}
+}
+
+func TestReconstructRejectsForeignPayment(t *testing.T) {
+	xlogs := map[types.ClientID][]types.Payment{
+		1: {pay(2, 1, 3, 5)}, // spender != owner
+	}
+	if _, err := ReconstructState(genesis100, xlogs); err == nil {
+		t.Fatal("foreign payment accepted")
+	}
+}
+
+func TestReconstructRejectsGap(t *testing.T) {
+	xlogs := map[types.ClientID][]types.Payment{
+		1: {pay(1, 2, 3, 5)}, // starts at seq 2
+	}
+	if _, err := ReconstructState(genesis100, xlogs); err == nil {
+		t.Fatal("gapped xlog accepted")
+	}
+}
+
+func TestReconstructRejectsOverspend(t *testing.T) {
+	// A history that could never have settled (insufficient funds with
+	// no incoming credits) must be rejected.
+	xlogs := map[types.ClientID][]types.Payment{
+		1: {pay(1, 1, 2, 1000)}, // genesis is 100
+	}
+	if _, err := ReconstructState(genesis100, xlogs); err == nil {
+		t.Fatal("overspending history accepted")
+	}
+}

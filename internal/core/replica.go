@@ -1,0 +1,530 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"astro/internal/brb"
+	"astro/internal/crypto"
+	"astro/internal/transport"
+	"astro/internal/types"
+)
+
+// Replica is one node of an Astro deployment (paper §III). It plays two
+// roles at once:
+//
+//   - state replica: it participates in the shard's BRB group, and on
+//     every delivery approves and settles payments into its copy of the
+//     shard's xlogs;
+//   - representative: for the clients mapped to it, it accepts payment
+//     submissions, batches them (paper §VI-A), broadcasts the batches, and
+//     confirms settlement back to the clients. Under Astro II it also
+//     collects CREDIT messages into dependency certificates on behalf of
+//     its clients (paper Listing 10).
+type Replica struct {
+	cfg Config
+	bc  brb.Broadcaster
+
+	mu    sync.Mutex
+	state *State
+	// representative state
+	buffer         []BatchEntry
+	flushScheduled bool
+	// myInflight counts own batches broadcast but not yet self-delivered.
+	// Batching is self-clocked: when nothing is in flight, submissions
+	// flush immediately (low-load latency); while a batch is in flight,
+	// arrivals accumulate, so batch size automatically tracks load × RTT
+	// and amortizes per-batch signatures — the effect the paper achieves
+	// with its 256-payment batches (§VI-A). The BatchDelay timer remains
+	// as a liveness fallback.
+	myInflight     int
+	repDeps        map[types.ClientID][]Dependency
+	pendingSubmits map[types.ClientID][]heldSubmit
+	// Astro II projected-balance accounting: a correct representative
+	// never broadcasts a payment its client cannot fund (the paper's
+	// Listing 9 otherwise wedges the xlog).
+	inflightOut  map[types.ClientID]types.Amount
+	inflightDeps map[types.ClientID]types.Amount
+	attachedVal  map[types.PaymentID]types.Amount
+	creditAccum  map[types.Digest]*creditState
+
+	// endorsement memory for the BRB external-validity hook; separate
+	// lock because the hook is called from inside the BRB layer.
+	endorsedMu sync.Mutex
+	endorsed   map[types.PaymentID]types.Digest
+
+	settledTotal   atomic.Uint64
+	confirmedTotal atomic.Uint64
+}
+
+type creditState struct {
+	group []types.Payment
+	cert  crypto.Certificate
+	done  bool
+}
+
+// heldSubmit is a client submission awaiting funds at the representative.
+type heldSubmit struct {
+	payment types.Payment
+	sig     []byte
+}
+
+// NewReplica assembles a replica, registering its protocol handlers on the
+// configured mux.
+func NewReplica(cfg Config) (*Replica, error) {
+	if err := cfg.normalize(); err != nil {
+		return nil, err
+	}
+	r := &Replica{
+		cfg:            cfg,
+		repDeps:        make(map[types.ClientID][]Dependency),
+		pendingSubmits: make(map[types.ClientID][]heldSubmit),
+		inflightOut:    make(map[types.ClientID]types.Amount),
+		inflightDeps:   make(map[types.ClientID]types.Amount),
+		attachedVal:    make(map[types.PaymentID]types.Amount),
+		creditAccum:    make(map[types.Digest]*creditState),
+		endorsed:       make(map[types.PaymentID]types.Digest),
+	}
+	var verifyDep func(Dependency) error
+	if cfg.Version == AstroII {
+		verifyDep = func(d Dependency) error {
+			return VerifyDependency(d, cfg.Registry, cfg.F, cfg.ShardOf, cfg.ReplicaShard)
+		}
+	}
+	r.state = NewState(cfg.Version, cfg.Genesis, verifyDep)
+
+	bcfg := brb.Config{
+		Mux:       cfg.Mux,
+		Self:      cfg.Self,
+		Peers:     cfg.Replicas,
+		F:         cfg.F,
+		Validator: r.validateBatch,
+		Deliver:   r.onDeliver,
+		Auth:      cfg.Auth,
+		Keys:      cfg.Keys,
+		Registry:  cfg.Registry,
+	}
+	var err error
+	switch cfg.Version {
+	case AstroI:
+		r.bc, err = brb.NewBracha(bcfg)
+	case AstroII:
+		r.bc, err = brb.NewSigned(bcfg)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("replica %d: %w", cfg.Self, err)
+	}
+
+	cfg.Mux.Register(transport.ChanPayment, r.onPaymentMsg)
+	cfg.Mux.Register(transport.ChanLocal, r.onLocal)
+	if cfg.Version == AstroII {
+		cfg.Mux.Register(transport.ChanCredit, r.onCredit)
+	}
+	return r, nil
+}
+
+// ID returns the replica's identity.
+func (r *Replica) ID() types.ReplicaID { return r.cfg.Self }
+
+// SettledCount returns the number of payments this replica has settled;
+// the experiment harness samples it to build throughput timelines.
+func (r *Replica) SettledCount() uint64 { return r.settledTotal.Load() }
+
+// ConfirmedCount returns the number of settlement confirmations this
+// replica has sent to its clients.
+func (r *Replica) ConfirmedCount() uint64 { return r.confirmedTotal.Load() }
+
+// Balance returns the client's spendable balance as this replica sees it:
+// the settled balance plus, if this replica represents the client under
+// Astro II, the value of dependency certificates awaiting attachment.
+func (r *Replica) Balance(c types.ClientID) types.Amount {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	bal := r.state.Balance(c)
+	if r.cfg.Version == AstroII && r.cfg.RepOf(c) == r.cfg.Self {
+		for _, d := range r.repDeps[c] {
+			bal += d.Value(c)
+		}
+	}
+	return bal
+}
+
+// Counters returns the state engine's lifetime statistics.
+func (r *Replica) Counters() Counters {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.state.Counters()
+}
+
+// XLogSnapshot returns a copy of a client's exclusive log for audit.
+func (r *Replica) XLogSnapshot(c types.ClientID) []types.Payment {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.state.XLog(c).Snapshot()
+}
+
+// NextSeq returns the next settleable sequence number for a client.
+func (r *Replica) NextSeq(c types.ClientID) types.Seq {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.state.NextSeq(c)
+}
+
+// StateSnapshot exports all xlogs for reconfiguration state transfer.
+func (r *Replica) StateSnapshot() map[types.ClientID][]types.Payment {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[types.ClientID][]types.Payment)
+	for _, c := range r.state.Clients() {
+		out[c] = r.state.XLog(c).Snapshot()
+	}
+	return out
+}
+
+// validateBatch is the BRB external-validity hook: this replica endorses a
+// batch only if every payment is broadcast by its spender's representative
+// for a client of this shard, and does not conflict with a payment this
+// replica already endorsed for the same identifier — the double-spend
+// check of the broadcast layer (paper §II).
+func (r *Replica) validateBatch(origin types.ReplicaID, _ uint64, payload []byte) bool {
+	entries, err := DecodeBatch(payload)
+	if err != nil {
+		return false
+	}
+	myShard := r.cfg.ReplicaShard(r.cfg.Self)
+	// End-to-end client signatures (paper §VI-A): verified by every
+	// replica before endorsement, so a malicious representative cannot
+	// fabricate payments for its clients.
+	if r.cfg.ClientKeys != nil {
+		for _, e := range entries {
+			if !r.cfg.ClientKeys.VerifySig(e.Payment.Spender, PaymentDigest(e.Payment), e.Sig) {
+				return false
+			}
+		}
+	}
+	r.endorsedMu.Lock()
+	defer r.endorsedMu.Unlock()
+	for _, e := range entries {
+		if r.cfg.RepOf(e.Payment.Spender) != origin {
+			return false // origin does not represent this spender
+		}
+		if r.cfg.ShardOf(e.Payment.Spender) != myShard {
+			return false // xlog belongs to another shard
+		}
+		h := types.HashPayment(e.Payment)
+		if prev, ok := r.endorsed[e.Payment.ID()]; ok && prev != h {
+			return false // conflicting payment for the same identifier
+		}
+	}
+	for _, e := range entries {
+		r.endorsed[e.Payment.ID()] = types.HashPayment(e.Payment)
+	}
+	return true
+}
+
+// onPaymentMsg handles the client-facing channel.
+func (r *Replica) onPaymentMsg(from transport.NodeID, payload []byte) {
+	if len(payload) == 0 {
+		return
+	}
+	switch payload[0] {
+	case msgSubmit:
+		p, sig, ok := decodeSubmit(payload[1:])
+		if !ok {
+			return
+		}
+		// Only the client itself may submit payments for its xlog: the
+		// transport authenticates the sender node.
+		if transport.ClientNode(p.Spender) != from {
+			return
+		}
+		if r.cfg.RepOf(p.Spender) != r.cfg.Self {
+			return // not this replica's client
+		}
+		// End-to-end authentication: with client keys configured, a
+		// submission must carry the spender's signature.
+		if r.cfg.ClientKeys != nil && !r.cfg.ClientKeys.VerifySig(p.Spender, PaymentDigest(p), sig) {
+			return
+		}
+		r.submit(p, sig)
+	case msgBalanceReq:
+		if len(payload) != 9 {
+			return
+		}
+		c := types.ClientID(be64(payload[1:9]))
+		bal := r.Balance(c)
+		_ = r.cfg.Mux.Send(from, transport.ChanPayment, encodeBalanceResp(c, bal))
+	}
+}
+
+// submit enqueues a client payment for broadcast, attaching accumulated
+// dependencies (Astro II, Listing 7) and enforcing the projected-balance
+// rule so a correct representative never wedges a client's xlog.
+func (r *Replica) submit(p types.Payment, sig []byte) {
+	r.mu.Lock()
+	if r.cfg.Version == AstroII {
+		if len(r.pendingSubmits[p.Spender]) > 0 || !r.fundedLocked(p) {
+			r.pendingSubmits[p.Spender] = append(r.pendingSubmits[p.Spender], heldSubmit{payment: p, sig: sig})
+			r.mu.Unlock()
+			return
+		}
+		r.bufferLocked(p, sig)
+	} else {
+		r.buffer = append(r.buffer, BatchEntry{Payment: p, Sig: sig})
+	}
+	r.afterBufferLocked()
+}
+
+// fundedLocked reports whether the client's projected balance covers p.
+func (r *Replica) fundedLocked(p types.Payment) bool {
+	c := p.Spender
+	avail := r.state.Balance(c) + r.inflightDeps[c]
+	for _, d := range r.repDeps[c] {
+		avail += d.Value(c)
+	}
+	need := r.inflightOut[c] + p.Amount
+	return avail >= need
+}
+
+// bufferLocked attaches the client's accumulated dependencies to the
+// payment and appends it to the batch buffer (Astro II).
+func (r *Replica) bufferLocked(p types.Payment, sig []byte) {
+	c := p.Spender
+	deps := r.repDeps[c]
+	delete(r.repDeps, c)
+	var depVal types.Amount
+	for _, d := range deps {
+		depVal += d.Value(c)
+	}
+	r.inflightDeps[c] += depVal
+	r.inflightOut[c] += p.Amount
+	r.attachedVal[p.ID()] = depVal
+	r.buffer = append(r.buffer, BatchEntry{Payment: p, Sig: sig, Deps: deps})
+}
+
+// afterBufferLocked flushes or schedules a flush; it releases the lock.
+func (r *Replica) afterBufferLocked() {
+	flushNow := len(r.buffer) > 0 && (len(r.buffer) >= r.cfg.BatchSize || r.myInflight == 0)
+	schedule := !flushNow && !r.flushScheduled && len(r.buffer) > 0
+	if schedule {
+		r.flushScheduled = true
+	}
+	var batches [][]BatchEntry
+	if flushNow {
+		batches = r.takeBatchesLocked()
+	}
+	r.mu.Unlock()
+
+	if schedule {
+		delay := r.cfg.BatchDelay
+		time.AfterFunc(delay, func() {
+			_ = r.cfg.Mux.SendLocal([]byte{localFlush})
+		})
+	}
+	r.broadcastBatches(batches)
+}
+
+// takeBatchesLocked drains the buffer into batches of at most BatchSize
+// and charges them against myInflight.
+func (r *Replica) takeBatchesLocked() [][]BatchEntry {
+	var out [][]BatchEntry
+	for len(r.buffer) > 0 {
+		n := len(r.buffer)
+		if n > r.cfg.BatchSize {
+			n = r.cfg.BatchSize
+		}
+		out = append(out, r.buffer[:n:n])
+		r.buffer = r.buffer[n:]
+	}
+	r.buffer = nil
+	r.myInflight += len(out)
+	return out
+}
+
+func (r *Replica) broadcastBatches(batches [][]BatchEntry) {
+	for _, b := range batches {
+		if _, err := r.bc.Broadcast(EncodeBatch(b)); err != nil {
+			// Broadcast can only fail on local misconfiguration, caught
+			// at construction; losing a batch here would be a bug.
+			panic(fmt.Sprintf("replica %d: broadcast: %v", r.cfg.Self, err))
+		}
+	}
+}
+
+// onLocal handles self-addressed timer events.
+func (r *Replica) onLocal(_ transport.NodeID, payload []byte) {
+	if len(payload) == 0 || payload[0] != localFlush {
+		return
+	}
+	r.mu.Lock()
+	r.flushScheduled = false
+	batches := r.takeBatchesLocked()
+	r.mu.Unlock()
+	r.broadcastBatches(batches)
+}
+
+// onDeliver is the BRB delivery callback: approve and settle the batch,
+// then emit confirmations and (Astro II) CREDIT messages.
+func (r *Replica) onDeliver(origin types.ReplicaID, _ uint64, payload []byte) {
+	entries, err := DecodeBatch(payload)
+	if err != nil {
+		return // validated before endorsement; cannot happen from correct peers
+	}
+	r.mu.Lock()
+	var nextBatches [][]BatchEntry
+	if origin == r.cfg.Self && r.myInflight > 0 {
+		r.myInflight--
+		// Self-clocked batching: the wire is free again; ship what
+		// accumulated while the previous batch was in flight.
+		if r.myInflight == 0 && len(r.buffer) > 0 {
+			nextBatches = r.takeBatchesLocked()
+		}
+	}
+	var settled []types.Payment
+	for _, e := range entries {
+		settled = append(settled, r.state.ApplyEntry(e)...)
+	}
+	r.postSettleLocked(settled)
+	r.broadcastBatches(nextBatches)
+}
+
+// postSettleLocked handles everything that follows settlement. It releases
+// the lock.
+func (r *Replica) postSettleLocked(settled []types.Payment) {
+	r.settledTotal.Add(uint64(len(settled)))
+
+	var confirms []types.Payment
+	groups := make(map[types.ReplicaID][]types.Payment)
+	for _, p := range settled {
+		if r.cfg.RepOf(p.Spender) == r.cfg.Self {
+			confirms = append(confirms, p)
+			if r.cfg.Version == AstroII {
+				r.inflightOut[p.Spender] -= p.Amount
+				if v, ok := r.attachedVal[p.ID()]; ok {
+					r.inflightDeps[p.Spender] -= v
+					delete(r.attachedVal, p.ID())
+				}
+			}
+		}
+		if r.cfg.Version == AstroII {
+			groups[r.cfg.RepOf(p.Beneficiary)] = append(groups[r.cfg.RepOf(p.Beneficiary)], p)
+		}
+	}
+	r.mu.Unlock()
+
+	for _, p := range confirms {
+		r.confirmedTotal.Add(1)
+		_ = r.cfg.Mux.Send(transport.ClientNode(p.Spender), transport.ChanPayment, encodeConfirm(p.ID()))
+	}
+
+	// Astro II: unicast one signed CREDIT per beneficiary-representative
+	// group — the paper's second batching level (§VI-A): as many
+	// signatures as sub-batches, not as payments.
+	if r.cfg.Version == AstroII {
+		for rep, group := range groups {
+			sig, err := r.cfg.Keys.Sign(CreditGroupDigest(group))
+			if err != nil {
+				continue
+			}
+			msg := encodeCredit(creditMsg{Signer: r.cfg.Self, Group: group, Sig: sig})
+			_ = r.cfg.Mux.Send(transport.ReplicaNode(rep), transport.ChanCredit, msg)
+		}
+	}
+}
+
+// onCredit accumulates CREDIT messages into dependency certificates for
+// this replica's clients (paper Listing 10): f+1 distinct signed approvals
+// from the spender's shard form a transferable dependency.
+func (r *Replica) onCredit(_ transport.NodeID, payload []byte) {
+	m, err := decodeCredit(payload)
+	if err != nil || len(m.Group) == 0 {
+		return
+	}
+	// All spenders must come from the signer's shard, else the f+1
+	// counting below would mix shards.
+	shard := r.cfg.ShardOf(m.Group[0].Spender)
+	if r.cfg.ReplicaShard(m.Signer) != shard {
+		return
+	}
+	for _, p := range m.Group[1:] {
+		if r.cfg.ShardOf(p.Spender) != shard {
+			return
+		}
+	}
+	digest := CreditGroupDigest(m.Group)
+
+	// Cheap checks first: once the dependency certificate is complete,
+	// the remaining ~m-f CREDIT copies are dropped without the expensive
+	// signature verification.
+	r.mu.Lock()
+	cs, ok := r.creditAccum[digest]
+	if !ok {
+		cs = &creditState{group: m.Group}
+		r.creditAccum[digest] = cs
+	}
+	if cs.done {
+		r.mu.Unlock()
+		return
+	}
+	r.mu.Unlock()
+
+	if !verifyCreditSig(r.cfg.Registry, m) {
+		return
+	}
+
+	r.mu.Lock()
+	if cs.done {
+		r.mu.Unlock()
+		return
+	}
+	cs.cert.Add(crypto.PartialSig{Replica: m.Signer, Sig: m.Sig})
+	if cs.cert.Len() < r.cfg.F+1 {
+		r.mu.Unlock()
+		return
+	}
+	cs.done = true
+	dep := Dependency{Group: cs.group, Cert: cs.cert}
+	beneficiaries := make(map[types.ClientID]struct{})
+	for _, p := range cs.group {
+		if r.cfg.RepOf(p.Beneficiary) == r.cfg.Self {
+			beneficiaries[p.Beneficiary] = struct{}{}
+		}
+	}
+	for b := range beneficiaries {
+		r.repDeps[b] = append(r.repDeps[b], dep)
+	}
+	// New funds may unblock held submissions.
+	r.retryPendingLocked(beneficiaries) // releases the lock
+}
+
+// retryPendingLocked re-evaluates held submissions of the given clients in
+// FIFO order. It releases the lock.
+func (r *Replica) retryPendingLocked(clients map[types.ClientID]struct{}) {
+	for c := range clients {
+		queue := r.pendingSubmits[c]
+		released := 0
+		for _, h := range queue {
+			if !r.fundedLocked(h.payment) {
+				break
+			}
+			r.bufferLocked(h.payment, h.sig)
+			released++
+		}
+		if released == len(queue) {
+			delete(r.pendingSubmits, c)
+		} else if released > 0 {
+			r.pendingSubmits[c] = queue[released:]
+		}
+	}
+	r.afterBufferLocked()
+}
+
+// PendingSubmits reports how many submissions are held back awaiting
+// funds for the given client (Astro II representative-side queue).
+func (r *Replica) PendingSubmits(c types.ClientID) int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.pendingSubmits[c])
+}

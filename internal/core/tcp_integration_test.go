@@ -1,0 +1,109 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"astro/internal/crypto"
+	"astro/internal/transport"
+	"astro/internal/transport/tcpnet"
+	"astro/internal/types"
+)
+
+// TestEndToEndOverTCP runs a full 4-replica Astro II deployment over real
+// loopback TCP — the path cmd/astro-node and cmd/astro-client exercise.
+func TestEndToEndOverTCP(t *testing.T) {
+	const n = 4
+	ids := make([]types.ReplicaID, n)
+	for i := range ids {
+		ids[i] = types.ReplicaID(i)
+	}
+
+	// Start listeners on ephemeral ports first, then share the peer map.
+	eps := make([]*tcpnet.Endpoint, n)
+	peerMap := make(map[transport.NodeID]string)
+	for i := 0; i < n; i++ {
+		ep, err := tcpnet.New(tcpnet.Config{
+			Self:   transport.ReplicaNode(ids[i]),
+			Listen: "127.0.0.1:0",
+			Peers:  peerMap, // shared map, filled below before any Send
+		})
+		if err != nil {
+			t.Fatalf("endpoint %d: %v", i, err)
+		}
+		t.Cleanup(func() { _ = ep.Close() })
+		eps[i] = ep
+	}
+	for i := 0; i < n; i++ {
+		peerMap[transport.ReplicaNode(ids[i])] = eps[i].Addr().String()
+	}
+
+	registry := crypto.NewRegistry()
+	keys := make([]*crypto.KeyPair, n)
+	for i := 0; i < n; i++ {
+		kp, err := crypto.DeriveKeyPair([]byte{byte(i)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		keys[i] = kp
+		registry.Add(ids[i], kp.Public())
+	}
+
+	replicas := make([]*Replica, n)
+	for i := 0; i < n; i++ {
+		mux := transport.NewMux(eps[i])
+		r, err := NewReplica(Config{
+			Version:    AstroII,
+			Self:       ids[i],
+			Replicas:   ids,
+			F:          1,
+			Mux:        mux,
+			Genesis:    func(types.ClientID) types.Amount { return 1000 },
+			BatchSize:  8,
+			BatchDelay: 2 * time.Millisecond,
+			Keys:       keys[i],
+			Registry:   registry,
+		})
+		if err != nil {
+			t.Fatalf("replica %d: %v", i, err)
+		}
+		replicas[i] = r
+	}
+
+	clientEp, err := tcpnet.New(tcpnet.Config{
+		Self:  transport.ClientNode(1),
+		Peers: peerMap,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = clientEp.Close() })
+	repOf := func(c types.ClientID) types.ReplicaID { return ids[uint64(c)%uint64(n)] }
+	client := NewClient(1, repOf, transport.NewMux(clientEp))
+
+	bal, err := client.QueryBalance(5 * time.Second)
+	if err != nil {
+		t.Fatalf("balance: %v", err)
+	}
+	if bal != 1000 {
+		t.Fatalf("balance = %d", bal)
+	}
+
+	for i := 0; i < 3; i++ {
+		id, err := client.Pay(2, 100)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := client.WaitConfirm(id, 10*time.Second); err != nil {
+			t.Fatalf("payment %d over TCP: %v", i, err)
+		}
+	}
+
+	bal, err = client.QueryBalance(5 * time.Second)
+	if err != nil {
+		t.Fatalf("balance after payments: %v", err)
+	}
+	if bal != 700 {
+		t.Errorf("balance = %d, want 700", bal)
+	}
+}

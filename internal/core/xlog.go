@@ -1,0 +1,58 @@
+package core
+
+import (
+	"astro/internal/types"
+)
+
+// XLog is an exclusive log: the append-only record of all outgoing
+// payments initiated by one client, ordered by the client-assigned
+// sequence numbers (paper §II). Only the owner client's representative may
+// cause appends, and the replication layer guarantees all correct replicas
+// hold identical prefixes.
+//
+// Storing the full log (rather than just a balance and sequence number) is
+// what enables auditability and reconfiguration state transfer.
+type XLog struct {
+	owner    types.ClientID
+	payments []types.Payment
+}
+
+// NewXLog creates an empty exclusive log for a client.
+func NewXLog(owner types.ClientID) *XLog {
+	return &XLog{owner: owner}
+}
+
+// Owner returns the client exclusively allowed to append.
+func (x *XLog) Owner() types.ClientID { return x.owner }
+
+// Len returns the number of settled payments.
+func (x *XLog) Len() int { return len(x.payments) }
+
+// At returns the i-th settled payment (0-based; its Seq is i+1).
+func (x *XLog) At(i int) types.Payment { return x.payments[i] }
+
+// Append records a settled payment. The caller (the settle procedure)
+// guarantees payments arrive in sequence order with the owner as spender.
+func (x *XLog) Append(p types.Payment) {
+	x.payments = append(x.payments, p)
+}
+
+// Snapshot returns a copy of the log contents, for audit and state
+// transfer.
+func (x *XLog) Snapshot() []types.Payment {
+	out := make([]types.Payment, len(x.payments))
+	copy(out, x.payments)
+	return out
+}
+
+// Verify audits the log's internal consistency: the spender is always the
+// owner and sequence numbers are exactly 1..Len with no gaps — the
+// invariant the replication layer maintains.
+func (x *XLog) Verify() bool {
+	for i, p := range x.payments {
+		if p.Spender != x.owner || p.Seq != types.Seq(i+1) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,77 @@
+package crypto
+
+import (
+	"testing"
+
+	"astro/internal/types"
+)
+
+func BenchmarkSign(b *testing.B) {
+	kp := MustGenerateKeyPair()
+	d := types.HashBytes([]byte("payment batch"))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := kp.Sign(d); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkVerify(b *testing.B) {
+	kp := MustGenerateKeyPair()
+	d := types.HashBytes([]byte("payment batch"))
+	sig, err := kp.Sign(d)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !Verify(kp.Public(), d, sig) {
+			b.Fatal("verify failed")
+		}
+	}
+}
+
+func BenchmarkSimSign(b *testing.B) {
+	kp := NewSimKeyPair(1, []byte("master"))
+	d := types.HashBytes([]byte("payment batch"))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := kp.Sign(d); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkVerifyCertificate(b *testing.B) {
+	// A 2f+1 certificate at f=1 (the Astro II commit certificate for a
+	// minimal system).
+	reg := NewRegistry()
+	d := types.HashBytes([]byte("batch"))
+	var cert Certificate
+	for i := types.ReplicaID(0); i < 3; i++ {
+		kp := MustGenerateKeyPair()
+		reg.Add(i, kp.Public())
+		sig, err := kp.Sign(d)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cert.Add(PartialSig{Replica: i, Sig: sig})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := VerifyCertificate(reg, cert, d, 3, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMACTag(b *testing.B) {
+	auth := NewLinkAuthenticator(1, []byte("master"))
+	msg := make([]byte, 8192) // one 256-payment batch
+	b.ResetTimer()
+	b.SetBytes(int64(len(msg)))
+	for i := 0; i < b.N; i++ {
+		auth.Tag(2, msg)
+	}
+}

@@ -1,0 +1,52 @@
+package crypto
+
+import (
+	"crypto/ecdsa"
+	"sync"
+
+	"astro/internal/types"
+)
+
+// ClientKeys maps client identities to their public keys, for deployments
+// enabling end-to-end client signatures (paper §VI-A): each payment is
+// signed by its spender, so even a malicious representative cannot issue
+// payments without the client's consent.
+//
+// Like the replica Registry, client keys are distributed during the
+// permissioned setup ("both clients and replicas hold an identifying
+// public/secret key-pair", §III).
+type ClientKeys struct {
+	mu   sync.RWMutex
+	keys map[types.ClientID]*ecdsa.PublicKey
+}
+
+// NewClientKeys returns an empty client key registry.
+func NewClientKeys() *ClientKeys {
+	return &ClientKeys{keys: make(map[types.ClientID]*ecdsa.PublicKey)}
+}
+
+// Add registers a client's public key.
+func (c *ClientKeys) Add(id types.ClientID, pub *ecdsa.PublicKey) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.keys[id] = pub
+}
+
+// VerifySig reports whether sig is a valid signature over digest by the
+// client's registered key. Unknown clients never verify.
+func (c *ClientKeys) VerifySig(id types.ClientID, digest types.Digest, sig []byte) bool {
+	c.mu.RLock()
+	pub := c.keys[id]
+	c.mu.RUnlock()
+	if pub == nil {
+		return false
+	}
+	return Verify(pub, digest, sig)
+}
+
+// Len returns the number of registered clients.
+func (c *ClientKeys) Len() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.keys)
+}

@@ -1,0 +1,44 @@
+package crypto
+
+import (
+	"fmt"
+
+	"astro/internal/types"
+	"astro/internal/wire"
+)
+
+// maxCertSigs bounds decoded certificate size; no deployment in this
+// repository exceeds a few hundred replicas.
+const maxCertSigs = 4096
+
+// EncodeCertificate appends the canonical encoding of cert to w.
+func EncodeCertificate(w *wire.Writer, cert Certificate) {
+	w.U32(uint32(len(cert.Sigs)))
+	for _, ps := range cert.Sigs {
+		w.U32(uint32(ps.Replica))
+		w.Chunk(ps.Sig)
+	}
+}
+
+// DecodeCertificate decodes a certificate previously written with
+// EncodeCertificate. Returned signatures alias the reader's input.
+func DecodeCertificate(r *wire.Reader) (Certificate, error) {
+	var cert Certificate
+	n := r.U32()
+	if err := r.Err(); err != nil {
+		return cert, err
+	}
+	if n > maxCertSigs {
+		return cert, fmt.Errorf("certificate: %d signatures exceeds cap", n)
+	}
+	cert.Sigs = make([]PartialSig, 0, n)
+	for i := uint32(0); i < n; i++ {
+		id := types.ReplicaID(r.U32())
+		sig := r.Chunk()
+		if err := r.Err(); err != nil {
+			return Certificate{}, err
+		}
+		cert.Sigs = append(cert.Sigs, PartialSig{Replica: id, Sig: sig})
+	}
+	return cert, nil
+}

@@ -1,0 +1,144 @@
+package metrics
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestHistogramBasics(t *testing.T) {
+	var h Histogram
+	if h.Count() != 0 || h.Mean() != 0 || h.Quantile(0.5) != 0 {
+		t.Error("zero histogram not zero")
+	}
+	for i := 0; i < 100; i++ {
+		h.Record(10 * time.Millisecond)
+	}
+	if h.Count() != 100 {
+		t.Errorf("count = %d", h.Count())
+	}
+	if m := h.Mean(); m != 10*time.Millisecond {
+		t.Errorf("mean = %v", m)
+	}
+	p50 := h.Quantile(0.5)
+	if p50 < 9*time.Millisecond || p50 > 12*time.Millisecond {
+		t.Errorf("p50 = %v, want ~10ms", p50)
+	}
+}
+
+func TestHistogramQuantileOrdering(t *testing.T) {
+	var h Histogram
+	for i := 1; i <= 1000; i++ {
+		h.Record(time.Duration(i) * time.Millisecond)
+	}
+	p50, p95, p99 := h.Quantile(0.5), h.Quantile(0.95), h.Quantile(0.99)
+	if !(p50 <= p95 && p95 <= p99) {
+		t.Errorf("quantiles not monotone: %v %v %v", p50, p95, p99)
+	}
+	// ~5% bucket resolution: p95 should be near 950ms.
+	if p95 < 900*time.Millisecond || p95 > 1050*time.Millisecond {
+		t.Errorf("p95 = %v, want ~950ms", p95)
+	}
+}
+
+func TestHistogramQuantileBoundProperty(t *testing.T) {
+	// For any sample set, Quantile(q) is an upper bound on at least a q
+	// fraction of samples, within bucket resolution.
+	f := func(samples []uint32, qRaw uint8) bool {
+		if len(samples) == 0 {
+			return true
+		}
+		q := float64(qRaw%100+1) / 100
+		var h Histogram
+		for _, s := range samples {
+			h.Record(time.Duration(s%1_000_000) * time.Microsecond)
+		}
+		bound := h.Quantile(q)
+		below := 0
+		for _, s := range samples {
+			if time.Duration(s%1_000_000)*time.Microsecond <= bound {
+				below++
+			}
+		}
+		return float64(below) >= q*float64(len(samples))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHistogramExtremes(t *testing.T) {
+	var h Histogram
+	h.Record(-time.Second) // clamped to 0
+	h.Record(0)
+	h.Record(time.Nanosecond)
+	h.Record(24 * time.Hour) // clamped to top bucket
+	if h.Count() != 4 {
+		t.Errorf("count = %d", h.Count())
+	}
+	if h.Quantile(1) < time.Minute {
+		t.Error("max sample lost")
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	var h Histogram
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				h.Record(time.Millisecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if h.Count() != 8000 {
+		t.Errorf("count = %d", h.Count())
+	}
+}
+
+func TestTimeline(t *testing.T) {
+	tl := NewTimeline(10, 50*time.Millisecond)
+	tl.Add(3)
+	tl.Add(2)
+	time.Sleep(60 * time.Millisecond)
+	tl.Add(7)
+	bins := tl.Bins()
+	if bins[0] != 5 {
+		t.Errorf("bin 0 = %d, want 5", bins[0])
+	}
+	var total uint64
+	for _, b := range bins {
+		total += b
+	}
+	if total != 12 {
+		t.Errorf("total = %d, want 12", total)
+	}
+	if r := tl.Rate(10); r != 200 {
+		t.Errorf("Rate(10) = %v with 50ms bins, want 200", r)
+	}
+	if tl.BinWidth() != 50*time.Millisecond {
+		t.Error("BinWidth")
+	}
+}
+
+func TestTimelineOutOfRangeDropped(t *testing.T) {
+	tl := NewTimeline(1, 10*time.Millisecond)
+	time.Sleep(30 * time.Millisecond)
+	tl.Add(5) // beyond the window
+	if tl.Bins()[0] != 0 {
+		t.Error("out-of-window event recorded")
+	}
+}
+
+func TestHistogramString(t *testing.T) {
+	var h Histogram
+	h.Record(time.Millisecond)
+	s := h.String()
+	if s == "" {
+		t.Error("empty String()")
+	}
+}

@@ -1,0 +1,251 @@
+package reconfig
+
+import (
+	"astro/internal/crypto"
+	"astro/internal/types"
+	"astro/internal/wire"
+)
+
+// Message kinds on transport.ChanReconfig.
+const (
+	kindJoin    byte = 1 // joiner -> members: announce (consensusless)
+	kindViewAck byte = 2 // member -> joiner: signed successor view
+	kindInstall byte = 3 // joiner -> members: certified view
+	kindState   byte = 4 // member -> joiner: xlog snapshot
+
+	kindConsJoin     byte = 10 // joiner -> leader
+	kindConsPhase    byte = 11 // leader -> members (3 ordering phases)
+	kindConsPhaseAck byte = 12 // member -> leader
+	kindConsSync     byte = 13 // leader -> member (sequential handshake)
+	kindConsSyncAck  byte = 14 // member -> leader
+	kindConsAdopt    byte = 15 // leader -> members: adopt new view
+	kindConsDone     byte = 16 // leader -> joiner: admitted
+)
+
+const (
+	maxMembers      = 1 << 12
+	maxStateClients = 1 << 20
+	maxStateLog     = 1 << 20
+)
+
+func splitKind(payload []byte) (byte, []byte) {
+	if len(payload) == 0 {
+		return 0, nil
+	}
+	return payload[0], payload[1:]
+}
+
+type joinMsg struct {
+	Pub []byte
+}
+
+func encodeJoinMsg(pub []byte) []byte {
+	w := wire.NewWriter(8 + len(pub))
+	w.U8(kindJoin)
+	w.Chunk(pub)
+	return w.Bytes()
+}
+
+func encodeConsJoinMsg(pub []byte) []byte {
+	w := wire.NewWriter(8 + len(pub))
+	w.U8(kindConsJoin)
+	w.Chunk(pub)
+	return w.Bytes()
+}
+
+func decodeJoin(body []byte) (joinMsg, bool) {
+	r := wire.NewReader(body)
+	m := joinMsg{Pub: r.Chunk()}
+	return m, r.Finish() == nil
+}
+
+func encodeViewAck(self types.ReplicaID, viewNum uint64, sig []byte) []byte {
+	w := wire.NewWriter(24 + len(sig))
+	w.U8(kindViewAck)
+	w.U32(uint32(self))
+	w.U64(viewNum)
+	w.Chunk(sig)
+	return w.Bytes()
+}
+
+func decodeViewAck(body []byte) (types.ReplicaID, uint64, []byte, bool) {
+	r := wire.NewReader(body)
+	id := types.ReplicaID(r.U32())
+	num := r.U64()
+	sig := r.Chunk()
+	return id, num, sig, r.Finish() == nil
+}
+
+func encodeView(w *wire.Writer, v View) {
+	w.U64(v.Num)
+	w.U32(uint32(len(v.Members)))
+	for _, m := range v.Members {
+		w.U32(uint32(m))
+	}
+}
+
+func decodeView(r *wire.Reader) (View, bool) {
+	var v View
+	v.Num = r.U64()
+	n := r.U32()
+	if r.Err() != nil || n > maxMembers {
+		return v, false
+	}
+	v.Members = make([]types.ReplicaID, n)
+	for i := range v.Members {
+		v.Members[i] = types.ReplicaID(r.U32())
+	}
+	return v, r.Err() == nil
+}
+
+type installMsg struct {
+	View      View
+	Joiner    types.ReplicaID
+	JoinerPub []byte
+	Cert      crypto.Certificate
+}
+
+func encodeInstall(m installMsg) []byte {
+	w := wire.NewWriter(128)
+	w.U8(kindInstall)
+	encodeView(w, m.View)
+	w.U32(uint32(m.Joiner))
+	w.Chunk(m.JoinerPub)
+	crypto.EncodeCertificate(w, m.Cert)
+	return w.Bytes()
+}
+
+func decodeInstall(body []byte) (installMsg, bool) {
+	r := wire.NewReader(body)
+	var m installMsg
+	var ok bool
+	m.View, ok = decodeView(r)
+	if !ok {
+		return m, false
+	}
+	m.Joiner = types.ReplicaID(r.U32())
+	m.JoinerPub = r.Chunk()
+	cert, err := crypto.DecodeCertificate(r)
+	if err != nil {
+		return m, false
+	}
+	m.Cert = cert
+	return m, r.Finish() == nil
+}
+
+func encodeState(snap map[types.ClientID][]types.Payment) []byte {
+	size := 16
+	for _, log := range snap {
+		size += 16 + len(log)*types.PaymentWireSize
+	}
+	w := wire.NewWriter(size)
+	w.U8(kindState)
+	w.U32(uint32(len(snap)))
+	for c, log := range snap {
+		w.U64(uint64(c))
+		w.U32(uint32(len(log)))
+		for _, p := range log {
+			w.Raw(p.AppendBinary(nil))
+		}
+	}
+	return w.Bytes()
+}
+
+func decodeState(body []byte) (map[types.ClientID][]types.Payment, bool) {
+	r := wire.NewReader(body)
+	n := r.U32()
+	if r.Err() != nil || n > maxStateClients {
+		return nil, false
+	}
+	snap := make(map[types.ClientID][]types.Payment, n)
+	for i := uint32(0); i < n; i++ {
+		c := types.ClientID(r.U64())
+		k := r.U32()
+		if r.Err() != nil || k > maxStateLog {
+			return nil, false
+		}
+		log := make([]types.Payment, k)
+		for j := range log {
+			raw := r.Fixed(types.PaymentWireSize)
+			if r.Err() != nil {
+				return nil, false
+			}
+			if err := log[j].UnmarshalBinary(raw); err != nil {
+				return nil, false
+			}
+		}
+		snap[c] = log
+	}
+	return snap, r.Finish() == nil
+}
+
+func encodeConsPhase(joiner types.ReplicaID, phase int) []byte {
+	w := wire.NewWriter(9)
+	w.U8(kindConsPhase)
+	w.U32(uint32(joiner))
+	w.U8(byte(phase))
+	return w.Bytes()
+}
+
+func decodeConsPhase(body []byte) (types.ReplicaID, int, bool) {
+	r := wire.NewReader(body)
+	j := types.ReplicaID(r.U32())
+	p := int(r.U8())
+	return j, p, r.Finish() == nil
+}
+
+func encodeConsPhaseAck(joiner types.ReplicaID, phase int) []byte {
+	w := wire.NewWriter(9)
+	w.U8(kindConsPhaseAck)
+	w.U32(uint32(joiner))
+	w.U8(byte(phase))
+	return w.Bytes()
+}
+
+func decodeConsPhaseAck(body []byte) (types.ReplicaID, int, bool) {
+	return decodeConsPhase(body)
+}
+
+func encodeConsSync(joiner types.ReplicaID) []byte {
+	w := wire.NewWriter(5)
+	w.U8(kindConsSync)
+	w.U32(uint32(joiner))
+	return w.Bytes()
+}
+
+func decodeConsSync(body []byte) (types.ReplicaID, bool) {
+	r := wire.NewReader(body)
+	j := types.ReplicaID(r.U32())
+	return j, r.Finish() == nil
+}
+
+func encodeConsSyncAck(joiner types.ReplicaID) []byte {
+	w := wire.NewWriter(5)
+	w.U8(kindConsSyncAck)
+	w.U32(uint32(joiner))
+	return w.Bytes()
+}
+
+func decodeConsSyncAck(body []byte) (types.ReplicaID, bool) {
+	return decodeConsSync(body)
+}
+
+func encodeConsAdopt(v View) []byte {
+	w := wire.NewWriter(32)
+	w.U8(kindConsAdopt)
+	encodeView(w, v)
+	return w.Bytes()
+}
+
+func encodeConsDone(v View) []byte {
+	w := wire.NewWriter(32)
+	w.U8(kindConsDone)
+	encodeView(w, v)
+	return w.Bytes()
+}
+
+func decodeConsDone(body []byte) (View, bool) {
+	r := wire.NewReader(body)
+	v, ok := decodeView(r)
+	return v, ok && r.Finish() == nil
+}

@@ -1,0 +1,269 @@
+package reconfig
+
+import (
+	"testing"
+	"time"
+
+	"astro/internal/crypto"
+	"astro/internal/transport"
+	"astro/internal/transport/memnet"
+	"astro/internal/types"
+)
+
+type fixture struct {
+	t        *testing.T
+	net      *memnet.Network
+	registry *crypto.Registry
+	managers map[types.ReplicaID]*Manager
+	keys     map[types.ReplicaID]*crypto.KeyPair
+	view     View
+	f        int
+	state    StaticState
+}
+
+func newFixture(t *testing.T, n int, state StaticState) *fixture {
+	t.Helper()
+	fx := &fixture{
+		t:        t,
+		net:      memnet.New(memnet.WithSeed(3), memnet.WithLatency(memnet.Uniform(time.Millisecond, 3*time.Millisecond))),
+		registry: crypto.NewRegistry(),
+		managers: make(map[types.ReplicaID]*Manager),
+		keys:     make(map[types.ReplicaID]*crypto.KeyPair),
+		f:        types.MaxFaults(n),
+		state:    state,
+	}
+	t.Cleanup(fx.net.Close)
+	members := make([]types.ReplicaID, n)
+	for i := range members {
+		members[i] = types.ReplicaID(i)
+		kp := crypto.MustGenerateKeyPair()
+		fx.keys[members[i]] = kp
+		fx.registry.Add(members[i], kp.Public())
+	}
+	fx.view = View{Num: 1, Members: members}
+	for _, id := range members {
+		fx.addManager(id)
+	}
+	return fx
+}
+
+func (fx *fixture) addManager(id types.ReplicaID) {
+	mux := transport.NewMux(fx.net.Node(transport.ReplicaNode(id)))
+	fx.managers[id] = NewManager(Config{
+		Self:        id,
+		Mux:         mux,
+		Keys:        fx.keys[id],
+		Registry:    fx.registry,
+		F:           fx.f,
+		InitialView: fx.view,
+		State:       fx.state,
+	})
+}
+
+func (fx *fixture) join(id types.ReplicaID, consensus bool) *JoinResult {
+	fx.t.Helper()
+	kp := crypto.MustGenerateKeyPair()
+	fx.keys[id] = kp
+	mux := transport.NewMux(fx.net.Node(transport.ReplicaNode(id)))
+	cfg := JoinConfig{
+		Self:        id,
+		Mux:         mux,
+		Keys:        kp,
+		Registry:    fx.registry,
+		F:           fx.f,
+		CurrentView: fx.view,
+		Timeout:     10 * time.Second,
+	}
+	var res *JoinResult
+	var err error
+	if consensus {
+		res, err = ConsensusJoin(cfg)
+	} else {
+		res, err = Join(cfg)
+	}
+	if err != nil {
+		fx.t.Fatalf("join %d: %v", id, err)
+	}
+	return res
+}
+
+func TestViewWithJoiner(t *testing.T) {
+	v := View{Num: 3, Members: []types.ReplicaID{2, 0, 1}}
+	next := v.WithJoiner(5)
+	if next.Num != 4 || len(next.Members) != 4 {
+		t.Fatalf("next = %+v", next)
+	}
+	for i := 1; i < len(next.Members); i++ {
+		if next.Members[i-1] >= next.Members[i] {
+			t.Fatal("members not sorted")
+		}
+	}
+	// Idempotent for existing members.
+	again := next.WithJoiner(5)
+	if len(again.Members) != 4 {
+		t.Error("joiner duplicated")
+	}
+	if !next.Contains(5) || next.Contains(9) {
+		t.Error("Contains wrong")
+	}
+	if v.Digest() == next.Digest() {
+		t.Error("digest collision across views")
+	}
+}
+
+func TestAsyncJoin(t *testing.T) {
+	snap := StaticState{
+		7: {{Spender: 7, Seq: 1, Beneficiary: 8, Amount: 5}},
+	}
+	fx := newFixture(t, 4, snap)
+	res := fx.join(100, false)
+
+	if res.View.Num != 2 || !res.View.Contains(100) {
+		t.Errorf("joined view = %+v", res.View)
+	}
+	if len(res.State) != 1 || len(res.State[7]) != 1 || res.State[7][0].Amount != 5 {
+		t.Errorf("state = %+v", res.State)
+	}
+	if res.Latency <= 0 {
+		t.Error("latency not measured")
+	}
+	// All members installed the new view and registered the joiner key.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		done := 0
+		for _, m := range fx.managers {
+			if v := m.View(); v.Num == 2 && v.Contains(100) {
+				done++
+			}
+		}
+		if done == 4 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("members did not install the view")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if fx.registry.Lookup(100) == nil {
+		t.Error("joiner key not registered")
+	}
+}
+
+func TestSequentialJoinsGrowView(t *testing.T) {
+	fx := newFixture(t, 4, nil)
+	for i := 0; i < 3; i++ {
+		id := types.ReplicaID(100 + i)
+		res := fx.join(id, false)
+		if int(res.View.Num) != 2+i {
+			t.Fatalf("join %d: view num = %d", i, res.View.Num)
+		}
+		fx.view = res.View
+		// The joiner becomes a member able to serve future joins.
+		fx.addManager(id)
+	}
+	if len(fx.view.Members) != 7 {
+		t.Errorf("final view size = %d", len(fx.view.Members))
+	}
+}
+
+func TestJoinToleratesCrashedMembers(t *testing.T) {
+	fx := newFixture(t, 4, nil)
+	// Crash one member (f=1): the joiner still gathers 2f+1 acks. Crash a
+	// non-lowest member so the state-transfer designate survives.
+	fx.net.Crash(transport.ReplicaNode(3))
+	res := fx.join(100, false)
+	if !res.View.Contains(100) {
+		t.Error("join failed with one crashed member")
+	}
+}
+
+func TestJoinTimesOutWithoutQuorum(t *testing.T) {
+	fx := newFixture(t, 4, nil)
+	// Crash two members (> f): no quorum of acks can form.
+	fx.net.Crash(transport.ReplicaNode(2))
+	fx.net.Crash(transport.ReplicaNode(3))
+	kp := crypto.MustGenerateKeyPair()
+	mux := transport.NewMux(fx.net.Node(transport.ReplicaNode(100)))
+	_, err := Join(JoinConfig{
+		Self: 100, Mux: mux, Keys: kp, Registry: fx.registry,
+		F: fx.f, CurrentView: fx.view, Timeout: 300 * time.Millisecond,
+	})
+	if err == nil {
+		t.Fatal("join succeeded without quorum")
+	}
+}
+
+func TestConsensusJoin(t *testing.T) {
+	fx := newFixture(t, 4, StaticState{})
+	res := fx.join(100, true)
+	if !res.View.Contains(100) {
+		t.Errorf("view = %+v", res.View)
+	}
+	// Leader and members adopt the view.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if v := fx.managers[0].View(); v.Contains(100) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("leader did not adopt view")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+func TestConsensusJoinSlowerThanAsync(t *testing.T) {
+	// The sequential session handshake makes consensus-style joins slower
+	// than the quorum-gathering async join on the same network; the gap
+	// widens with membership (Figure 8's shape).
+	fx := newFixture(t, 7, nil)
+	async := fx.join(100, false)
+	fx.view = async.View
+	fx.addManager(100)
+
+	cons := fx.join(101, true)
+	if cons.Latency < async.Latency {
+		t.Logf("async=%v consensus=%v", async.Latency, cons.Latency)
+		t.Error("consensus join unexpectedly faster than async join")
+	}
+}
+
+func TestStateCodecRoundTrip(t *testing.T) {
+	snap := map[types.ClientID][]types.Payment{
+		1: {{Spender: 1, Seq: 1, Beneficiary: 2, Amount: 3}, {Spender: 1, Seq: 2, Beneficiary: 4, Amount: 5}},
+		9: {},
+	}
+	got, ok := decodeState(encodeState(snap)[1:])
+	if !ok {
+		t.Fatal("decode failed")
+	}
+	if len(got) != 2 || len(got[1]) != 2 || got[1][1].Amount != 5 || len(got[9]) != 0 {
+		t.Errorf("state = %+v", got)
+	}
+	if _, ok := decodeState([]byte{0xFF, 0xFF, 0xFF, 0xFF}); ok {
+		t.Error("absurd state accepted")
+	}
+}
+
+func TestInstallRejectsBadCert(t *testing.T) {
+	fx := newFixture(t, 4, nil)
+	// Craft an install with a garbage certificate; members must not
+	// adopt the view.
+	joinerKeys := crypto.MustGenerateKeyPair()
+	var cert crypto.Certificate
+	cert.Add(crypto.PartialSig{Replica: 0, Sig: []byte("junk")})
+	cert.Add(crypto.PartialSig{Replica: 1, Sig: []byte("junk")})
+	cert.Add(crypto.PartialSig{Replica: 2, Sig: []byte("junk")})
+	next := fx.view.WithJoiner(100)
+	mux := transport.NewMux(fx.net.Node(transport.ReplicaNode(100)))
+	msg := encodeInstall(installMsg{View: next, Joiner: 100, JoinerPub: joinerKeys.PublicBytes(), Cert: cert})
+	for _, m := range fx.view.Members {
+		_ = mux.Send(transport.ReplicaNode(m), transport.ChanReconfig, msg)
+	}
+	time.Sleep(200 * time.Millisecond)
+	for id, m := range fx.managers {
+		if m.View().Num != 1 {
+			t.Errorf("member %d adopted a forged view", id)
+		}
+	}
+}

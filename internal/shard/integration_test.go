@@ -1,0 +1,279 @@
+package shard_test
+
+import (
+	"testing"
+	"time"
+
+	"astro/internal/core"
+	"astro/internal/crypto"
+	"astro/internal/shard"
+	"astro/internal/transport"
+	"astro/internal/transport/memnet"
+	"astro/internal/types"
+)
+
+// shardedCluster wires a full Astro II deployment over a topology.
+type shardedCluster struct {
+	t        *testing.T
+	net      *memnet.Network
+	top      shard.Topology
+	replicas map[types.ReplicaID]*core.Replica
+	clients  map[types.ClientID]*core.Client
+}
+
+func newShardedCluster(t *testing.T, top shard.Topology, genesis func(types.ClientID) types.Amount) *shardedCluster {
+	t.Helper()
+	if err := top.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	sc := &shardedCluster{
+		t:        t,
+		net:      memnet.New(memnet.WithSeed(5)),
+		top:      top,
+		replicas: make(map[types.ReplicaID]*core.Replica),
+		clients:  make(map[types.ClientID]*core.Client),
+	}
+	t.Cleanup(sc.net.Close)
+
+	registry := crypto.NewRegistry()
+	keys := make(map[types.ReplicaID]*crypto.KeyPair)
+	for _, r := range top.AllReplicas() {
+		keys[r] = crypto.MustGenerateKeyPair()
+		registry.Add(r, keys[r].Public())
+	}
+
+	for s := 0; s < top.NumShards; s++ {
+		members := top.Replicas(types.ShardID(s))
+		for _, id := range members {
+			mux := transport.NewMux(sc.net.Node(transport.ReplicaNode(id)))
+			rep, err := core.NewReplica(core.Config{
+				Version:      core.AstroII,
+				Self:         id,
+				Replicas:     members,
+				F:            top.F(),
+				Mux:          mux,
+				RepOf:        top.RepOf,
+				ShardOf:      top.ShardOf,
+				ReplicaShard: top.ReplicaShard,
+				Genesis:      genesis,
+				BatchSize:    4,
+				BatchDelay:   2 * time.Millisecond,
+				Keys:         keys[id],
+				Registry:     registry,
+			})
+			if err != nil {
+				t.Fatalf("replica %d: %v", id, err)
+			}
+			sc.replicas[id] = rep
+		}
+	}
+	return sc
+}
+
+func (sc *shardedCluster) client(id types.ClientID) *core.Client {
+	if c, ok := sc.clients[id]; ok {
+		return c
+	}
+	mux := transport.NewMux(sc.net.Node(transport.ClientNode(id)))
+	c := core.NewClient(id, sc.top.RepOf, mux)
+	sc.clients[id] = c
+	return c
+}
+
+func (sc *shardedCluster) payAndWait(c *core.Client, b types.ClientID, x types.Amount) {
+	sc.t.Helper()
+	id, err := c.Pay(b, x)
+	if err != nil {
+		sc.t.Fatal(err)
+	}
+	if err := c.WaitConfirm(id, 15*time.Second); err != nil {
+		sc.t.Fatalf("confirm %v: %v", id, err)
+	}
+}
+
+func genesisRich(types.ClientID) types.Amount { return 1000 }
+
+func TestCrossShardPayment(t *testing.T) {
+	top := shard.Topology{NumShards: 2, PerShard: 4}
+	sc := newShardedCluster(t, top, genesisRich)
+
+	// Client 0 lives in shard 0, client 1 in shard 1.
+	if !top.CrossShard(0, 1) {
+		t.Fatal("test precondition: 0->1 must be cross-shard")
+	}
+	alice := sc.client(0)
+	sc.payAndWait(alice, 1, 100)
+
+	// Every replica of shard 0 eventually settles the withdrawal (the
+	// client's confirmation only proves its representative has).
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		ok := 0
+		for _, id := range top.Replicas(0) {
+			if sc.replicas[id].Balance(0) == 900 {
+				ok++
+			}
+		}
+		if ok == top.PerShard {
+			break
+		}
+		if time.Now().After(deadline) {
+			for _, id := range top.Replicas(0) {
+				t.Logf("replica %d: balance(0) = %d", id, sc.replicas[id].Balance(0))
+			}
+			t.Fatal("shard-0 replicas did not settle the withdrawal")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	// Shard 1 has not touched client 0's xlog.
+	for _, id := range top.Replicas(1) {
+		if n := len(sc.replicas[id].XLogSnapshot(0)); n != 0 {
+			t.Errorf("shard-1 replica %d holds %d entries of a shard-0 xlog", id, n)
+		}
+	}
+	// The beneficiary's representative (shard 1) accumulates the
+	// dependency: spendable balance reflects the transfer.
+	repBob := sc.replicas[top.RepOf(1)]
+	deadline = time.Now().Add(10 * time.Second)
+	for repBob.Balance(1) != 1100 {
+		if time.Now().After(deadline) {
+			t.Fatalf("beneficiary spendable balance = %d, want 1100", repBob.Balance(1))
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+func TestCrossShardDependencySpend(t *testing.T) {
+	// The beneficiary spends funds received cross-shard: the dependency
+	// certificate transfers trust from shard 0 to shard 1 (paper §V).
+	top := shard.Topology{NumShards: 2, PerShard: 4}
+	gen := func(c types.ClientID) types.Amount {
+		if c == 0 {
+			return 500
+		}
+		return 0
+	}
+	sc := newShardedCluster(t, top, gen)
+	alice := sc.client(0) // shard 0
+	bob := sc.client(1)   // shard 1
+
+	sc.payAndWait(alice, 1, 200)
+	// Bob pays Carol (client 3, shard 1) using only the cross-shard
+	// dependency.
+	sc.payAndWait(bob, 3, 150)
+
+	for _, id := range top.Replicas(1) {
+		deadline := time.Now().Add(10 * time.Second)
+		for sc.replicas[id].Balance(1) != 50 {
+			if time.Now().After(deadline) {
+				t.Fatalf("shard-1 replica %d: balance(1) = %d, want 50", id, sc.replicas[id].Balance(1))
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+	}
+}
+
+func TestIntraShardUnaffectedBySharding(t *testing.T) {
+	top := shard.Topology{NumShards: 3, PerShard: 4}
+	sc := newShardedCluster(t, top, genesisRich)
+	// Clients 0 and 3 are both in shard 0 (0 mod 3 == 3 mod 3).
+	alice := sc.client(0)
+	sc.payAndWait(alice, 3, 250)
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		ok := 0
+		for _, id := range top.Replicas(0) {
+			if sc.replicas[id].Balance(0) == 750 {
+				ok++
+			}
+		}
+		if ok == top.PerShard {
+			return
+		}
+		if time.Now().After(deadline) {
+			for _, id := range top.Replicas(0) {
+				t.Logf("replica %d: balance = %d", id, sc.replicas[id].Balance(0))
+			}
+			t.Fatal("balances did not converge")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+func TestShardsProgressIndependently(t *testing.T) {
+	// Crash an entire shard: payments within other shards still settle —
+	// no cross-shard coordination sits on the critical path (paper §V).
+	top := shard.Topology{NumShards: 2, PerShard: 4}
+	sc := newShardedCluster(t, top, genesisRich)
+	for _, id := range top.Replicas(1) {
+		sc.net.Crash(transport.ReplicaNode(id))
+	}
+	alice := sc.client(0) // shard 0
+	sc.payAndWait(alice, 2, 10)
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		settled := 0
+		for _, id := range top.Replicas(0) {
+			if sc.replicas[id].SettledCount() > 0 {
+				settled++
+			}
+		}
+		if settled == top.PerShard {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d/%d shard-0 replicas settled", settled, top.PerShard)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+func TestGlobalConservationAcrossShards(t *testing.T) {
+	// Money is conserved system-wide: settled balances plus dependencies
+	// pending at representatives account for all genesis funds.
+	top := shard.Topology{NumShards: 2, PerShard: 4}
+	sc := newShardedCluster(t, top, genesisRich)
+
+	clients := []types.ClientID{0, 1, 2, 3}
+	for _, c := range clients {
+		sc.client(c)
+	}
+	sc.payAndWait(sc.client(0), 1, 100) // cross
+	sc.payAndWait(sc.client(1), 2, 50)  // cross
+	sc.payAndWait(sc.client(2), 0, 25)  // same shard 0? 2->0: both even => shard 0, intra
+	sc.payAndWait(sc.client(3), 2, 10)  // 3->2 cross
+
+	// Spendable balance per client as seen by its representative equals
+	// genesis +/- transfers once all credits have arrived.
+	want := map[types.ClientID]types.Amount{
+		0: 1000 - 100 + 25,
+		1: 1000 + 100 - 50,
+		2: 1000 + 50 - 25 + 10,
+		3: 1000 - 10,
+	}
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		ok := true
+		var total types.Amount
+		for c, w := range want {
+			got := sc.replicas[top.RepOf(c)].Balance(c)
+			total += got
+			if got != w {
+				ok = false
+			}
+		}
+		if ok {
+			if total != 4000 {
+				t.Fatalf("total = %d, want 4000", total)
+			}
+			return
+		}
+		if time.Now().After(deadline) {
+			for c, w := range want {
+				t.Logf("client %d: got %d want %d", c, sc.replicas[top.RepOf(c)].Balance(c), w)
+			}
+			t.Fatal("balances did not converge")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}

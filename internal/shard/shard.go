@@ -1,0 +1,90 @@
+// Package shard defines the static sharding topology of an Astro II
+// deployment (paper §V): the partition of replicas into shards, the
+// assignment of xlogs (clients) to shards, and the representative mapping
+// within each shard.
+//
+// The topology is pure data — the cross-shard protocol itself (CREDIT
+// messages and dependency certificates) lives in internal/core and is
+// driven entirely by these mappings: the spender's shard broadcasts and
+// settles; settling replicas unicast CREDITs to the beneficiary's
+// representative, which may be in another shard.
+package shard
+
+import (
+	"fmt"
+
+	"astro/internal/types"
+)
+
+// Topology describes a sharded deployment with uniform shard sizes.
+// Replica identities are assigned in contiguous blocks: shard s owns
+// replicas [s·PerShard, (s+1)·PerShard).
+type Topology struct {
+	// NumShards is the number of shards (>= 1).
+	NumShards int
+	// PerShard is the number of replicas in each shard; the Byzantine
+	// threshold applies per shard (paper §V), so PerShard >= 3f+1.
+	PerShard int
+}
+
+// Validate checks the topology is well-formed.
+func (t Topology) Validate() error {
+	if t.NumShards < 1 {
+		return fmt.Errorf("shard: NumShards = %d", t.NumShards)
+	}
+	if t.PerShard < 4 {
+		return fmt.Errorf("shard: PerShard = %d, need >= 4 (3f+1, f>=1)", t.PerShard)
+	}
+	return nil
+}
+
+// F returns the per-shard Byzantine fault threshold.
+func (t Topology) F() int { return types.MaxFaults(t.PerShard) }
+
+// TotalReplicas returns the replica count across all shards.
+func (t Topology) TotalReplicas() int { return t.NumShards * t.PerShard }
+
+// Replicas returns the replica identities of one shard.
+func (t Topology) Replicas(s types.ShardID) []types.ReplicaID {
+	out := make([]types.ReplicaID, t.PerShard)
+	base := int(s) * t.PerShard
+	for i := range out {
+		out[i] = types.ReplicaID(base + i)
+	}
+	return out
+}
+
+// AllReplicas returns every replica identity in the deployment.
+func (t Topology) AllReplicas() []types.ReplicaID {
+	out := make([]types.ReplicaID, 0, t.TotalReplicas())
+	for s := 0; s < t.NumShards; s++ {
+		out = append(out, t.Replicas(types.ShardID(s))...)
+	}
+	return out
+}
+
+// ReplicaShard maps a replica to its shard.
+func (t Topology) ReplicaShard(r types.ReplicaID) types.ShardID {
+	return types.ShardID(int(r) / t.PerShard)
+}
+
+// ShardOf maps a client (xlog) to the shard replicating it.
+func (t Topology) ShardOf(c types.ClientID) types.ShardID {
+	return types.ShardID(uint64(c) % uint64(t.NumShards))
+}
+
+// RepOf maps a client to its representative replica, which always belongs
+// to the client's shard (the representative brokers the client's payments
+// into its shard's broadcast group).
+func (t Topology) RepOf(c types.ClientID) types.ReplicaID {
+	s := t.ShardOf(c)
+	within := int(uint64(c) / uint64(t.NumShards) % uint64(t.PerShard))
+	return types.ReplicaID(int(s)*t.PerShard + within)
+}
+
+// CrossShard reports whether a payment between the two clients crosses a
+// shard boundary (spender's shard settles; beneficiary's representative
+// lives elsewhere).
+func (t Topology) CrossShard(spender, beneficiary types.ClientID) bool {
+	return t.ShardOf(spender) != t.ShardOf(beneficiary)
+}

@@ -1,0 +1,94 @@
+package shard
+
+import (
+	"testing"
+	"testing/quick"
+
+	"astro/internal/types"
+)
+
+func TestTopologyValidate(t *testing.T) {
+	if err := (Topology{NumShards: 2, PerShard: 4}).Validate(); err != nil {
+		t.Errorf("valid topology rejected: %v", err)
+	}
+	if err := (Topology{NumShards: 0, PerShard: 4}).Validate(); err == nil {
+		t.Error("zero shards accepted")
+	}
+	if err := (Topology{NumShards: 1, PerShard: 3}).Validate(); err == nil {
+		t.Error("sub-quorum shard accepted")
+	}
+}
+
+func TestTopologyPartition(t *testing.T) {
+	top := Topology{NumShards: 3, PerShard: 4}
+	if top.TotalReplicas() != 12 {
+		t.Fatalf("total = %d", top.TotalReplicas())
+	}
+	seen := make(map[types.ReplicaID]types.ShardID)
+	for s := 0; s < 3; s++ {
+		rs := top.Replicas(types.ShardID(s))
+		if len(rs) != 4 {
+			t.Fatalf("shard %d has %d replicas", s, len(rs))
+		}
+		for _, r := range rs {
+			if prev, dup := seen[r]; dup {
+				t.Fatalf("replica %d in shards %d and %d", r, prev, s)
+			}
+			seen[r] = types.ShardID(s)
+			if top.ReplicaShard(r) != types.ShardID(s) {
+				t.Errorf("ReplicaShard(%d) = %d, want %d", r, top.ReplicaShard(r), s)
+			}
+		}
+	}
+	if len(seen) != 12 {
+		t.Errorf("partition covers %d replicas", len(seen))
+	}
+	if len(top.AllReplicas()) != 12 {
+		t.Errorf("AllReplicas = %d", len(top.AllReplicas()))
+	}
+}
+
+func TestRepOfStaysInShard(t *testing.T) {
+	f := func(c uint64, shards, per uint8) bool {
+		top := Topology{NumShards: int(shards%5) + 1, PerShard: int(per%13) + 4}
+		client := types.ClientID(c)
+		rep := top.RepOf(client)
+		return top.ReplicaShard(rep) == top.ShardOf(client)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRepOfSpreadsWithinShard(t *testing.T) {
+	top := Topology{NumShards: 2, PerShard: 4}
+	reps := make(map[types.ReplicaID]int)
+	for c := types.ClientID(0); c < 80; c++ {
+		reps[top.RepOf(c)]++
+	}
+	if len(reps) != 8 {
+		t.Fatalf("only %d replicas act as representatives", len(reps))
+	}
+	for r, count := range reps {
+		if count != 10 {
+			t.Errorf("replica %d represents %d clients, want 10", r, count)
+		}
+	}
+}
+
+func TestCrossShard(t *testing.T) {
+	top := Topology{NumShards: 2, PerShard: 4}
+	if top.CrossShard(0, 2) { // both even => shard 0
+		t.Error("same-shard pair reported cross-shard")
+	}
+	if !top.CrossShard(0, 1) { // even/odd => shards 0/1
+		t.Error("cross-shard pair missed")
+	}
+}
+
+func TestPerShardFaultThreshold(t *testing.T) {
+	top := Topology{NumShards: 4, PerShard: 52}
+	if top.F() != 17 {
+		t.Errorf("F = %d, want 17 for 52-replica shards", top.F())
+	}
+}

@@ -1,0 +1,272 @@
+package sim
+
+import (
+	"testing"
+	"time"
+
+	"astro/internal/core"
+	"astro/internal/shard"
+	"astro/internal/transport/memnet"
+	"astro/internal/types"
+)
+
+// fastLatency keeps smoke tests quick while still exercising the paths.
+func fastLatency() memnet.LatencyModel {
+	return memnet.Uniform(200*time.Microsecond, time.Millisecond)
+}
+
+func TestMeasureAstroII(t *testing.T) {
+	m, err := measure(measureOpts{
+		system: SystemAstroII, n: 4, clients: 4,
+		duration: 400 * time.Millisecond, batchSize: 8,
+		batchDelay: time.Millisecond, latency: fastLatency(), seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Throughput <= 0 {
+		t.Errorf("throughput = %v", m.Throughput)
+	}
+	if m.AvgLatency <= 0 || m.P95Latency < m.AvgLatency/4 {
+		t.Errorf("latencies: avg=%v p95=%v", m.AvgLatency, m.P95Latency)
+	}
+	if m.Errors != 0 {
+		t.Errorf("errors = %d", m.Errors)
+	}
+}
+
+func TestMeasureAstroIAndConsensus(t *testing.T) {
+	for _, sys := range []System{SystemAstroI, SystemConsensus} {
+		m, err := measure(measureOpts{
+			system: sys, n: 4, clients: 2,
+			duration: 400 * time.Millisecond, batchSize: 8,
+			batchDelay: time.Millisecond, latency: fastLatency(), seed: 2,
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", sys, err)
+		}
+		if m.Throughput <= 0 {
+			t.Errorf("%s: throughput = %v", sys, m.Throughput)
+		}
+	}
+}
+
+func TestFig3Smoke(t *testing.T) {
+	res, err := Fig3(Fig3Config{
+		Sizes:    []int{4},
+		Systems:  AllSystems,
+		Duration: 300 * time.Millisecond,
+		Clients:  2,
+		Seed:     3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 3 {
+		t.Fatalf("points = %d", len(res))
+	}
+	for _, m := range res {
+		if m.Throughput <= 0 {
+			t.Errorf("%s: zero throughput", m.System)
+		}
+	}
+}
+
+func TestFig4Smoke(t *testing.T) {
+	res, err := Fig4(Fig4Config{
+		N:            4,
+		ClientCounts: []int{1, 4},
+		Systems:      []System{SystemAstroII},
+		Duration:     300 * time.Millisecond,
+		Seed:         4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 2 {
+		t.Fatalf("points = %d", len(res))
+	}
+	// More clients => more throughput (closed loop below saturation).
+	if res[1].Throughput <= res[0].Throughput {
+		t.Logf("warning: throughput did not grow with clients: %v vs %v",
+			res[0].Throughput, res[1].Throughput)
+	}
+}
+
+func TestTimelineCrashBroadcast(t *testing.T) {
+	res, err := Timeline(TimelineConfig{
+		System:   SystemAstroI,
+		N:        4,
+		Clients:  4,
+		Window:   2 * time.Second,
+		FaultAt:  time.Second,
+		Fault:    FaultCrash,
+		Target:   TargetRandom,
+		BinWidth: 250 * time.Millisecond,
+		Seed:     5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rates) == 0 {
+		t.Fatal("no bins")
+	}
+	// Before the fault there must be throughput.
+	var pre float64
+	for _, r := range res.Rates[:3] {
+		pre += r
+	}
+	if pre == 0 {
+		t.Error("no pre-fault throughput")
+	}
+	// After the crash of one representative (serving 1 of 4 clients),
+	// throughput continues (other clients unaffected).
+	var post float64
+	for _, r := range res.Rates[5:] {
+		post += r
+	}
+	if post == 0 {
+		t.Error("broadcast system fully stalled after one crash")
+	}
+}
+
+func TestTimelineLeaderCrashConsensus(t *testing.T) {
+	res, err := Timeline(TimelineConfig{
+		System:             SystemConsensus,
+		N:                  4,
+		Clients:            4,
+		Window:             3 * time.Second,
+		FaultAt:            time.Second,
+		Fault:              FaultCrash,
+		Target:             TargetLeader,
+		BinWidth:           250 * time.Millisecond,
+		RequestTimeout:     400 * time.Millisecond,
+		ViewChangeSyncCost: 200 * time.Millisecond,
+		Seed:               6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ViewChanges == 0 {
+		t.Error("leader crash produced no view change")
+	}
+	// Throughput must recover after the view change.
+	tail := res.Rates[len(res.Rates)-4:]
+	var post float64
+	for _, r := range tail {
+		post += r
+	}
+	if post == 0 {
+		t.Error("consensus never recovered after leader crash")
+	}
+}
+
+func TestTable1Smoke(t *testing.T) {
+	rows, err := Table1(Table1Config{
+		ShardCounts:     []int{2},
+		PerShard:        4,
+		ExtraDelays:     []time.Duration{0},
+		OwnersPerShard:  4,
+		Duration:        500 * time.Millisecond,
+		BatchSize:       8,
+		IncludeBaseline: true,
+		Seed:            7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	astro := rows[0]
+	if astro.System != SystemAstroII || astro.Shards != 2 {
+		t.Errorf("row 0 = %+v", astro)
+	}
+	if astro.TotalTput <= 0 {
+		t.Error("no Smallbank throughput")
+	}
+	if astro.PerShardTput*2 != astro.TotalTput {
+		t.Error("per-shard/total inconsistent")
+	}
+	base := rows[1]
+	if base.System != SystemConsensus || base.TotalTput <= 0 {
+		t.Errorf("baseline row = %+v", base)
+	}
+}
+
+func TestFig8Smoke(t *testing.T) {
+	points, err := Fig8(Fig8Config{
+		StartN:        4,
+		EndN:          7,
+		StateClients:  5,
+		StatePayments: 3,
+		Systems:       []System{SystemAstroII, SystemConsensus},
+		Seed:          8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 6 {
+		t.Fatalf("points = %d", len(points))
+	}
+	for _, p := range points {
+		if p.Latency <= 0 {
+			t.Errorf("%s n=%d: latency %v", p.System, p.N, p.Latency)
+		}
+	}
+	// The consensus-style join should be slower at equal size.
+	var astro, cons time.Duration
+	for _, p := range points {
+		if p.N != 6 {
+			continue
+		}
+		if p.System == SystemAstroII {
+			astro = p.Latency
+		} else {
+			cons = p.Latency
+		}
+	}
+	if cons <= astro {
+		t.Logf("warning: consensus join (%v) not slower than astro join (%v)", cons, astro)
+	}
+}
+
+func TestClusterHelpers(t *testing.T) {
+	cl, err := NewAstroCluster(AstroOpts{
+		Version:  core.AstroII,
+		Topology: shard.Topology{NumShards: 1, PerShard: 4},
+		Latency:  fastLatency(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	if cl.Client(1) != cl.Client(1) {
+		t.Error("Client not cached")
+	}
+	if cl.RepOf(1) != cl.Topology.RepOf(1) {
+		t.Error("RepOf mismatch")
+	}
+	if cl.TotalSettled() != 0 {
+		t.Error("fresh cluster settled > 0")
+	}
+
+	if _, err := NewConsensusCluster(ConsensusOpts{N: 2}); err == nil {
+		t.Error("N=2 consensus accepted")
+	}
+	if _, err := NewAstroCluster(AstroOpts{Version: core.AstroI, Topology: shard.Topology{NumShards: 0, PerShard: 4}}); err == nil {
+		t.Error("invalid topology accepted")
+	}
+}
+
+func TestSystemLabels(t *testing.T) {
+	for _, s := range AllSystems {
+		if s.Label() == "" || s.Label() == string(s) {
+			t.Errorf("label for %s", s)
+		}
+	}
+	if System("x").Label() != "x" {
+		t.Error("unknown system label")
+	}
+	_ = types.ClientID(0) // keep import symmetry with other tests
+}

@@ -1,0 +1,81 @@
+package transport
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Channel tags multiplex independent protocols over one endpoint. The tag
+// is the first byte of every payload.
+type Channel byte
+
+// Channel assignments used across the repository. Keeping them in one
+// place prevents collisions between layers sharing an endpoint.
+const (
+	ChanBRB       Channel = 1 // Byzantine reliable broadcast traffic
+	ChanPayment   Channel = 2 // client submissions, confirmations, queries
+	ChanCredit    Channel = 3 // Astro II CREDIT messages
+	ChanConsensus Channel = 4 // PBFT-style baseline traffic
+	ChanReconfig  Channel = 5 // join/leave and state transfer
+	ChanLocal     Channel = 6 // self-addressed timer/batch events
+)
+
+// Mux demultiplexes inbound messages by channel tag and prefixes outbound
+// messages with their tag. A Mux owns its endpoint's handler slot.
+type Mux struct {
+	ep Endpoint
+
+	mu       sync.RWMutex
+	handlers map[Channel]Handler
+}
+
+// NewMux wraps ep, installing itself as the endpoint handler.
+func NewMux(ep Endpoint) *Mux {
+	m := &Mux{ep: ep, handlers: make(map[Channel]Handler)}
+	ep.SetHandler(m.dispatch)
+	return m
+}
+
+// Endpoint returns the underlying endpoint.
+func (m *Mux) Endpoint() Endpoint { return m.ep }
+
+// ID returns the underlying endpoint's address.
+func (m *Mux) ID() NodeID { return m.ep.ID() }
+
+// Register installs the handler for a channel. Registering a channel twice
+// replaces the previous handler.
+func (m *Mux) Register(ch Channel, h Handler) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.handlers[ch] = h
+}
+
+// Send transmits payload on the given channel.
+func (m *Mux) Send(to NodeID, ch Channel, payload []byte) error {
+	buf := make([]byte, 0, 1+len(payload))
+	buf = append(buf, byte(ch))
+	buf = append(buf, payload...)
+	if err := m.ep.Send(to, buf); err != nil {
+		return fmt.Errorf("mux send chan %d: %w", ch, err)
+	}
+	return nil
+}
+
+// SendLocal enqueues payload to this node's own dispatch goroutine on
+// ChanLocal. Protocol timers use this to serialize with message handling.
+func (m *Mux) SendLocal(payload []byte) error {
+	return m.Send(m.ep.ID(), ChanLocal, payload)
+}
+
+func (m *Mux) dispatch(from NodeID, payload []byte) {
+	if len(payload) == 0 {
+		return
+	}
+	ch := Channel(payload[0])
+	m.mu.RLock()
+	h := m.handlers[ch]
+	m.mu.RUnlock()
+	if h != nil {
+		h(from, payload[1:])
+	}
+}

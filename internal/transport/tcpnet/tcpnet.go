@@ -1,0 +1,331 @@
+// Package tcpnet implements transport.Endpoint over real TCP connections
+// for multi-process deployments of Astro (cmd/astro-node and
+// cmd/astro-client). Frames are length-prefixed; each frame carries the
+// sender's NodeID so a single inbound connection can relay for any peer.
+//
+// Outbound connections are established lazily and re-dialed with backoff on
+// failure. Like memnet, inbound messages are dispatched from a single
+// goroutine per endpoint, so handlers run single-threaded.
+package tcpnet
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"astro/internal/transport"
+)
+
+// ErrClosed is returned by operations on a closed endpoint.
+var ErrClosed = errors.New("tcpnet: endpoint closed")
+
+// ErrUnknownPeer is returned when sending to a NodeID with no configured
+// address.
+var ErrUnknownPeer = errors.New("tcpnet: unknown peer")
+
+// maxFrame bounds inbound frame size (16 MiB, matching wire.MaxChunk).
+const maxFrame = 16 << 20
+
+// Config describes one endpoint of a TCP deployment.
+type Config struct {
+	// Self is this node's identity.
+	Self transport.NodeID
+	// Listen is the local address to accept connections on, e.g.
+	// ":7001". Empty means the endpoint is client-only (dial out, receive
+	// replies over its outbound connections).
+	Listen string
+	// Peers maps node identities to dialable addresses.
+	Peers map[transport.NodeID]string
+	// DialTimeout bounds each connection attempt. Zero means 3s.
+	DialTimeout time.Duration
+	// RedialBackoff is the pause before re-dialing a failed peer.
+	// Zero means 250ms.
+	RedialBackoff time.Duration
+}
+
+// Endpoint is a TCP-backed transport endpoint.
+type Endpoint struct {
+	cfg      Config
+	listener net.Listener
+
+	handler atomic.Pointer[transport.Handler]
+	inbox   chan inMsg
+	done    chan struct{}
+	closed  atomic.Bool
+
+	mu    sync.Mutex
+	conns map[transport.NodeID]*peerConn
+	open  map[net.Conn]struct{} // every live conn, for Close
+
+	wg sync.WaitGroup
+}
+
+var _ transport.Endpoint = (*Endpoint)(nil)
+
+type inMsg struct {
+	from    transport.NodeID
+	payload []byte
+}
+
+type peerConn struct {
+	mu   sync.Mutex
+	conn net.Conn
+}
+
+// New creates an endpoint and, if cfg.Listen is non-empty, starts
+// accepting connections.
+func New(cfg Config) (*Endpoint, error) {
+	if cfg.DialTimeout <= 0 {
+		cfg.DialTimeout = 3 * time.Second
+	}
+	if cfg.RedialBackoff <= 0 {
+		cfg.RedialBackoff = 250 * time.Millisecond
+	}
+	e := &Endpoint{
+		cfg:   cfg,
+		inbox: make(chan inMsg, 1<<12),
+		done:  make(chan struct{}),
+		conns: make(map[transport.NodeID]*peerConn),
+		open:  make(map[net.Conn]struct{}),
+	}
+	if cfg.Listen != "" {
+		ln, err := net.Listen("tcp", cfg.Listen)
+		if err != nil {
+			return nil, fmt.Errorf("tcpnet listen %s: %w", cfg.Listen, err)
+		}
+		e.listener = ln
+		e.wg.Add(1)
+		go e.acceptLoop()
+	}
+	e.wg.Add(1)
+	go e.dispatch()
+	return e, nil
+}
+
+// Addr returns the bound listen address (useful with ":0").
+func (e *Endpoint) Addr() net.Addr {
+	if e.listener == nil {
+		return nil
+	}
+	return e.listener.Addr()
+}
+
+// ID implements transport.Endpoint.
+func (e *Endpoint) ID() transport.NodeID { return e.cfg.Self }
+
+// SetHandler implements transport.Endpoint.
+func (e *Endpoint) SetHandler(h transport.Handler) { e.handler.Store(&h) }
+
+// Close implements transport.Endpoint.
+func (e *Endpoint) Close() error {
+	if !e.closed.CompareAndSwap(false, true) {
+		return nil
+	}
+	close(e.done)
+	if e.listener != nil {
+		_ = e.listener.Close()
+	}
+	e.mu.Lock()
+	for c := range e.open {
+		_ = c.Close()
+	}
+	e.mu.Unlock()
+	e.wg.Wait()
+	return nil
+}
+
+// track registers a live connection for Close; it returns false when the
+// endpoint is already closed (the caller must close the conn itself).
+func (e *Endpoint) track(c net.Conn) bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed.Load() {
+		return false
+	}
+	e.open[c] = struct{}{}
+	return true
+}
+
+func (e *Endpoint) untrack(c net.Conn) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	delete(e.open, c)
+}
+
+func (e *Endpoint) dispatch() {
+	defer e.wg.Done()
+	for {
+		select {
+		case <-e.done:
+			return
+		case m := <-e.inbox:
+			if h := e.handler.Load(); h != nil {
+				(*h)(m.from, m.payload)
+			}
+		}
+	}
+}
+
+func (e *Endpoint) acceptLoop() {
+	defer e.wg.Done()
+	for {
+		conn, err := e.listener.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		if !e.track(conn) {
+			_ = conn.Close()
+			return
+		}
+		e.wg.Add(1)
+		go e.readLoop(conn, true)
+	}
+}
+
+// frame layout: [4B big-endian total length][4B from][payload]
+// ownConn: whether this loop owns the connection lifecycle (inbound
+// accepted conns) or shares it with Send (outbound dialed conns).
+func (e *Endpoint) readLoop(conn net.Conn, ownConn bool) {
+	defer e.wg.Done()
+	defer e.untrack(conn)
+	defer e.evictRoutes(conn)
+	if ownConn {
+		defer conn.Close()
+	}
+	var hdr [8]byte
+	for {
+		if _, err := io.ReadFull(conn, hdr[:]); err != nil {
+			return
+		}
+		total := binary.BigEndian.Uint32(hdr[0:4])
+		if total < 4 || total > maxFrame {
+			return
+		}
+		from := transport.NodeID(binary.BigEndian.Uint32(hdr[4:8]))
+		payload := make([]byte, total-4)
+		if _, err := io.ReadFull(conn, payload); err != nil {
+			return
+		}
+		// Learn a return route: replies to a peer with no configured
+		// address (e.g. a client that dialed in) reuse its connection.
+		e.learnRoute(from, conn)
+		select {
+		case e.inbox <- inMsg{from: from, payload: payload}:
+		case <-e.done:
+			return
+		}
+	}
+}
+
+// Send implements transport.Endpoint. Self-sends loop back through the
+// inbox without touching the network.
+func (e *Endpoint) Send(to transport.NodeID, payload []byte) error {
+	if e.closed.Load() {
+		return ErrClosed
+	}
+	if to == e.cfg.Self {
+		buf := make([]byte, len(payload))
+		copy(buf, payload)
+		select {
+		case e.inbox <- inMsg{from: to, payload: buf}:
+			return nil
+		case <-e.done:
+			return ErrClosed
+		}
+	}
+
+	pc := e.peer(to)
+	if pc == nil {
+		return fmt.Errorf("%w: %d", ErrUnknownPeer, to)
+	}
+
+	frame := make([]byte, 8+len(payload))
+	binary.BigEndian.PutUint32(frame[0:4], uint32(4+len(payload)))
+	binary.BigEndian.PutUint32(frame[4:8], uint32(e.cfg.Self))
+	copy(frame[8:], payload)
+
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	for attempt := 0; attempt < 2; attempt++ {
+		if pc.conn == nil {
+			addr := e.cfg.Peers[to]
+			conn, err := net.DialTimeout("tcp", addr, e.cfg.DialTimeout)
+			if err != nil {
+				return fmt.Errorf("tcpnet dial %d@%s: %w", to, addr, err)
+			}
+			if !e.track(conn) {
+				_ = conn.Close()
+				return ErrClosed
+			}
+			pc.conn = conn
+			e.wg.Add(1)
+			go e.readLoop(conn, false) // replies may arrive on this conn
+		}
+		if _, err := pc.conn.Write(frame); err != nil {
+			_ = pc.conn.Close()
+			pc.conn = nil
+			time.Sleep(e.cfg.RedialBackoff)
+			continue
+		}
+		return nil
+	}
+	return fmt.Errorf("tcpnet send to %d: connection failed", to)
+}
+
+func (e *Endpoint) peer(to transport.NodeID) *peerConn {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if pc, ok := e.conns[to]; ok {
+		return pc
+	}
+	if _, known := e.cfg.Peers[to]; !known {
+		return nil
+	}
+	pc := &peerConn{}
+	e.conns[to] = pc
+	return pc
+}
+
+// learnRoute records an inbound connection as the way to reach a peer
+// without a configured address. The most recent connection wins: a peer
+// that reconnects (e.g. a client process restarting) supersedes its dead
+// predecessor.
+func (e *Endpoint) learnRoute(from transport.NodeID, conn net.Conn) {
+	if _, configured := e.cfg.Peers[from]; configured {
+		return
+	}
+	e.mu.Lock()
+	pc, ok := e.conns[from]
+	if !ok {
+		pc = &peerConn{}
+		e.conns[from] = pc
+	}
+	e.mu.Unlock()
+	pc.mu.Lock()
+	pc.conn = conn
+	pc.mu.Unlock()
+}
+
+// evictRoutes clears learned routes that point at a now-closed connection.
+func (e *Endpoint) evictRoutes(conn net.Conn) {
+	e.mu.Lock()
+	var pcs []*peerConn
+	for id, pc := range e.conns {
+		if _, configured := e.cfg.Peers[id]; !configured {
+			pcs = append(pcs, pc)
+		}
+	}
+	e.mu.Unlock()
+	for _, pc := range pcs {
+		pc.mu.Lock()
+		if pc.conn == conn {
+			pc.conn = nil
+		}
+		pc.mu.Unlock()
+	}
+}

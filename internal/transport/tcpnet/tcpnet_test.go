@@ -1,0 +1,194 @@
+package tcpnet
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"astro/internal/transport"
+)
+
+// pair starts two endpoints listening on loopback and wires their peer maps.
+func pair(t *testing.T) (*Endpoint, *Endpoint) {
+	t.Helper()
+	a, err := New(Config{Self: 1, Listen: "127.0.0.1:0", Peers: map[transport.NodeID]string{}})
+	if err != nil {
+		t.Fatalf("endpoint a: %v", err)
+	}
+	b, err := New(Config{Self: 2, Listen: "127.0.0.1:0", Peers: map[transport.NodeID]string{}})
+	if err != nil {
+		t.Fatalf("endpoint b: %v", err)
+	}
+	a.cfg.Peers[2] = b.Addr().String()
+	b.cfg.Peers[1] = a.Addr().String()
+	t.Cleanup(func() {
+		_ = a.Close()
+		_ = b.Close()
+	})
+	return a, b
+}
+
+func recvOne(t *testing.T, ep *Endpoint) (transport.NodeID, []byte) {
+	t.Helper()
+	type msg struct {
+		from transport.NodeID
+		p    []byte
+	}
+	ch := make(chan msg, 16)
+	ep.SetHandler(func(from transport.NodeID, p []byte) {
+		ch <- msg{from, p}
+	})
+	select {
+	case m := <-ch:
+		return m.from, m.p
+	case <-time.After(3 * time.Second):
+		t.Fatal("timeout waiting for message")
+		return 0, nil
+	}
+}
+
+func TestTCPSendReceive(t *testing.T) {
+	a, b := pair(t)
+	ch := make(chan []byte, 1)
+	b.SetHandler(func(from transport.NodeID, p []byte) {
+		if from != 1 {
+			t.Errorf("from = %d", from)
+		}
+		ch <- p
+	})
+	if err := a.Send(2, []byte("over tcp")); err != nil {
+		t.Fatalf("send: %v", err)
+	}
+	select {
+	case p := <-ch:
+		if string(p) != "over tcp" {
+			t.Errorf("payload = %q", p)
+		}
+	case <-time.After(3 * time.Second):
+		t.Fatal("timeout")
+	}
+}
+
+func TestTCPBidirectional(t *testing.T) {
+	a, b := pair(t)
+	chA := make(chan string, 1)
+	chB := make(chan string, 1)
+	a.SetHandler(func(_ transport.NodeID, p []byte) { chA <- string(p) })
+	b.SetHandler(func(_ transport.NodeID, p []byte) { chB <- string(p) })
+
+	if err := a.Send(2, []byte("ping")); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case m := <-chB:
+		if m != "ping" {
+			t.Fatalf("got %q", m)
+		}
+	case <-time.After(3 * time.Second):
+		t.Fatal("timeout ping")
+	}
+	if err := b.Send(1, []byte("pong")); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case m := <-chA:
+		if m != "pong" {
+			t.Fatalf("got %q", m)
+		}
+	case <-time.After(3 * time.Second):
+		t.Fatal("timeout pong")
+	}
+}
+
+func TestTCPSelfSend(t *testing.T) {
+	a, _ := pair(t)
+	from, p := func() (transport.NodeID, []byte) {
+		ch := make(chan struct{})
+		var gotFrom transport.NodeID
+		var gotP []byte
+		a.SetHandler(func(f transport.NodeID, pl []byte) {
+			gotFrom, gotP = f, pl
+			close(ch)
+		})
+		if err := a.Send(1, []byte("loop")); err != nil {
+			t.Fatal(err)
+		}
+		select {
+		case <-ch:
+		case <-time.After(time.Second):
+			t.Fatal("timeout")
+		}
+		return gotFrom, gotP
+	}()
+	if from != 1 || string(p) != "loop" {
+		t.Errorf("self send from=%d p=%q", from, p)
+	}
+}
+
+func TestTCPUnknownPeer(t *testing.T) {
+	a, _ := pair(t)
+	if err := a.Send(42, []byte("x")); err == nil {
+		t.Error("send to unknown peer: want error")
+	}
+}
+
+func TestTCPManyMessages(t *testing.T) {
+	a, b := pair(t)
+	const n = 200
+	ch := make(chan string, n)
+	b.SetHandler(func(_ transport.NodeID, p []byte) { ch <- string(p) })
+	for i := 0; i < n; i++ {
+		if err := a.Send(2, []byte(fmt.Sprintf("m%d", i))); err != nil {
+			t.Fatalf("send %d: %v", i, err)
+		}
+	}
+	seen := make(map[string]bool, n)
+	deadline := time.After(5 * time.Second)
+	for len(seen) < n {
+		select {
+		case m := <-ch:
+			seen[m] = true
+		case <-deadline:
+			t.Fatalf("received %d/%d", len(seen), n)
+		}
+	}
+	// TCP preserves order on one connection; spot-check monotonicity was
+	// implicitly covered by map completeness (all made it through).
+}
+
+func TestTCPClosedSend(t *testing.T) {
+	a, _ := pair(t)
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Send(2, []byte("x")); err == nil {
+		t.Error("send after close: want error")
+	}
+}
+
+func TestTCPFrameOrdering(t *testing.T) {
+	a, b := pair(t)
+	const n = 50
+	ch := make(chan string, n)
+	b.SetHandler(func(_ transport.NodeID, p []byte) { ch <- string(p) })
+	for i := 0; i < n; i++ {
+		if err := a.Send(2, []byte(fmt.Sprintf("%03d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	prev := -1
+	for i := 0; i < n; i++ {
+		select {
+		case m := <-ch:
+			var v int
+			fmt.Sscanf(m, "%d", &v)
+			if v <= prev {
+				t.Fatalf("out of order: %d after %d", v, prev)
+			}
+			prev = v
+		case <-time.After(5 * time.Second):
+			t.Fatal("timeout")
+		}
+	}
+	_ = recvOne // silence unused helper if build tags change
+}

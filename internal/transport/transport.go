@@ -1,0 +1,52 @@
+// Package transport defines the message-passing abstraction shared by
+// every protocol in this repository, and a channel multiplexer for layering
+// several protocols over one endpoint.
+//
+// Two implementations exist:
+//
+//   - memnet: an in-process simulated network with configurable link
+//     latency, crash-stop failures, netem-style per-node delay injection,
+//     and link cuts — the substrate for the paper's experiments;
+//   - tcpnet: a real TCP transport with length-prefixed frames for
+//     multi-process deployments.
+package transport
+
+import "astro/internal/types"
+
+// NodeID identifies an endpoint on a network. Replicas use their
+// types.ReplicaID values directly; client endpoints are allocated from
+// ClientNodeBase upwards so the two spaces never collide.
+type NodeID uint32
+
+// ClientNodeBase is the first NodeID used for client endpoints.
+const ClientNodeBase NodeID = 1 << 20
+
+// ReplicaNode converts a replica identity to its network address.
+func ReplicaNode(id types.ReplicaID) NodeID { return NodeID(id) }
+
+// ClientNode converts a client identity to its network address.
+func ClientNode(id types.ClientID) NodeID { return ClientNodeBase + NodeID(id) }
+
+// Handler processes an inbound message. Implementations of Endpoint invoke
+// the handler sequentially from a single dispatch goroutine per endpoint,
+// so handlers may maintain state without locking — mirroring the paper's
+// assumption that replica pseudocode executes atomically.
+type Handler func(from NodeID, payload []byte)
+
+// Endpoint is one node's attachment to a network.
+type Endpoint interface {
+	// ID returns this endpoint's address.
+	ID() NodeID
+	// Send transmits payload to the endpoint with address to. Send never
+	// blocks on remote progress; delivery is asynchronous and, on memnet,
+	// subject to the configured latency model. Sending to self is
+	// permitted and delivers through the same dispatch goroutine, which
+	// protocols use to serialize timer events with message handling.
+	Send(to NodeID, payload []byte) error
+	// SetHandler installs the inbound message handler. It must be called
+	// before any message can be delivered; messages arriving earlier are
+	// dropped.
+	SetHandler(h Handler)
+	// Close detaches the endpoint. Further Sends fail.
+	Close() error
+}

@@ -1,0 +1,122 @@
+// Package types defines the fundamental value types of the Astro payment
+// system: client and replica identities, amounts, sequence numbers, and the
+// payment record itself (the unit stored in exclusive logs).
+//
+// All types are plain values with deterministic binary encodings so that
+// digests computed over them are stable across replicas.
+package types
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+)
+
+// ClientID identifies a client (the owner of one exclusive log).
+// Client identities are public; the mapping from client to representative
+// replica is derived from them deterministically.
+type ClientID uint64
+
+// ReplicaID identifies a replica participating in the replication layer.
+type ReplicaID uint32
+
+// Amount is a non-negative quantity of funds. Astro does not support
+// negative balances, so an unsigned integer is the natural representation.
+type Amount uint64
+
+// Seq is a client-assigned sequence number ordering the payments within a
+// single exclusive log. The first payment of a client has Seq 1.
+type Seq uint64
+
+// PaymentID is the identifier of a payment: the pair (spender, sequence
+// number). The broadcast layer guarantees agreement per PaymentID — no two
+// correct replicas deliver different payments with the same identifier.
+type PaymentID struct {
+	Spender ClientID
+	Seq     Seq
+}
+
+// String implements fmt.Stringer.
+func (id PaymentID) String() string {
+	return fmt.Sprintf("(%d,%d)", id.Spender, id.Seq)
+}
+
+// Payment is one transfer of funds recorded in the spender's exclusive log.
+type Payment struct {
+	Spender     ClientID
+	Seq         Seq
+	Beneficiary ClientID
+	Amount      Amount
+}
+
+// ID returns the payment's identifier (spender, seq).
+func (p Payment) ID() PaymentID {
+	return PaymentID{Spender: p.Spender, Seq: p.Seq}
+}
+
+// String implements fmt.Stringer.
+func (p Payment) String() string {
+	return fmt.Sprintf("pay{%d->%d $%d sn=%d}", p.Spender, p.Beneficiary, p.Amount, p.Seq)
+}
+
+// PaymentWireSize is the size in bytes of an encoded Payment.
+const PaymentWireSize = 8 + 8 + 8 + 8
+
+// AppendBinary appends the canonical encoding of p to dst and returns the
+// extended slice.
+func (p Payment) AppendBinary(dst []byte) []byte {
+	dst = binary.BigEndian.AppendUint64(dst, uint64(p.Spender))
+	dst = binary.BigEndian.AppendUint64(dst, uint64(p.Seq))
+	dst = binary.BigEndian.AppendUint64(dst, uint64(p.Beneficiary))
+	dst = binary.BigEndian.AppendUint64(dst, uint64(p.Amount))
+	return dst
+}
+
+// MarshalBinary returns the canonical encoding of p.
+func (p Payment) MarshalBinary() ([]byte, error) {
+	return p.AppendBinary(make([]byte, 0, PaymentWireSize)), nil
+}
+
+// UnmarshalBinary decodes p from data, which must be exactly
+// PaymentWireSize bytes.
+func (p *Payment) UnmarshalBinary(data []byte) error {
+	if len(data) != PaymentWireSize {
+		return fmt.Errorf("payment: want %d bytes, got %d", PaymentWireSize, len(data))
+	}
+	p.Spender = ClientID(binary.BigEndian.Uint64(data[0:8]))
+	p.Seq = Seq(binary.BigEndian.Uint64(data[8:16]))
+	p.Beneficiary = ClientID(binary.BigEndian.Uint64(data[16:24]))
+	p.Amount = Amount(binary.BigEndian.Uint64(data[24:32]))
+	return nil
+}
+
+// Digest is a SHA-256 hash identifying a message or payload.
+type Digest [sha256.Size]byte
+
+// String implements fmt.Stringer, printing a short hex prefix.
+func (d Digest) String() string {
+	return fmt.Sprintf("%x", d[:6])
+}
+
+// HashPayment returns the digest of the payment's canonical encoding.
+func HashPayment(p Payment) Digest {
+	return sha256.Sum256(p.AppendBinary(make([]byte, 0, PaymentWireSize)))
+}
+
+// HashBytes returns the SHA-256 digest of data.
+func HashBytes(data []byte) Digest {
+	return sha256.Sum256(data)
+}
+
+// QuorumSize returns the Byzantine quorum size 2f+1 for a system of
+// n = 3f+1 replicas tolerating f faults.
+func QuorumSize(f int) int { return 2*f + 1 }
+
+// MaxFaults returns the largest f such that n >= 3f+1, i.e. the number of
+// Byzantine replicas a system of n replicas tolerates.
+func MaxFaults(n int) int {
+	if n < 1 {
+		return 0
+	}
+	return (n - 1) / 3
+}

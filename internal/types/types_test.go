@@ -1,0 +1,117 @@
+package types
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestPaymentRoundTrip(t *testing.T) {
+	p := Payment{Spender: 7, Seq: 42, Beneficiary: 9, Amount: 1234}
+	data, err := p.MarshalBinary()
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	if len(data) != PaymentWireSize {
+		t.Fatalf("encoded size = %d, want %d", len(data), PaymentWireSize)
+	}
+	var q Payment
+	if err := q.UnmarshalBinary(data); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if q != p {
+		t.Fatalf("round trip mismatch: got %v, want %v", q, p)
+	}
+}
+
+func TestPaymentRoundTripProperty(t *testing.T) {
+	f := func(s, b uint64, n uint64, x uint64) bool {
+		p := Payment{Spender: ClientID(s), Seq: Seq(n), Beneficiary: ClientID(b), Amount: Amount(x)}
+		data, err := p.MarshalBinary()
+		if err != nil {
+			return false
+		}
+		var q Payment
+		if err := q.UnmarshalBinary(data); err != nil {
+			return false
+		}
+		return p == q
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPaymentUnmarshalErrors(t *testing.T) {
+	var p Payment
+	if err := p.UnmarshalBinary(nil); err == nil {
+		t.Error("unmarshal nil: want error")
+	}
+	if err := p.UnmarshalBinary(make([]byte, PaymentWireSize-1)); err == nil {
+		t.Error("unmarshal short: want error")
+	}
+	if err := p.UnmarshalBinary(make([]byte, PaymentWireSize+1)); err == nil {
+		t.Error("unmarshal long: want error")
+	}
+}
+
+func TestHashPaymentDistinct(t *testing.T) {
+	a := Payment{Spender: 1, Seq: 1, Beneficiary: 2, Amount: 10}
+	b := a
+	b.Amount = 11
+	if HashPayment(a) == HashPayment(b) {
+		t.Error("distinct payments hash equal")
+	}
+	if HashPayment(a) != HashPayment(a) {
+		t.Error("hash not deterministic")
+	}
+}
+
+func TestIDString(t *testing.T) {
+	id := PaymentID{Spender: 3, Seq: 9}
+	if got, want := id.String(), "(3,9)"; got != want {
+		t.Errorf("PaymentID.String() = %q, want %q", got, want)
+	}
+	p := Payment{Spender: 1, Seq: 2, Beneficiary: 3, Amount: 4}
+	if p.ID() != (PaymentID{Spender: 1, Seq: 2}) {
+		t.Errorf("Payment.ID() = %v", p.ID())
+	}
+}
+
+func TestQuorumArithmetic(t *testing.T) {
+	cases := []struct {
+		n, f, q int
+	}{
+		{4, 1, 3},
+		{7, 2, 5},
+		{10, 3, 7},
+		{49, 16, 33},
+		{52, 17, 35},
+		{100, 33, 67},
+	}
+	for _, c := range cases {
+		if got := MaxFaults(c.n); got != c.f {
+			t.Errorf("MaxFaults(%d) = %d, want %d", c.n, got, c.f)
+		}
+		if got := QuorumSize(c.f); got != c.q {
+			t.Errorf("QuorumSize(%d) = %d, want %d", c.f, got, c.q)
+		}
+	}
+	if MaxFaults(0) != 0 {
+		t.Error("MaxFaults(0) != 0")
+	}
+}
+
+func TestQuorumIntersectionProperty(t *testing.T) {
+	// Any two quorums of size 2f+1 among 3f+1 replicas intersect in at
+	// least f+1 replicas, hence in at least one correct replica.
+	f := func(fRaw uint8) bool {
+		faults := int(fRaw%64) + 1
+		n := 3*faults + 1
+		q := QuorumSize(faults)
+		// |A ∩ B| >= |A| + |B| - n = 2(2f+1) - (3f+1) = f+1
+		return 2*q-n >= faults+1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,128 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestWriterReaderRoundTrip(t *testing.T) {
+	w := NewWriter(64)
+	w.U8(0xAB)
+	w.U16(0xCDEF)
+	w.U32(0xDEADBEEF)
+	w.U64(0x0123456789ABCDEF)
+	w.Bool(true)
+	w.Bool(false)
+	w.Chunk([]byte("hello"))
+	w.String("world")
+	var d [32]byte
+	for i := range d {
+		d[i] = byte(i)
+	}
+	w.Bytes32(d)
+	w.Raw([]byte{1, 2, 3})
+
+	r := NewReader(w.Bytes())
+	if got := r.U8(); got != 0xAB {
+		t.Errorf("U8 = %#x", got)
+	}
+	if got := r.U16(); got != 0xCDEF {
+		t.Errorf("U16 = %#x", got)
+	}
+	if got := r.U32(); got != 0xDEADBEEF {
+		t.Errorf("U32 = %#x", got)
+	}
+	if got := r.U64(); got != 0x0123456789ABCDEF {
+		t.Errorf("U64 = %#x", got)
+	}
+	if !r.Bool() || r.Bool() {
+		t.Error("Bool mismatch")
+	}
+	if got := r.Chunk(); !bytes.Equal(got, []byte("hello")) {
+		t.Errorf("Chunk = %q", got)
+	}
+	if got := r.String(); got != "world" {
+		t.Errorf("String = %q", got)
+	}
+	if got := r.Bytes32(); got != d {
+		t.Error("Bytes32 mismatch")
+	}
+	if got := r.Rest(); !bytes.Equal(got, []byte{1, 2, 3}) {
+		t.Errorf("Rest = %v", got)
+	}
+	if err := r.Finish(); err != nil {
+		t.Errorf("Finish: %v", err)
+	}
+}
+
+func TestReaderShort(t *testing.T) {
+	r := NewReader([]byte{1, 2})
+	_ = r.U32()
+	if !errors.Is(r.Err(), ErrShort) {
+		t.Errorf("Err = %v, want ErrShort", r.Err())
+	}
+	// sticky error: subsequent reads are no-ops
+	if got := r.U64(); got != 0 {
+		t.Errorf("U64 after error = %d", got)
+	}
+	if err := r.Finish(); !errors.Is(err, ErrShort) {
+		t.Errorf("Finish = %v", err)
+	}
+}
+
+func TestReaderTrailing(t *testing.T) {
+	r := NewReader([]byte{1, 2, 3})
+	_ = r.U8()
+	if err := r.Finish(); err == nil {
+		t.Error("Finish with trailing bytes: want error")
+	}
+}
+
+func TestChunkTooLong(t *testing.T) {
+	w := NewWriter(8)
+	w.U32(MaxChunk + 1)
+	r := NewReader(w.Bytes())
+	if got := r.Chunk(); got != nil {
+		t.Errorf("Chunk = %v, want nil", got)
+	}
+	if !errors.Is(r.Err(), ErrTooLong) {
+		t.Errorf("Err = %v, want ErrTooLong", r.Err())
+	}
+}
+
+func TestChunkEmpty(t *testing.T) {
+	w := NewWriter(8)
+	w.Chunk(nil)
+	w.Chunk([]byte{})
+	r := NewReader(w.Bytes())
+	if got := r.Chunk(); len(got) != 0 {
+		t.Errorf("Chunk = %v", got)
+	}
+	if got := r.Chunk(); len(got) != 0 {
+		t.Errorf("Chunk = %v", got)
+	}
+	if err := r.Finish(); err != nil {
+		t.Errorf("Finish: %v", err)
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	f := func(a uint8, b uint16, c uint32, d uint64, s string, blob []byte) bool {
+		w := NewWriter(0)
+		w.U8(a)
+		w.U16(b)
+		w.U32(c)
+		w.U64(d)
+		w.String(s)
+		w.Chunk(blob)
+		r := NewReader(w.Bytes())
+		ok := r.U8() == a && r.U16() == b && r.U32() == c && r.U64() == d &&
+			r.String() == s && bytes.Equal(r.Chunk(), blob)
+		return ok && r.Finish() == nil
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,269 @@
+package workload
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"astro/internal/metrics"
+	"astro/internal/shard"
+	"astro/internal/types"
+)
+
+// Smallbank (paper §VI-C2) is the BLOCKBENCH adaptation of the H-Store
+// Smallbank benchmark: bank accounts with a checking and a savings xlog
+// per owner, exercised by six transaction types. Same-owner transactions
+// appear as full payments between the owner's two xlogs; cross-owner
+// transactions move funds between checking accounts and are the ones that
+// may cross shards.
+
+// OpKind enumerates the Smallbank transaction family.
+type OpKind int
+
+// The six Smallbank transaction types.
+const (
+	OpTransactSavings OpKind = iota + 1 // adjust savings (savings -> checking)
+	OpDepositChecking                   // deposit to checking (savings -> checking)
+	OpSendPayment                       // checking -> partner checking
+	OpWriteCheck                        // checking -> partner checking
+	OpAmalgamate                        // move savings into checking
+	OpQuery                             // read both balances
+)
+
+// String implements fmt.Stringer.
+func (k OpKind) String() string {
+	switch k {
+	case OpTransactSavings:
+		return "TransactSavings"
+	case OpDepositChecking:
+		return "DepositChecking"
+	case OpSendPayment:
+		return "SendPayment"
+	case OpWriteCheck:
+		return "WriteCheck"
+	case OpAmalgamate:
+		return "Amalgamate"
+	case OpQuery:
+		return "Query"
+	default:
+		return "Unknown"
+	}
+}
+
+// Account id scheme: owner o holds checking xlog 2o and savings xlog 2o+1.
+// Both map to the same shard, as the paper requires.
+
+// CheckingOf returns the checking xlog of an owner.
+func CheckingOf(owner int) types.ClientID { return types.ClientID(2 * owner) }
+
+// SavingsOf returns the savings xlog of an owner.
+func SavingsOf(owner int) types.ClientID { return types.ClientID(2*owner + 1) }
+
+// OwnerOf inverts the account mapping.
+func OwnerOf(c types.ClientID) int { return int(c / 2) }
+
+// Maps derives the sharding maps for the Smallbank account scheme over a
+// topology: both xlogs of an owner land in the same shard
+// (owner mod NumShards), and representatives spread owners round-robin
+// within the shard.
+func Maps(top shard.Topology) (shardOf func(types.ClientID) types.ShardID, repOf func(types.ClientID) types.ReplicaID) {
+	shardOf = func(c types.ClientID) types.ShardID {
+		return types.ShardID(OwnerOf(c) % top.NumShards)
+	}
+	repOf = func(c types.ClientID) types.ReplicaID {
+		o := OwnerOf(c)
+		s := o % top.NumShards
+		within := (o / top.NumShards) % top.PerShard
+		return types.ReplicaID(s*top.PerShard + within)
+	}
+	return shardOf, repOf
+}
+
+// BalanceQuerier is the optional client capability used by OpQuery.
+type BalanceQuerier interface {
+	QueryBalance(timeout time.Duration) (types.Amount, error)
+}
+
+// OwnerHandles bundles one owner's two payment clients.
+type OwnerHandles struct {
+	Owner    int
+	Checking PaymentClient
+	Savings  PaymentClient
+}
+
+// SmallbankConfig drives the Smallbank workload.
+type SmallbankConfig struct {
+	// Owners are the closed-loop workers, one goroutine each.
+	Owners []OwnerHandles
+	// Topology is used to classify cross-shard operations.
+	Topology shard.Topology
+	// CrossShardTarget is the desired fraction of cross-shard
+	// transactions over all transactions; the paper's Smallbank setup
+	// yields 12.5%. The generator derives the partner-selection bias
+	// from it. Default 0.125.
+	CrossShardTarget float64
+	// Duration is how long to generate load.
+	Duration time.Duration
+	// OpTimeout bounds each confirmation wait. Default 30s.
+	OpTimeout time.Duration
+	// Hist records per-transaction latency; Timeline counts completions.
+	Hist     *metrics.Histogram
+	Timeline *metrics.Timeline
+	// Seed makes runs reproducible.
+	Seed int64
+}
+
+// SmallbankResult extends Result with the measured operation mix.
+type SmallbankResult struct {
+	Result
+	// CrossShardOps counts transactions whose spender and beneficiary
+	// xlogs live in different shards.
+	CrossShardOps uint64
+	// PerKind counts completed transactions by type.
+	PerKind map[OpKind]uint64
+}
+
+// CrossShardFraction returns the measured cross-shard share.
+func (r SmallbankResult) CrossShardFraction() float64 {
+	if r.Ops == 0 {
+		return 0
+	}
+	return float64(r.CrossShardOps) / float64(r.Ops)
+}
+
+// RunSmallbank runs the Smallbank workload.
+func RunSmallbank(cfg SmallbankConfig) SmallbankResult {
+	if cfg.OpTimeout <= 0 {
+		cfg.OpTimeout = 30 * time.Second
+	}
+	if cfg.CrossShardTarget <= 0 {
+		cfg.CrossShardTarget = 0.125
+	}
+	// Only SendPayment and WriteCheck (2 of 6 kinds) can cross shards;
+	// bias their partner choice so the overall fraction hits the target.
+	crossBias := cfg.CrossShardTarget * 6 / 2
+	if cfg.Topology.NumShards < 2 {
+		crossBias = 0
+	}
+	if crossBias > 1 {
+		crossBias = 1
+	}
+
+	var ops, errs, cross atomic.Uint64
+	perKind := make([]atomic.Uint64, OpQuery+1)
+	stop := make(chan struct{})
+	start := time.Now()
+
+	var wg sync.WaitGroup
+	for i, oh := range cfg.Owners {
+		wg.Add(1)
+		go func(idx int, oh OwnerHandles) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(cfg.Seed + int64(idx)*7919))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				kind := OpKind(rng.Intn(6) + 1)
+				t0 := time.Now()
+				isCross, err := runOp(rng, cfg, oh, kind, crossBias)
+				if err != nil {
+					errs.Add(1)
+					continue
+				}
+				ops.Add(1)
+				perKind[kind].Add(1)
+				if isCross {
+					cross.Add(1)
+				}
+				if cfg.Hist != nil {
+					cfg.Hist.Record(time.Since(t0))
+				}
+				if cfg.Timeline != nil {
+					cfg.Timeline.Add(1)
+				}
+			}
+		}(i, oh)
+	}
+
+	time.Sleep(cfg.Duration)
+	close(stop)
+	wg.Wait()
+
+	res := SmallbankResult{
+		Result:        Result{Ops: ops.Load(), Errors: errs.Load(), Elapsed: time.Since(start)},
+		CrossShardOps: cross.Load(),
+		PerKind:       make(map[OpKind]uint64),
+	}
+	for k := OpTransactSavings; k <= OpQuery; k++ {
+		if n := perKind[k].Load(); n > 0 {
+			res.PerKind[k] = n
+		}
+	}
+	return res
+}
+
+// runOp executes one Smallbank transaction and reports whether it crossed
+// shards.
+func runOp(rng *rand.Rand, cfg SmallbankConfig, oh OwnerHandles, kind OpKind, crossBias float64) (bool, error) {
+	amount := types.Amount(rng.Int63n(10) + 1)
+	switch kind {
+	case OpTransactSavings, OpDepositChecking:
+		// Same-owner transfer savings -> checking: a full payment
+		// between two xlogs of the same shard.
+		return false, payWait(oh.Savings, CheckingOf(oh.Owner), amount, cfg.OpTimeout)
+	case OpAmalgamate:
+		// Move a larger chunk of savings into checking.
+		return false, payWait(oh.Savings, CheckingOf(oh.Owner), amount*5, cfg.OpTimeout)
+	case OpSendPayment, OpWriteCheck:
+		partner := pickPartner(rng, cfg, oh.Owner, crossBias)
+		isCross := cfg.Topology.NumShards > 1 && partner%cfg.Topology.NumShards != oh.Owner%cfg.Topology.NumShards
+		return isCross, payWait(oh.Checking, CheckingOf(partner), amount, cfg.OpTimeout)
+	case OpQuery:
+		if q, ok := oh.Checking.(BalanceQuerier); ok {
+			_, err := q.QueryBalance(cfg.OpTimeout)
+			return false, err
+		}
+		return false, nil
+	default:
+		return false, nil
+	}
+}
+
+func payWait(cl PaymentClient, b types.ClientID, x types.Amount, timeout time.Duration) error {
+	id, err := cl.Pay(b, x)
+	if err != nil {
+		return err
+	}
+	return cl.WaitConfirm(id, timeout)
+}
+
+// pickPartner selects a counterparty owner, biased toward other shards
+// with probability crossBias.
+func pickPartner(rng *rand.Rand, cfg SmallbankConfig, self int, crossBias float64) int {
+	n := len(cfg.Owners)
+	if n <= 1 {
+		return self
+	}
+	wantCross := cfg.Topology.NumShards > 1 && rng.Float64() < crossBias
+	for attempt := 0; attempt < 16; attempt++ {
+		p := cfg.Owners[rng.Intn(n)].Owner
+		if p == self {
+			continue
+		}
+		isCross := p%cfg.Topology.NumShards != self%cfg.Topology.NumShards
+		if isCross == wantCross {
+			return p
+		}
+	}
+	// Fall back to any distinct partner.
+	for {
+		p := cfg.Owners[rng.Intn(n)].Owner
+		if p != self {
+			return p
+		}
+	}
+}

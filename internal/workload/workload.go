@@ -1,0 +1,134 @@
+// Package workload provides the load generators of the evaluation: a
+// uniform closed-loop payment workload (the microbenchmarks of §VI-C1 and
+// the robustness experiments of §VI-D) and the Smallbank transaction
+// family (§VI-C2).
+//
+// Clients are closed-loop, like the paper's client threads: each submits a
+// payment, waits for its confirmation, and immediately submits the next.
+// Offered load is controlled by the number of concurrent clients.
+package workload
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"astro/internal/metrics"
+	"astro/internal/types"
+)
+
+// PaymentClient abstracts over core.Client (Astro) and consensus.Client
+// (baseline): submit a payment, then wait for its confirmation.
+type PaymentClient interface {
+	ID() types.ClientID
+	Pay(b types.ClientID, x types.Amount) (types.PaymentID, error)
+	WaitConfirm(id types.PaymentID, timeout time.Duration) error
+}
+
+// UniformConfig drives a uniform random-transfer workload.
+type UniformConfig struct {
+	// Clients are the closed-loop workers.
+	Clients []PaymentClient
+	// Beneficiaries is the pool of destination accounts; each payment
+	// picks one uniformly (excluding the spender when possible).
+	Beneficiaries []types.ClientID
+	// Duration is how long to generate load.
+	Duration time.Duration
+	// MaxAmount bounds the uniformly drawn payment amount (>= 1).
+	MaxAmount types.Amount
+	// OpTimeout bounds each confirmation wait. Default 30s.
+	OpTimeout time.Duration
+	// Hist, if non-nil, records per-payment confirmation latencies.
+	Hist *metrics.Histogram
+	// Timeline, if non-nil, counts confirmations over time.
+	Timeline *metrics.Timeline
+	// Seed makes the generated sequence reproducible.
+	Seed int64
+}
+
+// Result summarizes a load run.
+type Result struct {
+	// Ops is the number of confirmed payments.
+	Ops uint64
+	// Errors is the number of failed or timed-out operations.
+	Errors uint64
+	// Elapsed is the wall-clock duration of the run.
+	Elapsed time.Duration
+}
+
+// Throughput returns confirmed payments per second.
+func (r Result) Throughput() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.Ops) / r.Elapsed.Seconds()
+}
+
+// RunUniform runs the uniform workload until the configured duration
+// elapses and returns aggregate results.
+func RunUniform(cfg UniformConfig) Result {
+	if cfg.OpTimeout <= 0 {
+		cfg.OpTimeout = 30 * time.Second
+	}
+	if cfg.MaxAmount < 1 {
+		cfg.MaxAmount = 1
+	}
+	var ops, errs atomic.Uint64
+	stop := make(chan struct{})
+	start := time.Now()
+
+	var wg sync.WaitGroup
+	for i, cl := range cfg.Clients {
+		wg.Add(1)
+		go func(idx int, cl PaymentClient) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(cfg.Seed + int64(idx)))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				b := pickBeneficiary(rng, cfg.Beneficiaries, cl.ID())
+				x := types.Amount(rng.Int63n(int64(cfg.MaxAmount))) + 1
+				t0 := time.Now()
+				id, err := cl.Pay(b, x)
+				if err != nil {
+					errs.Add(1)
+					continue
+				}
+				if err := cl.WaitConfirm(id, cfg.OpTimeout); err != nil {
+					errs.Add(1)
+					continue
+				}
+				lat := time.Since(t0)
+				ops.Add(1)
+				if cfg.Hist != nil {
+					cfg.Hist.Record(lat)
+				}
+				if cfg.Timeline != nil {
+					cfg.Timeline.Add(1)
+				}
+			}
+		}(i, cl)
+	}
+
+	time.Sleep(cfg.Duration)
+	close(stop)
+	wg.Wait()
+	return Result{Ops: ops.Load(), Errors: errs.Load(), Elapsed: time.Since(start)}
+}
+
+func pickBeneficiary(rng *rand.Rand, pool []types.ClientID, self types.ClientID) types.ClientID {
+	if len(pool) == 0 {
+		return self
+	}
+	for attempt := 0; attempt < 4; attempt++ {
+		b := pool[rng.Intn(len(pool))]
+		if b != self {
+			return b
+		}
+	}
+	return pool[rng.Intn(len(pool))]
+}

@@ -1,0 +1,220 @@
+package workload
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"astro/internal/metrics"
+	"astro/internal/shard"
+	"astro/internal/types"
+)
+
+// fakeClient is an in-memory PaymentClient with configurable latency.
+type fakeClient struct {
+	id      types.ClientID
+	latency time.Duration
+	fail    bool
+
+	mu   sync.Mutex
+	seq  types.Seq
+	paid []types.Payment
+	bal  types.Amount
+}
+
+func (f *fakeClient) ID() types.ClientID { return f.id }
+
+func (f *fakeClient) Pay(b types.ClientID, x types.Amount) (types.PaymentID, error) {
+	if f.fail {
+		return types.PaymentID{}, errors.New("fake failure")
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.seq++
+	f.paid = append(f.paid, types.Payment{Spender: f.id, Seq: f.seq, Beneficiary: b, Amount: x})
+	return types.PaymentID{Spender: f.id, Seq: f.seq}, nil
+}
+
+func (f *fakeClient) WaitConfirm(types.PaymentID, time.Duration) error {
+	time.Sleep(f.latency)
+	return nil
+}
+
+func (f *fakeClient) QueryBalance(time.Duration) (types.Amount, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.bal, nil
+}
+
+func (f *fakeClient) payments() []types.Payment {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make([]types.Payment, len(f.paid))
+	copy(out, f.paid)
+	return out
+}
+
+func TestRunUniform(t *testing.T) {
+	a := &fakeClient{id: 1, latency: time.Millisecond}
+	b := &fakeClient{id: 2, latency: time.Millisecond}
+	hist := &metrics.Histogram{}
+	tl := metrics.NewTimeline(10, 100*time.Millisecond)
+	res := RunUniform(UniformConfig{
+		Clients:       []PaymentClient{a, b},
+		Beneficiaries: []types.ClientID{1, 2, 3},
+		Duration:      200 * time.Millisecond,
+		MaxAmount:     50,
+		Hist:          hist,
+		Timeline:      tl,
+		Seed:          1,
+	})
+	if res.Ops == 0 {
+		t.Fatal("no operations completed")
+	}
+	if res.Errors != 0 {
+		t.Errorf("errors = %d", res.Errors)
+	}
+	if hist.Count() != res.Ops {
+		t.Errorf("hist count %d != ops %d", hist.Count(), res.Ops)
+	}
+	if res.Throughput() <= 0 {
+		t.Error("throughput not positive")
+	}
+	// Amounts within bounds, beneficiaries from the pool, no self-pay
+	// unless forced.
+	for _, p := range append(a.payments(), b.payments()...) {
+		if p.Amount < 1 || p.Amount > 50 {
+			t.Fatalf("amount %d out of range", p.Amount)
+		}
+		if p.Beneficiary != 1 && p.Beneficiary != 2 && p.Beneficiary != 3 {
+			t.Fatalf("beneficiary %d not in pool", p.Beneficiary)
+		}
+	}
+	var binTotal uint64
+	for _, n := range tl.Bins() {
+		binTotal += n
+	}
+	if binTotal != res.Ops {
+		t.Errorf("timeline total %d != ops %d", binTotal, res.Ops)
+	}
+}
+
+func TestRunUniformCountsErrors(t *testing.T) {
+	a := &fakeClient{id: 1, fail: true}
+	res := RunUniform(UniformConfig{
+		Clients:       []PaymentClient{a},
+		Beneficiaries: []types.ClientID{2},
+		Duration:      50 * time.Millisecond,
+	})
+	if res.Ops != 0 {
+		t.Error("failed ops counted as success")
+	}
+	if res.Errors == 0 {
+		t.Error("errors not counted")
+	}
+}
+
+func TestAccountScheme(t *testing.T) {
+	if CheckingOf(3) != 6 || SavingsOf(3) != 7 {
+		t.Error("account ids wrong")
+	}
+	if OwnerOf(CheckingOf(5)) != 5 || OwnerOf(SavingsOf(5)) != 5 {
+		t.Error("OwnerOf not inverse")
+	}
+}
+
+func TestSmallbankMapsSameShard(t *testing.T) {
+	top := shard.Topology{NumShards: 3, PerShard: 4}
+	shardOf, repOf := Maps(top)
+	for o := 0; o < 60; o++ {
+		chk, sav := CheckingOf(o), SavingsOf(o)
+		if shardOf(chk) != shardOf(sav) {
+			t.Fatalf("owner %d xlogs in different shards", o)
+		}
+		if top.ReplicaShard(repOf(chk)) != shardOf(chk) {
+			t.Fatalf("owner %d representative outside shard", o)
+		}
+	}
+}
+
+func TestRunSmallbank(t *testing.T) {
+	top := shard.Topology{NumShards: 2, PerShard: 4}
+	var owners []OwnerHandles
+	for o := 0; o < 8; o++ {
+		owners = append(owners, OwnerHandles{
+			Owner:    o,
+			Checking: &fakeClient{id: CheckingOf(o), latency: time.Millisecond, bal: 100},
+			Savings:  &fakeClient{id: SavingsOf(o), latency: time.Millisecond, bal: 100},
+		})
+	}
+	hist := &metrics.Histogram{}
+	res := RunSmallbank(SmallbankConfig{
+		Owners:   owners,
+		Topology: top,
+		Duration: 300 * time.Millisecond,
+		Hist:     hist,
+		Seed:     2,
+	})
+	if res.Ops == 0 {
+		t.Fatal("no smallbank ops completed")
+	}
+	if res.Errors != 0 {
+		t.Errorf("errors = %d", res.Errors)
+	}
+	if len(res.PerKind) < 4 {
+		t.Errorf("op mix too narrow: %v", res.PerKind)
+	}
+	// Cross-shard fraction should be in the neighbourhood of the 12.5%
+	// target (generous tolerance for a short run).
+	frac := res.CrossShardFraction()
+	if frac <= 0.02 || frac >= 0.4 {
+		t.Errorf("cross-shard fraction = %.3f, want ~0.125", frac)
+	}
+}
+
+func TestSmallbankSingleShardNoCross(t *testing.T) {
+	top := shard.Topology{NumShards: 1, PerShard: 4}
+	var owners []OwnerHandles
+	for o := 0; o < 4; o++ {
+		owners = append(owners, OwnerHandles{
+			Owner:    o,
+			Checking: &fakeClient{id: CheckingOf(o)},
+			Savings:  &fakeClient{id: SavingsOf(o)},
+		})
+	}
+	res := RunSmallbank(SmallbankConfig{
+		Owners:   owners,
+		Topology: top,
+		Duration: 100 * time.Millisecond,
+		Seed:     3,
+	})
+	if res.CrossShardOps != 0 {
+		t.Errorf("cross-shard ops on a single shard: %d", res.CrossShardOps)
+	}
+}
+
+func TestOpKindString(t *testing.T) {
+	kinds := []OpKind{OpTransactSavings, OpDepositChecking, OpSendPayment, OpWriteCheck, OpAmalgamate, OpQuery}
+	seen := map[string]bool{}
+	for _, k := range kinds {
+		s := k.String()
+		if s == "Unknown" || seen[s] {
+			t.Errorf("bad name for %d: %q", k, s)
+		}
+		seen[s] = true
+	}
+	if OpKind(0).String() != "Unknown" {
+		t.Error("zero kind should be Unknown")
+	}
+}
+
+func TestResultThroughput(t *testing.T) {
+	r := Result{Ops: 100, Elapsed: 2 * time.Second}
+	if r.Throughput() != 50 {
+		t.Errorf("throughput = %v", r.Throughput())
+	}
+	if (Result{}).Throughput() != 0 {
+		t.Error("zero result throughput")
+	}
+}
