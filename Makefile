@@ -1,0 +1,33 @@
+# Astro reproduction — build and verification targets.
+#
+# `make verify` is the tier-1 gate plus the race suite for the packages
+# touching the parallel verification pipeline.
+
+GO ?= go
+
+.PHONY: all build test vet race bench verify
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# Race-detector pass over the crypto/broadcast/payment hot path — the
+# packages with cross-goroutine verification completions.
+race:
+	$(GO) test -race ./internal/crypto/... ./internal/brb/... ./internal/core/...
+
+# Headline benchmarks: parallel certificate verification, signed BRB, and
+# the end-to-end ECDSA settlement path.
+bench:
+	$(GO) test -run=NONE -bench 'BenchmarkVerifyCertificateParallel|BenchmarkVerifyBatchClientSigs' -benchtime=100x ./internal/crypto/
+	$(GO) test -run=NONE -bench 'BenchmarkSignedN10' -benchtime=1000x ./internal/brb/
+	$(GO) test -run=NONE -bench 'BenchmarkSettleBatchECDSA' -benchtime=500x ./internal/core/
+
+verify: build vet test race

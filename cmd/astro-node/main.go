@@ -27,6 +27,7 @@ import (
 
 	"astro/internal/core"
 	"astro/internal/crypto"
+	"astro/internal/crypto/verifier"
 	"astro/internal/transport"
 	"astro/internal/transport/tcpnet"
 	"astro/internal/types"
@@ -101,6 +102,9 @@ func run() error {
 		Auth:       crypto.NewLinkAuthenticator(types.ReplicaID(*id), []byte(*secret)),
 		Keys:       myKeys,
 		Registry:   registry,
+		// One worker per core: a standalone node owns the whole machine,
+		// and signature verification is the settlement bottleneck.
+		Verifier: verifier.New(0),
 	})
 	if err != nil {
 		return err

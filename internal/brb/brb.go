@@ -24,6 +24,7 @@ import (
 	"errors"
 
 	"astro/internal/crypto"
+	"astro/internal/crypto/verifier"
 	"astro/internal/transport"
 	"astro/internal/types"
 	"astro/internal/wire"
@@ -42,6 +43,8 @@ type DeliverFunc func(origin types.ReplicaID, slot uint64, payload []byte)
 type Broadcaster interface {
 	// Broadcast reliably sends payload to all replicas, assigning it the
 	// next slot of this replica's sequence. It returns the assigned slot.
+	// Implementations copy payload before returning, so callers may reuse
+	// (or pool) their buffers.
 	Broadcast(payload []byte) (uint64, error)
 	// Delivered returns the highest slot delivered for an origin.
 	Delivered(origin types.ReplicaID) uint64
@@ -75,6 +78,12 @@ type Config struct {
 	// Bracha).
 	Keys     *crypto.KeyPair
 	Registry *crypto.Registry
+
+	// Verifier is the worker pool the signature-based protocol uses to
+	// verify ack signatures and commit certificates off the transport
+	// dispatch goroutine. Nil selects the shared process-wide pool
+	// (verifier.Default). Ignored by Bracha, which verifies nothing.
+	Verifier *verifier.Verifier
 }
 
 // Errors returned by Broadcast.
@@ -110,56 +119,77 @@ const (
 	kindCommit  byte = 5
 )
 
+// headerSize is the fixed prefix of every BRB message: kind, origin, slot.
+const headerSize = 1 + 4 + 8
+
+// appendHeader writes the common message prefix.
+func appendHeader(w *wire.Writer, kind byte, origin types.ReplicaID, slot uint64) {
+	w.U8(kind)
+	w.U32(uint32(origin))
+	w.U64(slot)
+}
+
+// payloadMsgSize is the exact size of a PREPARE/ECHO/READY message.
+func payloadMsgSize(payload []byte) int { return headerSize + 4 + len(payload) }
+
+func appendPayloadMsg(w *wire.Writer, kind byte, origin types.ReplicaID, slot uint64, payload []byte) {
+	appendHeader(w, kind, origin, slot)
+	w.Chunk(payload)
+}
+
 // EncodePrepare encodes a PREPARE message. Exported for tests that forge
 // Byzantine traffic.
 func EncodePrepare(origin types.ReplicaID, slot uint64, payload []byte) []byte {
-	w := wire.NewWriter(16 + len(payload))
-	w.U8(kindPrepare)
-	w.U32(uint32(origin))
-	w.U64(slot)
-	w.Chunk(payload)
+	w := wire.NewWriter(payloadMsgSize(payload))
+	appendPayloadMsg(w, kindPrepare, origin, slot, payload)
 	return w.Bytes()
 }
 
 // EncodeEcho encodes an ECHO message (Bracha). Exported for tests.
 func EncodeEcho(origin types.ReplicaID, slot uint64, payload []byte) []byte {
-	w := wire.NewWriter(16 + len(payload))
-	w.U8(kindEcho)
-	w.U32(uint32(origin))
-	w.U64(slot)
-	w.Chunk(payload)
+	w := wire.NewWriter(payloadMsgSize(payload))
+	appendPayloadMsg(w, kindEcho, origin, slot, payload)
 	return w.Bytes()
 }
 
 // EncodeReady encodes a READY message (Bracha). Exported for tests.
 func EncodeReady(origin types.ReplicaID, slot uint64, payload []byte) []byte {
-	w := wire.NewWriter(16 + len(payload))
-	w.U8(kindReady)
-	w.U32(uint32(origin))
-	w.U64(slot)
-	w.Chunk(payload)
+	w := wire.NewWriter(payloadMsgSize(payload))
+	appendPayloadMsg(w, kindReady, origin, slot, payload)
 	return w.Bytes()
+}
+
+// ackSize is the exact size of an ACK message.
+func ackSize(sig []byte) int { return headerSize + 32 + 4 + len(sig) }
+
+func appendAck(w *wire.Writer, origin types.ReplicaID, slot uint64, digest types.Digest, sig []byte) {
+	appendHeader(w, kindAck, origin, slot)
+	w.Bytes32(digest)
+	w.Chunk(sig)
 }
 
 // EncodeAck encodes an ACK message (Signed). Exported for tests.
 func EncodeAck(origin types.ReplicaID, slot uint64, digest types.Digest, sig []byte) []byte {
-	w := wire.NewWriter(64 + len(sig))
-	w.U8(kindAck)
-	w.U32(uint32(origin))
-	w.U64(slot)
-	w.Bytes32(digest)
-	w.Chunk(sig)
+	w := wire.NewWriter(ackSize(sig))
+	appendAck(w, origin, slot, digest, sig)
 	return w.Bytes()
+}
+
+// commitSize is the exact size of a COMMIT message.
+func commitSize(payload []byte, cert crypto.Certificate) int {
+	return headerSize + 4 + len(payload) + crypto.CertificateSize(cert)
+}
+
+func appendCommit(w *wire.Writer, origin types.ReplicaID, slot uint64, payload []byte, cert crypto.Certificate) {
+	appendHeader(w, kindCommit, origin, slot)
+	w.Chunk(payload)
+	crypto.EncodeCertificate(w, cert)
 }
 
 // EncodeCommit encodes a COMMIT message (Signed). Exported for tests.
 func EncodeCommit(origin types.ReplicaID, slot uint64, payload []byte, cert crypto.Certificate) []byte {
-	w := wire.NewWriter(64 + len(payload))
-	w.U8(kindCommit)
-	w.U32(uint32(origin))
-	w.U64(slot)
-	w.Chunk(payload)
-	crypto.EncodeCertificate(w, cert)
+	w := wire.NewWriter(commitSize(payload, cert))
+	appendCommit(w, origin, slot, payload, cert)
 	return w.Bytes()
 }
 
@@ -168,7 +198,8 @@ func EncodeCommit(origin types.ReplicaID, slot uint64, payload []byte, cert cryp
 // cross-protocol signature reuse.
 func SignedDigest(origin types.ReplicaID, slot uint64, payload []byte) types.Digest {
 	ph := types.HashBytes(payload)
-	w := wire.NewWriter(64)
+	w := wire.AcquireWriter(1 + 4 + 8 + 32)
+	defer w.Release()
 	w.U8(0x42) // domain: brb-ack
 	w.U32(uint32(origin))
 	w.U64(slot)

@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"astro/internal/crypto"
+	"astro/internal/crypto/verifier"
 	"astro/internal/transport"
 	"astro/internal/types"
 	"astro/internal/wire"
@@ -26,14 +27,46 @@ import (
 // computation. The protocol does not provide totality: if the origin is
 // faulty, some correct replicas may deliver while others never do. Astro II
 // compensates at the payment layer with CREDIT dependency certificates.
+//
+// Signature verification — the dominant CPU cost of the protocol, which
+// the paper amortizes with 256-payment batches (§VI-A) — runs on the
+// configured verifier pool, not on the transport dispatch goroutine:
+//
+//   - ack signatures arriving at the origin are checked asynchronously and
+//     re-enter the state machine through a completion callback;
+//   - commit certificates are fanned out across the pool (with 2f+1
+//     early exit) from a per-commit goroutine, and delivery re-enters the
+//     state machine on completion.
+//
+// Because verifications may complete out of order, deliveries are staged
+// through the per-origin FIFO under the instance lock and then drained by
+// a single logical deliverer, so the Deliver callback still observes the
+// paper's per-origin slot order.
 type Signed struct {
 	cfg Config
+	ver *verifier.Verifier
+	// commitSem bounds in-flight commit verifications. Acquiring it can
+	// block the dispatch goroutine — deliberately: that is the same
+	// backpressure inline verification used to provide, so a Byzantine
+	// peer streaming fabricated commits saturates a bounded pipeline
+	// instead of spawning unbounded goroutines. Honest commits are never
+	// dropped, only delayed.
+	commitSem chan struct{}
 
 	mu      sync.Mutex
 	nextOut uint64
 	mine    map[uint64]*outInstance   // my in-flight broadcasts, by slot
 	acked   map[instanceID]*ackRecord // instances I have acknowledged
 	order   *fifo
+	// committing marks instances with a certificate verification in
+	// flight, so re-delivered commits don't spawn duplicate work.
+	committing map[instanceID]struct{}
+	// deliverQ and delivering serialize the Deliver callback: whichever
+	// completion appends first drains the queue, so deliveries exit in
+	// exactly the order the FIFO released them even when certificate
+	// verifications finish out of order.
+	deliverQ   []delivery
+	delivering bool
 }
 
 var _ Broadcaster = (*Signed)(nil)
@@ -62,11 +95,18 @@ func NewSigned(cfg Config) (*Signed, error) {
 	if cfg.Keys == nil || cfg.Registry == nil {
 		return nil, ErrNoKeys
 	}
+	ver := cfg.Verifier
+	if ver == nil {
+		ver = verifier.Default()
+	}
 	s := &Signed{
-		cfg:   cfg,
-		mine:  make(map[uint64]*outInstance),
-		acked: make(map[instanceID]*ackRecord),
-		order: newFIFO(),
+		cfg:        cfg,
+		ver:        ver,
+		commitSem:  make(chan struct{}, 2*ver.Workers()+2),
+		mine:       make(map[uint64]*outInstance),
+		acked:      make(map[instanceID]*ackRecord),
+		order:      newFIFO(),
+		committing: make(map[instanceID]struct{}),
 	}
 	cfg.Mux.Register(transport.ChanBRB, s.onMessage)
 	return s, nil
@@ -85,10 +125,12 @@ func (s *Signed) Broadcast(payload []byte) (uint64, error) {
 	}
 	s.mu.Unlock()
 
-	msg := EncodePrepare(s.cfg.Self, slot, payload)
+	w := wire.AcquireWriter(payloadMsgSize(payload))
+	appendPayloadMsg(w, kindPrepare, s.cfg.Self, slot, payload)
 	for _, p := range s.cfg.Peers {
-		_ = s.cfg.Mux.Send(transport.ReplicaNode(p), transport.ChanBRB, msg)
+		_ = s.cfg.Mux.Send(transport.ReplicaNode(p), transport.ChanBRB, w.Bytes())
 	}
+	w.Release()
 	return slot, nil
 }
 
@@ -142,12 +184,24 @@ func (s *Signed) handlePrepare(id instanceID, payload []byte) {
 	d := SignedDigest(id.origin, id.slot, payload)
 
 	s.mu.Lock()
-	if rec, seen := s.acked[id]; seen {
+	if _, seen := s.acked[id]; seen {
 		s.mu.Unlock()
-		_ = rec // already acknowledged (same or conflicting); stay silent
+		return // already acknowledged (same or conflicting); stay silent
+	}
+	s.mu.Unlock()
+
+	// The validator runs outside the instance lock: the payment layer's
+	// hook verifies a whole batch of client signatures on the pool and
+	// blocks for the results, and completion callbacks taking s.mu must
+	// stay able to run meanwhile.
+	if s.cfg.Validator != nil && !s.cfg.Validator(id.origin, id.slot, payload) {
 		return
 	}
-	if s.cfg.Validator != nil && !s.cfg.Validator(id.origin, id.slot, payload) {
+
+	s.mu.Lock()
+	if _, seen := s.acked[id]; seen {
+		// A commit for this instance finished verifying while the
+		// validator ran; its record wins and this replica stays silent.
 		s.mu.Unlock()
 		return
 	}
@@ -158,12 +212,16 @@ func (s *Signed) handlePrepare(id instanceID, payload []byte) {
 	if err != nil {
 		return // entropy failure; withholding an ack is always safe
 	}
-	msg := EncodeAck(id.origin, id.slot, d, sig)
-	_ = s.cfg.Mux.Send(transport.ReplicaNode(id.origin), transport.ChanBRB, msg)
+	w := wire.AcquireWriter(ackSize(sig))
+	appendAck(w, id.origin, id.slot, d, sig)
+	_ = s.cfg.Mux.Send(transport.ReplicaNode(id.origin), transport.ChanBRB, w.Bytes())
+	w.Release()
 }
 
-// handleAck runs at the origin: gather a quorum of valid signatures, then
-// commit.
+// handleAck runs at the origin: it performs the cheap instance checks
+// inline, then hands the signature to the verifier pool. Certificate
+// assembly — and the COMMIT, once a quorum accrues — happens in the
+// completion callback.
 func (s *Signed) handleAck(id instanceID, peer types.ReplicaID, digest types.Digest, sig []byte) {
 	if id.origin != s.cfg.Self {
 		return // ack for someone else's instance; misdirected
@@ -177,13 +235,22 @@ func (s *Signed) handleAck(id instanceID, peer types.ReplicaID, digest types.Dig
 	}
 	s.mu.Unlock()
 
-	// Verify outside the lock: signature checks dominate CPU cost.
-	if !s.cfg.Registry.VerifySig(peer, digest, sig) {
-		return
-	}
+	// Signature checks dominate CPU cost: run them on the pool, off the
+	// dispatch goroutine and outside the instance lock. Re-sent acks hit
+	// the verifier's memo and resolve inline.
+	s.ver.VerifyReplicaDetached(s.cfg.Registry, peer, digest, sig, func(ok bool) {
+		if ok {
+			s.ackVerified(id, peer, digest, sig)
+		}
+	})
+}
 
+// ackVerified re-enters the state machine after an ack signature checks
+// out: record it, and commit on reaching the quorum.
+func (s *Signed) ackVerified(id instanceID, peer types.ReplicaID, digest types.Digest, sig []byte) {
 	s.mu.Lock()
-	if out.committed {
+	out := s.mine[id.slot]
+	if out == nil || out.committed || digest != out.digest {
 		s.mu.Unlock()
 		return
 	}
@@ -197,28 +264,59 @@ func (s *Signed) handleAck(id instanceID, peer types.ReplicaID, digest types.Dig
 	s.mu.Unlock()
 
 	if commit {
-		msg := EncodeCommit(id.origin, id.slot, payload, cert)
+		w := wire.AcquireWriter(commitSize(payload, cert))
+		appendCommit(w, id.origin, id.slot, payload, cert)
 		for _, p := range s.cfg.Peers {
-			_ = s.cfg.Mux.Send(transport.ReplicaNode(p), transport.ChanBRB, msg)
+			_ = s.cfg.Mux.Send(transport.ReplicaNode(p), transport.ChanBRB, w.Bytes())
 		}
+		w.Release()
 	}
 }
 
-// handleCommit verifies the certificate and delivers in FIFO order.
+// handleCommit performs the cheap duplicate checks inline, then verifies
+// the certificate on the pool — fanned out across workers with 2f+1 early
+// exit — and delivers in FIFO order from the completion path.
 func (s *Signed) handleCommit(id instanceID, payload []byte, cert crypto.Certificate) {
 	s.mu.Lock()
 	if rec := s.acked[id]; rec != nil && rec.delivered {
 		s.mu.Unlock()
 		return
 	}
+	if _, busy := s.committing[id]; busy {
+		s.mu.Unlock()
+		return // a verification for this instance is already in flight
+	}
+	s.committing[id] = struct{}{}
 	s.mu.Unlock()
 
-	d := SignedDigest(id.origin, id.slot, payload)
-	if err := crypto.VerifyCertificate(s.cfg.Registry, cert, d, s.cfg.quorum(), s.membership); err != nil {
+	// The coordinator needs its own goroutine: it blocks on the fanned-out
+	// signature checks, and the dispatch goroutine must stay free to pump
+	// messages (including the very acks/commits the pool is verifying).
+	// Digest computation (a hash over the full batch payload) moves off
+	// the dispatch goroutine with it. The semaphore bounds how many such
+	// coordinators exist at once (no lock is held here, so blocking is
+	// safe).
+	s.commitSem <- struct{}{}
+	go func() {
+		defer func() { <-s.commitSem }()
+		d := SignedDigest(id.origin, id.slot, payload)
+		err := s.ver.VerifyCertificate(s.cfg.Registry, cert, d, s.cfg.quorum(), s.membership)
+		s.commitVerified(id, d, payload, err == nil)
+	}()
+}
+
+// commitVerified re-enters the state machine after certificate
+// verification: on success it marks the instance delivered, releases the
+// consecutive run from the per-origin FIFO, and drains the delivery queue.
+// A failed verification only clears the in-flight marker, so a later
+// well-formed commit for the instance can still be processed.
+func (s *Signed) commitVerified(id instanceID, d types.Digest, payload []byte, ok bool) {
+	s.mu.Lock()
+	delete(s.committing, id)
+	if !ok {
+		s.mu.Unlock()
 		return // invalid or insufficient certificate
 	}
-
-	s.mu.Lock()
 	rec := s.acked[id]
 	if rec == nil {
 		rec = &ackRecord{digest: d}
@@ -229,12 +327,24 @@ func (s *Signed) handleCommit(id instanceID, payload []byte, cert crypto.Certifi
 		return
 	}
 	rec.delivered = true
-	deliveries := s.order.ready(id, payload)
-	s.mu.Unlock()
-
-	for _, dv := range deliveries {
-		s.cfg.Deliver(dv.origin, dv.slot, dv.payload)
+	s.deliverQ = append(s.deliverQ, s.order.ready(id, payload)...)
+	if s.delivering {
+		// Another completion is draining; it will pick these up, in order.
+		s.mu.Unlock()
+		return
 	}
+	s.delivering = true
+	for len(s.deliverQ) > 0 {
+		batch := s.deliverQ
+		s.deliverQ = nil
+		s.mu.Unlock()
+		for _, dv := range batch {
+			s.cfg.Deliver(dv.origin, dv.slot, dv.payload)
+		}
+		s.mu.Lock()
+	}
+	s.delivering = false
+	s.mu.Unlock()
 }
 
 func (s *Signed) membership(id types.ReplicaID) bool {

@@ -32,6 +32,7 @@ import (
 
 	"astro/internal/core"
 	"astro/internal/crypto"
+	"astro/internal/crypto/verifier"
 	"astro/internal/transport"
 	"astro/internal/types"
 )
@@ -69,6 +70,12 @@ type Config struct {
 	// matching BFT-SMaRt's MAC-based channel authentication (the same
 	// scheme Astro I uses). Optional.
 	Auth *crypto.LinkAuthenticator
+	// Verifier is the worker pool used to check inbound link MACs off the
+	// protocol lock; handlers re-enter through a completion callback.
+	// PBFT-family vote counting is insensitive to message reordering (the
+	// network reorders anyway), so asynchronous completion is safe. Nil
+	// selects the shared process-wide pool (verifier.Default).
+	Verifier *verifier.Verifier
 }
 
 // Errors returned by New.
@@ -100,6 +107,9 @@ func (c *Config) normalize() error {
 		c.ViewChangeSyncCost = 0
 	} else if c.ViewChangeSyncCost == 0 {
 		c.ViewChangeSyncCost = time.Duration(len(c.Replicas)) * 40 * time.Millisecond
+	}
+	if c.Verifier == nil {
+		c.Verifier = verifier.Default()
 	}
 	return nil
 }
@@ -331,19 +341,33 @@ func (r *Replica) takeBatch() []types.Payment {
 // ---- consensus message handling ----
 
 func (r *Replica) onMessage(from transport.NodeID, payload []byte) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
 	peer := types.ReplicaID(from)
 	if r.cfg.Auth != nil {
 		if len(payload) < crypto.TagSize {
 			return
 		}
+		// MAC verification runs on the verifier pool, off the dispatch
+		// goroutine and outside r.mu; the protocol handler re-enters via
+		// the completion callback. Transports hand buffer ownership to
+		// the handler, so retaining payload across the hop is safe.
 		msg, tag := payload[:len(payload)-crypto.TagSize], payload[len(payload)-crypto.TagSize:]
-		if !r.cfg.Auth.VerifyTag(peer, msg, tag) {
-			return // forged or corrupted
-		}
-		payload = msg
+		r.cfg.Verifier.VerifyDetached(
+			func() bool { return r.cfg.Auth.VerifyTag(peer, msg, tag) },
+			func(ok bool) {
+				if ok {
+					r.dispatch(peer, msg)
+				}
+				// else: forged or corrupted
+			})
+		return
 	}
+	r.dispatch(peer, payload)
+}
+
+// dispatch routes an authenticated protocol message under the lock.
+func (r *Replica) dispatch(peer types.ReplicaID, payload []byte) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	kind, body := splitKind(payload)
 	switch kind {
 	case kindPrePrepare:

@@ -37,18 +37,36 @@ func PaymentDigest(p types.Payment) types.Digest {
 // maxBatch bounds decoded batch sizes.
 const maxBatch = 1 << 16
 
-// EncodeBatch produces the broadcast payload for a batch.
-func EncodeBatch(entries []BatchEntry) []byte {
-	w := wire.NewWriter(8 + len(entries)*(types.PaymentWireSize+8))
+// batchSize returns the exact encoded size of a batch, for exact-capacity
+// preallocation: one undersized guess doubles the hot path's allocations.
+func batchSize(entries []BatchEntry) int {
+	n := 4
+	for _, e := range entries {
+		n += types.PaymentWireSize + 4 + len(e.Sig) + 4
+		for _, d := range e.Deps {
+			n += dependencySize(d)
+		}
+	}
+	return n
+}
+
+// appendBatch writes the broadcast payload for a batch into w.
+func appendBatch(w *wire.Writer, entries []BatchEntry) {
 	w.U32(uint32(len(entries)))
 	for _, e := range entries {
-		w.Raw(e.Payment.AppendBinary(nil))
+		w.AppendFunc(e.Payment.AppendBinary)
 		w.Chunk(e.Sig)
 		w.U32(uint32(len(e.Deps)))
 		for _, d := range e.Deps {
 			encodeDependency(w, d)
 		}
 	}
+}
+
+// EncodeBatch produces the broadcast payload for a batch.
+func EncodeBatch(entries []BatchEntry) []byte {
+	w := wire.NewWriter(batchSize(entries))
+	appendBatch(w, entries)
 	return w.Bytes()
 }
 

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"astro/internal/crypto"
+	"astro/internal/crypto/verifier"
 	"astro/internal/transport"
 	"astro/internal/types"
 )
@@ -63,6 +64,12 @@ type Config struct {
 	// Nil disables client authentication (submissions are authenticated
 	// by the transport only, and clients trust their representative).
 	ClientKeys *crypto.ClientKeys
+	// Verifier is the worker pool for signature verification on the
+	// settlement hot path: client signatures of a batch are fanned out
+	// before endorsement, BRB ack/commit checks run off the transport
+	// dispatch goroutine, and CREDIT signatures verify asynchronously.
+	// Nil selects the shared process-wide pool (verifier.Default).
+	Verifier *verifier.Verifier
 }
 
 // Configuration errors.
@@ -106,6 +113,9 @@ func (c *Config) normalize() error {
 	}
 	if c.BatchDelay <= 0 {
 		c.BatchDelay = 5 * time.Millisecond
+	}
+	if c.Verifier == nil {
+		c.Verifier = verifier.Default()
 	}
 	return nil
 }

@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"astro/internal/crypto"
+	"astro/internal/crypto/verifier"
 	"astro/internal/types"
 	"astro/internal/wire"
 )
@@ -25,11 +26,12 @@ import (
 // CreditGroupDigest computes the digest signed in CREDIT messages: a
 // domain-separated hash over the canonical encoding of the group.
 func CreditGroupDigest(group []types.Payment) types.Digest {
-	w := wire.NewWriter(8 + len(group)*types.PaymentWireSize)
+	w := wire.AcquireWriter(5 + len(group)*types.PaymentWireSize)
+	defer w.Release()
 	w.U8(0x43) // domain: credit-group
 	w.U32(uint32(len(group)))
 	for _, p := range group {
-		w.Raw(p.AppendBinary(nil))
+		w.AppendFunc(p.AppendBinary)
 	}
 	return types.HashBytes(w.Bytes())
 }
@@ -65,8 +67,15 @@ var (
 // VerifyDependency checks that the dependency's certificate carries at
 // least f+1 valid signatures from replicas of the (single) shard all the
 // group's spenders belong to.
+//
+// When ver is non-nil the certificate check runs through its memo cache
+// (still inline on the caller — the payment engine calls this under its
+// state lock, where blocking on the worker pool is not allowed), so a
+// dependency whose CREDIT signatures this replica already verified costs
+// hashes, not ECDSA. A nil ver falls back to the plain serial checker.
 func VerifyDependency(
 	d Dependency,
+	ver *verifier.Verifier,
 	reg *crypto.Registry,
 	f int,
 	shardOf func(types.ClientID) types.ShardID,
@@ -83,17 +92,28 @@ func VerifyDependency(
 	}
 	digest := CreditGroupDigest(d.Group)
 	member := func(r types.ReplicaID) bool { return replicaShard(r) == shard }
-	if err := crypto.VerifyCertificate(reg, d.Cert, digest, f+1, member); err != nil {
+	var err error
+	if ver != nil {
+		err = ver.VerifyCertificateInline(reg, d.Cert, digest, f+1, member)
+	} else {
+		err = crypto.VerifyCertificate(reg, d.Cert, digest, f+1, member)
+	}
+	if err != nil {
 		return fmt.Errorf("dependency: %w", err)
 	}
 	return nil
+}
+
+// dependencySize returns the exact encoded size of a dependency.
+func dependencySize(d Dependency) int {
+	return 4 + len(d.Group)*types.PaymentWireSize + crypto.CertificateSize(d.Cert)
 }
 
 // encodeDependency appends the dependency's wire form.
 func encodeDependency(w *wire.Writer, d Dependency) {
 	w.U32(uint32(len(d.Group)))
 	for _, p := range d.Group {
-		w.Raw(p.AppendBinary(nil))
+		w.AppendFunc(p.AppendBinary)
 	}
 	crypto.EncodeCertificate(w, d.Cert)
 }

@@ -3,7 +3,6 @@ package core
 import (
 	"fmt"
 
-	"astro/internal/crypto"
 	"astro/internal/types"
 	"astro/internal/wire"
 )
@@ -79,11 +78,11 @@ type creditMsg struct {
 }
 
 func encodeCredit(m creditMsg) []byte {
-	w := wire.NewWriter(16 + len(m.Group)*types.PaymentWireSize + len(m.Sig))
+	w := wire.NewWriter(12 + len(m.Group)*types.PaymentWireSize + len(m.Sig))
 	w.U32(uint32(m.Signer))
 	w.U32(uint32(len(m.Group)))
 	for _, p := range m.Group {
-		w.Raw(p.AppendBinary(nil))
+		w.AppendFunc(p.AppendBinary)
 	}
 	w.Chunk(m.Sig)
 	return w.Bytes()
@@ -115,9 +114,4 @@ func decodeCredit(payload []byte) (creditMsg, error) {
 		return m, err
 	}
 	return m, nil
-}
-
-// verifyCreditSig checks the signer's signature over the group digest.
-func verifyCreditSig(reg *crypto.Registry, m creditMsg) bool {
-	return reg.VerifySig(m.Signer, CreditGroupDigest(m.Group), m.Sig)
 }

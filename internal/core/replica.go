@@ -8,6 +8,7 @@ import (
 
 	"astro/internal/brb"
 	"astro/internal/crypto"
+	"astro/internal/crypto/verifier"
 	"astro/internal/transport"
 	"astro/internal/types"
 )
@@ -90,7 +91,7 @@ func NewReplica(cfg Config) (*Replica, error) {
 	var verifyDep func(Dependency) error
 	if cfg.Version == AstroII {
 		verifyDep = func(d Dependency) error {
-			return VerifyDependency(d, cfg.Registry, cfg.F, cfg.ShardOf, cfg.ReplicaShard)
+			return VerifyDependency(d, cfg.Verifier, cfg.Registry, cfg.F, cfg.ShardOf, cfg.ReplicaShard)
 		}
 	}
 	r.state = NewState(cfg.Version, cfg.Genesis, verifyDep)
@@ -105,6 +106,7 @@ func NewReplica(cfg Config) (*Replica, error) {
 		Auth:      cfg.Auth,
 		Keys:      cfg.Keys,
 		Registry:  cfg.Registry,
+		Verifier:  cfg.Verifier,
 	}
 	var err error
 	switch cfg.Version {
@@ -196,12 +198,21 @@ func (r *Replica) validateBatch(origin types.ReplicaID, _ uint64, payload []byte
 	myShard := r.cfg.ReplicaShard(r.cfg.Self)
 	// End-to-end client signatures (paper §VI-A): verified by every
 	// replica before endorsement, so a malicious representative cannot
-	// fabricate payments for its clients.
+	// fabricate payments for its clients. The whole batch fans out across
+	// the verifier pool — with early exit on the first forgery — before
+	// any lock is taken; at the spender's own representative each check
+	// is a memo hit from submission time.
 	if r.cfg.ClientKeys != nil {
-		for _, e := range entries {
-			if !r.cfg.ClientKeys.VerifySig(e.Payment.Spender, PaymentDigest(e.Payment), e.Sig) {
-				return false
+		sigs := make([]verifier.ClientSig, len(entries))
+		for i, e := range entries {
+			sigs[i] = verifier.ClientSig{
+				Client: e.Payment.Spender,
+				Digest: PaymentDigest(e.Payment),
+				Sig:    e.Sig,
 			}
+		}
+		if !r.cfg.Verifier.VerifyClientBatch(r.cfg.ClientKeys, sigs).Wait() {
+			return false
 		}
 	}
 	r.endorsedMu.Lock()
@@ -244,8 +255,11 @@ func (r *Replica) onPaymentMsg(from transport.NodeID, payload []byte) {
 			return // not this replica's client
 		}
 		// End-to-end authentication: with client keys configured, a
-		// submission must carry the spender's signature.
-		if r.cfg.ClientKeys != nil && !r.cfg.ClientKeys.VerifySig(p.Spender, PaymentDigest(p), sig) {
+		// submission must carry the spender's signature. Verified through
+		// the memo cache, so when this replica's own batch comes back for
+		// endorsement the same signature is a cache hit, not a second
+		// ECDSA.
+		if r.cfg.ClientKeys != nil && !r.cfg.Verifier.VerifyClient(r.cfg.ClientKeys, p.Spender, PaymentDigest(p), sig) {
 			return
 		}
 		r.submit(p, sig)
@@ -470,10 +484,20 @@ func (r *Replica) onCredit(_ transport.NodeID, payload []byte) {
 	}
 	r.mu.Unlock()
 
-	if !verifyCreditSig(r.cfg.Registry, m) {
-		return
-	}
+	// The signature check runs on the verifier pool, off the transport
+	// dispatch goroutine; certificate accumulation re-enters through the
+	// completion callback. Accumulation order across signers is
+	// irrelevant — any f+1 of them form the dependency.
+	r.cfg.Verifier.VerifyReplicaDetached(r.cfg.Registry, m.Signer, digest, m.Sig, func(valid bool) {
+		if valid {
+			r.creditVerified(cs, m)
+		}
+	})
+}
 
+// creditVerified accumulates a verified CREDIT signature and, on reaching
+// f+1, registers the dependency certificate and retries held submissions.
+func (r *Replica) creditVerified(cs *creditState, m creditMsg) {
 	r.mu.Lock()
 	if cs.done {
 		r.mu.Unlock()

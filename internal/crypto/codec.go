@@ -11,6 +11,16 @@ import (
 // repository exceeds a few hundred replicas.
 const maxCertSigs = 4096
 
+// CertificateSize returns the exact encoded size of cert, for
+// exact-capacity buffer preallocation.
+func CertificateSize(cert Certificate) int {
+	n := 4
+	for _, ps := range cert.Sigs {
+		n += 8 + len(ps.Sig)
+	}
+	return n
+}
+
 // EncodeCertificate appends the canonical encoding of cert to w.
 func EncodeCertificate(w *wire.Writer, cert Certificate) {
 	w.U32(uint32(len(cert.Sigs)))

@@ -1,0 +1,588 @@
+// Package verifier provides a worker-pool signature verifier for the
+// BRB/payment hot path.
+//
+// Astro settles payments by merely broadcasting them, so end-to-end
+// throughput is dominated by ECDSA verification on the broadcast delivery
+// path (paper §VI-A amortizes it with 256-payment batches). Verifying
+// serially, inline on the single transport-dispatch goroutine, leaves all
+// but one core idle exactly where the system is CPU-bound. This package
+// supplies the standard remedy from the BFT literature — crypto
+// pipelining:
+//
+//   - a Verifier backed by GOMAXPROCS workers, with asynchronous
+//     (VerifyAsync, callbacks/futures) and batched (VerifyBatch,
+//     VerifyClientBatch) entry points, so protocol layers hand signature
+//     checks to the pool and re-enter their state machines on completion;
+//   - a parallel VerifyCertificate that fans a quorum certificate's
+//     signatures across the workers and early-exits as soon as the
+//     threshold is confirmed or failure is certain;
+//   - a bounded memoization cache keyed by (signer, digest, signature), so
+//     re-delivered commits, echoed acks, and an origin re-verifying its
+//     own aggregated certificate never pay ECDSA twice.
+//
+// A single worker (GOMAXPROCS=1) degrades gracefully: pooled calls run
+// serially but the memo cache still applies, so single-core hosts pay at
+// most a hash per duplicate check.
+//
+// Verifiers are safe for concurrent use. A process-wide shared pool is
+// available through Default; sharing one pool across every replica of an
+// in-process simulation matches the host's actual core count.
+package verifier
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"astro/internal/crypto"
+	"astro/internal/types"
+)
+
+// Verifier is a worker-pool batch verifier with a bounded memo cache.
+type Verifier struct {
+	workers int
+	tasks   chan func()
+	memo    *memoCache
+
+	// closeMu guards closed and the tasks channel against a concurrent
+	// Close; submit holds the read side only for the non-blocking enqueue.
+	closeMu sync.RWMutex
+	closed  bool
+
+	hits   atomic.Uint64
+	misses atomic.Uint64
+}
+
+// DefaultMemoSize is the memo-cache capacity used when none is configured:
+// large enough to hold the in-flight signatures of several hundred
+// concurrent broadcast instances, small enough to be negligible in memory.
+const DefaultMemoSize = 8192
+
+// Option configures a Verifier.
+type Option func(*options)
+
+type options struct {
+	memoSize int
+}
+
+// WithMemoSize sets the memo-cache capacity. Zero disables memoization
+// (used by benchmarks measuring raw verification throughput).
+func WithMemoSize(n int) Option {
+	return func(o *options) { o.memoSize = n }
+}
+
+// New creates a verifier backed by the given number of workers; workers <= 0
+// selects runtime.GOMAXPROCS(0).
+func New(workers int, opts ...Option) *Verifier {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	o := options{memoSize: DefaultMemoSize}
+	for _, opt := range opts {
+		opt(&o)
+	}
+	v := &Verifier{
+		workers: workers,
+		tasks:   make(chan func(), workers*128),
+		memo:    newMemoCache(o.memoSize),
+	}
+	for i := 0; i < workers; i++ {
+		go v.worker()
+	}
+	return v
+}
+
+var (
+	defaultOnce sync.Once
+	defaultPool *Verifier
+)
+
+// Default returns the process-wide shared verifier, creating it on first
+// use with GOMAXPROCS workers. It is never closed.
+func Default() *Verifier {
+	defaultOnce.Do(func() { defaultPool = New(0) })
+	return defaultPool
+}
+
+// Workers returns the pool size.
+func (v *Verifier) Workers() int { return v.workers }
+
+// MemoStats returns the lifetime memo-cache hit and miss counts.
+func (v *Verifier) MemoStats() (hits, misses uint64) {
+	return v.hits.Load(), v.misses.Load()
+}
+
+// Close stops the workers after the queued work drains. Submissions after
+// Close (and submissions that find the queue full) run inline on the
+// caller, so no verification is ever lost. Close must not be called on the
+// Default pool.
+func (v *Verifier) Close() {
+	v.closeMu.Lock()
+	defer v.closeMu.Unlock()
+	if !v.closed {
+		v.closed = true
+		close(v.tasks)
+	}
+}
+
+func (v *Verifier) worker() {
+	for f := range v.tasks {
+		f()
+	}
+}
+
+// submit runs f on the pool, or inline on the caller when the pool is
+// closed or its queue is full. Inline fallback keeps the system live under
+// overload (natural backpressure) and makes deadlock impossible: no
+// submitter ever blocks waiting for a worker.
+func (v *Verifier) submit(f func()) {
+	v.closeMu.RLock()
+	if !v.closed {
+		select {
+		case v.tasks <- f:
+			v.closeMu.RUnlock()
+			return
+		default:
+		}
+	}
+	v.closeMu.RUnlock()
+	f()
+}
+
+// Future resolves to the result of an asynchronous verification.
+type Future struct {
+	v    *Verifier
+	done chan struct{}
+	ok   bool
+}
+
+// futureTrue and futureFalse are shared pre-resolved futures for memo
+// hits: immutable after init, so handing the same instance to every
+// caller is safe and costs nothing per hit.
+var futureTrue, futureFalse *Future
+
+func init() {
+	futureTrue = &Future{done: make(chan struct{}), ok: true}
+	close(futureTrue.done)
+	futureFalse = &Future{done: make(chan struct{}), ok: false}
+	close(futureFalse.done)
+}
+
+func resolvedFuture(ok bool) *Future {
+	if ok {
+		return futureTrue
+	}
+	return futureFalse
+}
+
+// Wait blocks until the verification completes and reports its result.
+// While waiting, the caller lends itself to the pool as an extra worker,
+// so waiting on a future from inside a pool callback cannot deadlock.
+func (f *Future) Wait() bool {
+	if f.v == nil {
+		<-f.done
+		return f.ok
+	}
+	for {
+		select {
+		case <-f.done:
+			return f.ok
+		case t, open := <-f.v.tasks:
+			if !open {
+				// Pool closed: remaining work runs inline on submitters.
+				<-f.done
+				return f.ok
+			}
+			t()
+		}
+	}
+}
+
+// VerifyAsync schedules an arbitrary boolean check on the pool. The
+// callback, if non-nil, runs exactly once with the result (on a worker
+// goroutine, or on the caller when the pool degrades to inline execution).
+// No memoization is applied; use the typed entry points for that.
+func (v *Verifier) VerifyAsync(check func() bool, cb func(bool)) *Future {
+	f := &Future{v: v, done: make(chan struct{})}
+	v.submit(func() {
+		ok := check()
+		f.ok = ok
+		close(f.done)
+		if cb != nil {
+			cb(ok)
+		}
+	})
+	return f
+}
+
+// VerifyDetached is VerifyAsync for callers that only want the callback:
+// no future is allocated. This is the fire-and-forget form protocol
+// handlers use per message, so it must not cost a heap allocation per
+// call beyond the closures themselves.
+func (v *Verifier) VerifyDetached(check func() bool, cb func(bool)) {
+	v.submit(func() { cb(check()) })
+}
+
+// Memo key domains. Signatures by replicas and clients live in distinct
+// namespaces so a colliding numeric ID cannot alias cache entries.
+const (
+	domainReplica byte = 0x01
+	domainClient  byte = 0x02
+)
+
+func memoKey(domain byte, signer uint64, digest types.Digest, sig []byte) memoKeyT {
+	h := sha256.New()
+	var hdr [9]byte
+	hdr[0] = domain
+	binary.BigEndian.PutUint64(hdr[1:], signer)
+	h.Write(hdr[:])
+	h.Write(digest[:])
+	h.Write(sig)
+	var k memoKeyT
+	h.Sum(k[:0])
+	return k
+}
+
+// memoLookup consults the cache; reports (result, hit).
+func (v *Verifier) memoLookup(k memoKeyT) (bool, bool) {
+	ok, hit := v.memo.get(k)
+	if hit {
+		v.hits.Add(1)
+	} else {
+		v.misses.Add(1)
+	}
+	return ok, hit
+}
+
+// verifyMemoized runs the check through the cache, synchronously on the
+// caller. The expensive path is taken at most once per (signer, digest,
+// sig) while the entry stays cached.
+func (v *Verifier) verifyMemoized(k memoKeyT, check func() bool) bool {
+	if ok, hit := v.memoLookup(k); hit {
+		return ok
+	}
+	ok := check()
+	v.memo.put(k, ok)
+	return ok
+}
+
+// verifyMemoizedAsync is verifyMemoized on the pool: memo hits resolve
+// immediately on the caller, misses are scheduled.
+func (v *Verifier) verifyMemoizedAsync(k memoKeyT, check func() bool, cb func(bool)) *Future {
+	if ok, hit := v.memoLookup(k); hit {
+		if cb != nil {
+			cb(ok)
+		}
+		return resolvedFuture(ok)
+	}
+	f := &Future{v: v, done: make(chan struct{})}
+	v.submit(func() {
+		ok := check()
+		v.memo.put(k, ok)
+		f.ok = ok
+		close(f.done)
+		if cb != nil {
+			cb(ok)
+		}
+	})
+	return f
+}
+
+// verifyMemoizedDetached is verifyMemoizedAsync without the future.
+func (v *Verifier) verifyMemoizedDetached(k memoKeyT, check func() bool, cb func(bool)) {
+	if ok, hit := v.memoLookup(k); hit {
+		cb(ok)
+		return
+	}
+	v.submit(func() {
+		ok := check()
+		v.memo.put(k, ok)
+		cb(ok)
+	})
+}
+
+// VerifyReplica synchronously verifies a replica signature against reg,
+// through the memo cache.
+func (v *Verifier) VerifyReplica(reg *crypto.Registry, id types.ReplicaID, digest types.Digest, sig []byte) bool {
+	k := memoKey(domainReplica, uint64(id), digest, sig)
+	return v.verifyMemoized(k, func() bool { return reg.VerifySig(id, digest, sig) })
+}
+
+// VerifyReplicaAsync schedules a memoized replica-signature check. The
+// callback, if non-nil, runs exactly once with the result; on a memo hit
+// it runs immediately on the caller.
+func (v *Verifier) VerifyReplicaAsync(reg *crypto.Registry, id types.ReplicaID, digest types.Digest, sig []byte, cb func(bool)) *Future {
+	k := memoKey(domainReplica, uint64(id), digest, sig)
+	return v.verifyMemoizedAsync(k, func() bool { return reg.VerifySig(id, digest, sig) }, cb)
+}
+
+// VerifyReplicaDetached is VerifyReplicaAsync for callers that only want
+// the callback; no future is allocated.
+func (v *Verifier) VerifyReplicaDetached(reg *crypto.Registry, id types.ReplicaID, digest types.Digest, sig []byte, cb func(bool)) {
+	k := memoKey(domainReplica, uint64(id), digest, sig)
+	v.verifyMemoizedDetached(k, func() bool { return reg.VerifySig(id, digest, sig) }, cb)
+}
+
+// VerifyClient synchronously verifies a client signature against keys,
+// through the memo cache.
+func (v *Verifier) VerifyClient(keys *crypto.ClientKeys, id types.ClientID, digest types.Digest, sig []byte) bool {
+	k := memoKey(domainClient, uint64(id), digest, sig)
+	return v.verifyMemoized(k, func() bool { return keys.VerifySig(id, digest, sig) })
+}
+
+// Check is one work item of VerifyBatch.
+type Check func() bool
+
+// VerifyBatch fans the checks out across the pool and resolves to whether
+// every one of them passed. The first failure cancels checks that have not
+// started yet (they resolve as skipped, the batch as failed).
+func (v *Verifier) VerifyBatch(checks []Check) *Future {
+	f := &Future{v: v, done: make(chan struct{})}
+	n := len(checks)
+	if n == 0 {
+		f.ok = true
+		close(f.done)
+		return f
+	}
+	var remaining atomic.Int64
+	remaining.Store(int64(n))
+	var failed atomic.Bool
+	for _, c := range checks {
+		c := c
+		v.submit(func() {
+			if !failed.Load() && !c() {
+				failed.Store(true)
+			}
+			if remaining.Add(-1) == 0 {
+				f.ok = !failed.Load()
+				close(f.done)
+			}
+		})
+	}
+	return f
+}
+
+// ClientSig is one client signature of a batch.
+type ClientSig struct {
+	Client types.ClientID
+	Digest types.Digest
+	Sig    []byte
+}
+
+// VerifyClientBatch fans a batch of client-signature checks across the
+// pool, memoized per signature, resolving to whether all are valid. This
+// is the replica's pre-endorsement check of a 256-payment batch (paper
+// §VI-A) without holding any protocol lock.
+func (v *Verifier) VerifyClientBatch(keys *crypto.ClientKeys, sigs []ClientSig) *Future {
+	checks := make([]Check, len(sigs))
+	for i, s := range sigs {
+		s := s
+		checks[i] = func() bool { return v.VerifyClient(keys, s.Client, s.Digest, s.Sig) }
+	}
+	return v.VerifyBatch(checks)
+}
+
+// certVote is one signature verdict of a parallel certificate check.
+type certVote struct {
+	replica types.ReplicaID
+	ok      bool
+	skipped bool
+}
+
+// certPrepassResult carries the cheap serial phase of certificate
+// verification: structural checks done, memo consulted, remaining
+// signatures collected.
+type certPrepassResult struct {
+	decided    bool // the memo alone settled it (err nil means accepted)
+	pending    []crypto.PartialSig
+	valid      int
+	invalid    int
+	badReplica types.ReplicaID
+	maxInvalid int
+}
+
+// certPrepass performs duplicate/membership/key checks and resolves what
+// it can from the memo cache. A non-nil error (or decided with nil error)
+// means the outcome is already known.
+func (v *Verifier) certPrepass(reg *crypto.Registry, cert crypto.Certificate, digest types.Digest, threshold int, membership func(types.ReplicaID) bool) (certPrepassResult, error) {
+	var pp certPrepassResult
+	if len(cert.Sigs) < threshold {
+		return pp, fmt.Errorf("%w: have %d, need %d", crypto.ErrCertTooSmall, len(cert.Sigs), threshold)
+	}
+	seen := make(map[types.ReplicaID]struct{}, len(cert.Sigs))
+	eligible := 0
+	for _, ps := range cert.Sigs {
+		if _, dup := seen[ps.Replica]; dup {
+			return pp, fmt.Errorf("%w: replica %d", crypto.ErrCertDuplicate, ps.Replica)
+		}
+		seen[ps.Replica] = struct{}{}
+		if membership != nil && !membership(ps.Replica) {
+			continue
+		}
+		if !reg.Known(ps.Replica) {
+			return pp, fmt.Errorf("%w: replica %d", crypto.ErrCertUnknownKey, ps.Replica)
+		}
+		eligible++
+		if ok, hit := v.memoLookup(memoKey(domainReplica, uint64(ps.Replica), digest, ps.Sig)); hit {
+			if ok {
+				pp.valid++
+			} else {
+				pp.invalid++
+				pp.badReplica = ps.Replica
+			}
+		} else {
+			pp.pending = append(pp.pending, ps)
+		}
+	}
+	if eligible < threshold {
+		return pp, fmt.Errorf("%w: %d eligible of %d needed", crypto.ErrCertTooSmall, eligible, threshold)
+	}
+	pp.maxInvalid = eligible - threshold
+	if pp.valid >= threshold {
+		pp.decided = true
+		return pp, nil
+	}
+	if pp.invalid > pp.maxInvalid {
+		return pp, fmt.Errorf("%w: replica %d", crypto.ErrCertBadSig, pp.badReplica)
+	}
+	return pp, nil
+}
+
+// certSerial finishes a certificate check one signature at a time on the
+// calling goroutine, with the same early exits as the parallel path.
+func (v *Verifier) certSerial(pending []crypto.PartialSig, verify func(crypto.PartialSig) bool, valid, invalid int, badReplica types.ReplicaID, maxInvalid, threshold int) error {
+	for _, ps := range pending {
+		if verify(ps) {
+			valid++
+			if valid >= threshold {
+				return nil
+			}
+		} else {
+			invalid++
+			badReplica = ps.Replica
+			if invalid > maxInvalid {
+				return fmt.Errorf("%w: replica %d", crypto.ErrCertBadSig, badReplica)
+			}
+		}
+	}
+	return fmt.Errorf("%w: %d valid of %d needed", crypto.ErrCertTooSmall, valid, threshold)
+}
+
+// VerifyCertificateInline is VerifyCertificate restricted to the calling
+// goroutine: serial, memoized, with the same early exits and acceptance
+// semantics, and — crucially — no blocking on the pool. It is the variant
+// safe to call while holding a lock that pool callbacks may themselves
+// acquire (the payment engine verifies dependency certificates under its
+// state lock; see core.VerifyDependency).
+func (v *Verifier) VerifyCertificateInline(reg *crypto.Registry, cert crypto.Certificate, digest types.Digest, threshold int, membership func(types.ReplicaID) bool) error {
+	pp, err := v.certPrepass(reg, cert, digest, threshold, membership)
+	if err != nil || pp.decided {
+		return err
+	}
+	verify := func(ps crypto.PartialSig) bool {
+		k := memoKey(domainReplica, uint64(ps.Replica), digest, ps.Sig)
+		ok := reg.VerifySig(ps.Replica, digest, ps.Sig)
+		v.memo.put(k, ok)
+		return ok
+	}
+	return v.certSerial(pp.pending, verify, pp.valid, pp.invalid, pp.badReplica, pp.maxInvalid, threshold)
+}
+
+// VerifyCertificate checks that cert carries at least threshold valid
+// signatures over digest, fanning the signature checks across the pool
+// and early-exiting as soon as the threshold is confirmed or failure is
+// certain. Signature verdicts are memoized, so an origin re-verifying the
+// certificate it aggregated from individually-verified acks pays no ECDSA
+// at all.
+//
+// Semantics match crypto.VerifyCertificate with one deliberate relaxation:
+// once threshold valid signatures are confirmed the certificate is
+// accepted without examining the rest, so a certificate carrying a quorum
+// of valid signatures plus extra invalid ones may be accepted where the
+// serial checker reports ErrCertBadSig. A quorum of valid signatures is
+// exactly the endorsement the protocol needs, so the relaxation is safe —
+// and it is what makes early exit possible.
+func (v *Verifier) VerifyCertificate(reg *crypto.Registry, cert crypto.Certificate, digest types.Digest, threshold int, membership func(types.ReplicaID) bool) error {
+	pp, err := v.certPrepass(reg, cert, digest, threshold, membership)
+	if err != nil || pp.decided {
+		return err
+	}
+	valid, invalid := pp.valid, pp.invalid
+	badReplica := pp.badReplica
+	maxInvalid := pp.maxInvalid
+	pending := pp.pending
+
+	verify := func(ps crypto.PartialSig) bool {
+		k := memoKey(domainReplica, uint64(ps.Replica), digest, ps.Sig)
+		ok := reg.VerifySig(ps.Replica, digest, ps.Sig)
+		v.memo.put(k, ok)
+		return ok
+	}
+
+	// Serial fast path: a single worker (or a near-resolved certificate)
+	// gains nothing from fan-out, so skip the scheduling overhead.
+	if v.workers == 1 || len(pending) <= 2 {
+		return v.certSerial(pending, verify, valid, invalid, badReplica, maxInvalid, threshold)
+	}
+
+	// Fan out. The votes channel is buffered to len(pending) so stragglers
+	// that finish after an early exit never block; the stop flag lets them
+	// skip the ECDSA work entirely.
+	votes := make(chan certVote, len(pending))
+	var stop atomic.Bool
+	for _, ps := range pending {
+		ps := ps
+		v.submit(func() {
+			if stop.Load() {
+				votes <- certVote{skipped: true}
+				return
+			}
+			votes <- certVote{replica: ps.Replica, ok: verify(ps)}
+		})
+	}
+	outstanding := len(pending)
+	helping := true
+	for outstanding > 0 {
+		var vt certVote
+		if helping {
+			// Help the pool while waiting, so a full queue cannot stall
+			// the coordinator behind its own unscheduled checks.
+			select {
+			case vt = <-votes:
+			case t, open := <-v.tasks:
+				if open {
+					t()
+				} else {
+					helping = false // pool closed; remaining work runs inline
+				}
+				continue
+			}
+		} else {
+			vt = <-votes
+		}
+		outstanding--
+		if vt.skipped {
+			continue
+		}
+		if vt.ok {
+			valid++
+			if valid >= threshold {
+				stop.Store(true)
+				return nil
+			}
+		} else {
+			invalid++
+			badReplica = vt.replica
+			if invalid > maxInvalid {
+				stop.Store(true)
+				return fmt.Errorf("%w: replica %d", crypto.ErrCertBadSig, badReplica)
+			}
+		}
+	}
+	// Fully drained without reaching the threshold; by the counting above
+	// this implies invalid > maxInvalid was hit, but keep a safe fallback.
+	return fmt.Errorf("%w: %d valid of %d needed", crypto.ErrCertTooSmall, valid, threshold)
+}

@@ -1,0 +1,332 @@
+package verifier
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"astro/internal/crypto"
+	"astro/internal/types"
+)
+
+// testRegistry builds n real-ECDSA replicas and a certificate of all their
+// signatures over digest.
+func testRegistry(t testing.TB, n int, digest types.Digest) (*crypto.Registry, []*crypto.KeyPair, crypto.Certificate) {
+	t.Helper()
+	reg := crypto.NewRegistry()
+	keys := make([]*crypto.KeyPair, n)
+	var cert crypto.Certificate
+	for i := 0; i < n; i++ {
+		keys[i] = crypto.MustGenerateKeyPair()
+		reg.Add(types.ReplicaID(i), keys[i].Public())
+		sig, err := keys[i].Sign(digest)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cert.Add(crypto.PartialSig{Replica: types.ReplicaID(i), Sig: sig})
+	}
+	return reg, keys, cert
+}
+
+func TestVerifyReplicaMemo(t *testing.T) {
+	v := New(2)
+	defer v.Close()
+	d := types.HashBytes([]byte("m"))
+	reg, keys, _ := testRegistry(t, 1, d)
+	sig, err := keys[0].Sign(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if !v.VerifyReplica(reg, 0, d, sig) {
+		t.Fatal("valid signature rejected")
+	}
+	h0, m0 := v.MemoStats()
+	if h0 != 0 || m0 != 1 {
+		t.Fatalf("after first verify: hits=%d misses=%d, want 0/1", h0, m0)
+	}
+	// Same (signer, digest, sig): must be a cache hit.
+	if !v.VerifyReplica(reg, 0, d, sig) {
+		t.Fatal("cached valid signature rejected")
+	}
+	h1, m1 := v.MemoStats()
+	if h1 != 1 || m1 != 1 {
+		t.Fatalf("after repeat verify: hits=%d misses=%d, want 1/1", h1, m1)
+	}
+	// Failures are memoized too.
+	bad := append([]byte(nil), sig...)
+	bad[len(bad)-1] ^= 0xff
+	if v.VerifyReplica(reg, 0, d, bad) {
+		t.Fatal("corrupted signature accepted")
+	}
+	if v.VerifyReplica(reg, 0, d, bad) {
+		t.Fatal("corrupted signature accepted from cache")
+	}
+	h2, m2 := v.MemoStats()
+	if h2 != 2 || m2 != 2 {
+		t.Fatalf("after failed repeat: hits=%d misses=%d, want 2/2", h2, m2)
+	}
+}
+
+func TestVerifyAsyncCallback(t *testing.T) {
+	v := New(2)
+	defer v.Close()
+	d := types.HashBytes([]byte("m"))
+	reg, keys, _ := testRegistry(t, 1, d)
+	sig, _ := keys[0].Sign(d)
+
+	res := make(chan bool, 1)
+	f := v.VerifyReplicaAsync(reg, 0, d, sig, func(ok bool) { res <- ok })
+	if !f.Wait() {
+		t.Fatal("future resolved false for valid signature")
+	}
+	if !<-res {
+		t.Fatal("callback got false for valid signature")
+	}
+	// Memo hit path resolves immediately and still fires the callback.
+	f = v.VerifyReplicaAsync(reg, 0, d, sig, func(ok bool) { res <- ok })
+	if !f.Wait() || !<-res {
+		t.Fatal("memoized async verify failed")
+	}
+}
+
+func TestVerifyBatch(t *testing.T) {
+	v := New(4)
+	defer v.Close()
+	trueN := func() bool { return true }
+	falseN := func() bool { return false }
+
+	if !v.VerifyBatch(nil).Wait() {
+		t.Fatal("empty batch must pass")
+	}
+	if !v.VerifyBatch([]Check{trueN, trueN, trueN}).Wait() {
+		t.Fatal("all-valid batch must pass")
+	}
+	if v.VerifyBatch([]Check{trueN, falseN, trueN}).Wait() {
+		t.Fatal("batch with a failure must fail")
+	}
+}
+
+func TestVerifyClientBatch(t *testing.T) {
+	v := New(4)
+	defer v.Close()
+	keys := crypto.NewClientKeys()
+	const n = 16
+	sigs := make([]ClientSig, n)
+	for i := 0; i < n; i++ {
+		kp := crypto.MustGenerateKeyPair()
+		keys.Add(types.ClientID(i), kp.Public())
+		d := types.HashBytes([]byte{byte(i)})
+		sig, err := kp.Sign(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sigs[i] = ClientSig{Client: types.ClientID(i), Digest: d, Sig: sig}
+	}
+	if !v.VerifyClientBatch(keys, sigs).Wait() {
+		t.Fatal("valid client batch rejected")
+	}
+	// One forged signature sinks the batch.
+	forged := make([]ClientSig, n)
+	copy(forged, sigs)
+	forged[7].Sig = append([]byte(nil), sigs[7].Sig...)
+	forged[7].Sig[2] ^= 0x55
+	if v.VerifyClientBatch(keys, forged).Wait() {
+		t.Fatal("client batch with forged signature accepted")
+	}
+}
+
+func TestVerifyCertificateParallel(t *testing.T) {
+	v := New(4)
+	defer v.Close()
+	d := types.HashBytes([]byte("batch"))
+	reg, _, cert := testRegistry(t, 10, d)
+	threshold := 7 // 2f+1 at n=10
+
+	if err := v.VerifyCertificate(reg, cert, d, threshold, nil); err != nil {
+		t.Fatalf("valid certificate rejected: %v", err)
+	}
+	if err := v.VerifyCertificate(reg, cert, d, len(cert.Sigs)+1, nil); !errors.Is(err, crypto.ErrCertTooSmall) {
+		t.Fatalf("oversized threshold: got %v, want ErrCertTooSmall", err)
+	}
+	wrong := types.HashBytes([]byte("other"))
+	if err := v.VerifyCertificate(reg, cert, wrong, threshold, nil); !errors.Is(err, crypto.ErrCertBadSig) {
+		t.Fatalf("wrong digest: got %v, want ErrCertBadSig", err)
+	}
+}
+
+func TestVerifyCertificateForgedEarlyExit(t *testing.T) {
+	// A certificate with exactly threshold signatures where one is forged
+	// can never reach the quorum: failure must be reported as a bad
+	// signature, from the first forged verdict.
+	v := New(4)
+	defer v.Close()
+	d := types.HashBytes([]byte("batch"))
+	reg, keys, _ := testRegistry(t, 7, d)
+	var cert crypto.Certificate
+	for i := 0; i < 7; i++ {
+		sig, err := keys[i].Sign(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i == 3 {
+			sig[4] ^= 0xaa // forge one signature
+		}
+		cert.Add(crypto.PartialSig{Replica: types.ReplicaID(i), Sig: sig})
+	}
+	if err := v.VerifyCertificate(reg, cert, d, 7, nil); !errors.Is(err, crypto.ErrCertBadSig) {
+		t.Fatalf("forged certificate: got %v, want ErrCertBadSig", err)
+	}
+	// And the verdict is memoized: a redelivery fails from cache without
+	// re-running ECDSA on the forged signature.
+	h0, _ := v.MemoStats()
+	if err := v.VerifyCertificate(reg, cert, d, 7, nil); !errors.Is(err, crypto.ErrCertBadSig) {
+		t.Fatalf("redelivered forged certificate: got %v, want ErrCertBadSig", err)
+	}
+	h1, _ := v.MemoStats()
+	if h1 == h0 {
+		t.Fatal("redelivered certificate produced no memo hits")
+	}
+}
+
+func TestVerifyCertificateQuorumSemantics(t *testing.T) {
+	// Extra invalid signatures beyond a confirmed quorum do not invalidate
+	// the certificate (the documented relaxation vs the serial checker),
+	// but duplicates and unknown signers are still structural errors.
+	v := New(1) // serial path must implement the same semantics
+	defer v.Close()
+	d := types.HashBytes([]byte("batch"))
+	reg, keys, cert := testRegistry(t, 10, d)
+
+	forged := crypto.Certificate{}
+	for _, ps := range cert.Sigs {
+		forged.Add(ps)
+	}
+	// Append an extra signer with a garbage signature.
+	extra := crypto.MustGenerateKeyPair()
+	reg.Add(99, extra.Public())
+	forged.Add(crypto.PartialSig{Replica: 99, Sig: []byte("garbage")})
+	if err := v.VerifyCertificate(reg, forged, d, 7, nil); err != nil {
+		t.Fatalf("quorum of valid sigs + extra garbage: got %v, want nil", err)
+	}
+
+	unknown := crypto.Certificate{}
+	sig, _ := keys[0].Sign(d)
+	unknown.Add(crypto.PartialSig{Replica: 1000, Sig: sig})
+	if err := v.VerifyCertificate(reg, unknown, d, 1, nil); !errors.Is(err, crypto.ErrCertUnknownKey) {
+		t.Fatalf("unknown signer: got %v, want ErrCertUnknownKey", err)
+	}
+}
+
+func TestVerifyCertificateMembership(t *testing.T) {
+	v := New(4)
+	defer v.Close()
+	d := types.HashBytes([]byte("batch"))
+	reg, _, cert := testRegistry(t, 6, d)
+	inShard := func(r types.ReplicaID) bool { return r < 3 }
+	if err := v.VerifyCertificate(reg, cert, d, 3, inShard); err != nil {
+		t.Fatalf("membership-filtered certificate rejected: %v", err)
+	}
+	if err := v.VerifyCertificate(reg, cert, d, 4, inShard); !errors.Is(err, crypto.ErrCertTooSmall) {
+		t.Fatalf("threshold above membership: got %v, want ErrCertTooSmall", err)
+	}
+}
+
+func TestConcurrentUse(t *testing.T) {
+	// Hammer one verifier from many goroutines mixing all entry points;
+	// run under -race this is the data-race regression test.
+	v := New(4, WithMemoSize(64)) // small memo to force eviction churn
+	defer v.Close()
+	d := types.HashBytes([]byte("m"))
+	reg, keys, cert := testRegistry(t, 10, d)
+	sig0, _ := keys[0].Sign(d)
+	bad := append([]byte(nil), sig0...)
+	bad[0] ^= 1
+
+	var wg sync.WaitGroup
+	errs := make(chan string, 256)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				if !v.VerifyReplica(reg, 0, d, sig0) {
+					errs <- "valid sig rejected"
+				}
+				if v.VerifyReplica(reg, 0, d, bad) {
+					errs <- "bad sig accepted"
+				}
+				if err := v.VerifyCertificate(reg, cert, d, 7, nil); err != nil {
+					errs <- "valid cert rejected: " + err.Error()
+				}
+				f := v.VerifyReplicaAsync(reg, types.ReplicaID(i%10), d, cert.Sigs[i%10].Sig, nil)
+				if !f.Wait() {
+					errs <- "async valid sig rejected"
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Fatal(e)
+	}
+}
+
+func TestMemoEviction(t *testing.T) {
+	c := newMemoCache(2)
+	k1 := memoKey(domainReplica, 1, types.Digest{}, []byte("a"))
+	k2 := memoKey(domainReplica, 2, types.Digest{}, []byte("b"))
+	k3 := memoKey(domainReplica, 3, types.Digest{}, []byte("c"))
+	c.put(k1, true)
+	c.put(k2, false)
+	if _, hit := c.get(k1); !hit {
+		t.Fatal("k1 evicted prematurely")
+	}
+	c.put(k3, true) // evicts k2 (least recently used)
+	if _, hit := c.get(k2); hit {
+		t.Fatal("k2 not evicted")
+	}
+	if ok, hit := c.get(k1); !hit || !ok {
+		t.Fatal("k1 lost")
+	}
+	if ok, hit := c.get(k3); !hit || !ok {
+		t.Fatal("k3 lost")
+	}
+	if got := c.len(); got != 2 {
+		t.Fatalf("cache len = %d, want 2", got)
+	}
+}
+
+func TestCloseRunsInline(t *testing.T) {
+	v := New(2)
+	v.Close()
+	ran := false
+	f := v.VerifyAsync(func() bool { ran = true; return true }, nil)
+	if !f.Wait() || !ran {
+		t.Fatal("submission after Close did not run inline")
+	}
+}
+
+func TestVerifyDetached(t *testing.T) {
+	v := New(2)
+	defer v.Close()
+	d := types.HashBytes([]byte("m"))
+	reg, keys, _ := testRegistry(t, 1, d)
+	sig, _ := keys[0].Sign(d)
+
+	res := make(chan bool, 2)
+	v.VerifyReplicaDetached(reg, 0, d, sig, func(ok bool) { res <- ok })
+	if !<-res {
+		t.Fatal("detached verify of valid signature reported false")
+	}
+	// Second call is a memo hit: the callback must still fire, inline.
+	v.VerifyReplicaDetached(reg, 0, d, sig, func(ok bool) { res <- ok })
+	if !<-res {
+		t.Fatal("memoized detached verify reported false")
+	}
+	v.VerifyDetached(func() bool { return false }, func(ok bool) { res <- ok })
+	if <-res {
+		t.Fatal("detached verify of failing check reported true")
+	}
+}

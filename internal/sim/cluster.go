@@ -14,6 +14,7 @@ import (
 	"astro/internal/consensus"
 	"astro/internal/core"
 	"astro/internal/crypto"
+	"astro/internal/crypto/verifier"
 	"astro/internal/shard"
 	"astro/internal/transport"
 	"astro/internal/transport/memnet"
@@ -98,6 +99,11 @@ func NewAstroCluster(opts AstroOpts) (*AstroCluster, error) {
 	}
 	net := networkFor(opts.Latency, opts.Bandwidth, opts.Seed)
 
+	// All replicas of the in-process deployment share one verification
+	// pool sized to the host: the simulation multiplexes every replica
+	// onto the same cores, so per-replica pools would only oversubscribe.
+	ver := verifier.Default()
+
 	master := []byte("astro-sim-master")
 	registry := crypto.NewRegistry()
 	registry.EnableSim(master)
@@ -148,6 +154,7 @@ func NewAstroCluster(opts AstroOpts) (*AstroCluster, error) {
 				Auth:         crypto.NewLinkAuthenticator(id, master),
 				Keys:         keys[id],
 				Registry:     registry,
+				Verifier:     ver,
 			})
 			if err != nil {
 				net.Close()
@@ -264,7 +271,8 @@ func NewConsensusCluster(opts ConsensusOpts) (*ConsensusCluster, error) {
 			RequestTimeout:     opts.RequestTimeout,
 			ViewChangeSyncCost: opts.ViewChangeSyncCost,
 			// BFT-SMaRt authenticates channels with MACs, like Astro I.
-			Auth: crypto.NewLinkAuthenticator(types.ReplicaID(i), []byte("astro-sim-master")),
+			Auth:     crypto.NewLinkAuthenticator(types.ReplicaID(i), []byte("astro-sim-master")),
+			Verifier: verifier.Default(),
 		})
 		if err != nil {
 			net.Close()

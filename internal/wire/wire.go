@@ -11,6 +11,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"sync"
 )
 
 // ErrShort is returned when a reader runs out of input mid-field.
@@ -32,6 +33,38 @@ type Writer struct {
 // NewWriter returns a writer with the given capacity pre-allocated.
 func NewWriter(capacity int) *Writer {
 	return &Writer{buf: make([]byte, 0, capacity)}
+}
+
+var writerPool = sync.Pool{New: func() any { return new(Writer) }}
+
+// maxPooledCap bounds the buffer size retained by released writers, so one
+// oversized message does not pin memory in the pool indefinitely.
+const maxPooledCap = 64 << 10
+
+// AcquireWriter returns an empty pooled writer with at least the given
+// capacity pre-allocated. Release it with Release when the encoding has
+// been fully consumed (hashed, or handed to a transport that copies).
+//
+// The hot encode paths — per-message digests, ACK/COMMIT assembly, batch
+// encoding — produce buffers that are consumed synchronously, so pooling
+// them removes an allocation per protocol message.
+func AcquireWriter(capacity int) *Writer {
+	w := writerPool.Get().(*Writer)
+	if cap(w.buf) < capacity {
+		w.buf = make([]byte, 0, capacity)
+	}
+	return w
+}
+
+// Release resets w and returns it to the pool. The caller must not touch w
+// — or any slice previously obtained from Bytes — after the call.
+func (w *Writer) Release() {
+	if cap(w.buf) > maxPooledCap {
+		w.buf = nil
+	} else {
+		w.buf = w.buf[:0]
+	}
+	writerPool.Put(w)
 }
 
 // Bytes returns the accumulated encoding.
@@ -63,6 +96,11 @@ func (w *Writer) Bool(v bool) {
 
 // Raw appends b verbatim, with no length prefix.
 func (w *Writer) Raw(b []byte) { w.buf = append(w.buf, b...) }
+
+// AppendFunc appends via an append-style function (for example
+// types.Payment.AppendBinary), writing directly into the accumulated
+// buffer instead of through an intermediate allocation.
+func (w *Writer) AppendFunc(f func([]byte) []byte) { w.buf = f(w.buf) }
 
 // Bytes32 appends a fixed 32-byte value (e.g. a digest).
 func (w *Writer) Bytes32(b [32]byte) { w.buf = append(w.buf, b[:]...) }

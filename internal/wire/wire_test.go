@@ -126,3 +126,48 @@ func TestRoundTripProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestAcquireRelease(t *testing.T) {
+	w := AcquireWriter(16)
+	if w.Len() != 0 {
+		t.Fatalf("acquired writer not empty: len=%d", w.Len())
+	}
+	w.U32(7)
+	w.Chunk([]byte("hello"))
+	got := append([]byte(nil), w.Bytes()...)
+	w.Release()
+
+	r := NewReader(got)
+	if r.U32() != 7 || string(r.Chunk()) != "hello" || r.Finish() != nil {
+		t.Fatal("pooled writer produced wrong encoding")
+	}
+
+	// A re-acquired writer must come back empty regardless of prior use.
+	w2 := AcquireWriter(4)
+	defer w2.Release()
+	if w2.Len() != 0 {
+		t.Fatalf("re-acquired writer not empty: len=%d", w2.Len())
+	}
+}
+
+func TestAcquireReleaseOversized(t *testing.T) {
+	w := AcquireWriter(maxPooledCap * 2)
+	w.Raw(make([]byte, maxPooledCap+1))
+	w.Release() // must drop the oversized buffer without panicking
+	w = AcquireWriter(8)
+	defer w.Release()
+	w.U64(42)
+	if NewReader(w.Bytes()).U64() != 42 {
+		t.Fatal("writer after oversized release broken")
+	}
+}
+
+func TestAppendFunc(t *testing.T) {
+	w := NewWriter(8)
+	w.U8(1)
+	w.AppendFunc(func(b []byte) []byte { return append(b, 2, 3) })
+	w.U8(4)
+	if !bytes.Equal(w.Bytes(), []byte{1, 2, 3, 4}) {
+		t.Fatalf("AppendFunc encoding = %v", w.Bytes())
+	}
+}
