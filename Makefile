@@ -1,13 +1,13 @@
 # Astro reproduction — build and verification targets.
 #
-# `make verify` is the tier-1 gate plus the race suite for the packages
-# touching the parallel verification pipeline.
+# `make check` is the default gate: build, vet, tests, and the race suite
+# over the concurrency-heavy packages. `make verify` remains as an alias.
 
 GO ?= go
 
-.PHONY: all build test vet race bench verify
+.PHONY: all build test vet race bench bench-pr2 check verify
 
-all: build
+all: check
 
 build:
 	$(GO) build ./...
@@ -18,10 +18,11 @@ test:
 vet:
 	$(GO) vet ./...
 
-# Race-detector pass over the crypto/broadcast/payment hot path — the
-# packages with cross-goroutine verification completions.
+# Race-detector pass over the sharded transport dispatch and the
+# crypto/broadcast/payment hot path — the packages with cross-goroutine
+# completions and per-channel dispatch.
 race:
-	$(GO) test -race ./internal/crypto/... ./internal/brb/... ./internal/core/...
+	$(GO) test -race ./internal/transport/... ./internal/crypto/... ./internal/brb/... ./internal/core/...
 
 # Headline benchmarks: parallel certificate verification, signed BRB, and
 # the end-to-end ECDSA settlement path.
@@ -30,4 +31,12 @@ bench:
 	$(GO) test -run=NONE -bench 'BenchmarkSignedN10' -benchtime=1000x ./internal/brb/
 	$(GO) test -run=NONE -bench 'BenchmarkSettleBatchECDSA' -benchtime=500x ./internal/core/
 
-verify: build vet test race
+# PR 2 evidence: mixed-channel dispatch throughput (sharded vs serial
+# baseline), async/chain-batched ack signing, and batched-ack settlement.
+# Regenerates BENCH_PR2.json with numbers measured on this host.
+bench-pr2:
+	sh scripts/bench_pr2.sh BENCH_PR2.json
+
+check: build vet test race
+
+verify: check

@@ -65,6 +65,16 @@ func run() error {
 		if err := fs.Parse(flag.Args()[1:]); err != nil {
 			return err
 		}
+		// The client process is stateless across runs: resync the sequence
+		// counter from the replica so a restart does not reuse identifiers
+		// that already settled (those payments would silently never settle).
+		next, err := client.SyncSeq(*timeout)
+		if err != nil {
+			return fmt.Errorf("sync seq: %w", err)
+		}
+		if next > 1 {
+			fmt.Printf("resuming at seq %d\n", next)
+		}
 		start := time.Now()
 		for i := 0; i < *count; i++ {
 			pid, err := client.Pay(types.ClientID(*to), types.Amount(*amount))

@@ -117,6 +117,11 @@ const (
 	kindReady   byte = 3
 	kindAck     byte = 4
 	kindCommit  byte = 5
+	// Batch-level ack signing (Signed only): one signature over a hash
+	// chain of pending instances, and commits whose certificates carry
+	// such chain signatures. See ackchain.go.
+	kindAckBatch    byte = 6
+	kindCommitBatch byte = 7
 )
 
 // headerSize is the fixed prefix of every BRB message: kind, origin, slot.

@@ -4,6 +4,8 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"astro/internal/crypto"
 	"astro/internal/crypto/verifier"
@@ -28,15 +30,25 @@ import (
 // faulty, some correct replicas may deliver while others never do. Astro II
 // compensates at the payment layer with CREDIT dependency certificates.
 //
-// Signature verification — the dominant CPU cost of the protocol, which
-// the paper amortizes with 256-payment batches (§VI-A) — runs on the
-// configured verifier pool, not on the transport dispatch goroutine:
+// Signature computation — the dominant CPU cost of the protocol, which
+// the paper amortizes with 256-payment batches (§VI-A) — never runs on a
+// transport dispatch goroutine, in either direction:
 //
+//   - ack *signing* is queued and drained by a single logical signer on
+//     the verifier pool. While one ECDSA is in flight, further prepares
+//     accumulate; the drain then signs them all with ONE signature over a
+//     hash chain of the pending instances (see ackchain.go), so signing
+//     cost per instance shrinks with load — the sign-side analogue of the
+//     paper's batch amortization. A lone pending ack keeps the single-slot
+//     wire form;
 //   - ack signatures arriving at the origin are checked asynchronously and
-//     re-enter the state machine through a completion callback;
-//   - commit certificates are fanned out across the pool (with 2f+1
-//     early exit) from a per-commit goroutine, and delivery re-enters the
-//     state machine on completion.
+//     re-enter the state machine through a completion callback; a chain
+//     signature is checked once for all the instances it endorses;
+//   - commit certificates are fanned out across the pool (with early
+//     exit) from a per-commit goroutine, and delivery re-enters the state
+//     machine on completion. Chain signatures inside certificates hit the
+//     verifier memo, so a chain of k slots costs one ECDSA across all k
+//     commits carrying it.
 //
 // Because verifications may complete out of order, deliveries are staged
 // through the per-origin FIFO under the instance lock and then drained by
@@ -58,6 +70,12 @@ type Signed struct {
 	mine    map[uint64]*outInstance   // my in-flight broadcasts, by slot
 	acked   map[instanceID]*ackRecord // instances I have acknowledged
 	order   *fifo
+	// pendingAcks queues acks awaiting signature; signing marks the drain
+	// task in flight on the pool. Whichever prepare enqueues first kicks
+	// the drain, and everything that accumulates while it signs is
+	// batch-signed on the next pass (self-clocked batching).
+	pendingAcks []ChainEntry
+	signing     bool
 	// committing marks instances with a certificate verification in
 	// flight, so re-delivered commits don't spawn duplicate work.
 	committing map[instanceID]struct{}
@@ -67,14 +85,30 @@ type Signed struct {
 	// verifications finish out of order.
 	deliverQ   []delivery
 	delivering bool
+
+	// Lifetime signing statistics: ECDSA operations spent on acks, and
+	// acks covered. Their ratio is the amortization factor under load.
+	signOps   atomic.Uint64
+	acksTotal atomic.Uint64
+	// signCostNs is an EWMA of observed Sign latency, seeded by a probe
+	// at construction. Chain batching engages only above
+	// chainSignThreshold: a chain trades one signature for per-signer
+	// chain bytes in every commit certificate, which only pays off when
+	// signing is expensive (real ECDSA, ~25-60µs) — not for the cheap
+	// authenticators of the simulation harness (~1µs HMAC).
+	signCostNs atomic.Int64
 }
+
+// chainSignThreshold separates cheap authenticators from real ECDSA; see
+// Signed.signCostNs.
+const chainSignThreshold = 10 * time.Microsecond
 
 var _ Broadcaster = (*Signed)(nil)
 
 type outInstance struct {
 	payload   []byte
 	digest    types.Digest
-	cert      crypto.Certificate
+	cert      AckCert
 	committed bool
 }
 
@@ -108,8 +142,20 @@ func NewSigned(cfg Config) (*Signed, error) {
 		order:      newFIFO(),
 		committing: make(map[instanceID]struct{}),
 	}
+	// Seed the sign-cost estimate with one probe signature, so the first
+	// loaded drain already knows whether chain batching pays off here.
+	probeStart := time.Now()
+	if _, err := cfg.Keys.Sign(SignedDigest(cfg.Self, 0, nil)); err == nil {
+		s.signCostNs.Store(int64(time.Since(probeStart)))
+	}
 	cfg.Mux.Register(transport.ChanBRB, s.onMessage)
 	return s, nil
+}
+
+// observeSignCost folds one measured Sign latency into the EWMA.
+func (s *Signed) observeSignCost(d time.Duration) {
+	old := s.signCostNs.Load()
+	s.signCostNs.Store((7*old + int64(d)) / 8)
 }
 
 // Broadcast implements Broadcaster.
@@ -145,6 +191,23 @@ func (s *Signed) onMessage(from transport.NodeID, payload []byte) {
 	peer := types.ReplicaID(from)
 	r := wire.NewReader(payload)
 	kind := r.U8()
+	if r.Err() != nil {
+		return
+	}
+	if kind == kindAckBatch {
+		// Chain-signed acks carry no instance header: the chain itself
+		// names every instance the signature endorses.
+		chain, err := decodeChain(r)
+		if err != nil {
+			return
+		}
+		sig := r.Chunk()
+		if r.Err() != nil || len(chain) == 0 {
+			return
+		}
+		s.handleAckBatch(peer, chain, sig)
+		return
+	}
 	origin := types.ReplicaID(r.U32())
 	slot := r.U64()
 	if r.Err() != nil {
@@ -175,11 +238,20 @@ func (s *Signed) onMessage(from transport.NodeID, payload []byte) {
 			return
 		}
 		s.handleCommit(id, body, cert)
+	case kindCommitBatch:
+		body := r.Chunk()
+		cert, err := decodeAckCert(r)
+		if err != nil || r.Err() != nil {
+			return
+		}
+		s.handleCommitBatch(id, body, cert)
 	}
 }
 
 // handlePrepare acknowledges the first (and only the first) payload seen
-// for the instance — the equivocation check of Listing 6.
+// for the instance — the equivocation check of Listing 6. The ack is not
+// signed here: it is queued for the pool-side signer, so the dispatch
+// goroutine never executes an ECDSA.
 func (s *Signed) handlePrepare(id instanceID, payload []byte) {
 	d := SignedDigest(id.origin, id.slot, payload)
 
@@ -206,15 +278,88 @@ func (s *Signed) handlePrepare(id instanceID, payload []byte) {
 		return
 	}
 	s.acked[id] = &ackRecord{digest: d}
+	s.pendingAcks = append(s.pendingAcks, ChainEntry{Origin: id.origin, Slot: id.slot, Digest: d})
+	kick := !s.signing
+	if kick {
+		s.signing = true
+	}
 	s.mu.Unlock()
 
-	sig, err := s.cfg.Keys.Sign(d)
-	if err != nil {
-		return // entropy failure; withholding an ack is always safe
+	if kick {
+		// Blocking submission: under a saturated pool this stalls the BRB
+		// channel (backpressure), but the signature itself still runs on
+		// a worker — never on this goroutine.
+		s.ver.Async(s.drainSigner)
 	}
-	w := wire.AcquireWriter(ackSize(sig))
-	appendAck(w, id.origin, id.slot, d, sig)
-	_ = s.cfg.Mux.Send(transport.ReplicaNode(id.origin), transport.ChanBRB, w.Bytes())
+}
+
+// drainSigner is the pool-side signer: it repeatedly takes everything
+// queued and signs it, one signature per pass. Each ECDSA in flight lets
+// the next pass accumulate more acks, so the chain length — and with it
+// the per-instance signing cost — tracks load automatically.
+func (s *Signed) drainSigner() {
+	for {
+		s.mu.Lock()
+		batch := s.pendingAcks
+		s.pendingAcks = nil
+		if len(batch) == 0 {
+			s.signing = false
+			s.mu.Unlock()
+			return
+		}
+		s.mu.Unlock()
+		for len(batch) > 0 {
+			n := 1 // cheap signer: chains would cost more than they save
+			if s.signCostNs.Load() >= int64(chainSignThreshold) {
+				n = len(batch)
+				if n > maxSignBatch {
+					n = maxSignBatch
+				}
+			}
+			s.signAcks(batch[:n])
+			batch = batch[n:]
+		}
+	}
+}
+
+// signAcks signs one batch of pending acks and sends the result. One
+// entry keeps the single-slot wire form; several share one chain
+// signature, unicast to every origin the chain touches.
+func (s *Signed) signAcks(batch []ChainEntry) {
+	if len(batch) == 1 {
+		e := batch[0]
+		start := time.Now()
+		sig, err := s.cfg.Keys.Sign(e.Digest)
+		s.observeSignCost(time.Since(start))
+		if err != nil {
+			return // entropy failure; withholding an ack is always safe
+		}
+		s.signOps.Add(1)
+		s.acksTotal.Add(1)
+		w := wire.AcquireWriter(ackSize(sig))
+		appendAck(w, e.Origin, e.Slot, e.Digest, sig)
+		_ = s.cfg.Mux.Send(transport.ReplicaNode(e.Origin), transport.ChanBRB, w.Bytes())
+		w.Release()
+		return
+	}
+	start := time.Now()
+	sig, err := s.cfg.Keys.Sign(AckChainDigest(batch))
+	s.observeSignCost(time.Since(start))
+	if err != nil {
+		return
+	}
+	s.signOps.Add(1)
+	s.acksTotal.Add(uint64(len(batch)))
+	w := wire.AcquireWriter(ackBatchSize(batch, sig))
+	appendAckBatch(w, batch, sig)
+	sent := make(map[types.ReplicaID]struct{}, 4)
+	for _, e := range batch {
+		if _, dup := sent[e.Origin]; dup {
+			continue
+		}
+		sent[e.Origin] = struct{}{}
+		_ = s.cfg.Mux.Send(transport.ReplicaNode(e.Origin), transport.ChanBRB, w.Bytes())
+	}
 	w.Release()
 }
 
@@ -240,21 +385,55 @@ func (s *Signed) handleAck(id instanceID, peer types.ReplicaID, digest types.Dig
 	// the verifier's memo and resolve inline.
 	s.ver.VerifyReplicaDetached(s.cfg.Registry, peer, digest, sig, func(ok bool) {
 		if ok {
-			s.ackVerified(id, peer, digest, sig)
+			s.ackVerified(id, peer, digest, sig, nil)
+		}
+	})
+}
+
+// handleAckBatch runs at each origin a chain touches: find the entries
+// addressed to my in-flight instances, then verify the one chain
+// signature on the pool and credit every covered instance from the
+// completion callback. The chain digest is memoized, so the ECDSA runs
+// once however many instances (or redeliveries) the chain covers.
+func (s *Signed) handleAckBatch(peer types.ReplicaID, chain []ChainEntry, sig []byte) {
+	var relevant []ChainEntry
+	s.mu.Lock()
+	for _, e := range chain {
+		if e.Origin != s.cfg.Self {
+			continue
+		}
+		out := s.mine[e.Slot]
+		if out == nil || out.committed || e.Digest != out.digest || out.cert.has(peer) {
+			continue
+		}
+		relevant = append(relevant, e)
+	}
+	s.mu.Unlock()
+	if len(relevant) == 0 {
+		return
+	}
+	cd := AckChainDigest(chain)
+	s.ver.VerifyReplicaDetached(s.cfg.Registry, peer, cd, sig, func(ok bool) {
+		if !ok {
+			return
+		}
+		for _, e := range relevant {
+			s.ackVerified(instanceID{origin: e.Origin, slot: e.Slot}, peer, e.Digest, sig, chain)
 		}
 	})
 }
 
 // ackVerified re-enters the state machine after an ack signature checks
-// out: record it, and commit on reaching the quorum.
-func (s *Signed) ackVerified(id instanceID, peer types.ReplicaID, digest types.Digest, sig []byte) {
+// out: record it (with its chain context, if batch-signed), and commit on
+// reaching the quorum.
+func (s *Signed) ackVerified(id instanceID, peer types.ReplicaID, digest types.Digest, sig []byte, chain []ChainEntry) {
 	s.mu.Lock()
 	out := s.mine[id.slot]
-	if out == nil || out.committed || digest != out.digest {
+	if out == nil || out.committed || digest != out.digest || out.cert.has(peer) {
 		s.mu.Unlock()
 		return
 	}
-	out.cert.Add(crypto.PartialSig{Replica: peer, Sig: sig})
+	out.cert.Sigs = append(out.cert.Sigs, AckSig{Replica: peer, Sig: sig, Chain: chain})
 	commit := out.cert.Len() >= s.cfg.quorum()
 	if commit {
 		out.committed = true
@@ -264,30 +443,57 @@ func (s *Signed) ackVerified(id instanceID, peer types.ReplicaID, digest types.D
 	s.mu.Unlock()
 
 	if commit {
-		w := wire.AcquireWriter(commitSize(payload, cert))
-		appendCommit(w, id.origin, id.slot, payload, cert)
-		for _, p := range s.cfg.Peers {
-			_ = s.cfg.Mux.Send(transport.ReplicaNode(p), transport.ChanBRB, w.Bytes())
-		}
-		w.Release()
+		s.sendCommit(id, payload, cert)
 	}
+}
+
+// sendCommit broadcasts the commit for an instance whose quorum is
+// complete. A certificate of only single-slot signatures takes the
+// original crypto.Certificate wire form (kindCommit) — the
+// backward-compatible fallback — and chain signatures force the extended
+// form (kindCommitBatch).
+func (s *Signed) sendCommit(id instanceID, payload []byte, cert AckCert) {
+	var w *wire.Writer
+	if cert.allPlain() {
+		var legacy crypto.Certificate
+		for _, a := range cert.Sigs {
+			legacy.Add(crypto.PartialSig{Replica: a.Replica, Sig: a.Sig})
+		}
+		w = wire.AcquireWriter(commitSize(payload, legacy))
+		appendCommit(w, id.origin, id.slot, payload, legacy)
+	} else {
+		w = wire.AcquireWriter(commitBatchSize(payload, cert))
+		appendCommitBatch(w, id.origin, id.slot, payload, cert)
+	}
+	for _, p := range s.cfg.Peers {
+		_ = s.cfg.Mux.Send(transport.ReplicaNode(p), transport.ChanBRB, w.Bytes())
+	}
+	w.Release()
+}
+
+// beginCommit performs the cheap duplicate checks for an incoming commit
+// and marks the instance's verification in flight. It reports whether the
+// caller should proceed.
+func (s *Signed) beginCommit(id instanceID) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if rec := s.acked[id]; rec != nil && rec.delivered {
+		return false
+	}
+	if _, busy := s.committing[id]; busy {
+		return false // a verification for this instance is already in flight
+	}
+	s.committing[id] = struct{}{}
+	return true
 }
 
 // handleCommit performs the cheap duplicate checks inline, then verifies
 // the certificate on the pool — fanned out across workers with 2f+1 early
 // exit — and delivers in FIFO order from the completion path.
 func (s *Signed) handleCommit(id instanceID, payload []byte, cert crypto.Certificate) {
-	s.mu.Lock()
-	if rec := s.acked[id]; rec != nil && rec.delivered {
-		s.mu.Unlock()
+	if !s.beginCommit(id) {
 		return
 	}
-	if _, busy := s.committing[id]; busy {
-		s.mu.Unlock()
-		return // a verification for this instance is already in flight
-	}
-	s.committing[id] = struct{}{}
-	s.mu.Unlock()
 
 	// The coordinator needs its own goroutine: it blocks on the fanned-out
 	// signature checks, and the dispatch goroutine must stay free to pump
@@ -303,6 +509,67 @@ func (s *Signed) handleCommit(id instanceID, payload []byte, cert crypto.Certifi
 		err := s.ver.VerifyCertificate(s.cfg.Registry, cert, d, s.cfg.quorum(), s.membership)
 		s.commitVerified(id, d, payload, err == nil)
 	}()
+}
+
+// handleCommitBatch is handleCommit for extended certificates: chain
+// signatures verify against their chain digest (once, memoized, for all
+// the commits a chain covers) and count toward the quorum only if the
+// chain actually carries this instance's entry.
+func (s *Signed) handleCommitBatch(id instanceID, payload []byte, cert AckCert) {
+	if !s.beginCommit(id) {
+		return
+	}
+	s.commitSem <- struct{}{}
+	go func() {
+		defer func() { <-s.commitSem }()
+		d := SignedDigest(id.origin, id.slot, payload)
+		ok := s.verifyAckCert(id, d, cert)
+		s.commitVerified(id, d, payload, ok)
+	}()
+}
+
+// verifyAckCert checks that an extended certificate carries a quorum of
+// valid endorsements of (id, d). Like verifier.VerifyCertificate it
+// accepts as soon as quorum valid signatures are confirmed (extra invalid
+// or irrelevant ones are ignored — a quorum of valid endorsements is
+// exactly what the protocol needs); duplicate signers count once.
+func (s *Signed) verifyAckCert(id instanceID, d types.Digest, cert AckCert) bool {
+	need := s.cfg.quorum()
+	seen := make(map[types.ReplicaID]struct{}, len(cert.Sigs))
+	futures := make([]*verifier.Future, 0, len(cert.Sigs))
+	for _, a := range cert.Sigs {
+		if _, dup := seen[a.Replica]; dup {
+			continue
+		}
+		if !s.membership(a.Replica) {
+			continue
+		}
+		dg := d
+		if a.Chain != nil {
+			if !chainContains(a.Chain, id, d) {
+				continue // chain does not endorse this instance
+			}
+			dg = AckChainDigest(a.Chain)
+		}
+		seen[a.Replica] = struct{}{}
+		futures = append(futures, s.ver.VerifyReplicaAsync(s.cfg.Registry, a.Replica, dg, a.Sig, nil))
+	}
+	if len(futures) < need {
+		return false
+	}
+	valid := 0
+	for i, f := range futures {
+		if f.Wait() {
+			valid++
+			if valid >= need {
+				return true
+			}
+		}
+		if valid+len(futures)-1-i < need {
+			return false // quorum out of reach; skip the stragglers
+		}
+	}
+	return false
 }
 
 // commitVerified re-enters the state machine after certificate
@@ -354,6 +621,13 @@ func (s *Signed) membership(id types.ReplicaID) bool {
 		}
 	}
 	return false
+}
+
+// AckSignStats returns how many signing operations this replica has spent
+// on acks and how many acks they covered. acks/ops > 1 means chain
+// batching engaged (one ECDSA endorsing several instances).
+func (s *Signed) AckSignStats() (ops, acks uint64) {
+	return s.signOps.Load(), s.acksTotal.Load()
 }
 
 // String implements fmt.Stringer for diagnostics.

@@ -160,9 +160,9 @@ type Replica struct {
 	cfg   Config
 	state *core.State
 
-	// mu guards all protocol state. Handlers run on the mux dispatch
-	// goroutine, so the lock is effectively uncontended except for
-	// monitoring reads from harnesses and tests.
+	// mu guards all protocol state. The mux dispatches each channel on
+	// its own goroutine (consensus, client, and local-timer traffic run
+	// concurrently), so handlers genuinely contend on this lock.
 	mu           sync.Mutex
 	view         uint64
 	inViewChange bool
@@ -193,7 +193,9 @@ func New(cfg Config) (*Replica, error) {
 	}
 	cfg.Mux.Register(transport.ChanConsensus, r.onMessage)
 	cfg.Mux.Register(transport.ChanPayment, r.onClientMsg)
-	cfg.Mux.Register(transport.ChanLocal, r.onLocal)
+	// View-change ticks and batch timers serialize with the protocol
+	// messages they inspect.
+	cfg.Mux.Register(transport.ChanLocal, r.onLocal, transport.SerializeWith(transport.ChanConsensus))
 	r.scheduleTick()
 	return r, nil
 }

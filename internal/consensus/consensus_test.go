@@ -70,7 +70,12 @@ func (c *cluster) waitExecuted(n uint64, timeout time.Duration) {
 				count++
 			}
 		}
-		if count >= len(c.replicas)-c.f {
+		// Every caller asserts per-replica state on ALL replicas right
+		// after returning, so wait for all of them (no caller crashes
+		// nodes); with channels dispatching concurrently, the last
+		// replica's commit can otherwise still be in flight when the
+		// quorum has already executed.
+		if count == len(c.replicas) {
 			return
 		}
 		if time.Now().After(deadline) {

@@ -27,6 +27,7 @@ type Client struct {
 
 	confirms chan types.PaymentID
 	balances chan types.Amount
+	seqs     chan types.Seq
 }
 
 // ErrTimeout is returned when a client-side wait expires.
@@ -42,6 +43,7 @@ func NewClient(id types.ClientID, repOf func(types.ClientID) types.ReplicaID, mu
 		nextSeq:  1,
 		confirms: make(chan types.PaymentID, 1<<12),
 		balances: make(chan types.Amount, 8),
+		seqs:     make(chan types.Seq, 8),
 	}
 	mux.Register(transport.ChanPayment, c.onMessage)
 	return c
@@ -129,6 +131,40 @@ func (c *Client) QueryBalance(timeout time.Duration) (types.Amount, error) {
 	}
 }
 
+// SyncSeq asks the representative for this client's next usable sequence
+// number and adopts it. A client process is otherwise stateless across
+// restarts: restarting from seq 1 would resubmit identifiers that already
+// settled, and those payments silently never settle again. Call once at
+// startup before the first Pay. It never moves the counter backwards, so
+// calling it on a live client is harmless.
+func (c *Client) SyncSeq(timeout time.Duration) (types.Seq, error) {
+	// Discard responses queued by earlier timed-out calls, so the answer
+	// consumed below is to *this* request, not a stale (lower) snapshot.
+	for {
+		select {
+		case <-c.seqs:
+			continue
+		default:
+		}
+		break
+	}
+	if err := c.mux.Send(transport.ReplicaNode(c.rep), transport.ChanPayment, encodeSeqReq(c.id)); err != nil {
+		return 0, err
+	}
+	select {
+	case next := <-c.seqs:
+		c.mu.Lock()
+		if next > c.nextSeq {
+			c.nextSeq = next
+		}
+		next = c.nextSeq
+		c.mu.Unlock()
+		return next, nil
+	case <-time.After(timeout):
+		return 0, ErrTimeout
+	}
+}
+
 func (c *Client) onMessage(from transport.NodeID, payload []byte) {
 	if len(payload) == 0 || from != transport.ReplicaNode(c.rep) {
 		return
@@ -157,6 +193,17 @@ func (c *Client) onMessage(from transport.NodeID, payload []byte) {
 		}
 		select {
 		case c.balances <- types.Amount(be64(payload[9:17])):
+		default:
+		}
+	case msgSeqResp:
+		if len(payload) != 17 {
+			return
+		}
+		if types.ClientID(be64(payload[1:9])) != c.id {
+			return
+		}
+		select {
+		case c.seqs <- types.Seq(be64(payload[9:17])):
 		default:
 		}
 	}

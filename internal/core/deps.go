@@ -68,11 +68,13 @@ var (
 // least f+1 valid signatures from replicas of the (single) shard all the
 // group's spenders belong to.
 //
-// When ver is non-nil the certificate check runs through its memo cache
-// (still inline on the caller — the payment engine calls this under its
-// state lock, where blocking on the worker pool is not allowed), so a
-// dependency whose CREDIT signatures this replica already verified costs
-// hashes, not ECDSA. A nil ver falls back to the plain serial checker.
+// When ver is non-nil the certificate check runs through its memo cache,
+// inline on the caller (no pool blocking, so it is safe from worker
+// callbacks and lock-holding contexts alike); a dependency whose CREDIT
+// signatures this replica already verified costs hashes, not ECDSA. A nil
+// ver falls back to the plain serial checker. The payment engine screens
+// dependencies on the delivery path *before* taking its state lock
+// (Replica.screenDependencies), fanning these checks across the pool.
 func VerifyDependency(
 	d Dependency,
 	ver *verifier.Verifier,

@@ -13,6 +13,8 @@ const (
 	msgConfirm     byte = 2 // representative -> client: payment settled
 	msgBalanceReq  byte = 3 // client -> representative: balance query
 	msgBalanceResp byte = 4 // representative -> client: balance answer
+	msgSeqReq      byte = 5 // client -> representative: next sequence query
+	msgSeqResp     byte = 6 // representative -> client: next usable sequence
 )
 
 // Local event kinds on transport.ChanLocal.
@@ -65,6 +67,21 @@ func encodeBalanceResp(c types.ClientID, a types.Amount) []byte {
 	w.U8(msgBalanceResp)
 	w.U64(uint64(c))
 	w.U64(uint64(a))
+	return w.Bytes()
+}
+
+func encodeSeqReq(c types.ClientID) []byte {
+	w := wire.NewWriter(9)
+	w.U8(msgSeqReq)
+	w.U64(uint64(c))
+	return w.Bytes()
+}
+
+func encodeSeqResp(c types.ClientID, s types.Seq) []byte {
+	w := wire.NewWriter(17)
+	w.U8(msgSeqResp)
+	w.U64(uint64(c))
+	w.U64(uint64(s))
 	return w.Bytes()
 }
 

@@ -50,6 +50,10 @@ type Replica struct {
 	inflightDeps map[types.ClientID]types.Amount
 	attachedVal  map[types.PaymentID]types.Amount
 	creditAccum  map[types.Digest]*creditState
+	// submittedHi is the highest sequence number accepted from each
+	// client, covering every pre-settlement stage (held, buffered,
+	// broadcast in flight); NextSeq resyncs must not hand these out again.
+	submittedHi map[types.ClientID]types.Seq
 
 	// endorsement memory for the BRB external-validity hook; separate
 	// lock because the hook is called from inside the BRB layer.
@@ -86,15 +90,15 @@ func NewReplica(cfg Config) (*Replica, error) {
 		inflightDeps:   make(map[types.ClientID]types.Amount),
 		attachedVal:    make(map[types.PaymentID]types.Amount),
 		creditAccum:    make(map[types.Digest]*creditState),
+		submittedHi:    make(map[types.ClientID]types.Seq),
 		endorsed:       make(map[types.PaymentID]types.Digest),
 	}
-	var verifyDep func(Dependency) error
-	if cfg.Version == AstroII {
-		verifyDep = func(d Dependency) error {
-			return VerifyDependency(d, cfg.Verifier, cfg.Registry, cfg.F, cfg.ShardOf, cfg.ReplicaShard)
-		}
-	}
-	r.state = NewState(cfg.Version, cfg.Genesis, verifyDep)
+	// Dependency certificates are verified by screenDependencies on the
+	// BRB delivery path, *before* the state lock is taken and fanned out
+	// across the verifier pool — not by State under r.mu (they used to
+	// verify memoized-but-serial there, lengthening every settlement
+	// critical section). State therefore trusts the deps it is handed.
+	r.state = NewState(cfg.Version, cfg.Genesis, nil)
 
 	bcfg := brb.Config{
 		Mux:       cfg.Mux,
@@ -120,7 +124,11 @@ func NewReplica(cfg Config) (*Replica, error) {
 	}
 
 	cfg.Mux.Register(transport.ChanPayment, r.onPaymentMsg)
-	cfg.Mux.Register(transport.ChanLocal, r.onLocal)
+	// Batch-flush timers interleave with the submissions they flush; keep
+	// the two on one dispatch goroutine (the state lock makes any order
+	// safe, but serialization keeps timer latency proportional to the
+	// payment queue, not to unrelated channels).
+	cfg.Mux.Register(transport.ChanLocal, r.onLocal, transport.SerializeWith(transport.ChanPayment))
 	if cfg.Version == AstroII {
 		cfg.Mux.Register(transport.ChanCredit, r.onCredit)
 	}
@@ -262,6 +270,9 @@ func (r *Replica) onPaymentMsg(from transport.NodeID, payload []byte) {
 		if r.cfg.ClientKeys != nil && !r.cfg.Verifier.VerifyClient(r.cfg.ClientKeys, p.Spender, PaymentDigest(p), sig) {
 			return
 		}
+		if !r.preScreenSubmit(p) {
+			return
+		}
 		r.submit(p, sig)
 	case msgBalanceReq:
 		if len(payload) != 9 {
@@ -270,7 +281,84 @@ func (r *Replica) onPaymentMsg(from transport.NodeID, payload []byte) {
 		c := types.ClientID(be64(payload[1:9]))
 		bal := r.Balance(c)
 		_ = r.cfg.Mux.Send(from, transport.ChanPayment, encodeBalanceResp(c, bal))
+	case msgSeqReq:
+		if len(payload) != 9 {
+			return
+		}
+		c := types.ClientID(be64(payload[1:9]))
+		// Clients recovering from a restart resynchronize their sequence
+		// counter from the replicated xlog (plus whatever this
+		// representative already endorsed beyond it, so a resync cannot
+		// collide with in-flight payments).
+		_ = r.cfg.Mux.Send(from, transport.ChanPayment, encodeSeqResp(c, r.nextUsableSeq(c)))
 	}
+}
+
+// nextUsableSeq returns the lowest sequence number a restarted client can
+// safely assign: past everything settled in the xlog, everything accepted
+// from the client into any pre-settlement stage (held, buffered,
+// broadcast in flight — the submittedHi high-water mark), and everything
+// this replica has endorsed. Handing out a number still in flight would
+// let the restarted client create exactly the conflicting-resubmission
+// wedge preScreenSubmit exists to prevent.
+func (r *Replica) nextUsableSeq(c types.ClientID) types.Seq {
+	r.mu.Lock()
+	next := r.state.NextSeq(c)
+	if hi := r.submittedHi[c]; hi >= next {
+		next = hi + 1
+	}
+	r.mu.Unlock()
+	r.endorsedMu.Lock()
+	for {
+		if _, inflight := r.endorsed[types.PaymentID{Spender: c, Seq: next}]; !inflight {
+			break
+		}
+		next++
+	}
+	r.endorsedMu.Unlock()
+	return next
+}
+
+// preScreenSubmit rejects submissions that could never settle before they
+// occupy a broadcast slot (ROADMAP "wedged representative"): peers
+// correctly refuse to endorse a batch containing a payment that conflicts
+// with one they already endorsed, but the refused batch would occupy a BRB
+// slot that never delivers — and per-origin FIFO would then block every
+// later batch from this representative, wedging unrelated clients. The
+// screen consults the same endorsement memory peers will consult, so a
+// doomed payment is refused locally and instantly instead.
+//
+// A byte-identical resubmission of an already-settled payment (a client
+// retrying a lost confirmation) is answered with a fresh confirmation
+// rather than a rebroadcast.
+func (r *Replica) preScreenSubmit(p types.Payment) bool {
+	if p.Seq == 0 {
+		return false // sequence numbers start at 1; Seq 0 can never settle
+	}
+	r.mu.Lock()
+	settled := p.Seq < r.state.NextSeq(p.Spender)
+	identical := false
+	if settled {
+		identical = r.state.XLog(p.Spender).At(int(p.Seq)-1) == p
+	}
+	r.mu.Unlock()
+	if settled {
+		if identical {
+			_ = r.cfg.Mux.Send(transport.ClientNode(p.Spender), transport.ChanPayment, encodeConfirm(p.ID()))
+		}
+		return false // settled identifier: never occupy a new slot for it
+	}
+	r.endorsedMu.Lock()
+	_, seen := r.endorsed[p.ID()]
+	r.endorsedMu.Unlock()
+	if seen {
+		// Conflicting: peers would refuse the batch (double-spend
+		// protection) and wedge this origin's FIFO. Identical: it is
+		// already in flight; the confirmation will arrive on settlement.
+		// Either way, do not occupy another slot.
+		return false
+	}
+	return true
 }
 
 // submit enqueues a client payment for broadcast, attaching accumulated
@@ -278,6 +366,9 @@ func (r *Replica) onPaymentMsg(from transport.NodeID, payload []byte) {
 // rule so a correct representative never wedges a client's xlog.
 func (r *Replica) submit(p types.Payment, sig []byte) {
 	r.mu.Lock()
+	if p.Seq > r.submittedHi[p.Spender] {
+		r.submittedHi[p.Spender] = p.Seq
+	}
 	if r.cfg.Version == AstroII {
 		if len(r.pendingSubmits[p.Spender]) > 0 || !r.fundedLocked(p) {
 			r.pendingSubmits[p.Spender] = append(r.pendingSubmits[p.Spender], heldSubmit{payment: p, sig: sig})
@@ -386,6 +477,7 @@ func (r *Replica) onDeliver(origin types.ReplicaID, _ uint64, payload []byte) {
 	if err != nil {
 		return // validated before endorsement; cannot happen from correct peers
 	}
+	r.screenDependencies(entries)
 	r.mu.Lock()
 	var nextBatches [][]BatchEntry
 	if origin == r.cfg.Self && r.myInflight > 0 {
@@ -402,6 +494,59 @@ func (r *Replica) onDeliver(origin types.ReplicaID, _ uint64, payload []byte) {
 	}
 	r.postSettleLocked(settled)
 	r.broadcastBatches(nextBatches)
+}
+
+// screenDependencies verifies every dependency certificate attached to the
+// batch — outside the state lock, fanned out across the verifier pool —
+// and strips the ones that fail, so State credits what remains without
+// re-verifying inside the settlement critical section. Stripping a bad
+// certificate is exactly the semantics State's inline check used to apply
+// ("unverifiable certificate: ignore, do not credit"); every correct
+// replica screens the same delivered batch identically, so replicated
+// state stays consistent.
+func (r *Replica) screenDependencies(entries []BatchEntry) {
+	if r.cfg.Version != AstroII {
+		return
+	}
+	type check struct {
+		entry, dep int
+		f          *verifier.Future
+	}
+	var checks []check
+	for ei := range entries {
+		for di := range entries[ei].Deps {
+			d := entries[ei].Deps[di]
+			f := r.cfg.Verifier.VerifyAsync(func() bool {
+				return VerifyDependency(d, r.cfg.Verifier, r.cfg.Registry, r.cfg.F, r.cfg.ShardOf, r.cfg.ReplicaShard) == nil
+			}, nil)
+			checks = append(checks, check{entry: ei, dep: di, f: f})
+		}
+	}
+	if len(checks) == 0 {
+		return
+	}
+	var invalid map[[2]int]bool
+	for _, c := range checks {
+		if !c.f.Wait() {
+			if invalid == nil {
+				invalid = make(map[[2]int]bool)
+			}
+			invalid[[2]int{c.entry, c.dep}] = true
+		}
+	}
+	if invalid == nil {
+		return
+	}
+	for ei := range entries {
+		deps := entries[ei].Deps
+		kept := deps[:0:len(deps)]
+		for di := range deps {
+			if !invalid[[2]int{ei, di}] {
+				kept = append(kept, deps[di])
+			}
+		}
+		entries[ei].Deps = kept
+	}
 }
 
 // postSettleLocked handles everything that follows settlement. It releases

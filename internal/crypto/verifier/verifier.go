@@ -18,7 +18,10 @@
 //     threshold is confirmed or failure is certain;
 //   - a bounded memoization cache keyed by (signer, digest, signature), so
 //     re-delivered commits, echoed acks, and an origin re-verifying its
-//     own aggregated certificate never pay ECDSA twice.
+//     own aggregated certificate never pay ECDSA twice;
+//   - a blocking submission entry point (Async) for work that must never
+//     run on the caller — the BRB ack *sign* path hands its ECDSA to the
+//     pool from transport dispatch goroutines.
 //
 // A single worker (GOMAXPROCS=1) degrades gracefully: pooled calls run
 // serially but the memo cache still applies, so single-core hosts pay at
@@ -150,6 +153,37 @@ func (v *Verifier) submit(f func()) {
 	}
 	v.closeMu.RUnlock()
 	f()
+}
+
+// submitBlocking runs f on the pool, blocking the caller until the task is
+// enqueued rather than falling back inline when the queue is full. It is
+// the entry point for work that must never execute on the calling
+// goroutine — BRB ack *signing* is handed off by transport dispatch
+// goroutines, and an inline ECDSA there would stall a whole channel's
+// delivery. Blocking instead is safe (workers never wait on dispatch
+// progress) and is itself the backpressure: a replica flooded with
+// prepares slows its reading of further prepares, not its other channels.
+// Only a closed pool degrades to running f on the caller.
+func (v *Verifier) submitBlocking(f func()) {
+	v.closeMu.RLock()
+	if !v.closed {
+		// Holding the read lock across the send keeps Close (which closes
+		// the channel under the write lock) ordered after the enqueue.
+		v.tasks <- f
+		v.closeMu.RUnlock()
+		return
+	}
+	v.closeMu.RUnlock()
+	f()
+}
+
+// Async schedules arbitrary work on the pool, blocking until enqueued
+// (never running it on the caller while the pool is open). Protocol layers
+// use it to move signing — the one remaining serial ECDSA of the hot path
+// — onto the same workers that verification runs on (the BRB ack signer
+// drains its pending-ack queue through here).
+func (v *Verifier) Async(f func()) {
+	v.submitBlocking(f)
 }
 
 // Future resolves to the result of an asynchronous verification.

@@ -81,6 +81,7 @@ type AstroCluster struct {
 
 	repOf   func(types.ClientID) types.ReplicaID
 	clients map[types.ClientID]*core.Client
+	muxes   []*transport.Mux
 }
 
 // NewAstroCluster builds and starts a deployment.
@@ -139,6 +140,7 @@ func NewAstroCluster(opts AstroOpts) (*AstroCluster, error) {
 		members := opts.Topology.Replicas(types.ShardID(s))
 		for _, id := range members {
 			mux := transport.NewMux(net.Node(transport.ReplicaNode(id)))
+			c.muxes = append(c.muxes, mux)
 			rep, err := core.NewReplica(core.Config{
 				Version:      opts.Version,
 				Self:         id,
@@ -172,6 +174,7 @@ func (c *AstroCluster) Client(id types.ClientID) *core.Client {
 		return cl
 	}
 	mux := transport.NewMux(c.Net.Node(transport.ClientNode(id)))
+	c.muxes = append(c.muxes, mux)
 	cl := core.NewClient(id, c.repOf, mux)
 	c.clients[id] = cl
 	return cl
@@ -198,8 +201,14 @@ func (c *AstroCluster) TotalSettled() uint64 {
 	return sum
 }
 
-// Close shuts the deployment down.
-func (c *AstroCluster) Close() { c.Net.Close() }
+// Close shuts the deployment down: the network stops delivering, then
+// every mux's dispatch goroutines drain and exit.
+func (c *AstroCluster) Close() {
+	c.Net.Close()
+	for _, m := range c.muxes {
+		m.Close()
+	}
+}
 
 // ConsensusOpts configures a consensus-baseline deployment.
 type ConsensusOpts struct {
@@ -232,6 +241,7 @@ type ConsensusCluster struct {
 	F        int
 
 	clients map[types.ClientID]*consensus.Client
+	muxes   []*transport.Mux
 }
 
 // NewConsensusCluster builds and starts a deployment.
@@ -260,6 +270,7 @@ func NewConsensusCluster(opts ConsensusOpts) (*ConsensusCluster, error) {
 	genesis := func(types.ClientID) types.Amount { return opts.Genesis }
 	for i := 0; i < opts.N; i++ {
 		mux := transport.NewMux(net.Node(transport.ReplicaNode(types.ReplicaID(i))))
+		c.muxes = append(c.muxes, mux)
 		r, err := consensus.New(consensus.Config{
 			Self:               types.ReplicaID(i),
 			Replicas:           c.IDs,
@@ -289,6 +300,7 @@ func (c *ConsensusCluster) Client(id types.ClientID) *consensus.Client {
 		return cl
 	}
 	mux := transport.NewMux(c.Net.Node(transport.ClientNode(id)))
+	c.muxes = append(c.muxes, mux)
 	cl := consensus.NewClient(id, c.IDs, c.F, mux)
 	c.clients[id] = cl
 	return cl
@@ -306,4 +318,9 @@ func (c *ConsensusCluster) Delay(r types.ReplicaID, d time.Duration) {
 }
 
 // Close shuts the deployment down.
-func (c *ConsensusCluster) Close() { c.Net.Close() }
+func (c *ConsensusCluster) Close() {
+	c.Net.Close()
+	for _, m := range c.muxes {
+		m.Close()
+	}
+}

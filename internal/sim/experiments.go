@@ -700,6 +700,19 @@ func Fig8(cfg Fig8Config) ([]Fig8Point, error) {
 func fig8Run(cfg Fig8Config, sys System, snap reconfig.StaticState) ([]Fig8Point, error) {
 	net := memnet.New(memnet.WithLatency(memnet.EuropeWAN()), memnet.WithSeed(cfg.Seed+7))
 	defer net.Close()
+	// Muxes now own per-channel dispatch goroutines; close them when the
+	// run ends or a long bench sweep accumulates leaked goroutines.
+	var muxes []*transport.Mux
+	newMux := func(id types.ReplicaID) *transport.Mux {
+		m := transport.NewMux(net.Node(transport.ReplicaNode(id)))
+		muxes = append(muxes, m)
+		return m
+	}
+	defer func() {
+		for _, m := range muxes {
+			m.Close()
+		}
+	}()
 	registry := crypto.NewRegistry()
 	keys := make(map[types.ReplicaID]*crypto.KeyPair)
 
@@ -712,7 +725,7 @@ func fig8Run(cfg Fig8Config, sys System, snap reconfig.StaticState) ([]Fig8Point
 	view := reconfig.View{Num: 1, Members: members}
 
 	for _, id := range members {
-		mux := transport.NewMux(net.Node(transport.ReplicaNode(id)))
+		mux := newMux(id)
 		reconfig.NewManager(reconfig.Config{
 			Self: id, Mux: mux, Keys: keys[id], Registry: registry,
 			InitialView: view, State: snap,
@@ -723,7 +736,7 @@ func fig8Run(cfg Fig8Config, sys System, snap reconfig.StaticState) ([]Fig8Point
 	for n := cfg.StartN; n < cfg.EndN; n++ {
 		joiner := types.ReplicaID(1000 + n)
 		keys[joiner] = crypto.MustGenerateKeyPair()
-		mux := transport.NewMux(net.Node(transport.ReplicaNode(joiner)))
+		mux := newMux(joiner)
 		jc := reconfig.JoinConfig{
 			Self: joiner, Mux: mux, Keys: keys[joiner], Registry: registry,
 			CurrentView: view, Timeout: 60 * time.Second,
@@ -742,7 +755,11 @@ func fig8Run(cfg Fig8Config, sys System, snap reconfig.StaticState) ([]Fig8Point
 		view = res.View
 		// The joiner becomes a member serving future joins.
 		registry.Add(joiner, keys[joiner].Public())
-		mgrMux := transport.NewMux(net.Node(transport.ReplicaNode(joiner)))
+		// The manager mux takes over the joiner's endpoint handler slot;
+		// the join-time mux is done, so release its dispatchers now
+		// (Close is idempotent — the deferred sweep may hit it again).
+		mux.Close()
+		mgrMux := newMux(joiner)
 		reconfig.NewManager(reconfig.Config{
 			Self: joiner, Mux: mgrMux, Keys: keys[joiner], Registry: registry,
 			InitialView: view, State: snap,

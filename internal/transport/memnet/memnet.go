@@ -5,8 +5,9 @@
 // outbound delay injected (emulating `tc netem delay`), and links can be
 // cut to create partitions.
 //
-// Each endpoint delivers inbound messages through a single dispatch
-// goroutine, so protocol handlers run single-threaded per node.
+// Each endpoint delivers inbound messages through a single reader
+// goroutine; protocols layered through transport.Mux then fan out to one
+// dispatch goroutine per channel (see the Mux concurrency contract).
 package memnet
 
 import (

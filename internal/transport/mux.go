@@ -20,18 +20,113 @@ const (
 	ChanLocal     Channel = 6 // self-addressed timer/batch events
 )
 
+// DefaultQueueSize is the per-dispatch-queue capacity used when none is
+// configured. Deep enough to ride out verification-latency bursts, shallow
+// enough that a wedged handler exerts backpressure on the endpoint instead
+// of buffering unboundedly.
+const DefaultQueueSize = 1024
+
 // Mux demultiplexes inbound messages by channel tag and prefixes outbound
 // messages with their tag. A Mux owns its endpoint's handler slot.
+//
+// Dispatch is sharded: every registered channel is served by its own
+// dispatch goroutine, fed by a bounded FIFO queue. Messages of one channel
+// are handled sequentially in arrival order (per-channel FIFO), but
+// channels never head-of-line block each other — a BRB handler stalled on
+// certificate verification no longer delays payment submissions or CREDIT
+// accumulation. Handlers of *different* channels may therefore run
+// concurrently; protocol state shared across channels must be locked.
+//
+// Channels that need the old cross-channel serialization — ChanLocal timer
+// events that must interleave atomically with a protocol's message handler
+// — register with SerializeWith(ch), which routes them through the target
+// channel's queue and goroutine, restoring pairwise sequential execution.
+//
+// When a channel's queue is full, delivery for that channel blocks the
+// endpoint's reader until the queue drains: bounded memory with natural
+// backpressure, never silent message loss.
 type Mux struct {
 	ep Endpoint
 
+	qsize  int
+	serial bool
+
 	mu       sync.RWMutex
 	handlers map[Channel]Handler
+	queues   map[Channel]*dispatchQueue
+	owned    []*dispatchQueue // distinct queues, for diagnostics/tests
+	closed   bool
+	done     chan struct{}
+	wg       sync.WaitGroup
+}
+
+// dispatchQueue is one bounded FIFO with a single draining goroutine.
+// Several channels may share one queue (SerializeWith, serial mode); the
+// drainer resolves the handler per message so late registration and
+// handler replacement behave as before.
+type dispatchQueue struct {
+	msgs chan queuedMsg
+}
+
+type queuedMsg struct {
+	ch      Channel
+	from    NodeID
+	payload []byte
+}
+
+// MuxOption configures a Mux.
+type MuxOption func(*Mux)
+
+// WithQueueSize sets the per-channel dispatch queue capacity.
+func WithQueueSize(n int) MuxOption {
+	return func(m *Mux) {
+		if n > 0 {
+			m.qsize = n
+		}
+	}
+}
+
+// WithSerialDispatch routes every channel through one shared dispatch
+// queue and goroutine — the pre-sharding behavior, where all handlers of
+// an endpoint execute sequentially. It exists as a measured baseline for
+// the sharded dispatcher and as a debugging aid; production deployments
+// use the sharded default.
+func WithSerialDispatch() MuxOption {
+	return func(m *Mux) { m.serial = true }
+}
+
+// RegisterOption configures one channel registration.
+type RegisterOption func(*regOpts)
+
+type regOpts struct {
+	serializeWith Channel
+	set           bool
+}
+
+// SerializeWith routes the channel being registered through target's
+// dispatch queue, so handlers of the two channels execute sequentially
+// with respect to each other (single goroutine, shared FIFO). Protocols
+// use this for ChanLocal: a timer event must not race the message handler
+// it pokes. The binding is fixed at the channel's first registration.
+func SerializeWith(target Channel) RegisterOption {
+	return func(o *regOpts) {
+		o.serializeWith = target
+		o.set = true
+	}
 }
 
 // NewMux wraps ep, installing itself as the endpoint handler.
-func NewMux(ep Endpoint) *Mux {
-	m := &Mux{ep: ep, handlers: make(map[Channel]Handler)}
+func NewMux(ep Endpoint, opts ...MuxOption) *Mux {
+	m := &Mux{
+		ep:       ep,
+		qsize:    DefaultQueueSize,
+		handlers: make(map[Channel]Handler),
+		queues:   make(map[Channel]*dispatchQueue),
+		done:     make(chan struct{}),
+	}
+	for _, o := range opts {
+		o(m)
+	}
 	ep.SetHandler(m.dispatch)
 	return m
 }
@@ -43,11 +138,88 @@ func (m *Mux) Endpoint() Endpoint { return m.ep }
 func (m *Mux) ID() NodeID { return m.ep.ID() }
 
 // Register installs the handler for a channel. Registering a channel twice
-// replaces the previous handler.
-func (m *Mux) Register(ch Channel, h Handler) {
+// replaces the previous handler; the channel's queue binding (its own, or
+// a SerializeWith target's) is fixed by the first registration.
+func (m *Mux) Register(ch Channel, h Handler, opts ...RegisterOption) {
+	var ro regOpts
+	for _, o := range opts {
+		o(&ro)
+	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.handlers[ch] = h
+	if _, bound := m.queues[ch]; bound {
+		return
+	}
+	switch {
+	case ro.set:
+		m.queues[ch] = m.queueForLocked(ro.serializeWith)
+	default:
+		m.queues[ch] = m.queueForLocked(ch)
+	}
+}
+
+// queueForLocked returns (creating if needed) the dispatch queue owned by
+// channel ch. In serial mode every channel resolves to the one shared
+// queue. Callers hold m.mu.
+func (m *Mux) queueForLocked(ch Channel) *dispatchQueue {
+	if m.serial {
+		ch = 0 // all channels share the queue keyed by the zero channel
+	}
+	if q, ok := m.queues[ch]; ok {
+		return q
+	}
+	q := &dispatchQueue{msgs: make(chan queuedMsg, m.qsize)}
+	m.queues[ch] = q
+	m.owned = append(m.owned, q)
+	if !m.closed {
+		m.wg.Add(1)
+		go m.drain(q)
+	}
+	return q
+}
+
+// DispatchGoroutines reports how many dispatch goroutines the mux runs —
+// one per distinct queue (tests assert sharding and serialization).
+func (m *Mux) DispatchGoroutines() int {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return len(m.owned)
+}
+
+// Close stops all dispatch goroutines and waits for in-flight handlers to
+// return. Messages still queued are discarded; the endpoint itself is not
+// closed (the mux does not own it). Close must not be called from inside a
+// handler. Safe to call more than once.
+func (m *Mux) Close() {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		m.wg.Wait()
+		return
+	}
+	m.closed = true
+	close(m.done)
+	m.mu.Unlock()
+	m.wg.Wait()
+}
+
+// drain is one queue's dispatch goroutine.
+func (m *Mux) drain(q *dispatchQueue) {
+	defer m.wg.Done()
+	for {
+		select {
+		case <-m.done:
+			return
+		case msg := <-q.msgs:
+			m.mu.RLock()
+			h := m.handlers[msg.ch]
+			m.mu.RUnlock()
+			if h != nil {
+				h(msg.from, msg.payload)
+			}
+		}
+	}
 }
 
 // Send transmits payload on the given channel.
@@ -61,21 +233,31 @@ func (m *Mux) Send(to NodeID, ch Channel, payload []byte) error {
 	return nil
 }
 
-// SendLocal enqueues payload to this node's own dispatch goroutine on
-// ChanLocal. Protocol timers use this to serialize with message handling.
+// SendLocal enqueues payload to this node's own dispatch on ChanLocal.
+// Protocol timers use this to serialize with message handling; register
+// ChanLocal with SerializeWith(ch) to bind it to the channel it must
+// interleave with.
 func (m *Mux) SendLocal(payload []byte) error {
 	return m.Send(m.ep.ID(), ChanLocal, payload)
 }
 
+// dispatch runs on the endpoint's reader goroutine: route the message to
+// its channel's queue. A full queue blocks here — backpressure on the
+// endpoint — rather than dropping. Unregistered channels are discarded.
 func (m *Mux) dispatch(from NodeID, payload []byte) {
 	if len(payload) == 0 {
 		return
 	}
 	ch := Channel(payload[0])
 	m.mu.RLock()
-	h := m.handlers[ch]
+	q := m.queues[ch]
+	closed := m.closed
 	m.mu.RUnlock()
-	if h != nil {
-		h(from, payload[1:])
+	if q == nil || closed {
+		return
+	}
+	select {
+	case q.msgs <- queuedMsg{ch: ch, from: from, payload: payload[1:]}:
+	case <-m.done:
 	}
 }

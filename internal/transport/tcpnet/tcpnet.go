@@ -4,8 +4,10 @@
 // sender's NodeID so a single inbound connection can relay for any peer.
 //
 // Outbound connections are established lazily and re-dialed with backoff on
-// failure. Like memnet, inbound messages are dispatched from a single
-// goroutine per endpoint, so handlers run single-threaded.
+// failure. Like memnet, inbound messages are delivered from a single
+// reader goroutine per endpoint; protocols layered through transport.Mux
+// then fan out to one dispatch goroutine per channel (see the Mux
+// concurrency contract).
 package tcpnet
 
 import (

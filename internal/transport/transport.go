@@ -28,9 +28,16 @@ func ReplicaNode(id types.ReplicaID) NodeID { return NodeID(id) }
 func ClientNode(id types.ClientID) NodeID { return ClientNodeBase + NodeID(id) }
 
 // Handler processes an inbound message. Implementations of Endpoint invoke
-// the handler sequentially from a single dispatch goroutine per endpoint,
-// so handlers may maintain state without locking — mirroring the paper's
-// assumption that replica pseudocode executes atomically.
+// the handler sequentially from a single reader goroutine per endpoint, so
+// a handler installed directly with SetHandler may maintain state without
+// locking.
+//
+// Protocols, however, attach through Mux, whose dispatch is sharded: each
+// registered Channel gets its own dispatch goroutine, so handlers of one
+// channel run sequentially (per-channel FIFO) but handlers of different
+// channels run concurrently. Protocol state shared across channels must be
+// synchronized; channels needing mutual serialization (timer events and
+// the handler they poke) register with SerializeWith. See Mux.
 type Handler func(from NodeID, payload []byte)
 
 // Endpoint is one node's attachment to a network.
@@ -40,8 +47,9 @@ type Endpoint interface {
 	// Send transmits payload to the endpoint with address to. Send never
 	// blocks on remote progress; delivery is asynchronous and, on memnet,
 	// subject to the configured latency model. Sending to self is
-	// permitted and delivers through the same dispatch goroutine, which
-	// protocols use to serialize timer events with message handling.
+	// permitted and delivers through the endpoint's own inbound path;
+	// protocols that need a self-sent timer event serialized with a
+	// message handler bind the two channels with Mux's SerializeWith.
 	Send(to NodeID, payload []byte) error
 	// SetHandler installs the inbound message handler. It must be called
 	// before any message can be delivered; messages arriving earlier are
