@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race bench bench-pr2 check verify
+.PHONY: all build test vet race bench bench-pr2 bench-pr3 profile check verify
 
 all: check
 
@@ -36,6 +36,20 @@ bench:
 # Regenerates BENCH_PR2.json with numbers measured on this host.
 bench-pr2:
 	sh scripts/bench_pr2.sh BENCH_PR2.json
+
+# PR 3 evidence: striped settlement state (vs the global-lock baseline,
+# Config.StateStripes=1) and settlement-wave CREDIT signing (per-credit
+# ECDSA amortization). Regenerates BENCH_PR3.json.
+bench-pr3:
+	sh scripts/bench_pr3.sh BENCH_PR3.json
+
+# Mutex-contention profile of the settlement engine: runs the striped
+# settle benchmark with mutex profiling and prints the top contended
+# call paths (artifacts: core.test, mutex.out).
+profile:
+	$(GO) test -run=NONE -bench BenchmarkStripedSettle -benchtime=200000x \
+		-mutexprofile=mutex.out -o core.test ./internal/core/
+	$(GO) tool pprof -top -nodecount=20 core.test mutex.out
 
 check: build vet test race
 

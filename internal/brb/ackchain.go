@@ -24,6 +24,11 @@ import (
 // plain crypto.Certificate commits), so batching is purely an under-load
 // optimization and the protocol remains wire-compatible with peers that
 // never batch.
+//
+// The queue/drain/adaptive-threshold scheduling that feeds these chains
+// is generalized as verifier.ChainSigner (shared with the payment layer's
+// settlement-wave CREDIT signing); this file keeps the BRB-specific chain
+// digests and wire forms.
 
 // ChainEntry is one element of a batch-signed ack chain: the instance it
 // acknowledges and the ack digest that a single-slot signature would have

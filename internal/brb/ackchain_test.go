@@ -235,9 +235,7 @@ func TestSignedChainSignsPendingAcks(t *testing.T) {
 	// Wait until all k acks are queued at the signer.
 	deadline := time.Now().Add(5 * time.Second)
 	for {
-		fx.replica.mu.Lock()
-		pending := len(fx.replica.pendingAcks)
-		fx.replica.mu.Unlock()
+		pending := fx.replica.ackSigner.Pending()
 		if pending == k {
 			break
 		}
@@ -411,9 +409,7 @@ func TestSignedBatchedSettlementEndToEnd(t *testing.T) {
 	waitPending := func(s *Signed) {
 		deadline := time.Now().Add(5 * time.Second)
 		for {
-			s.mu.Lock()
-			n := len(s.pendingAcks)
-			s.mu.Unlock()
+			n := s.ackSigner.Pending()
 			if n == k {
 				return
 			}

@@ -4,7 +4,6 @@ import (
 	"errors"
 	"fmt"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"astro/internal/crypto"
@@ -70,12 +69,6 @@ type Signed struct {
 	mine    map[uint64]*outInstance   // my in-flight broadcasts, by slot
 	acked   map[instanceID]*ackRecord // instances I have acknowledged
 	order   *fifo
-	// pendingAcks queues acks awaiting signature; signing marks the drain
-	// task in flight on the pool. Whichever prepare enqueues first kicks
-	// the drain, and everything that accumulates while it signs is
-	// batch-signed on the next pass (self-clocked batching).
-	pendingAcks []ChainEntry
-	signing     bool
 	// committing marks instances with a certificate verification in
 	// flight, so re-delivered commits don't spawn duplicate work.
 	committing map[instanceID]struct{}
@@ -86,22 +79,16 @@ type Signed struct {
 	deliverQ   []delivery
 	delivering bool
 
-	// Lifetime signing statistics: ECDSA operations spent on acks, and
-	// acks covered. Their ratio is the amortization factor under load.
-	signOps   atomic.Uint64
-	acksTotal atomic.Uint64
-	// signCostNs is an EWMA of observed Sign latency, seeded by a probe
-	// at construction. Chain batching engages only above
-	// chainSignThreshold: a chain trades one signature for per-signer
-	// chain bytes in every commit certificate, which only pays off when
-	// signing is expensive (real ECDSA, ~25-60µs) — not for the cheap
-	// authenticators of the simulation harness (~1µs HMAC).
-	signCostNs atomic.Int64
+	// ackSigner queues acks awaiting signature and drains them on the
+	// pool, collapsing acks that accumulate while an ECDSA is in flight
+	// into one chain signature (adaptive: chains engage only when the
+	// measured sign cost exceeds the threshold — a chain trades one
+	// signature for per-signer chain bytes in every commit certificate,
+	// which only pays off for real ECDSA, not the simulation harness's
+	// ~1µs HMACs). The scheduling lives in verifier.ChainSigner; this
+	// layer supplies the wire forms.
+	ackSigner *verifier.ChainSigner[ChainEntry]
 }
-
-// chainSignThreshold separates cheap authenticators from real ECDSA; see
-// Signed.signCostNs.
-const chainSignThreshold = 10 * time.Microsecond
 
 var _ Broadcaster = (*Signed)(nil)
 
@@ -142,20 +129,15 @@ func NewSigned(cfg Config) (*Signed, error) {
 		order:      newFIFO(),
 		committing: make(map[instanceID]struct{}),
 	}
+	s.ackSigner = verifier.NewChainSigner(ver, maxSignBatch, verifier.DefaultChainThreshold, s.signSingleAck, s.signAckChain)
 	// Seed the sign-cost estimate with one probe signature, so the first
 	// loaded drain already knows whether chain batching pays off here.
 	probeStart := time.Now()
 	if _, err := cfg.Keys.Sign(SignedDigest(cfg.Self, 0, nil)); err == nil {
-		s.signCostNs.Store(int64(time.Since(probeStart)))
+		s.ackSigner.SeedCost(time.Since(probeStart))
 	}
 	cfg.Mux.Register(transport.ChanBRB, s.onMessage)
 	return s, nil
-}
-
-// observeSignCost folds one measured Sign latency into the EWMA.
-func (s *Signed) observeSignCost(d time.Duration) {
-	old := s.signCostNs.Load()
-	s.signCostNs.Store((7*old + int64(d)) / 8)
 }
 
 // Broadcast implements Broadcaster.
@@ -278,78 +260,34 @@ func (s *Signed) handlePrepare(id instanceID, payload []byte) {
 		return
 	}
 	s.acked[id] = &ackRecord{digest: d}
-	s.pendingAcks = append(s.pendingAcks, ChainEntry{Origin: id.origin, Slot: id.slot, Digest: d})
-	kick := !s.signing
-	if kick {
-		s.signing = true
-	}
 	s.mu.Unlock()
 
-	if kick {
-		// Blocking submission: under a saturated pool this stalls the BRB
-		// channel (backpressure), but the signature itself still runs on
-		// a worker — never on this goroutine.
-		s.ver.Async(s.drainSigner)
-	}
+	// Blocking submission: under a saturated pool this stalls the BRB
+	// channel (backpressure), but the signature itself still runs on a
+	// worker — never on this goroutine.
+	s.ackSigner.Enqueue(ChainEntry{Origin: id.origin, Slot: id.slot, Digest: d})
 }
 
-// drainSigner is the pool-side signer: it repeatedly takes everything
-// queued and signs it, one signature per pass. Each ECDSA in flight lets
-// the next pass accumulate more acks, so the chain length — and with it
-// the per-instance signing cost — tracks load automatically.
-func (s *Signed) drainSigner() {
-	for {
-		s.mu.Lock()
-		batch := s.pendingAcks
-		s.pendingAcks = nil
-		if len(batch) == 0 {
-			s.signing = false
-			s.mu.Unlock()
-			return
-		}
-		s.mu.Unlock()
-		for len(batch) > 0 {
-			n := 1 // cheap signer: chains would cost more than they save
-			if s.signCostNs.Load() >= int64(chainSignThreshold) {
-				n = len(batch)
-				if n > maxSignBatch {
-					n = maxSignBatch
-				}
-			}
-			s.signAcks(batch[:n])
-			batch = batch[n:]
-		}
+// signSingleAck signs one pending ack in the single-slot wire form
+// (ChainSigner flush callback, pool side).
+func (s *Signed) signSingleAck(e ChainEntry) {
+	sig, err := s.ackSigner.Sign(1, func() ([]byte, error) { return s.cfg.Keys.Sign(e.Digest) })
+	if err != nil {
+		return // entropy failure; withholding an ack is always safe
 	}
+	w := wire.AcquireWriter(ackSize(sig))
+	appendAck(w, e.Origin, e.Slot, e.Digest, sig)
+	_ = s.cfg.Mux.Send(transport.ReplicaNode(e.Origin), transport.ChanBRB, w.Bytes())
+	w.Release()
 }
 
-// signAcks signs one batch of pending acks and sends the result. One
-// entry keeps the single-slot wire form; several share one chain
-// signature, unicast to every origin the chain touches.
-func (s *Signed) signAcks(batch []ChainEntry) {
-	if len(batch) == 1 {
-		e := batch[0]
-		start := time.Now()
-		sig, err := s.cfg.Keys.Sign(e.Digest)
-		s.observeSignCost(time.Since(start))
-		if err != nil {
-			return // entropy failure; withholding an ack is always safe
-		}
-		s.signOps.Add(1)
-		s.acksTotal.Add(1)
-		w := wire.AcquireWriter(ackSize(sig))
-		appendAck(w, e.Origin, e.Slot, e.Digest, sig)
-		_ = s.cfg.Mux.Send(transport.ReplicaNode(e.Origin), transport.ChanBRB, w.Bytes())
-		w.Release()
-		return
-	}
-	start := time.Now()
-	sig, err := s.cfg.Keys.Sign(AckChainDigest(batch))
-	s.observeSignCost(time.Since(start))
+// signAckChain signs a batch of pending acks with one chain signature,
+// unicast to every origin the chain touches (ChainSigner flush callback).
+func (s *Signed) signAckChain(batch []ChainEntry) {
+	sig, err := s.ackSigner.Sign(len(batch), func() ([]byte, error) { return s.cfg.Keys.Sign(AckChainDigest(batch)) })
 	if err != nil {
 		return
 	}
-	s.signOps.Add(1)
-	s.acksTotal.Add(uint64(len(batch)))
 	w := wire.AcquireWriter(ackBatchSize(batch, sig))
 	appendAckBatch(w, batch, sig)
 	sent := make(map[types.ReplicaID]struct{}, 4)
@@ -627,7 +565,7 @@ func (s *Signed) membership(id types.ReplicaID) bool {
 // on acks and how many acks they covered. acks/ops > 1 means chain
 // batching engaged (one ECDSA endorsing several instances).
 func (s *Signed) AckSignStats() (ops, acks uint64) {
-	return s.signOps.Load(), s.acksTotal.Load()
+	return s.ackSigner.Stats()
 }
 
 // String implements fmt.Stringer for diagnostics.

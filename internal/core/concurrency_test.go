@@ -1,0 +1,225 @@
+package core
+
+// Concurrency tests for the striped settlement state (run under -race by
+// the Makefile's race target): conservation of money and per-client xlog
+// FIFO must survive payments settling concurrently across stripes, and
+// whole-state snapshots must be consistent cuts (no torn transfers).
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"astro/internal/types"
+)
+
+// TestSnapshotConsistencyUnderConcurrentSettle drives Astro I transfers —
+// including cross-stripe ones, which hold two stripe locks — from many
+// goroutines while a reader thread takes TotalSettledBalance snapshots.
+// Every snapshot must show exactly the genesis total: money mid-transfer
+// (debited but not credited) would be a torn read.
+func TestSnapshotConsistencyUnderConcurrentSettle(t *testing.T) {
+	const (
+		nClients  = 24
+		perClient = 50
+	)
+	s := NewStateStriped(AstroI, genesis100, nil, 8)
+	// Materialize every account first so the expected total is fixed.
+	for c := types.ClientID(1); c <= nClients; c++ {
+		_ = s.Balance(c)
+	}
+	want := types.Amount(100 * nClients)
+
+	var stop atomic.Bool
+	snapErr := make(chan types.Amount, 1)
+	var snapWG sync.WaitGroup
+	snapWG.Add(1)
+	go func() {
+		defer snapWG.Done()
+		for !stop.Load() {
+			if got := s.TotalSettledBalance(); got != want {
+				select {
+				case snapErr <- got:
+				default:
+				}
+				return
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for c := types.ClientID(1); c <= nClients; c++ {
+		wg.Add(1)
+		go func(c types.ClientID) {
+			defer wg.Done()
+			for i := 1; i <= perClient; i++ {
+				// Beneficiaries cycle over all clients, so transfers
+				// constantly cross stripe boundaries in both directions.
+				ben := types.ClientID(uint64(c)+uint64(i))%nClients + 1
+				s.ApplyEntry(BatchEntry{Payment: pay(c, types.Seq(i), ben, 1)})
+			}
+		}(c)
+	}
+	wg.Wait()
+	stop.Store(true)
+	snapWG.Wait()
+	select {
+	case got := <-snapErr:
+		t.Fatalf("torn snapshot: TotalSettledBalance = %d, want %d", got, want)
+	default:
+	}
+
+	if got := s.TotalSettledBalance(); got != want {
+		t.Fatalf("final total = %d, want %d", got, want)
+	}
+	counters := s.Counters()
+	if counters.Settled != nClients*perClient {
+		t.Fatalf("settled = %d, want %d", counters.Settled, nClients*perClient)
+	}
+	if counters.Dropped != 0 || counters.Conflicts != 0 {
+		t.Fatalf("dropped/conflicts = %d/%d, want 0/0", counters.Dropped, counters.Conflicts)
+	}
+	for c := types.ClientID(1); c <= nClients; c++ {
+		if !s.XLog(c).Verify() || s.XLog(c).Len() != perClient {
+			t.Fatalf("client %d xlog broken: len=%d", c, s.XLog(c).Len())
+		}
+	}
+}
+
+// TestStripedStateDisjointConcurrentApply settles disjoint Astro II
+// accounts from concurrent appliers — the settlement fan-out the Replica
+// performs per delivered batch — and checks per-client FIFO and exact
+// counters afterwards.
+func TestStripedStateDisjointConcurrentApply(t *testing.T) {
+	const (
+		nClients  = 16
+		perClient = 100
+	)
+	s := NewState(AstroII, genesis100, nil)
+	var wg sync.WaitGroup
+	for c := types.ClientID(1); c <= nClients; c++ {
+		wg.Add(1)
+		go func(c types.ClientID) {
+			defer wg.Done()
+			// Deliver a few out of order to exercise the queue under the
+			// stripe lock.
+			for i := perClient; i >= 1; i-- {
+				s.ApplyEntry(BatchEntry{Payment: pay(c, types.Seq(i), c+1, 1)})
+			}
+		}(c)
+	}
+	wg.Wait()
+	counters := s.Counters()
+	if counters.Settled != nClients*perClient {
+		t.Fatalf("settled = %d, want %d", counters.Settled, nClients*perClient)
+	}
+	for c := types.ClientID(1); c <= nClients; c++ {
+		if s.NextSeq(c) != perClient+1 {
+			t.Fatalf("client %d NextSeq = %d", c, s.NextSeq(c))
+		}
+		if !s.XLog(c).Verify() {
+			t.Fatalf("client %d xlog violates FIFO invariant", c)
+		}
+		if got := s.Balance(c); got != 0 {
+			t.Fatalf("client %d balance = %d, want 0 (withdrawal-only)", c, got)
+		}
+	}
+}
+
+// TestConservationUnderConcurrentLoad is the cluster-level version: many
+// clients of different representatives submit concurrently, so the
+// payment, BRB, credit, and local-timer channels all carry load at once
+// across the striped state. Afterwards every replica must hold identical,
+// FIFO-clean xlogs, and the system-wide spendable balance must converge
+// back to the genesis total (conservation of money — for Astro II this
+// includes dependency certificates still parked at representatives).
+func TestConservationUnderConcurrentLoad(t *testing.T) {
+	eachVersion(t, func(t *testing.T, v Version) {
+		const (
+			nClients  = 8
+			perClient = 6
+		)
+		c := newCluster(t, v, 4, genesis100)
+		type sent struct {
+			mu   sync.Mutex
+			logs map[types.ClientID][]types.Payment
+		}
+		sub := sent{logs: make(map[types.ClientID][]types.Payment)}
+
+		var wg sync.WaitGroup
+		for i := 1; i <= nClients; i++ {
+			cl := c.client(types.ClientID(i))
+			wg.Add(1)
+			go func(cl *Client) {
+				defer wg.Done()
+				me := cl.ID()
+				for j := 1; j <= perClient; j++ {
+					ben := types.ClientID(uint64(me)+uint64(j))%nClients + 1
+					amt := types.Amount(j) // distinct amounts expose reordering
+					id, err := cl.Pay(ben, amt)
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					sub.mu.Lock()
+					sub.logs[me] = append(sub.logs[me], types.Payment{Spender: me, Seq: id.Seq, Beneficiary: ben, Amount: amt})
+					sub.mu.Unlock()
+					if err := cl.WaitConfirm(id, 15*time.Second); err != nil {
+						t.Errorf("client %d: %v", me, err)
+						return
+					}
+				}
+			}(cl)
+		}
+		wg.Wait()
+		if t.Failed() {
+			return
+		}
+		c.waitSettledEverywhere(nClients*perClient, 15*time.Second)
+
+		// Per-client xlog FIFO, identical at every replica, matching the
+		// submission order exactly.
+		for i := 1; i <= nClients; i++ {
+			id := types.ClientID(i)
+			want := sub.logs[id]
+			for ri, r := range c.replicas {
+				log := r.XLogSnapshot(id)
+				if len(log) != len(want) {
+					t.Fatalf("replica %d: client %d xlog has %d entries, want %d", ri, i, len(log), len(want))
+				}
+				for j := range want {
+					if log[j] != want[j] {
+						t.Fatalf("replica %d: client %d xlog[%d] = %v, want %v (FIFO violated)", ri, i, j, log[j], want[j])
+					}
+				}
+			}
+		}
+
+		// Conservation. Astro I: settled balances alone are the money.
+		// Astro II: money settled away from a spender lives as a CREDIT
+		// until f+1 signatures form the dependency at the beneficiary's
+		// representative, so poll until the last waves land.
+		want := types.Amount(100 * nClients)
+		total := func() types.Amount {
+			var sum types.Amount
+			for i := 1; i <= nClients; i++ {
+				id := types.ClientID(i)
+				sum += c.replicas[int(c.repOf(id))].Balance(id)
+			}
+			return sum
+		}
+		deadline := time.Now().Add(10 * time.Second)
+		for total() != want {
+			if time.Now().After(deadline) {
+				t.Fatalf("conservation violated: total spendable = %d, want %d", total(), want)
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+
+		counters := c.replicas[0].Counters()
+		if counters.Settled != nClients*perClient || counters.Dropped != 0 || counters.Conflicts != 0 {
+			t.Fatalf("counters = %+v", counters)
+		}
+	})
+}

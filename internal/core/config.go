@@ -50,6 +50,12 @@ type Config struct {
 	// BatchDelay bounds how long a submitted payment may wait for its
 	// batch to fill. Defaults to 5ms.
 	BatchDelay time.Duration
+	// StateStripes is the number of hash-sharded lock domains the
+	// settlement state is split into: payments touching disjoint stripes
+	// settle concurrently across the sharded dispatch goroutines. 0
+	// selects DefaultStateStripes; 1 keeps the pre-striping single global
+	// lock (the measured contention baseline).
+	StateStripes int
 
 	// Auth supplies MAC link authentication for Astro I's broadcast.
 	Auth *crypto.LinkAuthenticator
@@ -113,6 +119,9 @@ func (c *Config) normalize() error {
 	}
 	if c.BatchDelay <= 0 {
 		c.BatchDelay = 5 * time.Millisecond
+	}
+	if c.StateStripes <= 0 {
+		c.StateStripes = DefaultStateStripes
 	}
 	if c.Verifier == nil {
 		c.Verifier = verifier.Default()

@@ -1,0 +1,252 @@
+package core
+
+// Tests for settlement-wave CREDIT signing: the CREDITBATCH wire kind, the
+// chain-capable dependency certificates it accumulates into, and the
+// rejection of forged chains.
+
+import (
+	"testing"
+	"time"
+
+	"astro/internal/crypto"
+	"astro/internal/transport"
+	"astro/internal/types"
+)
+
+// chainFor signs a chain of group digests with the given replicas' harness
+// keys and returns per-signer CREDITBATCH payloads carrying the groups.
+func (c *cluster) creditBatchFrom(t *testing.T, signer int, chain []types.Digest, groups []creditBatchGroup) []byte {
+	t.Helper()
+	sig, err := c.keys[signer].Sign(CreditChainDigest(chain))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return encodeCreditBatch(creditBatchMsg{
+		Signer: types.ReplicaID(signer),
+		Chain:  chain,
+		Sig:    sig,
+		Groups: groups,
+	})
+}
+
+// TestCreditBatchFormsDependency: two signers (f+1 for n=4) deliver the
+// same credit group inside chain-signed CREDITBATCHes; the beneficiary's
+// representative must assemble a dependency certificate from the chain
+// signatures, and the beneficiary must be able to spend the funds — which
+// exercises VerifyDependency's chain path end to end (attachment,
+// screening at every replica, settlement).
+func TestCreditBatchFormsDependency(t *testing.T) {
+	gen := func(c types.ClientID) types.Amount {
+		if c == 1 {
+			return 100
+		}
+		return 0
+	}
+	c := newCluster(t, AstroII, 4, gen)
+	repBob := c.replicas[int(c.repOf(2))] // client 2 -> replica 2
+
+	// A settlement wave of two groups; Bob's group sits at chain index 1.
+	bobGroup := []types.Payment{pay(1, 1, 2, 40)}
+	otherGroup := []types.Payment{pay(5, 1, 6, 7)}
+	chain := []types.Digest{CreditGroupDigest(otherGroup), CreditGroupDigest(bobGroup)}
+	groups := []creditBatchGroup{{ChainIdx: 1, Group: bobGroup}}
+
+	for _, signer := range []int{0, 1} {
+		msg := c.creditBatchFrom(t, signer, chain, groups)
+		if err := c.replicas[signer].cfg.Mux.Send(transport.ReplicaNode(c.repOf(2)), transport.ChanCredit, msg); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	deadline := time.Now().Add(5 * time.Second)
+	for repBob.Balance(2) != 40 {
+		if time.Now().After(deadline) {
+			t.Fatalf("dependency never formed from CREDITBATCH; balance = %d", repBob.Balance(2))
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	// Bob spends through the chain-signed dependency: the attached
+	// certificate carries DepSig.Chain entries and must verify at every
+	// replica's screen.
+	bob := c.client(2)
+	c.payAndWait(bob, 3, 25)
+	c.waitSettledEverywhere(1, 5*time.Second)
+	for i, r := range c.replicas {
+		if bal := r.Balance(2); bal != 15 {
+			t.Errorf("replica %d: settled balance(2) = %d, want 15", i, bal)
+		}
+	}
+}
+
+// TestCreditBatchRejectsForgeries: a CREDITBATCH whose group does not
+// match the digest at its claimed chain index — or whose signature does
+// not cover the chain — must not contribute to a dependency certificate.
+func TestCreditBatchRejectsForgeries(t *testing.T) {
+	gen := func(c types.ClientID) types.Amount { return 0 }
+	c := newCluster(t, AstroII, 4, gen)
+	repBob := c.replicas[int(c.repOf(2))]
+
+	bobGroup := []types.Payment{pay(1, 1, 2, 40)}
+	good := CreditGroupDigest(bobGroup)
+	wrong := CreditGroupDigest([]types.Payment{pay(1, 1, 2, 9999)})
+
+	// Forgery 1: chain signed correctly, but the claimed index holds a
+	// different group's digest.
+	chain1 := []types.Digest{wrong, good}
+	msg1 := c.creditBatchFrom(t, 0, chain1, []creditBatchGroup{{ChainIdx: 0, Group: bobGroup}})
+	// Forgery 2: index and digest match, but the signature covers some
+	// other chain.
+	chain2 := []types.Digest{good}
+	sig, err := c.keys[1].Sign(CreditChainDigest([]types.Digest{wrong}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg2 := encodeCreditBatch(creditBatchMsg{Signer: 1, Chain: chain2, Sig: sig, Groups: []creditBatchGroup{{ChainIdx: 0, Group: bobGroup}}})
+
+	for signer, msg := range map[int][]byte{0: msg1, 1: msg2} {
+		if err := c.replicas[signer].cfg.Mux.Send(transport.ReplicaNode(c.repOf(2)), transport.ChanCredit, msg); err != nil {
+			t.Fatal(err)
+		}
+	}
+	time.Sleep(200 * time.Millisecond)
+	if bal := repBob.Balance(2); bal != 0 {
+		t.Fatalf("forged CREDITBATCH credited %d", bal)
+	}
+}
+
+// TestVerifyDependencyChainSigs checks the certificate verifier directly:
+// chain signatures endorse a group only when its digest appears in the
+// chain, and mixed plain/chain certificates count distinct signers.
+func TestVerifyDependencyChainSigs(t *testing.T) {
+	reg := crypto.NewRegistry()
+	keys := make([]*crypto.KeyPair, 3)
+	for i := range keys {
+		keys[i] = crypto.MustGenerateKeyPair()
+		reg.Add(types.ReplicaID(i), keys[i].Public())
+	}
+	oneShard := func(types.ClientID) types.ShardID { return 0 }
+	repShard := func(types.ReplicaID) types.ShardID { return 0 }
+
+	group := []types.Payment{pay(1, 1, 2, 10)}
+	digest := CreditGroupDigest(group)
+	other := CreditGroupDigest([]types.Payment{pay(3, 1, 4, 5)})
+	chain := []types.Digest{other, digest}
+
+	chainSig := func(i int, ch []types.Digest) DepSig {
+		sig, err := keys[i].Sign(CreditChainDigest(ch))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return DepSig{Replica: types.ReplicaID(i), Sig: sig, Chain: ch}
+	}
+	plainSig := func(i int) DepSig {
+		sig, err := keys[i].Sign(digest)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return DepSig{Replica: types.ReplicaID(i), Sig: sig}
+	}
+
+	// Mixed certificate: one plain, one chain signature — both endorse.
+	d := Dependency{Group: group, Cert: DepCert{Sigs: []DepSig{plainSig(0), chainSig(1, chain)}}}
+	if err := VerifyDependency(d, nil, reg, 1, oneShard, repShard); err != nil {
+		t.Fatalf("mixed plain/chain certificate rejected: %v", err)
+	}
+
+	// A chain that does not contain the group's digest endorses nothing.
+	bad := Dependency{Group: group, Cert: DepCert{Sigs: []DepSig{plainSig(0), chainSig(1, []types.Digest{other})}}}
+	if err := VerifyDependency(bad, nil, reg, 1, oneShard, repShard); err == nil {
+		t.Fatal("chain not containing the group digest accepted as endorsement")
+	}
+
+	// A chain signature replayed as a plain signature must fail (domain
+	// separation).
+	replay := chainSig(1, chain)
+	replay.Chain = nil
+	rd := Dependency{Group: group, Cert: DepCert{Sigs: []DepSig{plainSig(0), replay}}}
+	if err := VerifyDependency(rd, nil, reg, 1, oneShard, repShard); err == nil {
+		t.Fatal("chain signature replayed as single-group signature accepted")
+	}
+}
+
+// TestBatchCodecChainCertRoundTrip: batch entries carrying dependencies
+// with chain signatures survive the wire (extended certificate form), and
+// plain certificates keep the legacy form.
+func TestBatchCodecChainCertRoundTrip(t *testing.T) {
+	chain := []types.Digest{types.HashBytes([]byte("g1")), types.HashBytes([]byte("g2"))}
+	entries := []BatchEntry{
+		{Payment: pay(3, 7, 4, 20), Deps: []Dependency{
+			{
+				Group: []types.Payment{pay(9, 1, 3, 5)},
+				Cert: DepCert{Sigs: []DepSig{
+					{Replica: 0, Sig: []byte("s0")},
+					{Replica: 2, Sig: []byte("s2"), Chain: chain},
+				}},
+			},
+		}},
+	}
+	got, err := DecodeBatch(EncodeBatch(entries))
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	dep := got[0].Deps[0]
+	if len(dep.Cert.Sigs) != 2 {
+		t.Fatalf("cert has %d sigs", len(dep.Cert.Sigs))
+	}
+	if dep.Cert.Sigs[0].Chain != nil || string(dep.Cert.Sigs[0].Sig) != "s0" {
+		t.Fatal("plain signature mangled")
+	}
+	cs := dep.Cert.Sigs[1]
+	if cs.Replica != 2 || len(cs.Chain) != 2 || cs.Chain[0] != chain[0] || cs.Chain[1] != chain[1] {
+		t.Fatal("chain signature mangled")
+	}
+}
+
+// TestCreditCodecRoundTrip covers both credit wire kinds.
+func TestCreditCodecRoundTrip(t *testing.T) {
+	single := creditMsg{Signer: 3, Group: []types.Payment{pay(1, 1, 2, 10), pay(4, 2, 2, 5)}, Sig: []byte("sig")}
+	enc := encodeCredit(single)
+	if enc[0] != msgCreditSingle {
+		t.Fatal("single kind byte wrong")
+	}
+	gotS, err := decodeCredit(enc[1:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotS.Signer != 3 || len(gotS.Group) != 2 || gotS.Group[1] != single.Group[1] || string(gotS.Sig) != "sig" {
+		t.Fatalf("single round trip mangled: %+v", gotS)
+	}
+
+	batch := creditBatchMsg{
+		Signer: 2,
+		Chain:  []types.Digest{types.HashBytes([]byte("a")), types.HashBytes([]byte("b"))},
+		Sig:    []byte("chain-sig"),
+		Groups: []creditBatchGroup{
+			{ChainIdx: 1, Group: []types.Payment{pay(7, 3, 8, 2)}},
+		},
+	}
+	encB := encodeCreditBatch(batch)
+	if encB[0] != msgCreditBatch {
+		t.Fatal("batch kind byte wrong")
+	}
+	gotB, err := decodeCreditBatch(encB[1:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotB.Signer != 2 || len(gotB.Chain) != 2 || gotB.Chain[1] != batch.Chain[1] {
+		t.Fatalf("batch header mangled: %+v", gotB)
+	}
+	if len(gotB.Groups) != 1 || gotB.Groups[0].ChainIdx != 1 || gotB.Groups[0].Group[0] != batch.Groups[0].Group[0] {
+		t.Fatalf("batch groups mangled: %+v", gotB.Groups)
+	}
+
+	// Garbage and out-of-range indices are rejected.
+	if _, err := decodeCreditBatch([]byte{0xFF, 0xFF}); err == nil {
+		t.Fatal("garbage batch accepted")
+	}
+	oob := creditBatchMsg{Signer: 2, Chain: batch.Chain, Sig: batch.Sig, Groups: []creditBatchGroup{{ChainIdx: 7, Group: batch.Groups[0].Group}}}
+	if _, err := decodeCreditBatch(encodeCreditBatch(oob)[1:]); err == nil {
+		t.Fatal("out-of-range chain index accepted")
+	}
+}

@@ -3,6 +3,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"slices"
 
 	"astro/internal/crypto"
 	"astro/internal/crypto/verifier"
@@ -21,7 +22,13 @@ import (
 // Following the paper's two-level batching (§VI-A), CREDIT messages carry a
 // *group* of payments whose beneficiaries share the same representative,
 // with a single signature over the group digest — one signature per
-// sub-batch rather than per payment.
+// sub-batch rather than per payment. On top of that, a settling replica
+// whose ECDSA is busy collapses the credit groups of a whole settlement
+// wave into ONE signature over a hash chain of group digests (the CREDIT
+// analogue of the BRB ack chains, scheduled by the same
+// verifier.ChainSigner): such a signature endorses a group only if the
+// group's digest appears in its chain, and it rides inside dependency
+// certificates as DepSig.Chain.
 
 // CreditGroupDigest computes the digest signed in CREDIT messages: a
 // domain-separated hash over the canonical encoding of the group.
@@ -36,13 +43,68 @@ func CreditGroupDigest(group []types.Payment) types.Digest {
 	return types.HashBytes(w.Bytes())
 }
 
+// CreditChainDomain separates chain signatures over credit-group digests
+// from every other signed value in the system (0x43 credit groups, 0x44
+// BRB ack chains, 0x45 client payments).
+const CreditChainDomain = 0x46
+
+// CreditChainDigest computes the digest a replica signs for a whole
+// settlement wave of credit groups: a domain-separated hash over the
+// ordered chain of group digests.
+func CreditChainDigest(chain []types.Digest) types.Digest {
+	return verifier.ChainDigest(CreditChainDomain, chain)
+}
+
+// DepSig is one signature of a dependency certificate. Chain nil means the
+// signature covers the group's own digest (the single-group wire form);
+// otherwise it covers CreditChainDigest(Chain), and it endorses a group
+// only if that group's digest appears in the chain.
+type DepSig struct {
+	Replica types.ReplicaID
+	Sig     []byte
+	Chain   []types.Digest
+}
+
+// DepCert is a set of CREDIT signatures for one group, possibly mixing
+// single-group and chain signatures. It generalizes crypto.Certificate;
+// an all-single-group certificate keeps a certificate-shaped compact
+// encoding (no per-signature chain field) behind the depCertPlain kind
+// byte.
+type DepCert struct {
+	Sigs []DepSig
+}
+
+// Len returns the number of signatures gathered.
+func (c DepCert) Len() int { return len(c.Sigs) }
+
+// Has reports whether the certificate already carries a signature by r.
+func (c DepCert) Has(r types.ReplicaID) bool {
+	for _, s := range c.Sigs {
+		if s.Replica == r {
+			return true
+		}
+	}
+	return false
+}
+
+// allPlain reports whether every signature is single-group, i.e. the
+// certificate can take the legacy crypto.Certificate wire form.
+func (c DepCert) allPlain() bool {
+	for _, s := range c.Sigs {
+		if s.Chain != nil {
+			return false
+		}
+	}
+	return true
+}
+
 // Dependency is a credit group together with a certificate of at least
-// f+1 signatures over its digest by replicas of the spender's shard. It is
-// transferable: any shard can verify it against the global key registry
-// and the public shard assignment.
+// f+1 signatures endorsing its digest by replicas of the spender's shard.
+// It is transferable: any shard can verify it against the global key
+// registry and the public shard assignment.
 type Dependency struct {
 	Group []types.Payment
-	Cert  crypto.Certificate
+	Cert  DepCert
 }
 
 // Value returns the total amount the dependency credits to client c.
@@ -65,15 +127,18 @@ var (
 )
 
 // VerifyDependency checks that the dependency's certificate carries at
-// least f+1 valid signatures from replicas of the (single) shard all the
-// group's spenders belong to.
+// least f+1 valid endorsements of the group from distinct replicas of the
+// (single) shard all the group's spenders belong to. A chain signature
+// endorses the group only if the group digest appears in its chain; its
+// ECDSA verifies against the chain digest, so — through ver's memo — the
+// k dependencies of one settlement wave cost one verification per signer,
+// not k.
 //
-// When ver is non-nil the certificate check runs through its memo cache,
+// When ver is non-nil the signature checks run through its memo cache,
 // inline on the caller (no pool blocking, so it is safe from worker
-// callbacks and lock-holding contexts alike); a dependency whose CREDIT
-// signatures this replica already verified costs hashes, not ECDSA. A nil
-// ver falls back to the plain serial checker. The payment engine screens
-// dependencies on the delivery path *before* taking its state lock
+// callbacks and lock-holding contexts alike). A nil ver falls back to the
+// plain registry check. The payment engine screens dependencies on the
+// delivery path *before* taking any stripe lock
 // (Replica.screenDependencies), fanning these checks across the pool.
 func VerifyDependency(
 	d Dependency,
@@ -92,23 +157,78 @@ func VerifyDependency(
 			return ErrDepMixedShard
 		}
 	}
+	need := f + 1
+	if d.Cert.Len() < need {
+		return fmt.Errorf("dependency: %w: have %d, need %d", crypto.ErrCertTooSmall, d.Cert.Len(), need)
+	}
 	digest := CreditGroupDigest(d.Group)
-	member := func(r types.ReplicaID) bool { return replicaShard(r) == shard }
-	var err error
-	if ver != nil {
-		err = ver.VerifyCertificateInline(reg, d.Cert, digest, f+1, member)
-	} else {
-		err = crypto.VerifyCertificate(reg, d.Cert, digest, f+1, member)
+	seen := make(map[types.ReplicaID]struct{}, len(d.Cert.Sigs))
+	valid := 0
+	for _, ps := range d.Cert.Sigs {
+		if _, dup := seen[ps.Replica]; dup {
+			return fmt.Errorf("dependency: %w: replica %d", crypto.ErrCertDuplicate, ps.Replica)
+		}
+		seen[ps.Replica] = struct{}{}
+		if replicaShard(ps.Replica) != shard {
+			continue // signer outside the spenders' shard: no endorsement
+		}
+		dg := digest
+		if ps.Chain != nil {
+			if !slices.Contains(ps.Chain, digest) {
+				continue // chain does not endorse this group
+			}
+			dg = CreditChainDigest(ps.Chain)
+		}
+		ok := false
+		if ver != nil {
+			ok = ver.VerifyReplica(reg, ps.Replica, dg, ps.Sig)
+		} else {
+			ok = reg.VerifySig(ps.Replica, dg, ps.Sig)
+		}
+		if ok {
+			valid++
+			if valid >= need {
+				return nil
+			}
+		}
 	}
-	if err != nil {
-		return fmt.Errorf("dependency: %w", err)
-	}
-	return nil
+	return fmt.Errorf("dependency: %w: %d valid of %d needed", crypto.ErrCertTooSmall, valid, need)
 }
+
+// Dependency wire form: the group, then a certificate-kind byte selecting
+// the compact all-plain encoding (crypto.Certificate's shape: no chain
+// fields) or the extended per-signature chain form. The kind byte itself
+// is a PR 3 wire revision — every node of a deployment must run a build
+// that understands it.
+const (
+	depCertPlain    byte = 0
+	depCertExtended byte = 1
+)
+
+// maxDepSigs bounds decoded certificate sizes (mirrors crypto's
+// maxCertSigs): no deployment here exceeds a few hundred replicas, and a
+// hostile count must not drive a large pre-allocation.
+const maxDepSigs = 4096
+
+// maxCreditChain bounds decoded chain lengths (defense against hostile
+// input); far above any settlement wave the credit signer accumulates.
+const maxCreditChain = 1024
 
 // dependencySize returns the exact encoded size of a dependency.
 func dependencySize(d Dependency) int {
-	return 4 + len(d.Group)*types.PaymentWireSize + crypto.CertificateSize(d.Cert)
+	n := 4 + len(d.Group)*types.PaymentWireSize + 1
+	if d.Cert.allPlain() {
+		n += 4
+		for _, ps := range d.Cert.Sigs {
+			n += 8 + len(ps.Sig)
+		}
+		return n
+	}
+	n += 4
+	for _, ps := range d.Cert.Sigs {
+		n += 4 + 4 + len(ps.Sig) + 4 + len(ps.Chain)*32
+	}
+	return n
 }
 
 // encodeDependency appends the dependency's wire form.
@@ -117,7 +237,50 @@ func encodeDependency(w *wire.Writer, d Dependency) {
 	for _, p := range d.Group {
 		w.AppendFunc(p.AppendBinary)
 	}
-	crypto.EncodeCertificate(w, d.Cert)
+	if d.Cert.allPlain() {
+		w.U8(depCertPlain)
+		w.U32(uint32(len(d.Cert.Sigs)))
+		for _, ps := range d.Cert.Sigs {
+			w.U32(uint32(ps.Replica))
+			w.Chunk(ps.Sig)
+		}
+		return
+	}
+	w.U8(depCertExtended)
+	w.U32(uint32(len(d.Cert.Sigs)))
+	for _, ps := range d.Cert.Sigs {
+		w.U32(uint32(ps.Replica))
+		w.Chunk(ps.Sig)
+		appendDigestChain(w, ps.Chain)
+	}
+}
+
+func appendDigestChain(w *wire.Writer, chain []types.Digest) {
+	w.U32(uint32(len(chain)))
+	for _, d := range chain {
+		w.Bytes32(d)
+	}
+}
+
+func decodeDigestChain(r *wire.Reader) ([]types.Digest, error) {
+	n := r.U32()
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	if n > maxCreditChain {
+		return nil, fmt.Errorf("dependency: chain of %d exceeds cap", n)
+	}
+	if n == 0 {
+		return nil, nil
+	}
+	chain := make([]types.Digest, n)
+	for i := range chain {
+		chain[i] = r.Bytes32()
+	}
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	return chain, nil
 }
 
 // maxGroup bounds decoded group sizes (defense against hostile input).
@@ -142,10 +305,41 @@ func decodeDependency(r *wire.Reader) (Dependency, error) {
 			return d, err
 		}
 	}
-	cert, err := crypto.DecodeCertificate(r)
-	if err != nil {
+	kind := r.U8()
+	ns := r.U32()
+	if err := r.Err(); err != nil {
 		return d, err
 	}
-	d.Cert = cert
+	if ns > maxDepSigs {
+		return d, fmt.Errorf("dependency: cert of %d signatures exceeds cap", ns)
+	}
+	switch kind {
+	case depCertPlain:
+		d.Cert.Sigs = make([]DepSig, 0, ns)
+		for i := uint32(0); i < ns; i++ {
+			id := types.ReplicaID(r.U32())
+			sig := r.Chunk()
+			if err := r.Err(); err != nil {
+				return d, err
+			}
+			d.Cert.Sigs = append(d.Cert.Sigs, DepSig{Replica: id, Sig: sig})
+		}
+	case depCertExtended:
+		d.Cert.Sigs = make([]DepSig, 0, ns)
+		for i := uint32(0); i < ns; i++ {
+			id := types.ReplicaID(r.U32())
+			sig := r.Chunk()
+			if err := r.Err(); err != nil {
+				return d, err
+			}
+			chain, err := decodeDigestChain(r)
+			if err != nil {
+				return d, err
+			}
+			d.Cert.Sigs = append(d.Cert.Sigs, DepSig{Replica: id, Sig: sig, Chain: chain})
+		}
+	default:
+		return d, fmt.Errorf("dependency: unknown cert kind %d", kind)
+	}
 	return d, nil
 }

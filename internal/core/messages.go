@@ -85,6 +85,16 @@ func encodeSeqResp(c types.ClientID, s types.Seq) []byte {
 	return w.Bytes()
 }
 
+// Message kinds on the credit channel (replica -> beneficiary's
+// representative). A single-group CREDIT keeps the one-signature-per-group
+// form; a CREDITBATCH carries one signature over a hash chain of group
+// digests — the settlement-wave batching — together with the subset of the
+// wave's groups addressed to the destination representative.
+const (
+	msgCreditSingle byte = 1
+	msgCreditBatch  byte = 2
+)
+
 // CREDIT message (transport.ChanCredit): a settling replica's signed
 // endorsement that a group of payments (beneficiaries all represented by
 // the destination replica) settled in its shard (paper §V, Listing 9).
@@ -95,40 +105,136 @@ type creditMsg struct {
 }
 
 func encodeCredit(m creditMsg) []byte {
-	w := wire.NewWriter(12 + len(m.Group)*types.PaymentWireSize + len(m.Sig))
+	w := wire.NewWriter(13 + len(m.Group)*types.PaymentWireSize + len(m.Sig))
+	w.U8(msgCreditSingle)
 	w.U32(uint32(m.Signer))
-	w.U32(uint32(len(m.Group)))
-	for _, p := range m.Group {
-		w.AppendFunc(p.AppendBinary)
-	}
+	appendPaymentGroup(w, m.Group)
 	w.Chunk(m.Sig)
 	return w.Bytes()
 }
 
+// decodeCredit parses a CREDIT payload after its kind byte.
 func decodeCredit(payload []byte) (creditMsg, error) {
 	var m creditMsg
 	r := wire.NewReader(payload)
 	m.Signer = types.ReplicaID(r.U32())
-	n := r.U32()
-	if err := r.Err(); err != nil {
+	group, err := decodePaymentGroup(r)
+	if err != nil {
 		return m, err
 	}
-	if n == 0 || n > maxGroup {
-		return m, fmt.Errorf("credit: bad group size %d", n)
-	}
-	m.Group = make([]types.Payment, n)
-	for i := range m.Group {
-		raw := r.Fixed(types.PaymentWireSize)
-		if err := r.Err(); err != nil {
-			return m, err
-		}
-		if err := m.Group[i].UnmarshalBinary(raw); err != nil {
-			return m, err
-		}
-	}
+	m.Group = group
 	m.Sig = r.Chunk()
 	if err := r.Finish(); err != nil {
 		return m, err
 	}
 	return m, nil
+}
+
+// creditBatchMsg is one signer's CREDITBATCH: the full chain of group
+// digests its signature covers, and the wave's groups whose beneficiaries
+// this destination represents, each with its index into the chain. The
+// receiver recomputes each group's digest, matches it against the chain,
+// and verifies the one signature against CreditChainDigest(Chain) — so a
+// wave crediting k groups costs the signer one ECDSA, and (through the
+// verifier memo) the receiver one ECDSA per signer.
+type creditBatchMsg struct {
+	Signer types.ReplicaID
+	Chain  []types.Digest
+	Sig    []byte
+	Groups []creditBatchGroup
+}
+
+// creditBatchGroup is one credit group of a CREDITBATCH with its position
+// in the signed chain.
+type creditBatchGroup struct {
+	ChainIdx uint32
+	Group    []types.Payment
+}
+
+func encodeCreditBatch(m creditBatchMsg) []byte {
+	n := 1 + 4 + 4 + len(m.Chain)*32 + 4 + len(m.Sig) + 4
+	for _, g := range m.Groups {
+		n += 4 + 4 + len(g.Group)*types.PaymentWireSize
+	}
+	w := wire.NewWriter(n)
+	w.U8(msgCreditBatch)
+	w.U32(uint32(m.Signer))
+	appendDigestChain(w, m.Chain)
+	w.Chunk(m.Sig)
+	w.U32(uint32(len(m.Groups)))
+	for _, g := range m.Groups {
+		w.U32(g.ChainIdx)
+		appendPaymentGroup(w, g.Group)
+	}
+	return w.Bytes()
+}
+
+// decodeCreditBatch parses a CREDITBATCH payload after its kind byte.
+func decodeCreditBatch(payload []byte) (creditBatchMsg, error) {
+	var m creditBatchMsg
+	r := wire.NewReader(payload)
+	m.Signer = types.ReplicaID(r.U32())
+	chain, err := decodeDigestChain(r)
+	if err != nil {
+		return m, err
+	}
+	if len(chain) == 0 {
+		return m, fmt.Errorf("credit batch: empty chain")
+	}
+	m.Chain = chain
+	m.Sig = r.Chunk()
+	ng := r.U32()
+	if err := r.Err(); err != nil {
+		return m, err
+	}
+	if ng == 0 || ng > uint32(len(chain)) {
+		return m, fmt.Errorf("credit batch: bad group count %d", ng)
+	}
+	m.Groups = make([]creditBatchGroup, 0, ng)
+	for i := uint32(0); i < ng; i++ {
+		idx := r.U32()
+		if err := r.Err(); err != nil {
+			return m, err
+		}
+		if idx >= uint32(len(chain)) {
+			return m, fmt.Errorf("credit batch: chain index %d out of range", idx)
+		}
+		group, err := decodePaymentGroup(r)
+		if err != nil {
+			return m, err
+		}
+		m.Groups = append(m.Groups, creditBatchGroup{ChainIdx: idx, Group: group})
+	}
+	if err := r.Finish(); err != nil {
+		return m, err
+	}
+	return m, nil
+}
+
+func appendPaymentGroup(w *wire.Writer, group []types.Payment) {
+	w.U32(uint32(len(group)))
+	for _, p := range group {
+		w.AppendFunc(p.AppendBinary)
+	}
+}
+
+func decodePaymentGroup(r *wire.Reader) ([]types.Payment, error) {
+	n := r.U32()
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	if n == 0 || n > maxGroup {
+		return nil, fmt.Errorf("credit: bad group size %d", n)
+	}
+	group := make([]types.Payment, n)
+	for i := range group {
+		raw := r.Fixed(types.PaymentWireSize)
+		if err := r.Err(); err != nil {
+			return nil, err
+		}
+		if err := group[i].UnmarshalBinary(raw); err != nil {
+			return nil, err
+		}
+	}
+	return group, nil
 }

@@ -2,12 +2,12 @@ package core
 
 import (
 	"fmt"
+	"slices"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"astro/internal/brb"
-	"astro/internal/crypto"
 	"astro/internal/crypto/verifier"
 	"astro/internal/transport"
 	"astro/internal/types"
@@ -24,13 +24,31 @@ import (
 //     confirms settlement back to the clients. Under Astro II it also
 //     collects CREDIT messages into dependency certificates on behalf of
 //     its clients (paper Listing 10).
+//
+// Locking is split by role, so the protocol channels' dispatch goroutines
+// (sharded since PR 2) stop serializing on one mutex:
+//
+//   - settlement state lives in State, which is self-synchronized with
+//     per-stripe locks (see State's doc); delivered batches fan out per
+//     stripe so disjoint accounts settle concurrently;
+//   - repMu guards the representative-side bookkeeping (batch buffer,
+//     in-flight projection, held submissions, accumulated dependencies);
+//   - creditMu guards the CREDIT accumulator — the only cross-stripe
+//     hand-off of the settlement pipeline, keyed by credit-group digest;
+//   - endorsedMu guards the endorsement memory (called from inside the
+//     BRB layer).
+//
+// Lock order: creditMu ≺ repMu ≺ State's stripe locks (stripe locks are
+// leaves; repMu holders may read balances, creditMu completion hands off
+// to repMu after release). endorsedMu is independent and never nested.
 type Replica struct {
 	cfg Config
 	bc  brb.Broadcaster
 
-	mu    sync.Mutex
 	state *State
-	// representative state
+
+	// repMu guards the representative state below.
+	repMu          sync.Mutex
 	buffer         []BatchEntry
 	flushScheduled bool
 	// myInflight counts own batches broadcast but not yet self-delivered.
@@ -49,11 +67,25 @@ type Replica struct {
 	inflightOut  map[types.ClientID]types.Amount
 	inflightDeps map[types.ClientID]types.Amount
 	attachedVal  map[types.PaymentID]types.Amount
-	creditAccum  map[types.Digest]*creditState
 	// submittedHi is the highest sequence number accepted from each
 	// client, covering every pre-settlement stage (held, buffered,
 	// broadcast in flight); NextSeq resyncs must not hand these out again.
 	submittedHi map[types.ClientID]types.Seq
+
+	// creditMu guards the CREDIT accumulator. creditAccum buckets
+	// accumulators by a cheap content key; creditStateFor resolves the
+	// bucket by exact group comparison, so the group digest is hashed
+	// once per distinct group, not once per signer message.
+	creditMu    sync.Mutex
+	creditAccum map[creditKey][]*creditState
+
+	// creditSigner batches CREDIT signing at the payment layer (Astro II):
+	// while one ECDSA is in flight, the credit groups of pending
+	// settlement waves collapse into a single signature over a hash chain
+	// of group digests — the CREDIT analogue of the BRB ack chains,
+	// scheduled by the same verifier.ChainSigner machinery. Signing (and
+	// group hashing) runs pool-side, never on a delivery goroutine.
+	creditSigner *verifier.ChainSigner[creditJob]
 
 	// endorsement memory for the BRB external-validity hook; separate
 	// lock because the hook is called from inside the BRB layer.
@@ -64,10 +96,27 @@ type Replica struct {
 	confirmedTotal atomic.Uint64
 }
 
+// creditKey is the cheap accumulator-lookup key for a credit group: first
+// payment identifier plus group length. Buckets are disambiguated by full
+// group comparison (collision-proof, cheaper than hashing), so k CREDIT
+// copies of one group from k signers hash the group once.
+type creditKey struct {
+	first types.PaymentID
+	n     int
+}
+
 type creditState struct {
+	group  []types.Payment
+	digest types.Digest
+	cert   DepCert
+	done   bool
+}
+
+// creditJob is one credit group awaiting signature, addressed to the
+// beneficiaries' representative (ChainSigner work item).
+type creditJob struct {
+	rep   types.ReplicaID
 	group []types.Payment
-	cert  crypto.Certificate
-	done  bool
 }
 
 // heldSubmit is a client submission awaiting funds at the representative.
@@ -89,16 +138,16 @@ func NewReplica(cfg Config) (*Replica, error) {
 		inflightOut:    make(map[types.ClientID]types.Amount),
 		inflightDeps:   make(map[types.ClientID]types.Amount),
 		attachedVal:    make(map[types.PaymentID]types.Amount),
-		creditAccum:    make(map[types.Digest]*creditState),
+		creditAccum:    make(map[creditKey][]*creditState),
 		submittedHi:    make(map[types.ClientID]types.Seq),
 		endorsed:       make(map[types.PaymentID]types.Digest),
 	}
 	// Dependency certificates are verified by screenDependencies on the
-	// BRB delivery path, *before* the state lock is taken and fanned out
-	// across the verifier pool — not by State under r.mu (they used to
-	// verify memoized-but-serial there, lengthening every settlement
+	// BRB delivery path, *before* any stripe lock is taken and fanned out
+	// across the verifier pool — not by State under its locks (they used
+	// to verify memoized-but-serial there, lengthening every settlement
 	// critical section). State therefore trusts the deps it is handed.
-	r.state = NewState(cfg.Version, cfg.Genesis, nil)
+	r.state = NewStateStriped(cfg.Version, cfg.Genesis, nil, cfg.StateStripes)
 
 	bcfg := brb.Config{
 		Mux:       cfg.Mux,
@@ -125,15 +174,27 @@ func NewReplica(cfg Config) (*Replica, error) {
 
 	cfg.Mux.Register(transport.ChanPayment, r.onPaymentMsg)
 	// Batch-flush timers interleave with the submissions they flush; keep
-	// the two on one dispatch goroutine (the state lock makes any order
-	// safe, but serialization keeps timer latency proportional to the
-	// payment queue, not to unrelated channels).
+	// the two on one dispatch goroutine (repMu makes any order safe, but
+	// serialization keeps timer latency proportional to the payment
+	// queue, not to unrelated channels).
 	cfg.Mux.Register(transport.ChanLocal, r.onLocal, transport.SerializeWith(transport.ChanPayment))
 	if cfg.Version == AstroII {
+		r.creditSigner = verifier.NewChainSigner(cfg.Verifier, creditChainCap, verifier.DefaultChainThreshold, r.sendCreditSingle, r.sendCreditChain)
+		// Seed the sign-cost estimate so the first loaded wave already
+		// knows whether chain batching pays off with these keys.
+		probeStart := time.Now()
+		if _, err := cfg.Keys.Sign(CreditChainDigest(nil)); err == nil {
+			r.creditSigner.SeedCost(time.Since(probeStart))
+		}
 		cfg.Mux.Register(transport.ChanCredit, r.onCredit)
 	}
 	return r, nil
 }
+
+// creditChainCap caps how many credit groups one signature covers; same
+// rationale as the BRB ack-chain cap — the amortization gain is hyperbolic
+// while the wire cost per CREDITBATCH is linear in the chain.
+const creditChainCap = 32
 
 // ID returns the replica's identity.
 func (r *Replica) ID() types.ReplicaID { return r.cfg.Self }
@@ -146,51 +207,47 @@ func (r *Replica) SettledCount() uint64 { return r.settledTotal.Load() }
 // replica has sent to its clients.
 func (r *Replica) ConfirmedCount() uint64 { return r.confirmedTotal.Load() }
 
+// CreditSignStats returns how many signing operations this replica has
+// spent on CREDIT messages and how many credit groups they covered;
+// groups/ops > 1 means settlement-wave chain batching engaged.
+func (r *Replica) CreditSignStats() (ops, groups uint64) {
+	if r.creditSigner == nil {
+		return 0, 0
+	}
+	return r.creditSigner.Stats()
+}
+
 // Balance returns the client's spendable balance as this replica sees it:
 // the settled balance plus, if this replica represents the client under
 // Astro II, the value of dependency certificates awaiting attachment.
 func (r *Replica) Balance(c types.ClientID) types.Amount {
-	r.mu.Lock()
-	defer r.mu.Unlock()
 	bal := r.state.Balance(c)
 	if r.cfg.Version == AstroII && r.cfg.RepOf(c) == r.cfg.Self {
+		r.repMu.Lock()
 		for _, d := range r.repDeps[c] {
 			bal += d.Value(c)
 		}
+		r.repMu.Unlock()
 	}
 	return bal
 }
 
 // Counters returns the state engine's lifetime statistics.
-func (r *Replica) Counters() Counters {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	return r.state.Counters()
-}
+func (r *Replica) Counters() Counters { return r.state.Counters() }
 
 // XLogSnapshot returns a copy of a client's exclusive log for audit.
 func (r *Replica) XLogSnapshot(c types.ClientID) []types.Payment {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	return r.state.XLog(c).Snapshot()
+	return r.state.XLogSnapshot(c)
 }
 
 // NextSeq returns the next settleable sequence number for a client.
 func (r *Replica) NextSeq(c types.ClientID) types.Seq {
-	r.mu.Lock()
-	defer r.mu.Unlock()
 	return r.state.NextSeq(c)
 }
 
 // StateSnapshot exports all xlogs for reconfiguration state transfer.
 func (r *Replica) StateSnapshot() map[types.ClientID][]types.Payment {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	out := make(map[types.ClientID][]types.Payment)
-	for _, c := range r.state.Clients() {
-		out[c] = r.state.XLog(c).Snapshot()
-	}
-	return out
+	return r.state.Snapshot()
 }
 
 // validateBatch is the BRB external-validity hook: this replica endorses a
@@ -302,12 +359,12 @@ func (r *Replica) onPaymentMsg(from transport.NodeID, payload []byte) {
 // let the restarted client create exactly the conflicting-resubmission
 // wedge preScreenSubmit exists to prevent.
 func (r *Replica) nextUsableSeq(c types.ClientID) types.Seq {
-	r.mu.Lock()
 	next := r.state.NextSeq(c)
+	r.repMu.Lock()
 	if hi := r.submittedHi[c]; hi >= next {
 		next = hi + 1
 	}
-	r.mu.Unlock()
+	r.repMu.Unlock()
 	r.endorsedMu.Lock()
 	for {
 		if _, inflight := r.endorsed[types.PaymentID{Spender: c, Seq: next}]; !inflight {
@@ -335,15 +392,8 @@ func (r *Replica) preScreenSubmit(p types.Payment) bool {
 	if p.Seq == 0 {
 		return false // sequence numbers start at 1; Seq 0 can never settle
 	}
-	r.mu.Lock()
-	settled := p.Seq < r.state.NextSeq(p.Spender)
-	identical := false
-	if settled {
-		identical = r.state.XLog(p.Spender).At(int(p.Seq)-1) == p
-	}
-	r.mu.Unlock()
-	if settled {
-		if identical {
+	if settled, ok := r.state.SettledAt(p.Spender, p.Seq); ok {
+		if settled == p {
 			_ = r.cfg.Mux.Send(transport.ClientNode(p.Spender), transport.ChanPayment, encodeConfirm(p.ID()))
 		}
 		return false // settled identifier: never occupy a new slot for it
@@ -365,14 +415,14 @@ func (r *Replica) preScreenSubmit(p types.Payment) bool {
 // dependencies (Astro II, Listing 7) and enforcing the projected-balance
 // rule so a correct representative never wedges a client's xlog.
 func (r *Replica) submit(p types.Payment, sig []byte) {
-	r.mu.Lock()
+	r.repMu.Lock()
 	if p.Seq > r.submittedHi[p.Spender] {
 		r.submittedHi[p.Spender] = p.Seq
 	}
 	if r.cfg.Version == AstroII {
 		if len(r.pendingSubmits[p.Spender]) > 0 || !r.fundedLocked(p) {
 			r.pendingSubmits[p.Spender] = append(r.pendingSubmits[p.Spender], heldSubmit{payment: p, sig: sig})
-			r.mu.Unlock()
+			r.repMu.Unlock()
 			return
 		}
 		r.bufferLocked(p, sig)
@@ -383,6 +433,8 @@ func (r *Replica) submit(p types.Payment, sig []byte) {
 }
 
 // fundedLocked reports whether the client's projected balance covers p.
+// repMu is held; the settled balance is read under the client's stripe
+// lock (stripe locks nest inside repMu, never the reverse).
 func (r *Replica) fundedLocked(p types.Payment) bool {
 	c := p.Spender
 	avail := r.state.Balance(c) + r.inflightDeps[c]
@@ -394,7 +446,7 @@ func (r *Replica) fundedLocked(p types.Payment) bool {
 }
 
 // bufferLocked attaches the client's accumulated dependencies to the
-// payment and appends it to the batch buffer (Astro II).
+// payment and appends it to the batch buffer (Astro II). repMu is held.
 func (r *Replica) bufferLocked(p types.Payment, sig []byte) {
 	c := p.Spender
 	deps := r.repDeps[c]
@@ -409,7 +461,7 @@ func (r *Replica) bufferLocked(p types.Payment, sig []byte) {
 	r.buffer = append(r.buffer, BatchEntry{Payment: p, Sig: sig, Deps: deps})
 }
 
-// afterBufferLocked flushes or schedules a flush; it releases the lock.
+// afterBufferLocked flushes or schedules a flush; it releases repMu.
 func (r *Replica) afterBufferLocked() {
 	flushNow := len(r.buffer) > 0 && (len(r.buffer) >= r.cfg.BatchSize || r.myInflight == 0)
 	schedule := !flushNow && !r.flushScheduled && len(r.buffer) > 0
@@ -420,7 +472,7 @@ func (r *Replica) afterBufferLocked() {
 	if flushNow {
 		batches = r.takeBatchesLocked()
 	}
-	r.mu.Unlock()
+	r.repMu.Unlock()
 
 	if schedule {
 		delay := r.cfg.BatchDelay
@@ -432,7 +484,7 @@ func (r *Replica) afterBufferLocked() {
 }
 
 // takeBatchesLocked drains the buffer into batches of at most BatchSize
-// and charges them against myInflight.
+// and charges them against myInflight. repMu is held.
 func (r *Replica) takeBatchesLocked() [][]BatchEntry {
 	var out [][]BatchEntry
 	for len(r.buffer) > 0 {
@@ -463,42 +515,368 @@ func (r *Replica) onLocal(_ transport.NodeID, payload []byte) {
 	if len(payload) == 0 || payload[0] != localFlush {
 		return
 	}
-	r.mu.Lock()
+	r.repMu.Lock()
 	r.flushScheduled = false
 	batches := r.takeBatchesLocked()
-	r.mu.Unlock()
+	r.repMu.Unlock()
 	r.broadcastBatches(batches)
 }
 
-// onDeliver is the BRB delivery callback: approve and settle the batch,
-// then emit confirmations and (Astro II) CREDIT messages.
+// onDeliver is the BRB delivery callback: approve and settle the batch —
+// fanned out across the state stripes — then emit confirmations and
+// (Astro II) CREDIT messages.
 func (r *Replica) onDeliver(origin types.ReplicaID, _ uint64, payload []byte) {
 	entries, err := DecodeBatch(payload)
 	if err != nil {
 		return // validated before endorsement; cannot happen from correct peers
 	}
 	r.screenDependencies(entries)
-	r.mu.Lock()
 	var nextBatches [][]BatchEntry
-	if origin == r.cfg.Self && r.myInflight > 0 {
-		r.myInflight--
-		// Self-clocked batching: the wire is free again; ship what
-		// accumulated while the previous batch was in flight.
-		if r.myInflight == 0 && len(r.buffer) > 0 {
-			nextBatches = r.takeBatchesLocked()
+	if origin == r.cfg.Self {
+		r.repMu.Lock()
+		if r.myInflight > 0 {
+			r.myInflight--
+			// Self-clocked batching: the wire is free again; ship what
+			// accumulated while the previous batch was in flight.
+			if r.myInflight == 0 && len(r.buffer) > 0 {
+				nextBatches = r.takeBatchesLocked()
+			}
 		}
+		r.repMu.Unlock()
 	}
-	var settled []types.Payment
-	for _, e := range entries {
-		settled = append(settled, r.state.ApplyEntry(e)...)
-	}
-	r.postSettleLocked(settled)
+	r.postSettle(r.settleEntries(entries))
 	r.broadcastBatches(nextBatches)
 }
 
+// settleEntries applies a delivered batch to the state, fanning the
+// entries out across the state's stripes so disjoint accounts settle
+// concurrently. One spender's entries always map to one stripe and are
+// applied there in batch order, and the BRB layer delivers batches of one
+// origin serially — so per-spender FIFO is exactly preserved. The merged
+// result lists every settlement in entry order (per-entry results are
+// deterministic across replicas; the CREDIT groups derived from them must
+// hash identically everywhere for f+1 accumulation to succeed).
+func (r *Replica) settleEntries(entries []BatchEntry) []types.Payment {
+	if len(entries) == 0 {
+		return nil
+	}
+	serial := func() []types.Payment {
+		var settled []types.Payment
+		for _, e := range entries {
+			settled = append(settled, r.state.ApplyEntry(e)...)
+		}
+		return settled
+	}
+	if r.state.Stripes() == 1 || len(entries) == 1 {
+		return serial()
+	}
+	// Group entry indices by stripe, preserving order within each group.
+	groups := make(map[int][]int)
+	for i, e := range entries {
+		si := r.state.StripeIndex(e.Payment.Spender)
+		groups[si] = append(groups[si], i)
+	}
+	if len(groups) == 1 {
+		return serial()
+	}
+	results := make([][]types.Payment, len(entries))
+	var wg sync.WaitGroup
+	run := func(idxs []int) {
+		for _, i := range idxs {
+			results[i] = r.state.ApplyEntry(entries[i])
+		}
+	}
+	var own []int
+	for _, idxs := range groups {
+		if own == nil {
+			own = idxs // the delivery goroutine settles one stripe itself
+			continue
+		}
+		wg.Add(1)
+		go func(idxs []int) {
+			defer wg.Done()
+			run(idxs)
+		}(idxs)
+	}
+	run(own)
+	wg.Wait()
+	var settled []types.Payment
+	for _, part := range results {
+		settled = append(settled, part...)
+	}
+	return settled
+}
+
+// postSettle handles everything that follows settlement: confirmations to
+// own clients, in-flight projection updates, and (Astro II) queuing the
+// wave's credit groups on the chain signer.
+func (r *Replica) postSettle(settled []types.Payment) {
+	if len(settled) == 0 {
+		return
+	}
+	r.settledTotal.Add(uint64(len(settled)))
+
+	var confirms []types.Payment
+	var groups map[types.ReplicaID][]types.Payment
+	retry := make(map[types.ClientID]struct{})
+	if r.cfg.Version == AstroII {
+		groups = make(map[types.ReplicaID][]types.Payment)
+	}
+	r.repMu.Lock()
+	for _, p := range settled {
+		if r.cfg.RepOf(p.Spender) == r.cfg.Self {
+			confirms = append(confirms, p)
+			if r.cfg.Version == AstroII {
+				r.inflightOut[p.Spender] -= p.Amount
+				if v, ok := r.attachedVal[p.ID()]; ok {
+					r.inflightDeps[p.Spender] -= v
+					delete(r.attachedVal, p.ID())
+				}
+				// With settlement and projection under different locks, a
+				// submission racing this settle may have observed the
+				// debited balance while the in-flight projection still
+				// charged the payment — and been held although fundable.
+				// Re-evaluating held submissions after the projection
+				// shrinks closes that window (settlement itself never
+				// frees funds under Astro II, so this is the only trigger
+				// needed beyond new dependencies).
+				if len(r.pendingSubmits[p.Spender]) > 0 {
+					retry[p.Spender] = struct{}{}
+				}
+			}
+		}
+		if r.cfg.Version == AstroII {
+			groups[r.cfg.RepOf(p.Beneficiary)] = append(groups[r.cfg.RepOf(p.Beneficiary)], p)
+		}
+	}
+	r.retryPendingLocked(retry) // releases repMu
+
+	for _, p := range confirms {
+		r.confirmedTotal.Add(1)
+		_ = r.cfg.Mux.Send(transport.ClientNode(p.Spender), transport.ChanPayment, encodeConfirm(p.ID()))
+	}
+
+	// Astro II: queue one CREDIT per beneficiary-representative group —
+	// the paper's second batching level (§VI-A): as many signatures as
+	// sub-batches, not as payments. The chain signer then collapses the
+	// groups pending across settlement waves into one signature per
+	// drain pass, and hashes/signs pool-side, off this delivery
+	// goroutine.
+	for rep, group := range groups {
+		r.creditSigner.Enqueue(creditJob{rep: rep, group: group})
+	}
+}
+
+// sendCreditSingle signs and sends one credit group in the single-group
+// wire form (ChainSigner flush callback, pool side).
+func (r *Replica) sendCreditSingle(j creditJob) {
+	digest := CreditGroupDigest(j.group)
+	sig, err := r.creditSigner.Sign(1, func() ([]byte, error) { return r.cfg.Keys.Sign(digest) })
+	if err != nil {
+		return // entropy failure; withholding a CREDIT is always safe
+	}
+	msg := encodeCredit(creditMsg{Signer: r.cfg.Self, Group: j.group, Sig: sig})
+	_ = r.cfg.Mux.Send(transport.ReplicaNode(j.rep), transport.ChanCredit, msg)
+}
+
+// sendCreditChain signs a whole settlement wave of credit groups with one
+// signature over the chain of group digests, and sends each destination
+// representative the chain plus its groups (ChainSigner flush callback).
+func (r *Replica) sendCreditChain(jobs []creditJob) {
+	chain := make([]types.Digest, len(jobs))
+	for i, j := range jobs {
+		chain[i] = CreditGroupDigest(j.group)
+	}
+	cd := CreditChainDigest(chain)
+	sig, err := r.creditSigner.Sign(len(jobs), func() ([]byte, error) { return r.cfg.Keys.Sign(cd) })
+	if err != nil {
+		return
+	}
+	byRep := make(map[types.ReplicaID][]creditBatchGroup)
+	for i, j := range jobs {
+		byRep[j.rep] = append(byRep[j.rep], creditBatchGroup{ChainIdx: uint32(i), Group: j.group})
+	}
+	for rep, gs := range byRep {
+		msg := encodeCreditBatch(creditBatchMsg{Signer: r.cfg.Self, Chain: chain, Sig: sig, Groups: gs})
+		_ = r.cfg.Mux.Send(transport.ReplicaNode(rep), transport.ChanCredit, msg)
+	}
+}
+
+// onCredit routes the credit channel (paper Listing 10): single-group
+// CREDITs and chain-signed CREDITBATCHes both accumulate into dependency
+// certificates for this replica's clients — f+1 distinct signed approvals
+// from the spender's shard form a transferable dependency.
+func (r *Replica) onCredit(_ transport.NodeID, payload []byte) {
+	if len(payload) == 0 {
+		return
+	}
+	switch payload[0] {
+	case msgCreditSingle:
+		m, err := decodeCredit(payload[1:])
+		if err != nil {
+			return
+		}
+		if !r.creditGroupInShard(m.Signer, m.Group) {
+			return
+		}
+		cs := r.lookupCreditState(m.Group)
+		if cs == nil {
+			return // certificate already complete; drop without ECDSA
+		}
+		// The signature check runs on the verifier pool, off the
+		// transport dispatch goroutine; certificate accumulation
+		// re-enters through the completion callback. Accumulation order
+		// across signers is irrelevant — any f+1 of them form the
+		// dependency.
+		r.cfg.Verifier.VerifyReplicaDetached(r.cfg.Registry, m.Signer, cs.digest, m.Sig, func(valid bool) {
+			if valid {
+				r.creditVerified(cs, m.Signer, m.Sig, nil)
+			}
+		})
+	case msgCreditBatch:
+		m, err := decodeCreditBatch(payload[1:])
+		if err != nil {
+			return
+		}
+		// Resolve each carried group against the signed chain: a group
+		// whose recomputed digest does not sit at its claimed chain index
+		// is not endorsed by the signature and is dropped.
+		var accepted []*creditState
+		for _, g := range m.Groups {
+			if !r.creditGroupInShard(m.Signer, g.Group) {
+				continue
+			}
+			cs := r.lookupCreditState(g.Group)
+			if cs == nil || cs.digest != m.Chain[g.ChainIdx] {
+				continue
+			}
+			accepted = append(accepted, cs)
+		}
+		if len(accepted) == 0 {
+			return
+		}
+		// One ECDSA over the chain digest covers every accepted group;
+		// the verifier memo collapses re-deliveries and — at this
+		// replica — the same chain arriving for other groups.
+		cd := CreditChainDigest(m.Chain)
+		r.cfg.Verifier.VerifyReplicaDetached(r.cfg.Registry, m.Signer, cd, m.Sig, func(valid bool) {
+			if !valid {
+				return
+			}
+			for _, cs := range accepted {
+				r.creditVerified(cs, m.Signer, m.Sig, m.Chain)
+			}
+		})
+	}
+}
+
+// creditGroupInShard checks that every spender of the group belongs to the
+// signer's shard — else the f+1 counting would mix shards.
+func (r *Replica) creditGroupInShard(signer types.ReplicaID, group []types.Payment) bool {
+	if len(group) == 0 {
+		return false
+	}
+	shard := r.cfg.ShardOf(group[0].Spender)
+	if r.cfg.ReplicaShard(signer) != shard {
+		return false
+	}
+	for _, p := range group[1:] {
+		if r.cfg.ShardOf(p.Spender) != shard {
+			return false
+		}
+	}
+	return true
+}
+
+// lookupCreditState finds (or creates) the accumulator for a credit group,
+// hashing the group only on first sight: the bucket key is cheap (first
+// payment ID + length) and buckets are disambiguated by exact group
+// equality, so the k copies of a group sent by k signers cost one
+// CreditGroupDigest, not k. Returns nil when the certificate is already
+// complete — the remaining ~m-f-1 CREDIT copies are dropped without the
+// expensive signature verification.
+func (r *Replica) lookupCreditState(group []types.Payment) *creditState {
+	k := creditKey{first: group[0].ID(), n: len(group)}
+	r.creditMu.Lock()
+	defer r.creditMu.Unlock()
+	for _, cs := range r.creditAccum[k] {
+		if slices.Equal(cs.group, group) {
+			if cs.done {
+				return nil
+			}
+			return cs
+		}
+	}
+	cs := &creditState{group: group, digest: CreditGroupDigest(group)}
+	r.creditAccum[k] = append(r.creditAccum[k], cs)
+	return cs
+}
+
+// creditVerified accumulates a verified CREDIT signature (with its chain
+// context, if wave-signed) and, on reaching f+1, registers the dependency
+// certificate and retries held submissions.
+func (r *Replica) creditVerified(cs *creditState, signer types.ReplicaID, sig []byte, chain []types.Digest) {
+	r.creditMu.Lock()
+	if cs.done || cs.cert.Has(signer) {
+		r.creditMu.Unlock()
+		return
+	}
+	cs.cert.Sigs = append(cs.cert.Sigs, DepSig{Replica: signer, Sig: sig, Chain: chain})
+	if cs.cert.Len() < r.cfg.F+1 {
+		r.creditMu.Unlock()
+		return
+	}
+	cs.done = true
+	dep := Dependency{Group: cs.group, Cert: cs.cert}
+	r.creditMu.Unlock()
+
+	beneficiaries := make(map[types.ClientID]struct{})
+	for _, p := range dep.Group {
+		if r.cfg.RepOf(p.Beneficiary) == r.cfg.Self {
+			beneficiaries[p.Beneficiary] = struct{}{}
+		}
+	}
+	r.repMu.Lock()
+	for b := range beneficiaries {
+		r.repDeps[b] = append(r.repDeps[b], dep)
+	}
+	// New funds may unblock held submissions.
+	r.retryPendingLocked(beneficiaries) // releases repMu
+}
+
+// retryPendingLocked re-evaluates held submissions of the given clients in
+// FIFO order. repMu is held; it is released (via afterBufferLocked).
+func (r *Replica) retryPendingLocked(clients map[types.ClientID]struct{}) {
+	for c := range clients {
+		queue := r.pendingSubmits[c]
+		released := 0
+		for _, h := range queue {
+			if !r.fundedLocked(h.payment) {
+				break
+			}
+			r.bufferLocked(h.payment, h.sig)
+			released++
+		}
+		if released == len(queue) {
+			delete(r.pendingSubmits, c)
+		} else if released > 0 {
+			r.pendingSubmits[c] = queue[released:]
+		}
+	}
+	r.afterBufferLocked()
+}
+
+// PendingSubmits reports how many submissions are held back awaiting
+// funds for the given client (Astro II representative-side queue).
+func (r *Replica) PendingSubmits(c types.ClientID) int {
+	r.repMu.Lock()
+	defer r.repMu.Unlock()
+	return len(r.pendingSubmits[c])
+}
+
 // screenDependencies verifies every dependency certificate attached to the
-// batch — outside the state lock, fanned out across the verifier pool —
-// and strips the ones that fail, so State credits what remains without
+// batch — outside any settlement lock, fanned out across the verifier pool
+// — and strips the ones that fail, so State credits what remains without
 // re-verifying inside the settlement critical section. Stripping a bad
 // certificate is exactly the semantics State's inline check used to apply
 // ("unverifiable certificate: ignore, do not credit"); every correct
@@ -547,153 +925,4 @@ func (r *Replica) screenDependencies(entries []BatchEntry) {
 		}
 		entries[ei].Deps = kept
 	}
-}
-
-// postSettleLocked handles everything that follows settlement. It releases
-// the lock.
-func (r *Replica) postSettleLocked(settled []types.Payment) {
-	r.settledTotal.Add(uint64(len(settled)))
-
-	var confirms []types.Payment
-	groups := make(map[types.ReplicaID][]types.Payment)
-	for _, p := range settled {
-		if r.cfg.RepOf(p.Spender) == r.cfg.Self {
-			confirms = append(confirms, p)
-			if r.cfg.Version == AstroII {
-				r.inflightOut[p.Spender] -= p.Amount
-				if v, ok := r.attachedVal[p.ID()]; ok {
-					r.inflightDeps[p.Spender] -= v
-					delete(r.attachedVal, p.ID())
-				}
-			}
-		}
-		if r.cfg.Version == AstroII {
-			groups[r.cfg.RepOf(p.Beneficiary)] = append(groups[r.cfg.RepOf(p.Beneficiary)], p)
-		}
-	}
-	r.mu.Unlock()
-
-	for _, p := range confirms {
-		r.confirmedTotal.Add(1)
-		_ = r.cfg.Mux.Send(transport.ClientNode(p.Spender), transport.ChanPayment, encodeConfirm(p.ID()))
-	}
-
-	// Astro II: unicast one signed CREDIT per beneficiary-representative
-	// group — the paper's second batching level (§VI-A): as many
-	// signatures as sub-batches, not as payments.
-	if r.cfg.Version == AstroII {
-		for rep, group := range groups {
-			sig, err := r.cfg.Keys.Sign(CreditGroupDigest(group))
-			if err != nil {
-				continue
-			}
-			msg := encodeCredit(creditMsg{Signer: r.cfg.Self, Group: group, Sig: sig})
-			_ = r.cfg.Mux.Send(transport.ReplicaNode(rep), transport.ChanCredit, msg)
-		}
-	}
-}
-
-// onCredit accumulates CREDIT messages into dependency certificates for
-// this replica's clients (paper Listing 10): f+1 distinct signed approvals
-// from the spender's shard form a transferable dependency.
-func (r *Replica) onCredit(_ transport.NodeID, payload []byte) {
-	m, err := decodeCredit(payload)
-	if err != nil || len(m.Group) == 0 {
-		return
-	}
-	// All spenders must come from the signer's shard, else the f+1
-	// counting below would mix shards.
-	shard := r.cfg.ShardOf(m.Group[0].Spender)
-	if r.cfg.ReplicaShard(m.Signer) != shard {
-		return
-	}
-	for _, p := range m.Group[1:] {
-		if r.cfg.ShardOf(p.Spender) != shard {
-			return
-		}
-	}
-	digest := CreditGroupDigest(m.Group)
-
-	// Cheap checks first: once the dependency certificate is complete,
-	// the remaining ~m-f CREDIT copies are dropped without the expensive
-	// signature verification.
-	r.mu.Lock()
-	cs, ok := r.creditAccum[digest]
-	if !ok {
-		cs = &creditState{group: m.Group}
-		r.creditAccum[digest] = cs
-	}
-	if cs.done {
-		r.mu.Unlock()
-		return
-	}
-	r.mu.Unlock()
-
-	// The signature check runs on the verifier pool, off the transport
-	// dispatch goroutine; certificate accumulation re-enters through the
-	// completion callback. Accumulation order across signers is
-	// irrelevant — any f+1 of them form the dependency.
-	r.cfg.Verifier.VerifyReplicaDetached(r.cfg.Registry, m.Signer, digest, m.Sig, func(valid bool) {
-		if valid {
-			r.creditVerified(cs, m)
-		}
-	})
-}
-
-// creditVerified accumulates a verified CREDIT signature and, on reaching
-// f+1, registers the dependency certificate and retries held submissions.
-func (r *Replica) creditVerified(cs *creditState, m creditMsg) {
-	r.mu.Lock()
-	if cs.done {
-		r.mu.Unlock()
-		return
-	}
-	cs.cert.Add(crypto.PartialSig{Replica: m.Signer, Sig: m.Sig})
-	if cs.cert.Len() < r.cfg.F+1 {
-		r.mu.Unlock()
-		return
-	}
-	cs.done = true
-	dep := Dependency{Group: cs.group, Cert: cs.cert}
-	beneficiaries := make(map[types.ClientID]struct{})
-	for _, p := range cs.group {
-		if r.cfg.RepOf(p.Beneficiary) == r.cfg.Self {
-			beneficiaries[p.Beneficiary] = struct{}{}
-		}
-	}
-	for b := range beneficiaries {
-		r.repDeps[b] = append(r.repDeps[b], dep)
-	}
-	// New funds may unblock held submissions.
-	r.retryPendingLocked(beneficiaries) // releases the lock
-}
-
-// retryPendingLocked re-evaluates held submissions of the given clients in
-// FIFO order. It releases the lock.
-func (r *Replica) retryPendingLocked(clients map[types.ClientID]struct{}) {
-	for c := range clients {
-		queue := r.pendingSubmits[c]
-		released := 0
-		for _, h := range queue {
-			if !r.fundedLocked(h.payment) {
-				break
-			}
-			r.bufferLocked(h.payment, h.sig)
-			released++
-		}
-		if released == len(queue) {
-			delete(r.pendingSubmits, c)
-		} else if released > 0 {
-			r.pendingSubmits[c] = queue[released:]
-		}
-	}
-	r.afterBufferLocked()
-}
-
-// PendingSubmits reports how many submissions are held back awaiting
-// funds for the given client (Astro II representative-side queue).
-func (r *Replica) PendingSubmits(c types.ClientID) int {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	return len(r.pendingSubmits[c])
 }

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"sync"
+
 	"astro/internal/types"
 )
 
@@ -53,6 +55,38 @@ type Counters struct {
 	Conflicts uint64 // equivocation attempts observed
 }
 
+// add folds another counter set into c.
+func (c *Counters) add(o Counters) {
+	c.Settled += o.Settled
+	c.Dropped += o.Dropped
+	c.Conflicts += o.Conflicts
+}
+
+// stateStripe is one lock domain of the striped settlement state: a
+// disjoint subset of the accounts, guarded by its own mutex, with its own
+// share of the lifetime counters.
+type stateStripe struct {
+	mu       sync.Mutex
+	accounts map[types.ClientID]*account
+	counters Counters
+}
+
+// account returns the stripe's account for c, materializing it with the
+// genesis balance on first touch. The stripe's lock must be held.
+func (st *stateStripe) account(c types.ClientID, genesis func(types.ClientID) types.Amount) *account {
+	a, ok := st.accounts[c]
+	if !ok {
+		a = &account{
+			balance:  genesis(c),
+			xlog:     NewXLog(c),
+			queue:    make(map[types.Seq]BatchEntry),
+			usedDeps: make(map[types.PaymentID]struct{}),
+		}
+		st.accounts[c] = a
+	}
+	return a
+}
+
 // State is one replica's copy of the full system state (all xlogs of its
 // shard) plus the approve/settle engine (paper Listings 3/4 and 8/9).
 //
@@ -62,174 +96,406 @@ type Counters struct {
 // settles; criterion (2) — sufficient funds — holds (Astro I) or drops
 // (Astro II) it until the balance covers the amount.
 //
-// State is not self-synchronized; the owning Replica serializes access.
+// # Locking discipline
+//
+// State is self-synchronized and striped: accounts are hash-sharded
+// (types.MixedSharding) over independent lock domains, so settlements
+// touching disjoint accounts proceed concurrently — the owning Replica
+// fans delivered batches out per stripe. The rules, which together make
+// every lock acquisition sequence ascend in stripe index (deadlock-free)
+// and every individual settlement atomic under its stripes' locks (no
+// torn transfers):
+//
+//   - single-account operations (Balance, NextSeq, the whole Astro II
+//     settle path — withdrawal-only, Listing 9) lock exactly the
+//     account's stripe;
+//   - an Astro I settlement is a transfer: it holds the spender's and the
+//     beneficiary's stripes together, acquired in ascending stripe order
+//     (when the beneficiary's stripe sorts below the spender's, the
+//     spender's lock is dropped, both are re-acquired in order, and the
+//     xlog head is re-validated before settling);
+//   - whole-state snapshots (Counters, TotalSettledBalance, Snapshot,
+//     Clients) lock every stripe, in ascending order, and read under all
+//     of them — a snapshot can never observe a half-applied transfer;
+//   - stripe locks are leaves: State never calls out of the package (and
+//     never into Replica) while holding one, so callers may acquire them
+//     under their own locks.
+//
+// One stripe (NewStateStriped with stripes <= 1) degrades to exactly the
+// pre-striping global-lock engine and is kept as the measured baseline.
 type State struct {
 	version   Version
 	genesis   func(types.ClientID) types.Amount
 	verifyDep func(Dependency) error // nil: accept (or Astro I, unused)
-	accounts  map[types.ClientID]*account
-	counters  Counters
+	stripeOf  func(types.ClientID) types.ShardID
+	stripes   []*stateStripe
 }
 
-// NewState creates a state seeded by the genesis balance function.
-// verifyDep, used only by Astro II, validates dependency certificates
-// before they are credited; nil accepts all.
+// DefaultStateStripes is the stripe count used when none is configured:
+// comfortably above any host's core count so disjoint-account settlement
+// is limited by cores, not lock domains, while keeping the per-State
+// footprint (one map + mutex per stripe) negligible.
+const DefaultStateStripes = 16
+
+// NewState creates a state seeded by the genesis balance function, with
+// the default stripe count. verifyDep, used only by Astro II, validates
+// dependency certificates before they are credited; nil accepts all.
 func NewState(version Version, genesis func(types.ClientID) types.Amount, verifyDep func(Dependency) error) *State {
+	return NewStateStriped(version, genesis, verifyDep, DefaultStateStripes)
+}
+
+// NewStateStriped is NewState with an explicit stripe count; stripes <= 1
+// selects a single global lock (the pre-striping baseline, kept for
+// contention measurements).
+func NewStateStriped(version Version, genesis func(types.ClientID) types.Amount, verifyDep func(Dependency) error, stripes int) *State {
 	if genesis == nil {
 		genesis = func(types.ClientID) types.Amount { return 0 }
 	}
-	return &State{
+	if stripes < 1 {
+		stripes = 1
+	}
+	// MixedSharding, not plain HashSharding: the clients a sharded
+	// replica settles already share a residue class (shard assignment is
+	// modulo), and an unmixed modulo stripe map would collapse them into
+	// 1/gcd(stripes, shards) of the stripes.
+	s := &State{
 		version:   version,
 		genesis:   genesis,
 		verifyDep: verifyDep,
-		accounts:  make(map[types.ClientID]*account),
+		stripeOf:  types.MixedSharding(stripes),
+		stripes:   make([]*stateStripe, stripes),
+	}
+	for i := range s.stripes {
+		s.stripes[i] = &stateStripe{accounts: make(map[types.ClientID]*account)}
+	}
+	return s
+}
+
+// Stripes returns the number of lock domains.
+func (s *State) Stripes() int { return len(s.stripes) }
+
+// StripeIndex returns the lock domain the client's account lives in; the
+// owning Replica uses it to fan a delivered batch out per stripe.
+func (s *State) StripeIndex(c types.ClientID) int { return int(s.stripeOf(c)) }
+
+func (s *State) stripeFor(c types.ClientID) *stateStripe {
+	return s.stripes[s.stripeOf(c)]
+}
+
+// lockAll acquires every stripe in ascending order — the whole-state
+// snapshot entry point.
+func (s *State) lockAll() {
+	for _, st := range s.stripes {
+		st.mu.Lock()
 	}
 }
 
-func (s *State) account(c types.ClientID) *account {
-	a, ok := s.accounts[c]
-	if !ok {
-		a = &account{
-			balance:  s.genesis(c),
-			xlog:     NewXLog(c),
-			queue:    make(map[types.Seq]BatchEntry),
-			usedDeps: make(map[types.PaymentID]struct{}),
-		}
-		s.accounts[c] = a
+func (s *State) unlockAll() {
+	for _, st := range s.stripes {
+		st.mu.Unlock()
 	}
-	return a
 }
 
 // Balance returns the client's settled balance. For Astro II this excludes
 // dependencies not yet materialized (those live at the representative).
 func (s *State) Balance(c types.ClientID) types.Amount {
-	return s.account(c).balance
+	st := s.stripeFor(c)
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.account(c, s.genesis).balance
 }
 
 // NextSeq returns the sequence number the client's next settleable payment
 // must carry.
 func (s *State) NextSeq(c types.ClientID) types.Seq {
-	return types.Seq(s.account(c).xlog.Len() + 1)
+	st := s.stripeFor(c)
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return types.Seq(st.account(c, s.genesis).xlog.Len() + 1)
 }
 
-// XLog returns the client's exclusive log (live reference; callers must
-// hold the replica's lock or use snapshots).
+// SettledAt returns the payment settled under (c, seq), if any — the
+// replay/identity check of the representative's submission pre-screen.
+func (s *State) SettledAt(c types.ClientID, seq types.Seq) (types.Payment, bool) {
+	st := s.stripeFor(c)
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	x := st.account(c, s.genesis).xlog
+	// Compare in the unsigned domain: seq comes off the wire, and a huge
+	// value converted to int first would wrap negative and index below
+	// the log.
+	if seq == 0 || seq > types.Seq(x.Len()) {
+		return types.Payment{}, false
+	}
+	return x.At(int(seq) - 1), true
+}
+
+// XLogSnapshot returns a copy of the client's exclusive log for audit.
+func (s *State) XLogSnapshot(c types.ClientID) []types.Payment {
+	st := s.stripeFor(c)
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.account(c, s.genesis).xlog.Snapshot()
+}
+
+// XLog returns the client's exclusive log as a live reference. It is a
+// test/serial-use accessor: the caller must guarantee no concurrent
+// settlement; concurrent contexts use XLogSnapshot.
 func (s *State) XLog(c types.ClientID) *XLog {
-	return s.account(c).xlog
+	st := s.stripeFor(c)
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.account(c, s.genesis).xlog
 }
 
-// Counters returns lifetime statistics.
-func (s *State) Counters() Counters { return s.counters }
+// Counters returns lifetime statistics as one consistent snapshot: every
+// stripe is locked, so concurrent settlements are either fully included
+// or not at all.
+func (s *State) Counters() Counters {
+	s.lockAll()
+	defer s.unlockAll()
+	var out Counters
+	for _, st := range s.stripes {
+		out.add(st.counters)
+	}
+	return out
+}
 
 // PendingCount returns the number of delivered-but-unsettled payments for
 // the client.
 func (s *State) PendingCount(c types.ClientID) int {
-	return len(s.account(c).queue)
+	st := s.stripeFor(c)
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return len(st.account(c, s.genesis).queue)
 }
 
 // Clients returns all client identities with materialized accounts.
 func (s *State) Clients() []types.ClientID {
-	out := make([]types.ClientID, 0, len(s.accounts))
-	for c := range s.accounts {
-		out = append(out, c)
+	s.lockAll()
+	defer s.unlockAll()
+	var out []types.ClientID
+	for _, st := range s.stripes {
+		for c := range st.accounts {
+			out = append(out, c)
+		}
 	}
 	return out
+}
+
+// Snapshot exports all xlogs — one consistent cut across every stripe —
+// for reconfiguration state transfer.
+func (s *State) Snapshot() map[types.ClientID][]types.Payment {
+	s.lockAll()
+	defer s.unlockAll()
+	out := make(map[types.ClientID][]types.Payment)
+	for _, st := range s.stripes {
+		for c, a := range st.accounts {
+			out[c] = a.xlog.Snapshot()
+		}
+	}
+	return out
+}
+
+// TotalSettledBalance sums all account balances under every stripe lock —
+// used by conservation tests together with in-flight dependency
+// accounting. Because individual settlements are atomic under their
+// stripes' locks, the sum can never observe a torn transfer.
+func (s *State) TotalSettledBalance() types.Amount {
+	s.lockAll()
+	defer s.unlockAll()
+	var sum types.Amount
+	for _, st := range s.stripes {
+		for _, a := range st.accounts {
+			sum += a.balance
+		}
+	}
+	return sum
 }
 
 // ApplyEntry feeds one delivered payment (with attached dependencies) into
 // the approve/settle engine and returns every payment that settled as a
 // consequence — the payment itself and, for Astro I, any queued payments
-// its credit unblocked (transitively).
+// its credit unblocked (transitively). Safe for concurrent use; entries
+// for one spender must be applied in delivery order (the per-origin FIFO
+// of the broadcast layer, which the Replica's per-stripe fan-out
+// preserves).
 func (s *State) ApplyEntry(e BatchEntry) []types.Payment {
 	spender := e.Payment.Spender
-	acct := s.account(spender)
-	if acct.stuck {
-		s.counters.Dropped++
-		return nil
-	}
-	if e.Payment.Seq < s.NextSeq(spender) {
+	st := s.stripeFor(spender)
+	st.mu.Lock()
+	acct := st.account(spender, s.genesis)
+	switch {
+	case acct.stuck:
+		st.counters.Dropped++
+	case e.Payment.Seq < types.Seq(acct.xlog.Len()+1):
 		// Stale duplicate: this identifier already settled. The BRB layer
 		// delivers at most once per identifier, so this indicates replay
 		// at the payment layer; ignore.
-		s.counters.Dropped++
-		return nil
+		st.counters.Dropped++
+	default:
+		if _, dup := acct.queue[e.Payment.Seq]; dup {
+			// Second payment with the same identifier: equivocation
+			// attempt that slipped past broadcast (different slots). First
+			// delivery wins everywhere — FIFO delivery makes the order
+			// identical at all correct replicas.
+			st.counters.Conflicts++
+			st.counters.Dropped++
+		} else {
+			acct.queue[e.Payment.Seq] = e
+			st.mu.Unlock()
+			return s.drain(spender)
+		}
 	}
-	if _, dup := acct.queue[e.Payment.Seq]; dup {
-		// Second payment with the same identifier: equivocation attempt
-		// that slipped past broadcast (different slots). First delivery
-		// wins everywhere — FIFO delivery makes the order identical at
-		// all correct replicas.
-		s.counters.Conflicts++
-		s.counters.Dropped++
-		return nil
-	}
-	acct.queue[e.Payment.Seq] = e
-	return s.drain(spender)
+	st.mu.Unlock()
+	return nil
 }
 
 // drain settles every payment that has become approvable starting from
 // client c, following credit cascades (Astro I) through a worklist.
 func (s *State) drain(c types.ClientID) []types.Payment {
+	if s.version == AstroII {
+		return s.drainAstroII(c)
+	}
 	var settled []types.Payment
 	work := []types.ClientID{c}
 	for len(work) > 0 {
 		cur := work[0]
 		work = work[1:]
-		acct := s.account(cur)
-		if acct.stuck {
-			continue
-		}
 		for {
-			next := types.Seq(acct.xlog.Len() + 1)
-			e, ok := acct.queue[next]
+			p, ok := s.settleHeadAstroI(cur)
 			if !ok {
 				break
 			}
-			switch s.version {
-			case AstroII:
-				s.creditDependencies(cur, acct, e.Deps)
-				if acct.balance < e.Payment.Amount {
-					// Listing 9 early return: the payment never settles
-					// and the sequence number never advances. Only a
-					// faulty representative broadcasts such a payment.
-					delete(acct.queue, next)
-					acct.stuck = true
-					s.counters.Dropped++
-					continue
-				}
-				acct.balance -= e.Payment.Amount
-				// No direct beneficiary credit: the beneficiary receives
-				// the funds through the CREDIT/dependency mechanism.
-			default: // AstroI
-				if acct.balance < e.Payment.Amount {
-					// Approval criterion (2) unmet: wait for credits
-					// (paper queues under-funded payments).
-					e = BatchEntry{}
-					ok = false
-				}
-				if !ok {
-					break
-				}
-				acct.balance -= e.Payment.Amount
-				ben := s.account(e.Payment.Beneficiary)
-				ben.balance += e.Payment.Amount
-				work = append(work, e.Payment.Beneficiary)
+			settled = append(settled, p)
+			if p.Beneficiary != cur {
+				work = append(work, p.Beneficiary)
 			}
-			if !ok {
-				break
-			}
-			delete(acct.queue, next)
-			acct.xlog.Append(e.Payment)
-			s.counters.Settled++
-			settled = append(settled, e.Payment)
 		}
 	}
 	return settled
 }
 
+// drainAstroII settles client c's approvable queue head(s) under the
+// account's single stripe lock: Astro II settlement only ever touches the
+// spender (withdrawal plus the spender's own dependency credits), so no
+// cross-stripe coordination exists on this path.
+func (s *State) drainAstroII(c types.ClientID) []types.Payment {
+	st := s.stripeFor(c)
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	acct := st.account(c, s.genesis)
+	var settled []types.Payment
+	for !acct.stuck {
+		next := types.Seq(acct.xlog.Len() + 1)
+		e, ok := acct.queue[next]
+		if !ok {
+			break
+		}
+		s.creditDependencies(c, acct, e.Deps)
+		if acct.balance < e.Payment.Amount {
+			// Listing 9 early return: the payment never settles and the
+			// sequence number never advances. Only a faulty representative
+			// broadcasts such a payment.
+			delete(acct.queue, next)
+			acct.stuck = true
+			st.counters.Dropped++
+			continue
+		}
+		acct.balance -= e.Payment.Amount
+		// No direct beneficiary credit: the beneficiary receives the
+		// funds through the CREDIT/dependency mechanism.
+		delete(acct.queue, next)
+		acct.xlog.Append(e.Payment)
+		st.counters.Settled++
+		settled = append(settled, e.Payment)
+	}
+	return settled
+}
+
+// settleHeadAstroI settles client cur's next queued payment if it is
+// approvable, reporting the settled payment. An Astro I settlement is a
+// transfer — debit, credit, xlog append — applied atomically under the
+// spender's and beneficiary's stripe locks, acquired in ascending stripe
+// order (see the locking discipline in State's doc).
+func (s *State) settleHeadAstroI(cur types.ClientID) (types.Payment, bool) {
+	si := int(s.stripeOf(cur))
+	st := s.stripes[si]
+	for {
+		st.mu.Lock()
+		acct := st.account(cur, s.genesis)
+		if acct.stuck {
+			st.mu.Unlock()
+			return types.Payment{}, false
+		}
+		next := types.Seq(acct.xlog.Len() + 1)
+		e, ok := acct.queue[next]
+		if !ok || acct.balance < e.Payment.Amount {
+			// Approval criterion (2) unmet: wait for credits (paper
+			// queues under-funded payments).
+			st.mu.Unlock()
+			return types.Payment{}, false
+		}
+		ben := e.Payment.Beneficiary
+		sj := int(s.stripeOf(ben))
+		if sj == si {
+			bacct := acct
+			if ben != cur {
+				bacct = st.account(ben, s.genesis)
+			}
+			settleTransfer(st, acct, bacct, e, next)
+			st.mu.Unlock()
+			return e.Payment, true
+		}
+		if sj > si {
+			bst := s.stripes[sj]
+			bst.mu.Lock()
+			settleTransfer(st, acct, bst.account(ben, s.genesis), e, next)
+			bst.mu.Unlock()
+			st.mu.Unlock()
+			return e.Payment, true
+		}
+		// The beneficiary's stripe sorts below the spender's: drop the
+		// spender's lock, take both in ascending order, and re-validate
+		// the head (a concurrent drain may have settled it — or its
+		// funding — in the window).
+		st.mu.Unlock()
+		bst := s.stripes[sj]
+		bst.mu.Lock()
+		st.mu.Lock()
+		acct = st.account(cur, s.genesis)
+		next = types.Seq(acct.xlog.Len() + 1)
+		e, ok = acct.queue[next]
+		if ok && !acct.stuck && acct.balance >= e.Payment.Amount && int(s.stripeOf(e.Payment.Beneficiary)) == sj {
+			settleTransfer(st, acct, bst.account(e.Payment.Beneficiary, s.genesis), e, next)
+			bst.mu.Unlock()
+			st.mu.Unlock()
+			return e.Payment, true
+		}
+		bst.mu.Unlock()
+		st.mu.Unlock()
+		// The head changed under the re-lock; retry from the top (which
+		// bails out if nothing settleable remains).
+	}
+}
+
+// settleTransfer applies one Astro I settlement: debit the spender, credit
+// the beneficiary, advance the xlog. Both accounts' stripe locks are held
+// by the caller (they coincide for a same-stripe transfer), with st the
+// spender's stripe — which is charged the counter.
+func settleTransfer(st *stateStripe, acct, bacct *account, e BatchEntry, next types.Seq) {
+	acct.balance -= e.Payment.Amount
+	bacct.balance += e.Payment.Amount
+	delete(acct.queue, next)
+	acct.xlog.Append(e.Payment)
+	st.counters.Settled++
+}
+
 // creditDependencies materializes never-before-seen dependency credits
 // into the client's balance (paper Listing 9, lines 44-48), enforcing
 // at-most-once semantics through the usedDeps set (replay protection).
+// The client's stripe lock is held; verifyDep, when set, runs under it
+// (the Replica path screens dependencies before delivery and passes nil).
 func (s *State) creditDependencies(c types.ClientID, acct *account, deps []Dependency) {
 	for _, d := range deps {
 		if s.verifyDep != nil {
@@ -248,14 +514,4 @@ func (s *State) creditDependencies(c types.ClientID, acct *account, deps []Depen
 			acct.balance += q.Amount
 		}
 	}
-}
-
-// TotalSettledBalance sums all account balances — used by conservation
-// tests together with in-flight dependency accounting.
-func (s *State) TotalSettledBalance() types.Amount {
-	var sum types.Amount
-	for _, a := range s.accounts {
-		sum += a.balance
-	}
-	return sum
 }

@@ -103,6 +103,26 @@ func TestSeqZeroSubmissionIgnored(t *testing.T) {
 	})
 }
 
+// TestHugeSeqSubmissionIgnored: a submission whose sequence number
+// exceeds int range must be dropped, not crash the replica — a huge Seq
+// converted to int before the bounds check would wrap negative and index
+// below the xlog in the pre-screen's SettledAt lookup.
+func TestHugeSeqSubmissionIgnored(t *testing.T) {
+	eachVersion(t, func(t *testing.T, v Version) {
+		c := newCluster(t, v, 4, genesis100)
+		mux := transport.NewMux(c.net.Node(transport.ClientNode(1)))
+		cl := NewClient(1, c.repOf, mux)
+
+		bad := types.Payment{Spender: 1, Seq: 1 << 63, Beneficiary: 2, Amount: 10}
+		rep := transport.ReplicaNode(c.repOf(1))
+		if err := mux.Send(rep, transport.ChanPayment, encodeSubmit(bad, nil)); err != nil {
+			t.Fatal(err)
+		}
+		// The replica must survive and keep serving this client.
+		c.payAndWait(cl, 2, 5)
+	})
+}
+
 // TestSyncSeqCoversHeldSubmissions: a sequence number still in a
 // pre-settlement stage (here: held at the representative awaiting funds)
 // must not be handed out again by a resync — the restarted client would

@@ -43,6 +43,10 @@ type AstroOpts struct {
 	// Bandwidth is the per-node egress capacity in bytes/sec; 0 selects
 	// the paper's ~30 MiB/s, negative disables the bandwidth model.
 	Bandwidth float64
+	// StateStripes is the settlement-state stripe count per replica
+	// (core.Config.StateStripes): 0 selects the default, 1 the
+	// global-lock baseline kept for contention measurements.
+	StateStripes int
 	// RealCrypto uses real ECDSA signatures instead of the simulated
 	// constant-time authenticators. The simulation shares one host CPU
 	// across all replicas, whereas the paper gave every replica its own
@@ -153,6 +157,7 @@ func NewAstroCluster(opts AstroOpts) (*AstroCluster, error) {
 				Genesis:      genesis,
 				BatchSize:    opts.BatchSize,
 				BatchDelay:   opts.BatchDelay,
+				StateStripes: opts.StateStripes,
 				Auth:         crypto.NewLinkAuthenticator(id, master),
 				Keys:         keys[id],
 				Registry:     registry,

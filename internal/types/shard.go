@@ -16,3 +16,27 @@ func HashSharding(k int) func(ClientID) ShardID {
 	}
 	return func(c ClientID) ShardID { return ShardID(uint64(c) % uint64(k)) }
 }
+
+// MixedSharding is HashSharding behind a bit-mixing finalizer
+// (splitmix64): identities that are themselves arithmetically partitioned
+// — e.g. the clients of one shard under modulo sharding, which share a
+// residue class — still spread uniformly over the k buckets. The
+// settlement engine stripes accounts with it so stripe and shard
+// assignments cannot correlate.
+func MixedSharding(k int) func(ClientID) ShardID {
+	if k < 1 {
+		k = 1
+	}
+	return func(c ClientID) ShardID { return ShardID(mix64(uint64(c)) % uint64(k)) }
+}
+
+// mix64 is the splitmix64 finalizer: a cheap bijective avalanche, so every
+// input bit influences every output bit.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}

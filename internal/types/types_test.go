@@ -115,3 +115,28 @@ func TestQuorumIntersectionProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestMixedShardingSpreadsResidueClasses(t *testing.T) {
+	// Clients of one shard under modulo sharding share a residue class;
+	// MixedSharding must still spread them across all k buckets (plain
+	// HashSharding would collapse them into k/gcd(k, shards) buckets).
+	const buckets = 16
+	stripe := MixedSharding(buckets)
+	for _, shards := range []int{4, 8, 16} {
+		used := make(map[ShardID]int)
+		for i := 0; i < 64*buckets; i++ {
+			c := ClientID(i*shards + 3) // residue class 3 mod shards
+			used[stripe(c)]++
+		}
+		if len(used) != buckets {
+			t.Fatalf("shards=%d: residue class hit only %d of %d buckets", shards, len(used), buckets)
+		}
+	}
+	// Determinism and range.
+	if MixedSharding(buckets)(12345) != MixedSharding(buckets)(12345) {
+		t.Fatal("MixedSharding not deterministic")
+	}
+	if s := MixedSharding(1)(99); s != 0 {
+		t.Fatalf("single bucket returned %d", s)
+	}
+}
