@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race bench bench-pr2 bench-pr3 profile check verify
+.PHONY: all build test vet race bench bench-pr2 bench-pr3 bench-pr4 profile check verify
 
 all: check
 
@@ -20,9 +20,10 @@ vet:
 
 # Race-detector pass over the sharded transport dispatch and the
 # crypto/broadcast/payment hot path — the packages with cross-goroutine
-# completions and per-channel dispatch.
+# completions and per-channel dispatch (including the PR 4 chain-reference
+# caches and the tcpnet dial/redial liveness tests).
 race:
-	$(GO) test -race ./internal/transport/... ./internal/crypto/... ./internal/brb/... ./internal/core/...
+	$(GO) test -race ./internal/types/... ./internal/transport/... ./internal/crypto/... ./internal/brb/... ./internal/core/...
 
 # Headline benchmarks: parallel certificate verification, signed BRB, and
 # the end-to-end ECDSA settlement path.
@@ -42,6 +43,14 @@ bench-pr2:
 # ECDSA amortization). Regenerates BENCH_PR3.json.
 bench-pr3:
 	sh scripts/bench_pr3.sh BENCH_PR3.json
+
+# PR 4 evidence: wire bytes per committed payment / per credit at chain
+# cap 32 — chain-by-digest references (CHAINDEF/COMMITREF/CREDITREF) and
+# interned dependency certificates vs the legacy self-contained forms,
+# which remain measured from the same tree as the NACK fallback.
+# Regenerates BENCH_PR4.json.
+bench-pr4:
+	sh scripts/bench_pr4.sh BENCH_PR4.json
 
 # Mutex-contention profile of the settlement engine: runs the striped
 # settle benchmark with mutex profiling and prints the top contended

@@ -47,6 +47,11 @@ type AckSig struct {
 	Replica types.ReplicaID
 	Sig     []byte
 	Chain   []ChainEntry
+	// ChainDigest memoizes AckChainDigest(Chain) when Chain is non-nil —
+	// the origin computes it once while verifying the ACKBATCH, and the
+	// chain-reference sender (sendCommit) keys CHAINDEF bookkeeping on it
+	// without rehashing. Never encoded; receivers recompute from content.
+	ChainDigest types.Digest
 }
 
 // AckCert is a quorum of ack signatures for one instance, possibly mixing

@@ -1,0 +1,65 @@
+package brb
+
+// PR 4 evidence: wire bytes per committed payment on the BRB channel, at
+// chain cap 32. The legacy COMMITBATCH re-encodes every signer's full
+// digest chain in every slot's commit; the chain-reference form sends each
+// chain to a destination once (CHAINDEF) and each commit carries 37 bytes
+// per chain signature instead of the chain. Measured per destination —
+// both forms are broadcast to the same peer set.
+
+import (
+	"fmt"
+	"testing"
+
+	"astro/internal/types"
+)
+
+// benchAckChainWave builds one aligned settlement wave: `slots` instances
+// of one origin, acked by `quorum` signers whose drain batches covered the
+// same instances — so their chains are content-identical (one digest, one
+// CHAINDEF) — plus the per-slot certificates in both wire forms.
+func benchCommitWireBytes(b *testing.B, slots, quorum, payloadLen int) {
+	payloads := make([][]byte, slots)
+	chain := make([]ChainEntry, slots)
+	for i := range chain {
+		payloads[i] = make([]byte, payloadLen)
+		copy(payloads[i], fmt.Sprintf("batch-%d", i))
+		chain[i] = ChainEntry{Origin: 0, Slot: uint64(i + 1), Digest: SignedDigest(0, uint64(i+1), payloads[i])}
+	}
+	cd := AckChainDigest(chain)
+	sig := make([]byte, 71) // ECDSA-sized; byte accounting needs no validity
+
+	b.Run("full-chain", func(b *testing.B) {
+		var total int
+		for n := 0; n < b.N; n++ {
+			total = 0
+			var cert AckCert
+			for q := 0; q < quorum; q++ {
+				cert.Sigs = append(cert.Sigs, AckSig{Replica: types.ReplicaID(q), Sig: sig, Chain: chain, ChainDigest: cd})
+			}
+			for i := 0; i < slots; i++ {
+				total += len(EncodeCommitBatch(0, uint64(i+1), payloads[i], cert))
+			}
+		}
+		b.ReportMetric(float64(total)/float64(slots), "bytes/payment")
+	})
+	b.Run("chain-ref", func(b *testing.B) {
+		var total int
+		for n := 0; n < b.N; n++ {
+			total = len(EncodeChainDef(chain)) // once per destination per wave
+			for i := 0; i < slots; i++ {
+				var sigs []refSig
+				for q := 0; q < quorum; q++ {
+					sigs = append(sigs, refSig{Replica: types.ReplicaID(q), Sig: sig, HasRef: true, Ref: cd, Idx: uint32(i)})
+				}
+				total += len(EncodeCommitRef(0, uint64(i+1), payloads[i], sigs))
+			}
+		}
+		b.ReportMetric(float64(total)/float64(slots), "bytes/payment")
+	})
+}
+
+func BenchmarkCommitWireBytes(b *testing.B) {
+	// Chain cap 32, quorum 3 (n=4, f=1), 256-byte batch payloads.
+	benchCommitWireBytes(b, maxSignBatch, 3, 256)
+}

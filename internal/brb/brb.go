@@ -122,6 +122,13 @@ const (
 	// such chain signatures. See ackchain.go.
 	kindAckBatch    byte = 6
 	kindCommitBatch byte = 7
+	// Chain-by-digest references (Signed only): a chain transmitted once
+	// per destination (CHAINDEF), commits whose certificates reference it
+	// by digest (COMMITREF), and the cache-miss fallback (CHAINNACK). See
+	// chainref.go.
+	kindChainDef  byte = 8
+	kindCommitRef byte = 9
+	kindChainNack byte = 10
 )
 
 // headerSize is the fixed prefix of every BRB message: kind, origin, slot.

@@ -1,0 +1,274 @@
+package brb
+
+import (
+	"fmt"
+
+	"astro/internal/types"
+	"astro/internal/wire"
+)
+
+// Chain-by-digest references (the wire-level counterpart of the PR 2/3
+// signing amortization): a chain of k batch-signed acks appears in the
+// certificate of every one of the k commits it endorses, so the legacy
+// COMMITBATCH form re-transmits each signer's full chain — 44 bytes per
+// slot per signer — once per SLOT. The reference protocol transmits a
+// chain to each destination at most once:
+//
+//   - CHAINDEF carries the chain itself, content-addressed: the receiver
+//     recomputes AckChainDigest and stores the chain in a bounded per-peer
+//     LRU. A CHAINDEF is not authenticated — a bogus one only caches a
+//     chain no valid signature will ever match;
+//   - COMMITREF is a COMMIT whose certificate signatures name their chains
+//     by digest (plus the instance's index in the chain) instead of
+//     carrying them inline. The sender tracks, per destination, which
+//     digests it has already transmitted (an LRU of the same capacity and
+//     policy as the receiver's, so both sides age in lockstep) and emits
+//     the CHAINDEF ahead of the first reference on the same FIFO channel;
+//   - CHAINNACK is the fallback: a receiver that cannot resolve enough
+//     references for a quorum — the chain was evicted, or never seen —
+//     names the missing digests, and the origin degrades to the
+//     self-contained legacy COMMITBATCH for that slot (and forgets the
+//     digests were sent, so the next wave re-defines them). Delivery is
+//     therefore never stalled by a cache miss, only detoured through the
+//     PR 3 encoding. The same fallback absorbs transports that do not
+//     keep per-link FIFO (a jittered memnet latency model can deliver a
+//     reference before its definition): a premature reference costs one
+//     NACK round trip, never a lost commit. A Byzantine NACK stream costs
+//     one bounded unicast resend per NACK (the legacy form the peer could
+//     have requested anyway) and evicts nothing from anyone else's cache.
+//
+// Legacy ACKBATCH/COMMITBATCH remain fully decodable; single-slot commits
+// (kindCommit) are untouched. The net effect at chain cap 32: chain bytes
+// per committed payment drop from quorum x chain-length x 44 to the
+// amortized quorum x 44 + quorum x 37 of one CHAINDEF per wave plus the
+// per-commit references — O(1) in chain length (see BENCH_PR4.json).
+
+// chainCacheEntries bounds the per-peer chain caches, on both sides: a
+// receiver keeps at most this many defined chains per sending peer (so one
+// peer can never evict another's chains), and a sender remembers at most
+// this many transmitted digests per destination. At the maxSignBatch chain
+// length this is ~90 KiB per peer, and deep enough to cover several
+// settlement waves of in-flight commits.
+const chainCacheEntries = 64
+
+// ChainRefStats counts the chain-reference protocol's traffic at one
+// replica, for tests and the benchmark harness: CHAINDEF/COMMITREF/
+// self-contained commit sends (single-slot all-plain certificates and
+// NACK-triggered resends both count under FullSends), inbound reference
+// cache hits and misses, and NACK round trips. The shape is shared with
+// the credit channel's identical protocol (types.RefStats).
+type ChainRefStats = types.RefStats
+
+// learnChain caches a chain defined by peer under its digest. Chains
+// longer than maxSignBatch are never produced by an honest drain loop and
+// are not cached (bounding per-entry memory); the commit they arrived in
+// still verifies through its own inline copy.
+func (s *Signed) learnChain(peer types.ReplicaID, digest types.Digest, chain []ChainEntry) {
+	if len(chain) == 0 || len(chain) > maxSignBatch {
+		return
+	}
+	s.chainMu.Lock()
+	s.chainsKnown.Put(peer, digest, chain)
+	s.chainMu.Unlock()
+}
+
+// knownChain resolves a chain reference from peer, marking it most
+// recently used (mirroring the sender's touch on every reference).
+func (s *Signed) knownChain(peer types.ReplicaID, digest types.Digest) ([]ChainEntry, bool) {
+	s.chainMu.Lock()
+	defer s.chainMu.Unlock()
+	return s.chainsKnown.Get(peer, digest)
+}
+
+// chainSentTo reports whether digest was already transmitted to dest,
+// touching the entry so sender and receiver age their caches identically.
+// The caller must NOT rely on the answer across a cache-capacity window —
+// a false negative only costs a duplicate CHAINDEF, a false positive is
+// repaired by the NACK fallback.
+func (s *Signed) chainSentTo(dest types.ReplicaID, digest types.Digest) bool {
+	s.chainMu.Lock()
+	defer s.chainMu.Unlock()
+	return s.chainsSent.Contains(dest, digest)
+}
+
+// markChainSent records that digest has been transmitted to dest. Called
+// after the CHAINDEF send returns, so any goroutine observing the mark
+// orders its own sends behind the definition on the FIFO channel.
+func (s *Signed) markChainSent(dest types.ReplicaID, digest types.Digest) {
+	s.chainMu.Lock()
+	s.chainsSent.Put(dest, digest, struct{}{})
+	s.chainMu.Unlock()
+}
+
+// forgetChainsSent drops digests from dest's sent-set (NACK handling: the
+// receiver evicted them, so the next reference must re-define).
+func (s *Signed) forgetChainsSent(dest types.ReplicaID, digests []types.Digest) {
+	s.chainMu.Lock()
+	for _, d := range digests {
+		s.chainsSent.Delete(dest, d)
+	}
+	s.chainMu.Unlock()
+}
+
+// --- wire forms ---
+
+// chainDefSize is the exact size of a CHAINDEF message.
+func chainDefSize(chain []ChainEntry) int {
+	return 1 + 4 + len(chain)*chainEntrySize
+}
+
+func appendChainDef(w *wire.Writer, chain []ChainEntry) {
+	w.U8(kindChainDef)
+	appendChain(w, chain)
+}
+
+// EncodeChainDef encodes a CHAINDEF message. Exported for tests that forge
+// Byzantine traffic.
+func EncodeChainDef(chain []ChainEntry) []byte {
+	w := wire.NewWriter(chainDefSize(chain))
+	appendChainDef(w, chain)
+	return w.Bytes()
+}
+
+// decodeChainDef parses a CHAINDEF payload after its kind byte. Defined
+// chains are bounded by maxSignBatch — the longest an honest drain
+// produces — not the looser certificate bound.
+func decodeChainDef(r *wire.Reader) ([]ChainEntry, error) {
+	chain, err := decodeChain(r)
+	if err != nil {
+		return nil, err
+	}
+	if len(chain) == 0 || len(chain) > maxSignBatch {
+		return nil, fmt.Errorf("brb: chain definition of %d outside [1,%d]", len(chain), maxSignBatch)
+	}
+	if err := r.Finish(); err != nil {
+		return nil, err
+	}
+	return chain, nil
+}
+
+// refSig is one signature of a COMMITREF certificate before resolution:
+// either a plain single-slot signature, or a reference to a previously
+// defined chain together with this instance's index in it.
+type refSig struct {
+	Replica types.ReplicaID
+	Sig     []byte
+	HasRef  bool
+	Ref     types.Digest
+	Idx     uint32
+}
+
+// per-signature reference modes on the wire.
+const (
+	refModePlain byte = 0
+	refModeChain byte = 1
+)
+
+// commitRefSize is the exact size of a COMMITREF message.
+func commitRefSize(payload []byte, sigs []refSig) int {
+	n := headerSize + 4 + len(payload) + 4
+	for _, s := range sigs {
+		n += 4 + 4 + len(s.Sig) + 1
+		if s.HasRef {
+			n += 32 + 4
+		}
+	}
+	return n
+}
+
+func appendCommitRef(w *wire.Writer, origin types.ReplicaID, slot uint64, payload []byte, sigs []refSig) {
+	appendHeader(w, kindCommitRef, origin, slot)
+	w.Chunk(payload)
+	w.U32(uint32(len(sigs)))
+	for _, s := range sigs {
+		w.U32(uint32(s.Replica))
+		w.Chunk(s.Sig)
+		if s.HasRef {
+			w.U8(refModeChain)
+			w.Bytes32(s.Ref)
+			w.U32(s.Idx)
+		} else {
+			w.U8(refModePlain)
+		}
+	}
+}
+
+// EncodeCommitRef encodes a COMMIT whose certificate references chains by
+// digest. Exported for tests.
+func EncodeCommitRef(origin types.ReplicaID, slot uint64, payload []byte, sigs []refSig) []byte {
+	w := wire.NewWriter(commitRefSize(payload, sigs))
+	appendCommitRef(w, origin, slot, payload, sigs)
+	return w.Bytes()
+}
+
+func decodeCommitRef(r *wire.Reader) ([]refSig, error) {
+	n := r.U32()
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	if n > maxAckCertSigs {
+		return nil, fmt.Errorf("brb: commit-ref cert of %d signatures exceeds cap", n)
+	}
+	sigs := make([]refSig, 0, n)
+	for i := uint32(0); i < n; i++ {
+		var s refSig
+		s.Replica = types.ReplicaID(r.U32())
+		s.Sig = r.Chunk()
+		mode := r.U8()
+		if err := r.Err(); err != nil {
+			return nil, err
+		}
+		switch mode {
+		case refModePlain:
+		case refModeChain:
+			s.HasRef = true
+			s.Ref = r.Bytes32()
+			s.Idx = r.U32()
+			if err := r.Err(); err != nil {
+				return nil, err
+			}
+		default:
+			return nil, fmt.Errorf("brb: unknown reference mode %d", mode)
+		}
+		sigs = append(sigs, s)
+	}
+	if err := r.Finish(); err != nil {
+		return nil, err
+	}
+	return sigs, nil
+}
+
+// chainNackSize is the exact size of a CHAINNACK message.
+func chainNackSize(missing []types.Digest) int {
+	return headerSize + wire.DigestListSize(len(missing))
+}
+
+func appendChainNack(w *wire.Writer, origin types.ReplicaID, slot uint64, missing []types.Digest) {
+	appendHeader(w, kindChainNack, origin, slot)
+	wire.AppendDigestList(w, missing)
+}
+
+// EncodeChainNack encodes a CHAINNACK message. Exported for tests.
+func EncodeChainNack(origin types.ReplicaID, slot uint64, missing []types.Digest) []byte {
+	w := wire.NewWriter(chainNackSize(missing))
+	appendChainNack(w, origin, slot, missing)
+	return w.Bytes()
+}
+
+// maxNackDigests bounds NACK digest lists on both sides: the decoder
+// rejects longer lists, and the sender truncates to it (a certificate can
+// reference up to quorum distinct chains, which in very large groups
+// exceeds this). Truncation is harmless — naming ANY missing digest
+// triggers the same full self-contained resend.
+const maxNackDigests = chainCacheEntries
+
+func decodeChainNack(r *wire.Reader) ([]types.Digest, error) {
+	missing, err := wire.ReadDigestList[types.Digest](r, maxNackDigests)
+	if err != nil {
+		return nil, err
+	}
+	if err := r.Finish(); err != nil {
+		return nil, err
+	}
+	return missing, nil
+}

@@ -1,0 +1,390 @@
+package brb
+
+// Tests for chain-by-digest references: the CHAINDEF/COMMITREF/CHAINNACK
+// codecs, the once-per-destination chain transmission, the NACK -> legacy
+// retransmit fallback (never-seen and evicted chains), and the rejection
+// of forged references.
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"astro/internal/crypto"
+	"astro/internal/crypto/verifier"
+	"astro/internal/transport"
+	"astro/internal/transport/memnet"
+	"astro/internal/types"
+	"astro/internal/wire"
+)
+
+func TestChainRefCodecRoundTrip(t *testing.T) {
+	chain := []ChainEntry{
+		{Origin: 2, Slot: 5, Digest: types.HashBytes([]byte("a"))},
+		{Origin: 2, Slot: 6, Digest: types.HashBytes([]byte("b"))},
+	}
+
+	def := EncodeChainDef(chain)
+	if len(def) != chainDefSize(chain) {
+		t.Fatalf("chaindef size %d, want exact %d", len(def), chainDefSize(chain))
+	}
+	r := wire.NewReader(def)
+	if k := r.U8(); k != kindChainDef {
+		t.Fatalf("kind = %d", k)
+	}
+	back, err := decodeChainDef(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 2 || back[0] != chain[0] || back[1] != chain[1] {
+		t.Fatalf("chaindef round trip mangled: %+v", back)
+	}
+	// Empty and over-cap definitions are rejected.
+	if _, err := decodeChainDef(wire.NewReader(EncodeChainDef(nil)[1:])); err == nil {
+		t.Fatal("empty chaindef accepted")
+	}
+	long := make([]ChainEntry, maxSignBatch+1)
+	if _, err := decodeChainDef(wire.NewReader(EncodeChainDef(long)[1:])); err == nil {
+		t.Fatal("over-cap chaindef accepted")
+	}
+
+	cd := AckChainDigest(chain)
+	sigs := []refSig{
+		{Replica: 0, Sig: []byte("plain")},
+		{Replica: 3, Sig: []byte("chained"), HasRef: true, Ref: cd, Idx: 1},
+	}
+	msg := EncodeCommitRef(2, 6, []byte("payload"), sigs)
+	if len(msg) != commitRefSize([]byte("payload"), sigs) {
+		t.Fatalf("commitref size %d, want exact %d", len(msg), commitRefSize([]byte("payload"), sigs))
+	}
+	r = wire.NewReader(msg)
+	if k := r.U8(); k != kindCommitRef {
+		t.Fatalf("kind = %d", k)
+	}
+	if types.ReplicaID(r.U32()) != 2 || r.U64() != 6 {
+		t.Fatal("commitref header mangled")
+	}
+	if string(r.Chunk()) != "payload" {
+		t.Fatal("commitref payload mangled")
+	}
+	gotSigs, err := decodeCommitRef(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gotSigs) != 2 || gotSigs[0].HasRef || gotSigs[1].Ref != cd || gotSigs[1].Idx != 1 {
+		t.Fatalf("commitref sigs mangled: %+v", gotSigs)
+	}
+
+	nack := EncodeChainNack(2, 6, []types.Digest{cd})
+	if len(nack) != chainNackSize([]types.Digest{cd}) {
+		t.Fatalf("nack size %d, want exact %d", len(nack), chainNackSize([]types.Digest{cd}))
+	}
+	r = wire.NewReader(nack)
+	if k := r.U8(); k != kindChainNack {
+		t.Fatalf("kind = %d", k)
+	}
+	if types.ReplicaID(r.U32()) != 2 || r.U64() != 6 {
+		t.Fatal("nack header mangled")
+	}
+	missing, err := decodeChainNack(r)
+	if err != nil || len(missing) != 1 || missing[0] != cd {
+		t.Fatalf("nack digests mangled: %v %v", missing, err)
+	}
+}
+
+// TestSignedCommitRefOncePerDestination is the wire-amortization
+// acceptance test at the protocol level: a burst of k broadcasts whose
+// acks batch into chains must commit through COMMITREFs — the chain
+// crossing the wire once per destination (CHAINDEF), not once per slot —
+// with no NACK round trips and no legacy fallback.
+func TestSignedCommitRefOncePerDestination(t *testing.T) {
+	pool := verifier.New(1)
+	defer pool.Close()
+	h := newHarness(t, protoSigned, 4, func(c *Config) { c.Verifier = pool })
+
+	gate := make(chan struct{})
+	entered := make(chan struct{})
+	go pool.Async(func() {
+		close(entered)
+		<-gate
+	})
+	<-entered
+
+	const k = 6
+	for i := 1; i <= k; i++ {
+		if _, err := h.bcs[0].Broadcast([]byte(fmt.Sprintf("m%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, bc := range h.bcs {
+		s := bc.(*Signed)
+		deadline := time.Now().Add(5 * time.Second)
+		for s.ackSigner.Pending() != k {
+			if time.Now().After(deadline) {
+				t.Fatalf("pending acks = %d, want %d", s.ackSigner.Pending(), k)
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+	close(gate)
+
+	want := 4 * k
+	if got := h.waitDeliveries(want, 15*time.Second); got != want {
+		t.Fatalf("deliveries = %d, want %d", got, want)
+	}
+
+	origin := h.bcs[0].(*Signed)
+	st := origin.ChainRefStats()
+	if st.RefsSent != uint64(4*k) {
+		t.Fatalf("origin sent %d COMMITREFs, want %d (one per slot per destination)", st.RefsSent, 4*k)
+	}
+	// Each acker signs its k pending acks as ONE chain, so at most 4
+	// distinct chains exist; each crosses the wire at most once per
+	// destination — against k x quorum x destinations inline copies in the
+	// legacy encoding.
+	if st.DefsSent == 0 || st.DefsSent > 4*4 {
+		t.Fatalf("origin sent %d CHAINDEFs, want 1..16 (once per chain per destination)", st.DefsSent)
+	}
+	if st.FullSends != 0 || st.NacksReceived != 0 {
+		t.Fatalf("legacy fallback engaged without cache misses: %+v", st)
+	}
+	var hits uint64
+	for _, bc := range h.bcs {
+		rs := bc.(*Signed).ChainRefStats()
+		hits += rs.RefHits
+		if rs.NacksSent != 0 {
+			t.Fatalf("receiver NACKed during the happy path: %+v", rs)
+		}
+	}
+	if hits == 0 {
+		t.Fatal("no reference ever resolved against a chain cache")
+	}
+	// FIFO preserved through the reference path.
+	for r := 0; r < 4; r++ {
+		d := h.deliveriesAt(types.ReplicaID(r))
+		for i, dv := range d {
+			if dv.slot != uint64(i+1) {
+				t.Fatalf("replica %d delivery %d = slot %d", r, i, dv.slot)
+			}
+		}
+	}
+}
+
+// refFixture is a lone Signed replica (id 1 of a 4-group) with a delivery
+// channel, plus a raw endpoint at node 0 capturing the replica's BRB
+// traffic — the stage for forged reference streams.
+type refFixture struct {
+	registry *crypto.Registry
+	keys     []*crypto.KeyPair
+	replica  *Signed
+	origin   *transport.Mux
+	brbMsgs  chan []byte
+	dlv      chan delivery
+}
+
+func newRefFixture(t *testing.T) *refFixture {
+	t.Helper()
+	fx := &refFixture{
+		registry: crypto.NewRegistry(),
+		brbMsgs:  make(chan []byte, 64),
+		dlv:      make(chan delivery, 64),
+	}
+	net := memnet.New()
+	t.Cleanup(net.Close)
+	pool := verifier.New(2)
+	t.Cleanup(pool.Close)
+	var peers []types.ReplicaID
+	for i := 0; i < 4; i++ {
+		kp := crypto.MustGenerateKeyPair()
+		fx.keys = append(fx.keys, kp)
+		fx.registry.Add(types.ReplicaID(i), kp.Public())
+		peers = append(peers, types.ReplicaID(i))
+	}
+	mux := transport.NewMux(net.Node(transport.ReplicaNode(1)))
+	t.Cleanup(mux.Close)
+	var err error
+	fx.replica, err = NewSigned(Config{
+		Mux:   mux,
+		Self:  1,
+		Peers: peers,
+		F:     1,
+		Deliver: func(origin types.ReplicaID, slot uint64, payload []byte) {
+			fx.dlv <- delivery{origin: origin, slot: slot, payload: payload}
+		},
+		Keys:     fx.keys[1],
+		Registry: fx.registry,
+		Verifier: pool,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fx.origin = transport.NewMux(net.Node(transport.ReplicaNode(0)))
+	t.Cleanup(fx.origin.Close)
+	fx.origin.Register(transport.ChanBRB, func(_ transport.NodeID, p []byte) {
+		buf := make([]byte, len(p))
+		copy(buf, p)
+		fx.brbMsgs <- buf
+	})
+	return fx
+}
+
+// chainCert builds a quorum certificate of chain signatures by the given
+// replicas over chain.
+func (fx *refFixture) chainCert(t *testing.T, chain []ChainEntry, signers ...int) AckCert {
+	t.Helper()
+	cd := AckChainDigest(chain)
+	var cert AckCert
+	for _, i := range signers {
+		sig, err := fx.keys[i].Sign(cd)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cert.Sigs = append(cert.Sigs, AckSig{Replica: types.ReplicaID(i), Sig: sig, Chain: chain, ChainDigest: cd})
+	}
+	return cert
+}
+
+// refSigsFor converts a chain certificate into the reference form for the
+// instance at chain index idx.
+func refSigsFor(cert AckCert, idx uint32) []refSig {
+	var sigs []refSig
+	for _, a := range cert.Sigs {
+		sigs = append(sigs, refSig{Replica: a.Replica, Sig: a.Sig, HasRef: true, Ref: a.ChainDigest, Idx: idx})
+	}
+	return sigs
+}
+
+func (fx *refFixture) expectNack(t *testing.T, slot uint64, want types.Digest) {
+	t.Helper()
+	deadline := time.After(5 * time.Second)
+	for {
+		select {
+		case m := <-fx.brbMsgs:
+			r := wire.NewReader(m)
+			if r.U8() != kindChainNack {
+				continue // acks etc. from the replica's own protocol
+			}
+			if types.ReplicaID(r.U32()) != 0 || r.U64() != slot {
+				t.Fatal("NACK for wrong instance")
+			}
+			missing, err := decodeChainNack(r)
+			if err != nil || len(missing) != 1 || missing[0] != want {
+				t.Fatalf("NACK digests = %v, %v", missing, err)
+			}
+			return
+		case <-deadline:
+			t.Fatal("no CHAINNACK for unresolvable COMMITREF")
+		}
+	}
+}
+
+func (fx *refFixture) expectDelivery(t *testing.T, slot uint64, payload string) {
+	t.Helper()
+	select {
+	case d := <-fx.dlv:
+		if d.origin != 0 || d.slot != slot || string(d.payload) != payload {
+			t.Fatalf("delivered %+v, want slot %d %q", d, slot, payload)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatalf("slot %d never delivered", slot)
+	}
+}
+
+// TestCommitRefUnknownChainNacksAndRecovers: a COMMITREF naming a chain
+// the receiver has never seen must trigger a CHAINNACK naming the digest,
+// the legacy COMMITBATCH retransmit must deliver AND re-prime the chain
+// cache — so the next COMMITREF over the same chain resolves with no
+// further round trip.
+func TestCommitRefUnknownChainNacksAndRecovers(t *testing.T) {
+	fx := newRefFixture(t)
+	p1, p2 := []byte("wave-slot-1"), []byte("wave-slot-2")
+	chain := []ChainEntry{
+		{Origin: 0, Slot: 1, Digest: SignedDigest(0, 1, p1)},
+		{Origin: 0, Slot: 2, Digest: SignedDigest(0, 2, p2)},
+	}
+	cert := fx.chainCert(t, chain, 0, 2, 3)
+	cd := AckChainDigest(chain)
+
+	// Reference without definition: NACK, no delivery.
+	if err := fx.origin.Send(transport.ReplicaNode(1), transport.ChanBRB, EncodeCommitRef(0, 1, p1, refSigsFor(cert, 0))); err != nil {
+		t.Fatal(err)
+	}
+	fx.expectNack(t, 1, cd)
+	select {
+	case d := <-fx.dlv:
+		t.Fatalf("unresolvable commit delivered: %+v", d)
+	default:
+	}
+
+	// The origin's fallback: the self-contained legacy form. It delivers
+	// and re-primes the cache with the inline chain.
+	if err := fx.origin.Send(transport.ReplicaNode(1), transport.ChanBRB, EncodeCommitBatch(0, 1, p1, cert)); err != nil {
+		t.Fatal(err)
+	}
+	fx.expectDelivery(t, 1, string(p1))
+
+	// Slot 2 through the reference alone — the cache now knows the chain.
+	if err := fx.origin.Send(transport.ReplicaNode(1), transport.ChanBRB, EncodeCommitRef(0, 2, p2, refSigsFor(cert, 1))); err != nil {
+		t.Fatal(err)
+	}
+	fx.expectDelivery(t, 2, string(p2))
+	if st := fx.replica.ChainRefStats(); st.RefHits == 0 || st.NacksSent != 1 {
+		t.Fatalf("stats after recovery: %+v", st)
+	}
+}
+
+// TestCommitRefEvictionDegradesToFull: with the per-peer cache shrunk to
+// one chain, defining a second chain evicts the first, and a reference to
+// the evicted chain must NACK — the explicit eviction leg of the fallback.
+func TestCommitRefEvictionDegradesToFull(t *testing.T) {
+	fx := newRefFixture(t)
+	fx.replica.chainsKnown.SetCapacity(1) // before any traffic: per-peer LRUs build lazily
+
+	p1 := []byte("evicted-slot")
+	chainA := []ChainEntry{{Origin: 0, Slot: 1, Digest: SignedDigest(0, 1, p1)}}
+	chainB := []ChainEntry{{Origin: 0, Slot: 9, Digest: types.HashBytes([]byte("other"))}}
+	certA := fx.chainCert(t, chainA, 0, 2, 3)
+
+	for _, def := range [][]byte{EncodeChainDef(chainA), EncodeChainDef(chainB)} {
+		if err := fx.origin.Send(transport.ReplicaNode(1), transport.ChanBRB, def); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// chainB's definition evicted chainA (capacity 1): the reference to
+	// chainA must NACK, and the legacy resend must still deliver.
+	if err := fx.origin.Send(transport.ReplicaNode(1), transport.ChanBRB, EncodeCommitRef(0, 1, p1, refSigsFor(certA, 0))); err != nil {
+		t.Fatal(err)
+	}
+	fx.expectNack(t, 1, AckChainDigest(chainA))
+	if err := fx.origin.Send(transport.ReplicaNode(1), transport.ChanBRB, EncodeCommitBatch(0, 1, p1, certA)); err != nil {
+		t.Fatal(err)
+	}
+	fx.expectDelivery(t, 1, string(p1))
+}
+
+// TestCommitRefForgeries: references that resolve but do not endorse the
+// instance must not deliver — a chain whose indexed entry names a
+// different payload digest, and an index beyond the chain's length.
+func TestCommitRefForgeries(t *testing.T) {
+	fx := newRefFixture(t)
+	real := []byte("real-payload")
+	chain := []ChainEntry{{Origin: 0, Slot: 1, Digest: SignedDigest(0, 1, []byte("other-payload"))}}
+	cert := fx.chainCert(t, chain, 0, 2, 3)
+	if err := fx.origin.Send(transport.ReplicaNode(1), transport.ChanBRB, EncodeChainDef(chain)); err != nil {
+		t.Fatal(err)
+	}
+
+	// Entry digest does not match the committed payload.
+	if err := fx.origin.Send(transport.ReplicaNode(1), transport.ChanBRB, EncodeCommitRef(0, 1, real, refSigsFor(cert, 0))); err != nil {
+		t.Fatal(err)
+	}
+	// Index out of the chain's range.
+	if err := fx.origin.Send(transport.ReplicaNode(1), transport.ChanBRB, EncodeCommitRef(0, 1, real, refSigsFor(cert, 7))); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case d := <-fx.dlv:
+		t.Fatalf("forged reference delivered: %+v", d)
+	case <-time.After(300 * time.Millisecond):
+	}
+}

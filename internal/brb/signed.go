@@ -3,6 +3,7 @@ package brb
 import (
 	"errors"
 	"fmt"
+	"slices"
 	"sync"
 	"time"
 
@@ -88,6 +89,16 @@ type Signed struct {
 	// ~1µs HMACs). The scheduling lives in verifier.ChainSigner; this
 	// layer supplies the wire forms.
 	ackSigner *verifier.ChainSigner[ChainEntry]
+
+	// Chain-by-digest reference state (see chainref.go): chainsKnown is
+	// the receiver side — per sending peer, the chains that peer has
+	// defined, bounded so no peer can evict another's entries; chainsSent
+	// is the sender side — per destination, the chain digests already
+	// transmitted.
+	chainMu     sync.Mutex
+	chainsKnown *types.PeerCache[[]ChainEntry]
+	chainsSent  *types.PeerCache[struct{}]
+	refStats    types.RefCounters
 }
 
 var _ Broadcaster = (*Signed)(nil)
@@ -121,13 +132,15 @@ func NewSigned(cfg Config) (*Signed, error) {
 		ver = verifier.Default()
 	}
 	s := &Signed{
-		cfg:        cfg,
-		ver:        ver,
-		commitSem:  make(chan struct{}, 2*ver.Workers()+2),
-		mine:       make(map[uint64]*outInstance),
-		acked:      make(map[instanceID]*ackRecord),
-		order:      newFIFO(),
-		committing: make(map[instanceID]struct{}),
+		cfg:         cfg,
+		ver:         ver,
+		commitSem:   make(chan struct{}, 2*ver.Workers()+2),
+		mine:        make(map[uint64]*outInstance),
+		acked:       make(map[instanceID]*ackRecord),
+		order:       newFIFO(),
+		committing:  make(map[instanceID]struct{}),
+		chainsKnown: types.NewPeerCache[[]ChainEntry](chainCacheEntries),
+		chainsSent:  types.NewPeerCache[struct{}](chainCacheEntries),
 	}
 	s.ackSigner = verifier.NewChainSigner(ver, maxSignBatch, verifier.DefaultChainThreshold, s.signSingleAck, s.signAckChain)
 	// Seed the sign-cost estimate with one probe signature, so the first
@@ -190,6 +203,21 @@ func (s *Signed) onMessage(from transport.NodeID, payload []byte) {
 		s.handleAckBatch(peer, chain, sig)
 		return
 	}
+	if kind == kindChainDef {
+		// A chain definition carries no instance header either: it is
+		// content-addressed, keyed by the digest the receiver recomputes.
+		// Only group members may define chains: the per-peer caches are
+		// bounded individually, and membership bounds how many exist.
+		if !s.membership(peer) {
+			return
+		}
+		chain, err := decodeChainDef(r)
+		if err != nil {
+			return
+		}
+		s.learnChain(peer, AckChainDigest(chain), chain)
+		return
+	}
 	origin := types.ReplicaID(r.U32())
 	slot := r.U64()
 	if r.Err() != nil {
@@ -226,7 +254,40 @@ func (s *Signed) onMessage(from transport.NodeID, payload []byte) {
 		if err != nil || r.Err() != nil {
 			return
 		}
+		// Hash each inline chain once: the digest feeds both the chain
+		// cache (a later COMMITREF from this peer may reference it — the
+		// NACK fallback re-primes the cache this way, since the legacy
+		// resend carries every chain in full; only group members get a
+		// cache) and the certificate's memoized ChainDigest, so
+		// verifyAckCert does not rehash. Learning runs on the dispatch
+		// goroutine, but only on this legacy/fallback path.
+		member := s.membership(peer)
+		for i := range cert.Sigs {
+			if cert.Sigs[i].Chain == nil {
+				continue
+			}
+			cert.Sigs[i].ChainDigest = AckChainDigest(cert.Sigs[i].Chain)
+			if member {
+				s.learnChain(peer, cert.Sigs[i].ChainDigest, cert.Sigs[i].Chain)
+			}
+		}
 		s.handleCommitBatch(id, body, cert)
+	case kindCommitRef:
+		body := r.Chunk()
+		if r.Err() != nil {
+			return
+		}
+		sigs, err := decodeCommitRef(r)
+		if err != nil {
+			return
+		}
+		s.handleCommitRef(id, peer, body, sigs)
+	case kindChainNack:
+		missing, err := decodeChainNack(r)
+		if err != nil {
+			return
+		}
+		s.handleChainNack(id, peer, missing)
 	}
 }
 
@@ -283,12 +344,14 @@ func (s *Signed) signSingleAck(e ChainEntry) {
 
 // signAckChain signs a batch of pending acks with one chain signature,
 // unicast to every origin the chain touches (ChainSigner flush callback).
-func (s *Signed) signAckChain(batch []ChainEntry) {
+// The ACKBATCH — chain included — is encoded once into the wave's shared
+// scratch and the same bytes go to every destination.
+func (s *Signed) signAckChain(batch []ChainEntry, wave *verifier.Wave) {
 	sig, err := s.ackSigner.Sign(len(batch), func() ([]byte, error) { return s.cfg.Keys.Sign(AckChainDigest(batch)) })
 	if err != nil {
 		return
 	}
-	w := wire.AcquireWriter(ackBatchSize(batch, sig))
+	w := wave.Scratch(ackBatchSize(batch, sig))
 	appendAckBatch(w, batch, sig)
 	sent := make(map[types.ReplicaID]struct{}, 4)
 	for _, e := range batch {
@@ -298,7 +361,6 @@ func (s *Signed) signAckChain(batch []ChainEntry) {
 		sent[e.Origin] = struct{}{}
 		_ = s.cfg.Mux.Send(transport.ReplicaNode(e.Origin), transport.ChanBRB, w.Bytes())
 	}
-	w.Release()
 }
 
 // handleAck runs at the origin: it performs the cheap instance checks
@@ -323,7 +385,7 @@ func (s *Signed) handleAck(id instanceID, peer types.ReplicaID, digest types.Dig
 	// the verifier's memo and resolve inline.
 	s.ver.VerifyReplicaDetached(s.cfg.Registry, peer, digest, sig, func(ok bool) {
 		if ok {
-			s.ackVerified(id, peer, digest, sig, nil)
+			s.ackVerified(id, peer, digest, sig, nil, types.Digest{})
 		}
 	})
 }
@@ -356,7 +418,7 @@ func (s *Signed) handleAckBatch(peer types.ReplicaID, chain []ChainEntry, sig []
 			return
 		}
 		for _, e := range relevant {
-			s.ackVerified(instanceID{origin: e.Origin, slot: e.Slot}, peer, e.Digest, sig, chain)
+			s.ackVerified(instanceID{origin: e.Origin, slot: e.Slot}, peer, e.Digest, sig, chain, cd)
 		}
 	})
 }
@@ -364,14 +426,14 @@ func (s *Signed) handleAckBatch(peer types.ReplicaID, chain []ChainEntry, sig []
 // ackVerified re-enters the state machine after an ack signature checks
 // out: record it (with its chain context, if batch-signed), and commit on
 // reaching the quorum.
-func (s *Signed) ackVerified(id instanceID, peer types.ReplicaID, digest types.Digest, sig []byte, chain []ChainEntry) {
+func (s *Signed) ackVerified(id instanceID, peer types.ReplicaID, digest types.Digest, sig []byte, chain []ChainEntry, chainDigest types.Digest) {
 	s.mu.Lock()
 	out := s.mine[id.slot]
 	if out == nil || out.committed || digest != out.digest || out.cert.has(peer) {
 		s.mu.Unlock()
 		return
 	}
-	out.cert.Sigs = append(out.cert.Sigs, AckSig{Replica: peer, Sig: sig, Chain: chain})
+	out.cert.Sigs = append(out.cert.Sigs, AckSig{Replica: peer, Sig: sig, Chain: chain, ChainDigest: chainDigest})
 	commit := out.cert.Len() >= s.cfg.quorum()
 	if commit {
 		out.committed = true
@@ -381,16 +443,101 @@ func (s *Signed) ackVerified(id instanceID, peer types.ReplicaID, digest types.D
 	s.mu.Unlock()
 
 	if commit {
-		s.sendCommit(id, payload, cert)
+		s.sendCommit(id, payload, digest, cert)
 	}
 }
 
 // sendCommit broadcasts the commit for an instance whose quorum is
 // complete. A certificate of only single-slot signatures takes the
 // original crypto.Certificate wire form (kindCommit) — the
-// backward-compatible fallback — and chain signatures force the extended
-// form (kindCommitBatch).
-func (s *Signed) sendCommit(id instanceID, payload []byte, cert AckCert) {
+// backward-compatible fallback. Chain signatures take the chain-reference
+// form: the COMMITREF is encoded once (it is destination-independent) and
+// each destination that has not yet seen a referenced chain receives its
+// CHAINDEF first, on the same FIFO channel, so the chain crosses the wire
+// once per destination per wave instead of once per slot.
+func (s *Signed) sendCommit(id instanceID, payload []byte, digest types.Digest, cert AckCert) {
+	if cert.allPlain() {
+		// Single-slot certificates stay on the legacy wire form; they
+		// count under FullSends (self-contained sends) in the stats.
+		s.sendCommitFull(id, payload, cert, s.cfg.Peers...)
+		return
+	}
+
+	// Build the reference certificate and collect the distinct chains it
+	// names. Every chain signature records this instance's index in its
+	// chain, so receivers locate the entry in O(1) (the digest binding is
+	// still confirmed against the payload hash during verification).
+	sigs := make([]refSig, 0, len(cert.Sigs))
+	type defChain struct {
+		digest types.Digest
+		chain  []ChainEntry
+		enc    []byte // CHAINDEF encoding; built lazily, shared across destinations
+	}
+	var defs []defChain
+	for _, a := range cert.Sigs {
+		if a.Chain == nil {
+			sigs = append(sigs, refSig{Replica: a.Replica, Sig: a.Sig})
+			continue
+		}
+		idx := -1
+		for i, e := range a.Chain {
+			if e.Origin == id.origin && e.Slot == id.slot && e.Digest == digest {
+				idx = i
+				break
+			}
+		}
+		if idx < 0 {
+			// Defensive: a chain that does not endorse this instance never
+			// enters the certificate (handleAckBatch filters), but if it
+			// did, referencing it would be unverifiable — fall back to the
+			// self-contained form for the whole commit.
+			s.sendCommitFull(id, payload, cert, s.cfg.Peers...)
+			return
+		}
+		sigs = append(sigs, refSig{Replica: a.Replica, Sig: a.Sig, HasRef: true, Ref: a.ChainDigest, Idx: uint32(idx)})
+		known := false
+		for _, d := range defs {
+			if d.digest == a.ChainDigest {
+				known = true
+				break
+			}
+		}
+		if !known {
+			defs = append(defs, defChain{digest: a.ChainDigest, chain: a.Chain})
+		}
+	}
+
+	ref := wire.AcquireWriter(commitRefSize(payload, sigs))
+	appendCommitRef(ref, id.origin, id.slot, payload, sigs)
+	for _, p := range s.cfg.Peers {
+		dest := transport.ReplicaNode(p)
+		for i := range defs {
+			// chainSentTo touches the entry, keeping the sender's sent-set
+			// aging in lockstep with the receiver's cache; the mark lands
+			// only after the Send returns, so any goroutine that observes
+			// it orders its reference behind this definition on the FIFO
+			// channel. After the wave's first commit every destination has
+			// the chain and the loop costs one cache probe per chain.
+			if s.chainSentTo(p, defs[i].digest) {
+				continue
+			}
+			if defs[i].enc == nil {
+				defs[i].enc = EncodeChainDef(defs[i].chain)
+			}
+			_ = s.cfg.Mux.Send(dest, transport.ChanBRB, defs[i].enc)
+			s.refStats.DefsSent.Add(1)
+			s.markChainSent(p, defs[i].digest)
+		}
+		_ = s.cfg.Mux.Send(dest, transport.ChanBRB, ref.Bytes())
+		s.refStats.RefsSent.Add(1)
+	}
+	ref.Release()
+}
+
+// sendCommitFull sends the self-contained legacy encoding of a commit to
+// the given destinations — the NACK fallback, and the defensive path for
+// certificates the reference form cannot express.
+func (s *Signed) sendCommitFull(id instanceID, payload []byte, cert AckCert, dests ...types.ReplicaID) {
 	var w *wire.Writer
 	if cert.allPlain() {
 		var legacy crypto.Certificate
@@ -403,8 +550,9 @@ func (s *Signed) sendCommit(id instanceID, payload []byte, cert AckCert) {
 		w = wire.AcquireWriter(commitBatchSize(payload, cert))
 		appendCommitBatch(w, id.origin, id.slot, payload, cert)
 	}
-	for _, p := range s.cfg.Peers {
+	for _, p := range dests {
 		_ = s.cfg.Mux.Send(transport.ReplicaNode(p), transport.ChanBRB, w.Bytes())
+		s.refStats.FullSends.Add(1)
 	}
 	w.Release()
 }
@@ -466,6 +614,99 @@ func (s *Signed) handleCommitBatch(id instanceID, payload []byte, cert AckCert) 
 	}()
 }
 
+// handleCommitRef resolves a chain-referencing commit against the per-peer
+// chain cache and, when enough references resolve for a quorum, proceeds
+// exactly like a COMMITBATCH. When resolution leaves the quorum out of
+// reach — an evicted or never-seen chain — it NACKs the missing digests
+// back to the sender, which degrades to the self-contained legacy form for
+// this slot; the reference protocol can delay a delivery by one round
+// trip, never prevent it.
+func (s *Signed) handleCommitRef(id instanceID, peer types.ReplicaID, payload []byte, sigs []refSig) {
+	cert := AckCert{Sigs: make([]AckSig, 0, len(sigs))}
+	var missing []types.Digest
+	for _, rs := range sigs {
+		if !rs.HasRef {
+			cert.Sigs = append(cert.Sigs, AckSig{Replica: rs.Replica, Sig: rs.Sig})
+			continue
+		}
+		chain, ok := s.knownChain(peer, rs.Ref)
+		if !ok {
+			s.refStats.RefMisses.Add(1)
+			// One quorum usually references one chain; name it once.
+			if !slices.Contains(missing, rs.Ref) {
+				missing = append(missing, rs.Ref)
+			}
+			continue
+		}
+		s.refStats.RefHits.Add(1)
+		// The carried index locates this instance's entry in O(1): a
+		// reference whose indexed entry names another instance cannot
+		// endorse this one, and is dropped before any verification work.
+		// The entry's digest is bound later, by verifyAckCert, against
+		// the payload hash computed off this dispatch goroutine.
+		if int(rs.Idx) >= len(chain) {
+			continue // reference cannot be valid; treat as no endorsement
+		}
+		if e := chain[rs.Idx]; e.Origin != id.origin || e.Slot != id.slot {
+			continue // indexed entry is for another instance
+		}
+		cert.Sigs = append(cert.Sigs, AckSig{Replica: rs.Replica, Sig: rs.Sig, Chain: chain, ChainDigest: rs.Ref})
+	}
+	if len(missing) > 0 && len(cert.Sigs) < s.cfg.quorum() {
+		// Not deliverable from what we have. Skip the NACK when the
+		// instance is already delivered or mid-verification — a duplicate
+		// needs no resend.
+		s.mu.Lock()
+		rec := s.acked[id]
+		_, busy := s.committing[id]
+		done := busy || (rec != nil && rec.delivered)
+		s.mu.Unlock()
+		if done {
+			return
+		}
+		if len(missing) > maxNackDigests {
+			// The response is the full self-contained commit either way;
+			// naming a subset keeps the NACK within the decode bound.
+			missing = missing[:maxNackDigests]
+		}
+		w := wire.AcquireWriter(chainNackSize(missing))
+		appendChainNack(w, id.origin, id.slot, missing)
+		_ = s.cfg.Mux.Send(transport.ReplicaNode(peer), transport.ChanBRB, w.Bytes())
+		w.Release()
+		s.refStats.NacksSent.Add(1)
+		return
+	}
+	s.handleCommitBatch(id, payload, cert)
+}
+
+// handleChainNack runs at the origin: a destination could not resolve
+// chain references for one of our commits. Forget the digests were sent
+// (the receiver evicted them) and resend that slot's commit in the
+// self-contained legacy form, to that destination only.
+func (s *Signed) handleChainNack(id instanceID, peer types.ReplicaID, missing []types.Digest) {
+	if id.origin != s.cfg.Self {
+		return // we only resend our own commits
+	}
+	// Only group members receive commits, so only they can legitimately
+	// miss a chain; gating here keeps the full-resend amplification (a
+	// 37-byte NACK answered with a complete COMMITBATCH) and the sent-set
+	// churn reachable by group members alone.
+	if !s.membership(peer) {
+		return
+	}
+	s.refStats.NacksReceived.Add(1)
+	s.forgetChainsSent(peer, missing)
+	s.mu.Lock()
+	out := s.mine[id.slot]
+	if out == nil || !out.committed {
+		s.mu.Unlock()
+		return
+	}
+	payload, cert := out.payload, out.cert
+	s.mu.Unlock()
+	s.sendCommitFull(id, payload, cert, peer)
+}
+
 // verifyAckCert checks that an extended certificate carries a quorum of
 // valid endorsements of (id, d). Like verifier.VerifyCertificate it
 // accepts as soon as quorum valid signatures are confirmed (extra invalid
@@ -487,7 +728,10 @@ func (s *Signed) verifyAckCert(id instanceID, d types.Digest, cert AckCert) bool
 			if !chainContains(a.Chain, id, d) {
 				continue // chain does not endorse this instance
 			}
-			dg = AckChainDigest(a.Chain)
+			dg = a.ChainDigest
+			if dg == (types.Digest{}) {
+				dg = AckChainDigest(a.Chain)
+			}
 		}
 		seen[a.Replica] = struct{}{}
 		futures = append(futures, s.ver.VerifyReplicaAsync(s.cfg.Registry, a.Replica, dg, a.Sig, nil))
@@ -566,6 +810,13 @@ func (s *Signed) membership(id types.ReplicaID) bool {
 // batching engaged (one ECDSA endorsing several instances).
 func (s *Signed) AckSignStats() (ops, acks uint64) {
 	return s.ackSigner.Stats()
+}
+
+// ChainRefStats returns the chain-reference protocol counters: CHAINDEFs
+// and COMMITREFs sent, cache hits and misses on inbound references, and
+// NACK fallback traffic.
+func (s *Signed) ChainRefStats() ChainRefStats {
+	return s.refStats.Snapshot()
 }
 
 // String implements fmt.Stringer for diagnostics.

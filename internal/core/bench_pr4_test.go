@@ -1,0 +1,168 @@
+package core
+
+// PR 4 evidence: wire bytes per credit at chain cap 32 — on the credit
+// channel (the chain crosses once per destination per wave either way;
+// the reference form stops re-encoding it per destination and pays only a
+// 37-byte reference when a chain is already defined) and, the dominant
+// term, in the dependency certificates that ride inside broadcast batches:
+// the PR 3 extended form repeats every signer's full chain in every
+// group's certificate, the interned form encodes each distinct chain once
+// per certificate.
+
+import (
+	"testing"
+
+	"astro/internal/types"
+	"astro/internal/wire"
+)
+
+// benchWave builds an aligned settlement wave: `groups` credit groups of
+// `groupLen` payments, spread round-robin over `dests` destination
+// representatives, signed by `signers` replicas whose deterministic
+// enqueue order (postSettle) produced the identical chain.
+type benchWave struct {
+	jobs   []creditJob
+	chain  []types.Digest
+	byRep  map[types.ReplicaID][]creditBatchGroup
+	sig    []byte
+	nDests int
+}
+
+func newBenchWave(groups, groupLen, dests int) *benchWave {
+	w := &benchWave{byRep: make(map[types.ReplicaID][]creditBatchGroup), nDests: dests, sig: make([]byte, 71)}
+	seq := types.Seq(1)
+	for g := 0; g < groups; g++ {
+		group := make([]types.Payment, groupLen)
+		for i := range group {
+			group[i] = pay(types.ClientID(100+g), seq, types.ClientID(200+g), 1)
+			seq++
+		}
+		rep := types.ReplicaID(g % dests)
+		w.jobs = append(w.jobs, creditJob{rep: rep, group: group})
+		w.chain = append(w.chain, CreditGroupDigest(group))
+		w.byRep[rep] = append(w.byRep[rep], creditBatchGroup{ChainIdx: uint32(g), Group: group})
+	}
+	return w
+}
+
+// BenchmarkCreditWireBytes measures the credit-channel bytes per credit
+// group for one wave: the PR 3 CREDITBATCH (full chain re-encoded to every
+// destination) against CHAINDEF + CREDITREF with a warm reference (the
+// retransmission/repeat case the protocol amortizes) and with a cold one
+// (first contact, chain defined once).
+func BenchmarkCreditWireBytes(b *testing.B) {
+	w := newBenchWave(creditChainCap, 8, 4)
+	cd := CreditChainDigest(w.chain)
+
+	b.Run("creditbatch-pr3", func(b *testing.B) {
+		var total int
+		for n := 0; n < b.N; n++ {
+			total = 0
+			for _, gs := range w.byRep {
+				total += len(encodeCreditBatch(creditBatchMsg{Signer: 0, Chain: w.chain, Sig: w.sig, Groups: gs}))
+			}
+		}
+		b.ReportMetric(float64(total)/float64(len(w.jobs)), "bytes/credit")
+	})
+	b.Run("creditref-cold", func(b *testing.B) {
+		var total int
+		for n := 0; n < b.N; n++ {
+			total = 0
+			for _, gs := range w.byRep {
+				total += len(encodeCreditChainDef(w.chain)) // first contact: define
+				total += len(encodeCreditRef(creditRefMsg{Signer: 0, ChainDigest: cd, Sig: w.sig, Groups: gs}))
+			}
+		}
+		b.ReportMetric(float64(total)/float64(len(w.jobs)), "bytes/credit")
+	})
+	b.Run("creditref-warm", func(b *testing.B) {
+		var total int
+		for n := 0; n < b.N; n++ {
+			total = 0
+			for _, gs := range w.byRep {
+				total += len(encodeCreditRef(creditRefMsg{Signer: 0, ChainDigest: cd, Sig: w.sig, Groups: gs}))
+			}
+		}
+		b.ReportMetric(float64(total)/float64(len(w.jobs)), "bytes/credit")
+	})
+}
+
+// encodeDependencyExtended replicates the PR 3 extended certificate
+// encoding — every signature carrying its full chain inline — as the
+// measured baseline for the interned form.
+func encodeDependencyExtended(w *wire.Writer, d Dependency) {
+	w.U32(uint32(len(d.Group)))
+	for _, p := range d.Group {
+		w.AppendFunc(p.AppendBinary)
+	}
+	w.U8(depCertExtended)
+	w.U32(uint32(len(d.Cert.Sigs)))
+	for _, ps := range d.Cert.Sigs {
+		w.U32(uint32(ps.Replica))
+		w.Chunk(ps.Sig)
+		appendDigestChain(w, ps.Chain)
+	}
+}
+
+// BenchmarkDepCertWireBytes measures the bytes one wave's dependencies add
+// to broadcast batches, per credit group: each group's certificate carries
+// f+1 chain signatures over the (aligned, identical) wave chain. The PR 3
+// extended form repeats the 32-digest chain per signature; the interned
+// form's table holds it once per certificate.
+func BenchmarkDepCertWireBytes(b *testing.B) {
+	w := newBenchWave(creditChainCap, 8, 4)
+	const signers = 2 // f+1 for n=4
+	deps := make([]Dependency, len(w.jobs))
+	for i, j := range w.jobs {
+		var cert DepCert
+		for s := 0; s < signers; s++ {
+			cert.Sigs = append(cert.Sigs, DepSig{Replica: types.ReplicaID(s), Sig: w.sig, Chain: w.chain})
+		}
+		deps[i] = Dependency{Group: j.group, Cert: cert}
+	}
+	measure := func(b *testing.B, enc func(*wire.Writer, Dependency)) {
+		var total int
+		for n := 0; n < b.N; n++ {
+			total = 0
+			for _, d := range deps {
+				buf := wire.NewWriter(dependencySize(d))
+				enc(buf, d)
+				total += buf.Len()
+			}
+		}
+		b.ReportMetric(float64(total)/float64(len(deps)), "bytes/credit")
+	}
+	b.Run("extended-pr3", func(b *testing.B) { measure(b, encodeDependencyExtended) })
+	b.Run("interned", func(b *testing.B) { measure(b, encodeDependency) })
+}
+
+// BenchmarkCreditChainEncodeAllocs counts the per-wave encoding work of
+// the send path: the PR 3 loop re-encoded the chain once per destination;
+// the reference form encodes it once per wave into pooled scratch.
+func BenchmarkCreditChainEncodeAllocs(b *testing.B) {
+	w := newBenchWave(creditChainCap, 8, 8)
+	b.Run("per-dest-pr3", func(b *testing.B) {
+		b.ReportAllocs()
+		for n := 0; n < b.N; n++ {
+			for _, gs := range w.byRep {
+				msg := encodeCreditBatch(creditBatchMsg{Signer: 0, Chain: w.chain, Sig: w.sig, Groups: gs})
+				_ = msg
+			}
+		}
+	})
+	b.Run("shared-ref", func(b *testing.B) {
+		b.ReportAllocs()
+		cd := CreditChainDigest(w.chain)
+		for n := 0; n < b.N; n++ {
+			def := wire.AcquireWriter(creditChainDefSize(w.chain))
+			appendCreditChainDef(def, w.chain)
+			for _, gs := range w.byRep {
+				m := creditRefMsg{Signer: 0, ChainDigest: cd, Sig: w.sig, Groups: gs}
+				ref := wire.AcquireWriter(creditRefSize(m))
+				appendCreditRef(ref, m)
+				ref.Release()
+			}
+			def.Release()
+		}
+	})
+}

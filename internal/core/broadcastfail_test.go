@@ -1,0 +1,65 @@
+package core
+
+// Regression test for the broadcast-failure path: a Broadcaster that
+// rejects a batch must not crash the node (the pre-PR4 behavior was a
+// panic); the batch is requeued and retried on the flush timer, and the
+// payment still settles.
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"astro/internal/brb"
+	"astro/internal/types"
+)
+
+// flakyBroadcaster fails the first n Broadcast calls, then delegates.
+type flakyBroadcaster struct {
+	inner brb.Broadcaster
+	fails atomic.Int32
+}
+
+func (f *flakyBroadcaster) Broadcast(payload []byte) (uint64, error) {
+	if f.fails.Add(-1) >= 0 {
+		return 0, errors.New("transient broadcaster failure")
+	}
+	return f.inner.Broadcast(payload)
+}
+
+func (f *flakyBroadcaster) Delivered(origin types.ReplicaID) uint64 {
+	return f.inner.Delivered(origin)
+}
+
+func TestBroadcastFailureRequeuesAndRetries(t *testing.T) {
+	gen := func(c types.ClientID) types.Amount { return 1000 }
+	c := newCluster(t, AstroII, 4, gen)
+
+	rep := c.replicas[int(c.repOf(1))]
+	fb := &flakyBroadcaster{inner: rep.bc}
+	fb.fails.Store(2)
+	rep.bc = fb
+
+	// The submission's first flush fails twice; the requeue + flush-timer
+	// retry must still carry it to settlement and confirmation.
+	alice := c.client(1)
+	c.payAndWait(alice, 2, 30)
+
+	if got := rep.BroadcastFailures(); got != 2 {
+		t.Fatalf("BroadcastFailures = %d, want 2", got)
+	}
+	c.waitSettledEverywhere(1, 5*time.Second)
+	for i, r := range c.replicas {
+		if bal := r.Balance(1); bal != 970 {
+			t.Errorf("replica %d: balance(1) = %d, want 970", i, bal)
+		}
+	}
+	// The projection was restored: nothing left in flight, later payments
+	// flow without the failed attempts leaking inflight charge.
+	c.payAndWait(alice, 2, 70)
+	c.waitSettledEverywhere(2, 5*time.Second)
+	if bal := rep.Balance(1); bal != 900 {
+		t.Errorf("balance(1) after second payment = %d, want 900", bal)
+	}
+}

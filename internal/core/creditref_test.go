@@ -1,0 +1,376 @@
+package core
+
+// Tests for credit-channel chain-by-digest references: the
+// CREDITCHAINDEF/CREDITREF/CREDITNACK codecs, dependency formation through
+// references, the NACK -> legacy CREDITBATCH retransmit (never-seen and
+// evicted chains), and the interned dependency-certificate wire form.
+
+import (
+	"testing"
+	"time"
+
+	"astro/internal/crypto"
+	"astro/internal/transport"
+	"astro/internal/types"
+	"astro/internal/wire"
+)
+
+func TestCreditRefCodecRoundTrip(t *testing.T) {
+	chain := []types.Digest{types.HashBytes([]byte("g1")), types.HashBytes([]byte("g2"))}
+
+	def := encodeCreditChainDef(chain)
+	if def[0] != msgCreditChainDef || len(def) != creditChainDefSize(chain) {
+		t.Fatalf("chaindef kind/size wrong: %d/%d", def[0], len(def))
+	}
+	back, err := decodeCreditChainDef(def[1:])
+	if err != nil || len(back) != 2 || back[0] != chain[0] || back[1] != chain[1] {
+		t.Fatalf("chaindef round trip: %v %v", back, err)
+	}
+	if _, err := decodeCreditChainDef(encodeCreditChainDef(nil)[1:]); err == nil {
+		t.Fatal("empty chaindef accepted")
+	}
+
+	m := creditRefMsg{
+		Signer:      3,
+		ChainDigest: CreditChainDigest(chain),
+		Sig:         []byte("chain-sig"),
+		Groups:      []creditBatchGroup{{ChainIdx: 1, Group: []types.Payment{pay(7, 3, 8, 2)}}},
+	}
+	enc := encodeCreditRef(m)
+	if enc[0] != msgCreditRef || len(enc) != creditRefSize(m) {
+		t.Fatalf("ref kind/size wrong: %d/%d want %d", enc[0], len(enc), creditRefSize(m))
+	}
+	got, err := decodeCreditRef(enc[1:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Signer != 3 || got.ChainDigest != m.ChainDigest || string(got.Sig) != "chain-sig" {
+		t.Fatalf("ref header mangled: %+v", got)
+	}
+	if len(got.Groups) != 1 || got.Groups[0].ChainIdx != 1 || got.Groups[0].Group[0] != m.Groups[0].Group[0] {
+		t.Fatalf("ref groups mangled: %+v", got.Groups)
+	}
+	oob := m
+	oob.Groups = []creditBatchGroup{{ChainIdx: creditChainCap, Group: m.Groups[0].Group}}
+	if _, err := decodeCreditRef(encodeCreditRef(oob)[1:]); err == nil {
+		t.Fatal("over-cap chain index accepted")
+	}
+
+	nack := encodeCreditNack(m.ChainDigest)
+	if nack[0] != msgCreditNack || len(nack) != creditNackSize {
+		t.Fatalf("nack kind/size wrong")
+	}
+	d, err := decodeCreditNack(nack[1:])
+	if err != nil || d != m.ChainDigest {
+		t.Fatalf("nack round trip: %v %v", d, err)
+	}
+}
+
+// creditRefFrom signs a chain and returns the (CHAINDEF, CREDITREF) pair a
+// signer would emit for the given groups.
+func (c *cluster) creditRefFrom(t *testing.T, signer int, chain []types.Digest, groups []creditBatchGroup) (def, ref []byte) {
+	t.Helper()
+	sig, err := c.keys[signer].Sign(CreditChainDigest(chain))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return encodeCreditChainDef(chain), encodeCreditRef(creditRefMsg{
+		Signer:      types.ReplicaID(signer),
+		ChainDigest: CreditChainDigest(chain),
+		Sig:         sig,
+		Groups:      groups,
+	})
+}
+
+// TestCreditRefFormsDependency: the reference pair (CHAINDEF, then
+// CREDITREF naming it) from f+1 signers must form a dependency exactly
+// like the legacy CREDITBATCH — and the beneficiary must be able to spend
+// through it, which round-trips the interned certificate form through a
+// broadcast batch and every replica's screening.
+func TestCreditRefFormsDependency(t *testing.T) {
+	gen := func(c types.ClientID) types.Amount {
+		if c == 1 {
+			return 100
+		}
+		return 0
+	}
+	c := newCluster(t, AstroII, 4, gen)
+	repBob := c.replicas[int(c.repOf(2))] // client 2 -> replica 2
+
+	bobGroup := []types.Payment{pay(1, 1, 2, 40)}
+	otherGroup := []types.Payment{pay(5, 1, 6, 7)}
+	chain := []types.Digest{CreditGroupDigest(otherGroup), CreditGroupDigest(bobGroup)}
+	groups := []creditBatchGroup{{ChainIdx: 1, Group: bobGroup}}
+
+	for _, signer := range []int{0, 1} {
+		def, ref := c.creditRefFrom(t, signer, chain, groups)
+		for _, msg := range [][]byte{def, ref} {
+			if err := c.replicas[signer].cfg.Mux.Send(transport.ReplicaNode(c.repOf(2)), transport.ChanCredit, msg); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	deadline := time.Now().Add(5 * time.Second)
+	for repBob.Balance(2) != 40 {
+		if time.Now().After(deadline) {
+			t.Fatalf("dependency never formed from CREDITREF; balance = %d", repBob.Balance(2))
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if st := repBob.CreditRefStats(); st.RefHits != 2 || st.NacksSent != 0 {
+		t.Fatalf("receiver stats = %+v, want 2 resolved references and no NACK", st)
+	}
+
+	// Bob spends through the chain-signed dependency: the attached
+	// certificate travels in the interned wire form (both signers signed
+	// the same chain — one table entry) and must verify at every screen.
+	bob := c.client(2)
+	c.payAndWait(bob, 3, 25)
+	c.waitSettledEverywhere(1, 5*time.Second)
+	for i, r := range c.replicas {
+		if bal := r.Balance(2); bal != 15 {
+			t.Errorf("replica %d: settled balance(2) = %d, want 15", i, bal)
+		}
+	}
+}
+
+// creditTap attaches a raw endpoint at an unused replica NodeID —
+// registered in the shared key registry, since onCredit drops traffic
+// from unknown replicas — and returns its inbound ChanCredit stream.
+func (c *cluster) creditTap(t *testing.T, id types.ReplicaID) (*transport.Mux, chan []byte) {
+	t.Helper()
+	c.replicas[0].cfg.Registry.Add(id, crypto.MustGenerateKeyPair().Public())
+	mux := transport.NewMux(c.net.Node(transport.ReplicaNode(id)))
+	t.Cleanup(mux.Close)
+	msgs := make(chan []byte, 64)
+	mux.Register(transport.ChanCredit, func(_ transport.NodeID, p []byte) {
+		buf := make([]byte, len(p))
+		copy(buf, p)
+		msgs <- buf
+	})
+	return mux, msgs
+}
+
+// TestCreditRefUnknownChainNacks: a CREDITREF naming a chain the receiver
+// has never seen must be answered with a CREDITNACK naming the digest —
+// and after the chain is defined, the same reference must resolve.
+func TestCreditRefUnknownChainNacks(t *testing.T) {
+	c := newCluster(t, AstroII, 4, func(types.ClientID) types.Amount { return 0 })
+	tap, msgs := c.creditTap(t, 9)
+
+	bobGroup := []types.Payment{pay(1, 1, 2, 40)}
+	chain := []types.Digest{CreditGroupDigest(bobGroup)}
+	_, ref := c.creditRefFrom(t, 0, chain, []creditBatchGroup{{ChainIdx: 0, Group: bobGroup}})
+
+	if err := tap.Send(transport.ReplicaNode(2), transport.ChanCredit, ref); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case m := <-msgs:
+		if m[0] != msgCreditNack {
+			t.Fatalf("kind = %d, want CREDITNACK", m[0])
+		}
+		d, err := decodeCreditNack(m[1:])
+		if err != nil || d != CreditChainDigest(chain) {
+			t.Fatalf("NACK digest = %x, %v", d[:6], err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("no CREDITNACK for unresolvable CREDITREF")
+	}
+	if st := c.replicas[2].CreditRefStats(); st.RefMisses != 1 || st.NacksSent != 1 {
+		t.Fatalf("receiver stats = %+v", st)
+	}
+}
+
+// TestCreditChannelDropsUnknownSenders: chain definitions and references
+// from a sender outside the key registry must be ignored — an unknown
+// node must not be able to allocate a chain cache (or receive a NACK).
+func TestCreditChannelDropsUnknownSenders(t *testing.T) {
+	c := newCluster(t, AstroII, 4, func(types.ClientID) types.Amount { return 0 })
+	// A raw endpoint at a replica-space NodeID with NO registry entry.
+	mux := transport.NewMux(c.net.Node(transport.ReplicaNode(17)))
+	t.Cleanup(mux.Close)
+	msgs := make(chan []byte, 8)
+	mux.Register(transport.ChanCredit, func(_ transport.NodeID, p []byte) { msgs <- p })
+
+	bobGroup := []types.Payment{pay(1, 1, 2, 40)}
+	chain := []types.Digest{CreditGroupDigest(bobGroup)}
+	_, ref := c.creditRefFrom(t, 0, chain, []creditBatchGroup{{ChainIdx: 0, Group: bobGroup}})
+	for _, msg := range [][]byte{encodeCreditChainDef(chain), ref} {
+		if err := mux.Send(transport.ReplicaNode(2), transport.ChanCredit, msg); err != nil {
+			t.Fatal(err)
+		}
+	}
+	select {
+	case m := <-msgs:
+		t.Fatalf("unknown sender got a reply (kind %d)", m[0])
+	case <-time.After(200 * time.Millisecond):
+	}
+	r := c.replicas[2]
+	r.chainMu.Lock()
+	cached := r.creditChains.HasPeer(17)
+	r.chainMu.Unlock()
+	if cached {
+		t.Fatal("unknown sender allocated a chain cache")
+	}
+	if st := r.CreditRefStats(); st.RefMisses != 0 || st.NacksSent != 0 {
+		t.Fatalf("unknown sender's reference was processed: %+v", st)
+	}
+}
+
+// TestCreditRefEvictionNacks: with the per-peer cache shrunk to one chain,
+// a second definition evicts the first and a reference to the evicted
+// chain NACKs — the eviction leg of the fallback.
+func TestCreditRefEvictionNacks(t *testing.T) {
+	c := newCluster(t, AstroII, 4, func(types.ClientID) types.Amount { return 0 })
+	c.replicas[2].creditChains.SetCapacity(1) // before any credit traffic
+	tap, msgs := c.creditTap(t, 9)
+
+	bobGroup := []types.Payment{pay(1, 1, 2, 40)}
+	chainA := []types.Digest{CreditGroupDigest(bobGroup)}
+	chainB := []types.Digest{types.HashBytes([]byte("other"))}
+	_, ref := c.creditRefFrom(t, 0, chainA, []creditBatchGroup{{ChainIdx: 0, Group: bobGroup}})
+
+	for _, chain := range [][]types.Digest{chainA, chainB} {
+		if err := tap.Send(transport.ReplicaNode(2), transport.ChanCredit, encodeCreditChainDef(chain)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tap.Send(transport.ReplicaNode(2), transport.ChanCredit, ref); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case m := <-msgs:
+		if m[0] != msgCreditNack {
+			t.Fatalf("kind = %d, want CREDITNACK", m[0])
+		}
+		if d, _ := decodeCreditNack(m[1:]); d != CreditChainDigest(chainA) {
+			t.Fatal("NACK names the wrong chain")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("no CREDITNACK after eviction")
+	}
+}
+
+// TestCreditNackRetransmitsLegacyBatch: a signer answering a CREDITNACK
+// must resend the retained wave's groups for that destination as a
+// self-contained legacy CREDITBATCH.
+func TestCreditNackRetransmitsLegacyBatch(t *testing.T) {
+	c := newCluster(t, AstroII, 4, func(types.ClientID) types.Amount { return 0 })
+	tap, msgs := c.creditTap(t, 9)
+
+	group := []types.Payment{pay(1, 1, 2, 40)}
+	chain := []types.Digest{CreditGroupDigest(group)}
+	cd := CreditChainDigest(chain)
+	sig, err := c.keys[0].Sign(cd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Retain a wave at replica 0 whose single group is addressed to the
+	// tap's "representative", then NACK it from the tap.
+	c.replicas[0].retainCreditWave(cd, retainedWave{chain: chain, sig: sig, jobs: []creditJob{{rep: 9, group: group}}})
+	if err := tap.Send(transport.ReplicaNode(0), transport.ChanCredit, encodeCreditNack(cd)); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case m := <-msgs:
+		if m[0] != msgCreditBatch {
+			t.Fatalf("kind = %d, want legacy CREDITBATCH", m[0])
+		}
+		got, err := decodeCreditBatch(m[1:])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Signer != 0 || len(got.Chain) != 1 || got.Chain[0] != chain[0] || len(got.Groups) != 1 || got.Groups[0].Group[0] != group[0] {
+			t.Fatalf("retransmit mangled: %+v", got)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("no legacy retransmit after CREDITNACK")
+	}
+	// A NACK for an unretained (evicted) wave is silently dropped.
+	if err := tap.Send(transport.ReplicaNode(0), transport.ChanCredit, encodeCreditNack(types.HashBytes([]byte("gone")))); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case m := <-msgs:
+		t.Fatalf("unexpected reply to unknown NACK: kind %d", m[0])
+	case <-time.After(200 * time.Millisecond):
+	}
+}
+
+// TestDepCertInterning: the interned certificate form stores each distinct
+// chain once — k signers over one chain cost one table entry — while the
+// round trip preserves every signature's chain content (shared backing on
+// decode) and plain signatures stay chain-less.
+func TestDepCertInterning(t *testing.T) {
+	chainShared := []types.Digest{types.HashBytes([]byte("g1")), types.HashBytes([]byte("g2"))}
+	chainOther := []types.Digest{types.HashBytes([]byte("g3"))}
+	d := Dependency{
+		Group: []types.Payment{pay(9, 1, 3, 5)},
+		Cert: DepCert{Sigs: []DepSig{
+			{Replica: 0, Sig: []byte("s0"), Chain: chainShared},
+			{Replica: 1, Sig: []byte("s1"), Chain: chainShared},
+			{Replica: 2, Sig: []byte("s2"), Chain: chainOther},
+			{Replica: 3, Sig: []byte("s3")},
+		}},
+	}
+
+	w := wire.NewWriter(dependencySize(d))
+	encodeDependency(w, d)
+	if w.Len() != dependencySize(d) {
+		t.Fatalf("encoded %d bytes, size function says %d", w.Len(), dependencySize(d))
+	}
+	// The two copies of chainShared must be encoded once: the certificate
+	// section carries exactly table(2 digests + 1 digest) + 4 sig records,
+	// strictly less than the extended form's per-signature inline chains.
+	certBytes := w.Len() - (4 + len(d.Group)*types.PaymentWireSize + 1)
+	interned := 4 + wire.DigestListSize(2) + wire.DigestListSize(1) +
+		4 + 4*(4+4+2+4)
+	extended := 4 + 4*(4+4+2) + 2*wire.DigestListSize(2) + wire.DigestListSize(1) + wire.DigestListSize(0)
+	if certBytes != interned {
+		t.Fatalf("interned cert = %d bytes, want %d", certBytes, interned)
+	}
+	if certBytes >= extended {
+		t.Fatalf("interned cert (%d B) not smaller than extended (%d B)", certBytes, extended)
+	}
+
+	back, err := decodeDependency(wire.NewReader(w.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sigs := back.Cert.Sigs
+	if len(sigs) != 4 {
+		t.Fatalf("cert has %d sigs", len(sigs))
+	}
+	if len(sigs[0].Chain) != 2 || sigs[0].Chain[0] != chainShared[0] || len(sigs[2].Chain) != 1 || sigs[3].Chain != nil {
+		t.Fatalf("chains mangled: %+v", sigs)
+	}
+	// Interning survives decode: the two shared-chain signatures alias one
+	// backing array.
+	if &sigs[0].Chain[0] != &sigs[1].Chain[0] {
+		t.Fatal("decoded shared chains do not alias one table entry")
+	}
+
+	// The extended form still decodes (legacy producers).
+	lw := wire.NewWriter(256)
+	lw.U32(uint32(len(d.Group)))
+	for _, p := range d.Group {
+		lw.AppendFunc(p.AppendBinary)
+	}
+	lw.U8(depCertExtended)
+	lw.U32(2)
+	lw.U32(0)
+	lw.Chunk([]byte("s0"))
+	appendDigestChain(lw, chainShared)
+	lw.U32(3)
+	lw.Chunk([]byte("s3"))
+	appendDigestChain(lw, nil)
+	legacy, err := decodeDependency(wire.NewReader(lw.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(legacy.Cert.Sigs) != 2 || len(legacy.Cert.Sigs[0].Chain) != 2 || legacy.Cert.Sigs[1].Chain != nil {
+		t.Fatalf("extended form no longer decodes: %+v", legacy.Cert.Sigs)
+	}
+}

@@ -197,13 +197,94 @@ func VerifyDependency(
 
 // Dependency wire form: the group, then a certificate-kind byte selecting
 // the compact all-plain encoding (crypto.Certificate's shape: no chain
-// fields) or the extended per-signature chain form. The kind byte itself
-// is a PR 3 wire revision — every node of a deployment must run a build
-// that understands it.
+// fields), the extended per-signature chain form, or — PR 4 — the
+// interned form, which factors the certificate's distinct chains into a
+// table encoded once and has each signature reference its chain by table
+// index. Settlement waves are deterministic per delivery (postSettle
+// enqueues groups in representative order over replica-deterministic
+// settle results), so when replicas' wave boundaries align the k signers
+// of a certificate sign byte-identical chains and the table holds ONE
+// chain where the extended form repeated it k times. The kind bytes are
+// wire revisions (PR 3 introduced the byte, PR 4 the interned kind) —
+// every node of a deployment must run a build that understands them; the
+// extended form remains decodable.
 const (
 	depCertPlain    byte = 0
 	depCertExtended byte = 1
+	depCertInterned byte = 2
 )
+
+// noChainIdx marks a single-group (chain-less) signature in the interned
+// certificate form.
+const noChainIdx = ^uint32(0)
+
+// sameChain reports chain equality with a pointer fast path: the chain
+// interning cache (creditref.go) hands every DepSig of one signer the same
+// backing slice, so most table hits compare one address.
+func sameChain(a, b []types.Digest) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	if len(a) > 0 && &a[0] == &b[0] {
+		return true
+	}
+	return slices.Equal(a, b)
+}
+
+// depChainTable collects the certificate's distinct chains, and each
+// signature's index into the table (noChainIdx for plain signatures).
+// Certificates are small (f+1-ish signatures, chains interned to shared
+// backings), so the dedup scan is a handful of pointer compares.
+func depChainTable(c DepCert) (table [][]types.Digest, idx []uint32) {
+	idx = make([]uint32, len(c.Sigs))
+	for i, ps := range c.Sigs {
+		if ps.Chain == nil {
+			idx[i] = noChainIdx
+			continue
+		}
+		found := -1
+		for t, ch := range table {
+			if sameChain(ch, ps.Chain) {
+				found = t
+				break
+			}
+		}
+		if found < 0 {
+			found = len(table)
+			table = append(table, ps.Chain)
+		}
+		idx[i] = uint32(found)
+	}
+	return table, idx
+}
+
+// depChainTableBytes is the sizing-pass companion of depChainTable: the
+// encoded size of the distinct-chain table, computed without allocating
+// the per-signature index slice (exact-capacity encoding is two-pass
+// everywhere in this package — see batchSize — so the dedup scan runs in
+// both passes; this keeps the sizing pass allocation-free for up to eight
+// distinct chains).
+func depChainTableBytes(c DepCert) (n int) {
+	var stack [8][]types.Digest
+	table := stack[:0]
+	for _, ps := range c.Sigs {
+		if ps.Chain == nil {
+			continue
+		}
+		dup := false
+		for _, ch := range table {
+			if sameChain(ch, ps.Chain) {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			table = append(table, ps.Chain)
+			n += wire.DigestListSize(len(ps.Chain))
+		}
+	}
+	return n
+}
 
 // maxDepSigs bounds decoded certificate sizes (mirrors crypto's
 // maxCertSigs): no deployment here exceeds a few hundred replicas, and a
@@ -224,9 +305,10 @@ func dependencySize(d Dependency) int {
 		}
 		return n
 	}
+	n += 4 + depChainTableBytes(d.Cert)
 	n += 4
 	for _, ps := range d.Cert.Sigs {
-		n += 4 + 4 + len(ps.Sig) + 4 + len(ps.Chain)*32
+		n += 4 + 4 + len(ps.Sig) + 4
 	}
 	return n
 }
@@ -246,41 +328,28 @@ func encodeDependency(w *wire.Writer, d Dependency) {
 		}
 		return
 	}
-	w.U8(depCertExtended)
+	table, idx := depChainTable(d.Cert)
+	w.U8(depCertInterned)
+	w.U32(uint32(len(table)))
+	for _, ch := range table {
+		appendDigestChain(w, ch)
+	}
 	w.U32(uint32(len(d.Cert.Sigs)))
-	for _, ps := range d.Cert.Sigs {
+	for i, ps := range d.Cert.Sigs {
 		w.U32(uint32(ps.Replica))
 		w.Chunk(ps.Sig)
-		appendDigestChain(w, ps.Chain)
+		w.U32(idx[i])
 	}
 }
 
+// appendDigestChain and decodeDigestChain are the credit-side digest-list
+// codec: the shared wire layout with the credit chain-length cap applied.
 func appendDigestChain(w *wire.Writer, chain []types.Digest) {
-	w.U32(uint32(len(chain)))
-	for _, d := range chain {
-		w.Bytes32(d)
-	}
+	wire.AppendDigestList(w, chain)
 }
 
 func decodeDigestChain(r *wire.Reader) ([]types.Digest, error) {
-	n := r.U32()
-	if err := r.Err(); err != nil {
-		return nil, err
-	}
-	if n > maxCreditChain {
-		return nil, fmt.Errorf("dependency: chain of %d exceeds cap", n)
-	}
-	if n == 0 {
-		return nil, nil
-	}
-	chain := make([]types.Digest, n)
-	for i := range chain {
-		chain[i] = r.Bytes32()
-	}
-	if err := r.Err(); err != nil {
-		return nil, err
-	}
-	return chain, nil
+	return wire.ReadDigestList[types.Digest](r, maxCreditChain)
 }
 
 // maxGroup bounds decoded group sizes (defense against hostile input).
@@ -335,6 +404,46 @@ func decodeDependency(r *wire.Reader) (Dependency, error) {
 			chain, err := decodeDigestChain(r)
 			if err != nil {
 				return d, err
+			}
+			d.Cert.Sigs = append(d.Cert.Sigs, DepSig{Replica: id, Sig: sig, Chain: chain})
+		}
+	case depCertInterned:
+		// ns is the chain-table length here (bounded above); the signature
+		// count follows the table. Decoded signatures referencing one
+		// table entry share its slice, so the interning survives the round
+		// trip in memory too.
+		table := make([][]types.Digest, ns)
+		for i := range table {
+			chain, err := decodeDigestChain(r)
+			if err != nil {
+				return d, err
+			}
+			if len(chain) == 0 {
+				return d, fmt.Errorf("dependency: empty chain in table")
+			}
+			table[i] = chain
+		}
+		nSigs := r.U32()
+		if err := r.Err(); err != nil {
+			return d, err
+		}
+		if nSigs > maxDepSigs {
+			return d, fmt.Errorf("dependency: cert of %d signatures exceeds cap", nSigs)
+		}
+		d.Cert.Sigs = make([]DepSig, 0, nSigs)
+		for i := uint32(0); i < nSigs; i++ {
+			id := types.ReplicaID(r.U32())
+			sig := r.Chunk()
+			ci := r.U32()
+			if err := r.Err(); err != nil {
+				return d, err
+			}
+			var chain []types.Digest
+			if ci != noChainIdx {
+				if int(ci) >= len(table) {
+					return d, fmt.Errorf("dependency: chain index %d out of table range %d", ci, len(table))
+				}
+				chain = table[ci]
 			}
 			d.Cert.Sigs = append(d.Cert.Sigs, DepSig{Replica: id, Sig: sig, Chain: chain})
 		}

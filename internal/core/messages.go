@@ -90,9 +90,24 @@ func encodeSeqResp(c types.ClientID, s types.Seq) []byte {
 // form; a CREDITBATCH carries one signature over a hash chain of group
 // digests — the settlement-wave batching — together with the subset of the
 // wave's groups addressed to the destination representative.
+//
+// The chain-reference forms (PR 4) split the CREDITBATCH in two: the chain
+// itself travels once per destination as a CREDITCHAINDEF (content-
+// addressed — the receiver recomputes the chain digest and caches the
+// chain per sending replica), and the per-wave CREDITREF carries only the
+// 32-byte chain digest, the shared signature, and the destination's groups
+// with their chain indices. A receiver that cannot resolve the digest —
+// evicted, or never seen — answers with a CREDITNACK naming it, and the
+// signer retransmits the wave as a self-contained legacy CREDITBATCH from
+// its bounded retransmit buffer. The chain is thus encoded once per wave
+// (shared scratch) and crosses the wire at most once per destination, and
+// a cache miss degrades to the PR 3 encoding instead of losing the CREDIT.
 const (
-	msgCreditSingle byte = 1
-	msgCreditBatch  byte = 2
+	msgCreditSingle   byte = 1
+	msgCreditBatch    byte = 2
+	msgCreditChainDef byte = 3
+	msgCreditRef      byte = 4
+	msgCreditNack     byte = 5
 )
 
 // CREDIT message (transport.ChanCredit): a settling replica's signed
@@ -209,6 +224,132 @@ func decodeCreditBatch(payload []byte) (creditBatchMsg, error) {
 		return m, err
 	}
 	return m, nil
+}
+
+// creditChainDefSize is the exact size of a CREDITCHAINDEF message.
+func creditChainDefSize(chain []types.Digest) int {
+	return 1 + wire.DigestListSize(len(chain))
+}
+
+func appendCreditChainDef(w *wire.Writer, chain []types.Digest) {
+	w.U8(msgCreditChainDef)
+	wire.AppendDigestList(w, chain)
+}
+
+// encodeCreditChainDef encodes a chain definition for the credit channel.
+func encodeCreditChainDef(chain []types.Digest) []byte {
+	w := wire.NewWriter(creditChainDefSize(chain))
+	appendCreditChainDef(w, chain)
+	return w.Bytes()
+}
+
+// decodeCreditChainDef parses a CREDITCHAINDEF payload after its kind
+// byte. Defined chains are bounded by the cap an honest wave drain
+// produces, not the looser certificate bound.
+func decodeCreditChainDef(payload []byte) ([]types.Digest, error) {
+	r := wire.NewReader(payload)
+	chain, err := wire.ReadDigestList[types.Digest](r, creditChainCap)
+	if err != nil {
+		return nil, err
+	}
+	if len(chain) == 0 {
+		return nil, fmt.Errorf("credit chain def: empty chain")
+	}
+	if err := r.Finish(); err != nil {
+		return nil, err
+	}
+	return chain, nil
+}
+
+// creditRefMsg is the chain-referencing form of a CREDITBATCH: same
+// signer, signature, and groups, but the chain is named by digest.
+type creditRefMsg struct {
+	Signer      types.ReplicaID
+	ChainDigest types.Digest
+	Sig         []byte
+	Groups      []creditBatchGroup
+}
+
+func creditRefSize(m creditRefMsg) int {
+	n := 1 + 4 + 32 + 4 + len(m.Sig) + 4
+	for _, g := range m.Groups {
+		n += 4 + 4 + len(g.Group)*types.PaymentWireSize
+	}
+	return n
+}
+
+func appendCreditRef(w *wire.Writer, m creditRefMsg) {
+	w.U8(msgCreditRef)
+	w.U32(uint32(m.Signer))
+	w.Bytes32(m.ChainDigest)
+	w.Chunk(m.Sig)
+	w.U32(uint32(len(m.Groups)))
+	for _, g := range m.Groups {
+		w.U32(g.ChainIdx)
+		appendPaymentGroup(w, g.Group)
+	}
+}
+
+func encodeCreditRef(m creditRefMsg) []byte {
+	w := wire.NewWriter(creditRefSize(m))
+	appendCreditRef(w, m)
+	return w.Bytes()
+}
+
+// decodeCreditRef parses a CREDITREF payload after its kind byte. Chain
+// indices are bounded against the chain cap here; the receiver re-checks
+// them against the resolved chain's actual length.
+func decodeCreditRef(payload []byte) (creditRefMsg, error) {
+	var m creditRefMsg
+	r := wire.NewReader(payload)
+	m.Signer = types.ReplicaID(r.U32())
+	m.ChainDigest = r.Bytes32()
+	m.Sig = r.Chunk()
+	ng := r.U32()
+	if err := r.Err(); err != nil {
+		return m, err
+	}
+	if ng == 0 || ng > creditChainCap {
+		return m, fmt.Errorf("credit ref: bad group count %d", ng)
+	}
+	m.Groups = make([]creditBatchGroup, 0, ng)
+	for i := uint32(0); i < ng; i++ {
+		idx := r.U32()
+		if err := r.Err(); err != nil {
+			return m, err
+		}
+		if idx >= creditChainCap {
+			return m, fmt.Errorf("credit ref: chain index %d out of range", idx)
+		}
+		group, err := decodePaymentGroup(r)
+		if err != nil {
+			return m, err
+		}
+		m.Groups = append(m.Groups, creditBatchGroup{ChainIdx: idx, Group: group})
+	}
+	if err := r.Finish(); err != nil {
+		return m, err
+	}
+	return m, nil
+}
+
+// creditNackSize is the exact size of a CREDITNACK message.
+const creditNackSize = 1 + 32
+
+func encodeCreditNack(missing types.Digest) []byte {
+	w := wire.NewWriter(creditNackSize)
+	w.U8(msgCreditNack)
+	w.Bytes32(missing)
+	return w.Bytes()
+}
+
+func decodeCreditNack(payload []byte) (types.Digest, error) {
+	r := wire.NewReader(payload)
+	d := r.Bytes32()
+	if err := r.Finish(); err != nil {
+		return types.Digest{}, err
+	}
+	return d, nil
 }
 
 func appendPaymentGroup(w *wire.Writer, group []types.Payment) {

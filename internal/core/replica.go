@@ -51,6 +51,15 @@ type Replica struct {
 	repMu          sync.Mutex
 	buffer         []BatchEntry
 	flushScheduled bool
+	// sendQ holds taken batches awaiting Broadcast, and sending marks the
+	// single active drainer (the deliverQ pattern): queue position under
+	// repMu — not the later Broadcast call — fixes the global broadcast
+	// order, so concurrent flushers (payment dispatch, delivery, credit
+	// completions) cannot reorder one client's payments between take and
+	// send, and a failed Broadcast retries from the queue front without
+	// anything newer overtaking it.
+	sendQ   [][]BatchEntry
+	sending bool
 	// myInflight counts own batches broadcast but not yet self-delivered.
 	// Batching is self-clocked: when nothing is in flight, submissions
 	// flush immediately (low-load latency); while a batch is in flight,
@@ -87,13 +96,23 @@ type Replica struct {
 	// group hashing) runs pool-side, never on a delivery goroutine.
 	creditSigner *verifier.ChainSigner[creditJob]
 
+	// Chain-by-digest reference state for the credit channel (see
+	// creditref.go): per-peer caches of defined chains (receiver, doubling
+	// as the chain interning table) and the bounded retransmit buffer
+	// answering CREDITNACKs.
+	chainMu        sync.Mutex
+	creditChains   *types.PeerCache[[]types.Digest]
+	creditWaves    *types.LRU[types.Digest, retainedWave]
+	creditRefStats types.RefCounters
+
 	// endorsement memory for the BRB external-validity hook; separate
 	// lock because the hook is called from inside the BRB layer.
 	endorsedMu sync.Mutex
 	endorsed   map[types.PaymentID]types.Digest
 
-	settledTotal   atomic.Uint64
-	confirmedTotal atomic.Uint64
+	settledTotal      atomic.Uint64
+	confirmedTotal    atomic.Uint64
+	broadcastFailures atomic.Uint64
 }
 
 // creditKey is the cheap accumulator-lookup key for a credit group: first
@@ -179,6 +198,8 @@ func NewReplica(cfg Config) (*Replica, error) {
 	// queue, not to unrelated channels).
 	cfg.Mux.Register(transport.ChanLocal, r.onLocal, transport.SerializeWith(transport.ChanPayment))
 	if cfg.Version == AstroII {
+		r.creditChains = types.NewPeerCache[[]types.Digest](creditChainCacheEntries)
+		r.creditWaves = types.NewLRU[types.Digest, retainedWave](creditChainCacheEntries)
 		r.creditSigner = verifier.NewChainSigner(cfg.Verifier, creditChainCap, verifier.DefaultChainThreshold, r.sendCreditSingle, r.sendCreditChain)
 		// Seed the sign-cost estimate so the first loaded wave already
 		// knows whether chain batching pays off with these keys.
@@ -468,9 +489,8 @@ func (r *Replica) afterBufferLocked() {
 	if schedule {
 		r.flushScheduled = true
 	}
-	var batches [][]BatchEntry
 	if flushNow {
-		batches = r.takeBatchesLocked()
+		r.sendQ = append(r.sendQ, r.takeBatchesLocked()...)
 	}
 	r.repMu.Unlock()
 
@@ -480,7 +500,7 @@ func (r *Replica) afterBufferLocked() {
 			_ = r.cfg.Mux.SendLocal([]byte{localFlush})
 		})
 	}
-	r.broadcastBatches(batches)
+	r.drainBroadcasts()
 }
 
 // takeBatchesLocked drains the buffer into batches of at most BatchSize
@@ -500,15 +520,51 @@ func (r *Replica) takeBatchesLocked() [][]BatchEntry {
 	return out
 }
 
-func (r *Replica) broadcastBatches(batches [][]BatchEntry) {
-	for _, b := range batches {
-		if _, err := r.bc.Broadcast(EncodeBatch(b)); err != nil {
-			// Broadcast can only fail on local misconfiguration, caught
-			// at construction; losing a batch here would be a bug.
-			panic(fmt.Sprintf("replica %d: broadcast: %v", r.cfg.Self, err))
-		}
+// drainBroadcasts ships queued batches to the BRB layer, in queue order,
+// with one active drainer at a time. Neither shipped Broadcaster can fail
+// after construction (both only enqueue), but the interface allows it —
+// and a future implementation that can fail transiently must not crash a
+// node mid-settlement (the pre-PR4 behavior was a panic). A failure
+// leaves the batch at the queue front — nothing newer can overtake it, so
+// per-client FIFO is preserved by construction — counts it, and retries
+// on the batch timer; the in-flight charge stays in place, since the
+// batch is still on its way to broadcast.
+func (r *Replica) drainBroadcasts() {
+	r.repMu.Lock()
+	if r.sending {
+		r.repMu.Unlock()
+		return // the active drainer will pick up what we queued
 	}
+	r.sending = true
+	for len(r.sendQ) > 0 {
+		b := r.sendQ[0]
+		r.repMu.Unlock()
+		_, err := r.bc.Broadcast(EncodeBatch(b))
+		r.repMu.Lock()
+		if err != nil {
+			r.broadcastFailures.Add(1)
+			r.sending = false
+			schedule := !r.flushScheduled
+			if schedule {
+				r.flushScheduled = true
+			}
+			r.repMu.Unlock()
+			if schedule {
+				time.AfterFunc(r.cfg.BatchDelay, func() {
+					_ = r.cfg.Mux.SendLocal([]byte{localFlush})
+				})
+			}
+			return
+		}
+		r.sendQ = r.sendQ[1:]
+	}
+	r.sending = false
+	r.repMu.Unlock()
 }
+
+// BroadcastFailures reports how many times the broadcaster rejected a
+// batch and the replica fell back to queue-and-retry.
+func (r *Replica) BroadcastFailures() uint64 { return r.broadcastFailures.Load() }
 
 // onLocal handles self-addressed timer events.
 func (r *Replica) onLocal(_ transport.NodeID, payload []byte) {
@@ -517,9 +573,9 @@ func (r *Replica) onLocal(_ transport.NodeID, payload []byte) {
 	}
 	r.repMu.Lock()
 	r.flushScheduled = false
-	batches := r.takeBatchesLocked()
+	r.sendQ = append(r.sendQ, r.takeBatchesLocked()...)
 	r.repMu.Unlock()
-	r.broadcastBatches(batches)
+	r.drainBroadcasts()
 }
 
 // onDeliver is the BRB delivery callback: approve and settle the batch —
@@ -531,7 +587,7 @@ func (r *Replica) onDeliver(origin types.ReplicaID, _ uint64, payload []byte) {
 		return // validated before endorsement; cannot happen from correct peers
 	}
 	r.screenDependencies(entries)
-	var nextBatches [][]BatchEntry
+	drain := false
 	if origin == r.cfg.Self {
 		r.repMu.Lock()
 		if r.myInflight > 0 {
@@ -539,13 +595,16 @@ func (r *Replica) onDeliver(origin types.ReplicaID, _ uint64, payload []byte) {
 			// Self-clocked batching: the wire is free again; ship what
 			// accumulated while the previous batch was in flight.
 			if r.myInflight == 0 && len(r.buffer) > 0 {
-				nextBatches = r.takeBatchesLocked()
+				r.sendQ = append(r.sendQ, r.takeBatchesLocked()...)
+				drain = true
 			}
 		}
 		r.repMu.Unlock()
 	}
 	r.postSettle(r.settleEntries(entries))
-	r.broadcastBatches(nextBatches)
+	if drain {
+		r.drainBroadcasts()
+	}
 }
 
 // settleEntries applies a delivered batch to the state, fanning the
@@ -661,9 +720,19 @@ func (r *Replica) postSettle(settled []types.Payment) {
 	// sub-batches, not as payments. The chain signer then collapses the
 	// groups pending across settlement waves into one signature per
 	// drain pass, and hashes/signs pool-side, off this delivery
-	// goroutine.
-	for rep, group := range groups {
-		r.creditSigner.Enqueue(creditJob{rep: rep, group: group})
+	// goroutine. Enqueue in ascending representative order: group
+	// contents are already replica-deterministic, so a deterministic
+	// order makes the whole wave chain replica-deterministic too — when
+	// replicas' wave boundaries align, their chains are byte-identical
+	// and the dependency-certificate interning table collapses the k
+	// signers' chains into one encoding (deps.go).
+	reps := make([]types.ReplicaID, 0, len(groups))
+	for rep := range groups {
+		reps = append(reps, rep)
+	}
+	slices.Sort(reps)
+	for _, rep := range reps {
+		r.creditSigner.Enqueue(creditJob{rep: rep, group: groups[rep]})
 	}
 }
 
@@ -681,8 +750,14 @@ func (r *Replica) sendCreditSingle(j creditJob) {
 
 // sendCreditChain signs a whole settlement wave of credit groups with one
 // signature over the chain of group digests, and sends each destination
-// representative the chain plus its groups (ChainSigner flush callback).
-func (r *Replica) sendCreditChain(jobs []creditJob) {
+// representative a reference to the chain plus its groups (ChainSigner
+// flush callback). The chain itself is encoded exactly once, into the
+// wave's pooled scratch, and crosses the wire only to destinations that
+// have not seen it (CREDITCHAINDEF ahead of the CREDITREF on the same
+// FIFO channel); the wave is retained so a CREDITNACK — an evicted or
+// never-seen reference — degrades to the self-contained legacy
+// CREDITBATCH instead of losing the CREDIT.
+func (r *Replica) sendCreditChain(jobs []creditJob, wave *verifier.Wave) {
 	chain := make([]types.Digest, len(jobs))
 	for i, j := range jobs {
 		chain[i] = CreditGroupDigest(j.group)
@@ -692,22 +767,47 @@ func (r *Replica) sendCreditChain(jobs []creditJob) {
 	if err != nil {
 		return
 	}
+	r.retainCreditWave(cd, retainedWave{chain: chain, sig: sig, jobs: jobs})
 	byRep := make(map[types.ReplicaID][]creditBatchGroup)
 	for i, j := range jobs {
 		byRep[j.rep] = append(byRep[j.rep], creditBatchGroup{ChainIdx: uint32(i), Group: j.group})
 	}
+	def := wave.Scratch(creditChainDefSize(chain))
+	appendCreditChainDef(def, chain)
 	for rep, gs := range byRep {
-		msg := encodeCreditBatch(creditBatchMsg{Signer: r.cfg.Self, Chain: chain, Sig: sig, Groups: gs})
-		_ = r.cfg.Mux.Send(transport.ReplicaNode(rep), transport.ChanCredit, msg)
+		dest := transport.ReplicaNode(rep)
+		// Every wave's chain is new, so each destination needs exactly one
+		// definition — sent ahead of the reference on the FIFO channel (no
+		// cross-wave sent-set to consult; see creditref.go).
+		_ = r.cfg.Mux.Send(dest, transport.ChanCredit, def.Bytes())
+		r.creditRefStats.DefsSent.Add(1)
+		m := creditRefMsg{Signer: r.cfg.Self, ChainDigest: cd, Sig: sig, Groups: gs}
+		ref := wave.Scratch(creditRefSize(m))
+		appendCreditRef(ref, m)
+		_ = r.cfg.Mux.Send(dest, transport.ChanCredit, ref.Bytes())
+		r.creditRefStats.RefsSent.Add(1)
 	}
 }
 
 // onCredit routes the credit channel (paper Listing 10): single-group
-// CREDITs and chain-signed CREDITBATCHes both accumulate into dependency
-// certificates for this replica's clients — f+1 distinct signed approvals
-// from the spender's shard form a transferable dependency.
-func (r *Replica) onCredit(_ transport.NodeID, payload []byte) {
+// CREDITs, chain-signed CREDITBATCHes, and the chain-reference forms all
+// accumulate into dependency certificates for this replica's clients —
+// f+1 distinct signed approvals from the spender's shard form a
+// transferable dependency.
+func (r *Replica) onCredit(from transport.NodeID, payload []byte) {
 	if len(payload) == 0 {
+		return
+	}
+	// Only registered replicas originate credit traffic (credits cross
+	// shards, so the key registry — not this shard's peer list — is the
+	// membership test). The chain caches are keyed by the sender, each
+	// bounded individually, so no peer can pollute or evict another's
+	// definitions, and the registry bounds how many caches can exist.
+	if from >= transport.ClientNodeBase {
+		return
+	}
+	peer := types.ReplicaID(from)
+	if !r.cfg.Registry.Known(peer) {
 		return
 	}
 	switch payload[0] {
@@ -738,36 +838,80 @@ func (r *Replica) onCredit(_ transport.NodeID, payload []byte) {
 		if err != nil {
 			return
 		}
-		// Resolve each carried group against the signed chain: a group
-		// whose recomputed digest does not sit at its claimed chain index
-		// is not endorsed by the signature and is dropped.
-		var accepted []*creditState
-		for _, g := range m.Groups {
-			if !r.creditGroupInShard(m.Signer, g.Group) {
-				continue
-			}
-			cs := r.lookupCreditState(g.Group)
-			if cs == nil || cs.digest != m.Chain[g.ChainIdx] {
-				continue
-			}
-			accepted = append(accepted, cs)
-		}
-		if len(accepted) == 0 {
+		// Intern the chain (and remember it as defined by this peer, so a
+		// later reference to it — the NACK fallback re-primes the cache
+		// this way — resolves without another round trip).
+		cd := CreditChainDigest(m.Chain)
+		m.Chain = r.learnCreditChain(peer, cd, m.Chain)
+		r.acceptCreditBatch(m, cd)
+	case msgCreditChainDef:
+		chain, err := decodeCreditChainDef(payload[1:])
+		if err != nil {
 			return
 		}
-		// One ECDSA over the chain digest covers every accepted group;
-		// the verifier memo collapses re-deliveries and — at this
-		// replica — the same chain arriving for other groups.
-		cd := CreditChainDigest(m.Chain)
-		r.cfg.Verifier.VerifyReplicaDetached(r.cfg.Registry, m.Signer, cd, m.Sig, func(valid bool) {
-			if !valid {
-				return
-			}
-			for _, cs := range accepted {
-				r.creditVerified(cs, m.Signer, m.Sig, m.Chain)
-			}
-		})
+		r.learnCreditChain(peer, CreditChainDigest(chain), chain)
+	case msgCreditRef:
+		m, err := decodeCreditRef(payload[1:])
+		if err != nil {
+			return
+		}
+		chain, ok := r.knownCreditChain(peer, m.ChainDigest)
+		if !ok {
+			// Evicted or never seen: ask the sender to degrade this wave
+			// to the self-contained legacy form.
+			r.creditRefStats.RefMisses.Add(1)
+			_ = r.cfg.Mux.Send(from, transport.ChanCredit, encodeCreditNack(m.ChainDigest))
+			r.creditRefStats.NacksSent.Add(1)
+			return
+		}
+		r.creditRefStats.RefHits.Add(1)
+		// The cache is keyed by the locally recomputed digest, so the
+		// resolved chain is guaranteed to hash to m.ChainDigest — the
+		// signature check below needs no rehash.
+		r.acceptCreditBatch(creditBatchMsg{Signer: m.Signer, Chain: chain, Sig: m.Sig, Groups: m.Groups}, m.ChainDigest)
+	case msgCreditNack:
+		missing, err := decodeCreditNack(payload[1:])
+		if err != nil {
+			return
+		}
+		r.handleCreditNack(from, missing)
 	}
+}
+
+// acceptCreditBatch resolves a chain-signed wave's groups against the
+// chain and accumulates the endorsed ones: a group whose recomputed digest
+// does not sit at its claimed chain index is not endorsed by the signature
+// and is dropped. cd is CreditChainDigest(m.Chain), already computed by
+// every caller.
+func (r *Replica) acceptCreditBatch(m creditBatchMsg, cd types.Digest) {
+	var accepted []*creditState
+	for _, g := range m.Groups {
+		if int(g.ChainIdx) >= len(m.Chain) {
+			continue // reference form bounds indices only by the cap
+		}
+		if !r.creditGroupInShard(m.Signer, g.Group) {
+			continue
+		}
+		cs := r.lookupCreditState(g.Group)
+		if cs == nil || cs.digest != m.Chain[g.ChainIdx] {
+			continue
+		}
+		accepted = append(accepted, cs)
+	}
+	if len(accepted) == 0 {
+		return
+	}
+	// One ECDSA over the chain digest covers every accepted group; the
+	// verifier memo collapses re-deliveries and — at this replica — the
+	// same chain arriving for other groups.
+	r.cfg.Verifier.VerifyReplicaDetached(r.cfg.Registry, m.Signer, cd, m.Sig, func(valid bool) {
+		if !valid {
+			return
+		}
+		for _, cs := range accepted {
+			r.creditVerified(cs, m.Signer, m.Sig, m.Chain)
+		}
+	})
 }
 
 // creditGroupInShard checks that every spender of the group belongs to the

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"astro/internal/types"
+	"astro/internal/wire"
 )
 
 // ChainSigner is the reusable scheduling core of batch-level signing,
@@ -38,7 +39,7 @@ type ChainSigner[T any] struct {
 	maxBatch   int
 	threshold  time.Duration
 	flushOne   func(T)
-	flushChain func([]T)
+	flushChain func([]T, *Wave)
 
 	mu      sync.Mutex
 	pending []T
@@ -55,10 +56,42 @@ type ChainSigner[T any] struct {
 // chains engage only when the measured signing cost exceeds it.
 const DefaultChainThreshold = 10 * time.Microsecond
 
+// Wave is the per-flush scratch context handed to chain flush callbacks.
+// A chain flush fans one signature out to several destinations, and the
+// expensive part of that fan-out — serializing the chain — is identical
+// for every destination. Scratch hands the callback pooled writers whose
+// contents stay valid for the whole flush, so the callback encodes the
+// chain (and any other shared prefix) exactly once and reuses the bytes
+// per destination; the signer releases every scratch writer back to the
+// pool when the flush returns.
+type Wave struct {
+	scratch []*wire.Writer
+}
+
+// Scratch returns an empty pooled writer with at least the given capacity.
+// Its bytes remain valid until the flush callback returns; the caller must
+// NOT retain them (transports that copy are fine) and must not Release the
+// writer itself.
+func (wv *Wave) Scratch(capacity int) *wire.Writer {
+	w := wire.AcquireWriter(capacity)
+	wv.scratch = append(wv.scratch, w)
+	return w
+}
+
+// release returns every scratch writer to the pool (drain side, after the
+// flush callback returns).
+func (wv *Wave) release() {
+	for _, w := range wv.scratch {
+		w.Release()
+	}
+	wv.scratch = wv.scratch[:0]
+}
+
 // NewChainSigner creates a chain signer draining on v (nil selects the
 // shared Default pool). maxBatch caps how many items one signature covers;
-// threshold <= 0 selects DefaultChainThreshold.
-func NewChainSigner[T any](v *Verifier, maxBatch int, threshold time.Duration, flushOne func(T), flushChain func([]T)) *ChainSigner[T] {
+// threshold <= 0 selects DefaultChainThreshold. flushChain receives a Wave
+// whose Scratch writers let it build the shared per-wave encodings once.
+func NewChainSigner[T any](v *Verifier, maxBatch int, threshold time.Duration, flushOne func(T), flushChain func([]T, *Wave)) *ChainSigner[T] {
 	if v == nil {
 		v = Default()
 	}
@@ -134,6 +167,7 @@ func (s *ChainSigner[T]) Enqueue(item T) {
 // next pass accumulate more items, so the chain length — and with it the
 // per-item signing cost — tracks load automatically.
 func (s *ChainSigner[T]) drain() {
+	var wave Wave
 	for {
 		s.mu.Lock()
 		batch := s.pending
@@ -152,7 +186,8 @@ func (s *ChainSigner[T]) drain() {
 			if n == 1 {
 				s.flushOne(batch[0])
 			} else {
-				s.flushChain(batch[:n:n])
+				s.flushChain(batch[:n:n], &wave)
+				wave.release()
 			}
 			batch = batch[n:]
 		}

@@ -38,9 +38,16 @@ func newCollectSigner(t *testing.T, v *Verifier, lat time.Duration) *collectSign
 			c.singles = append(c.singles, item)
 			c.mu.Unlock()
 		},
-		func(items []int) {
+		func(items []int, wv *Wave) {
 			if _, err := c.cs.Sign(len(items), sign); err != nil {
 				t.Error(err)
+			}
+			// Exercise the per-wave scratch contract: bytes written before
+			// the flush returns stay intact across further Scratch calls.
+			w := wv.Scratch(8)
+			w.U32(uint32(len(items)))
+			if wv.Scratch(8); w.Len() != 4 {
+				t.Error("wave scratch clobbered")
 			}
 			c.mu.Lock()
 			c.chains = append(c.chains, items)
@@ -147,7 +154,7 @@ func TestChainSignerConcurrentEnqueue(t *testing.T) {
 			}
 			count.Add(1)
 		},
-		func(items []int) {
+		func(items []int, _ *Wave) {
 			if _, err := cs.Sign(len(items), func() ([]byte, error) { return nil, nil }); err != nil {
 				t.Error(err)
 			}

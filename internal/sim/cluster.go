@@ -206,6 +206,18 @@ func (c *AstroCluster) TotalSettled() uint64 {
 	return sum
 }
 
+// CreditRefStats aggregates the credit-channel chain-reference counters
+// across replicas (PR 4): defs/refs sent, reference cache hits/misses,
+// and NACK fallback traffic — the experiment harness samples it to report
+// how often the wire amortization engaged vs degraded to the legacy form.
+func (c *AstroCluster) CreditRefStats() core.CreditRefStats {
+	var sum core.CreditRefStats
+	for _, r := range c.Replicas {
+		sum.Add(r.CreditRefStats())
+	}
+	return sum
+}
+
 // Close shuts the deployment down: the network stops delivering, then
 // every mux's dispatch goroutines drain and exit.
 func (c *AstroCluster) Close() {

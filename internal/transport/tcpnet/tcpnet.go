@@ -48,6 +48,10 @@ type Config struct {
 	// RedialBackoff is the pause before re-dialing a failed peer.
 	// Zero means 250ms.
 	RedialBackoff time.Duration
+	// WriteTimeout bounds each frame write, so a peer that stops reading
+	// (dead process behind a live TCP window, full kernel buffers) fails
+	// the sender instead of blocking it forever. Zero means 10s.
+	WriteTimeout time.Duration
 }
 
 // Endpoint is a TCP-backed transport endpoint.
@@ -57,8 +61,12 @@ type Endpoint struct {
 
 	handler atomic.Pointer[transport.Handler]
 	inbox   chan inMsg
-	done    chan struct{}
-	closed  atomic.Bool
+	// handlerSet wakes the dispatch goroutine when SetHandler installs a
+	// handler, so frames parked during the New -> SetHandler window are
+	// delivered promptly even if nothing else arrives.
+	handlerSet chan struct{}
+	done       chan struct{}
+	closed     atomic.Bool
 
 	mu    sync.Mutex
 	conns map[transport.NodeID]*peerConn
@@ -74,9 +82,18 @@ type inMsg struct {
 	payload []byte
 }
 
+// peerConn is the per-peer outbound state. mu serializes frame writes and
+// guards the fields; it is NEVER held across a dial, a backoff sleep, or a
+// (deadline-bounded) write's retry path — one sender stuck establishing a
+// connection must not wedge every other goroutine sending to the peer.
+// Dialing is single-flight: the first sender that finds the conn down
+// dials while the others wait on dialDone, outside the lock.
 type peerConn struct {
-	mu   sync.Mutex
-	conn net.Conn
+	mu       sync.Mutex
+	conn     net.Conn
+	dialing  bool
+	dialDone chan struct{}
+	dialErr  error
 }
 
 // New creates an endpoint and, if cfg.Listen is non-empty, starts
@@ -88,12 +105,16 @@ func New(cfg Config) (*Endpoint, error) {
 	if cfg.RedialBackoff <= 0 {
 		cfg.RedialBackoff = 250 * time.Millisecond
 	}
+	if cfg.WriteTimeout <= 0 {
+		cfg.WriteTimeout = 10 * time.Second
+	}
 	e := &Endpoint{
-		cfg:   cfg,
-		inbox: make(chan inMsg, 1<<12),
-		done:  make(chan struct{}),
-		conns: make(map[transport.NodeID]*peerConn),
-		open:  make(map[net.Conn]struct{}),
+		cfg:        cfg,
+		inbox:      make(chan inMsg, 1<<12),
+		handlerSet: make(chan struct{}, 1),
+		done:       make(chan struct{}),
+		conns:      make(map[transport.NodeID]*peerConn),
+		open:       make(map[net.Conn]struct{}),
 	}
 	if cfg.Listen != "" {
 		ln, err := net.Listen("tcp", cfg.Listen)
@@ -120,8 +141,16 @@ func (e *Endpoint) Addr() net.Addr {
 // ID implements transport.Endpoint.
 func (e *Endpoint) ID() transport.NodeID { return e.cfg.Self }
 
-// SetHandler implements transport.Endpoint.
-func (e *Endpoint) SetHandler(h transport.Handler) { e.handler.Store(&h) }
+// SetHandler implements transport.Endpoint. Frames that arrived before the
+// handler was installed are parked by the dispatch goroutine and delivered
+// — in arrival order, ahead of newer traffic — once it is.
+func (e *Endpoint) SetHandler(h transport.Handler) {
+	e.handler.Store(&h)
+	select {
+	case e.handlerSet <- struct{}{}:
+	default: // a wake-up is already pending
+	}
+}
 
 // Close implements transport.Endpoint.
 func (e *Endpoint) Close() error {
@@ -159,16 +188,39 @@ func (e *Endpoint) untrack(c net.Conn) {
 	delete(e.open, c)
 }
 
+// maxParked bounds the frames buffered while no handler is installed (the
+// New -> SetHandler startup window). Beyond it, newest frames are dropped
+// — the pre-PR4 behavior, now reachable only if a handler is never set.
+const maxParked = 1 << 14
+
 func (e *Endpoint) dispatch() {
 	defer e.wg.Done()
+	var parked []inMsg
 	for {
+		var m inMsg
+		var have bool
 		select {
 		case <-e.done:
 			return
-		case m := <-e.inbox:
-			if h := e.handler.Load(); h != nil {
-				(*h)(m.from, m.payload)
+		case <-e.handlerSet:
+		case m = <-e.inbox:
+			have = true
+		}
+		h := e.handler.Load()
+		if h == nil {
+			// Startup race (frames arriving between New and SetHandler):
+			// park instead of dropping; the handlerSet wake-up flushes.
+			if have && len(parked) < maxParked {
+				parked = append(parked, m)
 			}
+			continue
+		}
+		for _, p := range parked {
+			(*h)(p.from, p.payload)
+		}
+		parked = nil
+		if have {
+			(*h)(m.from, m.payload)
 		}
 	}
 }
@@ -251,32 +303,125 @@ func (e *Endpoint) Send(to transport.NodeID, payload []byte) error {
 	binary.BigEndian.PutUint32(frame[4:8], uint32(e.cfg.Self))
 	copy(frame[8:], payload)
 
-	pc.mu.Lock()
-	defer pc.mu.Unlock()
+	var lastErr error
 	for attempt := 0; attempt < 2; attempt++ {
-		if pc.conn == nil {
-			addr := e.cfg.Peers[to]
-			conn, err := net.DialTimeout("tcp", addr, e.cfg.DialTimeout)
-			if err != nil {
-				return fmt.Errorf("tcpnet dial %d@%s: %w", to, addr, err)
-			}
-			if !e.track(conn) {
-				_ = conn.Close()
+		if attempt > 0 {
+			// Backoff before the redial — outside every lock, so other
+			// senders to this peer (and Close) are never wedged behind it.
+			select {
+			case <-time.After(e.cfg.RedialBackoff):
+			case <-e.done:
 				return ErrClosed
 			}
-			pc.conn = conn
-			e.wg.Add(1)
-			go e.readLoop(conn, false) // replies may arrive on this conn
 		}
-		if _, err := pc.conn.Write(frame); err != nil {
-			_ = pc.conn.Close()
+		// A connection replaced between attach and the locked write (a
+		// concurrent sender redialed, or a learned route reconnected) is
+		// not a failure — a live conn exists — so re-attach immediately
+		// without spending the attempt or the backoff; the bound only
+		// stops a pathological churn loop.
+		for replaced := 0; replaced < 4; replaced++ {
+			conn, err := e.attach(pc, to)
+			if err != nil {
+				lastErr = err
+				break
+			}
+			pc.mu.Lock()
+			if pc.conn != conn {
+				pc.mu.Unlock()
+				lastErr = fmt.Errorf("tcpnet send to %d: connection churn", to)
+				continue
+			}
+			// The deadline bounds how long a stalled peer (live TCP
+			// window, dead reader) can hold pc.mu through this write.
+			_ = conn.SetWriteDeadline(time.Now().Add(e.cfg.WriteTimeout))
+			_, werr := conn.Write(frame)
+			if werr == nil {
+				pc.mu.Unlock()
+				return nil
+			}
 			pc.conn = nil
-			time.Sleep(e.cfg.RedialBackoff)
-			continue
+			pc.mu.Unlock()
+			_ = conn.Close()
+			lastErr = werr
+			break
 		}
-		return nil
 	}
-	return fmt.Errorf("tcpnet send to %d: connection failed", to)
+	return fmt.Errorf("tcpnet send to %d: %w", to, lastErr)
+}
+
+// attach returns a live connection to the peer, dialing if necessary. The
+// dial runs outside pc.mu and is single-flight: concurrent senders that
+// find the connection down wait for the one in-flight dial instead of
+// stacking up behind a lock (the pre-PR4 bug: pc.mu was held across
+// net.DialTimeout and the backoff sleep, wedging every sender to the peer
+// — including Mux dispatch goroutines — behind one failed dial).
+func (e *Endpoint) attach(pc *peerConn, to transport.NodeID) (net.Conn, error) {
+	for {
+		pc.mu.Lock()
+		if pc.conn != nil {
+			conn := pc.conn
+			pc.mu.Unlock()
+			return conn, nil
+		}
+		if e.closed.Load() {
+			pc.mu.Unlock()
+			return nil, ErrClosed
+		}
+		if !pc.dialing {
+			addr, known := e.cfg.Peers[to]
+			if !known {
+				// A learned route (inbound-only peer) whose connection
+				// died: nothing to dial until the peer reconnects.
+				pc.mu.Unlock()
+				return nil, fmt.Errorf("%w: %d (learned route lost)", ErrUnknownPeer, to)
+			}
+			pc.dialing = true
+			done := make(chan struct{})
+			pc.dialDone = done
+			pc.mu.Unlock()
+
+			conn, err := net.DialTimeout("tcp", addr, e.cfg.DialTimeout)
+			if err != nil {
+				err = fmt.Errorf("tcpnet dial %d@%s: %w", to, addr, err)
+			} else if !e.track(conn) {
+				_ = conn.Close()
+				conn, err = nil, ErrClosed
+			}
+
+			pc.mu.Lock()
+			pc.dialing = false
+			pc.dialDone = nil
+			pc.dialErr = err
+			if err == nil {
+				pc.conn = conn
+				e.wg.Add(1)
+				go e.readLoop(conn, false) // replies may arrive on this conn
+			}
+			pc.mu.Unlock()
+			close(done)
+			if err != nil {
+				return nil, err
+			}
+			return conn, nil
+		}
+		// Another sender is dialing: wait for its verdict off the lock.
+		done := pc.dialDone
+		pc.mu.Unlock()
+		select {
+		case <-done:
+		case <-e.done:
+			return nil, ErrClosed
+		}
+		pc.mu.Lock()
+		if pc.conn == nil && pc.dialErr != nil {
+			err := pc.dialErr
+			pc.mu.Unlock()
+			return nil, err
+		}
+		pc.mu.Unlock()
+		// Either the dial succeeded (fast path on re-entry) or the state
+		// already moved on (connection written to and torn down); retry.
+	}
 }
 
 func (e *Endpoint) peer(to transport.NodeID) *peerConn {

@@ -1,0 +1,283 @@
+package tcpnet
+
+// Liveness regression tests for the PR 4 transport fixes: the startup
+// parking of pre-handler frames, dial/backoff outside the per-peer lock
+// (concurrent senders during peer death and redial), write deadlines
+// against stalled readers, learned-route supersession on reconnect, and
+// clean Close with sends in flight. The whole file is exercised under
+// -race by the Makefile's race target.
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"astro/internal/transport"
+)
+
+// TestTCPEarlyFramesParkedUntilHandler: frames arriving between New and
+// SetHandler must not be dropped — they are parked and delivered, in
+// order, once the handler is installed.
+func TestTCPEarlyFramesParkedUntilHandler(t *testing.T) {
+	a, b := pair(t)
+	const n = 5
+	for i := 0; i < n; i++ {
+		if err := a.Send(2, []byte(fmt.Sprintf("early-%d", i))); err != nil {
+			t.Fatalf("send %d: %v", i, err)
+		}
+	}
+	// Let the frames reach b's dispatch goroutine before any handler
+	// exists (the pre-PR4 code dropped them here).
+	time.Sleep(150 * time.Millisecond)
+
+	ch := make(chan string, n)
+	b.SetHandler(func(_ transport.NodeID, p []byte) { ch <- string(p) })
+	for i := 0; i < n; i++ {
+		select {
+		case m := <-ch:
+			if want := fmt.Sprintf("early-%d", i); m != want {
+				t.Fatalf("parked frame %d = %q, want %q (order lost)", i, m, want)
+			}
+		case <-time.After(3 * time.Second):
+			t.Fatalf("parked frame %d never delivered", i)
+		}
+	}
+	// Later traffic flows behind the flushed backlog.
+	if err := a.Send(2, []byte("late")); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case m := <-ch:
+		if m != "late" {
+			t.Fatalf("got %q", m)
+		}
+	case <-time.After(3 * time.Second):
+		t.Fatal("post-handler frame lost")
+	}
+}
+
+// TestTCPConcurrentSendDuringPeerDeath: when the peer dies, concurrent
+// senders must all fail (or succeed) promptly and independently — the dial
+// and redial backoff run outside the per-peer lock, and the dial is
+// single-flight. Afterwards, a peer reborn on the same address is reached
+// again.
+func TestTCPConcurrentSendDuringPeerDeath(t *testing.T) {
+	a, b := pair(t)
+	addr := b.Addr().String()
+	if err := a.Send(2, []byte("warm-up")); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	const senders = 8
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i := 0; i < senders; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			// Errors are expected while the peer is down; what must not
+			// happen is senders serializing behind one another's dial
+			// attempts and backoff sleeps.
+			_ = a.Send(2, []byte(fmt.Sprintf("dead-%d", i)))
+		}(i)
+	}
+	wg.Wait()
+	// One write failure + one backoff + one failed redial bounds each
+	// sender; serialized behind a shared lock this would multiply by the
+	// sender count.
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("concurrent sends to a dead peer took %v", elapsed)
+	}
+
+	// Rebirth on the same address: redial reaches the new process.
+	b2, err := New(Config{Self: 2, Listen: addr, Peers: map[transport.NodeID]string{}})
+	if err != nil {
+		t.Fatalf("reborn endpoint: %v", err)
+	}
+	t.Cleanup(func() { _ = b2.Close() })
+	ch := make(chan string, 1)
+	b2.SetHandler(func(_ transport.NodeID, p []byte) { ch <- string(p) })
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if err := a.Send(2, []byte("reborn")); err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("send to reborn peer never succeeded")
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	select {
+	case m := <-ch:
+		if m != "reborn" {
+			t.Fatalf("got %q", m)
+		}
+	case <-time.After(3 * time.Second):
+		t.Fatal("reborn peer never received")
+	}
+}
+
+// TestTCPWriteDeadlineUnblocksStalledPeer: a peer that accepts the
+// connection but never reads must not hold Send (and with it the per-peer
+// lock) forever — the write deadline fails the sender.
+func TestTCPWriteDeadlineUnblocksStalledPeer(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	stop := make(chan struct{})
+	defer close(stop)
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func(c net.Conn) { <-stop; _ = c.Close() }(conn) // never read
+		}
+	}()
+
+	a, err := New(Config{
+		Self:          1,
+		Peers:         map[transport.NodeID]string{2: ln.Addr().String()},
+		WriteTimeout:  200 * time.Millisecond,
+		RedialBackoff: 10 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = a.Close() })
+
+	// Pump more frames than the kernel can buffer (loopback blocks within
+	// a few MiB). Without the write deadline, the first write that fills
+	// the buffers would block Send — holding the per-peer lock — forever;
+	// with it, every Send returns (an error, or success after the
+	// deadline-triggered teardown and redial). The only failure mode is
+	// the pump wedging.
+	payload := make([]byte, 1<<20)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 64; i++ {
+			_ = a.Send(2, payload)
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(60 * time.Second):
+		t.Fatal("Send wedged on a stalled peer despite the write deadline")
+	}
+}
+
+// TestTCPLearnedRouteSupersession: a peer with no configured address is
+// reachable through its inbound connection; when it reconnects (client
+// process restart), the NEWEST connection wins, including while the old
+// one is still open.
+func TestTCPLearnedRouteSupersession(t *testing.T) {
+	srv, err := New(Config{Self: 1, Listen: "127.0.0.1:0", Peers: map[transport.NodeID]string{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = srv.Close() })
+	srv.SetHandler(func(transport.NodeID, []byte) {})
+	addr := srv.Addr().String()
+	const clientID = transport.ClientNodeBase + 7
+
+	newClient := func() (*Endpoint, chan string) {
+		c, err := New(Config{Self: clientID, Peers: map[transport.NodeID]string{1: addr}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ch := make(chan string, 16)
+		c.SetHandler(func(_ transport.NodeID, p []byte) { ch <- string(p) })
+		return c, ch
+	}
+
+	c1, ch1 := newClient()
+	t.Cleanup(func() { _ = c1.Close() })
+	if err := c1.Send(1, []byte("hello-1")); err != nil {
+		t.Fatal(err)
+	}
+	waitReply := func(ch chan string, want string) bool {
+		deadline := time.Now().Add(5 * time.Second)
+		for {
+			if err := srv.Send(clientID, []byte(want)); err == nil {
+				select {
+				case m := <-ch:
+					if m == want {
+						return true
+					}
+				case <-time.After(100 * time.Millisecond):
+				}
+			}
+			if time.Now().After(deadline) {
+				return false
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+	if !waitReply(ch1, "reply-1") {
+		t.Fatal("first client never reachable via learned route")
+	}
+
+	// Second client, same identity, c1 still open: the newer connection
+	// supersedes the route.
+	c2, ch2 := newClient()
+	t.Cleanup(func() { _ = c2.Close() })
+	if err := c2.Send(1, []byte("hello-2")); err != nil {
+		t.Fatal(err)
+	}
+	if !waitReply(ch2, "reply-2") {
+		t.Fatal("reconnected client never took over the learned route")
+	}
+
+	// After the superseded client dies, the route must stay with c2 (the
+	// eviction of c1's connection must not clear c2's newer one).
+	_ = c1.Close()
+	time.Sleep(100 * time.Millisecond)
+	if !waitReply(ch2, "reply-3") {
+		t.Fatal("route lost after the superseded connection closed")
+	}
+}
+
+// TestTCPCloseWithInflightSends: Close must return promptly and without
+// races while senders are mid-Send, and sends after Close must error.
+func TestTCPCloseWithInflightSends(t *testing.T) {
+	a, b := pair(t)
+	b.SetHandler(func(transport.NodeID, []byte) {})
+	var stopped atomic.Bool
+	var wg sync.WaitGroup
+	for i := 0; i < 6; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !stopped.Load() {
+				_ = a.Send(2, []byte("inflight"))
+			}
+		}()
+	}
+	time.Sleep(50 * time.Millisecond)
+
+	closed := make(chan struct{})
+	go func() {
+		_ = a.Close()
+		close(closed)
+	}()
+	select {
+	case <-closed:
+	case <-time.After(10 * time.Second):
+		t.Fatal("Close wedged behind in-flight sends")
+	}
+	stopped.Store(true)
+	wg.Wait()
+	if err := a.Send(2, []byte("x")); err == nil {
+		t.Fatal("send after close succeeded")
+	}
+}

@@ -51,9 +51,11 @@ type Endpoint interface {
 	// protocols that need a self-sent timer event serialized with a
 	// message handler bind the two channels with Mux's SerializeWith.
 	Send(to NodeID, payload []byte) error
-	// SetHandler installs the inbound message handler. It must be called
-	// before any message can be delivered; messages arriving earlier are
-	// dropped.
+	// SetHandler installs the inbound message handler. No message is
+	// delivered before it is called; implementations buffer frames that
+	// arrive earlier (tcpnet parks them and flushes, in arrival order, on
+	// installation) or may drop them, so protocols must still install the
+	// handler before expecting traffic.
 	SetHandler(h Handler)
 	// Close detaches the endpoint. Further Sends fail.
 	Close() error

@@ -117,6 +117,45 @@ func (w *Writer) String(s string) {
 	w.buf = append(w.buf, s...)
 }
 
+// DigestListSize is the exact encoded size of a digest list of length n.
+func DigestListSize(n int) int { return 4 + 32*n }
+
+// AppendDigestList appends a uint32 count followed by the 32-byte digests.
+// It is generic over the digest type so protocol packages can pass their
+// own named [32]byte types (types.Digest) without copying. The digest-chain
+// wire forms of the chain-reference protocol (CHAINDEF, extended
+// certificates) all share this layout.
+func AppendDigestList[D ~[32]byte](w *Writer, ds []D) {
+	w.U32(uint32(len(ds)))
+	for _, d := range ds {
+		w.buf = append(w.buf, d[:]...)
+	}
+}
+
+// ReadDigestList consumes a digest list of at most max entries. A zero
+// count decodes as nil.
+func ReadDigestList[D ~[32]byte](r *Reader, max int) ([]D, error) {
+	n := r.U32()
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	if int(n) > max {
+		return nil, fmt.Errorf("%w: digest list of %d (cap %d)", ErrTooLong, n, max)
+	}
+	if n == 0 {
+		return nil, nil
+	}
+	ds := make([]D, n)
+	for i := range ds {
+		b := r.take(32)
+		if b == nil {
+			return nil, r.Err()
+		}
+		copy(ds[i][:], b)
+	}
+	return ds, nil
+}
+
 // Reader consumes an encoded message. Methods record the first error and
 // become no-ops afterwards; check Err (or use Finish) once at the end.
 type Reader struct {
