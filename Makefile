@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race bench bench-pr2 bench-pr3 bench-pr4 profile check verify
+.PHONY: all build test vet race bench bench-pr2 bench-pr3 bench-pr4 bench-pr5 profile check verify
 
 all: check
 
@@ -18,12 +18,12 @@ test:
 vet:
 	$(GO) vet ./...
 
-# Race-detector pass over the sharded transport dispatch and the
+# Race-detector pass over the lane scheduler, transport dispatch, and the
 # crypto/broadcast/payment hot path — the packages with cross-goroutine
-# completions and per-channel dispatch (including the PR 4 chain-reference
-# caches and the tcpnet dial/redial liveness tests).
+# completions, flow stealing, and per-channel dispatch (including the PR 4
+# chain-reference caches and the tcpnet dial/redial liveness tests).
 race:
-	$(GO) test -race ./internal/types/... ./internal/transport/... ./internal/crypto/... ./internal/brb/... ./internal/core/...
+	$(GO) test -race ./internal/sched/... ./internal/types/... ./internal/transport/... ./internal/crypto/... ./internal/brb/... ./internal/core/...
 
 # Headline benchmarks: parallel certificate verification, signed BRB, and
 # the end-to-end ECDSA settlement path.
@@ -51,6 +51,14 @@ bench-pr3:
 # Regenerates BENCH_PR4.json.
 bench-pr4:
 	sh scripts/bench_pr4.sh BENCH_PR4.json
+
+# PR 5 evidence: the three concurrency substrates on the unified lane
+# scheduler vs their dedicated-goroutine baselines — sharded-goroutine vs
+# lane dispatch (transport), spawn-per-delivery vs pinned-stripe settle
+# fan-out (core), worker-pool vs lane verify (crypto) — plus the 1-core
+# end-to-end time guards. Regenerates BENCH_PR5.json.
+bench-pr5:
+	sh scripts/bench_pr5.sh BENCH_PR5.json
 
 # Mutex-contention profile of the settlement engine: runs the striped
 # settle benchmark with mutex profiling and prints the top contended

@@ -11,6 +11,7 @@ import (
 
 	"astro/internal/crypto"
 	"astro/internal/crypto/verifier"
+	"astro/internal/sched"
 	"astro/internal/transport"
 	"astro/internal/types"
 )
@@ -52,10 +53,20 @@ type Config struct {
 	BatchDelay time.Duration
 	// StateStripes is the number of hash-sharded lock domains the
 	// settlement state is split into: payments touching disjoint stripes
-	// settle concurrently across the sharded dispatch goroutines. 0
-	// selects DefaultStateStripes; 1 keeps the pre-striping single global
-	// lock (the measured contention baseline).
+	// settle concurrently across the scheduler lanes. 0 selects
+	// DefaultStateStripes; 1 keeps the pre-striping single global lock
+	// (the measured contention baseline).
 	StateStripes int
+	// Sched is the lane runtime the settlement stripe fan-out executes
+	// on: each stripe is pinned to a lane-affine flow, so the steady-state
+	// settle path spawns zero goroutines per delivery. Nil selects the
+	// process-wide shared runtime (sched.Default()) — the same lanes
+	// transport dispatch and the verifier run on.
+	Sched *sched.Runtime
+	// SettleSpawn restores the PR 3 behavior of spawning one goroutine
+	// per stripe group per delivered batch, as the measured baseline for
+	// the pinned-stripe lanes (BENCH_PR5).
+	SettleSpawn bool
 
 	// Auth supplies MAC link authentication for Astro I's broadcast.
 	Auth *crypto.LinkAuthenticator
@@ -122,6 +133,9 @@ func (c *Config) normalize() error {
 	}
 	if c.StateStripes <= 0 {
 		c.StateStripes = DefaultStateStripes
+	}
+	if c.Sched == nil {
+		c.Sched = sched.Default()
 	}
 	if c.Verifier == nil {
 		c.Verifier = verifier.Default()

@@ -9,6 +9,7 @@ import (
 
 	"astro/internal/brb"
 	"astro/internal/crypto/verifier"
+	"astro/internal/sched"
 	"astro/internal/transport"
 	"astro/internal/types"
 )
@@ -110,10 +111,20 @@ type Replica struct {
 	endorsedMu sync.Mutex
 	endorsed   map[types.PaymentID]types.Digest
 
+	// stripeFlows pin each settlement stripe to a lane-affine flow of the
+	// configured scheduler runtime (nil in spawn-baseline mode or with a
+	// single stripe, where fan-out is pointless).
+	stripeFlows []*sched.Flow
+
 	settledTotal      atomic.Uint64
 	confirmedTotal    atomic.Uint64
 	broadcastFailures atomic.Uint64
 }
+
+// stripeFlowQueue bounds each stripe flow's queue: deep enough for the
+// stripe tasks of many in-flight deliveries, shallow enough that a stalled
+// stripe backpressures its deliverers instead of buffering unboundedly.
+const stripeFlowQueue = 256
 
 // creditKey is the cheap accumulator-lookup key for a credit group: first
 // payment identifier plus group length. Buckets are disambiguated by full
@@ -168,6 +179,21 @@ func NewReplica(cfg Config) (*Replica, error) {
 	// critical section). State therefore trusts the deps it is handed.
 	r.state = NewStateStriped(cfg.Version, cfg.Genesis, nil, cfg.StateStripes)
 
+	// Pin each settlement stripe to a lane-affine flow on the shared
+	// runtime: a stripe's settle tasks execute in FIFO order on one lane
+	// at a time (per-spender FIFO falls out, since a spender maps to one
+	// stripe), with no goroutine spawned per delivery. The round-robin
+	// flow homes spread the stripes across lanes; work-stealing rebalances
+	// when deliveries load stripes unevenly. Config.SettleSpawn keeps the
+	// old spawn-per-delivery fan-out as the measured baseline.
+	if !cfg.SettleSpawn && r.state.Stripes() > 1 {
+		ns := cfg.Sched.KeySpace()
+		r.stripeFlows = make([]*sched.Flow, r.state.Stripes())
+		for i := range r.stripeFlows {
+			r.stripeFlows[i] = cfg.Sched.Flow(ns+uint64(i), stripeFlowQueue)
+		}
+	}
+
 	bcfg := brb.Config{
 		Mux:       cfg.Mux,
 		Self:      cfg.Self,
@@ -219,6 +245,18 @@ const creditChainCap = 32
 
 // ID returns the replica's identity.
 func (r *Replica) ID() types.ReplicaID { return r.cfg.Self }
+
+// Close releases the replica's scheduler resources — its stripe flows'
+// registrations on the (shared, long-lived) runtime. The caller must
+// guarantee no further deliveries reach this replica (close the mux or
+// the network first); harnesses that build many replicas per process
+// (simulations, tests) call it so the shared runtime's flow registry
+// does not grow without bound. Safe to call more than once.
+func (r *Replica) Close() {
+	for _, fl := range r.stripeFlows {
+		fl.Release()
+	}
+}
 
 // SettledCount returns the number of payments this replica has settled;
 // the experiment harness samples it to build throughput timelines.
@@ -611,10 +649,18 @@ func (r *Replica) onDeliver(origin types.ReplicaID, _ uint64, payload []byte) {
 // entries out across the state's stripes so disjoint accounts settle
 // concurrently. One spender's entries always map to one stripe and are
 // applied there in batch order, and the BRB layer delivers batches of one
-// origin serially — so per-spender FIFO is exactly preserved. The merged
-// result lists every settlement in entry order (per-entry results are
-// deterministic across replicas; the CREDIT groups derived from them must
-// hash identically everywhere for f+1 accumulation to succeed).
+// origin serially with settleEntries completing before the next delivery
+// — so every spender's stripe tasks are enqueued (and, per-flow FIFO,
+// executed) in batch order: per-spender FIFO is exactly preserved, even
+// with lane stealing enabled. The merged result lists every settlement in
+// entry order (per-entry results are deterministic across replicas; the
+// CREDIT groups derived from them must hash identically everywhere for
+// f+1 accumulation to succeed).
+//
+// In the default mode each stripe group is submitted to the stripe's
+// pinned flow — persistent lane workers, zero goroutines spawned per
+// delivery — and the deliverer runs stealable verification work while it
+// waits. Config.SettleSpawn restores the spawn-per-delivery baseline.
 func (r *Replica) settleEntries(entries []BatchEntry) []types.Payment {
 	if len(entries) == 0 {
 		return nil
@@ -639,26 +685,54 @@ func (r *Replica) settleEntries(entries []BatchEntry) []types.Payment {
 		return serial()
 	}
 	results := make([][]types.Payment, len(entries))
-	var wg sync.WaitGroup
 	run := func(idxs []int) {
 		for _, i := range idxs {
 			results[i] = r.state.ApplyEntry(entries[i])
 		}
 	}
-	var own []int
-	for _, idxs := range groups {
-		if own == nil {
-			own = idxs // the delivery goroutine settles one stripe itself
-			continue
+	if r.stripeFlows == nil {
+		// Spawn-per-delivery baseline (Config.SettleSpawn).
+		var wg sync.WaitGroup
+		var own []int
+		for _, idxs := range groups {
+			if own == nil {
+				own = idxs // the delivery goroutine settles one stripe itself
+				continue
+			}
+			wg.Add(1)
+			go func(idxs []int) {
+				defer wg.Done()
+				run(idxs)
+			}(idxs)
 		}
-		wg.Add(1)
-		go func(idxs []int) {
-			defer wg.Done()
-			run(idxs)
-		}(idxs)
+		run(own)
+		wg.Wait()
+	} else {
+		// Pinned-stripe lanes: one task per stripe group, on the stripe's
+		// flow. The deliverer must not return before the wave completes
+		// (the next delivery's enqueues define per-spender FIFO), so it
+		// waits — draining its own stripe flows and stealing verifier work
+		// meanwhile. Draining its own flows is what makes the wait safe
+		// from ANY calling context: Bracha delivers on a dispatch lane,
+		// and a lane blocked here must be able to finish its own wave
+		// rather than depend on the other lanes being free (stripe tasks
+		// are pure state application — they never block or re-enter).
+		done := make(chan struct{})
+		var pending atomic.Int32
+		pending.Store(int32(len(groups)))
+		flows := make([]*sched.Flow, 0, len(groups))
+		for si, idxs := range groups {
+			idxs := idxs
+			flows = append(flows, r.stripeFlows[si])
+			r.stripeFlows[si].Submit(func() {
+				run(idxs)
+				if pending.Add(-1) == 0 {
+					close(done)
+				}
+			})
+		}
+		r.cfg.Sched.HelpFlows(done, flows)
 	}
-	run(own)
-	wg.Wait()
 	var settled []types.Payment
 	for _, part := range results {
 		settled = append(settled, part...)

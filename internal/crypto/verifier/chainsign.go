@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"astro/internal/metrics"
 	"astro/internal/types"
 	"astro/internal/wire"
 )
@@ -45,9 +46,9 @@ type ChainSigner[T any] struct {
 	pending []T
 	signing bool
 
-	// costNs is the EWMA of observed signing latency; ops/covered are
+	// cost is the EWMA of observed signing latency; ops/covered are
 	// lifetime statistics (their ratio is the amortization factor).
-	costNs  atomic.Int64
+	cost    metrics.EWMA
 	ops     atomic.Uint64
 	covered atomic.Uint64
 }
@@ -113,7 +114,7 @@ func NewChainSigner[T any](v *Verifier, maxBatch int, threshold time.Duration, f
 // SeedCost initializes the signing-cost estimate (typically from one probe
 // signature at construction), so the first loaded drain already knows
 // whether chain batching pays off.
-func (s *ChainSigner[T]) SeedCost(d time.Duration) { s.costNs.Store(int64(d)) }
+func (s *ChainSigner[T]) SeedCost(d time.Duration) { s.cost.Set(d) }
 
 // Sign runs the protocol layer's signing primitive, folding its latency
 // into the cost EWMA and charging covered items against one signing
@@ -122,8 +123,7 @@ func (s *ChainSigner[T]) SeedCost(d time.Duration) { s.costNs.Store(int64(d)) }
 func (s *ChainSigner[T]) Sign(covered int, sign func() ([]byte, error)) ([]byte, error) {
 	start := time.Now()
 	sig, err := sign()
-	old := s.costNs.Load()
-	s.costNs.Store((7*old + int64(time.Since(start))) / 8)
+	s.cost.Observe(time.Since(start))
 	if err != nil {
 		return nil, err
 	}
@@ -180,7 +180,7 @@ func (s *ChainSigner[T]) drain() {
 		s.mu.Unlock()
 		for len(batch) > 0 {
 			n := 1 // cheap signer: chains would cost more than they save
-			if s.costNs.Load() >= int64(s.threshold) {
+			if s.cost.Value() >= s.threshold {
 				n = min(len(batch), s.maxBatch)
 			}
 			if n == 1 {

@@ -1,84 +1,64 @@
 package verifier
 
 import (
-	"container/list"
 	"sync"
+
+	"astro/internal/types"
 )
 
 // memoKeyT is a collision-resistant digest of (domain, signer, message
 // digest, signature); see memoKey.
 type memoKeyT [32]byte
 
-// memoCache is a small mutex-guarded LRU of signature verdicts. Both
-// outcomes are cached: verification is deterministic, so a signature that
-// failed once fails forever, and caching failures blunts repeated garbage
-// from a Byzantine peer as effectively as caching successes speeds up
-// re-delivered commits.
+// memoCache is a small mutex-guarded LRU of signature verdicts — a thin
+// synchronized wrapper over types.LRU, the repository's one eviction
+// implementation (the chain-reference caches of PR 4 use it bare, under
+// their owners' locks; the memo cache adds the lock because it is shared
+// by every worker).
+//
+// Both outcomes are cached: verification is deterministic, so a signature
+// that failed once fails forever, and caching failures blunts repeated
+// garbage from a Byzantine peer as effectively as caching successes
+// speeds up re-delivered commits.
 type memoCache struct {
-	capacity int
-
-	mu sync.Mutex
-	m  map[memoKeyT]*list.Element
-	ll *list.List // front = most recently used
-}
-
-type memoEntry struct {
-	key memoKeyT
-	ok  bool
+	mu  sync.Mutex
+	lru *types.LRU[memoKeyT, bool] // nil when caching is disabled
 }
 
 // newMemoCache returns a cache holding up to capacity verdicts; capacity
 // <= 0 disables caching (get always misses, put is a no-op).
 func newMemoCache(capacity int) *memoCache {
-	c := &memoCache{capacity: capacity}
+	c := &memoCache{}
 	if capacity > 0 {
-		c.m = make(map[memoKeyT]*list.Element, capacity)
-		c.ll = list.New()
+		c.lru = types.NewLRU[memoKeyT, bool](capacity)
 	}
 	return c
 }
 
 func (c *memoCache) get(k memoKeyT) (ok, hit bool) {
-	if c.capacity <= 0 {
+	if c.lru == nil {
 		return false, false
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	e, found := c.m[k]
-	if !found {
-		return false, false
-	}
-	c.ll.MoveToFront(e)
-	return e.Value.(*memoEntry).ok, true
+	return c.lru.Get(k)
 }
 
 func (c *memoCache) put(k memoKeyT, ok bool) {
-	if c.capacity <= 0 {
+	if c.lru == nil {
 		return
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if e, found := c.m[k]; found {
-		e.Value.(*memoEntry).ok = ok
-		c.ll.MoveToFront(e)
-		return
-	}
-	if c.ll.Len() >= c.capacity {
-		oldest := c.ll.Back()
-		if oldest != nil {
-			c.ll.Remove(oldest)
-			delete(c.m, oldest.Value.(*memoEntry).key)
-		}
-	}
-	c.m[k] = c.ll.PushFront(&memoEntry{key: k, ok: ok})
+	c.lru.Put(k, ok)
 }
 
 // len reports the number of cached verdicts (for tests).
 func (c *memoCache) len() int {
-	if c.capacity <= 0 {
+	if c.lru == nil {
 		return 0
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return c.ll.Len()
+	return c.lru.Len()
 }

@@ -1,35 +1,41 @@
-// Package verifier provides a worker-pool signature verifier for the
+// Package verifier provides the parallel signature verifier of the
 // BRB/payment hot path.
 //
 // Astro settles payments by merely broadcasting them, so end-to-end
 // throughput is dominated by ECDSA verification on the broadcast delivery
 // path (paper §VI-A amortizes it with 256-payment batches). Verifying
-// serially, inline on the single transport-dispatch goroutine, leaves all
-// but one core idle exactly where the system is CPU-bound. This package
-// supplies the standard remedy from the BFT literature — crypto
-// pipelining:
+// serially, inline on the transport dispatch path, leaves all but one
+// core idle exactly where the system is CPU-bound. This package supplies
+// the standard remedy from the BFT literature — crypto pipelining:
 //
-//   - a Verifier backed by GOMAXPROCS workers, with asynchronous
-//     (VerifyAsync, callbacks/futures) and batched (VerifyBatch,
-//     VerifyClientBatch) entry points, so protocol layers hand signature
-//     checks to the pool and re-enter their state machines on completion;
+//   - a Verifier with asynchronous (VerifyAsync, callbacks/futures) and
+//     batched (VerifyBatch, VerifyClientBatch) entry points, so protocol
+//     layers hand signature checks off and re-enter their state machines
+//     on completion;
 //   - a parallel VerifyCertificate that fans a quorum certificate's
-//     signatures across the workers and early-exits as soon as the
-//     threshold is confirmed or failure is certain;
+//     signatures out and early-exits as soon as the threshold is
+//     confirmed or failure is certain;
 //   - a bounded memoization cache keyed by (signer, digest, signature), so
 //     re-delivered commits, echoed acks, and an origin re-verifying its
 //     own aggregated certificate never pay ECDSA twice;
 //   - a blocking submission entry point (Async) for work that must never
-//     run on the caller — the BRB ack *sign* path hands its ECDSA to the
-//     pool from transport dispatch goroutines.
+//     run on the caller — the BRB ack *sign* path hands its ECDSA off
+//     from transport dispatch flows.
 //
-// A single worker (GOMAXPROCS=1) degrades gracefully: pooled calls run
-// serially but the memo cache still applies, so single-core hosts pay at
-// most a hash per duplicate check.
+// Execution rides a pluggable backend (see exec.go). The default is the
+// unified lane scheduler (internal/sched): verify/sign tasks are unkeyed,
+// stealable work on the same lanes that run transport dispatch and
+// settlement fan-out, and goroutines blocked on a Future lend themselves
+// to the lanes while they wait. The PR 1 dedicated worker pool survives
+// behind WithWorkerPool as the measured baseline and as an isolation
+// knob. A single worker degrades gracefully: calls run serially but the
+// memo cache still applies, so single-core hosts pay at most a hash per
+// duplicate check.
 //
-// Verifiers are safe for concurrent use. A process-wide shared pool is
-// available through Default; sharing one pool across every replica of an
-// in-process simulation matches the host's actual core count.
+// Verifiers are safe for concurrent use. A process-wide shared verifier
+// is available through Default; it executes on the shared lane runtime
+// (sched.Default()), so every replica of an in-process simulation sizes
+// its crypto to the host's actual core count.
 package verifier
 
 import (
@@ -41,19 +47,16 @@ import (
 	"sync/atomic"
 
 	"astro/internal/crypto"
+	"astro/internal/sched"
 	"astro/internal/types"
 )
 
-// Verifier is a worker-pool batch verifier with a bounded memo cache.
+// Verifier is a batch verifier with a bounded memo cache, executing on a
+// pluggable backend: lane runtime by default, dedicated worker pool as
+// the measured baseline (see exec.go).
 type Verifier struct {
-	workers int
-	tasks   chan func()
-	memo    *memoCache
-
-	// closeMu guards closed and the tasks channel against a concurrent
-	// Close; submit holds the read side only for the non-blocking enqueue.
-	closeMu sync.RWMutex
-	closed  bool
+	ex   executor
+	memo *memoCache
 
 	hits   atomic.Uint64
 	misses atomic.Uint64
@@ -68,7 +71,9 @@ const DefaultMemoSize = 8192
 type Option func(*options)
 
 type options struct {
-	memoSize int
+	memoSize   int
+	workerPool bool
+	runtime    *sched.Runtime
 }
 
 // WithMemoSize sets the memo-cache capacity. Zero disables memoization
@@ -77,25 +82,47 @@ func WithMemoSize(n int) Option {
 	return func(o *options) { o.memoSize = n }
 }
 
-// New creates a verifier backed by the given number of workers; workers <= 0
-// selects runtime.GOMAXPROCS(0).
+// WithWorkerPool selects the dedicated worker-pool backend (the PR 1–4
+// substrate: its own goroutines and task channel) instead of lanes. Kept
+// as the measured baseline for the lane scheduler and for callers that
+// want crypto isolated from dispatch.
+func WithWorkerPool() Option {
+	return func(o *options) { o.workerPool = true }
+}
+
+// WithRuntime runs the verifier's work on an existing lane runtime
+// instead of creating a private one; the runtime is shared, so Close does
+// not stop it. Overrides the worker count and WithWorkerPool.
+func WithRuntime(rt *sched.Runtime) Option {
+	return func(o *options) { o.runtime = rt }
+}
+
+// New creates a verifier backed by the given number of workers; workers
+// <= 0 sizes to the host (GOMAXPROCS, with the lane runtime's floor of
+// two). The default backend is a private lane runtime with exactly that
+// many lanes — a 1-worker verifier is fully serial, which wedge-style
+// fixtures rely on.
 func New(workers int, opts ...Option) *Verifier {
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
 	o := options{memoSize: DefaultMemoSize}
 	for _, opt := range opts {
 		opt(&o)
 	}
-	v := &Verifier{
-		workers: workers,
-		tasks:   make(chan func(), workers*128),
-		memo:    newMemoCache(o.memoSize),
+	var ex executor
+	switch {
+	case o.runtime != nil:
+		ex = newLaneExec(o.runtime, false)
+	case o.workerPool:
+		if workers <= 0 {
+			workers = runtime.GOMAXPROCS(0)
+		}
+		ex = newChanExec(workers)
+	default:
+		ex = newLaneExec(sched.New(workers), true)
 	}
-	for i := 0; i < workers; i++ {
-		go v.worker()
+	return &Verifier{
+		ex:   ex,
+		memo: newMemoCache(o.memoSize),
 	}
-	return v
 }
 
 var (
@@ -104,77 +131,56 @@ var (
 )
 
 // Default returns the process-wide shared verifier, creating it on first
-// use with GOMAXPROCS workers. It is never closed.
+// use over the shared lane runtime (sched.Default()) — verification and
+// signing ride the same lanes as transport dispatch and settlement
+// fan-out, sized once to the host. It is never closed.
 func Default() *Verifier {
-	defaultOnce.Do(func() { defaultPool = New(0) })
+	defaultOnce.Do(func() {
+		defaultPool = New(0, WithRuntime(sched.Default()))
+	})
 	return defaultPool
 }
 
-// Workers returns the pool size.
-func (v *Verifier) Workers() int { return v.workers }
+// Workers returns the backend's parallelism.
+func (v *Verifier) Workers() int { return v.ex.workers() }
 
 // MemoStats returns the lifetime memo-cache hit and miss counts.
 func (v *Verifier) MemoStats() (hits, misses uint64) {
 	return v.hits.Load(), v.misses.Load()
 }
 
-// Close stops the workers after the queued work drains. Submissions after
+// Close stops the backend after the queued work drains. Submissions after
 // Close (and submissions that find the queue full) run inline on the
-// caller, so no verification is ever lost. Close must not be called on the
-// Default pool.
+// caller, so no verification is ever lost. A shared lane runtime
+// (WithRuntime, Default) is not stopped — only this verifier's
+// submissions are. Close must not be called on the Default pool.
 func (v *Verifier) Close() {
-	v.closeMu.Lock()
-	defer v.closeMu.Unlock()
-	if !v.closed {
-		v.closed = true
-		close(v.tasks)
-	}
+	v.ex.close()
 }
 
-func (v *Verifier) worker() {
-	for f := range v.tasks {
+// submit runs f on the backend, or inline on the caller when the backend
+// is closed or saturated. Inline fallback keeps the system live under
+// overload (natural backpressure) and makes deadlock impossible: no
+// submitter ever blocks waiting for a worker.
+func (v *Verifier) submit(f func()) {
+	if !v.ex.trySubmit(f) {
 		f()
 	}
 }
 
-// submit runs f on the pool, or inline on the caller when the pool is
-// closed or its queue is full. Inline fallback keeps the system live under
-// overload (natural backpressure) and makes deadlock impossible: no
-// submitter ever blocks waiting for a worker.
-func (v *Verifier) submit(f func()) {
-	v.closeMu.RLock()
-	if !v.closed {
-		select {
-		case v.tasks <- f:
-			v.closeMu.RUnlock()
-			return
-		default:
-		}
-	}
-	v.closeMu.RUnlock()
-	f()
-}
-
-// submitBlocking runs f on the pool, blocking the caller until the task is
-// enqueued rather than falling back inline when the queue is full. It is
-// the entry point for work that must never execute on the calling
-// goroutine — BRB ack *signing* is handed off by transport dispatch
-// goroutines, and an inline ECDSA there would stall a whole channel's
-// delivery. Blocking instead is safe (workers never wait on dispatch
+// submitBlocking runs f on the backend, blocking the caller until the
+// task is enqueued rather than falling back inline when the queue is
+// full. It is the entry point for work that must never execute on the
+// calling goroutine — BRB ack *signing* is handed off from transport
+// dispatch flows, and an inline ECDSA there would stall a whole channel's
+// delivery. Blocking instead is safe (the backend never waits on dispatch
 // progress) and is itself the backpressure: a replica flooded with
 // prepares slows its reading of further prepares, not its other channels.
-// Only a closed pool degrades to running f on the caller.
+// Only a closed backend degrades to running f on the caller.
 func (v *Verifier) submitBlocking(f func()) {
-	v.closeMu.RLock()
-	if !v.closed {
-		// Holding the read lock across the send keeps Close (which closes
-		// the channel under the write lock) ordered after the enqueue.
-		v.tasks <- f
-		v.closeMu.RUnlock()
-		return
+	if !v.ex.submitBlocking(f) {
+		f()
 	}
-	v.closeMu.RUnlock()
-	f()
 }
 
 // Async schedules arbitrary work on the pool, blocking until enqueued
@@ -188,7 +194,7 @@ func (v *Verifier) Async(f func()) {
 
 // Future resolves to the result of an asynchronous verification.
 type Future struct {
-	v    *Verifier
+	ex   executor
 	done chan struct{}
 	ok   bool
 }
@@ -213,26 +219,16 @@ func resolvedFuture(ok bool) *Future {
 }
 
 // Wait blocks until the verification completes and reports its result.
-// While waiting, the caller lends itself to the pool as an extra worker,
-// so waiting on a future from inside a pool callback cannot deadlock.
+// While waiting, the caller lends itself to the backend as an extra
+// worker (running queued, stealable work), so waiting on a future from
+// inside a backend callback cannot deadlock.
 func (f *Future) Wait() bool {
-	if f.v == nil {
+	if f.ex == nil {
 		<-f.done
 		return f.ok
 	}
-	for {
-		select {
-		case <-f.done:
-			return f.ok
-		case t, open := <-f.v.tasks:
-			if !open {
-				// Pool closed: remaining work runs inline on submitters.
-				<-f.done
-				return f.ok
-			}
-			t()
-		}
-	}
+	f.ex.waitDone(f.done)
+	return f.ok
 }
 
 // VerifyAsync schedules an arbitrary boolean check on the pool. The
@@ -240,7 +236,7 @@ func (f *Future) Wait() bool {
 // goroutine, or on the caller when the pool degrades to inline execution).
 // No memoization is applied; use the typed entry points for that.
 func (v *Verifier) VerifyAsync(check func() bool, cb func(bool)) *Future {
-	f := &Future{v: v, done: make(chan struct{})}
+	f := &Future{ex: v.ex, done: make(chan struct{})}
 	v.submit(func() {
 		ok := check()
 		f.ok = ok
@@ -312,7 +308,7 @@ func (v *Verifier) verifyMemoizedAsync(k memoKeyT, check func() bool, cb func(bo
 		}
 		return resolvedFuture(ok)
 	}
-	f := &Future{v: v, done: make(chan struct{})}
+	f := &Future{ex: v.ex, done: make(chan struct{})}
 	v.submit(func() {
 		ok := check()
 		v.memo.put(k, ok)
@@ -374,7 +370,7 @@ type Check func() bool
 // every one of them passed. The first failure cancels checks that have not
 // started yet (they resolve as skipped, the batch as failed).
 func (v *Verifier) VerifyBatch(checks []Check) *Future {
-	f := &Future{v: v, done: make(chan struct{})}
+	f := &Future{ex: v.ex, done: make(chan struct{})}
 	n := len(checks)
 	if n == 0 {
 		f.ok = true
@@ -558,7 +554,7 @@ func (v *Verifier) VerifyCertificate(reg *crypto.Registry, cert crypto.Certifica
 
 	// Serial fast path: a single worker (or a near-resolved certificate)
 	// gains nothing from fan-out, so skip the scheduling overhead.
-	if v.workers == 1 || len(pending) <= 2 {
+	if v.ex.workers() == 1 || len(pending) <= 2 {
 		return v.certSerial(pending, verify, valid, invalid, badReplica, maxInvalid, threshold)
 	}
 
@@ -578,25 +574,10 @@ func (v *Verifier) VerifyCertificate(reg *crypto.Registry, cert crypto.Certifica
 		})
 	}
 	outstanding := len(pending)
-	helping := true
 	for outstanding > 0 {
-		var vt certVote
-		if helping {
-			// Help the pool while waiting, so a full queue cannot stall
-			// the coordinator behind its own unscheduled checks.
-			select {
-			case vt = <-votes:
-			case t, open := <-v.tasks:
-				if open {
-					t()
-				} else {
-					helping = false // pool closed; remaining work runs inline
-				}
-				continue
-			}
-		} else {
-			vt = <-votes
-		}
+		// awaitVote helps the backend while waiting, so a full queue
+		// cannot stall the coordinator behind its own unscheduled checks.
+		vt := v.ex.awaitVote(votes)
 		outstanding--
 		if vt.skipped {
 			continue

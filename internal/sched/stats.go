@@ -1,0 +1,94 @@
+package sched
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// LaneStats is one lane's observability snapshot.
+type LaneStats struct {
+	// Lane is the lane index.
+	Lane int
+	// RunnableFlows is the current length of the lane's flow run queue.
+	RunnableFlows int
+	// QueuedTasks is the current depth of the lane's unkeyed task queue.
+	QueuedTasks int
+	// Executed counts tasks (keyed and unkeyed) run on this lane.
+	Executed uint64
+	// Stolen counts flows and tasks this lane took from siblings.
+	Stolen uint64
+	// Latency is the submit→start queue-latency EWMA.
+	Latency time.Duration
+}
+
+// Stats is a runtime-wide observability snapshot.
+type Stats struct {
+	Lanes []LaneStats
+	// Executed and Stolen aggregate the per-lane counters.
+	Executed uint64
+	Stolen   uint64
+	// QueuedKeyed is the total depth across all registered flows (tasks
+	// accepted but not yet started).
+	QueuedKeyed int
+	// Flows is the number of registered flows.
+	Flows int
+}
+
+// Stats captures a snapshot of the runtime's lanes and flows. Counters
+// are monotone; depths are instantaneous.
+func (rt *Runtime) Stats() Stats {
+	s := Stats{Lanes: make([]LaneStats, len(rt.lanes))}
+	for i, ln := range rt.lanes {
+		ln.mu.Lock()
+		runnable := len(ln.runq)
+		ln.mu.Unlock()
+		ls := LaneStats{
+			Lane:          i,
+			RunnableFlows: runnable,
+			QueuedTasks:   len(ln.tasks),
+			Executed:      ln.executed.Load(),
+			Stolen:        ln.stolen.Load(),
+			Latency:       ln.latency.Value(),
+		}
+		s.Lanes[i] = ls
+		s.Executed += ls.Executed
+		s.Stolen += ls.Stolen
+	}
+	rt.flowMu.Lock()
+	s.Flows = len(rt.flows)
+	flows := make([]*Flow, 0, len(rt.flows))
+	for _, fl := range rt.flows {
+		flows = append(flows, fl)
+	}
+	rt.flowMu.Unlock()
+	for _, fl := range flows {
+		s.QueuedKeyed += fl.Depth()
+	}
+	return s
+}
+
+// Add accumulates another snapshot (the cluster harness aggregates the
+// runtimes of a multi-runtime deployment; with one shared runtime it is
+// the identity beyond the first).
+func (s *Stats) Add(o Stats) {
+	s.Executed += o.Executed
+	s.Stolen += o.Stolen
+	s.QueuedKeyed += o.QueuedKeyed
+	s.Flows += o.Flows
+	s.Lanes = append(s.Lanes, o.Lanes...)
+}
+
+// String summarizes the snapshot for logs and the experiment harness.
+func (s Stats) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "sched{lanes=%d flows=%d exec=%d stolen=%d queued=%d",
+		len(s.Lanes), s.Flows, s.Executed, s.Stolen, s.QueuedKeyed)
+	for _, ls := range s.Lanes {
+		fmt.Fprintf(&b, " L%d[q=%d/%d exec=%d steal=%d lat=%s]",
+			ls.Lane, ls.RunnableFlows, ls.QueuedTasks, ls.Executed, ls.Stolen,
+			ls.Latency.Round(time.Microsecond))
+	}
+	b.WriteString("}")
+	return b.String()
+}

@@ -15,6 +15,7 @@ import (
 	"astro/internal/core"
 	"astro/internal/crypto"
 	"astro/internal/crypto/verifier"
+	"astro/internal/sched"
 	"astro/internal/shard"
 	"astro/internal/transport"
 	"astro/internal/transport/memnet"
@@ -86,6 +87,7 @@ type AstroCluster struct {
 	repOf   func(types.ClientID) types.ReplicaID
 	clients map[types.ClientID]*core.Client
 	muxes   []*transport.Mux
+	rt      *sched.Runtime
 }
 
 // NewAstroCluster builds and starts a deployment.
@@ -104,9 +106,12 @@ func NewAstroCluster(opts AstroOpts) (*AstroCluster, error) {
 	}
 	net := networkFor(opts.Latency, opts.Bandwidth, opts.Seed)
 
-	// All replicas of the in-process deployment share one verification
-	// pool sized to the host: the simulation multiplexes every replica
-	// onto the same cores, so per-replica pools would only oversubscribe.
+	// All replicas of the in-process deployment share one lane runtime
+	// sized to the host — transport dispatch, settlement stripe fan-out,
+	// and the verification pool all execute on the same lanes: the
+	// simulation multiplexes every replica onto the same cores, so
+	// per-replica substrates would only oversubscribe.
+	rt := sched.Default()
 	ver := verifier.Default()
 
 	master := []byte("astro-sim-master")
@@ -139,11 +144,12 @@ func NewAstroCluster(opts AstroOpts) (*AstroCluster, error) {
 		Replicas: make(map[types.ReplicaID]*core.Replica),
 		repOf:    repOf,
 		clients:  make(map[types.ClientID]*core.Client),
+		rt:       rt,
 	}
 	for s := 0; s < opts.Topology.NumShards; s++ {
 		members := opts.Topology.Replicas(types.ShardID(s))
 		for _, id := range members {
-			mux := transport.NewMux(net.Node(transport.ReplicaNode(id)))
+			mux := transport.NewMux(net.Node(transport.ReplicaNode(id)), transport.WithRuntime(rt))
 			c.muxes = append(c.muxes, mux)
 			rep, err := core.NewReplica(core.Config{
 				Version:      opts.Version,
@@ -158,6 +164,7 @@ func NewAstroCluster(opts AstroOpts) (*AstroCluster, error) {
 				BatchSize:    opts.BatchSize,
 				BatchDelay:   opts.BatchDelay,
 				StateStripes: opts.StateStripes,
+				Sched:        rt,
 				Auth:         crypto.NewLinkAuthenticator(id, master),
 				Keys:         keys[id],
 				Registry:     registry,
@@ -206,6 +213,14 @@ func (c *AstroCluster) TotalSettled() uint64 {
 	return sum
 }
 
+// SchedStats snapshots the lane runtime the deployment executes on —
+// per-lane queue depths, executed/stolen task counts, and queue-latency
+// EWMAs. The experiment harness samples it to report how evenly dispatch,
+// settlement, and crypto work spread across the lanes.
+func (c *AstroCluster) SchedStats() sched.Stats {
+	return c.rt.Stats()
+}
+
 // CreditRefStats aggregates the credit-channel chain-reference counters
 // across replicas (PR 4): defs/refs sent, reference cache hits/misses,
 // and NACK fallback traffic — the experiment harness samples it to report
@@ -218,12 +233,16 @@ func (c *AstroCluster) CreditRefStats() core.CreditRefStats {
 	return sum
 }
 
-// Close shuts the deployment down: the network stops delivering, then
-// every mux's dispatch goroutines drain and exit.
+// Close shuts the deployment down: the network stops delivering, every
+// mux drains its in-flight handlers, and the replicas release their
+// scheduler flows (the lane runtime is shared and keeps running).
 func (c *AstroCluster) Close() {
 	c.Net.Close()
 	for _, m := range c.muxes {
 		m.Close()
+	}
+	for _, r := range c.Replicas {
+		r.Close()
 	}
 }
 

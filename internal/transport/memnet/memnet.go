@@ -6,8 +6,9 @@
 // cut to create partitions.
 //
 // Each endpoint delivers inbound messages through a single reader
-// goroutine; protocols layered through transport.Mux then fan out to one
-// dispatch goroutine per channel (see the Mux concurrency contract).
+// goroutine; protocols layered through transport.Mux then fan out across
+// the lane scheduler, one flow per channel (see the Mux concurrency
+// contract).
 package memnet
 
 import (

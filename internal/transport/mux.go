@@ -3,6 +3,8 @@ package transport
 import (
 	"fmt"
 	"sync"
+
+	"astro/internal/sched"
 )
 
 // Channel tags multiplex independent protocols over one endpoint. The tag
@@ -20,58 +22,53 @@ const (
 	ChanLocal     Channel = 6 // self-addressed timer/batch events
 )
 
-// DefaultQueueSize is the per-dispatch-queue capacity used when none is
-// configured. Deep enough to ride out verification-latency bursts, shallow
-// enough that a wedged handler exerts backpressure on the endpoint instead
-// of buffering unboundedly.
+// DefaultQueueSize is the per-channel dispatch queue capacity used when
+// none is configured. Deep enough to ride out verification-latency bursts,
+// shallow enough that a wedged handler exerts backpressure on the endpoint
+// instead of buffering unboundedly.
 const DefaultQueueSize = 1024
 
 // Mux demultiplexes inbound messages by channel tag and prefixes outbound
 // messages with their tag. A Mux owns its endpoint's handler slot.
 //
-// Dispatch is sharded: every registered channel is served by its own
-// dispatch goroutine, fed by a bounded FIFO queue. Messages of one channel
-// are handled sequentially in arrival order (per-channel FIFO), but
-// channels never head-of-line block each other — a BRB handler stalled on
-// certificate verification no longer delays payment submissions or CREDIT
-// accumulation. Handlers of *different* channels may therefore run
-// concurrently; protocol state shared across channels must be locked.
+// Dispatch rides the lane scheduler (internal/sched): every registered
+// channel is bound to its own lane-affine flow — a bounded FIFO serialized
+// onto one lane at a time. Messages of one channel are handled
+// sequentially in arrival order (per-channel FIFO), but channels never
+// head-of-line block each other: distinct channels bind distinct flows
+// with distinct home lanes, and an idle lane steals a runnable flow whose
+// home lane is busy — so a BRB handler stalled on certificate
+// verification delays neither payments nor CREDITs, even on a single-core
+// host. Handlers of *different* channels may therefore run concurrently;
+// protocol state shared across channels must be locked.
 //
-// Channels that need the old cross-channel serialization — ChanLocal timer
-// events that must interleave atomically with a protocol's message handler
-// — register with SerializeWith(ch), which routes them through the target
-// channel's queue and goroutine, restoring pairwise sequential execution.
+// Channels that need cross-channel serialization — ChanLocal timer events
+// that must interleave atomically with a protocol's message handler —
+// register with SerializeWith(ch), which binds them to the target
+// channel's flow (same flow key, hence the same lane and the same FIFO):
+// a timer can never interleave mid-task with the channel it pokes.
 //
-// When a channel's queue is full, delivery for that channel blocks the
-// endpoint's reader until the queue drains: bounded memory with natural
+// When a channel's flow is full, delivery for that channel blocks the
+// endpoint's reader until the flow drains: bounded memory with natural
 // backpressure, never silent message loss.
 type Mux struct {
 	ep Endpoint
+	rt *sched.Runtime
+	ns uint64 // flow-key namespace; distinct per mux on a shared runtime
 
 	qsize  int
 	serial bool
 
 	mu       sync.RWMutex
 	handlers map[Channel]Handler
-	queues   map[Channel]*dispatchQueue
-	owned    []*dispatchQueue // distinct queues, for diagnostics/tests
+	flows    map[Channel]*sched.Flow
+	owned    []*sched.Flow // distinct flows, for diagnostics/tests
 	closed   bool
-	done     chan struct{}
-	wg       sync.WaitGroup
-}
 
-// dispatchQueue is one bounded FIFO with a single draining goroutine.
-// Several channels may share one queue (SerializeWith, serial mode); the
-// drainer resolves the handler per message so late registration and
-// handler replacement behave as before.
-type dispatchQueue struct {
-	msgs chan queuedMsg
-}
-
-type queuedMsg struct {
-	ch      Channel
-	from    NodeID
-	payload []byte
+	// inflight counts dispatch tasks accepted and not yet finished, so
+	// Close can wait for the in-flight handler and the queued tasks it
+	// turned into no-ops.
+	inflight sync.WaitGroup
 }
 
 // MuxOption configures a Mux.
@@ -86,13 +83,23 @@ func WithQueueSize(n int) MuxOption {
 	}
 }
 
-// WithSerialDispatch routes every channel through one shared dispatch
-// queue and goroutine — the pre-sharding behavior, where all handlers of
-// an endpoint execute sequentially. It exists as a measured baseline for
-// the sharded dispatcher and as a debugging aid; production deployments
-// use the sharded default.
+// WithSerialDispatch routes every channel through one shared flow — the
+// pre-sharding behavior, where all handlers of an endpoint execute
+// sequentially. It exists as a measured baseline for lane dispatch and as
+// a debugging aid; production deployments use the sharded default.
 func WithSerialDispatch() MuxOption {
 	return func(m *Mux) { m.serial = true }
+}
+
+// WithRuntime selects the lane runtime dispatch runs on. The default is
+// the process-wide shared runtime (sched.Default()), which every mux,
+// verifier, and settlement engine of an in-process deployment shares.
+func WithRuntime(rt *sched.Runtime) MuxOption {
+	return func(m *Mux) {
+		if rt != nil {
+			m.rt = rt
+		}
+	}
 }
 
 // RegisterOption configures one channel registration.
@@ -103,11 +110,11 @@ type regOpts struct {
 	set           bool
 }
 
-// SerializeWith routes the channel being registered through target's
-// dispatch queue, so handlers of the two channels execute sequentially
-// with respect to each other (single goroutine, shared FIFO). Protocols
-// use this for ChanLocal: a timer event must not race the message handler
-// it pokes. The binding is fixed at the channel's first registration.
+// SerializeWith binds the channel being registered to target's flow, so
+// handlers of the two channels execute sequentially with respect to each
+// other (one flow, one FIFO, one lane at a time). Protocols use this for
+// ChanLocal: a timer event must not race the message handler it pokes.
+// The binding is fixed at the channel's first registration.
 func SerializeWith(target Channel) RegisterOption {
 	return func(o *regOpts) {
 		o.serializeWith = target
@@ -121,12 +128,15 @@ func NewMux(ep Endpoint, opts ...MuxOption) *Mux {
 		ep:       ep,
 		qsize:    DefaultQueueSize,
 		handlers: make(map[Channel]Handler),
-		queues:   make(map[Channel]*dispatchQueue),
-		done:     make(chan struct{}),
+		flows:    make(map[Channel]*sched.Flow),
 	}
 	for _, o := range opts {
 		o(m)
 	}
+	if m.rt == nil {
+		m.rt = sched.Default()
+	}
+	m.ns = m.rt.KeySpace()
 	ep.SetHandler(m.dispatch)
 	return m
 }
@@ -137,9 +147,12 @@ func (m *Mux) Endpoint() Endpoint { return m.ep }
 // ID returns the underlying endpoint's address.
 func (m *Mux) ID() NodeID { return m.ep.ID() }
 
+// Runtime returns the lane runtime dispatch runs on.
+func (m *Mux) Runtime() *sched.Runtime { return m.rt }
+
 // Register installs the handler for a channel. Registering a channel twice
-// replaces the previous handler; the channel's queue binding (its own, or
-// a SerializeWith target's) is fixed by the first registration.
+// replaces the previous handler; the channel's flow binding (its own, or a
+// SerializeWith target's) is fixed by the first registration.
 func (m *Mux) Register(ch Channel, h Handler, opts ...RegisterOption) {
 	var ro regOpts
 	for _, o := range opts {
@@ -148,78 +161,62 @@ func (m *Mux) Register(ch Channel, h Handler, opts ...RegisterOption) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.handlers[ch] = h
-	if _, bound := m.queues[ch]; bound {
+	if _, bound := m.flows[ch]; bound {
 		return
 	}
 	switch {
 	case ro.set:
-		m.queues[ch] = m.queueForLocked(ro.serializeWith)
+		m.flows[ch] = m.flowForLocked(ro.serializeWith)
 	default:
-		m.queues[ch] = m.queueForLocked(ch)
+		m.flows[ch] = m.flowForLocked(ch)
 	}
 }
 
-// queueForLocked returns (creating if needed) the dispatch queue owned by
-// channel ch. In serial mode every channel resolves to the one shared
-// queue. Callers hold m.mu.
-func (m *Mux) queueForLocked(ch Channel) *dispatchQueue {
+// flowForLocked returns (creating if needed) the flow owned by channel ch.
+// In serial mode every channel resolves to the one shared flow. Callers
+// hold m.mu.
+func (m *Mux) flowForLocked(ch Channel) *sched.Flow {
 	if m.serial {
-		ch = 0 // all channels share the queue keyed by the zero channel
+		ch = 0 // all channels share the flow keyed by the zero channel
 	}
-	if q, ok := m.queues[ch]; ok {
-		return q
+	if fl, ok := m.flows[ch]; ok {
+		return fl
 	}
-	q := &dispatchQueue{msgs: make(chan queuedMsg, m.qsize)}
-	m.queues[ch] = q
-	m.owned = append(m.owned, q)
-	if !m.closed {
-		m.wg.Add(1)
-		go m.drain(q)
-	}
-	return q
+	fl := m.rt.Flow(m.ns+uint64(ch), m.qsize)
+	m.flows[ch] = fl
+	m.owned = append(m.owned, fl)
+	return fl
 }
 
-// DispatchGoroutines reports how many dispatch goroutines the mux runs —
-// one per distinct queue (tests assert sharding and serialization).
+// DispatchGoroutines reports how many serialization domains the mux
+// dispatches over — one per distinct flow (tests assert sharding and
+// serialization). The name survives from the era when each domain was a
+// dedicated goroutine; flows are now multiplexed onto the shared lanes.
 func (m *Mux) DispatchGoroutines() int {
 	m.mu.RLock()
 	defer m.mu.RUnlock()
 	return len(m.owned)
 }
 
-// Close stops all dispatch goroutines and waits for in-flight handlers to
-// return. Messages still queued are discarded; the endpoint itself is not
-// closed (the mux does not own it). Close must not be called from inside a
-// handler. Safe to call more than once.
+// Close marks the mux closed and waits for the in-flight handler to
+// return. Messages still queued on the flows are discarded (their tasks
+// become no-ops); the endpoint itself is not closed (the mux does not own
+// it), and the lane runtime — shared with other components — keeps
+// running. Close must not be called from inside a handler. Safe to call
+// more than once.
 func (m *Mux) Close() {
 	m.mu.Lock()
-	if m.closed {
-		m.mu.Unlock()
-		m.wg.Wait()
-		return
-	}
 	m.closed = true
-	close(m.done)
 	m.mu.Unlock()
-	m.wg.Wait()
-}
-
-// drain is one queue's dispatch goroutine.
-func (m *Mux) drain(q *dispatchQueue) {
-	defer m.wg.Done()
-	for {
-		select {
-		case <-m.done:
-			return
-		case msg := <-q.msgs:
-			m.mu.RLock()
-			h := m.handlers[msg.ch]
-			m.mu.RUnlock()
-			if h != nil {
-				h(msg.from, msg.payload)
-			}
-		}
+	m.inflight.Wait()
+	// Unregister this mux's flows from the (shared, long-lived) runtime.
+	// No dispatch can be mid-Submit anymore: dispatch checks closed before
+	// submitting, and inflight covered everything that got past the check.
+	m.mu.Lock()
+	for _, fl := range m.owned {
+		fl.Release()
 	}
+	m.mu.Unlock()
 }
 
 // Send transmits payload on the given channel.
@@ -242,7 +239,7 @@ func (m *Mux) SendLocal(payload []byte) error {
 }
 
 // dispatch runs on the endpoint's reader goroutine: route the message to
-// its channel's queue. A full queue blocks here — backpressure on the
+// its channel's flow. A full flow blocks here — backpressure on the
 // endpoint — rather than dropping. Unregistered channels are discarded.
 func (m *Mux) dispatch(from NodeID, payload []byte) {
 	if len(payload) == 0 {
@@ -250,14 +247,27 @@ func (m *Mux) dispatch(from NodeID, payload []byte) {
 	}
 	ch := Channel(payload[0])
 	m.mu.RLock()
-	q := m.queues[ch]
+	fl := m.flows[ch]
 	closed := m.closed
-	m.mu.RUnlock()
-	if q == nil || closed {
+	if fl == nil || closed {
+		m.mu.RUnlock()
 		return
 	}
-	select {
-	case q.msgs <- queuedMsg{ch: ch, from: from, payload: payload[1:]}:
-	case <-m.done:
-	}
+	m.inflight.Add(1) // under the RLock, so Close cannot Wait before Add
+	m.mu.RUnlock()
+	body := payload[1:]
+	fl.Submit(func() {
+		defer m.inflight.Done()
+		// Resolve the handler at execution time, so late registration and
+		// handler replacement behave as before; a mux closed while the
+		// task sat queued discards it here.
+		m.mu.RLock()
+		h := m.handlers[ch]
+		closed := m.closed
+		m.mu.RUnlock()
+		if closed || h == nil {
+			return
+		}
+		h(from, body)
+	})
 }

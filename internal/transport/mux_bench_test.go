@@ -1,13 +1,14 @@
 package transport_test
 
-// Dispatch-throughput benchmarks for the sharded Mux. The workload is
+// Dispatch-throughput benchmarks for the Mux. The workload is
 // mixed-channel traffic — four protocol channels interleaved, each
 // handler doing a fixed slice of CPU work standing in for payload decode
 // and state-machine execution. "serial" is the pre-sharding baseline (one
-// dispatch goroutine for the whole endpoint, via WithSerialDispatch);
-// "sharded" is the default per-channel dispatcher. On a multi-core host
-// sharded approaches min(channels, cores)× the baseline; on a single core
-// the two are at parity (the sharded path adds only a queue hop).
+// shared flow for the whole endpoint, via WithSerialDispatch); "sharded"
+// is the default — one lane-affine flow per channel on the sched
+// runtime. On a multi-core host sharded approaches min(channels, lanes)×
+// the baseline; on a single core the two are at parity (the sharded path
+// adds only a queue hop).
 
 import (
 	"crypto/sha256"

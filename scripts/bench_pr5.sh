@@ -1,0 +1,80 @@
+#!/bin/sh
+# bench_pr5.sh — regenerate BENCH_PR5.json: the three concurrency
+# substrates on the unified lane scheduler (internal/sched) vs their
+# dedicated-goroutine baselines, measured from the same tree:
+#
+#   - transport dispatch: lane-affine flows (default) vs the one-shared-
+#     queue serial mode (WithSerialDispatch);
+#   - settlement fan-out: stripes pinned to persistent lane flows
+#     (default; zero goroutines per delivery) vs spawn-per-delivery
+#     (Config.SettleSpawn);
+#   - signature verify/sign: unkeyed stealable lane work (default) vs the
+#     PR 1 dedicated worker pool (verifier.WithWorkerPool).
+#
+# Plus the 1-core end-to-end time guards (SignedN4ECDSA,
+# SettleBatchECDSA), which must hold or improve vs PR 4.
+#
+# Usage: scripts/bench_pr5.sh [output.json]   (default BENCH_PR5.json)
+
+set -e
+OUT=${1:-BENCH_PR5.json}
+TMP=$(mktemp)
+trap 'rm -f "$TMP"' EXIT
+
+run() {
+	echo "== $*" >&2
+	go test -run=NONE -bench "$1" -benchtime "$2" "$3" | tee -a "$TMP" >&2
+}
+
+# Mixed-channel dispatch throughput: lane flows vs the serial baseline.
+run 'BenchmarkMuxDispatchSharded|BenchmarkMuxDispatchSerial' 20000x ./internal/transport/
+# Settlement fan-out: pinned stripe lanes vs spawn-per-delivery, one
+# 64-payment batch touching every stripe per op.
+run 'BenchmarkSettleFanoutLanes|BenchmarkSettleFanoutSpawn' 5000x ./internal/core/
+# Verifier backends: 64 real-ECDSA client signatures fanned out per op.
+run 'BenchmarkVerifyBackendLanes|BenchmarkVerifyBackendPool' 100x ./internal/crypto/verifier/
+# End-to-end regression guards on the default (lane) configuration.
+run 'BenchmarkSignedN4ECDSA' 200x ./internal/brb/
+run 'BenchmarkSettleBatchECDSA' 500x ./internal/core/
+
+CORES=$(nproc 2>/dev/null || echo 1)
+CPU=$(awk -F': ' '/model name/{print $2; exit}' /proc/cpuinfo 2>/dev/null || echo unknown)
+
+awk -v cores="$CORES" -v cpu="$CPU" '
+/^Benchmark/ {
+	name = $1
+	sub(/-[0-9]+$/, "", name)
+	for (i = 2; i <= NF; i++) {
+		if ($i == "ns/op") ns[name] = $(i-1)
+	}
+}
+END {
+	printf "{\n"
+	printf "  \"host\": {\n"
+	printf "    \"cpu\": \"%s\",\n", cpu
+	printf "    \"cores\": %s,\n", cores
+	printf "    \"note\": \"1-core CI host: lane fan-out parallelism cannot materialize, so lanes-vs-baseline pairs measure pure scheduling overhead — lanes must hold parity or better here and win on multi-core by min(flows, lanes) fan-out, goroutine-churn elimination, and stripe/channel cache affinity. Guards vary run-to-run on this host (SettleBatchECDSA ~106-135us/payment across PRs 3-4); parity within that band holds the guard.\"\n"
+	printf "  },\n"
+	printf "  \"baseline\": {\n"
+	printf "    \"MuxDispatchSerial_ns_op\": %s,\n", ns["BenchmarkMuxDispatchSerial"]
+	printf "    \"SettleFanoutSpawn_ns_per_batch\": %s,\n", ns["BenchmarkSettleFanoutSpawn"]
+	printf "    \"VerifyBackendPool_ns_per_64sigs\": %s,\n", ns["BenchmarkVerifyBackendPool"]
+	printf "    \"SignedN4ECDSA_pr4_ns_op\": 199521,\n"
+	printf "    \"SettleBatchECDSA_pr4_ns_per_payment\": 135071\n"
+	printf "  },\n"
+	printf "  \"lanes\": {\n"
+	printf "    \"MuxDispatchSharded_ns_op\": %s,\n", ns["BenchmarkMuxDispatchSharded"]
+	printf "    \"SettleFanoutLanes_ns_per_batch\": %s,\n", ns["BenchmarkSettleFanoutLanes"]
+	printf "    \"VerifyBackendLanes_ns_per_64sigs\": %s,\n", ns["BenchmarkVerifyBackendLanes"]
+	printf "    \"SignedN4ECDSA_ns_op\": %s,\n", ns["BenchmarkSignedN4ECDSA"]
+	printf "    \"SettleBatchECDSA_ns_per_payment\": %s\n", ns["BenchmarkSettleBatchECDSA"]
+	printf "  },\n"
+	printf "  \"summary\": [\n"
+	printf "    \"internal/sched unifies the three concurrency substrates grown across PRs 1-4 (per-channel dispatch goroutines, spawn-per-delivery settle fan-out, the verifier worker pool) into one lane runtime: N persistent lanes (~GOMAXPROCS, floor 2), keyed work in per-key FIFO flows with round-robin lane affinity and whole-flow stealing, unkeyed crypto work per-task stealable by lanes and by blocked waiters (Future.Wait, Runtime.Help).\",\n"
+	printf "    \"transport.Mux channels, ChanLocal timers (SerializeWith binds the same flow key, so a timer can never interleave mid-task with its channel), settlement stripes, and verify/sign tasks all execute on the same lanes; steady-state settle spawns zero goroutines per delivery.\",\n"
+	printf "    \"Per-channel and per-spender FIFO hold under -race with stealing enabled (flows move between lanes wholesale, at task boundaries); a handler wedged on one lane delays only its own flow, preserving the no-head-of-line guarantee even on a single-core host.\",\n"
+	printf "    \"Old behaviors stay measurable from the same tree: WithSerialDispatch (one shared flow), Config.SettleSpawn (goroutine-per-stripe-group), verifier.WithWorkerPool (dedicated PR 1 pool), Config.StateStripes=1 (global-lock engine).\"\n"
+	printf "  ]\n"
+	printf "}\n"
+}' "$TMP" > "$OUT"
+echo "wrote $OUT" >&2
