@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race bench bench-pr2 bench-pr3 bench-pr4 bench-pr5 profile check verify
+.PHONY: all build test vet race bench bench-pr2 bench-pr3 bench-pr4 bench-pr5 bench-pr6 fuzz-smoke profile check verify
 
 all: check
 
@@ -21,9 +21,10 @@ vet:
 # Race-detector pass over the lane scheduler, transport dispatch, and the
 # crypto/broadcast/payment hot path — the packages with cross-goroutine
 # completions, flow stealing, and per-channel dispatch (including the PR 4
-# chain-reference caches and the tcpnet dial/redial liveness tests).
+# chain-reference caches, the tcpnet dial/redial liveness tests, and the
+# PR 6 WAL writer/crash-recovery paths).
 race:
-	$(GO) test -race ./internal/sched/... ./internal/types/... ./internal/transport/... ./internal/crypto/... ./internal/brb/... ./internal/core/...
+	$(GO) test -race ./internal/sched/... ./internal/types/... ./internal/transport/... ./internal/crypto/... ./internal/brb/... ./internal/core/... ./internal/wal/...
 
 # Headline benchmarks: parallel certificate verification, signed BRB, and
 # the end-to-end ECDSA settlement path.
@@ -59,6 +60,25 @@ bench-pr4:
 # end-to-end time guards. Regenerates BENCH_PR5.json.
 bench-pr5:
 	sh scripts/bench_pr5.sh BENCH_PR5.json
+
+# PR 6 evidence: settle throughput with the file-backed WAL vs the Nop
+# (scheduler-only) and memory-only baselines, amortized WAL append cost,
+# and recovery-replay time vs log length. Regenerates BENCH_PR6.json.
+bench-pr6:
+	sh scripts/bench_pr6.sh BENCH_PR6.json
+
+# Short fuzz pass over every wire/record decoder harness — the three
+# generations of chain-ref forms (brb), the credit channel and durable
+# snapshot (core), and the WAL frame scanner (wal). ~10s per fuzzer;
+# CI-smoke depth, not a soak.
+FUZZTIME ?= 10s
+fuzz-smoke:
+	for f in FuzzScanFrames FuzzFileLoad; do \
+		$(GO) test -run=NONE -fuzz="^$$f$$" -fuzztime=$(FUZZTIME) ./internal/wal/ || exit 1; done
+	for f in FuzzDecodeCreditChannel FuzzDecodeBatch FuzzDecodeDependency FuzzDecodeReplicaImage; do \
+		$(GO) test -run=NONE -fuzz="^$$f$$" -fuzztime=$(FUZZTIME) ./internal/core/ || exit 1; done
+	for f in FuzzDecodeChainDef FuzzDecodeAckCert FuzzDecodeCommitRef FuzzDecodeChainNack; do \
+		$(GO) test -run=NONE -fuzz="^$$f$$" -fuzztime=$(FUZZTIME) ./internal/brb/ || exit 1; done
 
 # Mutex-contention profile of the settlement engine: runs the striped
 # settle benchmark with mutex profiling and prints the top contended

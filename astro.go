@@ -97,6 +97,11 @@ type Options struct {
 	// WANLatency applies the paper's European multi-region latency
 	// profile (~20ms inter-region RTT), overriding LinkLatency.
 	WANLatency bool
+	// DataDir, when set, makes every replica durable: each keeps an
+	// append-only WAL plus compacted snapshots under DataDir/rep<id> and
+	// survives Kill + Restart (kill -9 semantics). Empty means
+	// memory-only replicas, for which Crash is permanent.
+	DataDir string
 }
 
 // System is an embedded Astro deployment: replicas over an in-process
@@ -140,6 +145,7 @@ func New(opts Options) (*System, error) {
 		Genesis:    opts.Genesis,
 		Bandwidth:  -1,   // embedded systems are not bandwidth-simulated
 		RealCrypto: true, // the library always uses real ECDSA
+		DataDir:    opts.DataDir,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("astro: %w", err)
@@ -187,6 +193,22 @@ func (s *System) Audit(replica ReplicaID, client ClientID) ([]Payment, bool) {
 
 // Crash crash-stops a replica (fault injection).
 func (s *System) Crash(id ReplicaID) { s.cluster.Crash(id) }
+
+// Kill crash-stops a replica with kill -9 semantics: no flush, no
+// goodbye — whatever its WAL had synced is all that survives. Requires
+// Options.DataDir for the replica to be restartable.
+func (s *System) Kill(id ReplicaID) { s.cluster.Kill(id) }
+
+// Restart brings a killed replica back from its on-disk state: WAL
+// replay, then catch-up from live peers (state fetch plus CREDIT
+// re-request for certificates lost while down). Errors without
+// Options.DataDir.
+func (s *System) Restart(id ReplicaID) error { return s.cluster.Restart(id) }
+
+// AntiEntropy folds donor's full state into replica id — the idempotent
+// catch-up step, useful to close the window between a restarted
+// replica's peer fetch and its resubscription to live traffic.
+func (s *System) AntiEntropy(id, donor ReplicaID) error { return s.cluster.AntiEntropy(id, donor) }
 
 // DelayReplica injects extra outbound delay at a replica (asynchrony
 // injection, like `tc netem delay`).

@@ -13,9 +13,24 @@
 // Keys are derived deterministically from -secret so all nodes share a
 // registry without a distribution step — a demo convenience; production
 // deployments distribute independently generated keys.
+//
+// # Durability
+//
+// With -data-dir the replica keeps an append-only write-ahead log plus
+// periodic compacted snapshots under the given directory, and survives
+// kill -9: restart the process with the same flags and it replays its
+// log, fetches what it missed from live peers, re-requests any CREDIT
+// certificates lost while it was down, and resumes serving. The
+// directory belongs to exactly one replica identity — never share it
+// between nodes or reuse it under a different -id. On SIGINT/SIGTERM the
+// node flushes and fsyncs buffered work before exiting, so a graceful
+// stop loses nothing; an ungraceful one loses at most what the sync
+// contract allows (see internal/wal). Without -data-dir the replica is
+// memory-only and a crash is permanent (pre-PR-6 behavior).
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -28,9 +43,11 @@ import (
 	"astro/internal/core"
 	"astro/internal/crypto"
 	"astro/internal/crypto/verifier"
+	"astro/internal/reconfig"
 	"astro/internal/transport"
 	"astro/internal/transport/tcpnet"
 	"astro/internal/types"
+	"astro/internal/wal"
 )
 
 func main() {
@@ -42,14 +59,16 @@ func main() {
 
 func run() error {
 	var (
-		id      = flag.Int("id", 0, "this replica's identity")
-		listen  = flag.String("listen", ":7000", "TCP listen address")
-		peers   = flag.String("peers", "", "comma-separated id=host:port for every replica (including this one)")
-		version = flag.Int("version", 2, "Astro variant: 1 (echo-based) or 2 (signature-based)")
-		genesis = flag.Uint64("genesis", 1_000_000, "initial balance of every client")
-		secret  = flag.String("secret", "astro-demo", "shared secret for deterministic demo keys")
-		batch   = flag.Int("batch", 256, "max payments per broadcast batch")
-		delay   = flag.Duration("batch-delay", 5*time.Millisecond, "batch assembly delay bound")
+		id        = flag.Int("id", 0, "this replica's identity")
+		listen    = flag.String("listen", ":7000", "TCP listen address")
+		peers     = flag.String("peers", "", "comma-separated id=host:port for every replica (including this one)")
+		version   = flag.Int("version", 2, "Astro variant: 1 (echo-based) or 2 (signature-based)")
+		genesis   = flag.Uint64("genesis", 1_000_000, "initial balance of every client")
+		secret    = flag.String("secret", "astro-demo", "shared secret for deterministic demo keys")
+		batch     = flag.Int("batch", 256, "max payments per broadcast batch")
+		delay     = flag.Duration("batch-delay", 5*time.Millisecond, "batch assembly delay bound")
+		dataDir   = flag.String("data-dir", "", "durable state directory (WAL + snapshots); empty = memory-only")
+		snapEvery = flag.Int("wal-snapshot-every", 0, "settled batches between WAL compactions (0 = default)")
 	)
 	flag.Parse()
 
@@ -89,8 +108,15 @@ func run() error {
 	if *version == 1 {
 		v = core.AstroI
 	}
+	var be *wal.FileBackend
+	if *dataDir != "" {
+		be, err = wal.Open(*dataDir)
+		if err != nil {
+			return err
+		}
+	}
 	g := types.Amount(*genesis)
-	_, err = core.NewReplica(core.Config{
+	rep, err := core.NewReplica(core.Config{
 		Version:    v,
 		Self:       types.ReplicaID(*id),
 		Replicas:   ids,
@@ -104,10 +130,51 @@ func run() error {
 		Registry:   registry,
 		// One worker per core: a standalone node owns the whole machine,
 		// and signature verification is the settlement bottleneck.
-		Verifier: verifier.New(0),
+		Verifier:         verifier.New(0),
+		WAL:              walBackend(be),
+		WALSnapshotEvery: *snapEvery,
 	})
 	if err != nil {
 		return err
+	}
+
+	if *dataDir != "" {
+		if rep.Recovered() {
+			// Catch up on deliveries missed while down. FetchState owns the
+			// reconfig channel, so run it before NewManager registers the
+			// member-side handler. A timeout is survivable — anti-entropy
+			// through normal traffic and CREDITREDO still apply — and
+			// expected when the whole cluster cold-starts together.
+			var others []types.ReplicaID
+			for _, rid := range ids {
+				if rid != types.ReplicaID(*id) {
+					others = append(others, rid)
+				}
+			}
+			snap, err := reconfig.FetchState(reconfig.FetchConfig{
+				Mux: mux, Peers: others, Timeout: 10 * time.Second,
+			})
+			switch {
+			case err == nil:
+				if err := rep.MergeFullSnapshot(snap); err != nil {
+					return fmt.Errorf("peer catch-up: %w", err)
+				}
+				fmt.Println("astro-node: recovered from WAL and caught up from peers")
+			case errors.Is(err, reconfig.ErrFetchTimeout):
+				fmt.Println("astro-node: recovered from WAL; no peer answered catch-up (continuing)")
+			default:
+				return err
+			}
+		}
+		// Serve our own full snapshot to peers recovering later.
+		reconfig.NewManager(reconfig.Config{
+			Self:        types.ReplicaID(*id),
+			Mux:         mux,
+			Keys:        myKeys,
+			Registry:    registry,
+			InitialView: reconfig.View{Num: 1, Members: ids},
+			Full:        rep,
+		})
 	}
 
 	fmt.Printf("astro-node: replica %d (%s) serving %d-replica %v deployment on %s\n",
@@ -117,7 +184,18 @@ func run() error {
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
 	<-sig
 	fmt.Println("astro-node: shutting down")
+	// Flush and fsync buffered work so a graceful stop loses nothing.
+	rep.Close()
 	return nil
+}
+
+// walBackend widens *wal.FileBackend to the interface without turning a
+// nil pointer into a non-nil interface value.
+func walBackend(be *wal.FileBackend) wal.Backend {
+	if be == nil {
+		return nil
+	}
+	return be
 }
 
 // parsePeers parses "0=host:port,1=host:port,...".

@@ -55,9 +55,10 @@ func NewBracha(cfg Config) (*Bracha, error) {
 		return nil, err
 	}
 	b := &Bracha{
-		cfg:   cfg,
-		inst:  make(map[instanceID]*brachaInstance),
-		order: newFIFO(),
+		cfg:     cfg,
+		nextOut: cfg.FirstSlot,
+		inst:    make(map[instanceID]*brachaInstance),
+		order:   newFIFO(),
 	}
 	cfg.Mux.Register(transport.ChanBRB, b.onMessage)
 	return b, nil
@@ -208,7 +209,18 @@ func (b *Bracha) handleReady(id instanceID, peer types.ReplicaID, payload []byte
 		in.delivered = true
 		// Retain nothing; tallies for a delivered instance are garbage.
 		b.inst[id] = deliveredMarker
-		deliveries = b.order.ready(id, payload)
+		if b.cfg.Unordered {
+			// Recovery mode, mirroring Signed: slots missed while down are
+			// never retransmitted, so waiting for a consecutive run would
+			// wedge the origin forever. The marker above dedups; the
+			// high-water mark keeps Delivered() meaningful.
+			if id.slot > b.order.delivered[id.origin] {
+				b.order.delivered[id.origin] = id.slot
+			}
+			deliveries = []delivery{{origin: id.origin, slot: id.slot, payload: payload}}
+		} else {
+			deliveries = b.order.ready(id, payload)
+		}
 	}
 	b.mu.Unlock()
 

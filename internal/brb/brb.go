@@ -84,6 +84,24 @@ type Config struct {
 	// dispatch goroutine. Nil selects the shared process-wide pool
 	// (verifier.Default). Ignored by Bracha, which verifies nothing.
 	Verifier *verifier.Verifier
+
+	// FirstSlot seeds this replica's own broadcast sequence: the first
+	// Broadcast is assigned FirstSlot+1. A replica restarting from a WAL
+	// sets it to the highest slot it ever reserved, so it never reuses a
+	// slot its peers may already have acknowledged under a different
+	// payload (they would silently refuse the second digest). Zero — the
+	// default — starts at slot 1.
+	FirstSlot uint64
+
+	// Unordered switches delivery from per-origin slot order to arrival
+	// order (Signed only). A replica recovering from a crash cannot rely
+	// on peers retransmitting commits for slots delivered while it was
+	// down — the signed protocol has no retransmission — so insisting on
+	// per-origin FIFO would wedge every origin with a gap. The payment
+	// layer's settlement engine orders payments by client sequence number
+	// independently, so it tolerates out-of-order slot delivery; only a
+	// recovering replica should set this.
+	Unordered bool
 }
 
 // Errors returned by Broadcast.

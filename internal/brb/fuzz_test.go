@@ -1,0 +1,114 @@
+package brb
+
+import (
+	"bytes"
+	"testing"
+
+	"astro/internal/types"
+	"astro/internal/wire"
+)
+
+func fuzzChain() []ChainEntry {
+	return []ChainEntry{
+		{Origin: 0, Slot: 7, Digest: types.Digest{0x01}},
+		{Origin: 3, Slot: 9, Digest: types.Digest{0x02}},
+	}
+}
+
+// FuzzDecodeChainDef exercises the CHAINDEF decoder. The chain encoding
+// is fixed-width and therefore canonical: any payload that decodes must
+// re-encode to exactly the input bytes.
+func FuzzDecodeChainDef(f *testing.F) {
+	f.Add(EncodeChainDef(fuzzChain())[1:]) // after the kind byte
+	f.Add([]byte{0, 0, 0, 0})              // empty chain: rejected
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		chain, err := decodeChainDef(wire.NewReader(data))
+		if err != nil {
+			return
+		}
+		if len(chain) == 0 || len(chain) > maxSignBatch {
+			t.Fatalf("accepted chain of %d outside [1,%d]", len(chain), maxSignBatch)
+		}
+		if !bytes.Equal(EncodeChainDef(chain)[1:], data) {
+			t.Fatal("decoded chain does not re-encode to input")
+		}
+	})
+}
+
+// FuzzDecodeAckCert exercises the legacy self-contained certificate
+// decoder: per-signature chain contexts of arbitrary shape must never
+// panic and must respect the signature and chain caps.
+func FuzzDecodeAckCert(f *testing.F) {
+	cert := AckCert{Sigs: []AckSig{
+		{Replica: 1, Sig: []byte("plain-sig")},
+		{Replica: 2, Sig: []byte("chain-sig"), Chain: fuzzChain()},
+	}}
+	w := wire.NewWriter(ackCertSize(cert))
+	appendAckCert(w, cert)
+	f.Add(w.Bytes())
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		cert, err := decodeAckCert(wire.NewReader(data))
+		if err != nil {
+			return
+		}
+		if len(cert.Sigs) > maxAckCertSigs {
+			t.Fatalf("accepted %d signatures over cap", len(cert.Sigs))
+		}
+		for _, s := range cert.Sigs {
+			if len(s.Chain) > maxAckChain {
+				t.Fatalf("accepted chain of %d over cap", len(s.Chain))
+			}
+		}
+	})
+}
+
+// FuzzDecodeCommitRef exercises the interned-reference certificate form:
+// mixed plain and by-digest signatures, including unknown reference
+// modes.
+func FuzzDecodeCommitRef(f *testing.F) {
+	sigs := []refSig{
+		{Replica: 1, Sig: []byte("plain")},
+		{Replica: 2, Sig: []byte("by-ref"), HasRef: true, Ref: types.Digest{0x05}, Idx: 1},
+	}
+	w := wire.NewWriter(64)
+	w.U32(uint32(len(sigs)))
+	for _, s := range sigs {
+		w.U32(uint32(s.Replica))
+		w.Chunk(s.Sig)
+		if s.HasRef {
+			w.U8(refModeChain)
+			w.Bytes32(s.Ref)
+			w.U32(s.Idx)
+		} else {
+			w.U8(refModePlain)
+		}
+	}
+	f.Add(w.Bytes())
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		sigs, err := decodeCommitRef(wire.NewReader(data))
+		if err != nil {
+			return
+		}
+		if len(sigs) > maxAckCertSigs {
+			t.Fatalf("accepted %d signatures over cap", len(sigs))
+		}
+	})
+}
+
+// FuzzDecodeChainNack exercises the NACK digest-list decoder.
+func FuzzDecodeChainNack(f *testing.F) {
+	f.Add(EncodeChainNack(1, 4, []types.Digest{{0x0a}, {0x0b}})[headerSize:])
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		missing, err := decodeChainNack(wire.NewReader(data))
+		if err != nil {
+			return
+		}
+		if len(missing) > maxNackDigests {
+			t.Fatalf("accepted %d digests over cap", len(missing))
+		}
+	})
+}

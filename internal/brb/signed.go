@@ -135,6 +135,7 @@ func NewSigned(cfg Config) (*Signed, error) {
 		cfg:         cfg,
 		ver:         ver,
 		commitSem:   make(chan struct{}, 2*ver.Workers()+2),
+		nextOut:     cfg.FirstSlot,
 		mine:        make(map[uint64]*outInstance),
 		acked:       make(map[instanceID]*ackRecord),
 		order:       newFIFO(),
@@ -173,6 +174,34 @@ func (s *Signed) Broadcast(payload []byte) (uint64, error) {
 	}
 	w.Release()
 	return slot, nil
+}
+
+// Rebroadcast re-runs the PREPARE phase for a slot this replica reserved
+// before a crash, with the exact payload recorded in its WAL. The slot
+// must be at most Config.FirstSlot (a reservation from the previous
+// incarnation); peers that already acknowledged the identical digest
+// re-ack it, so the protocol completes even though the first PREPARE wave
+// reached some of them.
+func (s *Signed) Rebroadcast(slot uint64, payload []byte) {
+	s.mu.Lock()
+	if slot > s.nextOut || s.mine[slot] != nil {
+		s.mu.Unlock()
+		return
+	}
+	buf := make([]byte, len(payload))
+	copy(buf, payload)
+	s.mine[slot] = &outInstance{
+		payload: buf,
+		digest:  SignedDigest(s.cfg.Self, slot, payload),
+	}
+	s.mu.Unlock()
+
+	w := wire.AcquireWriter(payloadMsgSize(payload))
+	appendPayloadMsg(w, kindPrepare, s.cfg.Self, slot, payload)
+	for _, p := range s.cfg.Peers {
+		_ = s.cfg.Mux.Send(transport.ReplicaNode(p), transport.ChanBRB, w.Bytes())
+	}
+	w.Release()
 }
 
 // Delivered implements Broadcaster.
@@ -299,9 +328,21 @@ func (s *Signed) handlePrepare(id instanceID, payload []byte) {
 	d := SignedDigest(id.origin, id.slot, payload)
 
 	s.mu.Lock()
-	if _, seen := s.acked[id]; seen {
+	if rec, seen := s.acked[id]; seen {
+		resend := rec.digest == d
 		s.mu.Unlock()
-		return // already acknowledged (same or conflicting); stay silent
+		if resend {
+			// Identical re-prepare: the origin is recovering from a crash
+			// and re-running the PREPARE phase (Rebroadcast). Our previous
+			// ack — possibly lost with the origin's memory — endorsed this
+			// exact digest, so re-signing it grants nothing new; without
+			// the re-ack a rebroadcast slot could never gather its quorum.
+			// The validator is skipped: it ran (and passed) the first time,
+			// and re-running it against replayed endorsement state would
+			// wrongly flag the batch's payments as double-spends.
+			s.ackSigner.Enqueue(ChainEntry{Origin: id.origin, Slot: id.slot, Digest: d})
+		}
+		return // conflicting payload for an acked instance: stay silent
 	}
 	s.mu.Unlock()
 
@@ -776,7 +817,20 @@ func (s *Signed) commitVerified(id instanceID, d types.Digest, payload []byte, o
 		return
 	}
 	rec.delivered = true
-	s.deliverQ = append(s.deliverQ, s.order.ready(id, payload)...)
+	if s.cfg.Unordered {
+		// Recovery mode: deliver in arrival order. Slots the replica
+		// missed while down will never be retransmitted, so waiting for a
+		// consecutive run would wedge the origin forever; the payment
+		// layer orders by client sequence number on its own. rec.delivered
+		// above already dedups; the high-water mark keeps Delivered()
+		// meaningful.
+		if id.slot > s.order.delivered[id.origin] {
+			s.order.delivered[id.origin] = id.slot
+		}
+		s.deliverQ = append(s.deliverQ, delivery{origin: id.origin, slot: id.slot, payload: payload})
+	} else {
+		s.deliverQ = append(s.deliverQ, s.order.ready(id, payload)...)
+	}
 	if s.delivering {
 		// Another completion is draining; it will pick these up, in order.
 		s.mu.Unlock()

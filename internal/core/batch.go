@@ -73,6 +73,20 @@ func EncodeBatch(entries []BatchEntry) []byte {
 // DecodeBatch parses a broadcast payload.
 func DecodeBatch(payload []byte) ([]BatchEntry, error) {
 	r := wire.NewReader(payload)
+	entries, err := readBatchEntries(r)
+	if err != nil {
+		return nil, err
+	}
+	if err := r.Finish(); err != nil {
+		return nil, err
+	}
+	return entries, nil
+}
+
+// readBatchEntries consumes one batch encoding (appendBatch) from the
+// middle of a larger stream — the WAL snapshot embeds per-account queues
+// this way.
+func readBatchEntries(r *wire.Reader) ([]BatchEntry, error) {
 	n := r.U32()
 	if err := r.Err(); err != nil {
 		return nil, err
@@ -108,9 +122,6 @@ func DecodeBatch(payload []byte) ([]BatchEntry, error) {
 			e.Deps = append(e.Deps, d)
 		}
 		entries = append(entries, e)
-	}
-	if err := r.Finish(); err != nil {
-		return nil, err
 	}
 	return entries, nil
 }

@@ -1,0 +1,229 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"astro/internal/crypto"
+	"astro/internal/transport"
+	"astro/internal/transport/memnet"
+	"astro/internal/types"
+	"astro/internal/wal"
+)
+
+// benchSettleWAL drives the 4-replica settlement pipeline end to end —
+// submission, signed BRB, settlement — with a WAL backend on every
+// replica, reported per settled payment. Client ECDSA is off: the WAL
+// write path is the subject, not signature verification.
+func benchSettleWAL(b *testing.B, backend func(b *testing.B) wal.Backend) {
+	const (
+		nReplicas = 4
+		nClients  = 64
+	)
+	net := memnet.New(memnet.WithSeed(7))
+	defer net.Close()
+
+	replicaIDs := make([]types.ReplicaID, nReplicas)
+	for i := range replicaIDs {
+		replicaIDs[i] = types.ReplicaID(i)
+	}
+	registry := crypto.NewRegistry()
+	keys := make([]*crypto.KeyPair, nReplicas)
+	for i := range keys {
+		keys[i] = crypto.MustGenerateKeyPair()
+		registry.Add(types.ReplicaID(i), keys[i].Public())
+	}
+	repOf := func(cl types.ClientID) types.ReplicaID {
+		return replicaIDs[uint64(cl)%uint64(nReplicas)]
+	}
+
+	replicas := make([]*Replica, nReplicas)
+	for i := 0; i < nReplicas; i++ {
+		self := types.ReplicaID(i)
+		mux := transport.NewMux(net.Node(transport.ReplicaNode(self)))
+		r, err := NewReplica(Config{
+			Version:    AstroII,
+			Self:       self,
+			Replicas:   replicaIDs,
+			F:          types.MaxFaults(nReplicas),
+			Mux:        mux,
+			RepOf:      repOf,
+			Genesis:    func(types.ClientID) types.Amount { return 1 << 40 },
+			BatchSize:  256,
+			BatchDelay: time.Millisecond,
+			Keys:       keys[i],
+			Registry:   registry,
+			WAL:        backend(b),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		replicas[i] = r
+	}
+
+	muxes := make([]*transport.Mux, nClients)
+	for i := range muxes {
+		muxes[i] = transport.NewMux(net.Node(transport.ClientNode(types.ClientID(i))))
+	}
+	submits := make([][]byte, b.N)
+	for i := 0; i < b.N; i++ {
+		cl := types.ClientID(i % nClients)
+		p := types.Payment{
+			Spender:     cl,
+			Seq:         types.Seq(i/nClients + 1),
+			Beneficiary: types.ClientID((i + 1) % nClients),
+			Amount:      1,
+		}
+		submits[i] = encodeSubmit(p, nil)
+	}
+
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cl := i % nClients
+		rep := repOf(types.ClientID(cl))
+		if err := muxes[cl].Send(transport.ReplicaNode(rep), transport.ChanPayment, submits[i]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	deadline := time.Now().Add(2 * time.Minute)
+	for {
+		all := true
+		for _, r := range replicas {
+			if r.SettledCount() < uint64(b.N) {
+				all = false
+				break
+			}
+		}
+		if all {
+			break
+		}
+		if time.Now().After(deadline) {
+			b.Fatalf("timed out waiting for %d settles", b.N)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	b.StopTimer()
+	for _, r := range replicas {
+		r.Close()
+		if err := r.WALErr(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSettleWALFile is the durable configuration: every replica
+// appends to a real file-backed WAL (CRC framing, fsync batching,
+// Barrier before each broadcast send).
+func BenchmarkSettleWALFile(b *testing.B) {
+	benchSettleWAL(b, func(b *testing.B) wal.Backend {
+		be, err := wal.Open(b.TempDir())
+		if err != nil {
+			b.Fatal(err)
+		}
+		return be
+	})
+}
+
+// BenchmarkSettleWALNop runs the identical WAL scheduler path against the
+// discard backend: the gap to BenchmarkSettleWALFile is pure I/O
+// (write+fsync), the gap to BenchmarkSettleWALOff is the durability
+// plumbing itself (record encoding, flow hops, barriers).
+func BenchmarkSettleWALNop(b *testing.B) {
+	benchSettleWAL(b, func(*testing.B) wal.Backend { return wal.Nop{} })
+}
+
+// BenchmarkSettleWALOff is the memory-only baseline (pre-PR-6 behavior).
+func BenchmarkSettleWALOff(b *testing.B) {
+	benchSettleWAL(b, func(*testing.B) wal.Backend { return nil })
+}
+
+// BenchmarkReplicaRecover measures the restart cost as a function of log
+// length: NewReplica over a file-backed WAL holding n settled payments
+// (compaction disabled, so the whole history replays from the log — the
+// worst case an operator can configure). Reported per restart.
+func BenchmarkReplicaRecover(b *testing.B) {
+	for _, n := range []int{1_000, 10_000} {
+		b.Run(fmt.Sprintf("payments=%d", n), func(b *testing.B) {
+			const nClients = 16
+			dir := b.TempDir()
+			net := memnet.New(memnet.WithSeed(7))
+			defer net.Close()
+			registry := crypto.NewRegistry()
+			kp := crypto.MustGenerateKeyPair()
+			registry.Add(0, kp.Public())
+			mkcfg := func(be wal.Backend, mux *transport.Mux) Config {
+				return Config{
+					Version:    AstroII,
+					Self:       0,
+					Replicas:   []types.ReplicaID{0},
+					F:          0,
+					Mux:        mux,
+					Genesis:    func(types.ClientID) types.Amount { return 1 << 40 },
+					BatchSize:  64,
+					BatchDelay: time.Millisecond,
+					Keys:       kp,
+					Registry:   registry,
+					WAL:        be,
+					// Disable compaction: the log keeps the full history.
+					WALSnapshotEvery: 1 << 30,
+				}
+			}
+
+			be, err := wal.Open(dir)
+			if err != nil {
+				b.Fatal(err)
+			}
+			r, err := NewReplica(mkcfg(be, transport.NewMux(net.Node(transport.ReplicaNode(0)))))
+			if err != nil {
+				b.Fatal(err)
+			}
+			// Submissions must originate from the spender's own client node.
+			cmuxes := make([]*transport.Mux, nClients)
+			for i := range cmuxes {
+				cmuxes[i] = transport.NewMux(net.Node(transport.ClientNode(types.ClientID(i))))
+			}
+			for i := 0; i < n; i++ {
+				cl := types.ClientID(i % nClients)
+				p := types.Payment{
+					Spender:     cl,
+					Seq:         types.Seq(i/nClients + 1),
+					Beneficiary: types.ClientID((i + 1) % nClients),
+					Amount:      1,
+				}
+				if err := cmuxes[cl].Send(transport.ReplicaNode(0), transport.ChanPayment, encodeSubmit(p, nil)); err != nil {
+					b.Fatal(err)
+				}
+			}
+			deadline := time.Now().Add(time.Minute)
+			for r.SettledCount() < uint64(n) {
+				if time.Now().After(deadline) {
+					b.Fatalf("timed out at %d/%d settles", r.SettledCount(), n)
+				}
+				time.Sleep(time.Millisecond)
+			}
+			r.Close()
+
+			wantLog := (n + nClients - 1) / nClients // client 0's share
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				be, err := wal.Open(dir)
+				if err != nil {
+					b.Fatal(err)
+				}
+				mux := transport.NewMux(net.Node(transport.ReplicaNode(0)))
+				rec, err := NewReplica(mkcfg(be, mux))
+				if err != nil {
+					b.Fatal(err)
+				}
+				if got := len(rec.XLogSnapshot(types.ClientID(0))); got != wantLog {
+					b.Fatalf("replayed xlog of %d, want %d", got, wantLog)
+				}
+				b.StopTimer()
+				rec.Abandon()
+				mux.Close()
+				b.StartTimer()
+			}
+		})
+	}
+}

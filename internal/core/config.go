@@ -14,6 +14,7 @@ import (
 	"astro/internal/sched"
 	"astro/internal/transport"
 	"astro/internal/types"
+	"astro/internal/wal"
 )
 
 // Config assembles one replica of an Astro deployment.
@@ -87,6 +88,21 @@ type Config struct {
 	// dispatch goroutine, and CREDIT signatures verify asynchronously.
 	// Nil selects the shared process-wide pool (verifier.Default).
 	Verifier *verifier.Verifier
+
+	// WAL is the durable-log backend. When set, the replica records
+	// endorsements, broadcast-slot reservations, settled batches, and
+	// completed dependency certificates through an append-only log plus
+	// periodic compacted snapshots (see internal/wal for the durability
+	// contract), and NewReplica replays whatever the backend holds before
+	// going live — the kill -9 restart path. Nil disables durability
+	// entirely; wal.Nop keeps the full logging code path live with zero
+	// I/O (the measured overhead baseline).
+	WAL wal.Backend
+	// WALSnapshotEvery is the number of settled-batch records between
+	// compacted snapshots. 0 selects the default (4096); negative disables
+	// periodic compaction — the log then grows until Close writes the
+	// final snapshot.
+	WALSnapshotEvery int
 }
 
 // Configuration errors.
@@ -139,6 +155,9 @@ func (c *Config) normalize() error {
 	}
 	if c.Verifier == nil {
 		c.Verifier = verifier.Default()
+	}
+	if c.WALSnapshotEvery == 0 {
+		c.WALSnapshotEvery = defaultWALSnapshotEvery
 	}
 	return nil
 }

@@ -1,0 +1,159 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"astro/internal/types"
+	"astro/internal/wire"
+)
+
+// fuzzGroup is a small valid credit group shared by the seed corpora.
+func fuzzGroup() []types.Payment {
+	return []types.Payment{
+		{Spender: 1, Seq: 1, Beneficiary: 2, Amount: 10},
+		{Spender: 1, Seq: 2, Beneficiary: 3, Amount: 5},
+	}
+}
+
+func fuzzDependency() Dependency {
+	return Dependency{
+		Group: fuzzGroup(),
+		Cert: DepCert{Sigs: []DepSig{
+			{Replica: 0, Sig: []byte("sig-0")},
+			{Replica: 2, Sig: []byte("sig-2"), Chain: []types.Digest{{0x01}, {0x02}}},
+		}},
+	}
+}
+
+// FuzzDecodeCreditChannel drives the full credit-channel payload decoder
+// set — every wire generation: the legacy single-group CREDIT, the
+// chain-signed CREDITBATCH, the interned CHAINDEF/REF/NACK forms, and the
+// restart-time CREDITREDO. Invariant: no panic on arbitrary bytes, and
+// the seeds (canonical encodings of each kind) must decode.
+func FuzzDecodeCreditChannel(f *testing.F) {
+	group := fuzzGroup()
+	f.Add(encodeCredit(creditMsg{Signer: 1, Group: group, Sig: []byte("sig")}))
+	f.Add(encodeCreditBatch(creditBatchMsg{
+		Signer: 2,
+		Chain:  []types.Digest{CreditGroupDigest(group)},
+		Sig:    []byte("chain-sig"),
+		Groups: []creditBatchGroup{{ChainIdx: 0, Group: group}},
+	}))
+	f.Add(encodeCreditChainDef([]types.Digest{{0x11}, {0x22}}))
+	f.Add(encodeCreditRef(creditRefMsg{
+		Signer:      3,
+		ChainDigest: types.Digest{0x33},
+		Sig:         []byte("ref-sig"),
+		Groups:      []creditBatchGroup{{ChainIdx: 1, Group: group}},
+	}))
+	f.Add(encodeCreditNack(types.Digest{0x44}))
+	f.Add(encodeCreditRedo([][]types.Payment{group, group[:1]}))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) == 0 {
+			return
+		}
+		body := data[1:]
+		switch data[0] {
+		case msgCreditSingle:
+			if m, err := decodeCredit(body); err == nil {
+				if len(m.Group) == 0 || len(m.Group) > maxGroup {
+					t.Fatalf("accepted group size %d", len(m.Group))
+				}
+			}
+		case msgCreditBatch:
+			decodeCreditBatch(body)
+		case msgCreditChainDef:
+			decodeCreditChainDef(body)
+		case msgCreditRef:
+			decodeCreditRef(body)
+		case msgCreditNack:
+			decodeCreditNack(body)
+		case msgCreditRedo:
+			if groups, err := decodeCreditRedo(body); err == nil {
+				if len(groups) == 0 || len(groups) > maxRedoGroups {
+					t.Fatalf("accepted redo group count %d", len(groups))
+				}
+				for _, g := range groups {
+					if len(g) == 0 || len(g) > maxGroup {
+						t.Fatalf("accepted redo group size %d", len(g))
+					}
+				}
+			}
+		}
+	})
+}
+
+// FuzzDecodeBatch feeds arbitrary bytes to the broadcast-payload decoder.
+// A batch that decodes must re-encode and decode to the same entries —
+// the batch encoding is canonical, and settlement replay depends on it.
+func FuzzDecodeBatch(f *testing.F) {
+	f.Add(EncodeBatch([]BatchEntry{
+		{Payment: types.Payment{Spender: 1, Seq: 1, Beneficiary: 2, Amount: 7}},
+		{Payment: types.Payment{Spender: 3, Seq: 4, Beneficiary: 1, Amount: 1},
+			Sig: []byte("client-sig"), Deps: []Dependency{fuzzDependency()}},
+	}))
+	f.Add(EncodeBatch(nil))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		entries, err := DecodeBatch(data)
+		if err != nil {
+			return
+		}
+		again, err := DecodeBatch(EncodeBatch(entries))
+		if err != nil {
+			t.Fatalf("re-encoded batch does not decode: %v", err)
+		}
+		if !reflect.DeepEqual(entries, again) {
+			t.Fatal("batch round-trip diverged")
+		}
+	})
+}
+
+// FuzzDecodeDependency exercises the dependency-certificate decoder,
+// covering both signature shapes (plain and chain-context).
+func FuzzDecodeDependency(f *testing.F) {
+	d := fuzzDependency()
+	w := wire.NewWriter(dependencySize(d))
+	encodeDependency(w, d)
+	f.Add(w.Bytes())
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := wire.NewReader(data)
+		dep, err := decodeDependency(r)
+		if err != nil {
+			return
+		}
+		if len(dep.Group) == 0 || len(dep.Group) > maxGroup {
+			t.Fatalf("accepted group size %d", len(dep.Group))
+		}
+	})
+}
+
+// FuzzDecodeReplicaImage feeds arbitrary bytes to the WAL-snapshot / full
+// state-transfer decoder. An image that decodes must survive an
+// encode/decode round trip unchanged: recovery correctness rests on the
+// snapshot being a faithful, canonical projection.
+func FuzzDecodeReplicaImage(f *testing.F) {
+	f.Add(encodeReplicaImage(testImage()))
+	f.Add(encodeReplicaImage(replicaImage{
+		pending:  map[uint64][]byte{},
+		endorsed: map[types.PaymentID]types.Digest{},
+		repDeps:  map[types.ClientID][]Dependency{},
+	}))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		img, err := decodeReplicaImage(data)
+		if err != nil {
+			return
+		}
+		again, err := decodeReplicaImage(encodeReplicaImage(img))
+		if err != nil {
+			t.Fatalf("re-encoded image does not decode: %v", err)
+		}
+		if !reflect.DeepEqual(img, again) {
+			t.Fatal("image round-trip diverged")
+		}
+	})
+}

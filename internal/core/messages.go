@@ -108,6 +108,7 @@ const (
 	msgCreditChainDef byte = 3
 	msgCreditRef      byte = 4
 	msgCreditNack     byte = 5
+	msgCreditRedo     byte = 6
 )
 
 // CREDIT message (transport.ChanCredit): a settling replica's signed
@@ -350,6 +351,52 @@ func decodeCreditNack(payload []byte) (types.Digest, error) {
 		return types.Digest{}, err
 	}
 	return d, nil
+}
+
+// maxRedoGroups bounds the group count of a CREDITREDO request.
+const maxRedoGroups = 1 << 12
+
+// encodeCreditRedo encodes a CREDITREDO: a restarted representative's
+// request that the receiver re-sign CREDITs for the given groups. The
+// requester is implicit in the transport sender; the receiver signs only
+// groups it can verify as settled in its own xlogs and destined to the
+// requester's clients, so the message carries no authority of its own.
+func encodeCreditRedo(groups [][]types.Payment) []byte {
+	n := 1 + 4
+	for _, g := range groups {
+		n += 4 + len(g)*types.PaymentWireSize
+	}
+	w := wire.NewWriter(n)
+	w.U8(msgCreditRedo)
+	w.U32(uint32(len(groups)))
+	for _, g := range groups {
+		appendPaymentGroup(w, g)
+	}
+	return w.Bytes()
+}
+
+// decodeCreditRedo parses a CREDITREDO payload after its kind byte.
+func decodeCreditRedo(payload []byte) ([][]types.Payment, error) {
+	r := wire.NewReader(payload)
+	n := r.U32()
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	if n == 0 || n > maxRedoGroups {
+		return nil, fmt.Errorf("credit: bad redo group count %d", n)
+	}
+	groups := make([][]types.Payment, n)
+	for i := range groups {
+		g, err := decodePaymentGroup(r)
+		if err != nil {
+			return nil, err
+		}
+		groups[i] = g
+	}
+	if err := r.Finish(); err != nil {
+		return nil, err
+	}
+	return groups, nil
 }
 
 func appendPaymentGroup(w *wire.Writer, group []types.Payment) {

@@ -12,6 +12,8 @@ import (
 	"astro/internal/sched"
 	"astro/internal/transport"
 	"astro/internal/types"
+	"astro/internal/wal"
+	"astro/internal/wire"
 )
 
 // Replica is one node of an Astro deployment (paper §III). It plays two
@@ -116,6 +118,23 @@ type Replica struct {
 	// single stripe, where fan-out is pointless).
 	stripeFlows []*sched.Flow
 
+	// Durability (nil wal disables the whole subsystem; see durable.go).
+	// bcastMu guards the broadcast-slot reservation table — a leaf lock,
+	// never nested with any other. pendingBcast maps every slot this
+	// replica durably reserved but has not yet self-delivered to its batch
+	// payload; nextBcastSlot is the highest slot ever reserved, mirroring
+	// (and, across restarts, seeding) the BRB layer's own sequence.
+	wal           *wal.Writer
+	bcastMu       sync.Mutex
+	pendingBcast  map[uint64][]byte
+	nextBcastSlot uint64
+	walBatches    atomic.Uint64
+	// recovered marks a replica that replayed any durable state;
+	// replayedWaves holds the log tail's settlement waves until
+	// finishRecovery re-enqueues their CREDIT groups.
+	recovered     bool
+	replayedWaves [][]types.Payment
+
 	settledTotal      atomic.Uint64
 	confirmedTotal    atomic.Uint64
 	broadcastFailures atomic.Uint64
@@ -171,6 +190,7 @@ func NewReplica(cfg Config) (*Replica, error) {
 		creditAccum:    make(map[creditKey][]*creditState),
 		submittedHi:    make(map[types.ClientID]types.Seq),
 		endorsed:       make(map[types.PaymentID]types.Digest),
+		pendingBcast:   make(map[uint64][]byte),
 	}
 	// Dependency certificates are verified by screenDependencies on the
 	// BRB delivery path, *before* any stripe lock is taken and fanned out
@@ -194,6 +214,17 @@ func NewReplica(cfg Config) (*Replica, error) {
 		}
 	}
 
+	// Durable state replays before anything can deliver or submit: the
+	// snapshot plus log tail rebuild the settlement state, endorsement
+	// memory, reservation table, and in-flight projections, and the WAL
+	// writer must exist before the first post-restart endorsement.
+	if cfg.WAL != nil {
+		if err := r.recover(cfg.WAL); err != nil {
+			return nil, fmt.Errorf("replica %d: wal recovery: %w", cfg.Self, err)
+		}
+		r.wal = wal.NewWriter(cfg.WAL, cfg.Sched)
+	}
+
 	bcfg := brb.Config{
 		Mux:       cfg.Mux,
 		Self:      cfg.Self,
@@ -205,6 +236,13 @@ func NewReplica(cfg Config) (*Replica, error) {
 		Keys:      cfg.Keys,
 		Registry:  cfg.Registry,
 		Verifier:  cfg.Verifier,
+		// Restart seeding: never reuse a reserved slot, and deliver in
+		// arrival order so slots committed while this replica was down
+		// cannot wedge every origin's FIFO (the broadcast layer does not
+		// retransmit old slots to a latecomer) — the settlement engine
+		// orders payments by client sequence number independently.
+		FirstSlot: r.nextBcastSlot,
+		Unordered: r.recovered,
 	}
 	var err error
 	switch cfg.Version {
@@ -235,6 +273,9 @@ func NewReplica(cfg Config) (*Replica, error) {
 		}
 		cfg.Mux.Register(transport.ChanCredit, r.onCredit)
 	}
+	if r.recovered {
+		r.finishRecovery()
+	}
 	return r, nil
 }
 
@@ -246,13 +287,40 @@ const creditChainCap = 32
 // ID returns the replica's identity.
 func (r *Replica) ID() types.ReplicaID { return r.cfg.Self }
 
-// Close releases the replica's scheduler resources — its stripe flows'
-// registrations on the (shared, long-lived) runtime. The caller must
-// guarantee no further deliveries reach this replica (close the mux or
-// the network first); harnesses that build many replicas per process
-// (simulations, tests) call it so the shared runtime's flow registry
-// does not grow without bound. Safe to call more than once.
+// Close shuts the replica down cleanly. With durability enabled it first
+// pushes buffered batches through the broadcast path (reserving their
+// slots durably — even if the network is already gone, the reservations
+// survive to be rebroadcast after restart), then writes a final compacted
+// snapshot, flushes and fsyncs every queued WAL record, and closes the
+// backend. Finally it releases the replica's scheduler resources — its
+// flows' registrations on the (shared, long-lived) runtime — so harnesses
+// that build many replicas per process do not grow the flow registry
+// without bound. The caller must guarantee no further deliveries reach
+// this replica (close the mux or the network first). Safe to call more
+// than once.
 func (r *Replica) Close() {
+	if r.wal != nil {
+		r.repMu.Lock()
+		r.flushScheduled = true // suppress timer rearm; nothing will serve it
+		r.sendQ = append(r.sendQ, r.takeBatchesLocked()...)
+		r.repMu.Unlock()
+		r.drainBroadcasts()
+		r.wal.Snapshot(r.FullSnapshot)
+		r.wal.Close()
+	}
+	for _, fl := range r.stripeFlows {
+		fl.Release()
+	}
+}
+
+// Abandon is the in-process kill -9: it discards unsynced WAL work
+// without flushing — exactly what a power cut would — and releases the
+// replica's scheduler resources. Crash-recovery tests use it to die at an
+// arbitrary point; production shutdown uses Close.
+func (r *Replica) Abandon() {
+	if r.wal != nil {
+		r.wal.Abort()
+	}
 	for _, fl := range r.stripeFlows {
 		fl.Release()
 	}
@@ -339,22 +407,49 @@ func (r *Replica) validateBatch(origin types.ReplicaID, _ uint64, payload []byte
 			return false
 		}
 	}
+	return r.endorseEntries(origin, myShard, entries)
+}
+
+// endorseEntries performs the endorsement checks and, on success, records
+// the batch in the endorsement memory — and in the WAL, so the promise
+// survives a restart (recEndorse rides the next tail sync rather than a
+// barrier: the residual window is documented in internal/wal, and its
+// failure mode is liveness, never safety, because recovery refuses to
+// adopt endorsement memory from peers).
+func (r *Replica) endorseEntries(origin types.ReplicaID, myShard types.ShardID, entries []BatchEntry) bool {
+	var w *wire.Writer
+	if r.wal != nil {
+		w = wire.NewWriter(4 + len(entries)*(16+32))
+		w.U32(uint32(len(entries)))
+	}
 	r.endorsedMu.Lock()
-	defer r.endorsedMu.Unlock()
 	for _, e := range entries {
 		if r.cfg.RepOf(e.Payment.Spender) != origin {
+			r.endorsedMu.Unlock()
 			return false // origin does not represent this spender
 		}
 		if r.cfg.ShardOf(e.Payment.Spender) != myShard {
+			r.endorsedMu.Unlock()
 			return false // xlog belongs to another shard
 		}
 		h := types.HashPayment(e.Payment)
 		if prev, ok := r.endorsed[e.Payment.ID()]; ok && prev != h {
+			r.endorsedMu.Unlock()
 			return false // conflicting payment for the same identifier
 		}
 	}
 	for _, e := range entries {
-		r.endorsed[e.Payment.ID()] = types.HashPayment(e.Payment)
+		h := types.HashPayment(e.Payment)
+		r.endorsed[e.Payment.ID()] = h
+		if w != nil {
+			w.U64(uint64(e.Payment.Spender))
+			w.U64(uint64(e.Payment.Seq))
+			w.Bytes32(h)
+		}
+	}
+	r.endorsedMu.Unlock()
+	if w != nil {
+		r.wal.Append(recEndorse, w.Bytes())
 	}
 	return true
 }
@@ -577,7 +672,25 @@ func (r *Replica) drainBroadcasts() {
 	for len(r.sendQ) > 0 {
 		b := r.sendQ[0]
 		r.repMu.Unlock()
-		_, err := r.bc.Broadcast(EncodeBatch(b))
+		payload := EncodeBatch(b)
+		if r.wal != nil {
+			// Durable slot reservation, fsynced before the first wire
+			// message: once any peer can have seen (and acked) this slot,
+			// the restart path is guaranteed to know it was used — reusing
+			// it under a different payload would be self-equivocation that
+			// peers silently refuse, wedging the origin forever. The
+			// barrier batches with concurrent appends, so under load one
+			// fsync covers a settlement wave's worth of records.
+			slot := r.reserveSlot(payload)
+			r.wal.Append(recBcast, encodeBcastRecord(slot, payload))
+			r.wal.Barrier()
+		}
+		_, err := r.bc.Broadcast(payload)
+		// On a Broadcast error the reservation is deliberately kept:
+		// whether the broadcaster consumed the slot is unknowable from
+		// here, and an orphan reservation is benign (the restart path
+		// rebroadcasts it and the payment layer drops any duplicate),
+		// while a reused slot is self-equivocation peers silently refuse.
 		r.repMu.Lock()
 		if err != nil {
 			r.broadcastFailures.Add(1)
@@ -619,7 +732,7 @@ func (r *Replica) onLocal(_ transport.NodeID, payload []byte) {
 // onDeliver is the BRB delivery callback: approve and settle the batch —
 // fanned out across the state stripes — then emit confirmations and
 // (Astro II) CREDIT messages.
-func (r *Replica) onDeliver(origin types.ReplicaID, _ uint64, payload []byte) {
+func (r *Replica) onDeliver(origin types.ReplicaID, slot uint64, payload []byte) {
 	entries, err := DecodeBatch(payload)
 	if err != nil {
 		return // validated before endorsement; cannot happen from correct peers
@@ -627,6 +740,9 @@ func (r *Replica) onDeliver(origin types.ReplicaID, _ uint64, payload []byte) {
 	r.screenDependencies(entries)
 	drain := false
 	if origin == r.cfg.Self {
+		if r.wal != nil {
+			r.releaseSlot(slot)
+		}
 		r.repMu.Lock()
 		if r.myInflight > 0 {
 			r.myInflight--
@@ -639,7 +755,23 @@ func (r *Replica) onDeliver(origin types.ReplicaID, _ uint64, payload []byte) {
 		}
 		r.repMu.Unlock()
 	}
-	r.postSettle(r.settleEntries(entries))
+	settled := r.settleEntries(entries)
+	if r.wal != nil {
+		// State first, records second: the snapshot build runs on the same
+		// FIFO flow as these appends, so anything it truncates is already
+		// inside the image it writes. recSettle re-encodes the post-screen
+		// entries — replay drives the identical input through the engine.
+		// Both records ride the next tail sync; the delivery is
+		// reconstructible from peers (state transfer) until then.
+		if len(entries) > 0 {
+			r.wal.Append(recSettle, EncodeBatch(entries))
+		}
+		if origin == r.cfg.Self {
+			r.wal.Append(recBcastDone, encodeBcastDoneRecord(slot))
+		}
+		r.walMaybeSnapshot()
+	}
+	r.postSettle(settled)
 	if drain {
 		r.drainBroadcasts()
 	}
@@ -760,9 +892,21 @@ func (r *Replica) postSettle(settled []types.Payment) {
 		if r.cfg.RepOf(p.Spender) == r.cfg.Self {
 			confirms = append(confirms, p)
 			if r.cfg.Version == AstroII {
-				r.inflightOut[p.Spender] -= p.Amount
+				// Clamped, not plain subtraction: Amount is unsigned, and a
+				// restarted replica can settle a payment whose in-flight
+				// charge predates its snapshot — an unclamped decrement
+				// would wrap the projection to ~2^64 and freeze the client.
+				if v := r.inflightOut[p.Spender]; v <= p.Amount {
+					delete(r.inflightOut, p.Spender)
+				} else {
+					r.inflightOut[p.Spender] = v - p.Amount
+				}
 				if v, ok := r.attachedVal[p.ID()]; ok {
-					r.inflightDeps[p.Spender] -= v
+					if cur := r.inflightDeps[p.Spender]; cur <= v {
+						delete(r.inflightDeps, p.Spender)
+					} else {
+						r.inflightDeps[p.Spender] = cur - v
+					}
 					delete(r.attachedVal, p.ID())
 				}
 				// With settlement and projection under different locks, a
@@ -949,7 +1093,50 @@ func (r *Replica) onCredit(from transport.NodeID, payload []byte) {
 			return
 		}
 		r.handleCreditNack(from, missing)
+	case msgCreditRedo:
+		if r.creditSigner == nil {
+			return
+		}
+		groups, err := decodeCreditRedo(payload[1:])
+		if err != nil {
+			return
+		}
+		// A restarted representative lost CREDITs addressed to it while it
+		// was down (there is no retransmission), stranding its clients'
+		// certificates below f+1. Re-sign — through the normal send path,
+		// so accumulation and dedup at the requester are unchanged — any
+		// requested group this replica can itself vouch for: every payment
+		// settled in the local xlogs, every beneficiary represented by the
+		// requester, spenders in this replica's shard. Nothing here trusts
+		// the requester: the signature only restates what the local log
+		// already committed to, and double-materialization is blocked at
+		// attach time by the beneficiaries' used-dependency sets.
+		for _, group := range groups {
+			if !r.redoGroupVouchable(peer, group) {
+				continue
+			}
+			r.creditSigner.Enqueue(creditJob{rep: peer, group: group})
+		}
 	}
+}
+
+// redoGroupVouchable checks one CREDITREDO group against local state: this
+// replica may re-sign it iff it is a credit group it could have produced
+// for the requester at settlement time.
+func (r *Replica) redoGroupVouchable(requester types.ReplicaID, group []types.Payment) bool {
+	if !r.creditGroupInShard(r.cfg.Self, group) {
+		return false
+	}
+	for _, p := range group {
+		if r.cfg.RepOf(p.Beneficiary) != requester {
+			return false
+		}
+		settled, ok := r.state.SettledAt(p.Spender, p.Seq)
+		if !ok || settled != p {
+			return false
+		}
+	}
+	return true
 }
 
 // acceptCreditBatch resolves a chain-signed wave's groups against the
@@ -1057,6 +1244,16 @@ func (r *Replica) creditVerified(cs *creditState, signer types.ReplicaID, sig []
 	r.repMu.Lock()
 	for b := range beneficiaries {
 		r.repDeps[b] = append(r.repDeps[b], dep)
+	}
+	if r.wal != nil && len(beneficiaries) > 0 {
+		// Log the certificate before any retry can attach it to a payment:
+		// until its credits settle into usedDeps, this record is the
+		// beneficiaries' only durable claim to the funds. Replay re-adds
+		// it to the attachable set; restoreProjections strips it again if
+		// a recovered reservation already carries it.
+		w := wire.NewWriter(dependencySize(dep))
+		encodeDependency(w, dep)
+		r.wal.Append(recDep, w.Bytes())
 	}
 	// New funds may unblock held submissions.
 	r.retryPendingLocked(beneficiaries) // releases repMu

@@ -18,6 +18,7 @@ type cluster struct {
 	clients  map[types.ClientID]*Client
 	repOf    func(types.ClientID) types.ReplicaID
 	keys     []*crypto.KeyPair
+	cfgs     []Config // as passed to NewReplica; restart tests rebuild from these
 }
 
 func newCluster(t *testing.T, version Version, n int, genesis func(types.ClientID) types.Amount, opts ...func(*Config)) *cluster {
@@ -73,6 +74,7 @@ func newCluster(t *testing.T, version Version, n int, genesis func(types.ClientI
 			t.Fatalf("replica %d: %v", i, err)
 		}
 		c.replicas = append(c.replicas, r)
+		c.cfgs = append(c.cfgs, cfg)
 	}
 	return c
 }

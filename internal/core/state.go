@@ -1,6 +1,7 @@
 package core
 
 import (
+	"slices"
 	"sync"
 
 	"astro/internal/types"
@@ -311,6 +312,145 @@ func (s *State) TotalSettledBalance() types.Amount {
 		}
 	}
 	return sum
+}
+
+// AccountExport is the full durable image of one account: everything the
+// engine tracks for a client, in a directly serializable form. It feeds
+// both the WAL snapshot and reconfiguration full-state transfer (a
+// recovering replica is a joiner with a prefix).
+type AccountExport struct {
+	Client   types.ClientID
+	Balance  types.Amount
+	Stuck    bool
+	XLog     []types.Payment
+	Queue    []BatchEntry      // delivered-but-unsettled, ascending by Seq
+	UsedDeps []types.PaymentID // materialized dependency credits, sorted
+}
+
+// ExportAccounts captures every materialized account under all stripe
+// locks — one consistent cut, like Snapshot, so no export can observe a
+// half-applied transfer. Results are sorted by client for deterministic
+// encodings.
+func (s *State) ExportAccounts() []AccountExport {
+	s.lockAll()
+	defer s.unlockAll()
+	var out []AccountExport
+	for _, st := range s.stripes {
+		for c, a := range st.accounts {
+			ex := AccountExport{
+				Client:  c,
+				Balance: a.balance,
+				Stuck:   a.stuck,
+				XLog:    a.xlog.Snapshot(),
+			}
+			for _, e := range a.queue {
+				ex.Queue = append(ex.Queue, e)
+			}
+			slices.SortFunc(ex.Queue, func(x, y BatchEntry) int {
+				return int(x.Payment.Seq) - int(y.Payment.Seq)
+			})
+			for id := range a.usedDeps {
+				ex.UsedDeps = append(ex.UsedDeps, id)
+			}
+			slices.SortFunc(ex.UsedDeps, func(x, y types.PaymentID) int {
+				if x.Spender != y.Spender {
+					if x.Spender < y.Spender {
+						return -1
+					}
+					return 1
+				}
+				return int(x.Seq) - int(y.Seq)
+			})
+			out = append(out, ex)
+		}
+	}
+	slices.SortFunc(out, func(x, y AccountExport) int {
+		if x.Client < y.Client {
+			return -1
+		}
+		if x.Client > y.Client {
+			return 1
+		}
+		return 0
+	})
+	return out
+}
+
+// ImportAccount installs one account's full image, replacing whatever the
+// state holds for that client. Used by snapshot recovery (into a fresh
+// state) and by MergeFullSnapshot (adopting a longer peer image).
+func (s *State) ImportAccount(ex AccountExport) {
+	st := s.stripeFor(ex.Client)
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	a := &account{
+		balance:  ex.Balance,
+		xlog:     NewXLog(ex.Client),
+		queue:    make(map[types.Seq]BatchEntry, len(ex.Queue)),
+		usedDeps: make(map[types.PaymentID]struct{}, len(ex.UsedDeps)),
+		stuck:    ex.Stuck,
+	}
+	for _, p := range ex.XLog {
+		a.xlog.Append(p)
+	}
+	for _, e := range ex.Queue {
+		a.queue[e.Payment.Seq] = e
+	}
+	for _, id := range ex.UsedDeps {
+		a.usedDeps[id] = struct{}{}
+	}
+	st.accounts[ex.Client] = a
+}
+
+// XLogLen returns the client's settled-log length without materializing a
+// snapshot — the comparison MergeFullSnapshot uses to decide whether a
+// peer image is ahead of the local one.
+func (s *State) XLogLen(c types.ClientID) int {
+	st := s.stripeFor(c)
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if a, ok := st.accounts[c]; ok {
+		return a.xlog.Len()
+	}
+	return 0
+}
+
+// DepUsed reports whether the client has already materialized the credit
+// of the given payment — the replay filter for logged dependency
+// certificates (a dependency whose credits are spent must not re-enter the
+// representative's attachable set).
+func (s *State) DepUsed(c types.ClientID, id types.PaymentID) bool {
+	st := s.stripeFor(c)
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	a, ok := st.accounts[c]
+	if !ok {
+		return false
+	}
+	_, used := a.usedDeps[id]
+	return used
+}
+
+// ApplyReplay feeds one logged batch entry back into the engine during
+// crash recovery. It is ApplyEntry minus the counter accounting for
+// duplicates: a snapshot plus an over-inclusive log tail (the
+// crash-between-snapshot-rename-and-log-truncate window, and any record
+// whose settlement the snapshot already covers) replays cleanly, without
+// inflating the Conflicts counter that equivocation audits read.
+func (s *State) ApplyReplay(e BatchEntry) []types.Payment {
+	spender := e.Payment.Spender
+	st := s.stripeFor(spender)
+	st.mu.Lock()
+	acct := st.account(spender, s.genesis)
+	if acct.stuck || e.Payment.Seq < types.Seq(acct.xlog.Len()+1) {
+		st.mu.Unlock()
+		return nil // already settled (or unsettleable); snapshot covers it
+	}
+	if _, dup := acct.queue[e.Payment.Seq]; !dup {
+		acct.queue[e.Payment.Seq] = e
+	}
+	st.mu.Unlock()
+	return s.drain(spender)
 }
 
 // ApplyEntry feeds one delivered payment (with attached dependencies) into

@@ -1,6 +1,8 @@
 package reconfig
 
 import (
+	"slices"
+
 	"astro/internal/crypto"
 	"astro/internal/types"
 	"astro/internal/wire"
@@ -8,10 +10,12 @@ import (
 
 // Message kinds on transport.ChanReconfig.
 const (
-	kindJoin    byte = 1 // joiner -> members: announce (consensusless)
-	kindViewAck byte = 2 // member -> joiner: signed successor view
-	kindInstall byte = 3 // joiner -> members: certified view
-	kindState   byte = 4 // member -> joiner: xlog snapshot
+	kindJoin      byte = 1 // joiner -> members: announce (consensusless)
+	kindViewAck   byte = 2 // member -> joiner: signed successor view
+	kindInstall   byte = 3 // joiner -> members: certified view
+	kindState     byte = 4 // member -> joiner: xlog snapshot
+	kindStateReq  byte = 5 // recovering replica -> member: request full snapshot
+	kindStateFull byte = 6 // member -> recovering replica: opaque full snapshot
 
 	kindConsJoin     byte = 10 // joiner -> leader
 	kindConsPhase    byte = 11 // leader -> members (3 ordering phases)
@@ -133,26 +137,42 @@ func decodeInstall(body []byte) (installMsg, bool) {
 	return m, r.Finish() == nil
 }
 
-func encodeState(snap map[types.ClientID][]types.Payment) []byte {
-	size := 16
+// StateBodySize returns the encoded size of a state body, for writer
+// pre-sizing.
+func StateBodySize(snap map[types.ClientID][]types.Payment) int {
+	size := 4
 	for _, log := range snap {
-		size += 16 + len(log)*types.PaymentWireSize
+		size += 12 + len(log)*types.PaymentWireSize
 	}
-	w := wire.NewWriter(size)
-	w.U8(kindState)
+	return size
+}
+
+// AppendStateBody writes the xlog-snapshot body used by the kindState
+// transfer message. Exported so the durable-state snapshot (internal/wal
+// via internal/core) can embed the identical encoding: one format serves
+// both disk and state transfer.
+func AppendStateBody(w *wire.Writer, snap map[types.ClientID][]types.Payment) {
+	// Sorted clients make the encoding canonical: identical state produces
+	// identical bytes, so WAL snapshots are stable across save/load cycles
+	// and state transfers are diffable.
+	clients := make([]types.ClientID, 0, len(snap))
+	for c := range snap {
+		clients = append(clients, c)
+	}
+	slices.Sort(clients)
 	w.U32(uint32(len(snap)))
-	for c, log := range snap {
+	for _, c := range clients {
+		log := snap[c]
 		w.U64(uint64(c))
 		w.U32(uint32(len(log)))
 		for _, p := range log {
-			w.Raw(p.AppendBinary(nil))
+			w.AppendFunc(p.AppendBinary)
 		}
 	}
-	return w.Bytes()
 }
 
-func decodeState(body []byte) (map[types.ClientID][]types.Payment, bool) {
-	r := wire.NewReader(body)
+// ReadStateBody consumes a state body written by AppendStateBody.
+func ReadStateBody(r *wire.Reader) (map[types.ClientID][]types.Payment, bool) {
 	n := r.U32()
 	if r.Err() != nil || n > maxStateClients {
 		return nil, false
@@ -176,6 +196,34 @@ func decodeState(body []byte) (map[types.ClientID][]types.Payment, bool) {
 		}
 		snap[c] = log
 	}
+	return snap, r.Err() == nil
+}
+
+func encodeState(snap map[types.ClientID][]types.Payment) []byte {
+	w := wire.NewWriter(1 + StateBodySize(snap))
+	w.U8(kindState)
+	AppendStateBody(w, snap)
+	return w.Bytes()
+}
+
+func decodeState(body []byte) (map[types.ClientID][]types.Payment, bool) {
+	r := wire.NewReader(body)
+	snap, ok := ReadStateBody(r)
+	return snap, ok && r.Finish() == nil
+}
+
+func encodeStateReq() []byte { return []byte{kindStateReq} }
+
+func encodeStateFull(snap []byte) []byte {
+	w := wire.NewWriter(5 + len(snap))
+	w.U8(kindStateFull)
+	w.Chunk(snap)
+	return w.Bytes()
+}
+
+func decodeStateFull(body []byte) ([]byte, bool) {
+	r := wire.NewReader(body)
+	snap := r.Chunk()
 	return snap, r.Finish() == nil
 }
 

@@ -84,6 +84,15 @@ type StaticState map[types.ClientID][]types.Payment
 // StateSnapshot implements StateProvider.
 func (s StaticState) StateSnapshot() map[types.ClientID][]types.Payment { return s }
 
+// FullStateProvider exports the complete durable-state snapshot (the same
+// opaque encoding internal/core writes to disk) for transfer to a replica
+// recovering from a crash. A recovering replica is a joiner with a prefix:
+// it replays its own snapshot+WAL, then fetches a peer's full snapshot to
+// catch up past its log's horizon.
+type FullStateProvider interface {
+	FullSnapshot() []byte
+}
+
 // viewF returns the fault threshold to use for a view: the explicit
 // override if positive, else derived from the view size (n >= 3f+1).
 func viewF(override int, v View) int {
@@ -106,6 +115,9 @@ type Config struct {
 	InitialView View
 	// State provides the snapshot sent to joiners; nil sends empty state.
 	State StateProvider
+	// Full provides the complete durable-state snapshot served to
+	// recovering replicas (kindStateReq); nil disables the reply.
+	Full FullStateProvider
 }
 
 // Manager is the member-side protocol handler for both join variants.
@@ -159,6 +171,8 @@ func (m *Manager) onMessage(from transport.NodeID, payload []byte) {
 		m.onJoin(types.ReplicaID(from), body)
 	case kindInstall:
 		m.onInstall(body)
+	case kindStateReq:
+		m.onStateReq(types.ReplicaID(from))
 	case kindConsJoin:
 		m.onConsJoin(types.ReplicaID(from), body)
 	case kindConsPhase:
@@ -245,6 +259,21 @@ func (m *Manager) onInstall(body []byte) {
 	if len(prev.Members) > 0 && prev.Members[0] == m.cfg.Self {
 		m.sendState(inst.Joiner)
 	}
+}
+
+// onStateReq serves a recovering replica's full-snapshot request. Unlike
+// the lowest-ID-member rule of state transfer on join, every member
+// answers: the requester takes the first response and merges it against
+// its replayed prefix, so redundancy only helps.
+func (m *Manager) onStateReq(to types.ReplicaID) {
+	if m.cfg.Full == nil {
+		return
+	}
+	snap := m.cfg.Full.FullSnapshot()
+	if snap == nil {
+		return
+	}
+	_ = m.cfg.Mux.Send(transport.ReplicaNode(to), transport.ChanReconfig, encodeStateFull(snap))
 }
 
 func (m *Manager) sendState(to types.ReplicaID) {
@@ -525,5 +554,55 @@ func runJoin(cfg JoinConfig, consensus bool) (*JoinResult, error) {
 		return &JoinResult{View: next, State: snap, Latency: time.Since(start)}, nil
 	case <-deadline:
 		return nil, ErrJoinTimeout
+	}
+}
+
+// FetchConfig configures a full-snapshot fetch by a recovering replica.
+type FetchConfig struct {
+	Mux *transport.Mux
+	// Peers are the members asked for their full snapshot; the first
+	// response wins.
+	Peers []types.ReplicaID
+	// Timeout bounds the fetch. Default 30s.
+	Timeout time.Duration
+}
+
+// ErrFetchTimeout is returned when no peer answers a full-snapshot fetch.
+var ErrFetchTimeout = errors.New("reconfig: state fetch timed out")
+
+// FetchState asks peers for their full durable-state snapshot and returns
+// the first response — the catch-up half of crash recovery. Like runJoin
+// it temporarily owns the reconfiguration channel; call it before
+// NewManager re-registers the member-side handler.
+func FetchState(cfg FetchConfig) ([]byte, error) {
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = 30 * time.Second
+	}
+	snapCh := make(chan []byte, 1)
+	cfg.Mux.Register(transport.ChanReconfig, func(_ transport.NodeID, payload []byte) {
+		kind, body := splitKind(payload)
+		if kind != kindStateFull {
+			return
+		}
+		snap, ok := decodeStateFull(body)
+		if !ok {
+			return
+		}
+		buf := make([]byte, len(snap))
+		copy(buf, snap)
+		select {
+		case snapCh <- buf:
+		default:
+		}
+	})
+	req := encodeStateReq()
+	for _, p := range cfg.Peers {
+		_ = cfg.Mux.Send(transport.ReplicaNode(p), transport.ChanReconfig, req)
+	}
+	select {
+	case snap := <-snapCh:
+		return snap, nil
+	case <-time.After(cfg.Timeout):
+		return nil, ErrFetchTimeout
 	}
 }

@@ -8,18 +8,22 @@
 package sim
 
 import (
+	"errors"
 	"fmt"
+	"path/filepath"
 	"time"
 
 	"astro/internal/consensus"
 	"astro/internal/core"
 	"astro/internal/crypto"
 	"astro/internal/crypto/verifier"
+	"astro/internal/reconfig"
 	"astro/internal/sched"
 	"astro/internal/shard"
 	"astro/internal/transport"
 	"astro/internal/transport/memnet"
 	"astro/internal/types"
+	"astro/internal/wal"
 )
 
 // AstroOpts configures an Astro deployment.
@@ -58,6 +62,15 @@ type AstroOpts struct {
 	RealCrypto bool
 	// Seed feeds the network jitter generator.
 	Seed uint64
+	// DataDir enables durable replica state: each replica appends to a
+	// write-ahead log under DataDir/rep<id>, Kill models a kill -9, and
+	// Restart rebuilds the replica from its log plus peer state transfer.
+	// Empty keeps replicas memory-only (the default for throughput
+	// experiments, where durability I/O is a separate axis).
+	DataDir string
+	// WALSnapshotEvery is the compaction cadence (core.Config); 0 keeps
+	// the core default.
+	WALSnapshotEvery int
 }
 
 // DefaultBandwidth matches the paper's measured ~30 MiB/s between EC2
@@ -88,6 +101,12 @@ type AstroCluster struct {
 	clients map[types.ClientID]*core.Client
 	muxes   []*transport.Mux
 	rt      *sched.Runtime
+
+	// Durable-deployment bookkeeping (DataDir set): everything Restart
+	// needs to rebuild a replica in place.
+	dataDir string
+	cfgs    map[types.ReplicaID]core.Config
+	repMux  map[types.ReplicaID]*transport.Mux
 }
 
 // NewAstroCluster builds and starts a deployment.
@@ -145,13 +164,16 @@ func NewAstroCluster(opts AstroOpts) (*AstroCluster, error) {
 		repOf:    repOf,
 		clients:  make(map[types.ClientID]*core.Client),
 		rt:       rt,
+		dataDir:  opts.DataDir,
+		cfgs:     make(map[types.ReplicaID]core.Config),
+		repMux:   make(map[types.ReplicaID]*transport.Mux),
 	}
 	for s := 0; s < opts.Topology.NumShards; s++ {
 		members := opts.Topology.Replicas(types.ShardID(s))
 		for _, id := range members {
 			mux := transport.NewMux(net.Node(transport.ReplicaNode(id)), transport.WithRuntime(rt))
 			c.muxes = append(c.muxes, mux)
-			rep, err := core.NewReplica(core.Config{
+			cfg := core.Config{
 				Version:      opts.Version,
 				Self:         id,
 				Replicas:     members,
@@ -169,15 +191,128 @@ func NewAstroCluster(opts AstroOpts) (*AstroCluster, error) {
 				Keys:         keys[id],
 				Registry:     registry,
 				Verifier:     ver,
-			})
+			}
+			if opts.DataDir != "" {
+				be, err := wal.Open(c.replicaDir(id))
+				if err != nil {
+					net.Close()
+					return nil, fmt.Errorf("sim: replica %d: %w", id, err)
+				}
+				cfg.WAL = be
+				cfg.WALSnapshotEvery = opts.WALSnapshotEvery
+			}
+			rep, err := core.NewReplica(cfg)
 			if err != nil {
 				net.Close()
 				return nil, fmt.Errorf("sim: replica %d: %w", id, err)
 			}
 			c.Replicas[id] = rep
+			c.cfgs[id] = cfg
+			c.repMux[id] = mux
+			if opts.DataDir != "" {
+				// Durable deployments serve full-state transfer to
+				// recovering peers on the reconfiguration channel.
+				reconfig.NewManager(reconfig.Config{
+					Self: id, Mux: mux, Keys: keys[id], Registry: registry,
+					InitialView: reconfig.View{Num: 1, Members: members},
+					Full:        rep,
+				})
+			}
 		}
 	}
 	return c, nil
+}
+
+func (c *AstroCluster) replicaDir(id types.ReplicaID) string {
+	return filepath.Join(c.dataDir, fmt.Sprintf("rep%d", id))
+}
+
+// Kill crash-stops a replica the way kill -9 does: the network drops its
+// traffic and the process state — including write-ahead-log appends not
+// yet synced — is discarded without any flush.
+func (c *AstroCluster) Kill(id types.ReplicaID) {
+	c.Net.Crash(transport.ReplicaNode(id))
+	if r, ok := c.Replicas[id]; ok {
+		r.Abandon()
+	}
+	if m, ok := c.repMux[id]; ok {
+		m.Close()
+	}
+}
+
+// Restart rebuilds a killed replica in place: replay the data directory's
+// snapshot and log tail, rejoin the network on the same endpoint, and
+// fetch a full snapshot from a live peer to merge the settlement suffix
+// missed while down (Astro broadcasts are never retransmitted, so state
+// transfer is the only way to learn it). A fetch timeout is tolerated —
+// with every peer down the replica still comes back from its own log.
+func (c *AstroCluster) Restart(id types.ReplicaID) error {
+	if c.dataDir == "" {
+		return errors.New("sim: Restart requires AstroOpts.DataDir")
+	}
+	cfg, ok := c.cfgs[id]
+	if !ok {
+		return fmt.Errorf("sim: unknown replica %d", id)
+	}
+	node := transport.ReplicaNode(id)
+	c.Net.Restore(node)
+	be, err := wal.Open(c.replicaDir(id))
+	if err != nil {
+		return fmt.Errorf("sim: restart %d: %w", id, err)
+	}
+	mux := transport.NewMux(c.Net.Node(node), transport.WithRuntime(c.rt))
+	c.muxes = append(c.muxes, mux)
+	cfg.Mux = mux
+	cfg.WAL = be
+	rep, err := core.NewReplica(cfg)
+	if err != nil {
+		return fmt.Errorf("sim: restart %d: %w", id, err)
+	}
+	peers := make([]types.ReplicaID, 0, len(cfg.Replicas)-1)
+	for _, p := range cfg.Replicas {
+		if p != id && !c.Net.Crashed(transport.ReplicaNode(p)) {
+			peers = append(peers, p)
+		}
+	}
+	if len(peers) > 0 {
+		// FetchState temporarily owns the reconfiguration channel; the
+		// manager below takes it over once the catch-up is done.
+		snap, ferr := reconfig.FetchState(reconfig.FetchConfig{
+			Mux: mux, Peers: peers, Timeout: 15 * time.Second,
+		})
+		if ferr == nil {
+			if merr := rep.MergeFullSnapshot(snap); merr != nil {
+				return fmt.Errorf("sim: restart %d: merge: %w", id, merr)
+			}
+		} else if !errors.Is(ferr, reconfig.ErrFetchTimeout) {
+			return fmt.Errorf("sim: restart %d: fetch: %w", id, ferr)
+		}
+	}
+	reconfig.NewManager(reconfig.Config{
+		Self: id, Mux: mux, Keys: cfg.Keys, Registry: cfg.Registry,
+		InitialView: reconfig.View{Num: 1, Members: cfg.Replicas},
+		Full:        rep,
+	})
+	c.Replicas[id] = rep
+	c.cfgs[id] = cfg
+	c.repMux[id] = mux
+	return nil
+}
+
+// AntiEntropy merges a live peer's full snapshot into replica id — the
+// final convergence step an operator runs after an outage window, closing
+// the gap for deliveries that committed while the replica was down but
+// after its restart-time state fetch.
+func (c *AstroCluster) AntiEntropy(id, donor types.ReplicaID) error {
+	rep, ok := c.Replicas[id]
+	if !ok {
+		return fmt.Errorf("sim: unknown replica %d", id)
+	}
+	d, ok := c.Replicas[donor]
+	if !ok {
+		return fmt.Errorf("sim: unknown replica %d", donor)
+	}
+	return rep.MergeFullSnapshot(d.FullSnapshot())
 }
 
 // Client returns (creating on first use) the client with the given id.

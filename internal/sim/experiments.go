@@ -2,6 +2,7 @@ package sim
 
 import (
 	"fmt"
+	"os"
 	"time"
 
 	"astro/internal/core"
@@ -267,10 +268,12 @@ func Fig4(cfg Fig4Config) ([]Measurement, error) {
 // FaultKind selects the robustness perturbation.
 type FaultKind string
 
-// The two perturbations of §VI-D.
+// The two perturbations of §VI-D, plus the durability extension: a
+// kill -9 that later restarts the replica from its write-ahead log.
 const (
-	FaultCrash FaultKind = "crash" // crash-stop
-	FaultDelay FaultKind = "delay" // netem-style 100ms outbound delay
+	FaultCrash   FaultKind = "crash"   // crash-stop
+	FaultDelay   FaultKind = "delay"   // netem-style 100ms outbound delay
+	FaultRestart FaultKind = "restart" // kill -9, then recover from the WAL
 )
 
 // TargetKind selects which replica is perturbed.
@@ -296,6 +299,13 @@ type TimelineConfig struct {
 	Target  TargetKind
 	// Delay is the injected delay for FaultDelay (paper: 100ms).
 	Delay time.Duration
+	// RestartAfter is the downtime before a FaultRestart target is
+	// rebuilt from its write-ahead log (default 3s). Astro systems only:
+	// the consensus baseline has no durable replica state.
+	RestartAfter time.Duration
+	// DataDir backs the replicas' write-ahead logs for FaultRestart;
+	// empty uses a run-scoped temporary directory.
+	DataDir string
 	// BinWidth of the throughput timeline (paper: 1s).
 	BinWidth time.Duration
 	// RequestTimeout tunes the consensus suspicion timeout: loose yields
@@ -338,6 +348,18 @@ func Timeline(cfg TimelineConfig) (TimelineResult, error) {
 	if cfg.BinWidth <= 0 {
 		cfg.BinWidth = time.Second
 	}
+	if cfg.RestartAfter <= 0 {
+		cfg.RestartAfter = 3 * time.Second
+	}
+	dataDir := cfg.DataDir
+	if cfg.Fault == FaultRestart && dataDir == "" {
+		tmp, err := os.MkdirTemp("", "astro-restart-*")
+		if err != nil {
+			return TimelineResult{}, fmt.Errorf("sim: %w", err)
+		}
+		defer os.RemoveAll(tmp)
+		dataDir = tmp
+	}
 
 	bins := int(cfg.Window/cfg.BinWidth) + 1
 	var tl *metrics.Timeline
@@ -352,11 +374,15 @@ func Timeline(cfg TimelineConfig) (TimelineResult, error) {
 		if cfg.System == SystemAstroII {
 			version = core.AstroII
 		}
-		cl, err := NewAstroCluster(AstroOpts{
+		opts := AstroOpts{
 			Version:  version,
 			Topology: shard.Topology{NumShards: 1, PerShard: cfg.N},
 			Seed:     cfg.Seed,
-		})
+		}
+		if cfg.Fault == FaultRestart {
+			opts.DataDir = dataDir
+		}
+		cl, err := NewAstroCluster(opts)
 		if err != nil {
 			return TimelineResult{}, err
 		}
@@ -368,15 +394,32 @@ func Timeline(cfg TimelineConfig) (TimelineResult, error) {
 		// the fault visibly removes that client's share of throughput
 		// (fate sharing, paper §VI-D).
 		target := cl.RepOf(1)
+		var restartTimer *time.Timer
+		defer func() {
+			if restartTimer != nil {
+				restartTimer.Stop()
+			}
+		}()
 		injectFault = func() {
-			if cfg.Fault == FaultCrash {
+			switch cfg.Fault {
+			case FaultRestart:
+				cl.Kill(target)
+				restartTimer = time.AfterFunc(cfg.RestartAfter, func() {
+					// Timeline curves show the recovery dip; a restart
+					// error surfaces as throughput that never returns.
+					_ = cl.Restart(target)
+				})
+			case FaultCrash:
 				cl.Crash(target)
-			} else {
+			default:
 				cl.Delay(target, cfg.Delay)
 			}
 		}
 		viewChanges = func() uint64 { return 0 }
 	case SystemConsensus:
+		if cfg.Fault == FaultRestart {
+			return TimelineResult{}, fmt.Errorf("sim: %s has no durable replica state to restart from", cfg.System)
+		}
 		cl, err := NewConsensusCluster(ConsensusOpts{
 			N:                  cfg.N,
 			RequestTimeout:     cfg.RequestTimeout,

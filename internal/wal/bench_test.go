@@ -1,0 +1,93 @@
+package wal
+
+import (
+	"fmt"
+	"testing"
+
+	"astro/internal/sched"
+)
+
+// BenchmarkWriterAppendFile measures the amortized cost of one durable
+// record through the full Writer path (flow hop + framing + tail-sync
+// fsync batching) against a real file. One Barrier per 256 records models
+// the broadcast-reservation cadence.
+func BenchmarkWriterAppendFile(b *testing.B) {
+	benchWriterAppend(b, func(b *testing.B) Backend {
+		be, err := Open(b.TempDir())
+		if err != nil {
+			b.Fatal(err)
+		}
+		return be
+	})
+}
+
+// BenchmarkWriterAppendNop is the same path with the Nop backend: the
+// gap to BenchmarkWriterAppendFile is the pure I/O (write+fsync) cost.
+func BenchmarkWriterAppendNop(b *testing.B) {
+	benchWriterAppend(b, func(*testing.B) Backend { return Nop{} })
+}
+
+func benchWriterAppend(b *testing.B, open func(*testing.B) Backend) {
+	rt := sched.New(2)
+	defer rt.Close()
+	w := NewWriter(open(b), rt)
+	payload := make([]byte, 96) // ~ one settled-batch record per payment
+	b.SetBytes(int64(FrameSize(len(payload))))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf := make([]byte, len(payload))
+		copy(buf, payload)
+		w.Append(2, buf)
+		if i%256 == 255 {
+			w.Barrier()
+		}
+	}
+	w.Barrier()
+	b.StopTimer()
+	w.Close()
+	if err := w.Err(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkReplay measures recovery-replay time as a function of log
+// length: Load over a log of n records, the denominator of the
+// "restart dip" in the recovery experiments.
+func BenchmarkReplay(b *testing.B) {
+	for _, n := range []int{1_000, 10_000, 100_000} {
+		b.Run(fmt.Sprintf("records=%d", n), func(b *testing.B) {
+			dir := b.TempDir()
+			be, err := Open(dir)
+			if err != nil {
+				b.Fatal(err)
+			}
+			payload := make([]byte, 96)
+			for i := 0; i < n; i++ {
+				if err := be.Append(2, payload); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if err := be.Sync(); err != nil {
+				b.Fatal(err)
+			}
+			if err := be.Close(); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				r, err := Open(dir)
+				if err != nil {
+					b.Fatal(err)
+				}
+				got := 0
+				if err := r.Load(nil, func(byte, []byte) error { got++; return nil }); err != nil {
+					b.Fatal(err)
+				}
+				if got != n {
+					b.Fatalf("replayed %d, want %d", got, n)
+				}
+				r.Close()
+			}
+		})
+	}
+}

@@ -1,0 +1,461 @@
+package wal
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"astro/internal/sched"
+)
+
+type rec struct {
+	kind    byte
+	payload []byte
+}
+
+func loadAll(t *testing.T, b Backend) (snap []byte, recs []rec) {
+	t.Helper()
+	err := b.Load(
+		func(s []byte) error { snap = append([]byte(nil), s...); return nil },
+		func(k byte, p []byte) error {
+			recs = append(recs, rec{k, append([]byte(nil), p...)})
+			return nil
+		},
+	)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	return snap, recs
+}
+
+func TestFileBackendRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	b, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []rec{
+		{1, []byte("alpha")},
+		{2, nil},
+		{3, bytes.Repeat([]byte{0xab}, 1000)},
+	}
+	for _, r := range want {
+		if err := b.Append(r.kind, r.payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := b.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	b2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b2.Close()
+	snap, got := loadAll(t, b2)
+	if snap != nil {
+		t.Fatalf("unexpected snapshot %q", snap)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %d records, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i].kind != want[i].kind || !bytes.Equal(got[i].payload, want[i].payload) {
+			t.Fatalf("record %d mismatch", i)
+		}
+	}
+}
+
+func TestFileBackendCloseFlushesUnsynced(t *testing.T) {
+	dir := t.TempDir()
+	b, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Append(7, []byte("no explicit sync")); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Close(); err != nil {
+		t.Fatal(err)
+	}
+	b2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b2.Close()
+	_, got := loadAll(t, b2)
+	if len(got) != 1 || got[0].kind != 7 {
+		t.Fatalf("clean Close dropped buffered record: %v", got)
+	}
+}
+
+func TestFileBackendAbortDiscardsUnsynced(t *testing.T) {
+	dir := t.TempDir()
+	b, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Append(1, []byte("durable")); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Append(2, []byte("torn away")); err != nil {
+		t.Fatal(err)
+	}
+	b.Abort() // kill -9: the second record never reached disk
+
+	b2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b2.Close()
+	_, got := loadAll(t, b2)
+	if len(got) != 1 || got[0].kind != 1 {
+		t.Fatalf("want only the synced record, got %v", got)
+	}
+}
+
+func TestFileBackendSnapshotRotation(t *testing.T) {
+	dir := t.TempDir()
+	b, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if err := b.Append(1, []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := b.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.WriteSnapshot([]byte("state@5")); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Append(2, []byte("after")); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	b2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b2.Close()
+	snap, got := loadAll(t, b2)
+	if string(snap) != "state@5" {
+		t.Fatalf("snapshot = %q", snap)
+	}
+	if len(got) != 1 || got[0].kind != 2 {
+		t.Fatalf("want only post-snapshot records, got %v", got)
+	}
+	if _, err := os.Stat(filepath.Join(dir, snapName+".tmp")); !os.IsNotExist(err) {
+		t.Fatalf("snapshot tmp file left behind: %v", err)
+	}
+}
+
+// TestTornTailEveryOffset truncates the log at every byte offset inside
+// the last record's frame and asserts replay stops cleanly at the last
+// valid record: no panic, no partial apply, and the file is repaired to
+// the valid prefix.
+func TestTornTailEveryOffset(t *testing.T) {
+	master := t.TempDir()
+	b, err := Open(master)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := b.Append(byte(i+1), bytes.Repeat([]byte{byte(i)}, 20+i*7)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := b.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Close(); err != nil {
+		t.Fatal(err)
+	}
+	full, err := os.ReadFile(filepath.Join(master, logName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lastLen := FrameSize(20 + 2*7)
+	prefix := len(full) - lastLen
+	if prefix < 0 {
+		t.Fatalf("log smaller than last frame: %d < %d", len(full), lastLen)
+	}
+
+	for cut := prefix; cut < len(full); cut++ {
+		dir := t.TempDir()
+		if err := os.WriteFile(filepath.Join(dir, logName), full[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		b, err := Open(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, got := loadAll(t, b)
+		if len(got) != 2 {
+			t.Fatalf("cut at %d: got %d records, want 2", cut, len(got))
+		}
+		// The torn tail must be repaired on disk.
+		st, err := os.Stat(filepath.Join(dir, logName))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Size() != int64(prefix) {
+			t.Fatalf("cut at %d: log not truncated to valid prefix: %d != %d", cut, st.Size(), prefix)
+		}
+		// Appends must continue cleanly from the repaired tail.
+		if err := b.Append(9, []byte("resumed")); err != nil {
+			t.Fatal(err)
+		}
+		if err := b.Close(); err != nil {
+			t.Fatal(err)
+		}
+		b2, err := Open(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, again := loadAll(t, b2)
+		if len(again) != 3 || again[2].kind != 9 {
+			t.Fatalf("cut at %d: resume after repair failed: %v", cut, again)
+		}
+		b2.Close()
+	}
+}
+
+// TestCorruptTailEveryOffset flips one bit at every byte offset inside the
+// last record's frame and asserts replay stops at the last valid record.
+func TestCorruptTailEveryOffset(t *testing.T) {
+	master := t.TempDir()
+	b, err := Open(master)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := b.Append(byte(i+1), bytes.Repeat([]byte{byte(i)}, 20+i*7)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := b.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Close(); err != nil {
+		t.Fatal(err)
+	}
+	full, err := os.ReadFile(filepath.Join(master, logName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	prefix := len(full) - FrameSize(20+2*7)
+
+	for off := prefix; off < len(full); off++ {
+		dir := t.TempDir()
+		mut := append([]byte(nil), full...)
+		mut[off] ^= 0x40
+		if err := os.WriteFile(filepath.Join(dir, logName), mut, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		b, err := Open(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, got := loadAll(t, b)
+		// A flipped bit in the last frame must never yield a third record
+		// (CRC or framing catches it), and must never lose the first two.
+		if len(got) != 2 {
+			t.Fatalf("corrupt at %d: got %d records, want 2", off, len(got))
+		}
+		b.Close()
+	}
+}
+
+func TestScanFramesZeroAndOversizedLength(t *testing.T) {
+	var log []byte
+	log = AppendFrame(log, 1, []byte("ok"))
+	valid := len(log)
+	// Zero length: must stop, not loop forever.
+	log = append(log, make([]byte, 16)...)
+	n, err := ScanFrames(log, nil)
+	if err != nil || n != valid {
+		t.Fatalf("zero-length frame: n=%d err=%v, want %d", n, err, valid)
+	}
+	// Oversized length prefix: must stop, not allocate.
+	log = log[:valid]
+	log = append(log, 0xff, 0xff, 0xff, 0xff, 0, 0, 0, 0, 1)
+	n, err = ScanFrames(log, nil)
+	if err != nil || n != valid {
+		t.Fatalf("oversized frame: n=%d err=%v, want %d", n, err, valid)
+	}
+}
+
+// countBackend wraps Nop, counting operations, to observe the Writer's
+// batching discipline.
+type countBackend struct {
+	mu      sync.Mutex
+	appends int
+	syncs   int
+	snaps   [][]byte
+}
+
+func (c *countBackend) Append(byte, []byte) error {
+	c.mu.Lock()
+	c.appends++
+	c.mu.Unlock()
+	return nil
+}
+
+func (c *countBackend) Sync() error {
+	c.mu.Lock()
+	c.syncs++
+	c.mu.Unlock()
+	return nil
+}
+
+func (c *countBackend) WriteSnapshot(s []byte) error {
+	c.mu.Lock()
+	c.snaps = append(c.snaps, append([]byte(nil), s...))
+	c.mu.Unlock()
+	return nil
+}
+
+func (c *countBackend) Load(func([]byte) error, func(byte, []byte) error) error { return nil }
+func (c *countBackend) Close() error                                            { return nil }
+func (c *countBackend) Abort()                                                  {}
+
+func TestWriterBarrierAndTailSync(t *testing.T) {
+	rt := sched.New(2)
+	defer rt.Close()
+	cb := &countBackend{}
+	w := NewWriter(cb, rt)
+
+	const n = 500
+	for i := 0; i < n; i++ {
+		w.Append(1, []byte{byte(i)})
+	}
+	w.Barrier()
+	cb.mu.Lock()
+	appends, syncs := cb.appends, cb.syncs
+	cb.mu.Unlock()
+	if appends != n {
+		t.Fatalf("appends = %d, want %d", appends, n)
+	}
+	if syncs == 0 {
+		t.Fatal("no sync issued by barrier")
+	}
+	if syncs > appends {
+		t.Fatalf("more syncs (%d) than appends (%d): tail sync not batching", syncs, appends)
+	}
+	if err := w.Err(); err != nil {
+		t.Fatal(err)
+	}
+	w.Close()
+	w.Close() // idempotent
+}
+
+func TestWriterSnapshotOrdering(t *testing.T) {
+	rt := sched.New(2)
+	defer rt.Close()
+	cb := &countBackend{}
+	w := NewWriter(cb, rt)
+
+	w.Append(1, []byte("before"))
+	w.Snapshot(func() []byte {
+		// Runs on the flow: the append before must have reached the
+		// backend already.
+		cb.mu.Lock()
+		defer cb.mu.Unlock()
+		return []byte(fmt.Sprintf("appends=%d", cb.appends))
+	})
+	w.Barrier()
+	cb.mu.Lock()
+	snaps := len(cb.snaps)
+	var first string
+	if snaps > 0 {
+		first = string(cb.snaps[0])
+	}
+	cb.mu.Unlock()
+	if snaps != 1 || first != "appends=1" {
+		t.Fatalf("snapshot ordering violated: %d snaps, first=%q", snaps, first)
+	}
+	w.Close()
+}
+
+func TestWriterFileEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	rt := sched.New(2)
+	defer rt.Close()
+	b, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Load(nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	w := NewWriter(b, rt)
+	for i := 0; i < 100; i++ {
+		w.Append(3, []byte{byte(i)})
+	}
+	w.Close()
+	if err := w.Err(); err != nil {
+		t.Fatal(err)
+	}
+
+	b2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b2.Close()
+	_, got := loadAll(t, b2)
+	if len(got) != 100 {
+		t.Fatalf("got %d records, want 100", len(got))
+	}
+	for i, r := range got {
+		if r.kind != 3 || len(r.payload) != 1 || r.payload[0] != byte(i) {
+			t.Fatalf("record %d out of order or corrupt: %+v", i, r)
+		}
+	}
+}
+
+func TestWriterAbort(t *testing.T) {
+	dir := t.TempDir()
+	rt := sched.New(2)
+	defer rt.Close()
+	b, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := NewWriter(b, rt)
+	w.Append(1, []byte("x"))
+	w.Barrier()
+	w.Append(2, []byte("y")) // may or may not be synced before the kill
+	w.Abort()
+	if err := w.Err(); err != nil {
+		t.Fatalf("abort must not surface errors: %v", err)
+	}
+
+	b2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b2.Close()
+	_, got := loadAll(t, b2)
+	if len(got) < 1 || got[0].kind != 1 {
+		t.Fatalf("barrier'd record lost across abort: %v", got)
+	}
+}

@@ -1,0 +1,161 @@
+package wal
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"astro/internal/sched"
+)
+
+// writerFlowQueue bounds the Writer's append queue. Submit blocks when the
+// queue is full, so this is also the backpressure point: a replica cannot
+// run more than this many records ahead of its disk.
+const writerFlowQueue = 1024
+
+// Writer serializes all backend operations on one dedicated scheduler
+// flow, so appends from settle lanes, the endorsement path, and the
+// broadcast path never contend on an I/O mutex and never block behind an
+// fsync — except at an explicit Barrier.
+//
+// Fsync batching uses a tail-sync discipline: each Append increments a
+// pending counter that its flow task decrements on entry; after writing a
+// record to the backend, the task issues Sync only if no later append is
+// already queued behind it. Under load one fsync covers a whole
+// settlement wave; when idle every record syncs promptly.
+type Writer struct {
+	be   Backend
+	rt   *sched.Runtime
+	flow *sched.Flow
+
+	pending atomic.Int64 // appends submitted but not yet started
+	records atomic.Uint64
+	syncs   atomic.Uint64
+	closed  atomic.Bool
+
+	mu  sync.Mutex
+	err error
+}
+
+// NewWriter creates a Writer over be with a fresh flow on rt. The backend
+// must already be loaded (Backend.Load) — the Writer only appends.
+func NewWriter(be Backend, rt *sched.Runtime) *Writer {
+	w := &Writer{be: be, rt: rt}
+	w.flow = rt.Flow(rt.KeySpace(), writerFlowQueue)
+	return w
+}
+
+// Append schedules one record for the log, taking ownership of payload.
+// It returns once the record is queued; durability comes with the next
+// covering Sync (tail sync or Barrier). Errors surface via Err.
+func (w *Writer) Append(kind byte, payload []byte) {
+	if w.closed.Load() {
+		return
+	}
+	w.pending.Add(1)
+	w.flow.Submit(func() {
+		w.pending.Add(-1)
+		if err := w.be.Append(kind, payload); err != nil {
+			w.setErr(err)
+			return
+		}
+		w.records.Add(1)
+		if w.pending.Load() == 0 {
+			w.sync()
+		}
+	})
+}
+
+// Barrier blocks until every record appended before the call is durable.
+// It is safe to call from lane context: the wait helps drain the Writer's
+// own flow (and stealable work) instead of parking.
+func (w *Writer) Barrier() {
+	if w.closed.Load() {
+		return
+	}
+	done := make(chan struct{})
+	w.flow.Submit(func() {
+		w.sync()
+		close(done)
+	})
+	w.rt.HelpFlows(done, []*sched.Flow{w.flow})
+}
+
+// Snapshot schedules a compaction: build runs on the Writer's flow — so
+// it observes a state that includes every record appended before the call
+// and none after — and its result replaces the snapshot, discarding the
+// log. A nil build result skips the compaction.
+func (w *Writer) Snapshot(build func() []byte) {
+	if w.closed.Load() {
+		return
+	}
+	w.flow.Submit(func() {
+		snap := build()
+		if snap == nil {
+			return
+		}
+		if err := w.be.WriteSnapshot(snap); err != nil {
+			w.setErr(err)
+		}
+	})
+}
+
+// Err returns the first backend error, if any.
+func (w *Writer) Err() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.err
+}
+
+// Stats returns the number of records written and Syncs issued.
+func (w *Writer) Stats() (records, syncs uint64) {
+	return w.records.Load(), w.syncs.Load()
+}
+
+// Close flushes every queued record, fsyncs, closes the backend, and
+// releases the flow. Idempotent; concurrent Appends that lose the race
+// are dropped (the caller is shutting down).
+func (w *Writer) Close() {
+	if !w.closed.CompareAndSwap(false, true) {
+		return
+	}
+	done := make(chan struct{})
+	w.flow.Submit(func() {
+		w.sync()
+		close(done)
+	})
+	w.rt.HelpFlows(done, []*sched.Flow{w.flow})
+	if err := w.be.Close(); err != nil {
+		w.setErr(err)
+	}
+	w.flow.Release()
+}
+
+// Abort closes the backend without flushing, discarding unsynced records
+// — the in-process kill -9. Queued flow tasks still run but hit the
+// closed backend and become no-ops.
+func (w *Writer) Abort() {
+	if !w.closed.CompareAndSwap(false, true) {
+		return
+	}
+	w.be.Abort()
+	w.flow.Release()
+}
+
+func (w *Writer) sync() {
+	if err := w.be.Sync(); err != nil {
+		w.setErr(err)
+		return
+	}
+	w.syncs.Add(1)
+}
+
+func (w *Writer) setErr(err error) {
+	if err == nil || err == ErrClosed {
+		return
+	}
+	w.mu.Lock()
+	if w.err == nil {
+		w.err = err
+	}
+	w.mu.Unlock()
+}

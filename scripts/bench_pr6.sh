@@ -1,0 +1,77 @@
+#!/bin/sh
+# bench_pr6.sh — regenerate BENCH_PR6.json: the cost and payoff of durable
+# replica state (internal/wal), measured from the same tree:
+#
+#   - settle throughput with the file-backed WAL on every replica vs the
+#     Nop backend (identical scheduler path, no I/O) vs memory-only — the
+#     Nop gap is the durability plumbing, the File gap is write+fsync;
+#   - amortized WAL append cost through the Writer (flow hop + framing +
+#     tail-sync fsync batching), File vs Nop;
+#   - recovery-replay time vs log length: raw frame replay (wal.Load) and
+#     full replica restart (NewReplica over an uncompacted log).
+#
+# Usage: scripts/bench_pr6.sh [output.json]   (default BENCH_PR6.json)
+
+set -e
+OUT=${1:-BENCH_PR6.json}
+TMP=$(mktemp)
+trap 'rm -f "$TMP"' EXIT
+
+run() {
+	echo "== $*" >&2
+	go test -run=NONE -bench "$1" -benchtime "$2" "$3" | tee -a "$TMP" >&2
+}
+
+# End-to-end settle throughput: 4 replicas, 64 clients, 256-payment
+# batches, per settled payment.
+run 'BenchmarkSettleWALFile|BenchmarkSettleWALNop|BenchmarkSettleWALOff' 2000x ./internal/core/
+# Amortized durable-record cost through the Writer.
+run 'BenchmarkWriterAppendFile|BenchmarkWriterAppendNop' 20000x ./internal/wal/
+# Raw log replay (frame scan + CRC) vs length.
+run 'BenchmarkReplay' 5x ./internal/wal/
+# Full replica restart (replay + projection rebuild) vs settled history.
+run 'BenchmarkReplicaRecover' 5x ./internal/core/
+
+CORES=$(nproc 2>/dev/null || echo 1)
+CPU=$(awk -F': ' '/model name/{print $2; exit}' /proc/cpuinfo 2>/dev/null || echo unknown)
+
+awk -v cores="$CORES" -v cpu="$CPU" '
+/^Benchmark/ {
+	name = $1
+	sub(/-[0-9]+$/, "", name)
+	for (i = 2; i <= NF; i++) {
+		if ($i == "ns/op") ns[name] = $(i-1)
+	}
+}
+END {
+	printf "{\n"
+	printf "  \"host\": {\n"
+	printf "    \"cpu\": \"%s\",\n", cpu
+	printf "    \"cores\": %s,\n", cores
+	printf "    \"note\": \"Settle numbers are ns per settled payment across a 4-replica deployment; every replica carries its own WAL, so File pays 4 independent fsync streams. Tail-sync batching amortizes fsyncs across whatever is in flight, so the File/Nop gap shrinks as load rises; single-payment closed-loop traffic is the worst case for it.\"\n"
+	printf "  },\n"
+	printf "  \"settle_per_payment\": {\n"
+	printf "    \"WAL_file_ns\": %s,\n", ns["BenchmarkSettleWALFile"]
+	printf "    \"WAL_nop_ns\": %s,\n", ns["BenchmarkSettleWALNop"]
+	printf "    \"WAL_off_ns\": %s\n", ns["BenchmarkSettleWALOff"]
+	printf "  },\n"
+	printf "  \"wal_append_per_record\": {\n"
+	printf "    \"file_ns\": %s,\n", ns["BenchmarkWriterAppendFile"]
+	printf "    \"nop_ns\": %s\n", ns["BenchmarkWriterAppendNop"]
+	printf "  },\n"
+	printf "  \"replay\": {\n"
+	printf "    \"load_1k_records_ns\": %s,\n", ns["BenchmarkReplay/records=1000"]
+	printf "    \"load_10k_records_ns\": %s,\n", ns["BenchmarkReplay/records=10000"]
+	printf "    \"load_100k_records_ns\": %s,\n", ns["BenchmarkReplay/records=100000"]
+	printf "    \"restart_1k_payments_ns\": %s,\n", ns["BenchmarkReplicaRecover/payments=1000"]
+	printf "    \"restart_10k_payments_ns\": %s\n", ns["BenchmarkReplicaRecover/payments=10000"]
+	printf "  },\n"
+	printf "  \"summary\": [\n"
+	printf "    \"internal/wal gives each replica an append-only CRC-framed log with fsync batching (Append is async on the replica'\''s WAL flow; a quiescent tail triggers sync, Barrier forces it) plus periodic compacted snapshots that reuse the reconfig full-state encoding.\",\n"
+	printf "    \"The log records endorsements, broadcast-slot reservations (Barrier-synced before the first wire message), settled batches, and dependency certificates; replay rebuilds state, then the restarted replica catches up via reconfig.FetchState/MergeFullSnapshot and re-requests CREDIT signatures lost while down (CREDITREDO).\",\n"
+	printf "    \"kill -9 recovery is exercised by internal/sim (Kill/Restart/FaultRestart) and examples/robustness: FIFO xlogs, zero double endorsements, and strict conservation of money across an arbitrary-point kill.\",\n"
+	printf "    \"Replay scales linearly with the uncompacted tail; the snapshot cadence (Config.WALSnapshotEvery, default 4096 settled batches) bounds it in deployments.\"\n"
+	printf "  ]\n"
+	printf "}\n"
+}' "$TMP" > "$OUT"
+echo "wrote $OUT" >&2
