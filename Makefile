@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race bench bench-pr2 bench-pr3 bench-pr4 bench-pr5 bench-pr6 fuzz-smoke profile check verify
+.PHONY: all build test vet race bench bench-pr2 bench-pr3 bench-pr4 bench-pr5 bench-pr6 fuzz-smoke chaos-smoke profile check verify
 
 all: check
 
@@ -21,10 +21,12 @@ vet:
 # Race-detector pass over the lane scheduler, transport dispatch, and the
 # crypto/broadcast/payment hot path — the packages with cross-goroutine
 # completions, flow stealing, and per-channel dispatch (including the PR 4
-# chain-reference caches, the tcpnet dial/redial liveness tests, and the
-# PR 6 WAL writer/crash-recovery paths).
+# chain-reference caches, the tcpnet dial/redial liveness tests, the
+# PR 6 WAL writer/crash-recovery paths, and the PR 7 Byzantine/chaos
+# interposition layer with its always-on auditor).
 race:
 	$(GO) test -race ./internal/sched/... ./internal/types/... ./internal/transport/... ./internal/crypto/... ./internal/brb/... ./internal/core/... ./internal/wal/...
+	$(GO) test -race -run 'Byzantine|Equivocation|Chaos|Partition|Reconfiguration|Auditor|LinkDelay' ./internal/sim/
 
 # Headline benchmarks: parallel certificate verification, signed BRB, and
 # the end-to-end ECDSA settlement path.
@@ -79,6 +81,17 @@ fuzz-smoke:
 		$(GO) test -run=NONE -fuzz="^$$f$$" -fuzztime=$(FUZZTIME) ./internal/core/ || exit 1; done
 	for f in FuzzDecodeChainDef FuzzDecodeAckCert FuzzDecodeCommitRef FuzzDecodeChainNack; do \
 		$(GO) test -run=NONE -fuzz="^$$f$$" -fuzztime=$(FUZZTIME) ./internal/brb/ || exit 1; done
+	$(GO) test -run=NONE -fuzz="^FuzzDecodeReconfigChannel$$" -fuzztime=$(FUZZTIME) ./internal/reconfig/
+
+# Seeded Byzantine + chaos scenario matrix under the invariant auditor:
+# every malicious behavior at f faulty (clean audit required), the f+1
+# collusion that must be detected, chaos/partition soaks, kill -9 under
+# partition, and reconfiguration (join + crash-leave) under live load
+# with faults active. Deterministic per seed; CI-smoke depth.
+chaos-smoke:
+	$(GO) test -count=1 -run 'Byzantine|Equivocation|Chaos|Partition|Reconfiguration|Auditor|LinkDelay' ./internal/sim/
+	$(GO) test -count=1 -race -run 'NackStorm|NackNonMember|NackUnregistered' ./internal/brb/ ./internal/core/
+	$(GO) test -count=1 -run 'ViaFacade' .
 
 # Mutex-contention profile of the settlement engine: runs the striped
 # settle benchmark with mutex profiling and prints the top contended

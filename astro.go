@@ -37,6 +37,7 @@ import (
 	"astro/internal/crypto"
 	"astro/internal/shard"
 	"astro/internal/sim"
+	"astro/internal/transport/chaos"
 	"astro/internal/transport/memnet"
 	"astro/internal/types"
 )
@@ -102,6 +103,11 @@ type Options struct {
 	// survives Kill + Restart (kill -9 semantics). Empty means
 	// memory-only replicas, for which Crash is permanent.
 	DataDir string
+	// Chaos, when set, interposes a seeded chaos controller on every
+	// link: probabilistic drop, corruption, duplication, reordering, and
+	// extra delay, reproducible from the profile's seed. See fault.go for
+	// the rest of the robustness surface.
+	Chaos *ChaosProfile
 }
 
 // System is an embedded Astro deployment: replicas over an in-process
@@ -109,6 +115,8 @@ type Options struct {
 type System struct {
 	cluster  *sim.AstroCluster
 	topology Topology
+	genesis  Amount
+	chaos    *chaos.Controller
 }
 
 // New deploys a system.
@@ -136,6 +144,18 @@ func New(opts Options) (*System, error) {
 	default:
 		latency = memnet.Fixed(0)
 	}
+	var ctrl *chaos.Controller
+	if p := opts.Chaos; p != nil {
+		ctrl = chaos.NewController(p.Seed)
+		ctrl.SetDefault(chaos.Rule{
+			Drop:      p.Drop,
+			Corrupt:   p.Corrupt,
+			Duplicate: p.Duplicate,
+			Reorder:   p.Reorder,
+			DelayMin:  p.DelayMin,
+			DelayMax:  p.DelayMax,
+		})
+	}
 	cluster, err := sim.NewAstroCluster(sim.AstroOpts{
 		Version:    opts.Version,
 		Topology:   top,
@@ -146,11 +166,12 @@ func New(opts Options) (*System, error) {
 		Bandwidth:  -1,   // embedded systems are not bandwidth-simulated
 		RealCrypto: true, // the library always uses real ECDSA
 		DataDir:    opts.DataDir,
+		Chaos:      ctrl,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("astro: %w", err)
 	}
-	return &System{cluster: cluster, topology: top}, nil
+	return &System{cluster: cluster, topology: top, genesis: opts.Genesis, chaos: ctrl}, nil
 }
 
 // Client returns the client with the given identity, creating it on first

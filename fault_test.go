@@ -1,0 +1,111 @@
+package astro
+
+import (
+	"testing"
+	"time"
+)
+
+// TestByzantineFaultViaFacade: arm a Byzantine behavior through the
+// public surface, run payments under a live audit, and confirm the
+// f-tolerance claim holds — confirmed payments, zero violations.
+func TestByzantineFaultViaFacade(t *testing.T) {
+	sys, err := New(Options{Replicas: 4, Genesis: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+
+	if err := sys.InjectFault(9, FaultEquivocate); err == nil {
+		t.Fatal("unknown replica accepted")
+	}
+	if err := sys.InjectFault(sys.Replicas()[0], "no-such-kind"); err == nil {
+		t.Fatal("unknown fault kind accepted")
+	}
+
+	var victim ReplicaID
+	for _, r := range sys.Replicas() {
+		if r != sys.RepresentativeOf(1) && r != sys.RepresentativeOf(2) {
+			victim = r
+			break
+		}
+	}
+	stop := sys.StartAudit([]ClientID{1, 2}, victim)
+	if err := sys.InjectFault(victim, FaultWithholdCommits); err != nil {
+		t.Fatal(err)
+	}
+
+	alice := sys.Client(1)
+	for i := 0; i < 3; i++ {
+		id, err := alice.Pay(2, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := alice.WaitConfirm(id, 10*time.Second); err != nil {
+			t.Fatalf("payment %d under Byzantine fault: %v", i, err)
+		}
+	}
+	rep := stop()
+	if rep.Samples == 0 {
+		t.Error("audit never sampled")
+	}
+	for _, v := range rep.Violations {
+		t.Errorf("invariant violation under f faulty: %s", v)
+	}
+	if err := sys.ClearFault(victim); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestChaosViaFacade: a chaos profile on the public Options must perturb
+// traffic (counters move) without breaking confirmation, and partitions
+// plus asymmetric link delays must be drivable from the facade.
+func TestChaosViaFacade(t *testing.T) {
+	sys, err := New(Options{Replicas: 4, Genesis: 1000, Chaos: &ChaosProfile{
+		Seed:     11,
+		Drop:     0.02,
+		DelayMin: 100 * time.Microsecond,
+		DelayMax: time.Millisecond,
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+
+	alice := sys.Client(1)
+	id, err := alice.Pay(2, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := alice.WaitConfirm(id, 10*time.Second); err != nil {
+		t.Fatalf("payment under chaos: %v", err)
+	}
+	st, err := sys.ChaosStats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Sent == 0 {
+		t.Error("chaos controller saw no traffic")
+	}
+
+	ids := sys.Replicas()
+	sys.SetLinkDelay(ids[0], ids[1], 2*time.Millisecond)
+	sys.Partition(ids[:1], ids[1:])
+	sys.HealPartition()
+	sys.SetLinkDelay(ids[0], ids[1], 0)
+	id, err = alice.Pay(2, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := alice.WaitConfirm(id, 10*time.Second); err != nil {
+		t.Fatalf("payment after heal: %v", err)
+	}
+
+	plain, err := New(Options{Replicas: 4, Genesis: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer plain.Close()
+	if _, err := plain.ChaosStats(); err == nil {
+		t.Error("ChaosStats on a chaos-less system must error")
+	}
+}

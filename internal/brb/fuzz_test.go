@@ -21,6 +21,11 @@ func fuzzChain() []ChainEntry {
 func FuzzDecodeChainDef(f *testing.F) {
 	f.Add(EncodeChainDef(fuzzChain())[1:]) // after the kind byte
 	f.Add([]byte{0, 0, 0, 0})              // empty chain: rejected
+	// Adversarial seed: the forge-refs behavior's digest-corrupted form —
+	// structurally valid, semantically hostile.
+	if c, ok := CorruptChainRefs(EncodeChainDef(fuzzChain()), 0x5a); ok {
+		f.Add(c[1:])
+	}
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		chain, err := decodeChainDef(wire.NewReader(data))
@@ -86,6 +91,12 @@ func FuzzDecodeCommitRef(f *testing.F) {
 		}
 	}
 	f.Add(w.Bytes())
+	// Adversarial seed: a full COMMITREF frame run through the forge-refs
+	// corruptor, sliced back to the signature section this decoder reads
+	// (header, then the one-byte payload chunk).
+	if c, ok := CorruptChainRefs(EncodeCommitRef(2, 6, []byte("p"), sigs), 0x77); ok {
+		f.Add(c[headerSize+4+1:])
+	}
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		sigs, err := decodeCommitRef(wire.NewReader(data))
@@ -101,6 +112,12 @@ func FuzzDecodeCommitRef(f *testing.F) {
 // FuzzDecodeChainNack exercises the NACK digest-list decoder.
 func FuzzDecodeChainNack(f *testing.F) {
 	f.Add(EncodeChainNack(1, 4, []types.Digest{{0x0a}, {0x0b}})[headerSize:])
+	// Adversarial seed: the NACK a storming receiver would synthesize
+	// from a reference-form commit it claims not to resolve.
+	hostile := []refSig{{Replica: 2, Sig: []byte("s"), HasRef: true, Ref: types.Digest{0x0c}, Idx: 0}}
+	if n, ok := NackFor(EncodeCommitRef(1, 4, []byte("x"), hostile)); ok {
+		f.Add(n[headerSize:])
+	}
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		missing, err := decodeChainNack(wire.NewReader(data))

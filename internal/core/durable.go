@@ -496,9 +496,8 @@ func (r *Replica) restoreProjections() {
 				continue
 			}
 			r.inflightOut[c] += e.Payment.Amount
-			var depVal types.Amount
+			depVal := r.dedupedDepValue(c, e.Deps)
 			for _, d := range e.Deps {
-				depVal += d.Value(c)
 				set := attached[c]
 				if set == nil {
 					set = make(map[types.Digest]bool)

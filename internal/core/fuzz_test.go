@@ -49,6 +49,26 @@ func FuzzDecodeCreditChannel(f *testing.F) {
 	}))
 	f.Add(encodeCreditNack(types.Digest{0x44}))
 	f.Add(encodeCreditRedo([][]types.Payment{group, group[:1]}))
+	// Adversarial seeds from the Byzantine encoders: digest-corrupted
+	// chain forms, the NACK a hostile receiver answers a reference with,
+	// and a NACK naming a chain that never existed.
+	def := encodeCreditChainDef([]types.Digest{{0x11}, {0x22}})
+	ref := encodeCreditRef(creditRefMsg{
+		Signer:      3,
+		ChainDigest: types.Digest{0x33},
+		Sig:         []byte("ref-sig"),
+		Groups:      []creditBatchGroup{{ChainIdx: 1, Group: group}},
+	})
+	if c, ok := CorruptCreditRefs(def, 0x5a); ok {
+		f.Add(c)
+	}
+	if c, ok := CorruptCreditRefs(ref, 0x5a); ok {
+		f.Add(c)
+	}
+	if n, ok := CreditNackFor(ref); ok {
+		f.Add(n)
+	}
+	f.Add(EncodeCreditNack(types.HashBytes([]byte("never-existed"))))
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		if len(data) == 0 {

@@ -1,0 +1,120 @@
+package core
+
+// Credit-channel NACK hardening: a CREDITNACK storm against a retained
+// wave costs at most one legacy retransmit per NACK, NACKs naming unknown
+// digests cost nothing beyond the counter, and senders outside the key
+// registry never reach the handler at all. Run under -race: the storm
+// hammers the dispatch path of a live replica.
+
+import (
+	"testing"
+	"time"
+
+	"astro/internal/transport"
+	"astro/internal/types"
+)
+
+func waitNacks(t *testing.T, r *Replica, want uint64) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if r.CreditRefStats().NacksReceived >= want {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("NacksReceived = %d, want >= %d", r.CreditRefStats().NacksReceived, want)
+}
+
+func TestCreditNackStormBoundedWork(t *testing.T) {
+	c := newCluster(t, AstroII, 4, func(types.ClientID) types.Amount { return 0 })
+	tap, msgs := c.creditTap(t, 9)
+
+	group := []types.Payment{pay(1, 1, 2, 40)}
+	chain := []types.Digest{CreditGroupDigest(group)}
+	cd := CreditChainDigest(chain)
+	sig, err := c.keys[0].Sign(cd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.replicas[0].retainCreditWave(cd, retainedWave{chain: chain, sig: sig, jobs: []creditJob{{rep: 9, group: group}}})
+
+	base := c.replicas[0].CreditRefStats()
+	const storm = 50
+	nack := encodeCreditNack(cd)
+	for i := 0; i < storm; i++ {
+		if err := tap.Send(transport.ReplicaNode(0), transport.ChanCredit, nack); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitNacks(t, c.replicas[0], base.NacksReceived+storm)
+	st := c.replicas[0].CreditRefStats()
+	if resends := st.FullSends - base.FullSends; resends > storm {
+		t.Errorf("amplification: %d retransmits for %d NACKs", resends, storm)
+	}
+	// Every retransmit the storm provoked is the bounded legacy form.
+	drained := 0
+	for done := false; !done; {
+		select {
+		case m := <-msgs:
+			if m[0] != msgCreditBatch {
+				t.Fatalf("unexpected reply kind %d", m[0])
+			}
+			drained++
+		case <-time.After(200 * time.Millisecond):
+			done = true
+		}
+	}
+	if uint64(drained) != st.FullSends-base.FullSends {
+		t.Errorf("observed %d retransmits, counters say %d", drained, st.FullSends-base.FullSends)
+	}
+
+	// Unknown digests: counter moves, no retransmit, no reply.
+	pre := c.replicas[0].CreditRefStats()
+	ghost := encodeCreditNack(types.HashBytes([]byte("never-retained")))
+	for i := 0; i < storm; i++ {
+		if err := tap.Send(transport.ReplicaNode(0), transport.ChanCredit, ghost); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitNacks(t, c.replicas[0], pre.NacksReceived+storm)
+	if got := c.replicas[0].CreditRefStats().FullSends; got != pre.FullSends {
+		t.Errorf("unknown-digest NACKs triggered %d retransmits", got-pre.FullSends)
+	}
+	select {
+	case m := <-msgs:
+		t.Fatalf("unexpected reply to unknown-digest NACK: kind %d", m[0])
+	case <-time.After(100 * time.Millisecond):
+	}
+}
+
+func TestCreditNackUnregisteredSenderIgnored(t *testing.T) {
+	c := newCluster(t, AstroII, 4, func(types.ClientID) types.Amount { return 0 })
+
+	group := []types.Payment{pay(1, 1, 2, 40)}
+	chain := []types.Digest{CreditGroupDigest(group)}
+	cd := CreditChainDigest(chain)
+	sig, err := c.keys[0].Sign(cd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.replicas[0].retainCreditWave(cd, retainedWave{chain: chain, sig: sig, jobs: []creditJob{{rep: 17, group: group}}})
+
+	// Replica-space node 17 holds a retained job but is NOT in the key
+	// registry: its NACKs must be dropped at the channel gate.
+	mux := transport.NewMux(c.net.Node(transport.ReplicaNode(17)))
+	t.Cleanup(mux.Close)
+	base := c.replicas[0].CreditRefStats()
+	nack := encodeCreditNack(cd)
+	for i := 0; i < 50; i++ {
+		if err := mux.Send(transport.ReplicaNode(0), transport.ChanCredit, nack); err != nil {
+			t.Fatal(err)
+		}
+	}
+	time.Sleep(200 * time.Millisecond)
+	st := c.replicas[0].CreditRefStats()
+	if st.NacksReceived != base.NacksReceived || st.FullSends != base.FullSends {
+		t.Errorf("unregistered sender's NACKs processed: nacks %d->%d, fullsends %d->%d",
+			base.NacksReceived, st.NacksReceived, base.FullSends, st.FullSends)
+	}
+}

@@ -351,12 +351,79 @@ func (r *Replica) Balance(c types.ClientID) types.Amount {
 	bal := r.state.Balance(c)
 	if r.cfg.Version == AstroII && r.cfg.RepOf(c) == r.cfg.Self {
 		r.repMu.Lock()
-		for _, d := range r.repDeps[c] {
-			bal += d.Value(c)
-		}
+		bal += r.pendingCreditLocked(c)
 		r.repMu.Unlock()
 	}
 	return bal
+}
+
+// pendingCreditLocked sums the spendable value of c's attachable
+// dependency certificates. repMu is held; stripe locks nest inside it.
+func (r *Replica) pendingCreditLocked(c types.ClientID) types.Amount {
+	return r.dedupedDepValue(c, r.repDeps[c])
+}
+
+// depAddsCreditLocked reports whether dep carries at least one credit for
+// b that is neither held by an already-registered attachable certificate
+// nor materialized into the settled balance. repMu is held.
+func (r *Replica) depAddsCreditLocked(b types.ClientID, dep Dependency) bool {
+	var held map[types.PaymentID]struct{}
+	for _, ex := range r.repDeps[b] {
+		for _, q := range ex.Group {
+			if q.Beneficiary == b {
+				if held == nil {
+					held = make(map[types.PaymentID]struct{})
+				}
+				held[q.ID()] = struct{}{}
+			}
+		}
+	}
+	for _, q := range dep.Group {
+		if q.Beneficiary != b {
+			continue
+		}
+		id := q.ID()
+		if _, ok := held[id]; ok {
+			continue
+		}
+		if r.state.DepUsed(b, id) {
+			continue
+		}
+		return true
+	}
+	return false
+}
+
+// dedupedDepValue values a dependency list for client c, counting each
+// credited payment once even when certificates overlap — a restart-time
+// CREDITREDO can regroup payments whose original settlement-wave
+// certificate is still in flight, so two valid certificates for the same
+// payment may both register — and skipping credits already materialized
+// into the settled balance (settlement dedups through usedDeps, so an
+// overlapping certificate carries no new money).
+func (r *Replica) dedupedDepValue(c types.ClientID, deps []Dependency) types.Amount {
+	var sum types.Amount
+	var seen map[types.PaymentID]struct{}
+	for _, d := range deps {
+		for _, q := range d.Group {
+			if q.Beneficiary != c {
+				continue
+			}
+			id := q.ID()
+			if _, dup := seen[id]; dup {
+				continue
+			}
+			if seen == nil {
+				seen = make(map[types.PaymentID]struct{})
+			}
+			seen[id] = struct{}{}
+			if r.state.DepUsed(c, id) {
+				continue
+			}
+			sum += q.Amount
+		}
+	}
+	return sum
 }
 
 // Counters returns the state engine's lifetime statistics.
@@ -591,10 +658,7 @@ func (r *Replica) submit(p types.Payment, sig []byte) {
 // lock (stripe locks nest inside repMu, never the reverse).
 func (r *Replica) fundedLocked(p types.Payment) bool {
 	c := p.Spender
-	avail := r.state.Balance(c) + r.inflightDeps[c]
-	for _, d := range r.repDeps[c] {
-		avail += d.Value(c)
-	}
+	avail := r.state.Balance(c) + r.inflightDeps[c] + r.pendingCreditLocked(c)
 	need := r.inflightOut[c] + p.Amount
 	return avail >= need
 }
@@ -603,12 +667,12 @@ func (r *Replica) fundedLocked(p types.Payment) bool {
 // payment and appends it to the batch buffer (Astro II). repMu is held.
 func (r *Replica) bufferLocked(p types.Payment, sig []byte) {
 	c := p.Spender
+	// Deduplicated valuation, mirroring what settlement will actually
+	// credit: the symmetric unwind through attachedVal keeps inflightDeps
+	// exact even when attached certificates overlap.
+	depVal := r.pendingCreditLocked(c)
 	deps := r.repDeps[c]
 	delete(r.repDeps, c)
-	var depVal types.Amount
-	for _, d := range deps {
-		depVal += d.Value(c)
-	}
 	r.inflightDeps[c] += depVal
 	r.inflightOut[c] += p.Amount
 	r.attachedVal[p.ID()] = depVal
@@ -1243,6 +1307,13 @@ func (r *Replica) creditVerified(cs *creditState, signer types.ReplicaID, sig []
 	}
 	r.repMu.Lock()
 	for b := range beneficiaries {
+		if !r.depAddsCreditLocked(b, dep) {
+			// Every credit is already held or materialized — a CREDITREDO
+			// regrouping that raced the original certificate. Registering
+			// it would only grow the attachable set with dead weight.
+			delete(beneficiaries, b)
+			continue
+		}
 		r.repDeps[b] = append(r.repDeps[b], dep)
 	}
 	if r.wal != nil && len(beneficiaries) > 0 {

@@ -1,0 +1,27 @@
+package reconfig
+
+// Adversarial codec helpers: forged reconfiguration frames a Byzantine
+// replica behavior (internal/sim) injects to attack view agreement. All
+// of them must be rejected by honest Managers — stale view numbers fail
+// the monotonicity check, forged installs fail certificate verification —
+// and they double as hostile fuzz seeds for the reconfig decoders.
+
+import (
+	"astro/internal/crypto"
+	"astro/internal/types"
+)
+
+// ForgeStaleAdopt builds a consensus-variant ADOPT announcing view v —
+// typically a view older than (or equal to) the receivers' current view,
+// which onConsAdopt must ignore.
+func ForgeStaleAdopt(v View) []byte {
+	return encodeConsAdopt(v)
+}
+
+// ForgeInstall builds an INSTALL for view v admitting joiner with the
+// given (possibly garbage) public key and certificate. With a forged or
+// empty certificate, onInstall's 2f+1 verification over the view digest
+// must reject it regardless of the view number.
+func ForgeInstall(v View, joiner types.ReplicaID, joinerPub []byte, cert crypto.Certificate) []byte {
+	return encodeInstall(installMsg{View: v, Joiner: joiner, JoinerPub: joinerPub, Cert: cert})
+}

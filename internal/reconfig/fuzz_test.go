@@ -1,0 +1,58 @@
+package reconfig
+
+// Fuzz harness for the reconfiguration channel decoders. The seeds lean
+// adversarial on purpose: the stale-ADOPT and forged-INSTALL frames the
+// Byzantine stale-view behavior (internal/sim) injects are exactly the
+// hostile inputs these decoders must survive. Invariants: no panic on
+// arbitrary bytes, and accepted views respect the membership cap.
+
+import (
+	"testing"
+
+	"astro/internal/crypto"
+	"astro/internal/types"
+)
+
+func FuzzDecodeReconfigChannel(f *testing.F) {
+	v := View{Num: 3, Members: []types.ReplicaID{0, 1, 2, 3}}
+	f.Add(ForgeStaleAdopt(v))
+	var cert crypto.Certificate
+	cert.Add(crypto.PartialSig{Replica: 1, Sig: []byte("not-a-signature")})
+	f.Add(ForgeInstall(v, 9, []byte("not-a-key"), cert))
+	f.Add(ForgeInstall(View{Num: ^uint64(0), Members: v.Members}, 9, nil, crypto.Certificate{}))
+	f.Add(encodeJoinMsg([]byte("pub-key-bytes")))
+	f.Add(encodeViewAck(2, 4, []byte("view-sig")))
+	f.Add(encodeConsDone(v))
+	f.Add(encodeConsPhase(7, 2))
+	f.Add(encodeConsSync(7))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		kind, body := splitKind(data)
+		switch kind {
+		case kindJoin, kindConsJoin:
+			decodeJoin(body)
+		case kindViewAck:
+			decodeViewAck(body)
+		case kindInstall:
+			if m, ok := decodeInstall(body); ok && len(m.View.Members) > maxMembers {
+				t.Fatalf("accepted view of %d members over cap", len(m.View.Members))
+			}
+		case kindState:
+			decodeState(body)
+		case kindStateFull:
+			decodeStateFull(body)
+		case kindConsPhase:
+			decodeConsPhase(body)
+		case kindConsPhaseAck:
+			decodeConsPhaseAck(body)
+		case kindConsSync:
+			decodeConsSync(body)
+		case kindConsSyncAck:
+			decodeConsSyncAck(body)
+		case kindConsAdopt, kindConsDone:
+			if v, ok := decodeConsDone(body); ok && len(v.Members) > maxMembers {
+				t.Fatalf("accepted view of %d members over cap", len(v.Members))
+			}
+		}
+	})
+}

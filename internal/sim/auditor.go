@@ -1,0 +1,385 @@
+package sim
+
+// The always-on invariant auditor: a sampling loop that repeatedly takes
+// consistent per-replica state cuts *while the system runs* and checks
+// the paper's safety claims — conservation of money, per-client FIFO,
+// no duplicate settlement, and agreement among correct replicas — not
+// just at the end of a run. Scenario suites run every Byzantine behavior
+// under it; an f-tolerated attack must produce zero violations, an f+1
+// break must produce the documented one.
+//
+// Conservation is checked as a per-replica accounting identity rather
+// than a naive cross-replica sum: with no totality (Astro II), the
+// beneficiary's representative can hold a dependency credit before the
+// spender's own replica settles the withdrawal, so instantaneous
+// cross-replica sums legitimately exceed genesis mid-run. What does hold
+// at every consistent cut of one replica is
+//
+//	balance(c) = genesis(c) − Σ xlog(c) amounts + credits(c)
+//
+// where credits are materialized dependency credits (Astro II, amounts
+// resolved from the spenders' settled xlogs) or beneficiary postings in
+// local xlogs (Astro I, where settlement transfers atomically). A
+// dependency credit whose payment no correct replica has settled — after
+// a re-read to absorb sampling races — is a forged credit. The global
+// spendable-equals-genesis equality is a separate quiescent check.
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"astro/internal/core"
+	"astro/internal/types"
+)
+
+// AuditorConfig configures an invariant auditor over a cluster.
+type AuditorConfig struct {
+	// Clients are the accounts under audit (used for the quiescent
+	// conservation check; per-replica checks cover every exported
+	// account regardless).
+	Clients []types.ClientID
+	// Genesis is the initial balance per client (AstroOpts.Genesis).
+	Genesis types.Amount
+	// Faulty replicas are excluded from agreement and conservation
+	// checks — the paper's claims quantify over correct replicas only.
+	Faulty map[types.ReplicaID]bool
+	// Interval between sampling passes. Default 25ms.
+	Interval time.Duration
+	// MaxViolations caps the recorded violation list. Default 64.
+	MaxViolations int
+}
+
+// Violation is one observed invariant breach.
+type Violation struct {
+	Invariant string // "fifo" | "conservation" | "duplicate-settle" | "forged-credit" | "agreement" | "negative-balance"
+	Replica   types.ReplicaID
+	Client    types.ClientID
+	Detail    string
+}
+
+func (v Violation) String() string {
+	return fmt.Sprintf("[%s] replica %d client %d: %s", v.Invariant, v.Replica, v.Client, v.Detail)
+}
+
+// AuditReport summarizes an auditor's run.
+type AuditReport struct {
+	Samples    int
+	Violations []Violation
+	Truncated  bool // violation list hit MaxViolations
+}
+
+// Auditor samples a running AstroCluster.
+type Auditor struct {
+	c   *AstroCluster
+	cfg AuditorConfig
+
+	mu         sync.Mutex
+	samples    int
+	violations []Violation
+	truncated  bool
+
+	stopOnce sync.Once
+	stop     chan struct{}
+	done     chan struct{}
+}
+
+// NewAuditor builds an auditor over the cluster. Start begins sampling.
+func (c *AstroCluster) NewAuditor(cfg AuditorConfig) *Auditor {
+	if cfg.Interval <= 0 {
+		cfg.Interval = 25 * time.Millisecond
+	}
+	if cfg.MaxViolations <= 0 {
+		cfg.MaxViolations = 64
+	}
+	return &Auditor{
+		c:    c,
+		cfg:  cfg,
+		stop: make(chan struct{}),
+		done: make(chan struct{}),
+	}
+}
+
+// Start launches the sampling loop.
+func (a *Auditor) Start() {
+	go func() {
+		defer close(a.done)
+		t := time.NewTicker(a.cfg.Interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-a.stop:
+				return
+			case <-t.C:
+				a.Sample()
+			}
+		}
+	}()
+}
+
+// Stop halts sampling, runs one final pass, and returns the report.
+func (a *Auditor) Stop() AuditReport {
+	a.stopOnce.Do(func() { close(a.stop) })
+	<-a.done
+	a.Sample()
+	return a.Report()
+}
+
+// Report snapshots the violations recorded so far.
+func (a *Auditor) Report() AuditReport {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := make([]Violation, len(a.violations))
+	copy(out, a.violations)
+	return AuditReport{Samples: a.samples, Violations: out, Truncated: a.truncated}
+}
+
+func (a *Auditor) record(v Violation) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if len(a.violations) >= a.cfg.MaxViolations {
+		a.truncated = true
+		return
+	}
+	a.violations = append(a.violations, v)
+}
+
+// Sample runs one audit pass over every live correct replica. Exported
+// so scenario code can force a pass at a known point (e.g. right after
+// quiescence).
+func (a *Auditor) Sample() {
+	exports := a.exportCorrect()
+	if len(exports) == 0 {
+		return
+	}
+	a.mu.Lock()
+	a.samples++
+	a.mu.Unlock()
+
+	// Index of settled payments across all correct replicas, for
+	// resolving dependency-credit amounts and catching forged credits.
+	idx := paymentIndex(exports)
+
+	type miss struct {
+		rep types.ReplicaID
+		acc core.AccountExport
+	}
+	var misses []miss
+	for rep, accounts := range exports {
+		for _, acc := range accounts {
+			a.checkFIFO(rep, acc)
+			a.checkNonNegative(rep, acc)
+			if ok := a.checkConservation(rep, acc, accounts, idx); !ok {
+				misses = append(misses, miss{rep, acc})
+			}
+		}
+	}
+	if len(misses) > 0 {
+		// Second chance: a dependency credit can reference a payment
+		// settled between our export of the crediting replica and our
+		// export of the spender's signers. Re-export and re-index; only
+		// a persistent miss is a forged credit.
+		reIdx := paymentIndex(a.exportCorrect())
+		for k, v := range idx {
+			if _, ok := reIdx[k]; !ok {
+				reIdx[k] = v
+			}
+		}
+		for _, m := range misses {
+			if ok := a.checkConservation(m.rep, m.acc, exports[m.rep], reIdx); !ok {
+				a.reportMissingDeps(m.rep, m.acc, reIdx)
+			}
+		}
+	}
+	a.checkAgreement(exports)
+}
+
+// exportCorrect takes one consistent cut per live, correct replica.
+func (a *Auditor) exportCorrect() map[types.ReplicaID][]core.AccountExport {
+	out := make(map[types.ReplicaID][]core.AccountExport)
+	for _, id := range a.c.ReplicaIDs() {
+		if a.cfg.Faulty[id] || a.c.Crashed(id) {
+			continue
+		}
+		rep := a.c.Replica(id)
+		if rep == nil {
+			continue
+		}
+		out[id] = rep.AuditExport()
+	}
+	return out
+}
+
+// paymentIndex maps settled payment IDs to their content, preferring the
+// first variant seen; conflicting variants surface through the agreement
+// check, not here.
+func paymentIndex(exports map[types.ReplicaID][]core.AccountExport) map[types.PaymentID]types.Payment {
+	idx := make(map[types.PaymentID]types.Payment)
+	for _, accounts := range exports {
+		for _, acc := range accounts {
+			for _, p := range acc.XLog {
+				if _, ok := idx[p.ID()]; !ok {
+					idx[p.ID()] = p
+				}
+			}
+		}
+	}
+	return idx
+}
+
+// checkFIFO: an exclusive log holds exactly the owner's payments with
+// sequence numbers 1..len, in order — per-client FIFO and no duplicate
+// settlement in one check.
+func (a *Auditor) checkFIFO(rep types.ReplicaID, acc core.AccountExport) {
+	for i, p := range acc.XLog {
+		if p.Spender != acc.Client {
+			a.record(Violation{
+				Invariant: "fifo", Replica: rep, Client: acc.Client,
+				Detail: fmt.Sprintf("xlog[%d] spender %d in log of %d", i, p.Spender, acc.Client),
+			})
+			return
+		}
+		if p.Seq != types.Seq(i+1) {
+			inv := "fifo"
+			if i > 0 && p.Seq == acc.XLog[i-1].Seq {
+				inv = "duplicate-settle"
+			}
+			a.record(Violation{
+				Invariant: inv, Replica: rep, Client: acc.Client,
+				Detail: fmt.Sprintf("xlog[%d] seq %d, want %d", i, p.Seq, i+1),
+			})
+			return
+		}
+	}
+	// Duplicate dependency use: UsedDeps is sorted; equal neighbors mean
+	// one payment credited twice.
+	for i := 1; i < len(acc.UsedDeps); i++ {
+		if acc.UsedDeps[i] == acc.UsedDeps[i-1] {
+			a.record(Violation{
+				Invariant: "duplicate-settle", Replica: rep, Client: acc.Client,
+				Detail: fmt.Sprintf("dependency %v credited twice", acc.UsedDeps[i]),
+			})
+			return
+		}
+	}
+}
+
+func (a *Auditor) checkNonNegative(rep types.ReplicaID, acc core.AccountExport) {
+	if acc.Balance < 0 {
+		a.record(Violation{
+			Invariant: "negative-balance", Replica: rep, Client: acc.Client,
+			Detail: fmt.Sprintf("balance %d", acc.Balance),
+		})
+	}
+}
+
+// checkConservation verifies the per-replica accounting identity for one
+// account. Returns false (without recording) when a dependency credit's
+// amount cannot be resolved from idx — the caller retries with a fresh
+// index before declaring a forged credit.
+func (a *Auditor) checkConservation(rep types.ReplicaID, acc core.AccountExport, all []core.AccountExport, idx map[types.PaymentID]types.Payment) bool {
+	var out types.Amount
+	for _, p := range acc.XLog {
+		out += p.Amount
+	}
+	var in types.Amount
+	if a.c.version == core.AstroII {
+		for _, id := range acc.UsedDeps {
+			p, ok := idx[id]
+			if !ok {
+				return false
+			}
+			in += p.Amount
+		}
+	} else {
+		// Astro I settles by atomic local transfer: credits are the
+		// payments to this account in the same replica's xlogs.
+		for _, other := range all {
+			for _, p := range other.XLog {
+				if p.Beneficiary == acc.Client {
+					in += p.Amount
+				}
+			}
+		}
+	}
+	want := a.cfg.Genesis - out + in
+	if acc.Balance != want {
+		a.record(Violation{
+			Invariant: "conservation", Replica: rep, Client: acc.Client,
+			Detail: fmt.Sprintf("balance %d, identity gives %d (genesis %d − settled %d + credits %d)",
+				acc.Balance, want, a.cfg.Genesis, out, in),
+		})
+	}
+	return true
+}
+
+// reportMissingDeps records forged-credit violations for every
+// dependency of acc that no correct replica has settled.
+func (a *Auditor) reportMissingDeps(rep types.ReplicaID, acc core.AccountExport, idx map[types.PaymentID]types.Payment) {
+	for _, id := range acc.UsedDeps {
+		if _, ok := idx[id]; !ok {
+			a.record(Violation{
+				Invariant: "forged-credit", Replica: rep, Client: acc.Client,
+				Detail: fmt.Sprintf("credit for %v but no correct replica settled it", id),
+			})
+		}
+	}
+}
+
+// checkAgreement: correct replicas' xlogs for one client must be
+// prefix-consistent — same payment content at every shared index. A
+// lagging replica is fine; a diverging one is the Byzantine break.
+func (a *Auditor) checkAgreement(exports map[types.ReplicaID][]core.AccountExport) {
+	type ref struct {
+		rep  types.ReplicaID
+		xlog []types.Payment
+	}
+	longest := make(map[types.ClientID]ref)
+	for rep, accounts := range exports {
+		for _, acc := range accounts {
+			if cur, ok := longest[acc.Client]; !ok || len(acc.XLog) > len(cur.xlog) {
+				longest[acc.Client] = ref{rep, acc.XLog}
+			}
+		}
+	}
+	for rep, accounts := range exports {
+		for _, acc := range accounts {
+			r := longest[acc.Client]
+			if r.rep == rep {
+				continue
+			}
+			for i, p := range acc.XLog {
+				if i >= len(r.xlog) {
+					break
+				}
+				if p != r.xlog[i] {
+					a.record(Violation{
+						Invariant: "agreement", Replica: rep, Client: acc.Client,
+						Detail: fmt.Sprintf("xlog[%d] = %v, replica %d has %v", i, p, r.rep, r.xlog[i]),
+					})
+					break
+				}
+			}
+		}
+	}
+}
+
+// CheckQuiescent asserts the global conservation equality once traffic
+// has stopped and credits have drained: every client's spendable balance
+// at its own representative sums to total genesis. Returns nil on
+// success.
+func (a *Auditor) CheckQuiescent() error {
+	var total types.Amount
+	for _, cl := range a.cfg.Clients {
+		rep := a.c.Replica(a.c.RepOf(cl))
+		if rep == nil {
+			continue
+		}
+		total += rep.Balance(cl)
+	}
+	want := types.Amount(len(a.cfg.Clients)) * a.cfg.Genesis
+	if total != want {
+		return fmt.Errorf("quiescent conservation: spendable %d, genesis %d", total, want)
+	}
+	return nil
+}

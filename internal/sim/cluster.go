@@ -11,6 +11,7 @@ import (
 	"errors"
 	"fmt"
 	"path/filepath"
+	"sync"
 	"time"
 
 	"astro/internal/consensus"
@@ -21,6 +22,7 @@ import (
 	"astro/internal/sched"
 	"astro/internal/shard"
 	"astro/internal/transport"
+	"astro/internal/transport/chaos"
 	"astro/internal/transport/memnet"
 	"astro/internal/types"
 	"astro/internal/wal"
@@ -71,6 +73,11 @@ type AstroOpts struct {
 	// WALSnapshotEvery is the compaction cadence (core.Config); 0 keeps
 	// the core default.
 	WALSnapshotEvery int
+	// Chaos, when non-nil, interposes the chaos controller on every
+	// replica and client endpoint: seeded drop/corrupt/duplicate/delay
+	// rules, schedules, and partitions on top of the latency model. See
+	// internal/transport/chaos.
+	Chaos *chaos.Controller
 }
 
 // DefaultBandwidth matches the paper's measured ~30 MiB/s between EC2
@@ -101,6 +108,15 @@ type AstroCluster struct {
 	clients map[types.ClientID]*core.Client
 	muxes   []*transport.Mux
 	rt      *sched.Runtime
+	version core.Version
+	keys    map[types.ReplicaID]*crypto.KeyPair
+	chaos   *chaos.Controller
+	byz     map[types.ReplicaID]*byzEndpoint
+
+	// stateMu guards the replica bookkeeping maps against concurrent
+	// Restart (which replaces entries in place) — the auditor and the
+	// measurement loop read them from their own goroutines.
+	stateMu sync.RWMutex
 
 	// Durable-deployment bookkeeping (DataDir set): everything Restart
 	// needs to rebuild a replica in place.
@@ -164,6 +180,10 @@ func NewAstroCluster(opts AstroOpts) (*AstroCluster, error) {
 		repOf:    repOf,
 		clients:  make(map[types.ClientID]*core.Client),
 		rt:       rt,
+		version:  opts.Version,
+		keys:     keys,
+		chaos:    opts.Chaos,
+		byz:      make(map[types.ReplicaID]*byzEndpoint),
 		dataDir:  opts.DataDir,
 		cfgs:     make(map[types.ReplicaID]core.Config),
 		repMux:   make(map[types.ReplicaID]*transport.Mux),
@@ -171,7 +191,7 @@ func NewAstroCluster(opts AstroOpts) (*AstroCluster, error) {
 	for s := 0; s < opts.Topology.NumShards; s++ {
 		members := opts.Topology.Replicas(types.ShardID(s))
 		for _, id := range members {
-			mux := transport.NewMux(net.Node(transport.ReplicaNode(id)), transport.WithRuntime(rt))
+			mux := transport.NewMux(c.wrapReplicaEndpoint(id), transport.WithRuntime(rt))
 			c.muxes = append(c.muxes, mux)
 			cfg := core.Config{
 				Version:      opts.Version,
@@ -227,15 +247,100 @@ func (c *AstroCluster) replicaDir(id types.ReplicaID) string {
 	return filepath.Join(c.dataDir, fmt.Sprintf("rep%d", id))
 }
 
+// wrapReplicaEndpoint builds a replica's endpoint stack: raw network
+// node, then the chaos controller (if configured), then the Byzantine
+// interposer — so a faulty replica's forged traffic still rides the
+// chaos rules and the latency model like honest traffic. The interposer
+// is always present (inert until armed) and survives across Restart: the
+// same byzEndpoint is re-pointed at the rebuilt inner stack, so an armed
+// behavior stays armed through a kill/restart cycle.
+func (c *AstroCluster) wrapReplicaEndpoint(id types.ReplicaID) transport.Endpoint {
+	var ep transport.Endpoint = c.Net.Node(transport.ReplicaNode(id))
+	if c.chaos != nil {
+		ep = c.chaos.Wrap(ep)
+	}
+	bz := newByzEndpoint(ep)
+	c.stateMu.Lock()
+	if old, ok := c.byz[id]; ok {
+		if b := old.behavior.Load(); b != nil {
+			bz.behavior.Store(b)
+		}
+	}
+	c.byz[id] = bz
+	c.stateMu.Unlock()
+	return bz
+}
+
+// SetBehavior arms (or with nil disarms) a Byzantine behavior on a
+// replica's endpoint, effective immediately — mid-run, mid-broadcast.
+func (c *AstroCluster) SetBehavior(id types.ReplicaID, b Behavior) error {
+	c.stateMu.RLock()
+	bz, ok := c.byz[id]
+	c.stateMu.RUnlock()
+	if !ok {
+		return fmt.Errorf("sim: unknown replica %d", id)
+	}
+	bz.Set(b)
+	return nil
+}
+
+// Behavior returns the Byzantine behavior currently armed on a replica's
+// endpoint (nil when disarmed or unknown) — scenario code reads its
+// engagement counters.
+func (c *AstroCluster) Behavior(id types.ReplicaID) Behavior {
+	c.stateMu.RLock()
+	bz, ok := c.byz[id]
+	c.stateMu.RUnlock()
+	if !ok {
+		return nil
+	}
+	if bp := bz.behavior.Load(); bp != nil {
+		return *bp
+	}
+	return nil
+}
+
+// Replica returns a replica handle under the state lock (safe against a
+// concurrent Restart); nil if unknown.
+func (c *AstroCluster) Replica(id types.ReplicaID) *core.Replica {
+	c.stateMu.RLock()
+	defer c.stateMu.RUnlock()
+	return c.Replicas[id]
+}
+
+// ReplicaIDs returns every replica identity in the deployment, sorted.
+func (c *AstroCluster) ReplicaIDs() []types.ReplicaID {
+	return c.Topology.AllReplicas()
+}
+
+// Crashed reports whether a replica is currently crash-stopped.
+func (c *AstroCluster) Crashed(id types.ReplicaID) bool {
+	return c.Net.Crashed(transport.ReplicaNode(id))
+}
+
+// Keys exposes a replica's key pair — Byzantine behaviors sign
+// equivocating variants with the faulty replica's own key.
+func (c *AstroCluster) Keys(id types.ReplicaID) *crypto.KeyPair { return c.keys[id] }
+
+// Chaos returns the cluster's chaos controller (nil when not configured).
+func (c *AstroCluster) Chaos() *chaos.Controller { return c.chaos }
+
+// Quorum returns the 2f+1 commit quorum of a replica's shard.
+func (c *AstroCluster) Quorum() int { return 2*c.Topology.F() + 1 }
+
 // Kill crash-stops a replica the way kill -9 does: the network drops its
 // traffic and the process state — including write-ahead-log appends not
 // yet synced — is discarded without any flush.
 func (c *AstroCluster) Kill(id types.ReplicaID) {
 	c.Net.Crash(transport.ReplicaNode(id))
-	if r, ok := c.Replicas[id]; ok {
+	c.stateMu.RLock()
+	r, rok := c.Replicas[id]
+	m, mok := c.repMux[id]
+	c.stateMu.RUnlock()
+	if rok {
 		r.Abandon()
 	}
-	if m, ok := c.repMux[id]; ok {
+	if mok {
 		m.Close()
 	}
 }
@@ -250,7 +355,9 @@ func (c *AstroCluster) Restart(id types.ReplicaID) error {
 	if c.dataDir == "" {
 		return errors.New("sim: Restart requires AstroOpts.DataDir")
 	}
+	c.stateMu.RLock()
 	cfg, ok := c.cfgs[id]
+	c.stateMu.RUnlock()
 	if !ok {
 		return fmt.Errorf("sim: unknown replica %d", id)
 	}
@@ -260,7 +367,7 @@ func (c *AstroCluster) Restart(id types.ReplicaID) error {
 	if err != nil {
 		return fmt.Errorf("sim: restart %d: %w", id, err)
 	}
-	mux := transport.NewMux(c.Net.Node(node), transport.WithRuntime(c.rt))
+	mux := transport.NewMux(c.wrapReplicaEndpoint(id), transport.WithRuntime(c.rt))
 	c.muxes = append(c.muxes, mux)
 	cfg.Mux = mux
 	cfg.WAL = be
@@ -293,9 +400,11 @@ func (c *AstroCluster) Restart(id types.ReplicaID) error {
 		InitialView: reconfig.View{Num: 1, Members: cfg.Replicas},
 		Full:        rep,
 	})
+	c.stateMu.Lock()
 	c.Replicas[id] = rep
 	c.cfgs[id] = cfg
 	c.repMux[id] = mux
+	c.stateMu.Unlock()
 	return nil
 }
 
@@ -320,7 +429,11 @@ func (c *AstroCluster) Client(id types.ClientID) *core.Client {
 	if cl, ok := c.clients[id]; ok {
 		return cl
 	}
-	mux := transport.NewMux(c.Net.Node(transport.ClientNode(id)))
+	var ep transport.Endpoint = c.Net.Node(transport.ClientNode(id))
+	if c.chaos != nil {
+		ep = c.chaos.Wrap(ep)
+	}
+	mux := transport.NewMux(ep)
 	c.muxes = append(c.muxes, mux)
 	cl := core.NewClient(id, c.repOf, mux)
 	c.clients[id] = cl
@@ -341,6 +454,8 @@ func (c *AstroCluster) Delay(r types.ReplicaID, d time.Duration) {
 // TotalSettled sums settles across replicas (each payment counts once per
 // replica; divide by replica count for per-payment figures).
 func (c *AstroCluster) TotalSettled() uint64 {
+	c.stateMu.RLock()
+	defer c.stateMu.RUnlock()
 	var sum uint64
 	for _, r := range c.Replicas {
 		sum += r.SettledCount()
@@ -361,6 +476,8 @@ func (c *AstroCluster) SchedStats() sched.Stats {
 // and NACK fallback traffic — the experiment harness samples it to report
 // how often the wire amortization engaged vs degraded to the legacy form.
 func (c *AstroCluster) CreditRefStats() core.CreditRefStats {
+	c.stateMu.RLock()
+	defer c.stateMu.RUnlock()
 	var sum core.CreditRefStats
 	for _, r := range c.Replicas {
 		sum.Add(r.CreditRefStats())

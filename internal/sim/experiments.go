@@ -268,13 +268,41 @@ func Fig4(cfg Fig4Config) ([]Measurement, error) {
 // FaultKind selects the robustness perturbation.
 type FaultKind string
 
-// The two perturbations of §VI-D, plus the durability extension: a
-// kill -9 that later restarts the replica from its write-ahead log.
+// The two perturbations of §VI-D, plus the durability extension (a
+// kill -9 that later restarts the replica from its write-ahead log) and
+// the actively malicious behaviors (internal/sim/byzantine.go) — each
+// armable mid-run on any Astro replica.
 const (
 	FaultCrash   FaultKind = "crash"   // crash-stop
 	FaultDelay   FaultKind = "delay"   // netem-style 100ms outbound delay
 	FaultRestart FaultKind = "restart" // kill -9, then recover from the WAL
+
+	FaultEquivocate      FaultKind = "equivocate"       // conflicting slot contents to different peers
+	FaultWithholdCommits FaultKind = "withhold-commits" // sign acks, never emit commits
+	FaultForgeRefs       FaultKind = "forge-refs"       // garbage CHAINDEF/COMMITREF/CREDITREF digests
+	FaultNackStorm       FaultKind = "nack-storm"       // CHAINNACK/CREDITNACK spam
+	FaultStaleView       FaultKind = "stale-view"       // stale/forged reconfiguration messages
 )
+
+// Byzantine reports whether the kind is an actively malicious behavior
+// (as opposed to a crash-style or timing fault).
+func (k FaultKind) Byzantine() bool {
+	switch k {
+	case FaultEquivocate, FaultWithholdCommits, FaultForgeRefs, FaultNackStorm, FaultStaleView:
+		return true
+	}
+	return false
+}
+
+// DelayRule injects extra delay on the directed link From → To —
+// per-target and asymmetric, unlike the single node-wide FaultDelay.
+// For richer perturbations (loss, duplication, corruption, schedules)
+// use AstroOpts.Chaos; FaultDelay itself remains for the paper's 100 ms
+// experiment.
+type DelayRule struct {
+	From, To types.ReplicaID
+	Delay    time.Duration
+}
 
 // TargetKind selects which replica is perturbed.
 type TargetKind string
@@ -299,6 +327,9 @@ type TimelineConfig struct {
 	Target  TargetKind
 	// Delay is the injected delay for FaultDelay (paper: 100ms).
 	Delay time.Duration
+	// LinkDelays are additional asymmetric per-link delays applied at
+	// FaultAt, composing with whatever Fault injects.
+	LinkDelays []DelayRule
 	// RestartAfter is the downtime before a FaultRestart target is
 	// rebuilt from its write-ahead log (default 3s). Astro systems only:
 	// the consensus baseline has no durable replica state.
@@ -326,6 +357,12 @@ type TimelineResult struct {
 	Rates []float64
 	// ViewChanges counts completed view changes (consensus only).
 	ViewChanges uint64
+	// AuditSamples and AuditViolations report the always-on invariant
+	// auditor, which samples conservation/FIFO/agreement throughout the
+	// run (Astro systems only; the faulty target is excluded from the
+	// correct-replica checks when the fault is Byzantine).
+	AuditSamples    int
+	AuditViolations []string
 }
 
 // Timeline runs one robustness execution and returns the throughput curve.
@@ -365,7 +402,9 @@ func Timeline(cfg TimelineConfig) (TimelineResult, error) {
 	var tl *metrics.Timeline
 	var clients []workload.PaymentClient
 	var injectFault func()
+	var applyLinkDelays func()
 	var viewChanges func() uint64
+	var auditStop func() AuditReport
 	label := fmt.Sprintf("%s-%s-%s", cfg.System, cfg.Target, cfg.Fault)
 
 	switch cfg.System {
@@ -377,6 +416,7 @@ func Timeline(cfg TimelineConfig) (TimelineResult, error) {
 		opts := AstroOpts{
 			Version:  version,
 			Topology: shard.Topology{NumShards: 1, PerShard: cfg.N},
+			Genesis:  1 << 40,
 			Seed:     cfg.Seed,
 		}
 		if cfg.Fault == FaultRestart {
@@ -387,8 +427,10 @@ func Timeline(cfg TimelineConfig) (TimelineResult, error) {
 			return TimelineResult{}, err
 		}
 		defer cl.Close()
+		pool := make([]types.ClientID, cfg.Clients)
 		for i := 0; i < cfg.Clients; i++ {
 			clients = append(clients, cl.Client(types.ClientID(i+1)))
+			pool[i] = types.ClientID(i + 1)
 		}
 		// "Random" target: the representative of one of the clients, so
 		// the fault visibly removes that client's share of throughput
@@ -411,14 +453,38 @@ func Timeline(cfg TimelineConfig) (TimelineResult, error) {
 				})
 			case FaultCrash:
 				cl.Crash(target)
-			default:
+			case FaultDelay:
 				cl.Delay(target, cfg.Delay)
+			default:
+				// Byzantine behaviors arm on the target's endpoint; an
+				// unknown kind is a no-op rather than a crash mid-run.
+				_ = cl.ArmFault(target, cfg.Fault)
 			}
 		}
+		applyLinkDelays = func() {
+			for _, r := range cfg.LinkDelays {
+				cl.Net.SetLinkDelay(transport.ReplicaNode(r.From), transport.ReplicaNode(r.To), r.Delay)
+			}
+		}
+		faulty := map[types.ReplicaID]bool{}
+		if cfg.Fault.Byzantine() {
+			faulty[target] = true
+		}
+		aud := cl.NewAuditor(AuditorConfig{
+			Clients:  pool,
+			Genesis:  opts.Genesis,
+			Faulty:   faulty,
+			Interval: 200 * time.Millisecond,
+		})
+		aud.Start()
+		auditStop = aud.Stop
 		viewChanges = func() uint64 { return 0 }
 	case SystemConsensus:
 		if cfg.Fault == FaultRestart {
 			return TimelineResult{}, fmt.Errorf("sim: %s has no durable replica state to restart from", cfg.System)
+		}
+		if cfg.Fault.Byzantine() {
+			return TimelineResult{}, fmt.Errorf("sim: Byzantine fault kinds target Astro replicas, not %s", cfg.System)
 		}
 		cl, err := NewConsensusCluster(ConsensusOpts{
 			N:                  cfg.N,
@@ -449,6 +515,11 @@ func Timeline(cfg TimelineConfig) (TimelineResult, error) {
 				cl.Delay(target, cfg.Delay)
 			}
 		}
+		applyLinkDelays = func() {
+			for _, r := range cfg.LinkDelays {
+				cl.Net.SetLinkDelay(transport.ReplicaNode(r.From), transport.ReplicaNode(r.To), r.Delay)
+			}
+		}
 		viewChanges = func() uint64 {
 			var max uint64
 			for _, r := range cl.Replicas {
@@ -463,7 +534,12 @@ func Timeline(cfg TimelineConfig) (TimelineResult, error) {
 	}
 
 	tl = metrics.NewTimeline(bins, cfg.BinWidth)
-	timer := time.AfterFunc(cfg.FaultAt, injectFault)
+	timer := time.AfterFunc(cfg.FaultAt, func() {
+		injectFault()
+		if applyLinkDelays != nil {
+			applyLinkDelays()
+		}
+	})
 	defer timer.Stop()
 
 	pool := make([]types.ClientID, cfg.Clients)
@@ -485,12 +561,20 @@ func Timeline(cfg TimelineConfig) (TimelineResult, error) {
 	for i, n := range counts {
 		rates[i] = tl.Rate(n)
 	}
-	return TimelineResult{
+	res := TimelineResult{
 		Label:       label,
 		BinWidth:    cfg.BinWidth,
 		Rates:       rates,
 		ViewChanges: viewChanges(),
-	}, nil
+	}
+	if auditStop != nil {
+		rep := auditStop()
+		res.AuditSamples = rep.Samples
+		for _, v := range rep.Violations {
+			res.AuditViolations = append(res.AuditViolations, v.String())
+		}
+	}
+	return res, nil
 }
 
 // Table1Config parameterizes the sharded Smallbank benchmark (Table I).

@@ -1,0 +1,223 @@
+package chaos
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"astro/internal/transport"
+	"astro/internal/transport/memnet"
+)
+
+// collector records frames delivered to an endpoint.
+type collector struct {
+	mu     sync.Mutex
+	frames [][]byte
+}
+
+func (c *collector) handler(_ transport.NodeID, payload []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	buf := make([]byte, len(payload))
+	copy(buf, payload)
+	c.frames = append(c.frames, buf)
+}
+
+func (c *collector) count() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.frames)
+}
+
+func waitCount(t *testing.T, c *collector, want int) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for c.count() < want {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out: got %d frames, want %d", c.count(), want)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func pair(t *testing.T, ctl *Controller) (transport.Endpoint, *collector, *memnet.Network) {
+	t.Helper()
+	net := memnet.New()
+	t.Cleanup(net.Close)
+	a := ctl.Wrap(net.Node(1))
+	b := net.Node(2)
+	col := &collector{}
+	b.SetHandler(col.handler)
+	a.SetHandler(func(transport.NodeID, []byte) {})
+	return a, col, net
+}
+
+// TestSeedDeterminism: the same seed and send sequence must yield the
+// same perturbation decisions, counter for counter.
+func TestSeedDeterminism(t *testing.T) {
+	run := func(seed uint64) Stats {
+		ctl := NewController(seed)
+		ctl.SetDefault(Rule{Drop: 0.3, Corrupt: 0.2, Duplicate: 0.25})
+		a, _, _ := pair(t, ctl)
+		for i := 0; i < 400; i++ {
+			if err := a.Send(2, []byte{1, byte(i), byte(i >> 8)}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return ctl.Stats()
+	}
+	s1, s2 := run(42), run(42)
+	if s1 != s2 {
+		t.Fatalf("same seed diverged: %+v vs %+v", s1, s2)
+	}
+	s3 := run(43)
+	if s1 == s3 {
+		t.Fatalf("different seeds produced identical stats %+v (suspicious)", s1)
+	}
+	if s1.Dropped == 0 || s1.Corrupted == 0 || s1.Duplicated == 0 {
+		t.Fatalf("expected every perturbation to engage: %+v", s1)
+	}
+}
+
+// TestDropAndDuplicate: delivered count = sent - dropped + duplicated.
+func TestDropAndDuplicate(t *testing.T) {
+	ctl := NewController(7)
+	ctl.SetDefault(Rule{Drop: 0.5, Duplicate: 0.5})
+	a, col, _ := pair(t, ctl)
+	const n = 200
+	for i := 0; i < n; i++ {
+		if err := a.Send(2, []byte{1, byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := ctl.Stats()
+	want := int(uint64(n) - st.Dropped + st.Duplicated)
+	waitCount(t, col, want)
+	time.Sleep(20 * time.Millisecond)
+	if got := col.count(); got != want {
+		t.Fatalf("delivered %d frames, want %d (stats %+v)", got, want, st)
+	}
+}
+
+// TestCorruption flips exactly one byte per corrupted frame.
+func TestCorruption(t *testing.T) {
+	ctl := NewController(11)
+	ctl.SetDefault(Rule{Corrupt: 1.0})
+	a, col, _ := pair(t, ctl)
+	orig := []byte{1, 2, 3, 4, 5, 6, 7, 8}
+	if err := a.Send(2, orig); err != nil {
+		t.Fatal(err)
+	}
+	waitCount(t, col, 1)
+	got := col.frames[0]
+	diff := 0
+	for i := range orig {
+		if got[i] != orig[i] {
+			diff++
+		}
+	}
+	if diff != 1 {
+		t.Fatalf("corrupted frame differs in %d bytes, want exactly 1 (%x vs %x)", diff, got, orig)
+	}
+	if ctl.Stats().Corrupted != 1 {
+		t.Fatalf("corrupted counter = %d, want 1", ctl.Stats().Corrupted)
+	}
+}
+
+// TestPartitionAndHeal: cross-group frames are blocked until Heal.
+func TestPartitionAndHeal(t *testing.T) {
+	ctl := NewController(3)
+	a, col, _ := pair(t, ctl)
+	ctl.Partition([]transport.NodeID{1}, []transport.NodeID{2})
+	for i := 0; i < 5; i++ {
+		if err := a.Send(2, []byte{1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	time.Sleep(20 * time.Millisecond)
+	if got := col.count(); got != 0 {
+		t.Fatalf("partition leaked %d frames", got)
+	}
+	if ctl.Stats().Blocked != 5 {
+		t.Fatalf("blocked counter = %d, want 5", ctl.Stats().Blocked)
+	}
+	ctl.Heal()
+	if err := a.Send(2, []byte{1}); err != nil {
+		t.Fatal(err)
+	}
+	waitCount(t, col, 1)
+}
+
+// TestLinkRulePrecedence: a directed link override beats the node and
+// default rules, and applies one-way only (asymmetric).
+func TestLinkRulePrecedence(t *testing.T) {
+	ctl := NewController(5)
+	ctl.SetDefault(Rule{Drop: 1.0})
+	ctl.SetLinkRule(1, 2, Rule{Pass: true}) // clean link overrides the lossy default
+
+	net := memnet.New()
+	defer net.Close()
+	a := ctl.Wrap(net.Node(1))
+	c := ctl.Wrap(net.Node(3))
+	col2 := &collector{}
+	net.Node(2).SetHandler(col2.handler)
+
+	if err := a.Send(2, []byte{1}); err != nil { // link override: delivered
+		t.Fatal(err)
+	}
+	if err := c.Send(2, []byte{1}); err != nil { // default: dropped
+		t.Fatal(err)
+	}
+	waitCount(t, col2, 1)
+	time.Sleep(20 * time.Millisecond)
+	if got := col2.count(); got != 1 {
+		t.Fatalf("delivered %d frames, want 1 (link override should be the only clean path)", got)
+	}
+}
+
+// TestDelaySchedule: a schedule phase arms a delay rule at its offset and
+// a later phase removes it; the stop function cancels unfired phases.
+func TestDelaySchedule(t *testing.T) {
+	ctl := NewController(9)
+	a, col, _ := pair(t, ctl)
+
+	fired := make(chan struct{})
+	stop := ctl.StartSchedule([]Phase{
+		{At: 0, Apply: func(c *Controller) {
+			c.SetDefault(Rule{DelayMin: 5 * time.Millisecond, DelayMax: 10 * time.Millisecond})
+			close(fired)
+		}},
+		{At: time.Hour, Apply: func(c *Controller) {
+			t.Error("phase beyond stop() fired")
+		}},
+	})
+	<-fired
+	start := time.Now()
+	if err := a.Send(2, []byte{1}); err != nil {
+		t.Fatal(err)
+	}
+	waitCount(t, col, 1)
+	if e := time.Since(start); e < 4*time.Millisecond {
+		t.Fatalf("frame arrived after %v, expected >= ~5ms delay", e)
+	}
+	if ctl.Stats().Delayed != 1 {
+		t.Fatalf("delayed counter = %d, want 1", ctl.Stats().Delayed)
+	}
+	stop()
+}
+
+// TestSelfSendUntouched: frames to self bypass chaos entirely, even under
+// a Block-everything default (local timer events must survive).
+func TestSelfSendUntouched(t *testing.T) {
+	ctl := NewController(1)
+	ctl.SetDefault(Rule{Block: true})
+	net := memnet.New()
+	defer net.Close()
+	ep := ctl.Wrap(net.Node(1))
+	col := &collector{}
+	ep.SetHandler(col.handler)
+	if err := ep.Send(1, []byte{6}); err != nil {
+		t.Fatal(err)
+	}
+	waitCount(t, col, 1)
+}

@@ -95,12 +95,15 @@ type Network struct {
 
 	prng atomic.Uint64
 
-	mu      sync.RWMutex
-	nodes   map[transport.NodeID]*node
-	crashed map[transport.NodeID]bool
-	delays  map[transport.NodeID]time.Duration
-	cuts    map[[2]transport.NodeID]bool
-	closed  bool
+	mu         sync.RWMutex
+	nodes      map[transport.NodeID]*node
+	crashed    map[transport.NodeID]bool
+	delays     map[transport.NodeID]time.Duration
+	cuts       map[[2]transport.NodeID]bool
+	linkDelays map[[2]transport.NodeID]time.Duration // directed [from,to]
+	linkLoss   map[[2]transport.NodeID]float64       // directed [from,to]
+	groups     map[transport.NodeID]int              // partition membership
+	closed     bool
 }
 
 // Option configures a Network.
@@ -141,13 +144,15 @@ func WithInboxSize(size int) Option {
 // New creates a network.
 func New(opts ...Option) *Network {
 	n := &Network{
-		latency: Fixed(0),
-		inboxSz: 1 << 14,
-		nodes:   make(map[transport.NodeID]*node),
-		crashed: make(map[transport.NodeID]bool),
-		delays:  make(map[transport.NodeID]time.Duration),
-		cuts:    make(map[[2]transport.NodeID]bool),
-		busy:    make(map[transport.NodeID]time.Time),
+		latency:    Fixed(0),
+		inboxSz:    1 << 14,
+		nodes:      make(map[transport.NodeID]*node),
+		crashed:    make(map[transport.NodeID]bool),
+		delays:     make(map[transport.NodeID]time.Duration),
+		cuts:       make(map[[2]transport.NodeID]bool),
+		linkDelays: make(map[[2]transport.NodeID]time.Duration),
+		linkLoss:   make(map[[2]transport.NodeID]float64),
+		busy:       make(map[transport.NodeID]time.Time),
 	}
 	n.prng.Store(0x9e3779b97f4a7c15)
 	for _, o := range opts {
@@ -237,6 +242,70 @@ func (n *Network) SetNodeDelay(id transport.NodeID, d time.Duration) {
 		return
 	}
 	n.delays[id] = d
+}
+
+// SetLinkDelay injects extra delay on the directed link from → to,
+// emulating asymmetric netem on a single path. It composes with
+// SetNodeDelay and the base latency model. A non-positive duration
+// removes the injection.
+func (n *Network) SetLinkDelay(from, to transport.NodeID, d time.Duration) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	k := [2]transport.NodeID{from, to}
+	if d <= 0 {
+		delete(n.linkDelays, k)
+		return
+	}
+	n.linkDelays[k] = d
+}
+
+// SetLinkLoss drops each packet on the directed link from → to with
+// probability p (netem-style random loss). Draws come from the network's
+// seeded jitter stream, so runs are reproducible. p <= 0 removes the
+// injection; p >= 1 drops everything.
+func (n *Network) SetLinkLoss(from, to transport.NodeID, p float64) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	k := [2]transport.NodeID{from, to}
+	if p <= 0 {
+		delete(n.linkLoss, k)
+		return
+	}
+	n.linkLoss[k] = p
+}
+
+// Partition splits the listed nodes into isolated groups: traffic between
+// two nodes in different groups is dropped. Nodes not listed in any group
+// are unaffected (they can reach everyone), so client endpoints keep
+// working unless explicitly partitioned. Calling Partition replaces any
+// previous partition.
+func (n *Network) Partition(groups ...[]transport.NodeID) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.groups = make(map[transport.NodeID]int)
+	for g, members := range groups {
+		for _, id := range members {
+			n.groups[id] = g
+		}
+	}
+}
+
+// HealPartition removes the partition installed by Partition.
+func (n *Network) HealPartition() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.groups = nil
+}
+
+// partitionedLocked reports whether a partition separates a and b.
+// Callers hold n.mu.
+func (n *Network) partitionedLocked(a, b transport.NodeID) bool {
+	if n.groups == nil {
+		return false
+	}
+	ga, oka := n.groups[a]
+	gb, okb := n.groups[b]
+	return oka && okb && ga != gb
 }
 
 // CutLink drops all traffic in both directions between a and b.
@@ -344,7 +413,14 @@ func (nd *node) Send(to transport.NodeID, payload []byte) error {
 	}
 	dest, ok := net.nodes[to]
 	cut := net.cuts[linkKey(nd.id, to)]
+	if to != nd.id && net.partitionedLocked(nd.id, to) {
+		cut = true
+	}
 	extra := net.delays[nd.id]
+	if to != nd.id {
+		extra += net.linkDelays[[2]transport.NodeID{nd.id, to}]
+	}
+	loss := net.linkLoss[[2]transport.NodeID{nd.id, to}]
 	destCrashed := net.crashed[to]
 	net.mu.RUnlock()
 
@@ -354,6 +430,10 @@ func (nd *node) Send(to transport.NodeID, payload []byte) error {
 	if !ok || cut || destCrashed {
 		net.dropped.Add(1)
 		return nil // like UDP to a dead host: silently lost
+	}
+	if loss > 0 && to != nd.id && net.uniform() < loss {
+		net.dropped.Add(1)
+		return nil
 	}
 
 	buf := make([]byte, len(payload))

@@ -294,3 +294,96 @@ func TestConcurrentSenders(t *testing.T) {
 	wg.Wait()
 	cd.wait(t, senders*per, 5*time.Second)
 }
+
+func TestLinkDelayAsymmetric(t *testing.T) {
+	net := New()
+	defer net.Close()
+	a, b := net.Node(1), net.Node(2)
+	ca, cb := newCollector(a), newCollector(b)
+
+	net.SetLinkDelay(1, 2, 30*time.Millisecond)
+
+	start := time.Now()
+	if err := a.Send(2, []byte("slow")); err != nil {
+		t.Fatalf("send: %v", err)
+	}
+	cb.wait(t, 1, time.Second)
+	if e := time.Since(start); e < 25*time.Millisecond {
+		t.Fatalf("1→2 arrived after %v, want >= ~30ms link delay", e)
+	}
+
+	start = time.Now()
+	if err := b.Send(1, []byte("fast")); err != nil {
+		t.Fatalf("send: %v", err)
+	}
+	ca.wait(t, 1, time.Second)
+	if e := time.Since(start); e > 20*time.Millisecond {
+		t.Fatalf("2→1 took %v; reverse direction must not inherit the delay", e)
+	}
+
+	net.SetLinkDelay(1, 2, 0) // removal restores the fast path
+	start = time.Now()
+	if err := a.Send(2, []byte("quick")); err != nil {
+		t.Fatalf("send: %v", err)
+	}
+	cb.wait(t, 1, time.Second)
+	if e := time.Since(start); e > 20*time.Millisecond {
+		t.Fatalf("1→2 still slow (%v) after delay removal", e)
+	}
+}
+
+func TestLinkLossSeeded(t *testing.T) {
+	run := func() (delivered int) {
+		net := New(WithSeed(99))
+		defer net.Close()
+		a, b := net.Node(1), net.Node(2)
+		newCollector(a)
+		cb := newCollector(b)
+		net.SetLinkLoss(1, 2, 0.5)
+		const n = 200
+		for i := 0; i < n; i++ {
+			if err := a.Send(2, []byte{byte(i)}); err != nil {
+				t.Fatalf("send: %v", err)
+			}
+		}
+		want := n - int(net.Stats().Dropped)
+		cb.wait(t, want, 2*time.Second)
+		return want
+	}
+	d1, d2 := run(), run()
+	if d1 != d2 {
+		t.Fatalf("same seed delivered %d vs %d messages", d1, d2)
+	}
+	if d1 == 0 || d1 == 200 {
+		t.Fatalf("loss at p=0.5 delivered %d/200; injection not engaging", d1)
+	}
+}
+
+func TestPartitionGroups(t *testing.T) {
+	net := New()
+	defer net.Close()
+	a, b, c := net.Node(1), net.Node(2), net.Node(3)
+	newCollector(a)
+	cb := newCollector(b)
+	cc := newCollector(c)
+
+	net.Partition([]transport.NodeID{1}, []transport.NodeID{2})
+	if err := a.Send(2, []byte("blocked")); err != nil {
+		t.Fatalf("send: %v", err)
+	}
+	// Node 3 is unlisted: it must still reach both sides.
+	if err := a.Send(3, []byte("open")); err != nil {
+		t.Fatalf("send: %v", err)
+	}
+	cc.wait(t, 1, time.Second)
+	time.Sleep(10 * time.Millisecond)
+	if got := len(cb.snapshot()); got != 0 {
+		t.Fatalf("partition leaked %d messages to node 2", got)
+	}
+
+	net.HealPartition()
+	if err := a.Send(2, []byte("after-heal")); err != nil {
+		t.Fatalf("send: %v", err)
+	}
+	cb.wait(t, 1, time.Second)
+}
