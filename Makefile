@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race bench bench-pr2 bench-pr3 bench-pr4 bench-pr5 bench-pr6 fuzz-smoke chaos-smoke profile check verify
+.PHONY: all build test vet race bench bench-pr2 bench-pr3 bench-pr4 bench-pr5 bench-pr6 fuzz-smoke chaos-smoke chaos-smoke-tcp soak profile check verify
 
 all: check
 
@@ -77,7 +77,7 @@ FUZZTIME ?= 10s
 fuzz-smoke:
 	for f in FuzzScanFrames FuzzFileLoad; do \
 		$(GO) test -run=NONE -fuzz="^$$f$$" -fuzztime=$(FUZZTIME) ./internal/wal/ || exit 1; done
-	for f in FuzzDecodeCreditChannel FuzzDecodeBatch FuzzDecodeDependency FuzzDecodeReplicaImage; do \
+	for f in FuzzDecodeCreditChannel FuzzDecodeBatch FuzzDecodeDependency FuzzDecodeReplicaImage FuzzDecodePaymentChannel; do \
 		$(GO) test -run=NONE -fuzz="^$$f$$" -fuzztime=$(FUZZTIME) ./internal/core/ || exit 1; done
 	for f in FuzzDecodeChainDef FuzzDecodeAckCert FuzzDecodeCommitRef FuzzDecodeChainNack; do \
 		$(GO) test -run=NONE -fuzz="^$$f$$" -fuzztime=$(FUZZTIME) ./internal/brb/ || exit 1; done
@@ -93,6 +93,25 @@ chaos-smoke:
 	$(GO) test -count=1 -race -run 'NackStorm|NackNonMember|NackUnregistered' ./internal/brb/ ./internal/core/
 	$(GO) test -count=1 -run 'ViaFacade' .
 
+# The scenario matrix across real astro-node processes on real TCP:
+# Byzantine behavior at f under per-link chaos, a scheduled
+# partition→heal with a kill -9/WAL-restart mid-partition, and the
+# Byzantine-client storm at a live payment edge — each ending in the
+# out-of-process invariant audit over state-transfer snapshots.
+# CI-sized (builds astro-node once, ~30s total).
+chaos-smoke-tcp:
+	$(GO) test -count=1 ./internal/e2e/
+
+# Long-soak survival harness — NOT a CI test. Minutes of randomized
+# kill -9/restart cycles, a rotating Byzantine seat, a hostile client,
+# and seeded chaos on a durable N>=7 cluster, under the always-on
+# auditor, ending in a quiescent conservation check. Tune with e.g.
+# SOAK_DURATION=30m, SOAK_FLAGS='-n 10 -clients 16 -seed 7'.
+SOAK_DURATION ?= 2m
+SOAK_FLAGS ?=
+soak:
+	$(GO) run ./cmd/astro-soak -duration $(SOAK_DURATION) $(SOAK_FLAGS)
+
 # Mutex-contention profile of the settlement engine: runs the striped
 # settle benchmark with mutex profiling and prints the top contended
 # call paths (artifacts: core.test, mutex.out).
@@ -101,6 +120,6 @@ profile:
 		-mutexprofile=mutex.out -o core.test ./internal/core/
 	$(GO) tool pprof -top -nodecount=20 core.test mutex.out
 
-check: build vet test race
+check: build vet test race chaos-smoke-tcp
 
 verify: check

@@ -59,6 +59,9 @@ type (
 	// Client submits payments to its representative and receives
 	// settlement confirmations.
 	Client = core.Client
+	// RetryPolicy tunes Client.PayReliable, the hardened submit loop
+	// (idempotent resubmission with jittered backoff and seq resync).
+	RetryPolicy = core.RetryPolicy
 	// Replica is one node of an Astro deployment.
 	Replica = core.Replica
 	// Version selects between the paper's two system variants.
@@ -113,10 +116,11 @@ type Options struct {
 // System is an embedded Astro deployment: replicas over an in-process
 // network, with real ECDSA keys, ready to serve clients.
 type System struct {
-	cluster  *sim.AstroCluster
-	topology Topology
-	genesis  Amount
-	chaos    *chaos.Controller
+	cluster   *sim.AstroCluster
+	topology  Topology
+	genesis   Amount
+	chaos     *chaos.Controller
+	stopChaos func() // cancels unfired chaos schedule phases
 }
 
 // New deploys a system.
@@ -145,16 +149,34 @@ func New(opts Options) (*System, error) {
 		latency = memnet.Fixed(0)
 	}
 	var ctrl *chaos.Controller
+	stopChaos := func() {}
 	if p := opts.Chaos; p != nil {
-		ctrl = chaos.NewController(p.Seed)
-		ctrl.SetDefault(chaos.Rule{
-			Drop:      p.Drop,
-			Corrupt:   p.Corrupt,
-			Duplicate: p.Duplicate,
-			Reorder:   p.Reorder,
-			DelayMin:  p.DelayMin,
-			DelayMax:  p.DelayMax,
-		})
+		prof := chaos.Profile{
+			Seed: p.Seed,
+			Default: chaos.Rule{
+				Drop:      p.Drop,
+				Corrupt:   p.Corrupt,
+				Duplicate: p.Duplicate,
+				Reorder:   p.Reorder,
+				DelayMin:  p.DelayMin,
+				DelayMax:  p.DelayMax,
+			},
+		}
+		if p.Rule != "" {
+			rule, err := chaos.ParseRule(p.Rule)
+			if err != nil {
+				return nil, fmt.Errorf("astro: chaos rule: %w", err)
+			}
+			prof.Default = rule
+		}
+		if p.Schedule != "" {
+			sch, err := chaos.ParseSchedule(p.Schedule)
+			if err != nil {
+				return nil, fmt.Errorf("astro: chaos schedule: %w", err)
+			}
+			prof.Schedule = sch
+		}
+		ctrl, stopChaos = prof.Start()
 	}
 	cluster, err := sim.NewAstroCluster(sim.AstroOpts{
 		Version:    opts.Version,
@@ -169,9 +191,11 @@ func New(opts Options) (*System, error) {
 		Chaos:      ctrl,
 	})
 	if err != nil {
+		stopChaos()
 		return nil, fmt.Errorf("astro: %w", err)
 	}
-	return &System{cluster: cluster, topology: top, genesis: opts.Genesis, chaos: ctrl}, nil
+	return &System{cluster: cluster, topology: top, genesis: opts.Genesis,
+		chaos: ctrl, stopChaos: stopChaos}, nil
 }
 
 // Client returns the client with the given identity, creating it on first
@@ -236,7 +260,12 @@ func (s *System) AntiEntropy(id, donor ReplicaID) error { return s.cluster.AntiE
 func (s *System) DelayReplica(id ReplicaID, d time.Duration) { s.cluster.Delay(id, d) }
 
 // Close shuts the system down.
-func (s *System) Close() { s.cluster.Close() }
+func (s *System) Close() {
+	if s.stopChaos != nil {
+		s.stopChaos()
+	}
+	s.cluster.Close()
+}
 
 // GenerateKeyPair creates an ECDSA P-256 key pair, exposed for callers
 // assembling custom deployments with the internal packages.

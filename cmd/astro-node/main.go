@@ -27,6 +27,24 @@
 // stop loses nothing; an ungraceful one loses at most what the sync
 // contract allows (see internal/wal). Without -data-dir the replica is
 // memory-only and a crash is permanent (pre-PR-6 behavior).
+//
+// # Chaos and Byzantine faults
+//
+// -chaos interposes the seeded fault injector on this node's outbound
+// traffic, with the rule mini-language from internal/transport/chaos:
+//
+//	astro-node ... -chaos 'drop=0.03,corrupt=0.01,delay=200us-2ms' -chaos-seed 7
+//
+// -chaos-schedule arms timed phases (partitions, rule changes, heals).
+// Offsets are relative to node start; chaos is outbound-only, so giving
+// every node the same schedule string and starting them together yields
+// a consistent cluster-wide partition:
+//
+//	-chaos-schedule '5s:part=0 1|2 3;15s:heal;20s:drop=0.2;30s:clear'
+//
+// -fault arms a Byzantine replica behavior from the internal/sim suite
+// (equivocate, withhold-commits, forge-refs, nack-storm, stale-view) on
+// this node — for harness runs only, obviously.
 package main
 
 import (
@@ -44,7 +62,9 @@ import (
 	"astro/internal/crypto"
 	"astro/internal/crypto/verifier"
 	"astro/internal/reconfig"
+	"astro/internal/sim"
 	"astro/internal/transport"
+	"astro/internal/transport/chaos"
 	"astro/internal/transport/tcpnet"
 	"astro/internal/types"
 	"astro/internal/wal"
@@ -69,6 +89,10 @@ func run() error {
 		delay     = flag.Duration("batch-delay", 5*time.Millisecond, "batch assembly delay bound")
 		dataDir   = flag.String("data-dir", "", "durable state directory (WAL + snapshots); empty = memory-only")
 		snapEvery = flag.Int("wal-snapshot-every", 0, "settled batches between WAL compactions (0 = default)")
+		chaosRule = flag.String("chaos", "", "chaos default rule, e.g. 'drop=0.03,corrupt=0.01,delay=200us-2ms' (empty = off)")
+		chaosSeed = flag.Uint64("chaos-seed", 1, "chaos fault-injection seed")
+		chaosSch  = flag.String("chaos-schedule", "", "timed chaos phases, e.g. '5s:part=0 1|2 3;15s:heal' (offsets from node start)")
+		fault     = flag.String("fault", "", "arm a Byzantine behavior: equivocate|withhold-commits|forge-refs|nack-storm|stale-view")
 	)
 	flag.Parse()
 
@@ -80,7 +104,7 @@ func run() error {
 		return fmt.Errorf("-peers must include this replica (id %d)", *id)
 	}
 
-	ep, err := tcpnet.New(tcpnet.Config{
+	tcp, err := tcpnet.New(tcpnet.Config{
 		Self:   transport.NodeID(*id),
 		Listen: *listen,
 		Peers:  peerMap,
@@ -88,8 +112,31 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	defer ep.Close()
-	mux := transport.NewMux(ep)
+	defer tcp.Close()
+
+	// Endpoint stack, bottom up: TCP, then the chaos injector (so drops
+	// and partitions apply to real connections), then the Byzantine
+	// interposer (so forged traffic rides the chaos rules like honest
+	// frames), then the Mux.
+	var ep transport.Endpoint = tcp
+	prof := chaos.Profile{Seed: *chaosSeed}
+	if *chaosRule != "" {
+		if prof.Default, err = chaos.ParseRule(*chaosRule); err != nil {
+			return fmt.Errorf("-chaos: %w", err)
+		}
+	}
+	if *chaosSch != "" {
+		if prof.Schedule, err = chaos.ParseSchedule(*chaosSch); err != nil {
+			return fmt.Errorf("-chaos-schedule: %w", err)
+		}
+	}
+	if !prof.Zero() {
+		ctrl, stopChaos := prof.Start()
+		defer stopChaos()
+		ep = ctrl.Wrap(ep)
+		fmt.Printf("astro-node: chaos armed (seed %d, rule %q, %d scheduled phases)\n",
+			*chaosSeed, chaos.FormatRule(prof.Default), len(prof.Schedule))
+	}
 
 	registry := crypto.NewRegistry()
 	var myKeys *crypto.KeyPair
@@ -103,6 +150,17 @@ func run() error {
 			myKeys = kp
 		}
 	}
+
+	if *fault != "" {
+		b, err := sim.NewBehavior(sim.FaultKind(*fault), types.ReplicaID(*id), myKeys,
+			ids, 2*types.MaxFaults(len(ids))+1)
+		if err != nil {
+			return err
+		}
+		ep = sim.WrapBehavior(ep, b)
+		fmt.Printf("astro-node: Byzantine behavior %q armed\n", b.Name())
+	}
+	mux := transport.NewMux(ep)
 
 	v := core.AstroII
 	if *version == 1 {
@@ -178,7 +236,7 @@ func run() error {
 	}
 
 	fmt.Printf("astro-node: replica %d (%s) serving %d-replica %v deployment on %s\n",
-		*id, ep.Addr(), len(ids), v, *listen)
+		*id, tcp.Addr(), len(ids), v, *listen)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)

@@ -46,6 +46,20 @@ type ChaosProfile struct {
 	Reorder   float64       // hold a delayed frame back further
 	DelayMin  time.Duration // uniform extra delay lower bound
 	DelayMax  time.Duration // uniform extra delay upper bound
+
+	// Rule, when non-empty, replaces the per-field probabilities above
+	// with the chaos mini-language — the same dialect cmd/astro-node's
+	// -chaos flag speaks, so a rule from a runbook drops in verbatim:
+	//
+	//	"drop=0.03,corrupt=0.01,dup=0.02,delay=200us-2ms"
+	Rule string
+	// Schedule arms timed phases — rule changes, partitions, heals —
+	// with offsets relative to New (cmd/astro-node's -chaos-schedule):
+	//
+	//	"300ms:part=0 1|2 3;1200ms:heal;1500ms:drop=0.05;3s:clear"
+	//
+	// Unfired phases are cancelled by Close.
+	Schedule string
 }
 
 // ChaosStats counts the perturbations a chaos controller has applied.

@@ -81,3 +81,66 @@ func CreditNackFor(frame []byte) ([]byte, bool) {
 func EncodeCreditNack(missing types.Digest) []byte {
 	return encodeCreditNack(missing)
 }
+
+// ---------------------------------------------------------------------------
+// Byzantine *client* wire helpers (payment channel). A hostile client owns a
+// transport node and can emit arbitrary ChanPayment frames; these builders
+// produce the canonical attack forms — forged/spoofed/equivocating submits,
+// sequence races, replays, and reflected control traffic — used by the
+// sim.HostileClient suite, the TCP chaos harness, and the fuzz corpora.
+
+// EncodeSubmit builds a raw submit frame for an arbitrary payment and
+// signature — including payments the sender has no right to submit
+// (spoofed spenders), signatures that verify under nobody's key (forged),
+// and byte-identical replays of history.
+func EncodeSubmit(p types.Payment, sig []byte) []byte {
+	return encodeSubmit(p, sig)
+}
+
+// EncodeConfirm builds a confirmation frame — hostile when reflected *at*
+// a replica (clients are the only legitimate receivers).
+func EncodeConfirm(id types.PaymentID) []byte {
+	return encodeConfirm(id)
+}
+
+// DecodeConfirm parses a confirmation frame (kind byte included). The
+// hostile-client harness seeds real settled history before attacking it
+// and uses this to learn when the seed payment confirmed.
+func DecodeConfirm(frame []byte) (types.PaymentID, bool) {
+	if len(frame) != 17 || frame[0] != msgConfirm {
+		return types.PaymentID{}, false
+	}
+	return types.PaymentID{
+		Spender: types.ClientID(be64(frame[1:9])),
+		Seq:     types.Seq(be64(frame[9:17])),
+	}, true
+}
+
+// EncodeSeqReq builds a next-sequence query for an arbitrary client
+// identity — the probe half of a SyncSeq race.
+func EncodeSeqReq(c types.ClientID) []byte {
+	return encodeSeqReq(c)
+}
+
+// EncodeBalanceReq builds a balance query for an arbitrary client identity.
+func EncodeBalanceReq(c types.ClientID) []byte {
+	return encodeBalanceReq(c)
+}
+
+// EncodeStatsReq builds an edge-stats query frame.
+func EncodeStatsReq() []byte {
+	return encodeStatsReq()
+}
+
+// EncodeCreditForged builds a single-group CREDIT frame claiming signer
+// signed the group — from a client node it must die at the sender-class
+// check before any signature verification.
+func EncodeCreditForged(signer types.ReplicaID, group []types.Payment, sig []byte) []byte {
+	return encodeCredit(creditMsg{Signer: signer, Group: group, Sig: sig})
+}
+
+// EncodeCreditRedoRaw builds a CREDITREDO request for arbitrary payment
+// groups — the re-sign flood a hostile node aims at settled history.
+func EncodeCreditRedoRaw(groups [][]types.Payment) []byte {
+	return encodeCreditRedo(groups)
+}

@@ -32,3 +32,16 @@ func (r *Replica) PendingDepValue(c types.ClientID) types.Amount {
 	r.repMu.Unlock()
 	return v
 }
+
+// DecodeAuditAccounts parses the account section out of a replica's full
+// snapshot (the FullSnapshot / reconfig state-transfer encoding). It is
+// how out-of-process auditors — the TCP chaos harness, astro-client's
+// audit command — turn a fetched remote snapshot into the same
+// AccountExport view that in-process auditing reads directly.
+func DecodeAuditAccounts(snapshot []byte) ([]AccountExport, error) {
+	img, err := decodeReplicaImage(snapshot)
+	if err != nil {
+		return nil, err
+	}
+	return img.accounts, nil
+}

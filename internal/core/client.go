@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"astro/internal/crypto"
@@ -28,6 +29,10 @@ type Client struct {
 	confirms chan types.PaymentID
 	balances chan types.Amount
 	seqs     chan types.Seq
+	stats    chan EdgeStats
+
+	// retrySeed drives PayReliable's backoff jitter (reliable.go).
+	retrySeed atomic.Uint64
 }
 
 // ErrTimeout is returned when a client-side wait expires.
@@ -44,7 +49,9 @@ func NewClient(id types.ClientID, repOf func(types.ClientID) types.ReplicaID, mu
 		confirms: make(chan types.PaymentID, 1<<12),
 		balances: make(chan types.Amount, 8),
 		seqs:     make(chan types.Seq, 8),
+		stats:    make(chan EdgeStats, 8),
 	}
+	c.retrySeed.Store(uint64(time.Now().UnixNano()) ^ uint64(id)<<32)
 	mux.Register(transport.ChanPayment, c.onMessage)
 	return c
 }
@@ -206,6 +213,29 @@ func (c *Client) onMessage(from transport.NodeID, payload []byte) {
 		case c.seqs <- types.Seq(be64(payload[9:17])):
 		default:
 		}
+	case msgStatsResp:
+		s, ok := decodeStatsResp(payload[1:])
+		if !ok {
+			return
+		}
+		select {
+		case c.stats <- s:
+		default:
+		}
+	}
+}
+
+// QueryStats fetches the representative's edge-rejection counters — the
+// observable form of "the replica is absorbing an attack".
+func (c *Client) QueryStats(timeout time.Duration) (EdgeStats, error) {
+	if err := c.mux.Send(transport.ReplicaNode(c.rep), transport.ChanPayment, encodeStatsReq()); err != nil {
+		return EdgeStats{}, err
+	}
+	select {
+	case s := <-c.stats:
+		return s, nil
+	case <-time.After(timeout):
+		return EdgeStats{}, ErrTimeout
 	}
 }
 

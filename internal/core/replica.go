@@ -138,6 +138,9 @@ type Replica struct {
 	settledTotal      atomic.Uint64
 	confirmedTotal    atomic.Uint64
 	broadcastFailures atomic.Uint64
+
+	// edge counts hostile-frame rejections at the client edge (edge.go).
+	edge edgeCounters
 }
 
 // stripeFlowQueue bounds each stripe flow's queue: deep enough for the
@@ -490,6 +493,7 @@ func (r *Replica) endorseEntries(origin types.ReplicaID, myShard types.ShardID, 
 		w.U32(uint32(len(entries)))
 	}
 	r.endorsedMu.Lock()
+	inBatch := make(map[types.PaymentID]types.Digest, len(entries))
 	for _, e := range entries {
 		if r.cfg.RepOf(e.Payment.Spender) != origin {
 			r.endorsedMu.Unlock()
@@ -504,6 +508,16 @@ func (r *Replica) endorseEntries(origin types.ReplicaID, myShard types.ShardID, 
 			r.endorsedMu.Unlock()
 			return false // conflicting payment for the same identifier
 		}
+		// The endorsement memory alone cannot see a conflict *inside* one
+		// batch (nothing is recorded until every entry checks out), so a
+		// batch equivocating against itself must be refused here — settling
+		// it would strand the second variant behind an unfillable sequence
+		// gap and wedge the origin's per-replica FIFO for every client.
+		if prev, ok := inBatch[e.Payment.ID()]; ok && prev != h {
+			r.endorsedMu.Unlock()
+			return false // batch conflicts with itself
+		}
+		inBatch[e.Payment.ID()] = h
 	}
 	for _, e := range entries {
 		h := types.HashPayment(e.Payment)
@@ -521,23 +535,29 @@ func (r *Replica) endorseEntries(origin types.ReplicaID, myShard types.ShardID, 
 	return true
 }
 
-// onPaymentMsg handles the client-facing channel.
+// onPaymentMsg handles the client-facing channel. Rejection paths are
+// ordered cheapest-first and each increments its edge counter — the
+// boundedness argument per hostile frame class is in edge.go.
 func (r *Replica) onPaymentMsg(from transport.NodeID, payload []byte) {
 	if len(payload) == 0 {
+		r.edge.malformed.Add(1)
 		return
 	}
 	switch payload[0] {
 	case msgSubmit:
 		p, sig, ok := decodeSubmit(payload[1:])
 		if !ok {
+			r.edge.malformed.Add(1)
 			return
 		}
 		// Only the client itself may submit payments for its xlog: the
 		// transport authenticates the sender node.
 		if transport.ClientNode(p.Spender) != from {
+			r.edge.spoofed.Add(1)
 			return
 		}
 		if r.cfg.RepOf(p.Spender) != r.cfg.Self {
+			r.edge.wrongRep.Add(1)
 			return // not this replica's client
 		}
 		// End-to-end authentication: with client keys configured, a
@@ -546,14 +566,18 @@ func (r *Replica) onPaymentMsg(from transport.NodeID, payload []byte) {
 		// endorsement the same signature is a cache hit, not a second
 		// ECDSA.
 		if r.cfg.ClientKeys != nil && !r.cfg.Verifier.VerifyClient(r.cfg.ClientKeys, p.Spender, PaymentDigest(p), sig) {
+			r.edge.badSig.Add(1)
 			return
 		}
 		if !r.preScreenSubmit(p) {
 			return
 		}
 		r.submit(p, sig)
+	case msgStatsReq:
+		r.handleStatsReq(from)
 	case msgBalanceReq:
 		if len(payload) != 9 {
+			r.edge.malformed.Add(1)
 			return
 		}
 		c := types.ClientID(be64(payload[1:9]))
@@ -561,6 +585,7 @@ func (r *Replica) onPaymentMsg(from transport.NodeID, payload []byte) {
 		_ = r.cfg.Mux.Send(from, transport.ChanPayment, encodeBalanceResp(c, bal))
 	case msgSeqReq:
 		if len(payload) != 9 {
+			r.edge.malformed.Add(1)
 			return
 		}
 		c := types.ClientID(be64(payload[1:9]))
@@ -569,6 +594,11 @@ func (r *Replica) onPaymentMsg(from transport.NodeID, payload []byte) {
 		// representative already endorsed beyond it, so a resync cannot
 		// collide with in-flight payments).
 		_ = r.cfg.Mux.Send(from, transport.ChanPayment, encodeSeqResp(c, r.nextUsableSeq(c)))
+	case msgConfirm, msgBalanceResp, msgSeqResp, msgStatsResp:
+		// Response kinds reflected back at a replica: hostile, drop.
+		r.edge.malformed.Add(1)
+	default:
+		r.edge.malformed.Add(1)
 	}
 }
 
@@ -611,22 +641,35 @@ func (r *Replica) nextUsableSeq(c types.ClientID) types.Seq {
 // rather than a rebroadcast.
 func (r *Replica) preScreenSubmit(p types.Payment) bool {
 	if p.Seq == 0 {
+		r.edge.seqZero.Add(1)
 		return false // sequence numbers start at 1; Seq 0 can never settle
 	}
 	if settled, ok := r.state.SettledAt(p.Spender, p.Seq); ok {
 		if settled == p {
+			r.edge.settledReplay.Add(1)
 			_ = r.cfg.Mux.Send(transport.ClientNode(p.Spender), transport.ChanPayment, encodeConfirm(p.ID()))
+		} else {
+			r.edge.conflicting.Add(1)
 		}
 		return false // settled identifier: never occupy a new slot for it
 	}
+	if !r.withinSeqWindow(p) {
+		// Far beyond anything settleable: accepting it would strand a
+		// settlement-queue entry behind a gap that can never fill.
+		r.edge.futureSeq.Add(1)
+		return false
+	}
 	r.endorsedMu.Lock()
-	_, seen := r.endorsed[p.ID()]
+	h, seen := r.endorsed[p.ID()]
 	r.endorsedMu.Unlock()
 	if seen {
 		// Conflicting: peers would refuse the batch (double-spend
 		// protection) and wedge this origin's FIFO. Identical: it is
 		// already in flight; the confirmation will arrive on settlement.
 		// Either way, do not occupy another slot.
+		if h != types.HashPayment(p) {
+			r.edge.conflicting.Add(1)
+		}
 		return false
 	}
 	return true
@@ -635,13 +678,52 @@ func (r *Replica) preScreenSubmit(p types.Payment) bool {
 // submit enqueues a client payment for broadcast, attaching accumulated
 // dependencies (Astro II, Listing 7) and enforcing the projected-balance
 // rule so a correct representative never wedges a client's xlog.
+//
+// The (identifier, content-hash) binding is reserved in the endorsement
+// memory *here*, before the payment sits in the assembly buffer or the
+// held queue: preScreenSubmit's endorsed-map check alone leaves a window
+// — from acceptance until the broadcast batch comes back for endorsement
+// — in which an equivocating twin would pass the same check and land in
+// the same batch, which peers refuse wholesale (wedging this origin's
+// FIFO for every client). The reservation is in-memory only; the WAL
+// record is written at endorsement time as before, which is consistent
+// across a crash because the unbroadcast buffer dies with the process.
 func (r *Replica) submit(p types.Payment, sig []byte) {
+	id, h := p.ID(), types.HashPayment(p)
+	r.endorsedMu.Lock()
+	if prev, ok := r.endorsed[id]; ok {
+		r.endorsedMu.Unlock()
+		if prev != h {
+			r.edge.conflicting.Add(1)
+		}
+		// Identical: already in flight; the confirmation arrives on
+		// settlement. Either way, do not occupy another slot.
+		return
+	}
+	r.endorsed[id] = h
+	r.endorsedMu.Unlock()
+
 	r.repMu.Lock()
 	if p.Seq > r.submittedHi[p.Spender] {
 		r.submittedHi[p.Spender] = p.Seq
 	}
 	if r.cfg.Version == AstroII {
 		if len(r.pendingSubmits[p.Spender]) > 0 || !r.fundedLocked(p) {
+			if len(r.pendingSubmits[p.Spender]) >= maxHeldSubmits {
+				// Hold-queue cap: shed instead of growing without bound
+				// under an unfunded-submit flood. A correct client retries
+				// once its in-flight payments settle — so release the
+				// reservation taken above, or that retry would be treated
+				// as already in flight and dropped forever.
+				r.edge.heldOverflow.Add(1)
+				r.repMu.Unlock()
+				r.endorsedMu.Lock()
+				if cur, ok := r.endorsed[id]; ok && cur == h {
+					delete(r.endorsed, id)
+				}
+				r.endorsedMu.Unlock()
+				return
+			}
 			r.pendingSubmits[p.Spender] = append(r.pendingSubmits[p.Spender], heldSubmit{payment: p, sig: sig})
 			r.repMu.Unlock()
 			return
@@ -1086,10 +1168,12 @@ func (r *Replica) onCredit(from transport.NodeID, payload []byte) {
 	// bounded individually, so no peer can pollute or evict another's
 	// definitions, and the registry bounds how many caches can exist.
 	if from >= transport.ClientNodeBase {
+		r.edge.creditOutsider.Add(1)
 		return
 	}
 	peer := types.ReplicaID(from)
 	if !r.cfg.Registry.Known(peer) {
+		r.edge.creditOutsider.Add(1)
 		return
 	}
 	switch payload[0] {

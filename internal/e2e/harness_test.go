@@ -1,0 +1,278 @@
+// Package e2e runs the robustness scenario matrix across real
+// cmd/astro-node processes on real TCP — the multi-process counterpart of
+// the in-memory internal/sim suite. The harness builds astro-node once
+// per test binary, launches clusters on loopback ports with per-node
+// flags (chaos rules, partition schedules, Byzantine behaviors, WAL
+// directories), drives them with in-process hardened clients over
+// tcpnet, and closes every scenario with the out-of-process invariant
+// audit: per-replica state snapshots fetched over the reconfig
+// state-transfer channel and checked with sim.AuditExports.
+//
+// These tests are CI-sized (`make chaos-smoke-tcp`); the open-ended form
+// of the same palette is cmd/astro-soak (`make soak`).
+package e2e
+
+import (
+	"fmt"
+	"net"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"syscall"
+	"testing"
+	"time"
+
+	"astro/internal/core"
+	"astro/internal/reconfig"
+	"astro/internal/sim"
+	"astro/internal/transport"
+	"astro/internal/transport/tcpnet"
+	"astro/internal/types"
+)
+
+const genesis = types.Amount(1_000_000) // astro-node's default
+
+var nodeBin string
+
+// TestMain builds cmd/astro-node once; every scenario execs the same
+// binary, exactly as an operator would.
+func TestMain(m *testing.M) {
+	dir, err := os.MkdirTemp("", "astro-e2e-bin-*")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "e2e:", err)
+		os.Exit(1)
+	}
+	nodeBin = filepath.Join(dir, "astro-node")
+	cmd := exec.Command("go", "build", "-o", nodeBin, "astro/cmd/astro-node")
+	cmd.Dir = "../.." // package dir is <repo>/internal/e2e
+	if out, err := cmd.CombinedOutput(); err != nil {
+		fmt.Fprintf(os.Stderr, "e2e: build astro-node: %v\n%s", err, out)
+		os.RemoveAll(dir)
+		os.Exit(1)
+	}
+	code := m.Run()
+	os.RemoveAll(dir)
+	os.Exit(code)
+}
+
+// tcpCluster is a handle on n astro-node processes bound to loopback.
+type tcpCluster struct {
+	t        *testing.T
+	n        int
+	addrs    []string
+	peerArg  string
+	peerMap  map[transport.NodeID]string
+	ids      []types.ReplicaID
+	dataRoot string
+	procs    []*exec.Cmd
+	logs     []*os.File
+}
+
+// startTCPCluster reserves n loopback ports, then launches one WAL-backed
+// astro-node per id with any per-node extra flags (chaos rules,
+// schedules, -fault). Processes are killed at test cleanup; their stdout
+// lands in <tmp>/r<i>.log for post-mortems.
+func startTCPCluster(t *testing.T, n int, extra map[int][]string) *tcpCluster {
+	t.Helper()
+	c := &tcpCluster{
+		t: t, n: n,
+		peerMap:  make(map[transport.NodeID]string),
+		dataRoot: t.TempDir(),
+		procs:    make([]*exec.Cmd, n),
+		logs:     make([]*os.File, n),
+	}
+	// Reserve all ports before releasing any, to keep the (unavoidable)
+	// close-to-bind race window as small as possible.
+	listeners := make([]net.Listener, n)
+	for i := 0; i < n; i++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		listeners[i] = ln
+		c.addrs = append(c.addrs, ln.Addr().String())
+		c.ids = append(c.ids, types.ReplicaID(i))
+		c.peerMap[transport.NodeID(i)] = ln.Addr().String()
+		if i > 0 {
+			c.peerArg += ","
+		}
+		c.peerArg += fmt.Sprintf("%d=%s", i, ln.Addr().String())
+	}
+	for _, ln := range listeners {
+		ln.Close()
+	}
+	for i := 0; i < n; i++ {
+		c.launch(i, extra[i])
+	}
+	t.Cleanup(func() {
+		for i := range c.procs {
+			c.stop(i)
+		}
+		if t.Failed() {
+			for i := range c.logs {
+				if b, err := os.ReadFile(filepath.Join(c.dataRoot, fmt.Sprintf("r%d.log", i))); err == nil {
+					t.Logf("--- replica %d log ---\n%s", i, b)
+				}
+			}
+		}
+	})
+	c.waitReachable(10 * time.Second)
+	return c
+}
+
+func (c *tcpCluster) launch(i int, extra []string) {
+	c.t.Helper()
+	args := []string{
+		"-id", strconv.Itoa(i),
+		"-listen", c.addrs[i],
+		"-peers", c.peerArg,
+		"-batch", "8",
+		"-batch-delay", "1ms",
+		"-data-dir", filepath.Join(c.dataRoot, fmt.Sprintf("r%d", i)),
+		"-wal-snapshot-every", "16",
+	}
+	args = append(args, extra...)
+	logf, err := os.OpenFile(filepath.Join(c.dataRoot, fmt.Sprintf("r%d.log", i)),
+		os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		c.t.Fatal(err)
+	}
+	cmd := exec.Command(nodeBin, args...)
+	cmd.Stdout, cmd.Stderr = logf, logf
+	if err := cmd.Start(); err != nil {
+		c.t.Fatalf("start replica %d: %v", i, err)
+	}
+	if c.logs[i] != nil {
+		c.logs[i].Close()
+	}
+	c.procs[i], c.logs[i] = cmd, logf
+}
+
+func (c *tcpCluster) stop(i int) {
+	if p := c.procs[i]; p != nil && p.Process != nil {
+		p.Process.Kill()
+		p.Wait()
+		c.procs[i] = nil
+	}
+}
+
+// kill9 SIGKILLs replica i — no flush, no shutdown hook; the WAL is all
+// that survives.
+func (c *tcpCluster) kill9(i int) {
+	c.t.Helper()
+	p := c.procs[i]
+	if p == nil || p.Process == nil {
+		c.t.Fatalf("replica %d not running", i)
+	}
+	if err := p.Process.Signal(syscall.SIGKILL); err != nil {
+		c.t.Fatalf("kill -9 replica %d: %v", i, err)
+	}
+	p.Wait()
+	c.procs[i] = nil
+}
+
+// restart relaunches replica i against its existing WAL directory, with
+// fresh extra flags (typically none: a recovering node comes back clean
+// even if its first life ran chaos or a Byzantine behavior).
+func (c *tcpCluster) restart(i int, extra ...string) {
+	c.t.Helper()
+	c.launch(i, extra)
+}
+
+func (c *tcpCluster) waitReachable(timeout time.Duration) {
+	c.t.Helper()
+	deadline := time.Now().Add(timeout)
+	for _, addr := range c.addrs {
+		for {
+			conn, err := net.DialTimeout("tcp", addr, 500*time.Millisecond)
+			if err == nil {
+				conn.Close()
+				break
+			}
+			if time.Now().After(deadline) {
+				c.t.Fatalf("replica at %s never started listening", addr)
+			}
+			time.Sleep(50 * time.Millisecond)
+		}
+	}
+}
+
+func (c *tcpCluster) repOf(id types.ClientID) types.ReplicaID {
+	return c.ids[uint64(id)%uint64(len(c.ids))]
+}
+
+// clientMux opens a client-side tcpnet endpoint (dial-only) and its mux.
+func (c *tcpCluster) clientMux(id types.ClientID) *transport.Mux {
+	c.t.Helper()
+	ep, err := tcpnet.New(tcpnet.Config{
+		Self:  transport.ClientNode(id),
+		Peers: c.peerMap,
+	})
+	if err != nil {
+		c.t.Fatal(err)
+	}
+	c.t.Cleanup(func() { ep.Close() })
+	return transport.NewMux(ep)
+}
+
+// client returns a hardened client on its own TCP connection.
+func (c *tcpCluster) client(id types.ClientID) *core.Client {
+	return core.NewClient(id, c.repOf, c.clientMux(id))
+}
+
+// audit fetches one state snapshot per (non-excluded) replica over the
+// reconfig channel and runs the stateless invariant battery. An
+// unreachable replica is an error, not a violation.
+func (c *tcpCluster) audit(mux *transport.Mux, exclude map[types.ReplicaID]bool) ([]sim.Violation, error) {
+	exports := make(map[types.ReplicaID][]core.AccountExport)
+	for _, rid := range c.ids {
+		if exclude[rid] {
+			continue
+		}
+		snap, err := reconfig.FetchState(reconfig.FetchConfig{
+			Mux: mux, Peers: []types.ReplicaID{rid}, Timeout: 5 * time.Second,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("replica %d snapshot: %w", rid, err)
+		}
+		accs, err := core.DecodeAuditAccounts(snap)
+		if err != nil {
+			return nil, fmt.Errorf("replica %d snapshot decode: %w", rid, err)
+		}
+		exports[rid] = accs
+	}
+	return sim.AuditExports(core.AstroII, genesis, exports), nil
+}
+
+// waitCleanAudit polls the audit until it comes back clean: right after a
+// load window the cut is legitimately transient (in-flight credits,
+// restart catch-up), so violations only count if they persist past the
+// deadline.
+func (c *tcpCluster) waitCleanAudit(exclude map[types.ReplicaID]bool, timeout time.Duration) {
+	c.t.Helper()
+	mux := c.clientMux(types.ClientID(90))
+	start := time.Now()
+	deadline := start.Add(timeout)
+	var lastVs []sim.Violation
+	var lastErr error
+	for {
+		vs, err := c.audit(mux, exclude)
+		if err == nil && len(vs) == 0 {
+			c.t.Logf("audit clean after %v (last dirty cut: %d violations, err=%v)",
+				time.Since(start).Round(time.Millisecond), len(lastVs), lastErr)
+			return
+		}
+		lastVs, lastErr = vs, err
+		if time.Now().After(deadline) {
+			if err != nil {
+				c.t.Fatalf("audit never completed: %v", err)
+			}
+			for _, v := range vs {
+				c.t.Errorf("VIOLATION %v", v)
+			}
+			c.t.Fatalf("audit still dirty after %v: %d violations", timeout, len(vs))
+		}
+		time.Sleep(250 * time.Millisecond)
+	}
+}

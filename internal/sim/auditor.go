@@ -156,6 +156,8 @@ func (a *Auditor) Sample() {
 	a.samples++
 	a.mu.Unlock()
 
+	ck := &exportChecker{version: a.c.version, genesis: a.cfg.Genesis, record: a.record}
+
 	// Index of settled payments across all correct replicas, for
 	// resolving dependency-credit amounts and catching forged credits.
 	idx := paymentIndex(exports)
@@ -167,9 +169,9 @@ func (a *Auditor) Sample() {
 	var misses []miss
 	for rep, accounts := range exports {
 		for _, acc := range accounts {
-			a.checkFIFO(rep, acc)
-			a.checkNonNegative(rep, acc)
-			if ok := a.checkConservation(rep, acc, accounts, idx); !ok {
+			ck.checkFIFO(rep, acc)
+			ck.checkNonNegative(rep, acc)
+			if ok := ck.checkConservation(rep, acc, accounts, idx); !ok {
 				misses = append(misses, miss{rep, acc})
 			}
 		}
@@ -186,12 +188,38 @@ func (a *Auditor) Sample() {
 			}
 		}
 		for _, m := range misses {
-			if ok := a.checkConservation(m.rep, m.acc, exports[m.rep], reIdx); !ok {
-				a.reportMissingDeps(m.rep, m.acc, reIdx)
+			if ok := ck.checkConservation(m.rep, m.acc, exports[m.rep], reIdx); !ok {
+				ck.reportMissingDeps(m.rep, m.acc, reIdx)
 			}
 		}
 	}
-	a.checkAgreement(exports)
+	ck.checkAgreement(exports)
+}
+
+// AuditExports runs the full invariant battery over one set of
+// per-replica account exports — the stateless, out-of-process form of
+// the auditor used by the TCP harness and the soak runner, where
+// snapshots arrive through reconfig state transfer rather than from
+// in-process replica handles. The cut is assumed quiescent: unlike the
+// sampling auditor there is no second-chance re-export, so a dependency
+// credit that resolves to no settled payment anywhere in the snapshot
+// set is reported as forged.
+func AuditExports(version core.Version, genesis types.Amount, exports map[types.ReplicaID][]core.AccountExport) []Violation {
+	var out []Violation
+	ck := &exportChecker{version: version, genesis: genesis,
+		record: func(v Violation) { out = append(out, v) }}
+	idx := paymentIndex(exports)
+	for rep, accounts := range exports {
+		for _, acc := range accounts {
+			ck.checkFIFO(rep, acc)
+			ck.checkNonNegative(rep, acc)
+			if !ck.checkConservation(rep, acc, accounts, idx) {
+				ck.reportMissingDeps(rep, acc, idx)
+			}
+		}
+	}
+	ck.checkAgreement(exports)
+	return out
 }
 
 // exportCorrect takes one consistent cut per live, correct replica.
@@ -227,10 +255,20 @@ func paymentIndex(exports map[types.ReplicaID][]core.AccountExport) map[types.Pa
 	return idx
 }
 
+// exportChecker is the stateless core of the audit: every invariant
+// check over a set of account exports, parameterized only by the
+// protocol version, the genesis balance, and a violation sink. The
+// sampling Auditor and the out-of-process AuditExports both drive it.
+type exportChecker struct {
+	version core.Version
+	genesis types.Amount
+	record  func(Violation)
+}
+
 // checkFIFO: an exclusive log holds exactly the owner's payments with
 // sequence numbers 1..len, in order — per-client FIFO and no duplicate
 // settlement in one check.
-func (a *Auditor) checkFIFO(rep types.ReplicaID, acc core.AccountExport) {
+func (a *exportChecker) checkFIFO(rep types.ReplicaID, acc core.AccountExport) {
 	for i, p := range acc.XLog {
 		if p.Spender != acc.Client {
 			a.record(Violation{
@@ -264,7 +302,7 @@ func (a *Auditor) checkFIFO(rep types.ReplicaID, acc core.AccountExport) {
 	}
 }
 
-func (a *Auditor) checkNonNegative(rep types.ReplicaID, acc core.AccountExport) {
+func (a *exportChecker) checkNonNegative(rep types.ReplicaID, acc core.AccountExport) {
 	if acc.Balance < 0 {
 		a.record(Violation{
 			Invariant: "negative-balance", Replica: rep, Client: acc.Client,
@@ -277,13 +315,13 @@ func (a *Auditor) checkNonNegative(rep types.ReplicaID, acc core.AccountExport) 
 // account. Returns false (without recording) when a dependency credit's
 // amount cannot be resolved from idx — the caller retries with a fresh
 // index before declaring a forged credit.
-func (a *Auditor) checkConservation(rep types.ReplicaID, acc core.AccountExport, all []core.AccountExport, idx map[types.PaymentID]types.Payment) bool {
+func (a *exportChecker) checkConservation(rep types.ReplicaID, acc core.AccountExport, all []core.AccountExport, idx map[types.PaymentID]types.Payment) bool {
 	var out types.Amount
 	for _, p := range acc.XLog {
 		out += p.Amount
 	}
 	var in types.Amount
-	if a.c.version == core.AstroII {
+	if a.version == core.AstroII {
 		for _, id := range acc.UsedDeps {
 			p, ok := idx[id]
 			if !ok {
@@ -302,12 +340,12 @@ func (a *Auditor) checkConservation(rep types.ReplicaID, acc core.AccountExport,
 			}
 		}
 	}
-	want := a.cfg.Genesis - out + in
+	want := a.genesis - out + in
 	if acc.Balance != want {
 		a.record(Violation{
 			Invariant: "conservation", Replica: rep, Client: acc.Client,
 			Detail: fmt.Sprintf("balance %d, identity gives %d (genesis %d − settled %d + credits %d)",
-				acc.Balance, want, a.cfg.Genesis, out, in),
+				acc.Balance, want, a.genesis, out, in),
 		})
 	}
 	return true
@@ -315,7 +353,7 @@ func (a *Auditor) checkConservation(rep types.ReplicaID, acc core.AccountExport,
 
 // reportMissingDeps records forged-credit violations for every
 // dependency of acc that no correct replica has settled.
-func (a *Auditor) reportMissingDeps(rep types.ReplicaID, acc core.AccountExport, idx map[types.PaymentID]types.Payment) {
+func (a *exportChecker) reportMissingDeps(rep types.ReplicaID, acc core.AccountExport, idx map[types.PaymentID]types.Payment) {
 	for _, id := range acc.UsedDeps {
 		if _, ok := idx[id]; !ok {
 			a.record(Violation{
@@ -329,7 +367,7 @@ func (a *Auditor) reportMissingDeps(rep types.ReplicaID, acc core.AccountExport,
 // checkAgreement: correct replicas' xlogs for one client must be
 // prefix-consistent — same payment content at every shared index. A
 // lagging replica is fine; a diverging one is the Byzantine break.
-func (a *Auditor) checkAgreement(exports map[types.ReplicaID][]core.AccountExport) {
+func (a *exportChecker) checkAgreement(exports map[types.ReplicaID][]core.AccountExport) {
 	type ref struct {
 		rep  types.ReplicaID
 		xlog []types.Payment

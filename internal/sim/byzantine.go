@@ -464,47 +464,68 @@ func (b *StaleViewReconfig) Inbound(_ transport.NodeID, frame []byte, emit Emit)
 // Fault-kind arming
 // ---------------------------------------------------------------------
 
-// ArmFault arms the canonical behavior for a Byzantine FaultKind on the
-// given replica, with shard-derived defaults: the equivocator targets the
-// last non-self member of its shard, the stale-view spammer addresses the
-// whole shard with the current genesis view. Scenario code needing custom
-// victim sets or collusion builds the Behavior itself and uses
-// SetBehavior.
-func (c *AstroCluster) ArmFault(id types.ReplicaID, kind FaultKind) error {
-	members := c.Topology.Replicas(c.Topology.ReplicaShard(id))
+// NewBehavior builds the canonical behavior for a Byzantine FaultKind
+// with shard-derived defaults: the equivocator targets the last non-self
+// member of the shard, the stale-view spammer addresses the whole shard
+// with the genesis view. members must include self; quorum is the shard's
+// 2f+1. Exported so out-of-process deployments (cmd/astro-node -fault)
+// arm the same behaviors the in-process matrix runs; scenario code
+// needing custom victim sets or collusion builds the Behavior literal
+// itself.
+func NewBehavior(kind FaultKind, self types.ReplicaID, keys *crypto.KeyPair, members []types.ReplicaID, quorum int) (Behavior, error) {
 	var peers []transport.NodeID
 	for _, m := range members {
-		if m != id {
+		if m != self {
 			peers = append(peers, transport.ReplicaNode(m))
 		}
 	}
-	var b Behavior
 	switch kind {
 	case FaultEquivocate:
 		victims := map[transport.NodeID]bool{}
 		if len(peers) > 0 {
 			victims[peers[len(peers)-1]] = true
 		}
-		b = &Equivocate{
-			Self:    id,
-			Keys:    c.Keys(id),
-			Quorum:  c.Quorum(),
+		return &Equivocate{
+			Self:    self,
+			Keys:    keys,
+			Quorum:  quorum,
 			Victims: victims,
-		}
+		}, nil
 	case FaultWithholdCommits:
-		b = &WithholdCommits{}
+		return &WithholdCommits{}, nil
 	case FaultForgeRefs:
-		b = &ForgeChainRefs{Salt: 0x5a}
+		return &ForgeChainRefs{Salt: 0x5a}, nil
 	case FaultNackStorm:
-		b = &NackStorm{}
+		return &NackStorm{}, nil
 	case FaultStaleView:
-		b = &StaleViewReconfig{
-			Self:  id,
+		return &StaleViewReconfig{
+			Self:  self,
 			Peers: peers,
 			View:  reconfig.View{Num: 1, Members: members},
-		}
+		}, nil
 	default:
-		return fmt.Errorf("sim: %q is not a Byzantine fault kind", kind)
+		return nil, fmt.Errorf("sim: %q is not a Byzantine fault kind", kind)
+	}
+}
+
+// WrapBehavior interposes a Byzantine behavior on an endpoint — the
+// standalone form of the cluster's always-present wrapper, for real
+// deployments stacking tcpnet → chaos → behavior → Mux. A nil behavior
+// returns a wrapper that is inert until armed through the cluster APIs;
+// standalone callers pass the behavior they want.
+func WrapBehavior(inner transport.Endpoint, b Behavior) transport.Endpoint {
+	bz := newByzEndpoint(inner)
+	bz.Set(b)
+	return bz
+}
+
+// ArmFault arms the canonical behavior for a Byzantine FaultKind on the
+// given replica (see NewBehavior).
+func (c *AstroCluster) ArmFault(id types.ReplicaID, kind FaultKind) error {
+	members := c.Topology.Replicas(c.Topology.ReplicaShard(id))
+	b, err := NewBehavior(kind, id, c.Keys(id), members, c.Quorum())
+	if err != nil {
+		return err
 	}
 	return c.SetBehavior(id, b)
 }

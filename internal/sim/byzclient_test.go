@@ -1,0 +1,180 @@
+package sim
+
+import (
+	"testing"
+	"time"
+
+	"astro/internal/core"
+	"astro/internal/shard"
+	"astro/internal/types"
+)
+
+func hostileCluster(t *testing.T, seed uint64, clientAuth bool) *AstroCluster {
+	t.Helper()
+	c, err := NewAstroCluster(AstroOpts{
+		Version:    core.AstroII,
+		Topology:   shard.Topology{NumShards: 1, PerShard: 4},
+		Latency:    fastLatency(),
+		BatchSize:  8,
+		BatchDelay: time.Millisecond,
+		Seed:       seed,
+		ClientAuth: clientAuth,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	return c
+}
+
+func edgeTotals(c *AstroCluster) core.EdgeStats {
+	var sum core.EdgeStats
+	for _, id := range c.ReplicaIDs() {
+		if r := c.Replica(id); r != nil {
+			sum.Add(r.EdgeStats())
+		}
+	}
+	return sum
+}
+
+// TestHostileClientStorm runs the full Byzantine-client attack mix —
+// with and without end-to-end client signatures — under the always-on
+// auditor: every attack class must engage its rejection counter, the
+// invariants must hold, and honest clients on every representative must
+// keep settling through the storm.
+func TestHostileClientStorm(t *testing.T) {
+	for _, auth := range []bool{false, true} {
+		name := "noauth"
+		if auth {
+			name = "clientauth"
+		}
+		t.Run(name, func(t *testing.T) {
+			c := hostileCluster(t, 200+uint64(len(name)), auth)
+
+			// Client 9 shares representative 1 with honest client 1
+			// (repOf = id % 4) — the direct contention case.
+			hostile := c.Hostile(9)
+			settled, frame, err := hostile.SettleOne(2, 5, 10*time.Second)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			aud := auditorFor(c)
+			aud.Start()
+			stop := make(chan struct{})
+			go hostile.Storm(stop, settled, frame)
+
+			for i := 1; i <= 4; i++ {
+				cl := c.Client(types.ClientID(i))
+				ben := types.ClientID(i%4 + 1)
+				for k := 0; k < 5; k++ {
+					if _, err := cl.PayReliable(ben, 1, core.RetryPolicy{Timeout: 5 * time.Second}); err != nil {
+						close(stop)
+						t.Fatalf("honest client %d starved by the storm: %v", i, err)
+					}
+				}
+			}
+			close(stop)
+			requireCleanReport(t, aud.Stop())
+
+			if hostile.Volleys.Load() == 0 {
+				t.Fatal("storm never fired")
+			}
+			es := edgeTotals(c)
+			if es.Conflicting == 0 || es.Spoofed == 0 || es.WrongRep == 0 ||
+				es.SeqZero == 0 || es.FutureSeq == 0 || es.SettledReplay == 0 ||
+				es.CreditOutsider == 0 || es.Malformed == 0 {
+				t.Fatalf("attack classes not all counted: %+v", es)
+			}
+			if auth && es.BadSig == 0 {
+				t.Fatalf("forged signatures not counted under client auth: %+v", es)
+			}
+			if !auth && es.BadSig != 0 {
+				t.Fatalf("BadSig counted without signature checking: %+v", es)
+			}
+		})
+	}
+}
+
+// TestAuditExportsStateless: the out-of-process audit over a quiescent
+// snapshot set passes on a clean run and pinpoints tampering — the same
+// battery the TCP harness and the soak runner apply to snapshots fetched
+// over state transfer.
+func TestAuditExportsStateless(t *testing.T) {
+	c := hostileCluster(t, 31, false)
+	const perClient = 3
+	for i := 1; i <= 4; i++ {
+		cl := c.Client(types.ClientID(i))
+		ben := types.ClientID(i%4 + 1)
+		for k := 0; k < perClient; k++ {
+			if _, err := cl.PayReliable(ben, 2, core.RetryPolicy{Timeout: 5 * time.Second}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	// Quiescence: every replica has settled all 12 payments.
+	want := uint64(4 * perClient)
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		all := true
+		for _, id := range c.ReplicaIDs() {
+			if c.Replica(id).SettledCount() != want {
+				all = false
+			}
+		}
+		if all {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("cluster never quiesced")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	export := func() map[types.ReplicaID][]core.AccountExport {
+		out := make(map[types.ReplicaID][]core.AccountExport)
+		for _, id := range c.ReplicaIDs() {
+			out[id] = c.Replica(id).AuditExport()
+		}
+		return out
+	}
+
+	if vs := AuditExports(core.AstroII, 1<<40, export()); len(vs) != 0 {
+		t.Fatalf("clean quiescent snapshot flagged: %v", vs)
+	}
+
+	// Inflated balance → the conservation identity must trip.
+	tampered := export()
+	tampered[0][0].Balance += 7
+	vs := AuditExports(core.AstroII, 1<<40, tampered)
+	if len(vs) == 0 {
+		t.Fatal("inflated balance not detected")
+	}
+	found := false
+	for _, v := range vs {
+		if v.Invariant == "conservation" && v.Replica == 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("want a conservation violation at replica 0, got %v", vs)
+	}
+
+	// Duplicated sequence number → FIFO/duplicate-settle must trip.
+	tampered = export()
+	acc := &tampered[1][0]
+	if len(acc.XLog) < 2 {
+		t.Fatalf("test needs an xlog with >= 2 entries, got %d", len(acc.XLog))
+	}
+	acc.XLog[1].Seq = acc.XLog[0].Seq
+	vs = AuditExports(core.AstroII, 1<<40, tampered)
+	found = false
+	for _, v := range vs {
+		if v.Invariant == "duplicate-settle" || v.Invariant == "fifo" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("duplicated settlement not detected: %v", vs)
+	}
+}

@@ -78,6 +78,12 @@ type AstroOpts struct {
 	// rules, schedules, and partitions on top of the latency model. See
 	// internal/transport/chaos.
 	Chaos *chaos.Controller
+	// ClientAuth enables end-to-end client payment signatures: a shared
+	// client-key registry is installed on every replica, each client gets
+	// a key pair registered on first use, and Client returns signing
+	// clients. Byzantine-client scenarios want it on — a forged payment
+	// signature is only rejectable when signatures are checked at all.
+	ClientAuth bool
 }
 
 // DefaultBandwidth matches the paper's measured ~30 MiB/s between EC2
@@ -112,6 +118,12 @@ type AstroCluster struct {
 	keys    map[types.ReplicaID]*crypto.KeyPair
 	chaos   *chaos.Controller
 	byz     map[types.ReplicaID]*byzEndpoint
+
+	// Client-auth deployment state (AstroOpts.ClientAuth): the shared
+	// public-key registry every replica verifies against, and the private
+	// halves handed to clients as they are created.
+	clientReg  *crypto.ClientKeys
+	clientKeys map[types.ClientID]*crypto.KeyPair
 
 	// stateMu guards the replica bookkeeping maps against concurrent
 	// Restart (which replaces entries in place) — the auditor and the
@@ -188,6 +200,10 @@ func NewAstroCluster(opts AstroOpts) (*AstroCluster, error) {
 		cfgs:     make(map[types.ReplicaID]core.Config),
 		repMux:   make(map[types.ReplicaID]*transport.Mux),
 	}
+	if opts.ClientAuth {
+		c.clientReg = crypto.NewClientKeys()
+		c.clientKeys = make(map[types.ClientID]*crypto.KeyPair)
+	}
 	for s := 0; s < opts.Topology.NumShards; s++ {
 		members := opts.Topology.Replicas(types.ShardID(s))
 		for _, id := range members {
@@ -211,6 +227,7 @@ func NewAstroCluster(opts AstroOpts) (*AstroCluster, error) {
 				Keys:         keys[id],
 				Registry:     registry,
 				Verifier:     ver,
+				ClientKeys:   c.clientReg,
 			}
 			if opts.DataDir != "" {
 				be, err := wal.Open(c.replicaDir(id))
@@ -425,20 +442,56 @@ func (c *AstroCluster) AntiEntropy(id, donor types.ReplicaID) error {
 }
 
 // Client returns (creating on first use) the client with the given id.
+// On a ClientAuth deployment the client signs every payment with a key
+// registered on creation.
 func (c *AstroCluster) Client(id types.ClientID) *core.Client {
 	if cl, ok := c.clients[id]; ok {
 		return cl
 	}
+	mux := c.clientMux(id)
+	var cl *core.Client
+	if c.clientReg != nil {
+		cl = core.NewAuthClient(id, c.repOf, mux, c.ClientKey(id))
+	} else {
+		cl = core.NewClient(id, c.repOf, mux)
+	}
+	c.clients[id] = cl
+	return cl
+}
+
+// clientMux builds a mux on a client's transport node, chaos-wrapped
+// like every other endpoint. One mux per node: a second would steal the
+// first's endpoint handler.
+func (c *AstroCluster) clientMux(id types.ClientID) *transport.Mux {
 	var ep transport.Endpoint = c.Net.Node(transport.ClientNode(id))
 	if c.chaos != nil {
 		ep = c.chaos.Wrap(ep)
 	}
 	mux := transport.NewMux(ep)
 	c.muxes = append(c.muxes, mux)
-	cl := core.NewClient(id, c.repOf, mux)
-	c.clients[id] = cl
-	return cl
+	return mux
 }
+
+// ClientKey returns (generating and registering on first use) a client's
+// signing key pair. Only valid on ClientAuth deployments — hostile
+// clients use it to model a *corrupted* client that equivocates under
+// its own genuine key.
+func (c *AstroCluster) ClientKey(id types.ClientID) *crypto.KeyPair {
+	if c.clientReg == nil {
+		return nil
+	}
+	if kp, ok := c.clientKeys[id]; ok {
+		return kp
+	}
+	kp := crypto.MustGenerateKeyPair()
+	c.clientKeys[id] = kp
+	c.clientReg.Add(id, kp.Public())
+	return kp
+}
+
+// ClientRegistry exposes the shared client-key registry (nil unless
+// ClientAuth).
+func (c *AstroCluster) ClientRegistry() *crypto.ClientKeys { return c.clientReg }
 
 // RepOf exposes the representative mapping.
 func (c *AstroCluster) RepOf(id types.ClientID) types.ReplicaID { return c.repOf(id) }

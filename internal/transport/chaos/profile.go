@@ -1,0 +1,278 @@
+// Flag-friendly chaos configuration: a textual mini-language for rules
+// and timed schedules, shared by cmd/astro-node's -chaos/-chaos-schedule
+// flags, the astro facade's ChaosProfile, and the multi-process e2e
+// harness. Keeping the parser next to the Controller means every consumer
+// speaks the same dialect and a schedule string pasted from a runbook
+// behaves identically in-process and across real TCP nodes.
+//
+// Rule language (comma-separated tokens):
+//
+//	drop=0.03,corrupt=0.01,dup=0.02,reorder=0.05,delay=200us-2ms
+//	block            // hard-drop everything governed by the rule
+//	pass             // explicit no-perturbation shield
+//
+// Schedule language (semicolon-separated phases, each "offset:directives"):
+//
+//	300ms:part=0 1|2 3;1200ms:heal;1500ms:drop=0.05,delay=1ms-4ms;3s:clear
+//
+// where "part=" lists partition groups ('|'-separated, members
+// space-separated node IDs), "heal" removes the partition, "clear" resets
+// the controller to quiet, and any rule tokens replace the default rule.
+package chaos
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"astro/internal/transport"
+)
+
+// Profile is a complete, serializable chaos configuration: the PRNG seed,
+// the default rule applied to every link, and an optional timed schedule.
+// It is the config-file / flag-level mirror of a live Controller.
+type Profile struct {
+	Seed     uint64
+	Default  Rule
+	Schedule []SchedulePhase
+}
+
+// Zero reports whether the profile arms no perturbations at all.
+func (p Profile) Zero() bool {
+	return p.Default.zero() && len(p.Schedule) == 0
+}
+
+// Start builds a Controller from the profile, installs the default rule,
+// arms the schedule (if any), and returns the controller plus a stop
+// function cancelling unfired phases.
+func (p Profile) Start() (*Controller, func()) {
+	c := NewController(p.Seed)
+	if !p.Default.zero() {
+		c.SetDefault(p.Default)
+	}
+	if len(p.Schedule) == 0 {
+		return c, func() {}
+	}
+	return c, c.StartSchedule(CompileSchedule(p.Schedule))
+}
+
+// SchedulePhase is the parsed, serializable form of one schedule step.
+// Exactly the actions listed are applied at offset At, in the order
+// partition → heal → clear → rule.
+type SchedulePhase struct {
+	At     time.Duration
+	Groups [][]transport.NodeID // non-nil: install this partition
+	Heal   bool                 // remove the current partition
+	Clear  bool                 // Controller.Reset()
+	Rule   *Rule                // non-nil: replace the default rule
+}
+
+// CompileSchedule turns parsed phases into runnable Controller phases.
+func CompileSchedule(steps []SchedulePhase) []Phase {
+	out := make([]Phase, 0, len(steps))
+	for _, s := range steps {
+		s := s
+		out = append(out, Phase{At: s.At, Apply: func(c *Controller) {
+			if s.Groups != nil {
+				c.Partition(s.Groups...)
+			}
+			if s.Heal {
+				c.Heal()
+			}
+			if s.Clear {
+				c.Reset()
+			}
+			if s.Rule != nil {
+				c.SetDefault(*s.Rule)
+			}
+		}})
+	}
+	return out
+}
+
+// ParseRule parses the rule mini-language. An empty string is the zero
+// (no-perturbation) rule.
+func ParseRule(s string) (Rule, error) {
+	var r Rule
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return r, nil
+	}
+	for _, tok := range strings.Split(s, ",") {
+		tok = strings.TrimSpace(tok)
+		if tok == "" {
+			continue
+		}
+		key, val, hasVal := strings.Cut(tok, "=")
+		switch key {
+		case "block":
+			r.Block = true
+		case "pass":
+			r.Pass = true
+		case "drop", "corrupt", "dup", "duplicate", "reorder":
+			if !hasVal {
+				return Rule{}, fmt.Errorf("chaos: token %q needs =probability", tok)
+			}
+			p, err := strconv.ParseFloat(val, 64)
+			if err != nil || p < 0 || p > 1 {
+				return Rule{}, fmt.Errorf("chaos: bad probability in %q (want [0,1])", tok)
+			}
+			switch key {
+			case "drop":
+				r.Drop = p
+			case "corrupt":
+				r.Corrupt = p
+			case "dup", "duplicate":
+				r.Duplicate = p
+			case "reorder":
+				r.Reorder = p
+			}
+		case "delay":
+			if !hasVal {
+				return Rule{}, fmt.Errorf("chaos: token %q needs =duration or =min-max", tok)
+			}
+			lo, hi, err := parseDelayBand(val)
+			if err != nil {
+				return Rule{}, err
+			}
+			r.DelayMin, r.DelayMax = lo, hi
+		default:
+			return Rule{}, fmt.Errorf("chaos: unknown rule token %q", tok)
+		}
+	}
+	return r, nil
+}
+
+// parseDelayBand parses "2ms" (fixed) or "200us-2ms" (uniform band).
+// Durations must be positive; time.ParseDuration's sign forms are
+// rejected so '-' can separate the bounds unambiguously.
+func parseDelayBand(v string) (lo, hi time.Duration, err error) {
+	if strings.HasPrefix(v, "-") {
+		return 0, 0, fmt.Errorf("chaos: negative delay %q", v)
+	}
+	if a, b, ok := strings.Cut(v, "-"); ok {
+		lo, err = time.ParseDuration(a)
+		if err == nil {
+			hi, err = time.ParseDuration(b)
+		}
+		if err != nil || lo < 0 || hi < lo {
+			return 0, 0, fmt.Errorf("chaos: bad delay band %q (want min-max)", v)
+		}
+		return lo, hi, nil
+	}
+	hi, err = time.ParseDuration(v)
+	if err != nil || hi < 0 {
+		return 0, 0, fmt.Errorf("chaos: bad delay %q", v)
+	}
+	return hi, hi, nil
+}
+
+// FormatRule renders r in ParseRule's language; ParseRule(FormatRule(r))
+// round-trips. The zero rule renders as "".
+func FormatRule(r Rule) string {
+	var parts []string
+	add := func(k string, p float64) {
+		if p > 0 {
+			parts = append(parts, k+"="+strconv.FormatFloat(p, 'g', -1, 64))
+		}
+	}
+	add("drop", r.Drop)
+	add("corrupt", r.Corrupt)
+	add("dup", r.Duplicate)
+	add("reorder", r.Reorder)
+	if r.DelayMax > 0 {
+		if r.DelayMin == r.DelayMax {
+			parts = append(parts, "delay="+r.DelayMax.String())
+		} else {
+			parts = append(parts, "delay="+r.DelayMin.String()+"-"+r.DelayMax.String())
+		}
+	}
+	if r.Block {
+		parts = append(parts, "block")
+	}
+	if r.Pass {
+		parts = append(parts, "pass")
+	}
+	return strings.Join(parts, ",")
+}
+
+// ParseSchedule parses the schedule mini-language into phases sorted by
+// offset. An empty string is an empty schedule.
+func ParseSchedule(s string) ([]SchedulePhase, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil, nil
+	}
+	var out []SchedulePhase
+	for _, ph := range strings.Split(s, ";") {
+		ph = strings.TrimSpace(ph)
+		if ph == "" {
+			continue
+		}
+		offStr, body, ok := strings.Cut(ph, ":")
+		if !ok {
+			return nil, fmt.Errorf("chaos: schedule phase %q missing offset: prefix", ph)
+		}
+		at, err := time.ParseDuration(strings.TrimSpace(offStr))
+		if err != nil || at < 0 {
+			return nil, fmt.Errorf("chaos: bad schedule offset %q", offStr)
+		}
+		step := SchedulePhase{At: at}
+		var ruleToks []string
+		for _, tok := range strings.Split(body, ",") {
+			tok = strings.TrimSpace(tok)
+			switch {
+			case tok == "":
+			case tok == "heal":
+				step.Heal = true
+			case tok == "clear":
+				step.Clear = true
+			case strings.HasPrefix(tok, "part="):
+				groups, err := parseGroups(strings.TrimPrefix(tok, "part="))
+				if err != nil {
+					return nil, err
+				}
+				step.Groups = groups
+			default:
+				ruleToks = append(ruleToks, tok)
+			}
+		}
+		if len(ruleToks) > 0 {
+			r, err := ParseRule(strings.Join(ruleToks, ","))
+			if err != nil {
+				return nil, err
+			}
+			step.Rule = &r
+		}
+		if step.Groups == nil && !step.Heal && !step.Clear && step.Rule == nil {
+			return nil, fmt.Errorf("chaos: schedule phase %q has no directives", ph)
+		}
+		out = append(out, step)
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].At < out[j].At })
+	return out, nil
+}
+
+// parseGroups parses "0 1|2 3" into partition groups of node IDs.
+func parseGroups(v string) ([][]transport.NodeID, error) {
+	var groups [][]transport.NodeID
+	for _, g := range strings.Split(v, "|") {
+		var members []transport.NodeID
+		for _, f := range strings.Fields(g) {
+			id, err := strconv.ParseUint(f, 10, 32)
+			if err != nil {
+				return nil, fmt.Errorf("chaos: bad node id %q in partition", f)
+			}
+			members = append(members, transport.NodeID(id))
+		}
+		if len(members) > 0 {
+			groups = append(groups, members)
+		}
+	}
+	if len(groups) < 2 {
+		return nil, fmt.Errorf("chaos: partition %q needs at least two '|'-separated groups", v)
+	}
+	return groups, nil
+}

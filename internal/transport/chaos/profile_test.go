@@ -1,0 +1,129 @@
+package chaos
+
+import (
+	"testing"
+	"time"
+
+	"astro/internal/transport"
+)
+
+func TestParseRuleRoundTrip(t *testing.T) {
+	cases := []string{
+		"",
+		"drop=0.03",
+		"drop=0.03,corrupt=0.01,dup=0.02,reorder=0.05,delay=200µs-2ms",
+		"delay=1ms",
+		"block",
+		"pass",
+	}
+	for _, s := range cases {
+		r, err := ParseRule(s)
+		if err != nil {
+			t.Fatalf("ParseRule(%q): %v", s, err)
+		}
+		back, err := ParseRule(FormatRule(r))
+		if err != nil {
+			t.Fatalf("re-parse FormatRule(%q)=%q: %v", s, FormatRule(r), err)
+		}
+		if back != r {
+			t.Fatalf("round trip %q: got %+v want %+v", s, back, r)
+		}
+	}
+}
+
+func TestParseRuleAliasesAndErrors(t *testing.T) {
+	r, err := ParseRule("duplicate=0.5, drop=1")
+	if err != nil || r.Duplicate != 0.5 || r.Drop != 1 {
+		t.Fatalf("aliases: %+v err=%v", r, err)
+	}
+	if r, err := ParseRule("delay=5ms"); err != nil || r.DelayMin != 5*time.Millisecond || r.DelayMax != 5*time.Millisecond {
+		t.Fatalf("fixed delay: %+v err=%v", r, err)
+	}
+	for _, bad := range []string{
+		"drop=2", "drop=-0.1", "drop", "jitter=0.5",
+		"delay=2ms-1ms", "delay=-1ms", "delay=zzz",
+	} {
+		if _, err := ParseRule(bad); err == nil {
+			t.Fatalf("ParseRule(%q) should fail", bad)
+		}
+	}
+}
+
+func TestParseSchedule(t *testing.T) {
+	steps, err := ParseSchedule("800ms:heal,drop=0.05; 300ms:part=0 1|2 3 ;2s:clear")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(steps) != 3 {
+		t.Fatalf("got %d steps", len(steps))
+	}
+	// Sorted by offset.
+	if steps[0].At != 300*time.Millisecond || steps[1].At != 800*time.Millisecond || steps[2].At != 2*time.Second {
+		t.Fatalf("order: %+v", steps)
+	}
+	p := steps[0]
+	if len(p.Groups) != 2 || len(p.Groups[0]) != 2 || p.Groups[1][0] != 2 {
+		t.Fatalf("partition groups: %+v", p.Groups)
+	}
+	if !steps[1].Heal || steps[1].Rule == nil || steps[1].Rule.Drop != 0.05 {
+		t.Fatalf("heal phase: %+v", steps[1])
+	}
+	if !steps[2].Clear {
+		t.Fatalf("clear phase: %+v", steps[2])
+	}
+
+	for _, bad := range []string{
+		"nocolon", "300ms:", "xx:heal", "1s:part=0 1", "1s:part=|", "1s:part=0 a|1",
+	} {
+		if _, err := ParseSchedule(bad); err == nil {
+			t.Fatalf("ParseSchedule(%q) should fail", bad)
+		}
+	}
+}
+
+// The compiled schedule must drive a live controller: partition blocks
+// cross-group sends, heal restores them, clear wipes the default rule.
+func TestCompileScheduleDrivesController(t *testing.T) {
+	steps, err := ParseSchedule("0s:part=1|2;0s:drop=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewController(7)
+	for _, ph := range CompileSchedule(steps) {
+		ph.Apply(c)
+	}
+	if r, blocked := c.resolve(1, 2); !blocked || r.Drop != 1 {
+		t.Fatalf("after schedule: rule=%+v blocked=%v", r, blocked)
+	}
+	heal, err := ParseSchedule("0s:heal;0s:clear")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ph := range CompileSchedule(heal) {
+		ph.Apply(c)
+	}
+	if r, blocked := c.resolve(1, 2); blocked || !r.zero() {
+		t.Fatalf("after heal+clear: rule=%+v blocked=%v", r, blocked)
+	}
+}
+
+func TestProfileStart(t *testing.T) {
+	p := Profile{
+		Seed:    42,
+		Default: Rule{Drop: 1},
+		Schedule: []SchedulePhase{
+			{At: time.Hour, Clear: true}, // must be cancellable
+		},
+	}
+	if p.Zero() {
+		t.Fatal("profile should not be zero")
+	}
+	c, stop := p.Start()
+	defer stop()
+	if r, _ := c.resolve(transport.NodeID(1), transport.NodeID(2)); r.Drop != 1 {
+		t.Fatalf("default rule not installed: %+v", r)
+	}
+	if (Profile{}).Zero() == false {
+		t.Fatal("empty profile should be zero")
+	}
+}

@@ -45,8 +45,10 @@ type Config struct {
 	Peers map[transport.NodeID]string
 	// DialTimeout bounds each connection attempt. Zero means 3s.
 	DialTimeout time.Duration
-	// RedialBackoff is the pause before re-dialing a failed peer.
-	// Zero means 250ms.
+	// RedialBackoff is the base pause before re-dialing a failed peer.
+	// The actual pause is jittered uniformly in [0.5, 1.5) × this value,
+	// so the senders cut off by a partition don't redial the healed peer
+	// in one synchronized thundering herd. Zero means 250ms.
 	RedialBackoff time.Duration
 	// WriteTimeout bounds each frame write, so a peer that stops reading
 	// (dead process behind a live TCP window, full kernel buffers) fails
@@ -67,6 +69,11 @@ type Endpoint struct {
 	handlerSet chan struct{}
 	done       chan struct{}
 	closed     atomic.Bool
+
+	// jitter seeds the redial-backoff spread; parkDrops counts frames shed
+	// by the pre-handler parking bounds (observable in tests and ops).
+	jitter    atomic.Uint64
+	parkDrops atomic.Uint64
 
 	mu    sync.Mutex
 	conns map[transport.NodeID]*peerConn
@@ -116,6 +123,7 @@ func New(cfg Config) (*Endpoint, error) {
 		conns:      make(map[transport.NodeID]*peerConn),
 		open:       make(map[net.Conn]struct{}),
 	}
+	e.jitter.Store(uint64(time.Now().UnixNano()) ^ uint64(cfg.Self)<<32)
 	if cfg.Listen != "" {
 		ln, err := net.Listen("tcp", cfg.Listen)
 		if err != nil {
@@ -188,14 +196,28 @@ func (e *Endpoint) untrack(c net.Conn) {
 	delete(e.open, c)
 }
 
-// maxParked bounds the frames buffered while no handler is installed (the
-// New -> SetHandler startup window). Beyond it, newest frames are dropped
-// — the pre-PR4 behavior, now reachable only if a handler is never set.
-const maxParked = 1 << 14
+// Bounds on the frames buffered while no handler is installed (the
+// New -> SetHandler startup window). Beyond them, newest frames are
+// dropped — the pre-PR4 behavior, now reachable only if a handler is never
+// set. The per-peer and byte caps keep one hostile (or merely chatty) peer
+// from consuming the whole parking lot before the handler lands: without
+// them, a client blasting frames at a booting replica could evict every
+// honest peer's startup traffic and pin maxParked × maxFrame bytes.
+const (
+	maxParked        = 1 << 14 // total parked frames
+	maxParkedPerPeer = 1 << 10 // parked frames from any single peer
+	maxParkedBytes   = 8 << 20 // total parked payload bytes
+)
+
+// ParkDrops returns the number of pre-handler frames shed by the parking
+// bounds since the endpoint started.
+func (e *Endpoint) ParkDrops() uint64 { return e.parkDrops.Load() }
 
 func (e *Endpoint) dispatch() {
 	defer e.wg.Done()
 	var parked []inMsg
+	var parkedBytes int
+	perPeer := make(map[transport.NodeID]int)
 	for {
 		var m inMsg
 		var have bool
@@ -210,15 +232,27 @@ func (e *Endpoint) dispatch() {
 		if h == nil {
 			// Startup race (frames arriving between New and SetHandler):
 			// park instead of dropping; the handlerSet wake-up flushes.
-			if have && len(parked) < maxParked {
-				parked = append(parked, m)
+			if !have {
+				continue
 			}
+			if len(parked) >= maxParked ||
+				parkedBytes+len(m.payload) > maxParkedBytes ||
+				perPeer[m.from] >= maxParkedPerPeer {
+				e.parkDrops.Add(1)
+				continue
+			}
+			parked = append(parked, m)
+			parkedBytes += len(m.payload)
+			perPeer[m.from]++
 			continue
 		}
 		for _, p := range parked {
 			(*h)(p.from, p.payload)
 		}
-		parked = nil
+		if len(parked) > 0 {
+			parked, parkedBytes = nil, 0
+			perPeer = make(map[transport.NodeID]int)
+		}
 		if have {
 			(*h)(m.from, m.payload)
 		}
@@ -309,7 +343,7 @@ func (e *Endpoint) Send(to transport.NodeID, payload []byte) error {
 			// Backoff before the redial — outside every lock, so other
 			// senders to this peer (and Close) are never wedged behind it.
 			select {
-			case <-time.After(e.cfg.RedialBackoff):
+			case <-time.After(e.redialPause()):
 			case <-e.done:
 				return ErrClosed
 			}
@@ -347,6 +381,22 @@ func (e *Endpoint) Send(to transport.NodeID, payload []byte) error {
 		}
 	}
 	return fmt.Errorf("tcpnet send to %d: %w", to, lastErr)
+}
+
+// redialPause draws the jittered backoff before a redial: uniform in
+// [0.5, 1.5) × RedialBackoff from a per-endpoint splitmix64 stream. When a
+// partition heals or a peer restarts, every blocked sender wants to redial
+// at once; the spread staggers them instead of a synchronized herd (the
+// same reason the sim transport jitters its latency draws).
+func (e *Endpoint) redialPause() time.Duration {
+	x := e.jitter.Add(0x9e3779b97f4a7c15)
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	u := float64(x>>11) / float64(1<<53) // [0,1)
+	return time.Duration((0.5 + u) * float64(e.cfg.RedialBackoff))
 }
 
 // attach returns a live connection to the peer, dialing if necessary. The

@@ -281,3 +281,86 @@ func TestTCPCloseWithInflightSends(t *testing.T) {
 		t.Fatal("send after close succeeded")
 	}
 }
+
+// TestTCPParkedFramesBoundedPerPeer: while no handler is installed, one
+// peer flooding the endpoint must not evict (or starve) another peer's
+// parked frames — the per-peer cap sheds the flooder's excess and the
+// quiet peer's traffic is still delivered when the handler lands.
+func TestTCPParkedFramesBoundedPerPeer(t *testing.T) {
+	c, err := New(Config{Self: 3, Listen: "127.0.0.1:0", Peers: map[transport.NodeID]string{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = c.Close() })
+	a, err := New(Config{Self: 1, Peers: map[transport.NodeID]string{3: c.Addr().String()}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = a.Close() })
+	b, err := New(Config{Self: 2, Peers: map[transport.NodeID]string{3: c.Addr().String()}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = b.Close() })
+
+	// Flood from a: well past the per-peer cap.
+	for i := 0; i < maxParkedPerPeer+512; i++ {
+		if err := a.Send(3, []byte("flood")); err != nil {
+			t.Fatalf("flood send: %v", err)
+		}
+	}
+	// One honest frame from b, after the flood.
+	if err := b.Send(3, []byte("honest")); err != nil {
+		t.Fatal(err)
+	}
+	// Let everything reach c's dispatch goroutine pre-handler.
+	deadline := time.Now().Add(5 * time.Second)
+	for c.ParkDrops() == 0 && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if c.ParkDrops() == 0 {
+		t.Fatal("per-peer parking cap never engaged")
+	}
+
+	got := make(chan string, maxParked+1024)
+	c.SetHandler(func(_ transport.NodeID, p []byte) { got <- string(p) })
+	var floods int
+	for {
+		select {
+		case m := <-got:
+			if m == "honest" {
+				if floods > maxParkedPerPeer {
+					t.Fatalf("flooder parked %d frames, cap is %d", floods, maxParkedPerPeer)
+				}
+				return // honest frame survived the flood
+			}
+			floods++
+		case <-time.After(5 * time.Second):
+			t.Fatalf("honest frame evicted by flooder (saw %d flood frames, %d drops)",
+				floods, c.ParkDrops())
+		}
+	}
+}
+
+// TestTCPRedialPauseJittered: the redial backoff must be spread over
+// [0.5, 1.5) × RedialBackoff, not a fixed value — synchronized redials
+// after a partition heal are the thundering herd this prevents.
+func TestTCPRedialPauseJittered(t *testing.T) {
+	e, err := New(Config{Self: 9, RedialBackoff: 100 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = e.Close() })
+	seen := make(map[time.Duration]bool)
+	lo, hi := 50*time.Millisecond, 150*time.Millisecond
+	for i := 0; i < 64; i++ {
+		d := e.redialPause()
+		if d < lo || d >= hi {
+			t.Fatalf("pause %v outside [%v, %v)", d, lo, hi)
+		}
+		seen[d] = true
+	}
+	if len(seen) < 32 {
+		t.Fatalf("pauses not jittered: only %d distinct values in 64 draws", len(seen))
+	}
+}
