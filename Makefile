@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race bench bench-pr2 bench-pr3 bench-pr4 bench-pr5 bench-pr6 fuzz-smoke chaos-smoke chaos-smoke-tcp soak profile check verify
+.PHONY: all build test vet race bench bench-pr2 bench-pr3 bench-pr4 bench-pr5 bench-pr6 bench-pr9 fuzz-smoke chaos-smoke chaos-smoke-tcp soak profile check verify
 
 all: check
 
@@ -69,6 +69,15 @@ bench-pr5:
 bench-pr6:
 	sh scripts/bench_pr6.sh BENCH_PR6.json
 
+# PR 9 evidence: continuation-style commit coordinators vs the goroutine-
+# per-commit baseline, lazy vs eager CHAINDEF wire economics, the tabled
+# COMMITTAB fallback vs legacy COMMITBATCH, and batch-level chain
+# interning (v2 payment batches). The spawn/alloc guards themselves ride
+# `make test`/`make check` (internal/core/pipeline_guard_test.go).
+# Regenerates BENCH_PR9.json.
+bench-pr9:
+	sh scripts/bench_pr9.sh BENCH_PR9.json
+
 # Short fuzz pass over every wire/record decoder harness — the three
 # generations of chain-ref forms (brb), the credit channel and durable
 # snapshot (core), and the WAL frame scanner (wal). ~10s per fuzzer;
@@ -79,7 +88,7 @@ fuzz-smoke:
 		$(GO) test -run=NONE -fuzz="^$$f$$" -fuzztime=$(FUZZTIME) ./internal/wal/ || exit 1; done
 	for f in FuzzDecodeCreditChannel FuzzDecodeBatch FuzzDecodeDependency FuzzDecodeReplicaImage FuzzDecodePaymentChannel; do \
 		$(GO) test -run=NONE -fuzz="^$$f$$" -fuzztime=$(FUZZTIME) ./internal/core/ || exit 1; done
-	for f in FuzzDecodeChainDef FuzzDecodeAckCert FuzzDecodeCommitRef FuzzDecodeChainNack; do \
+	for f in FuzzDecodeChainDef FuzzDecodeAckCert FuzzDecodeCommitRef FuzzDecodeChainNack FuzzDecodeCommitTab; do \
 		$(GO) test -run=NONE -fuzz="^$$f$$" -fuzztime=$(FUZZTIME) ./internal/brb/ || exit 1; done
 	$(GO) test -run=NONE -fuzz="^FuzzDecodeReconfigChannel$$" -fuzztime=$(FUZZTIME) ./internal/reconfig/
 

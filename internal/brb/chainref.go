@@ -59,10 +59,11 @@ const chainCacheEntries = 64
 // the credit channel's identical protocol (types.RefStats).
 type ChainRefStats = types.RefStats
 
-// learnChain caches a chain defined by peer under its digest. Chains
-// longer than maxSignBatch are never produced by an honest drain loop and
-// are not cached (bounding per-entry memory); the commit they arrived in
-// still verifies through its own inline copy.
+// learnChain caches a chain defined by peer under its digest, then
+// re-runs any references parked waiting for it (lazy-CHAINDEF mode).
+// Chains longer than maxSignBatch are never produced by an honest drain
+// loop and are not cached (bounding per-entry memory); the commit they
+// arrived in still verifies through its own inline copy.
 func (s *Signed) learnChain(peer types.ReplicaID, digest types.Digest, chain []ChainEntry) {
 	if len(chain) == 0 || len(chain) > maxSignBatch {
 		return
@@ -70,14 +71,77 @@ func (s *Signed) learnChain(peer types.ReplicaID, digest types.Digest, chain []C
 	s.chainMu.Lock()
 	s.chainsKnown.Put(peer, digest, chain)
 	s.chainMu.Unlock()
+	for _, pr := range s.takeWaiting(digest) {
+		s.handleCommitRef(pr.id, pr.peer, pr.payload, pr.sigs)
+	}
 }
 
 // knownChain resolves a chain reference from peer, marking it most
-// recently used (mirroring the sender's touch on every reference).
+// recently used (mirroring the sender's touch on every reference). A miss
+// in peer's section falls through to every other peer's: chains are
+// content-addressed (the digest is recomputed from the learned bytes), so
+// whoever defined a chain, it is THE chain — and in lazy-CHAINDEF mode a
+// chain demanded once (or signed by this replica itself) resolves the
+// references every origin sends afterwards.
 func (s *Signed) knownChain(peer types.ReplicaID, digest types.Digest) ([]ChainEntry, bool) {
 	s.chainMu.Lock()
 	defer s.chainMu.Unlock()
-	return s.chainsKnown.Get(peer, digest)
+	if chain, ok := s.chainsKnown.Get(peer, digest); ok {
+		return chain, true
+	}
+	return s.chainsKnown.GetAny(digest)
+}
+
+// pendingRef is a COMMITREF parked while its chain definition is in
+// flight (lazy-CHAINDEF mode): the receiver NACKs a missing digest once
+// and parks later references to it instead of NACK-storming, then re-runs
+// them when the definition lands. The slices alias the transport frame —
+// both endpoints hand each message a private buffer, the same ownership
+// the delivery queue already relies on.
+type pendingRef struct {
+	id      instanceID
+	peer    types.ReplicaID
+	payload []byte
+	sigs    []refSig
+}
+
+// maxWaitingRefs bounds the total parked references. Overflow (or a
+// per-digest pileup beyond one wave's worth) degrades to NACKing the
+// reference instead of parking it — the origin's answer then re-sends it,
+// so delivery retries through the bounded NACK loop rather than growing
+// memory. Honest steady state parks at most one wave per origin.
+const (
+	maxWaitingRefs         = 256
+	maxWaitingRefsPerChain = maxSignBatch + 8
+)
+
+// parkRef buffers an unresolvable reference under the first digest it is
+// missing. It reports (parked, nack): nack is true when the caller should
+// send the CHAINNACK — the first waiter for the digest demands the
+// definition, and an overflow victim falls back to the NACK round trip.
+func (s *Signed) parkRef(d types.Digest, pr pendingRef) (parked, nack bool) {
+	s.chainMu.Lock()
+	defer s.chainMu.Unlock()
+	waiting := s.refsWaiting[d]
+	if s.refsWaitingCount >= maxWaitingRefs || len(waiting) >= maxWaitingRefsPerChain {
+		return false, true
+	}
+	s.refsWaiting[d] = append(waiting, pr)
+	s.refsWaitingCount++
+	return true, len(waiting) == 0
+}
+
+// takeWaiting removes and returns the references parked on digest.
+func (s *Signed) takeWaiting(digest types.Digest) []pendingRef {
+	s.chainMu.Lock()
+	defer s.chainMu.Unlock()
+	waiting, ok := s.refsWaiting[digest]
+	if !ok {
+		return nil
+	}
+	delete(s.refsWaiting, digest)
+	s.refsWaitingCount -= len(waiting)
+	return waiting
 }
 
 // chainSentTo reports whether digest was already transmitted to dest,

@@ -129,3 +129,75 @@ func FuzzDecodeChainNack(f *testing.F) {
 		}
 	})
 }
+
+// FuzzDecodeCommitTab exercises the tabled (PR 9) commit form: a
+// message-level chain table with signatures naming their chain by index.
+// Decoded signatures must share the table's chain backing, and every
+// bound — table size, per-chain length, signature count, index range —
+// must hold on whatever decodes.
+func FuzzDecodeCommitTab(f *testing.F) {
+	cert := AckCert{Sigs: []AckSig{
+		{Replica: 1, Sig: []byte("plain-sig")},
+		{Replica: 2, Sig: []byte("chain-sig"), Chain: fuzzChain()},
+		{Replica: 3, Sig: []byte("chain-sig-2"), Chain: fuzzChain()},
+	}}
+	// Canonical seed: full frame minus header and the payload chunk
+	// (U32 length + 1 payload byte), which onMessage consumes first.
+	f.Add(EncodeCommitTab(1, 4, []byte("p"), cert)[headerSize+4+1:])
+
+	// Adversarial seeds. A signature naming an index past the table:
+	w := wire.NewWriter(128)
+	w.U32(1)
+	for _, e := range fuzzChain() {
+		w.U32(uint32(e.Origin))
+		w.U64(e.Slot)
+		w.Bytes32(e.Digest)
+	}
+	w.U32(1)
+	w.U32(2)
+	w.Chunk([]byte("sig"))
+	w.U32(7) // table has one entry
+	f.Add(w.Bytes())
+	// A table entry of length zero:
+	w = wire.NewWriter(16)
+	w.U32(1)
+	w.U32(0)
+	f.Add(w.Bytes())
+	// A table count past the cap:
+	w = wire.NewWriter(8)
+	w.U32(maxCommitTabChains + 1)
+	f.Add(w.Bytes())
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		cert, table, digests, err := decodeCommitTab(wire.NewReader(data))
+		if err != nil {
+			return
+		}
+		if len(table) > maxCommitTabChains || len(digests) != len(table) {
+			t.Fatalf("table %d / digests %d out of shape", len(table), len(digests))
+		}
+		for _, ch := range table {
+			if len(ch) == 0 || len(ch) > maxSignBatch {
+				t.Fatalf("accepted table chain of %d outside [1,%d]", len(ch), maxSignBatch)
+			}
+		}
+		if len(cert.Sigs) > maxAckCertSigs {
+			t.Fatalf("accepted %d signatures over cap", len(cert.Sigs))
+		}
+		for _, s := range cert.Sigs {
+			if s.Chain == nil {
+				continue
+			}
+			shared := false
+			for _, ch := range table {
+				if &s.Chain[0] == &ch[0] {
+					shared = true
+					break
+				}
+			}
+			if !shared {
+				t.Fatal("decoded signature chain does not share table backing")
+			}
+		}
+	})
+}

@@ -3,12 +3,12 @@ package brb
 import (
 	"errors"
 	"fmt"
-	"slices"
 	"sync"
 	"time"
 
 	"astro/internal/crypto"
 	"astro/internal/crypto/verifier"
+	"astro/internal/sched"
 	"astro/internal/transport"
 	"astro/internal/types"
 	"astro/internal/wire"
@@ -44,11 +44,19 @@ import (
 //   - ack signatures arriving at the origin are checked asynchronously and
 //     re-enter the state machine through a completion callback; a chain
 //     signature is checked once for all the instances it endorses;
-//   - commit certificates are fanned out across the pool (with early
-//     exit) from a per-commit goroutine, and delivery re-enters the state
-//     machine on completion. Chain signatures inside certificates hit the
-//     verifier memo, so a chain of k slots costs one ECDSA across all k
-//     commits carrying it.
+//   - commit certificates verify continuation-style (PR 9): the cheap
+//     prepass runs on a verifier task, the signature checks fan out with
+//     early exit, and the completion callback re-enters the FIFO delivery
+//     drain on whichever lane settles the tally — no goroutine is spawned
+//     per commit. Handing the commit to the verifier blocks the dispatch
+//     goroutine only when the pool queue is full, which is the same
+//     backpressure the old bounded coordinators provided. In the
+//     fast-verify regime (sim HMACs) the whole verification runs
+//     synchronously inline, skipping the continuation overhead. The PR 1–8
+//     goroutine-per-commit coordinators remain selectable as the measured
+//     baseline (Config.CommitSpawn). Chain signatures inside certificates
+//     hit the verifier memo, so a chain of k slots costs one ECDSA across
+//     all k commits carrying it.
 //
 // Because verifications may complete out of order, deliveries are staged
 // through the per-origin FIFO under the instance lock and then drained by
@@ -57,13 +65,6 @@ import (
 type Signed struct {
 	cfg Config
 	ver *verifier.Verifier
-	// commitSem bounds in-flight commit verifications. Acquiring it can
-	// block the dispatch goroutine — deliberately: that is the same
-	// backpressure inline verification used to provide, so a Byzantine
-	// peer streaming fabricated commits saturates a bounded pipeline
-	// instead of spawning unbounded goroutines. Honest commits are never
-	// dropped, only delayed.
-	commitSem chan struct{}
 
 	mu      sync.Mutex
 	nextOut uint64
@@ -98,7 +99,12 @@ type Signed struct {
 	chainMu     sync.Mutex
 	chainsKnown *types.PeerCache[[]ChainEntry]
 	chainsSent  *types.PeerCache[struct{}]
-	refStats    types.RefCounters
+	// refsWaiting parks COMMITREFs whose chain definition is in flight
+	// (lazy-CHAINDEF mode): keyed by missing digest, drained by learnChain,
+	// bounded by maxWaitingRefs. Guarded by chainMu.
+	refsWaiting      map[types.Digest][]pendingRef
+	refsWaitingCount int
+	refStats         types.RefCounters
 }
 
 var _ Broadcaster = (*Signed)(nil)
@@ -134,7 +140,6 @@ func NewSigned(cfg Config) (*Signed, error) {
 	s := &Signed{
 		cfg:         cfg,
 		ver:         ver,
-		commitSem:   make(chan struct{}, 2*ver.Workers()+2),
 		nextOut:     cfg.FirstSlot,
 		mine:        make(map[uint64]*outInstance),
 		acked:       make(map[instanceID]*ackRecord),
@@ -142,6 +147,7 @@ func NewSigned(cfg Config) (*Signed, error) {
 		committing:  make(map[instanceID]struct{}),
 		chainsKnown: types.NewPeerCache[[]ChainEntry](chainCacheEntries),
 		chainsSent:  types.NewPeerCache[struct{}](chainCacheEntries),
+		refsWaiting: make(map[types.Digest][]pendingRef),
 	}
 	s.ackSigner = verifier.NewChainSigner(ver, maxSignBatch, verifier.DefaultChainThreshold, s.signSingleAck, s.signAckChain)
 	// Seed the sign-cost estimate with one probe signature, so the first
@@ -301,6 +307,26 @@ func (s *Signed) onMessage(from transport.NodeID, payload []byte) {
 			}
 		}
 		s.handleCommitBatch(id, body, cert)
+	case kindCommitTab:
+		body := r.Chunk()
+		if r.Err() != nil {
+			return
+		}
+		cert, table, digests, err := decodeCommitTab(r)
+		if err != nil {
+			return
+		}
+		// The table is hashed once by the decoder; feed it to the chain
+		// cache (membership-gated, like CHAINDEF) so later COMMITREFs
+		// referencing these chains resolve, and so any references parked
+		// waiting on one of them drain now — the tabled form doubles as
+		// the lazy mode's self-contained fallback resend.
+		if s.membership(peer) {
+			for i := range table {
+				s.learnChain(peer, digests[i], table[i])
+			}
+		}
+		s.handleCommitBatch(id, body, cert)
 	case kindCommitRef:
 		body := r.Chunk()
 		if r.Err() != nil {
@@ -388,10 +414,18 @@ func (s *Signed) signSingleAck(e ChainEntry) {
 // The ACKBATCH — chain included — is encoded once into the wave's shared
 // scratch and the same bytes go to every destination.
 func (s *Signed) signAckChain(batch []ChainEntry, wave *verifier.Wave) {
-	sig, err := s.ackSigner.Sign(len(batch), func() ([]byte, error) { return s.cfg.Keys.Sign(AckChainDigest(batch)) })
+	cd := AckChainDigest(batch)
+	sig, err := s.ackSigner.Sign(len(batch), func() ([]byte, error) { return s.cfg.Keys.Sign(cd) })
 	if err != nil {
 		return
 	}
+	// Self-prime: cache our own chain before any origin's commit can
+	// reference it. In lazy-CHAINDEF mode this is what makes most
+	// definitions unnecessary — every receiver already holds the chains it
+	// signed, so references to them never NACK. The ChainSigner's drain
+	// hands the flush callback ownership of the batch slice, so caching it
+	// without a copy is safe.
+	s.learnChain(s.cfg.Self, cd, batch)
 	w := wave.Scratch(ackBatchSize(batch, sig))
 	appendAckBatch(w, batch, sig)
 	sent := make(map[types.ReplicaID]struct{}, 4)
@@ -437,6 +471,17 @@ func (s *Signed) handleAck(id instanceID, peer types.ReplicaID, digest types.Dig
 // completion callback. The chain digest is memoized, so the ECDSA runs
 // once however many instances (or redeliveries) the chain covers.
 func (s *Signed) handleAckBatch(peer types.ReplicaID, chain []ChainEntry, sig []byte) {
+	// Cache the acker's chain like an unsolicited CHAINDEF (same
+	// membership gate, same content-addressed soundness — the digest is
+	// recomputed from the bytes in hand). In lazy-CHAINDEF mode this is
+	// the second half of the no-NACK steady state: when every replica
+	// originates traffic, every chain touches every origin, so each
+	// replica learns each acker's chain here before any COMMITREF can
+	// reference it.
+	cd := AckChainDigest(chain)
+	if s.membership(peer) {
+		s.learnChain(peer, cd, chain)
+	}
 	var relevant []ChainEntry
 	s.mu.Lock()
 	for _, e := range chain {
@@ -453,7 +498,6 @@ func (s *Signed) handleAckBatch(peer types.ReplicaID, chain []ChainEntry, sig []
 	if len(relevant) == 0 {
 		return
 	}
-	cd := AckChainDigest(chain)
 	s.ver.VerifyReplicaDetached(s.cfg.Registry, peer, cd, sig, func(ok bool) {
 		if !ok {
 			return
@@ -488,33 +532,23 @@ func (s *Signed) ackVerified(id instanceID, peer types.ReplicaID, digest types.D
 	}
 }
 
-// sendCommit broadcasts the commit for an instance whose quorum is
-// complete. A certificate of only single-slot signatures takes the
-// original crypto.Certificate wire form (kindCommit) — the
-// backward-compatible fallback. Chain signatures take the chain-reference
-// form: the COMMITREF is encoded once (it is destination-independent) and
-// each destination that has not yet seen a referenced chain receives its
-// CHAINDEF first, on the same FIFO channel, so the chain crosses the wire
-// once per destination per wave instead of once per slot.
-func (s *Signed) sendCommit(id instanceID, payload []byte, digest types.Digest, cert AckCert) {
-	if cert.allPlain() {
-		// Single-slot certificates stay on the legacy wire form; they
-		// count under FullSends (self-contained sends) in the stats.
-		s.sendCommitFull(id, payload, cert, s.cfg.Peers...)
-		return
-	}
+// defChain is one distinct chain named by a commit certificate, with its
+// CHAINDEF encoding built lazily and shared across destinations.
+type defChain struct {
+	digest types.Digest
+	chain  []ChainEntry
+	enc    []byte
+}
 
-	// Build the reference certificate and collect the distinct chains it
-	// names. Every chain signature records this instance's index in its
-	// chain, so receivers locate the entry in O(1) (the digest binding is
-	// still confirmed against the payload hash during verification).
-	sigs := make([]refSig, 0, len(cert.Sigs))
-	type defChain struct {
-		digest types.Digest
-		chain  []ChainEntry
-		enc    []byte // CHAINDEF encoding; built lazily, shared across destinations
-	}
-	var defs []defChain
+// buildRefSigs converts a certificate to the reference form and collects
+// the distinct chains it names. Every chain signature records this
+// instance's index in its chain, so receivers locate the entry in O(1)
+// (the digest binding is still confirmed against the payload hash during
+// verification). ok is false when a chain does not carry this instance's
+// entry — the defensive case the reference form cannot express, which
+// handleAckBatch's filtering should make unreachable.
+func (s *Signed) buildRefSigs(id instanceID, digest types.Digest, cert AckCert) (sigs []refSig, defs []defChain, ok bool) {
+	sigs = make([]refSig, 0, len(cert.Sigs))
 	for _, a := range cert.Sigs {
 		if a.Chain == nil {
 			sigs = append(sigs, refSig{Replica: a.Replica, Sig: a.Sig})
@@ -528,12 +562,7 @@ func (s *Signed) sendCommit(id instanceID, payload []byte, digest types.Digest, 
 			}
 		}
 		if idx < 0 {
-			// Defensive: a chain that does not endorse this instance never
-			// enters the certificate (handleAckBatch filters), but if it
-			// did, referencing it would be unverifiable — fall back to the
-			// self-contained form for the whole commit.
-			s.sendCommitFull(id, payload, cert, s.cfg.Peers...)
-			return
+			return nil, nil, false
 		}
 		sigs = append(sigs, refSig{Replica: a.Replica, Sig: a.Sig, HasRef: true, Ref: a.ChainDigest, Idx: uint32(idx)})
 		known := false
@@ -546,6 +575,35 @@ func (s *Signed) sendCommit(id instanceID, payload []byte, digest types.Digest, 
 		if !known {
 			defs = append(defs, defChain{digest: a.ChainDigest, chain: a.Chain})
 		}
+	}
+	return sigs, defs, true
+}
+
+// sendCommit broadcasts the commit for an instance whose quorum is
+// complete. A certificate of only single-slot signatures takes the
+// original crypto.Certificate wire form (kindCommit) — the
+// backward-compatible fallback. Chain signatures take the chain-reference
+// form: the COMMITREF is encoded once (it is destination-independent);
+// chain definitions are withheld by default (lazy CHAINDEF — receivers
+// already know their own chains and any chain learned from any peer, and
+// demand the rest by NACK), or, in the eager baseline
+// (Config.EagerChainDefs), each destination that has not yet seen a
+// referenced chain receives its CHAINDEF ahead of the reference on the
+// same FIFO channel.
+func (s *Signed) sendCommit(id instanceID, payload []byte, digest types.Digest, cert AckCert) {
+	if cert.allPlain() {
+		// Single-slot certificates stay on the legacy wire form; they
+		// count under FullSends (self-contained sends) in the stats.
+		s.sendCommitFull(id, payload, cert, s.cfg.Peers...)
+		return
+	}
+	sigs, defs, ok := s.buildRefSigs(id, digest, cert)
+	if !ok {
+		// A chain that does not endorse this instance never enters the
+		// certificate (handleAckBatch filters); if one did, referencing it
+		// would be unverifiable — fall back to the self-contained form.
+		s.sendCommitFull(id, payload, cert, s.cfg.Peers...)
+		return
 	}
 
 	ref := wire.AcquireWriter(commitRefSize(payload, sigs))
@@ -560,6 +618,16 @@ func (s *Signed) sendCommit(id instanceID, payload []byte, digest types.Digest, 
 			// channel. After the wave's first commit every destination has
 			// the chain and the loop costs one cache probe per chain.
 			if s.chainSentTo(p, defs[i].digest) {
+				continue
+			}
+			if !s.cfg.EagerChainDefs {
+				// Lazy mode: withhold the definition and record the
+				// deferral once per (chain, destination) — exactly what
+				// the eager baseline would have sent. A receiver that
+				// actually needs the chain demands it (handleChainNack
+				// answers with the definition); most never do.
+				s.markChainSent(p, defs[i].digest)
+				s.refStats.DefsDeferred.Add(1)
 				continue
 			}
 			if defs[i].enc == nil {
@@ -588,8 +656,12 @@ func (s *Signed) sendCommitFull(id instanceID, payload []byte, cert AckCert, des
 		w = wire.AcquireWriter(commitSize(payload, legacy))
 		appendCommit(w, id.origin, id.slot, payload, legacy)
 	} else {
-		w = wire.AcquireWriter(commitBatchSize(payload, cert))
-		appendCommitBatch(w, id.origin, id.slot, payload, cert)
+		// Chain-carrying certificates take the tabled form: each distinct
+		// chain crosses the wire once per message, however many signatures
+		// name it. The legacy inline COMMITBATCH stays decodable.
+		table, _, idxs := commitChainTable(cert)
+		w = wire.AcquireWriter(commitTabSize(payload, table, cert))
+		appendCommitTab(w, id.origin, id.slot, payload, table, cert, idxs)
 	}
 	for _, p := range dests {
 		_ = s.cfg.Mux.Send(transport.ReplicaNode(p), transport.ChanBRB, w.Bytes())
@@ -615,27 +687,54 @@ func (s *Signed) beginCommit(id instanceID) bool {
 }
 
 // handleCommit performs the cheap duplicate checks inline, then verifies
-// the certificate on the pool — fanned out across workers with 2f+1 early
-// exit — and delivers in FIFO order from the completion path.
+// the certificate continuation-style: the digest hash and prepass run on
+// a verifier task (handed off with Async, whose blocking-when-full is the
+// backpressure that bounds in-flight commits), the signature checks fan
+// out with 2f+1 early exit, and the completion callback re-enters the
+// FIFO delivery drain — zero goroutines per commit. The fast-verify
+// regime (cheap sim HMACs) skips the hand-off and runs the whole thing
+// synchronously here; Config.CommitSpawn restores the goroutine-per-
+// commit baseline.
 func (s *Signed) handleCommit(id instanceID, payload []byte, cert crypto.Certificate) {
 	if !s.beginCommit(id) {
 		return
 	}
-
-	// The coordinator needs its own goroutine: it blocks on the fanned-out
-	// signature checks, and the dispatch goroutine must stay free to pump
-	// messages (including the very acks/commits the pool is verifying).
-	// Digest computation (a hash over the full batch payload) moves off
-	// the dispatch goroutine with it. The semaphore bounds how many such
-	// coordinators exist at once (no lock is held here, so blocking is
-	// safe).
-	s.commitSem <- struct{}{}
-	go func() {
-		defer func() { <-s.commitSem }()
+	if s.cfg.CommitSpawn {
+		// Baseline: a coordinator goroutine blocks on the fanned-out
+		// checks. Routed through sched.Go so the spawn guard counts it.
+		sched.Go(func() {
+			d := SignedDigest(id.origin, id.slot, payload)
+			err := s.ver.VerifyCertificate(s.cfg.Registry, cert, d, s.cfg.quorum(), s.membership)
+			s.commitVerified(id, d, payload, err == nil)
+		})
+		return
+	}
+	if s.ver.FastVerify() {
+		// Cheap-check regime: inline beats any hand-off. VerifyCertificate
+		// itself finishes serially on this goroutine when checks are cheap
+		// (single worker or a near-resolved prepass); for wider fan-outs
+		// the Detached form below is still the safe default, so gate on
+		// the measured cost alone.
 		d := SignedDigest(id.origin, id.slot, payload)
-		err := s.ver.VerifyCertificate(s.cfg.Registry, cert, d, s.cfg.quorum(), s.membership)
+		err := s.ver.VerifyCertificateInline(s.cfg.Registry, cert, d, s.cfg.quorum(), s.membership)
 		s.commitVerified(id, d, payload, err == nil)
-	}()
+		return
+	}
+	s.ver.TryAsync(func() {
+		// On a verifier lane (or inline under a saturated pool — the
+		// natural backpressure; TryAsync rather than Async because commits
+		// can arrive via the parked-reference drain, which runs on a pool
+		// worker, and a blocking enqueue there could wedge a full queue
+		// against itself): hash the payload and start the tally. The
+		// continuation may fire inline right here (memo hits, structural
+		// failure) or on whichever lane casts the deciding vote; either
+		// way commitVerified only takes s.mu and drains deliveries — it
+		// never waits on the verifier, per the continuation discipline.
+		d := SignedDigest(id.origin, id.slot, payload)
+		s.ver.VerifyCertificateDetached(s.cfg.Registry, cert, d, s.cfg.quorum(), s.membership, func(ok bool) {
+			s.commitVerified(id, d, payload, ok)
+		})
+	})
 }
 
 // handleCommitBatch is handleCommit for extended certificates: chain
@@ -646,13 +745,26 @@ func (s *Signed) handleCommitBatch(id instanceID, payload []byte, cert AckCert) 
 	if !s.beginCommit(id) {
 		return
 	}
-	s.commitSem <- struct{}{}
-	go func() {
-		defer func() { <-s.commitSem }()
+	if s.cfg.CommitSpawn {
+		sched.Go(func() {
+			d := SignedDigest(id.origin, id.slot, payload)
+			ok := s.verifyAckCert(id, d, cert)
+			s.commitVerified(id, d, payload, ok)
+		})
+		return
+	}
+	if s.ver.FastVerify() {
 		d := SignedDigest(id.origin, id.slot, payload)
-		ok := s.verifyAckCert(id, d, cert)
+		ok := s.verifyAckCertSync(id, d, cert)
 		s.commitVerified(id, d, payload, ok)
-	}()
+		return
+	}
+	s.ver.TryAsync(func() {
+		d := SignedDigest(id.origin, id.slot, payload)
+		s.verifyAckCertDetached(id, d, cert, func(ok bool) {
+			s.commitVerified(id, d, payload, ok)
+		})
+	})
 }
 
 // handleCommitRef resolves a chain-referencing commit against the per-peer
@@ -665,6 +777,7 @@ func (s *Signed) handleCommitBatch(id instanceID, payload []byte, cert AckCert) 
 func (s *Signed) handleCommitRef(id instanceID, peer types.ReplicaID, payload []byte, sigs []refSig) {
 	cert := AckCert{Sigs: make([]AckSig, 0, len(sigs))}
 	var missing []types.Digest
+	var missingSet map[types.Digest]struct{}
 	for _, rs := range sigs {
 		if !rs.HasRef {
 			cert.Sigs = append(cert.Sigs, AckSig{Replica: rs.Replica, Sig: rs.Sig})
@@ -673,8 +786,16 @@ func (s *Signed) handleCommitRef(id instanceID, peer types.ReplicaID, payload []
 		chain, ok := s.knownChain(peer, rs.Ref)
 		if !ok {
 			s.refStats.RefMisses.Add(1)
-			// One quorum usually references one chain; name it once.
-			if !slices.Contains(missing, rs.Ref) {
+			// One quorum usually references one chain; name each digest
+			// once, and stop collecting at the NACK bound up front — the
+			// answer to ANY named digest re-supplies the commit, so a
+			// hostile reference list buys neither an overlong NACK nor a
+			// quadratic dedup scan.
+			if missingSet == nil {
+				missingSet = make(map[types.Digest]struct{}, 4)
+			}
+			if _, dup := missingSet[rs.Ref]; !dup && len(missing) < maxNackDigests {
+				missingSet[rs.Ref] = struct{}{}
 				missing = append(missing, rs.Ref)
 			}
 			continue
@@ -705,10 +826,20 @@ func (s *Signed) handleCommitRef(id instanceID, peer types.ReplicaID, payload []
 		if done {
 			return
 		}
-		if len(missing) > maxNackDigests {
-			// The response is the full self-contained commit either way;
-			// naming a subset keeps the NACK within the decode bound.
-			missing = missing[:maxNackDigests]
+		if !s.cfg.EagerChainDefs {
+			// Lazy mode: park the reference on its LAST missing digest —
+			// a NACK is answered with definitions in certificate order, so
+			// by the time the last one lands and learnChain re-runs the
+			// parked reference, the earlier ones are already cached and the
+			// re-run resolves outright instead of re-parking per digest.
+			// Only the digest's first waiter NACKs; followers ride the same
+			// answer. A parked reference evicted by the bound falls back to
+			// the NACK round trip, so delivery never depends on buffer
+			// capacity.
+			parked, nack := s.parkRef(missing[len(missing)-1], pendingRef{id: id, peer: peer, payload: payload, sigs: sigs})
+			if parked && !nack {
+				return
+			}
 		}
 		w := wire.AcquireWriter(chainNackSize(missing))
 		appendChainNack(w, id.origin, id.slot, missing)
@@ -721,31 +852,90 @@ func (s *Signed) handleCommitRef(id instanceID, peer types.ReplicaID, payload []
 }
 
 // handleChainNack runs at the origin: a destination could not resolve
-// chain references for one of our commits. Forget the digests were sent
-// (the receiver evicted them) and resend that slot's commit in the
-// self-contained legacy form, to that destination only.
+// chain references for one of our commits. In lazy-CHAINDEF mode this is
+// the demand path: answer with exactly the CHAINDEFs the receiver named,
+// followed by the COMMITREF again, on the same FIFO channel. When a named
+// digest is not one of this commit's chains (a stale NACK about an
+// earlier wave, or eager mode) degrade to the self-contained resend after
+// forgetting the digests were sent, so the next wave re-defines them.
 func (s *Signed) handleChainNack(id instanceID, peer types.ReplicaID, missing []types.Digest) {
 	if id.origin != s.cfg.Self {
 		return // we only resend our own commits
 	}
 	// Only group members receive commits, so only they can legitimately
-	// miss a chain; gating here keeps the full-resend amplification (a
-	// 37-byte NACK answered with a complete COMMITBATCH) and the sent-set
-	// churn reachable by group members alone.
+	// miss a chain; gating here keeps the resend amplification (a 37-byte
+	// NACK answered with definitions or a complete commit) and the
+	// sent-set churn reachable by group members alone.
 	if !s.membership(peer) {
 		return
 	}
 	s.refStats.NacksReceived.Add(1)
-	s.forgetChainsSent(peer, missing)
 	s.mu.Lock()
 	out := s.mine[id.slot]
 	if out == nil || !out.committed {
 		s.mu.Unlock()
+		s.forgetChainsSent(peer, missing)
 		return
 	}
-	payload, cert := out.payload, out.cert
+	payload, digest, cert := out.payload, out.digest, out.cert
 	s.mu.Unlock()
+	if !s.cfg.EagerChainDefs && s.answerNackWithDefs(id, peer, payload, digest, cert, missing) {
+		return
+	}
+	s.forgetChainsSent(peer, missing)
 	s.sendCommitFull(id, payload, cert, peer)
+}
+
+// answerNackWithDefs serves a lazy-mode demand: when every digest the
+// receiver named is one of this commit's certificate chains, send those
+// CHAINDEFs and then the COMMITREF again — FIFO ordering guarantees the
+// definitions land first, and learnChain on the receiver re-runs any
+// references parked meanwhile. Reports false when a named digest is not
+// servable from this certificate (the caller falls back to the
+// self-contained form, which answers everything).
+func (s *Signed) answerNackWithDefs(id instanceID, peer types.ReplicaID, payload []byte, digest types.Digest, cert AckCert, missing []types.Digest) bool {
+	sigs, defs, ok := s.buildRefSigs(id, digest, cert)
+	if !ok {
+		return false
+	}
+	for _, m := range missing {
+		found := false
+		for i := range defs {
+			if defs[i].digest == m {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	dest := transport.ReplicaNode(peer)
+	for i := range defs {
+		demanded := false
+		for _, m := range missing {
+			if defs[i].digest == m {
+				demanded = true
+				break
+			}
+		}
+		if !demanded {
+			continue // the receiver has this one; it named what it lacks
+		}
+		if defs[i].enc == nil {
+			defs[i].enc = EncodeChainDef(defs[i].chain)
+		}
+		_ = s.cfg.Mux.Send(dest, transport.ChanBRB, defs[i].enc)
+		s.refStats.DefsSent.Add(1)
+		s.refStats.DefsDemanded.Add(1)
+		s.markChainSent(peer, defs[i].digest)
+	}
+	ref := wire.AcquireWriter(commitRefSize(payload, sigs))
+	appendCommitRef(ref, id.origin, id.slot, payload, sigs)
+	_ = s.cfg.Mux.Send(dest, transport.ChanBRB, ref.Bytes())
+	ref.Release()
+	s.refStats.RefsSent.Add(1)
+	return true
 }
 
 // verifyAckCert checks that an extended certificate carries a quorum of
@@ -755,8 +945,42 @@ func (s *Signed) handleChainNack(id instanceID, peer types.ReplicaID, missing []
 // exactly what the protocol needs); duplicate signers count once.
 func (s *Signed) verifyAckCert(id instanceID, d types.Digest, cert AckCert) bool {
 	need := s.cfg.quorum()
+	items := s.ackCertItems(id, d, cert)
+	if len(items) < need {
+		return false
+	}
+	futures := make([]*verifier.Future, 0, len(items))
+	for _, it := range items {
+		futures = append(futures, s.ver.VerifyReplicaAsync(s.cfg.Registry, it.replica, it.digest, it.sig, nil))
+	}
+	valid := 0
+	for i, f := range futures {
+		if f.Wait() {
+			valid++
+			if valid >= need {
+				return true
+			}
+		}
+		if valid+len(futures)-1-i < need {
+			return false // quorum out of reach; skip the stragglers
+		}
+	}
+	return false
+}
+
+// ackCertItems performs verifyAckCert's cheap serial filtering — dedupe,
+// membership, chain endorsement, chain-digest memoization — returning the
+// (replica, digest, sig) triples left to verify. Shared by the blocking,
+// synchronous, and continuation variants.
+type ackCertItem struct {
+	replica types.ReplicaID
+	digest  types.Digest
+	sig     []byte
+}
+
+func (s *Signed) ackCertItems(id instanceID, d types.Digest, cert AckCert) []ackCertItem {
 	seen := make(map[types.ReplicaID]struct{}, len(cert.Sigs))
-	futures := make([]*verifier.Future, 0, len(cert.Sigs))
+	items := make([]ackCertItem, 0, len(cert.Sigs))
 	for _, a := range cert.Sigs {
 		if _, dup := seen[a.Replica]; dup {
 			continue
@@ -775,24 +999,55 @@ func (s *Signed) verifyAckCert(id instanceID, d types.Digest, cert AckCert) bool
 			}
 		}
 		seen[a.Replica] = struct{}{}
-		futures = append(futures, s.ver.VerifyReplicaAsync(s.cfg.Registry, a.Replica, dg, a.Sig, nil))
+		items = append(items, ackCertItem{replica: a.Replica, digest: dg, sig: a.Sig})
 	}
-	if len(futures) < need {
+	return items
+}
+
+// verifyAckCertSync is verifyAckCert fully on the calling goroutine —
+// serial, memoized, early-exiting — the fast-verify-regime path where
+// cheap checks make any hand-off pure overhead.
+func (s *Signed) verifyAckCertSync(id instanceID, d types.Digest, cert AckCert) bool {
+	need := s.cfg.quorum()
+	items := s.ackCertItems(id, d, cert)
+	if len(items) < need {
 		return false
 	}
 	valid := 0
-	for i, f := range futures {
-		if f.Wait() {
+	for i, it := range items {
+		if s.ver.VerifyReplica(s.cfg.Registry, it.replica, it.digest, it.sig) {
 			valid++
 			if valid >= need {
 				return true
 			}
 		}
-		if valid+len(futures)-1-i < need {
-			return false // quorum out of reach; skip the stragglers
+		if valid+len(items)-1-i < need {
+			return false
 		}
 	}
 	return false
+}
+
+// verifyAckCertDetached is the continuation form: cb fires exactly once
+// with the quorum verdict, inline when memo hits settle it during the
+// fan-out loop, otherwise on the goroutine casting the deciding vote.
+// Exactly-once follows from the CertTally arithmetic: every item votes,
+// and fewer than `need` valid votes forces more invalid ones than the
+// budget tolerates.
+func (s *Signed) verifyAckCertDetached(id instanceID, d types.Digest, cert AckCert, cb func(bool)) {
+	need := s.cfg.quorum()
+	items := s.ackCertItems(id, d, cert)
+	if len(items) < need {
+		cb(false)
+		return
+	}
+	t := verifier.NewCertTally(need, len(items)-need, cb)
+	for _, it := range items {
+		if t.Done() {
+			return // settled by memo hits mid-loop; remaining checks moot
+		}
+		s.ver.VerifyReplicaDetached(s.cfg.Registry, it.replica, it.digest, it.sig, t.Vote)
+	}
 }
 
 // commitVerified re-enters the state machine after certificate

@@ -1,0 +1,62 @@
+package core
+
+// PR 9 evidence, core side: batch-level chain interning on the payment
+// wire. Astro II batches carry each payment's dependency certificates;
+// before PR 9 every certificate encoded its signers' chains itself (the
+// per-certificate interned form), so certificates across a batch repeat
+// the same chains. The v2 form hoists one chain table to the batch and
+// has certificates reference it by index. Byte accounting encodes the
+// exact payloads both generations produce from the same entries.
+
+import (
+	"testing"
+
+	"astro/internal/types"
+)
+
+// benchBatchEntries builds a batch of `n` payments whose certificates
+// all cite the same f+1-signer chain context — the aligned-wave shape
+// settlement produces (deterministic enqueue order means the signers'
+// chains intern to one entry).
+func benchBatchEntries(n, chainLen int) []BatchEntry {
+	chain := make([]types.Digest, chainLen)
+	for i := range chain {
+		chain[i] = types.HashBytes([]byte{byte(i), byte(i >> 8)})
+	}
+	sig := make([]byte, 71)
+	entries := make([]BatchEntry, n)
+	for i := range entries {
+		entries[i] = BatchEntry{
+			Payment: types.Payment{Spender: types.ClientID(i + 1), Seq: 1, Beneficiary: 2, Amount: 1},
+			Deps: []Dependency{{
+				Group: []types.Payment{{Spender: 100, Seq: types.Seq(i + 1), Beneficiary: types.ClientID(i + 1), Amount: 1}},
+				Cert: DepCert{Sigs: []DepSig{
+					{Replica: 0, Sig: sig, Chain: chain},
+					{Replica: 1, Sig: sig, Chain: chain},
+				}},
+			}},
+		}
+	}
+	return entries
+}
+
+// BenchmarkBatchChainWireBytes: broadcast-payload bytes per payment with
+// per-certificate chain encoding (v1) vs the batch-wide table (v2), at a
+// 256-payment batch and chain cap 32.
+func BenchmarkBatchChainWireBytes(b *testing.B) {
+	entries := benchBatchEntries(256, creditChainCap)
+	b.Run("per-cert-v1", func(b *testing.B) {
+		var total int
+		for n := 0; n < b.N; n++ {
+			total = len(EncodeBatchV1(entries))
+		}
+		b.ReportMetric(float64(total)/float64(len(entries)), "bytes/payment")
+	})
+	b.Run("batch-table-v2", func(b *testing.B) {
+		var total int
+		for n := 0; n < b.N; n++ {
+			total = len(EncodeBatch(entries))
+		}
+		b.ReportMetric(float64(total)/float64(len(entries)), "bytes/payment")
+	})
+}

@@ -68,6 +68,20 @@ type Config struct {
 	// per stripe group per delivered batch, as the measured baseline for
 	// the pinned-stripe lanes (BENCH_PR5).
 	SettleSpawn bool
+	// CommitSpawn restores the goroutine-per-commit BRB coordinators
+	// (PR 1–8), as the measured baseline for the continuation-style
+	// commit path (BENCH_PR9). Off — the default — steady-state
+	// settlement spawns zero goroutines per commit or delivery.
+	CommitSpawn bool
+	// EagerChainDefs restores the PR 4 behavior of defining every chain
+	// ahead of its first reference, on both the BRB commit channel and
+	// the credit channel, as the measured baseline for lazy definitions
+	// (BENCH_PR9): by default a chain crosses the wire only when a
+	// receiver demands it, which skips the definitions receivers never
+	// need — their own chains, chains learned from other peers, and
+	// credit waves whose dependency certificates complete from the other
+	// signers first.
+	EagerChainDefs bool
 
 	// Auth supplies MAC link authentication for Astro I's broadcast.
 	Auth *crypto.LinkAuthenticator

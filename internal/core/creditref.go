@@ -3,6 +3,7 @@ package core
 import (
 	"astro/internal/transport"
 	"astro/internal/types"
+	"astro/internal/wire"
 )
 
 // Chain-by-digest references on the credit channel (PR 4; the payment-side
@@ -68,11 +69,20 @@ func (r *Replica) learnCreditChain(peer types.ReplicaID, digest types.Digest, ch
 	return r.creditChains.Intern(peer, digest, chain)
 }
 
-// knownCreditChain resolves a chain reference from peer, touching it.
+// knownCreditChain resolves a chain reference from peer, touching it. A
+// per-peer miss falls through to the content-addressed any-peer probe:
+// replicas with aligned wave boundaries sign byte-identical chains (the
+// enqueue order in postSettle is replica-deterministic), so the chain this
+// replica signed — or learned from any aligned signer — resolves every
+// other signer's reference to it. The cache key is the locally recomputed
+// digest, so a cross-peer hit is exactly as trustworthy as an own-peer one.
 func (r *Replica) knownCreditChain(peer types.ReplicaID, digest types.Digest) ([]types.Digest, bool) {
 	r.chainMu.Lock()
 	defer r.chainMu.Unlock()
-	return r.creditChains.Get(peer, digest)
+	if chain, ok := r.creditChains.Get(peer, digest); ok {
+		return chain, true
+	}
+	return r.creditChains.GetAny(digest)
 }
 
 // retainCreditWave buffers a signed wave for NACK retransmission.
@@ -83,8 +93,10 @@ func (r *Replica) retainCreditWave(digest types.Digest, w retainedWave) {
 }
 
 // handleCreditNack answers a destination that could not resolve a chain
-// reference by retransmitting the wave's groups for that destination as a
-// self-contained legacy CREDITBATCH.
+// reference. In lazy-definition mode (the default) the NACK is the demand
+// path: the chain's CREDITCHAINDEF goes out followed by the reference
+// again, on the same FIFO channel. In eager mode a NACK means eviction,
+// and the answer is the self-contained legacy CREDITBATCH.
 func (r *Replica) handleCreditNack(from transport.NodeID, digest types.Digest) {
 	r.creditRefStats.NacksReceived.Add(1)
 	rep := types.ReplicaID(from)
@@ -102,6 +114,19 @@ func (r *Replica) handleCreditNack(from transport.NodeID, digest types.Digest) {
 	}
 	if len(gs) == 0 {
 		return // NACK for a wave that had nothing addressed to the sender
+	}
+	if !r.cfg.EagerChainDefs {
+		def := wire.NewWriter(creditChainDefSize(wave.chain))
+		appendCreditChainDef(def, wave.chain)
+		_ = r.cfg.Mux.Send(from, transport.ChanCredit, def.Bytes())
+		r.creditRefStats.DefsSent.Add(1)
+		r.creditRefStats.DefsDemanded.Add(1)
+		m := creditRefMsg{Signer: r.cfg.Self, ChainDigest: digest, Sig: wave.sig, Groups: gs}
+		ref := wire.NewWriter(creditRefSize(m))
+		appendCreditRef(ref, m)
+		_ = r.cfg.Mux.Send(from, transport.ChanCredit, ref.Bytes())
+		r.creditRefStats.RefsSent.Add(1)
+		return
 	}
 	msg := encodeCreditBatch(creditBatchMsg{Signer: r.cfg.Self, Chain: wave.chain, Sig: wave.sig, Groups: gs})
 	_ = r.cfg.Mux.Send(from, transport.ChanCredit, msg)

@@ -253,11 +253,13 @@ func TestCreditRefEvictionNacks(t *testing.T) {
 	}
 }
 
-// TestCreditNackRetransmitsLegacyBatch: a signer answering a CREDITNACK
-// must resend the retained wave's groups for that destination as a
-// self-contained legacy CREDITBATCH.
+// TestCreditNackRetransmitsLegacyBatch: under the eager-definition
+// baseline, a signer answering a CREDITNACK must resend the retained
+// wave's groups for that destination as a self-contained legacy
+// CREDITBATCH.
 func TestCreditNackRetransmitsLegacyBatch(t *testing.T) {
-	c := newCluster(t, AstroII, 4, func(types.ClientID) types.Amount { return 0 })
+	c := newCluster(t, AstroII, 4, func(types.ClientID) types.Amount { return 0 },
+		func(cfg *Config) { cfg.EagerChainDefs = true })
 	tap, msgs := c.creditTap(t, 9)
 
 	group := []types.Payment{pay(1, 1, 2, 40)}
@@ -299,6 +301,123 @@ func TestCreditNackRetransmitsLegacyBatch(t *testing.T) {
 	}
 }
 
+// TestCreditNackAnsweredWithDefAndRef: under the lazy-definition default,
+// a CREDITNACK is the demand path — the signer answers with the chain's
+// CREDITCHAINDEF followed by the CREDITREF for the requester's groups (FIFO
+// keeps them ordered), never the legacy full form, and the demand is
+// counted against the deferred definitions.
+func TestCreditNackAnsweredWithDefAndRef(t *testing.T) {
+	c := newCluster(t, AstroII, 4, func(types.ClientID) types.Amount { return 0 })
+	tap, msgs := c.creditTap(t, 9)
+
+	group := []types.Payment{pay(1, 1, 2, 40)}
+	chain := []types.Digest{CreditGroupDigest(group)}
+	cd := CreditChainDigest(chain)
+	sig, err := c.keys[0].Sign(cd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.replicas[0].retainCreditWave(cd, retainedWave{chain: chain, sig: sig, jobs: []creditJob{{rep: 9, group: group}}})
+	if err := tap.Send(transport.ReplicaNode(0), transport.ChanCredit, encodeCreditNack(cd)); err != nil {
+		t.Fatal(err)
+	}
+
+	expect := func(kind byte) []byte {
+		t.Helper()
+		select {
+		case m := <-msgs:
+			if m[0] != kind {
+				t.Fatalf("kind = %d, want %d", m[0], kind)
+			}
+			return m
+		case <-time.After(5 * time.Second):
+			t.Fatalf("no kind-%d answer to the CREDITNACK", kind)
+			return nil
+		}
+	}
+	def := expect(msgCreditChainDef)
+	back, err := decodeCreditChainDef(def[1:])
+	if err != nil || len(back) != 1 || back[0] != chain[0] {
+		t.Fatalf("demanded definition mangled: %v %v", back, err)
+	}
+	ref := expect(msgCreditRef)
+	m, err := decodeCreditRef(ref[1:])
+	if err != nil || m.Signer != 0 || m.ChainDigest != cd || len(m.Groups) != 1 || m.Groups[0].Group[0] != group[0] {
+		t.Fatalf("re-sent reference mangled: %+v %v", m, err)
+	}
+	st := c.replicas[0].CreditRefStats()
+	if st.FullSends != 0 {
+		t.Fatalf("lazy mode fell back to the legacy full form: %+v", st)
+	}
+	if st.DefsDemanded != 1 || st.DefsSent != 1 {
+		t.Fatalf("demand not counted: %+v", st)
+	}
+}
+
+// TestCreditRefCompleteCertDropsSilently: under the lazy default, a
+// reference that cannot resolve but whose every group's certificate is
+// already complete must be dropped without a NACK — the chain would only
+// be used to discard the groups, so demanding it wastes the round trip.
+func TestCreditRefCompleteCertDropsSilently(t *testing.T) {
+	gen := func(c types.ClientID) types.Amount {
+		if c == 1 {
+			return 100
+		}
+		return 0
+	}
+	c := newCluster(t, AstroII, 4, gen)
+	repBob := c.replicas[int(c.repOf(2))]
+
+	bobGroup := []types.Payment{pay(1, 1, 2, 40)}
+	chain := []types.Digest{CreditGroupDigest(bobGroup)}
+	groups := []creditBatchGroup{{ChainIdx: 0, Group: bobGroup}}
+
+	// Form the dependency from f+1 signers through the self-contained
+	// legacy batches (which also prime only those peers' cache sections).
+	for _, signer := range []int{0, 1} {
+		sig, err := c.keys[signer].Sign(CreditChainDigest(chain))
+		if err != nil {
+			t.Fatal(err)
+		}
+		msg := encodeCreditBatch(creditBatchMsg{Signer: types.ReplicaID(signer), Chain: chain, Sig: sig, Groups: groups})
+		if err := c.replicas[signer].cfg.Mux.Send(transport.ReplicaNode(c.repOf(2)), transport.ChanCredit, msg); err != nil {
+			t.Fatal(err)
+		}
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for repBob.Balance(2) != 40 {
+		if time.Now().After(deadline) {
+			t.Fatalf("dependency never formed; balance = %d", repBob.Balance(2))
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	// A late reference from a third signer to a DIFFERENT chain (unknown at
+	// the receiver) carrying only the completed group: silent drop.
+	tap, msgs := c.creditTap(t, 9)
+	lateChain := []types.Digest{types.HashBytes([]byte("padding")), CreditGroupDigest(bobGroup)}
+	_, ref := c.creditRefFrom(t, 2, lateChain, []creditBatchGroup{{ChainIdx: 1, Group: bobGroup}})
+	pre := repBob.CreditRefStats()
+	if err := tap.Send(transport.ReplicaNode(c.repOf(2)), transport.ChanCredit, ref); err != nil {
+		t.Fatal(err)
+	}
+	deadline = time.Now().Add(5 * time.Second)
+	for repBob.CreditRefStats().RefMisses != pre.RefMisses+1 {
+		if time.Now().After(deadline) {
+			t.Fatalf("late reference never processed: %+v", repBob.CreditRefStats())
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if st := repBob.CreditRefStats(); st.NacksSent != pre.NacksSent {
+		t.Fatalf("completed-certificate reference was NACKed: %+v", st)
+	}
+	select {
+	case m := <-msgs:
+		t.Fatalf("unexpected reply kind %d", m[0])
+	case <-time.After(200 * time.Millisecond):
+	}
+}
+
 // TestDepCertInterning: the interned certificate form stores each distinct
 // chain once — k signers over one chain cost one table entry — while the
 // round trip preserves every signature's chain content (shared backing on
@@ -335,7 +454,7 @@ func TestDepCertInterning(t *testing.T) {
 		t.Fatalf("interned cert (%d B) not smaller than extended (%d B)", certBytes, extended)
 	}
 
-	back, err := decodeDependency(wire.NewReader(w.Bytes()))
+	back, err := decodeDependency(wire.NewReader(w.Bytes()), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -366,7 +485,7 @@ func TestDepCertInterning(t *testing.T) {
 	lw.U32(3)
 	lw.Chunk([]byte("s3"))
 	appendDigestChain(lw, nil)
-	legacy, err := decodeDependency(wire.NewReader(lw.Bytes()))
+	legacy, err := decodeDependency(wire.NewReader(lw.Bytes()), nil)
 	if err != nil {
 		t.Fatal(err)
 	}

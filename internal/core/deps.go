@@ -204,14 +204,20 @@ func VerifyDependency(
 // enqueues groups in representative order over replica-deterministic
 // settle results), so when replicas' wave boundaries align the k signers
 // of a certificate sign byte-identical chains and the table holds ONE
-// chain where the extended form repeated it k times. The kind bytes are
-// wire revisions (PR 3 introduced the byte, PR 4 the interned kind) —
-// every node of a deployment must run a build that understands them; the
-// extended form remains decodable.
+// chain where the extended form repeated it k times. PR 9 lifts the table
+// one level further: inside a v2 batch (batch.go) the table is
+// batch-wide, and batch-ref certificates index into it — the many
+// dependencies of one settlement wave attached across a batch's entries
+// then share ONE copy of each chain per batch, not one per certificate.
+// The kind bytes are wire revisions (PR 3 introduced the byte, PR 4 the
+// interned kind, PR 9 the batch-ref kind) — every node of a deployment
+// must run a build that understands them; the older forms remain
+// decodable.
 const (
 	depCertPlain    byte = 0
 	depCertExtended byte = 1
 	depCertInterned byte = 2
+	depCertBatchRef byte = 3
 )
 
 // noChainIdx marks a single-group (chain-less) signature in the interned
@@ -342,6 +348,55 @@ func encodeDependency(w *wire.Writer, d Dependency) {
 	}
 }
 
+// dependencySizeBatchRef is dependencySize for the batch-ref form: chains
+// live in the surrounding batch's table, so a chained certificate costs
+// one index per signature and nothing per chain.
+func dependencySizeBatchRef(d Dependency) int {
+	n := 4 + len(d.Group)*types.PaymentWireSize + 1
+	if d.Cert.allPlain() {
+		n += 4
+		for _, ps := range d.Cert.Sigs {
+			n += 8 + len(ps.Sig)
+		}
+		return n
+	}
+	n += 4
+	for _, ps := range d.Cert.Sigs {
+		n += 4 + 4 + len(ps.Sig) + 4
+	}
+	return n
+}
+
+// encodeDependencyBatchRef appends the dependency inside a v2 batch:
+// all-plain certificates keep the compact plain form, chained ones take
+// the batch-ref kind with indices into the batch's table.
+func encodeDependencyBatchRef(w *wire.Writer, d Dependency, table [][]types.Digest) {
+	w.U32(uint32(len(d.Group)))
+	for _, p := range d.Group {
+		w.AppendFunc(p.AppendBinary)
+	}
+	if d.Cert.allPlain() {
+		w.U8(depCertPlain)
+		w.U32(uint32(len(d.Cert.Sigs)))
+		for _, ps := range d.Cert.Sigs {
+			w.U32(uint32(ps.Replica))
+			w.Chunk(ps.Sig)
+		}
+		return
+	}
+	w.U8(depCertBatchRef)
+	w.U32(uint32(len(d.Cert.Sigs)))
+	for _, ps := range d.Cert.Sigs {
+		w.U32(uint32(ps.Replica))
+		w.Chunk(ps.Sig)
+		if ps.Chain == nil {
+			w.U32(noChainIdx)
+		} else {
+			w.U32(batchChainIdx(table, ps.Chain))
+		}
+	}
+}
+
 // appendDigestChain and decodeDigestChain are the credit-side digest-list
 // codec: the shared wire layout with the credit chain-length cap applied.
 func appendDigestChain(w *wire.Writer, chain []types.Digest) {
@@ -355,7 +410,11 @@ func decodeDigestChain(r *wire.Reader) ([]types.Digest, error) {
 // maxGroup bounds decoded group sizes (defense against hostile input).
 const maxGroup = 1 << 16
 
-func decodeDependency(r *wire.Reader) (Dependency, error) {
+// decodeDependency parses one dependency. table is the surrounding v2
+// batch's chain table for batch-ref certificates; nil outside a v2 batch
+// (standalone dependency records, v1 batches), where the batch-ref kind is
+// rejected — it has nothing to reference.
+func decodeDependency(r *wire.Reader, table [][]types.Digest) (Dependency, error) {
 	var d Dependency
 	n := r.U32()
 	if err := r.Err(); err != nil {
@@ -412,8 +471,8 @@ func decodeDependency(r *wire.Reader) (Dependency, error) {
 		// count follows the table. Decoded signatures referencing one
 		// table entry share its slice, so the interning survives the round
 		// trip in memory too.
-		table := make([][]types.Digest, ns)
-		for i := range table {
+		ownTable := make([][]types.Digest, ns)
+		for i := range ownTable {
 			chain, err := decodeDigestChain(r)
 			if err != nil {
 				return d, err
@@ -421,7 +480,7 @@ func decodeDependency(r *wire.Reader) (Dependency, error) {
 			if len(chain) == 0 {
 				return d, fmt.Errorf("dependency: empty chain in table")
 			}
-			table[i] = chain
+			ownTable[i] = chain
 		}
 		nSigs := r.U32()
 		if err := r.Err(); err != nil {
@@ -430,25 +489,46 @@ func decodeDependency(r *wire.Reader) (Dependency, error) {
 		if nSigs > maxDepSigs {
 			return d, fmt.Errorf("dependency: cert of %d signatures exceeds cap", nSigs)
 		}
-		d.Cert.Sigs = make([]DepSig, 0, nSigs)
-		for i := uint32(0); i < nSigs; i++ {
-			id := types.ReplicaID(r.U32())
-			sig := r.Chunk()
-			ci := r.U32()
-			if err := r.Err(); err != nil {
-				return d, err
-			}
-			var chain []types.Digest
-			if ci != noChainIdx {
-				if int(ci) >= len(table) {
-					return d, fmt.Errorf("dependency: chain index %d out of table range %d", ci, len(table))
-				}
-				chain = table[ci]
-			}
-			d.Cert.Sigs = append(d.Cert.Sigs, DepSig{Replica: id, Sig: sig, Chain: chain})
+		if err := decodeDepSigsIndexed(r, &d.Cert, nSigs, ownTable); err != nil {
+			return d, err
+		}
+	case depCertBatchRef:
+		// ns is the signature count (like plain/extended); the chains live
+		// in the surrounding batch's table, decoded once for every
+		// certificate of the batch.
+		if table == nil {
+			return d, fmt.Errorf("dependency: batch-ref certificate outside a v2 batch")
+		}
+		if err := decodeDepSigsIndexed(r, &d.Cert, ns, table); err != nil {
+			return d, err
 		}
 	default:
 		return d, fmt.Errorf("dependency: unknown cert kind %d", kind)
 	}
 	return d, nil
+}
+
+// decodeDepSigsIndexed reads n (replica, sig, chain-index) records into
+// cert, resolving indices against table — the shared tail of the interned
+// and batch-ref certificate forms. Decoded signatures referencing one
+// table entry share its slice.
+func decodeDepSigsIndexed(r *wire.Reader, cert *DepCert, n uint32, table [][]types.Digest) error {
+	cert.Sigs = make([]DepSig, 0, n)
+	for i := uint32(0); i < n; i++ {
+		id := types.ReplicaID(r.U32())
+		sig := r.Chunk()
+		ci := r.U32()
+		if err := r.Err(); err != nil {
+			return err
+		}
+		var chain []types.Digest
+		if ci != noChainIdx {
+			if int(ci) >= len(table) {
+				return fmt.Errorf("dependency: chain index %d out of table range %d", ci, len(table))
+			}
+			chain = table[ci]
+		}
+		cert.Sigs = append(cert.Sigs, DepSig{Replica: id, Sig: sig, Chain: chain})
+	}
+	return nil
 }

@@ -237,7 +237,7 @@ func decodeReplicaImage(data []byte) (replicaImage, error) {
 		}
 		ds := make([]Dependency, 0, nd)
 		for j := uint32(0); j < nd; j++ {
-			d, err := decodeDependency(r)
+			d, err := decodeDependency(r, nil)
 			if err != nil {
 				return img, fmt.Errorf("core: snapshot dependency: %w", err)
 			}
@@ -411,7 +411,7 @@ func (r *Replica) replayRecord(kind byte, payload []byte) error {
 		}
 	case recDep:
 		rd := wire.NewReader(payload)
-		d, err := decodeDependency(rd)
+		d, err := decodeDependency(rd, nil)
 		if err != nil {
 			return fmt.Errorf("core: recDep record: %w", err)
 		}

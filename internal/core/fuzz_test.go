@@ -69,6 +69,20 @@ func FuzzDecodeCreditChannel(f *testing.F) {
 		f.Add(n)
 	}
 	f.Add(EncodeCreditNack(types.HashBytes([]byte("never-existed"))))
+	// PR 9: the lazy-definition demand exchange — the def+ref pair a
+	// NACKed signer answers with (handleCreditNack), including a
+	// full-length chain and a reference whose ChainIdx points past it.
+	lazyChain := make([]types.Digest, creditChainCap)
+	for i := range lazyChain {
+		lazyChain[i] = types.HashBytes([]byte{byte(i)})
+	}
+	f.Add(encodeCreditChainDef(lazyChain))
+	f.Add(encodeCreditRef(creditRefMsg{
+		Signer:      0,
+		ChainDigest: CreditChainDigest(lazyChain),
+		Sig:         []byte("wave-sig"),
+		Groups:      []creditBatchGroup{{ChainIdx: uint32(len(lazyChain)), Group: group}},
+	}))
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		if len(data) == 0 {
@@ -115,6 +129,27 @@ func FuzzDecodeBatch(f *testing.F) {
 			Sig: []byte("client-sig"), Deps: []Dependency{fuzzDependency()}},
 	}))
 	f.Add(EncodeBatch(nil))
+	// PR 9 seeds: the same chained entries in both wire generations —
+	// EncodeBatch takes the v2 (batch-wide chain table) form as soon as a
+	// certificate carries a chain; the v1 form must stay decodable.
+	shared := []BatchEntry{
+		{Payment: types.Payment{Spender: 1, Seq: 2, Beneficiary: 2, Amount: 3},
+			Deps: []Dependency{fuzzDependency(), fuzzDependency()}},
+	}
+	f.Add(EncodeBatch(shared))
+	f.Add(EncodeBatchV1(shared))
+	// Adversarial: a v2 marker with an empty chain table, and one whose
+	// table count is past the cap.
+	w := wire.NewWriter(12)
+	w.U32(batchV2Marker)
+	w.U32(0)
+	w.U32(0)
+	f.Add(w.Bytes())
+	w = wire.NewWriter(12)
+	w.U32(batchV2Marker)
+	w.U32(0)
+	w.U32(maxDepSigs + 1)
+	f.Add(w.Bytes())
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		entries, err := DecodeBatch(data)
@@ -138,10 +173,22 @@ func FuzzDecodeDependency(f *testing.F) {
 	w := wire.NewWriter(dependencySize(d))
 	encodeDependency(w, d)
 	f.Add(w.Bytes())
+	// PR 9 adversarial seed: the batch-ref certificate form, which is
+	// only meaningful inside a v2 batch — standalone decoding (WAL
+	// records, this harness) must reject it without panicking.
+	var table [][]types.Digest
+	for _, ps := range d.Cert.Sigs {
+		if ps.Chain != nil {
+			table = append(table, ps.Chain)
+		}
+	}
+	w = wire.NewWriter(dependencySizeBatchRef(d))
+	encodeDependencyBatchRef(w, d, table)
+	f.Add(w.Bytes())
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		r := wire.NewReader(data)
-		dep, err := decodeDependency(r)
+		dep, err := decodeDependency(r, nil)
 		if err != nil {
 			return
 		}

@@ -27,7 +27,8 @@ func waitNacks(t *testing.T, r *Replica, want uint64) {
 }
 
 func TestCreditNackStormBoundedWork(t *testing.T) {
-	c := newCluster(t, AstroII, 4, func(types.ClientID) types.Amount { return 0 })
+	c := newCluster(t, AstroII, 4, func(types.ClientID) types.Amount { return 0 },
+		func(cfg *Config) { cfg.EagerChainDefs = true })
 	tap, msgs := c.creditTap(t, 9)
 
 	group := []types.Payment{pay(1, 1, 2, 40)}

@@ -246,6 +246,10 @@ func NewReplica(cfg Config) (*Replica, error) {
 		// orders payments by client sequence number independently.
 		FirstSlot: r.nextBcastSlot,
 		Unordered: r.recovered,
+		// Pipeline baselines (BENCH_PR9): goroutine-per-commit
+		// coordinators and eager chain definitions, both off by default.
+		CommitSpawn:    cfg.CommitSpawn,
+		EagerChainDefs: cfg.EagerChainDefs,
 	}
 	var err error
 	switch cfg.Version {
@@ -978,10 +982,13 @@ func (r *Replica) settleEntries(entries []BatchEntry) []types.Payment {
 				continue
 			}
 			wg.Add(1)
-			go func(idxs []int) {
+			idxs := idxs
+			// Routed through sched.Go so the spawn-guard test counts the
+			// baseline's per-delivery goroutines.
+			sched.Go(func() {
 				defer wg.Done()
 				run(idxs)
-			}(idxs)
+			})
 		}
 		run(own)
 		wg.Wait()
@@ -1132,19 +1139,39 @@ func (r *Replica) sendCreditChain(jobs []creditJob, wave *verifier.Wave) {
 		return
 	}
 	r.retainCreditWave(cd, retainedWave{chain: chain, sig: sig, jobs: jobs})
+	// Self-prime the chain cache: replicas whose wave boundaries align
+	// sign byte-identical chains, so a reference from an aligned peer
+	// resolves against our own entry (knownCreditChain falls through to
+	// the content-addressed any-peer probe) without any definition
+	// crossing the wire.
+	r.learnCreditChain(r.cfg.Self, cd, chain)
 	byRep := make(map[types.ReplicaID][]creditBatchGroup)
 	for i, j := range jobs {
 		byRep[j.rep] = append(byRep[j.rep], creditBatchGroup{ChainIdx: uint32(i), Group: j.group})
 	}
-	def := wave.Scratch(creditChainDefSize(chain))
-	appendCreditChainDef(def, chain)
+	var def *wire.Writer
+	if r.cfg.EagerChainDefs {
+		def = wave.Scratch(creditChainDefSize(chain))
+		appendCreditChainDef(def, chain)
+	}
 	for rep, gs := range byRep {
 		dest := transport.ReplicaNode(rep)
-		// Every wave's chain is new, so each destination needs exactly one
-		// definition — sent ahead of the reference on the FIFO channel (no
-		// cross-wave sent-set to consult; see creditref.go).
-		_ = r.cfg.Mux.Send(dest, transport.ChanCredit, def.Bytes())
-		r.creditRefStats.DefsSent.Add(1)
+		if def != nil {
+			// Eager baseline: every wave's chain is new, so each
+			// destination gets exactly one definition — sent ahead of the
+			// reference on the FIFO channel (no cross-wave sent-set to
+			// consult; see creditref.go).
+			_ = r.cfg.Mux.Send(dest, transport.ChanCredit, def.Bytes())
+			r.creditRefStats.DefsSent.Add(1)
+		} else {
+			// Lazy default: the reference goes out alone. A destination
+			// demands the chain (CREDITNACK) only when it both misses it —
+			// aligned peers resolve it from their own wave — and still
+			// needs a group: once f+1 other signers complete a
+			// certificate, our reference is dropped without any round
+			// trip, and this wave's definition bytes were never spent.
+			r.creditRefStats.DefsDeferred.Add(1)
+		}
 		m := creditRefMsg{Signer: r.cfg.Self, ChainDigest: cd, Sig: sig, Groups: gs}
 		ref := wave.Scratch(creditRefSize(m))
 		appendCreditRef(ref, m)
@@ -1223,9 +1250,17 @@ func (r *Replica) onCredit(from transport.NodeID, payload []byte) {
 		}
 		chain, ok := r.knownCreditChain(peer, m.ChainDigest)
 		if !ok {
-			// Evicted or never seen: ask the sender to degrade this wave
-			// to the self-contained legacy form.
 			r.creditRefStats.RefMisses.Add(1)
+			// Lazy mode: a reference whose every group's certificate is
+			// already complete (f+1 other signers got there first) carries
+			// nothing we still need — drop it silently instead of
+			// demanding a chain we would only use to discard the groups.
+			// This, not the NACK round trip, is the common lazy case.
+			if !r.cfg.EagerChainDefs && !r.creditRefNeeded(m) {
+				return
+			}
+			// Evicted, never seen (lazy), or eager-mode eviction: demand
+			// the chain from the sender.
 			_ = r.cfg.Mux.Send(from, transport.ChanCredit, encodeCreditNack(m.ChainDigest))
 			r.creditRefStats.NacksSent.Add(1)
 			return
@@ -1266,6 +1301,22 @@ func (r *Replica) onCredit(from transport.NodeID, payload []byte) {
 			r.creditSigner.Enqueue(creditJob{rep: peer, group: group})
 		}
 	}
+}
+
+// creditRefNeeded reports whether any group of an unresolvable reference
+// still has an open certificate — only then is the chain worth demanding.
+// Groups outside the signer's shard are never needed (acceptCreditBatch
+// would drop them after resolution anyway).
+func (r *Replica) creditRefNeeded(m creditRefMsg) bool {
+	for _, g := range m.Groups {
+		if !r.creditGroupInShard(m.Signer, g.Group) {
+			continue
+		}
+		if r.lookupCreditState(g.Group) != nil {
+			return true
+		}
+	}
+	return false
 }
 
 // redoGroupVouchable checks one CREDITREDO group against local state: this

@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"sync"
 	"testing"
+	"time"
 
 	"astro/internal/crypto"
 	"astro/internal/transport"
@@ -179,5 +180,134 @@ func TestSettleLanesPerSpenderFIFOUnderStealing(t *testing.T) {
 	}
 	if got != total {
 		t.Fatalf("conservation violated: total %d, want %d", got, total)
+	}
+}
+
+// TestSettleLanesSurviveConcurrentCreditResends (PR 9) runs live
+// settlement traffic — clients paying through the full broadcast +
+// settle + credit pipeline on the lane runtime — while a NACK storm
+// forces replica 0 to answer with lazy CREDITCHAINDEF + CREDITREF
+// resends the whole time. The resend path shares chainMu and the credit
+// channel with the pipeline under test; per-spender FIFO, conservation,
+// and full settlement must survive the interleaving. Run under -race.
+func TestSettleLanesSurviveConcurrentCreditResends(t *testing.T) {
+	const seed = 1 << 20
+	c := newCluster(t, AstroII, 4, func(types.ClientID) types.Amount { return seed })
+	tap, msgs := c.creditTap(t, 9)
+
+	// A retained wave addressed to the tap: the storm's NACKs name it,
+	// so every one provokes a real def+ref answer from replica 0.
+	group := []types.Payment{pay(100, 1, 101, 7)}
+	chain := []types.Digest{CreditGroupDigest(group)}
+	cd := CreditChainDigest(chain)
+	sig, err := c.keys[0].Sign(cd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.replicas[0].retainCreditWave(cd, retainedWave{chain: chain, sig: sig, jobs: []creditJob{{rep: 9, group: group}}})
+
+	stop := make(chan struct{})
+	var storm sync.WaitGroup
+	storm.Add(2)
+	go func() { // drain the tap so its endpoint never backpressures
+		defer storm.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-msgs:
+			}
+		}
+	}()
+	go func() {
+		defer storm.Done()
+		nack := encodeCreditNack(cd)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			_ = tap.Send(transport.ReplicaNode(0), transport.ChanCredit, nack)
+			time.Sleep(200 * time.Microsecond)
+		}
+	}()
+
+	const (
+		nClients  = 4
+		perClient = 25
+	)
+	cls := make([]*Client, nClients)
+	for i := range cls {
+		cls[i] = c.client(types.ClientID(i + 1))
+	}
+	errc := make(chan error, nClients)
+	for i := 0; i < nClients; i++ {
+		go func(i int) {
+			cl := cls[i]
+			ben := types.ClientID((i+1)%nClients + 1) // stays inside the client set
+			for k := 0; k < perClient; k++ {
+				id, err := cl.Pay(ben, 1)
+				if err != nil {
+					errc <- fmt.Errorf("client %d pay %d: %w", i+1, k, err)
+					return
+				}
+				if err := cl.WaitConfirm(id, 10*time.Second); err != nil {
+					errc <- fmt.Errorf("client %d confirm %d: %w", i+1, k, err)
+					return
+				}
+			}
+			errc <- nil
+		}(i)
+	}
+	for i := 0; i < nClients; i++ {
+		if err := <-errc; err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	storm.Wait()
+	c.waitSettledEverywhere(nClients*perClient, 15*time.Second)
+
+	for ri, r := range c.replicas {
+		for i := 0; i < nClients; i++ {
+			cid := types.ClientID(i + 1)
+			xlog := r.XLogSnapshot(cid)
+			if len(xlog) != perClient {
+				t.Fatalf("replica %d: client %d xlog holds %d payments, want %d", ri, cid, len(xlog), perClient)
+			}
+			for k, p := range xlog {
+				if p.Seq != types.Seq(k+1) {
+					t.Fatalf("replica %d: client %d xlog position %d holds seq %d — FIFO violated", ri, cid, k, p.Seq)
+				}
+			}
+		}
+	}
+	// Conservation in Astro II: a settled payment debits the spender, and
+	// the beneficiary's share becomes an attachable dependency at its own
+	// replica (balance moves only when that dependency rides a later
+	// payment — state.go's "no direct beneficiary credit"). Certificates
+	// complete asynchronously, so poll each client's balance plus
+	// unattached dependency value at its owning replica.
+	ownedTotal := func() types.Amount {
+		total := types.Amount(0)
+		for i := 0; i < nClients; i++ {
+			cid := types.ClientID(i + 1)
+			r := c.replicas[c.repOf(cid)]
+			total += r.state.Balance(cid)
+			r.repMu.Lock()
+			for _, dep := range r.repDeps[cid] {
+				total += dep.Value(cid)
+			}
+			r.repMu.Unlock()
+		}
+		return total
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for ownedTotal() != types.Amount(nClients)*seed {
+		if time.Now().After(deadline) {
+			t.Fatalf("conservation violated: owned-balance total %d, want %d", ownedTotal(), types.Amount(nClients)*seed)
+		}
+		time.Sleep(2 * time.Millisecond)
 	}
 }

@@ -1,10 +1,12 @@
 package core
 
 import (
+	"reflect"
 	"testing"
 	"testing/quick"
 
 	"astro/internal/types"
+	"astro/internal/wire"
 )
 
 func pay(s types.ClientID, n types.Seq, b types.ClientID, x types.Amount) types.Payment {
@@ -292,6 +294,93 @@ func TestBatchCodecRoundTrip(t *testing.T) {
 	if len(got[1].Deps[0].Group) != 2 || got[1].Deps[0].Group[1] != pay(9, 2, 3, 6) {
 		t.Error("dependency group mismatch")
 	}
+}
+
+func TestBatchV2ChainInterning(t *testing.T) {
+	// Two payments whose certificates cite the same two-signer chain: the
+	// PR 9 batch form hoists it into a batch-wide table, so it is encoded
+	// once per batch instead of once per certificate.
+	chain := []types.Digest{types.HashBytes([]byte("g1")), types.HashBytes([]byte("g2"))}
+	dep := func() Dependency {
+		return Dependency{
+			Group: []types.Payment{pay(9, 1, 3, 5)},
+			Cert: DepCert{Sigs: []DepSig{
+				{Replica: 0, Sig: []byte("sig-0")},
+				{Replica: 2, Sig: []byte("sig-2"), Chain: chain},
+				{Replica: 3, Sig: []byte("sig-3"), Chain: chain},
+			}},
+		}
+	}
+	entries := []BatchEntry{
+		{Payment: pay(1, 1, 2, 10), Deps: []Dependency{dep()}},
+		{Payment: pay(4, 2, 5, 20), Deps: []Dependency{dep()}},
+	}
+
+	v2 := EncodeBatch(entries)
+	v1 := EncodeBatchV1(entries)
+	if wire.NewReader(v2).U32() != batchV2Marker {
+		t.Fatal("shared chains did not select the v2 form")
+	}
+	if len(v2) >= len(v1) {
+		t.Errorf("v2 form (%d bytes) not smaller than v1 (%d bytes)", len(v2), len(v1))
+	}
+
+	for name, data := range map[string][]byte{"v2": v2, "v1": v1} {
+		got, err := DecodeBatch(data)
+		if err != nil {
+			t.Fatalf("%s decode: %v", name, err)
+		}
+		if !reflect.DeepEqual(got, entries) {
+			t.Fatalf("%s round trip mismatch", name)
+		}
+	}
+
+	// The decoder hands every certificate citing table entry i the same
+	// backing slice — the interning the table exists to transport.
+	got, _ := DecodeBatch(v2)
+	a := got[0].Deps[0].Cert.Sigs[1].Chain
+	b := got[1].Deps[0].Cert.Sigs[2].Chain
+	if len(a) == 0 || &a[0] != &b[0] {
+		t.Error("decoded certificates do not share the table's chain backing")
+	}
+
+	// Chain-free batches must stay on the v1 wire: nothing to intern.
+	plain := EncodeBatch([]BatchEntry{{Payment: pay(1, 1, 2, 3)}})
+	if wire.NewReader(plain).U32() == batchV2Marker {
+		t.Error("chain-free batch took the v2 form")
+	}
+}
+
+func TestBatchV2RejectsMalformed(t *testing.T) {
+	w := wire.NewWriter(16)
+	w.U32(batchV2Marker)
+	w.U32(0) // entries
+	w.U32(0) // empty chain table: v2 with nothing interned is malformed
+	if _, err := DecodeBatch(w.Bytes()); err == nil {
+		t.Error("empty chain table accepted")
+	}
+
+	// A certificate citing a table index past the end must be rejected.
+	chain := []types.Digest{types.HashBytes([]byte("g"))}
+	entries := []BatchEntry{{Payment: pay(1, 1, 2, 10), Deps: []Dependency{{
+		Group: []types.Payment{pay(9, 1, 3, 5)},
+		Cert:  DepCert{Sigs: []DepSig{{Replica: 2, Sig: []byte("s"), Chain: chain}}},
+	}}}}
+	data := EncodeBatch(entries)
+	// The sole chain index is the last u32 before the trailing sig bytes;
+	// corrupt it by scanning for its encoding and bumping it out of range.
+	idx := []byte{0, 0, 0, 0}
+	for i := len(data) - 4; i >= 0; i-- {
+		if string(data[i:i+4]) == string(idx) {
+			bad := append([]byte(nil), data...)
+			bad[i+3] = 7 // index 7 into a 1-entry table
+			if _, err := DecodeBatch(bad); err == nil {
+				t.Error("out-of-range chain index accepted")
+			}
+			return
+		}
+	}
+	t.Fatal("chain index not found in encoding")
 }
 
 func TestBatchCodecRejectsGarbage(t *testing.T) {

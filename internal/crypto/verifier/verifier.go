@@ -45,6 +45,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"astro/internal/crypto"
 	"astro/internal/sched"
@@ -60,6 +61,58 @@ type Verifier struct {
 
 	hits   atomic.Uint64
 	misses atomic.Uint64
+
+	// verifyNanos is an EWMA (weight 1/8) of the measured cost of one
+	// signature check, in nanoseconds, fed by every memo miss. Zero means
+	// unmeasured. It drives FastVerify: the continuation commit path
+	// stays synchronous when checks are cheap (sim HMAC, ~1µs) and only
+	// pays fan-out + continuation overhead in the real-ECDSA regime.
+	verifyNanos atomic.Int64
+}
+
+// fastVerifyThreshold is the per-signature cost below which certificate
+// verification runs inline on the submitter instead of fanning out: at
+// ~10µs a whole quorum certificate costs less than one scheduling round
+// trip. Real ECDSA (~40µs+) never qualifies; the sim HMAC regime always
+// does once measured.
+const fastVerifyThreshold = 10 * time.Microsecond
+
+// timedCheck runs one raw signature check and folds its cost into the
+// EWMA. All memo-miss paths route through it so the regime estimate
+// tracks whatever primitive the registry actually uses.
+func (v *Verifier) timedCheck(check func() bool) bool {
+	start := time.Now()
+	ok := check()
+	v.recordVerifyCost(time.Since(start).Nanoseconds())
+	return ok
+}
+
+func (v *Verifier) recordVerifyCost(ns int64) {
+	if ns <= 0 {
+		ns = 1
+	}
+	for {
+		old := v.verifyNanos.Load()
+		nw := ns
+		if old != 0 {
+			nw = old + (ns-old)/8
+			if nw <= 0 {
+				nw = 1
+			}
+		}
+		if v.verifyNanos.CompareAndSwap(old, nw) {
+			return
+		}
+	}
+}
+
+// FastVerify reports whether measured signature checks are cheap enough
+// that verifying a certificate inline beats handing it to the backend.
+// Unmeasured (no miss yet) reports false: the conservative default keeps
+// real ECDSA off submitter stacks until proven cheap.
+func (v *Verifier) FastVerify() bool {
+	n := v.verifyNanos.Load()
+	return n > 0 && n < int64(fastVerifyThreshold)
 }
 
 // DefaultMemoSize is the memo-cache capacity used when none is configured:
@@ -192,6 +245,16 @@ func (v *Verifier) Async(f func()) {
 	v.submitBlocking(f)
 }
 
+// TryAsync schedules f on the pool when a slot is free and otherwise runs
+// it inline on the caller. It is the submission form for continuations
+// that may already be executing on a pool worker (the PR 9 commit
+// coordinators): a blocking enqueue from a worker can deadlock a full
+// queue against itself, while the inline fallback degrades overload to
+// the caller's CPU — the documented backpressure — and can never wedge.
+func (v *Verifier) TryAsync(f func()) {
+	v.submit(f)
+}
+
 // Future resolves to the result of an asynchronous verification.
 type Future struct {
 	ex   executor
@@ -294,7 +357,7 @@ func (v *Verifier) verifyMemoized(k memoKeyT, check func() bool) bool {
 	if ok, hit := v.memoLookup(k); hit {
 		return ok
 	}
-	ok := check()
+	ok := v.timedCheck(check)
 	v.memo.put(k, ok)
 	return ok
 }
@@ -310,7 +373,7 @@ func (v *Verifier) verifyMemoizedAsync(k memoKeyT, check func() bool, cb func(bo
 	}
 	f := &Future{ex: v.ex, done: make(chan struct{})}
 	v.submit(func() {
-		ok := check()
+		ok := v.timedCheck(check)
 		v.memo.put(k, ok)
 		f.ok = ok
 		close(f.done)
@@ -328,7 +391,7 @@ func (v *Verifier) verifyMemoizedDetached(k memoKeyT, check func() bool, cb func
 		return
 	}
 	v.submit(func() {
-		ok := check()
+		ok := v.timedCheck(check)
 		v.memo.put(k, ok)
 		cb(ok)
 	})
@@ -514,7 +577,7 @@ func (v *Verifier) VerifyCertificateInline(reg *crypto.Registry, cert crypto.Cer
 	}
 	verify := func(ps crypto.PartialSig) bool {
 		k := memoKey(domainReplica, uint64(ps.Replica), digest, ps.Sig)
-		ok := reg.VerifySig(ps.Replica, digest, ps.Sig)
+		ok := v.timedCheck(func() bool { return reg.VerifySig(ps.Replica, digest, ps.Sig) })
 		v.memo.put(k, ok)
 		return ok
 	}
@@ -547,7 +610,7 @@ func (v *Verifier) VerifyCertificate(reg *crypto.Registry, cert crypto.Certifica
 
 	verify := func(ps crypto.PartialSig) bool {
 		k := memoKey(domainReplica, uint64(ps.Replica), digest, ps.Sig)
-		ok := reg.VerifySig(ps.Replica, digest, ps.Sig)
+		ok := v.timedCheck(func() bool { return reg.VerifySig(ps.Replica, digest, ps.Sig) })
 		v.memo.put(k, ok)
 		return ok
 	}
@@ -600,4 +663,95 @@ func (v *Verifier) VerifyCertificate(reg *crypto.Registry, cert crypto.Certifica
 	// Fully drained without reaching the threshold; by the counting above
 	// this implies invalid > maxInvalid was hit, but keep a safe fallback.
 	return fmt.Errorf("%w: %d valid of %d needed", crypto.ErrCertTooSmall, valid, threshold)
+}
+
+// CertTally is the atomic completion state of a continuation-style
+// certificate check: votes arrive from any goroutine, and the callback
+// fires exactly once when the tally settles. need is the count of valid
+// votes that accepts; budget is the count of invalid votes tolerated
+// before acceptance becomes impossible (one more rejects). Exactly one
+// terminal condition fires if every pending signature votes: with
+// pending = need + budget outstanding votes, fewer than need valid votes
+// forces more than budget invalid ones.
+type CertTally struct {
+	valid, invalid atomic.Int32
+	need, budget   int32
+	done           atomic.Bool
+	cb             func(bool)
+}
+
+// NewCertTally builds a tally that calls cb exactly once. A need of zero
+// or less is already-decided: cb(true) fires before NewCertTally returns.
+func NewCertTally(need, budget int, cb func(bool)) *CertTally {
+	t := &CertTally{need: int32(need), budget: int32(budget), cb: cb}
+	if need <= 0 {
+		t.done.Store(true)
+		cb(true)
+	}
+	return t
+}
+
+// Vote records one signature verdict. Votes after the tally has settled
+// are dropped; the winning vote invokes the callback on its own stack
+// (a verifier lane, a helper inside Help/RunStolen, or the submitter on
+// an inline memo/serial completion) — see the continuation discipline in
+// the sched package docs for what the callback may do there.
+func (t *CertTally) Vote(ok bool) {
+	if t.done.Load() {
+		return
+	}
+	if ok {
+		if t.valid.Add(1) >= t.need && t.done.CompareAndSwap(false, true) {
+			t.cb(true)
+		}
+	} else if t.invalid.Add(1) > t.budget && t.done.CompareAndSwap(false, true) {
+		t.cb(false)
+	}
+}
+
+// Done reports whether the tally has settled — the early-exit probe that
+// lets a queued check skip its ECDSA once the outcome is known.
+func (t *CertTally) Done() bool { return t.done.Load() }
+
+// VerifyCertificateDetached is the continuation form of VerifyCertificate:
+// cb(true) iff the certificate carries threshold valid signatures, with
+// the same memoization, early exit, and acceptance relaxation. The
+// callback runs exactly once — inline on the caller when the prepass or
+// the fast-verify regime settles it (structural failure, memo hits, cheap
+// checks), otherwise on whichever goroutine casts the deciding vote. It
+// must follow the continuation discipline (sched package docs): never
+// block on the verifier, and only re-enter flows that cannot re-enter
+// this wait.
+func (v *Verifier) VerifyCertificateDetached(reg *crypto.Registry, cert crypto.Certificate, digest types.Digest, threshold int, membership func(types.ReplicaID) bool, cb func(bool)) {
+	pp, err := v.certPrepass(reg, cert, digest, threshold, membership)
+	if err != nil {
+		cb(false)
+		return
+	}
+	if pp.decided {
+		cb(true)
+		return
+	}
+	verify := func(ps crypto.PartialSig) bool {
+		k := memoKey(domainReplica, uint64(ps.Replica), digest, ps.Sig)
+		ok := v.timedCheck(func() bool { return reg.VerifySig(ps.Replica, digest, ps.Sig) })
+		v.memo.put(k, ok)
+		return ok
+	}
+	// Cheap-check regime, single worker, or a near-resolved certificate:
+	// finish serially on the caller — no continuation overhead.
+	if v.FastVerify() || v.ex.workers() == 1 || len(pp.pending) <= 2 {
+		cb(v.certSerial(pp.pending, verify, pp.valid, pp.invalid, pp.badReplica, pp.maxInvalid, threshold) == nil)
+		return
+	}
+	t := NewCertTally(threshold-pp.valid, pp.maxInvalid-pp.invalid, cb)
+	for _, ps := range pp.pending {
+		ps := ps
+		v.submit(func() {
+			if t.Done() {
+				return
+			}
+			t.Vote(verify(ps))
+		})
+	}
 }

@@ -72,6 +72,39 @@
 //     the caller while the runtime is open — the contract the async
 //     sign path needs ("an ECDSA never executes on a dispatch flow").
 //
+// # Continuation discipline
+//
+// PR 9 replaced the last per-message goroutines (the BRB commit
+// coordinators) with completion continuations: a verification request
+// carries a callback that fires exactly once when the tally settles.
+// Continuations run in one of three places — inline on the submitter
+// (memo hit, fast-verify regime, or a tally already decided), on the
+// lane executing the final unkeyed verify task, or on a helper's stack
+// inside Help/RunStolen (a blocked waiter may steal the task whose
+// completion fires the callback). The rules that make that safe:
+//
+//   - A continuation must be non-blocking toward the verifier: it may
+//     not wait on another verification future or submit-and-wait, since
+//     the stack it runs on may BE a verifier lane or a helper already
+//     inside Help. Fire-and-forget resubmission (Async, Detached) is
+//     fine — those only enqueue.
+//   - A continuation may re-enter a keyed flow only via Submit/HelpFlows
+//     under the same vouching rule as any task: the flows it names must
+//     not re-enter the wait it is completing. The BRB delivery drain
+//     qualifies — commitVerified takes the protocol mutex, appends to
+//     the FIFO queues, and drains deliveries without ever waiting on the
+//     verifier (the validator's future was resolved before commit).
+//   - Callers must not assume which stack runs the continuation, and in
+//     particular must not hold a lock across the verify call that the
+//     continuation also takes, unless the API is documented
+//     inline-completion-free (the *Detached verifier entry points may
+//     complete inline on the caller; see their comments).
+//
+// The spawn counter (Go/Spawns in this package) is the other half of the
+// discipline: every deliberate hot-path goroutine spawn routes through
+// sched.Go, so the guard suite can assert "zero goroutines per settled
+// payment" as a number instead of a code-review claim.
+//
 // # Locking internals
 //
 // Lock order inside the package: Flow.mu and lane.mu are leaves and are

@@ -1,0 +1,25 @@
+package sched
+
+import "sync/atomic"
+
+// spawnCount tallies every goroutine the hot path deliberately spawns
+// through Go. The steady-state pipeline target (ROADMAP item 4) is zero
+// goroutines per settled payment: continuation-style commit coordinators
+// and pinned stripe flows replace spawn-per-message fan-out, and the
+// baseline paths that still spawn (Config.CommitSpawn, Config.SettleSpawn)
+// are routed through Go so the allocation/spawn guard can assert the
+// delta is zero with the baselines off — and nonzero with them on.
+var spawnCount atomic.Uint64
+
+// Go runs f on a fresh goroutine and counts the spawn. Hot-path code must
+// use this instead of a bare `go` statement so regressions show up in
+// Spawns() rather than only in a profile.
+func Go(f func()) {
+	spawnCount.Add(1)
+	go f()
+}
+
+// Spawns returns the process-wide count of goroutines started via Go.
+// Guard tests snapshot it around a steady-state window and assert the
+// delta; it never decreases.
+func Spawns() uint64 { return spawnCount.Load() }

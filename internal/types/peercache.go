@@ -60,6 +60,22 @@ func (c *PeerCache[V]) Get(peer ReplicaID, d Digest) (V, bool) {
 	return l.Get(d)
 }
 
+// GetAny resolves d against every peer's section, touching the entry on a
+// hit. Sound only for content-addressed caches — the chain-reference
+// protocol recomputes each digest from the learned content, so a chain
+// cached under ANY peer is the chain, whoever references it. Cost is one
+// LRU probe per known peer (membership-bounded); the lazy-CHAINDEF mode
+// uses it so a chain defined once resolves references from every origin.
+func (c *PeerCache[V]) GetAny(d Digest) (V, bool) {
+	for _, l := range c.m {
+		if v, ok := l.Get(d); ok {
+			return v, true
+		}
+	}
+	var zero V
+	return zero, false
+}
+
 // Contains reports whether (peer, d) is cached, touching it on a hit —
 // the sender-side probe that keeps sent-sets aging in lockstep with the
 // receiver's cache. An unknown peer allocates nothing.

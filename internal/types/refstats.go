@@ -16,6 +16,12 @@ type RefStats struct {
 	RefHits, RefMisses uint64
 	// NacksSent / NacksReceived count the fallback round trips.
 	NacksSent, NacksReceived uint64
+	// DefsDeferred counts chain definitions withheld by the lazy-CHAINDEF
+	// mode (PR 9): a reference was sent where the eager mode would also
+	// have sent the definition. DefsDemanded counts definitions later sent
+	// because a NACK demanded them; Deferred − Demanded is the definition
+	// traffic the receivers never needed.
+	DefsDeferred, DefsDemanded uint64
 }
 
 // Add accumulates other into s (for cluster-wide aggregation).
@@ -27,6 +33,8 @@ func (s *RefStats) Add(other RefStats) {
 	s.RefMisses += other.RefMisses
 	s.NacksSent += other.NacksSent
 	s.NacksReceived += other.NacksReceived
+	s.DefsDeferred += other.DefsDeferred
+	s.DefsDemanded += other.DefsDemanded
 }
 
 // RefCounters is the atomic backing of RefStats, embedded by the protocol
@@ -35,6 +43,7 @@ type RefCounters struct {
 	DefsSent, RefsSent, FullSends atomic.Uint64
 	RefHits, RefMisses            atomic.Uint64
 	NacksSent, NacksReceived      atomic.Uint64
+	DefsDeferred, DefsDemanded    atomic.Uint64
 }
 
 // Snapshot returns a consistent-enough copy of the counters (each field
@@ -48,5 +57,7 @@ func (c *RefCounters) Snapshot() RefStats {
 		RefMisses:     c.RefMisses.Load(),
 		NacksSent:     c.NacksSent.Load(),
 		NacksReceived: c.NacksReceived.Load(),
+		DefsDeferred:  c.DefsDeferred.Load(),
+		DefsDemanded:  c.DefsDemanded.Load(),
 	}
 }
