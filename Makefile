@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race bench bench-pr2 bench-pr3 bench-pr4 bench-pr5 bench-pr6 bench-pr9 fuzz-smoke chaos-smoke chaos-smoke-tcp soak profile check verify
+.PHONY: all build test vet race bench bench-pr2 bench-pr3 bench-pr4 bench-pr5 bench-pr6 bench-pr9 bench-pr10 fuzz-smoke chaos-smoke chaos-smoke-tcp soak profile profile-mem check verify
 
 all: check
 
@@ -22,10 +22,11 @@ vet:
 # crypto/broadcast/payment hot path — the packages with cross-goroutine
 # completions, flow stealing, and per-channel dispatch (including the PR 4
 # chain-reference caches, the tcpnet dial/redial liveness tests, the
-# PR 6 WAL writer/crash-recovery paths, and the PR 7 Byzantine/chaos
-# interposition layer with its always-on auditor).
+# PR 6 WAL writer/crash-recovery paths, the PR 7 Byzantine/chaos
+# interposition layer with its always-on auditor, and the PR 10 embedded
+# KV store behind the paged account state).
 race:
-	$(GO) test -race ./internal/sched/... ./internal/types/... ./internal/transport/... ./internal/crypto/... ./internal/brb/... ./internal/core/... ./internal/wal/...
+	$(GO) test -race ./internal/sched/... ./internal/types/... ./internal/transport/... ./internal/crypto/... ./internal/brb/... ./internal/core/... ./internal/wal/... ./internal/kv/...
 	$(GO) test -race -run 'Byzantine|Equivocation|Chaos|Partition|Reconfiguration|Auditor|LinkDelay' ./internal/sim/
 
 # Headline benchmarks: parallel certificate verification, signed BRB, and
@@ -78,15 +79,26 @@ bench-pr6:
 bench-pr9:
 	sh scripts/bench_pr9.sh BENCH_PR9.json
 
+# PR 10 evidence: paged account state over the embedded KV store —
+# resident heap per account across population × cache grids (the
+# O(hot-set) claim), hot vs cold-fault settle cost, incremental vs full
+# snapshot, and the paged vs resident restart-time curve.
+# Regenerates BENCH_PR10.json.
+bench-pr10:
+	sh scripts/bench_pr10.sh BENCH_PR10.json
+
 # Short fuzz pass over every wire/record decoder harness — the three
-# generations of chain-ref forms (brb), the credit channel and durable
-# snapshot (core), and the WAL frame scanner (wal). ~10s per fuzzer;
-# CI-smoke depth, not a soak.
+# generations of chain-ref forms (brb), the credit channel, durable
+# snapshot, and manifest images (core), the WAL frame scanner (wal), and
+# the KV record/index parsers that recovery trusts (kv). ~10s per
+# fuzzer; CI-smoke depth, not a soak.
 FUZZTIME ?= 10s
 fuzz-smoke:
 	for f in FuzzScanFrames FuzzFileLoad; do \
 		$(GO) test -run=NONE -fuzz="^$$f$$" -fuzztime=$(FUZZTIME) ./internal/wal/ || exit 1; done
-	for f in FuzzDecodeCreditChannel FuzzDecodeBatch FuzzDecodeDependency FuzzDecodeReplicaImage FuzzDecodePaymentChannel; do \
+	for f in FuzzDecodeKVPage FuzzDecodeKVIndex; do \
+		$(GO) test -run=NONE -fuzz="^$$f$$" -fuzztime=$(FUZZTIME) ./internal/kv/ || exit 1; done
+	for f in FuzzDecodeCreditChannel FuzzDecodeBatch FuzzDecodeDependency FuzzDecodeReplicaImage FuzzDecodeManifest FuzzDecodePaymentChannel; do \
 		$(GO) test -run=NONE -fuzz="^$$f$$" -fuzztime=$(FUZZTIME) ./internal/core/ || exit 1; done
 	for f in FuzzDecodeChainDef FuzzDecodeAckCert FuzzDecodeCommitRef FuzzDecodeChainNack FuzzDecodeCommitTab; do \
 		$(GO) test -run=NONE -fuzz="^$$f$$" -fuzztime=$(FUZZTIME) ./internal/brb/ || exit 1; done
@@ -128,6 +140,16 @@ profile:
 	$(GO) test -run=NONE -bench BenchmarkStripedSettle -benchtime=200000x \
 		-mutexprofile=mutex.out -o core.test ./internal/core/
 	$(GO) tool pprof -top -nodecount=20 core.test mutex.out
+
+# Heap profile of the paged state at scale: runs the 100k-account rows
+# of the bytes/account grid under -memprofile and prints the top
+# allocators by allocated space — where the per-account bytes come from
+# (benchmark states are dead by profile-write time, so alloc_space is
+# the meaningful index; artifacts: core.test, mem.out).
+profile-mem:
+	$(GO) test -run=NONE -bench 'BenchmarkStateBytesPerAccount/accounts=100000/' -benchtime=1x \
+		-memprofile=mem.out -o core.test ./internal/core/
+	$(GO) tool pprof -top -nodecount=20 -sample_index=alloc_space core.test mem.out
 
 check: build vet test race chaos-smoke-tcp
 

@@ -106,6 +106,12 @@ type Options struct {
 	// survives Kill + Restart (kill -9 semantics). Empty means
 	// memory-only replicas, for which Crash is permanent.
 	DataDir string
+	// StateCacheAccounts bounds the accounts each replica keeps resident
+	// in memory: cold accounts page to an embedded KV store in the
+	// replica's data directory and fault back in on access, and WAL
+	// snapshots become incremental. Requires DataDir. 0 — the default —
+	// keeps every account resident.
+	StateCacheAccounts int
 	// Chaos, when set, interposes a seeded chaos controller on every
 	// link: probabilistic drop, corruption, duplication, reordering, and
 	// extra delay, reproducible from the profile's seed. See fault.go for
@@ -178,17 +184,22 @@ func New(opts Options) (*System, error) {
 		}
 		ctrl, stopChaos = prof.Start()
 	}
+	if opts.StateCacheAccounts > 0 && opts.DataDir == "" {
+		stopChaos()
+		return nil, fmt.Errorf("astro: StateCacheAccounts requires DataDir")
+	}
 	cluster, err := sim.NewAstroCluster(sim.AstroOpts{
-		Version:    opts.Version,
-		Topology:   top,
-		Latency:    latency,
-		BatchSize:  opts.BatchSize,
-		BatchDelay: opts.BatchDelay,
-		Genesis:    opts.Genesis,
-		Bandwidth:  -1,   // embedded systems are not bandwidth-simulated
-		RealCrypto: true, // the library always uses real ECDSA
-		DataDir:    opts.DataDir,
-		Chaos:      ctrl,
+		Version:            opts.Version,
+		Topology:           top,
+		Latency:            latency,
+		BatchSize:          opts.BatchSize,
+		BatchDelay:         opts.BatchDelay,
+		Genesis:            opts.Genesis,
+		Bandwidth:          -1,   // embedded systems are not bandwidth-simulated
+		RealCrypto:         true, // the library always uses real ECDSA
+		DataDir:            opts.DataDir,
+		StateCacheAccounts: opts.StateCacheAccounts,
+		Chaos:              ctrl,
 	})
 	if err != nil {
 		stopChaos()

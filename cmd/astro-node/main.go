@@ -28,6 +28,27 @@
 // contract allows (see internal/wal). Without -data-dir the replica is
 // memory-only and a crash is permanent (pre-PR-6 behavior).
 //
+// # Paged account state
+//
+// -state-cache N bounds how many accounts the replica holds in memory;
+// everything colder pages to an embedded KV store inside -data-dir and
+// faults back in on access, and WAL compactions shrink from a full state
+// image to the dirty accounts plus a small manifest. Use it when the
+// account population dwarfs the working set — memory then scales with
+// the hot set, and restart time with the log tail, not with total
+// accounts.
+//
+// Sizing: pick N ≈ 2× the number of distinct accounts active in a
+// snapshot interval (spenders and beneficiaries both count), with a
+// floor of two per state stripe (32 at the default 16 stripes; smaller
+// values are rounded up). Each resident account costs roughly its xlog
+// length × 32 bytes plus ~200 bytes of bookkeeping. A cache miss adds
+// one random read (~tens of µs on SSDs) to that payment's settlement;
+// watch the faults/evictions counters (Replica.PagingStats) — a fault
+// rate near the payment rate means N is below the working set and the
+// node is thrashing. 0 keeps the pre-paging behavior: every account
+// resident, full-image snapshots.
+//
 // # Chaos and Byzantine faults
 //
 // -chaos interposes the seeded fault injector on this node's outbound
@@ -79,20 +100,21 @@ func main() {
 
 func run() error {
 	var (
-		id        = flag.Int("id", 0, "this replica's identity")
-		listen    = flag.String("listen", ":7000", "TCP listen address")
-		peers     = flag.String("peers", "", "comma-separated id=host:port for every replica (including this one)")
-		version   = flag.Int("version", 2, "Astro variant: 1 (echo-based) or 2 (signature-based)")
-		genesis   = flag.Uint64("genesis", 1_000_000, "initial balance of every client")
-		secret    = flag.String("secret", "astro-demo", "shared secret for deterministic demo keys")
-		batch     = flag.Int("batch", 256, "max payments per broadcast batch")
-		delay     = flag.Duration("batch-delay", 5*time.Millisecond, "batch assembly delay bound")
-		dataDir   = flag.String("data-dir", "", "durable state directory (WAL + snapshots); empty = memory-only")
-		snapEvery = flag.Int("wal-snapshot-every", 0, "settled batches between WAL compactions (0 = default)")
-		chaosRule = flag.String("chaos", "", "chaos default rule, e.g. 'drop=0.03,corrupt=0.01,delay=200us-2ms' (empty = off)")
-		chaosSeed = flag.Uint64("chaos-seed", 1, "chaos fault-injection seed")
-		chaosSch  = flag.String("chaos-schedule", "", "timed chaos phases, e.g. '5s:part=0 1|2 3;15s:heal' (offsets from node start)")
-		fault     = flag.String("fault", "", "arm a Byzantine behavior: equivocate|withhold-commits|forge-refs|nack-storm|stale-view")
+		id         = flag.Int("id", 0, "this replica's identity")
+		listen     = flag.String("listen", ":7000", "TCP listen address")
+		peers      = flag.String("peers", "", "comma-separated id=host:port for every replica (including this one)")
+		version    = flag.Int("version", 2, "Astro variant: 1 (echo-based) or 2 (signature-based)")
+		genesis    = flag.Uint64("genesis", 1_000_000, "initial balance of every client")
+		secret     = flag.String("secret", "astro-demo", "shared secret for deterministic demo keys")
+		batch      = flag.Int("batch", 256, "max payments per broadcast batch")
+		delay      = flag.Duration("batch-delay", 5*time.Millisecond, "batch assembly delay bound")
+		dataDir    = flag.String("data-dir", "", "durable state directory (WAL + snapshots); empty = memory-only")
+		snapEvery  = flag.Int("wal-snapshot-every", 0, "settled batches between WAL compactions (0 = default)")
+		stateCache = flag.Int("state-cache", 0, "max accounts resident in memory; cold accounts page to the data directory's KV store (0 = all resident; requires -data-dir)")
+		chaosRule  = flag.String("chaos", "", "chaos default rule, e.g. 'drop=0.03,corrupt=0.01,delay=200us-2ms' (empty = off)")
+		chaosSeed  = flag.Uint64("chaos-seed", 1, "chaos fault-injection seed")
+		chaosSch   = flag.String("chaos-schedule", "", "timed chaos phases, e.g. '5s:part=0 1|2 3;15s:heal' (offsets from node start)")
+		fault      = flag.String("fault", "", "arm a Byzantine behavior: equivocate|withhold-commits|forge-refs|nack-storm|stale-view")
 	)
 	flag.Parse()
 
@@ -166,12 +188,14 @@ func run() error {
 	if *version == 1 {
 		v = core.AstroI
 	}
-	var be *wal.FileBackend
+	var be wal.Backend
 	if *dataDir != "" {
-		be, err = wal.Open(*dataDir)
+		be, err = wal.OpenAuto(*dataDir, *stateCache > 0)
 		if err != nil {
 			return err
 		}
+	} else if *stateCache > 0 {
+		return fmt.Errorf("-state-cache requires -data-dir")
 	}
 	g := types.Amount(*genesis)
 	rep, err := core.NewReplica(core.Config{
@@ -188,9 +212,10 @@ func run() error {
 		Registry:   registry,
 		// One worker per core: a standalone node owns the whole machine,
 		// and signature verification is the settlement bottleneck.
-		Verifier:         verifier.New(0),
-		WAL:              walBackend(be),
-		WALSnapshotEvery: *snapEvery,
+		Verifier:           verifier.New(0),
+		WAL:                be,
+		WALSnapshotEvery:   *snapEvery,
+		StateCacheAccounts: *stateCache,
 	})
 	if err != nil {
 		return err
@@ -245,15 +270,6 @@ func run() error {
 	// Flush and fsync buffered work so a graceful stop loses nothing.
 	rep.Close()
 	return nil
-}
-
-// walBackend widens *wal.FileBackend to the interface without turning a
-// nil pointer into a non-nil interface value.
-func walBackend(be *wal.FileBackend) wal.Backend {
-	if be == nil {
-		return nil
-	}
-	return be
 }
 
 // parsePeers parses "0=host:port,1=host:port,...".

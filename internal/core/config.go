@@ -42,6 +42,19 @@ type Config struct {
 	ShardOf func(types.ClientID) types.ShardID
 	// ReplicaShard maps each replica to its shard. Defaults to shard 0.
 	ReplicaShard func(types.ReplicaID) types.ShardID
+	// ShardMembers enumerates the replica membership of any shard (nil
+	// result = unknown shard) — the directory a restarted representative
+	// uses to reach another shard's signers when re-requesting CREDIT
+	// signatures for cross-shard spenders (shard.Topology.Directory, or
+	// reconfig.ShardDirectory.Members when views change). Defaults to a
+	// directory that knows only this replica's own shard, under which
+	// cross-shard credit redo degrades to the pre-PR-10 skip.
+	ShardMembers func(types.ShardID) []types.ReplicaID
+	// Shards lists every shard of the deployment — the enumeration
+	// requestCreditRedo walks to send CREDITRESCAN to foreign shards
+	// (whose settled payments it cannot name from local state).
+	// Defaults to this replica's own shard only.
+	Shards []types.ShardID
 	// Genesis returns each client's initial balance; it must be identical
 	// at all replicas. Defaults to zero balances.
 	Genesis func(types.ClientID) types.Amount
@@ -117,6 +130,14 @@ type Config struct {
 	// periodic compaction — the log then grows until Close writes the
 	// final snapshot.
 	WALSnapshotEvery int
+	// StateCacheAccounts bounds the number of accounts held resident in
+	// memory (spread across the state stripes, floor two per stripe);
+	// cold accounts spill to the WAL backend's embedded KV store and
+	// fault back in on access, and WAL snapshots become incremental
+	// (dirty accounts + a manifest). Requires a KV-backed WAL
+	// (wal.OpenKV / wal.OpenAuto). 0 — the default — keeps every account
+	// resident, the measured baseline of every prior PR.
+	StateCacheAccounts int
 }
 
 // Configuration errors.
@@ -125,6 +146,10 @@ var (
 	ErrConfigQuorum  = errors.New("core: fewer than 3f+1 replicas")
 	ErrConfigVersion = errors.New("core: unknown version")
 	ErrConfigKeys    = errors.New("core: Astro II requires Keys and Registry")
+	// ErrConfigStateCache rejects StateCacheAccounts > 0 without a WAL
+	// backend that embeds a KV store (wal.OpenKV / wal.OpenAuto):
+	// paging needs somewhere durable to spill cold accounts.
+	ErrConfigStateCache = errors.New("core: StateCacheAccounts requires a KV-backed WAL")
 )
 
 func (c *Config) normalize() error {
@@ -154,6 +179,19 @@ func (c *Config) normalize() error {
 	}
 	if c.Genesis == nil {
 		c.Genesis = func(types.ClientID) types.Amount { return 0 }
+	}
+	if c.ShardMembers == nil {
+		own := c.ReplicaShard(c.Self)
+		members := append([]types.ReplicaID(nil), c.Replicas...)
+		c.ShardMembers = func(s types.ShardID) []types.ReplicaID {
+			if s != own {
+				return nil
+			}
+			return members
+		}
+	}
+	if len(c.Shards) == 0 {
+		c.Shards = []types.ShardID{c.ReplicaShard(c.Self)}
 	}
 	if c.BatchSize <= 0 {
 		c.BatchSize = 256

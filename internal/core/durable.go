@@ -52,16 +52,26 @@ const (
 const defaultWALSnapshotEvery = 4096
 
 // snapshotVersion is the full-image format version (both WAL snapshots and
-// reconfig kindStateFull transfers).
-const snapshotVersion = 1
+// reconfig kindStateFull transfers). snapshotVersionManifest marks the
+// PR 10 incremental form: the same image minus the xlog and account
+// sections, whose content lives as per-account records in the KV store
+// the snapshot publishes with — restart replays manifest + log tail and
+// faults accounts lazily, instead of decoding a full-state image.
+const (
+	snapshotVersion         = 1
+	snapshotVersionManifest = 2
+)
 
 // replicaImage is the decoded full image of a replica's durable state.
+// manifest marks an incremental (v2) image, whose accounts slice is
+// empty because the account state lives beside it in the KV store.
 type replicaImage struct {
 	nextSlot uint64
 	pending  map[uint64][]byte
 	accounts []AccountExport
 	endorsed map[types.PaymentID]types.Digest
 	repDeps  map[types.ClientID][]Dependency
+	manifest bool
 }
 
 // encodeReplicaImage serializes a full image. The xlog section reuses the
@@ -88,7 +98,11 @@ func encodeReplicaImage(img replicaImage) []byte {
 	}
 
 	w := wire.NewWriter(est)
-	w.U8(snapshotVersion)
+	if img.manifest {
+		w.U8(snapshotVersionManifest)
+	} else {
+		w.U8(snapshotVersion)
+	}
 	w.U64(img.nextSlot)
 	slots := make([]uint64, 0, len(img.pending))
 	for s := range img.pending {
@@ -100,17 +114,19 @@ func encodeReplicaImage(img replicaImage) []byte {
 		w.U64(s)
 		w.Chunk(img.pending[s])
 	}
-	reconfig.AppendStateBody(w, xlogs)
-	w.U32(uint32(len(img.accounts)))
-	for _, ex := range img.accounts {
-		w.U64(uint64(ex.Client))
-		w.U64(uint64(ex.Balance))
-		w.Bool(ex.Stuck)
-		appendBatch(w, ex.Queue)
-		w.U32(uint32(len(ex.UsedDeps)))
-		for _, id := range ex.UsedDeps {
-			w.U64(uint64(id.Spender))
-			w.U64(uint64(id.Seq))
+	if !img.manifest {
+		reconfig.AppendStateBody(w, xlogs)
+		w.U32(uint32(len(img.accounts)))
+		for _, ex := range img.accounts {
+			w.U64(uint64(ex.Client))
+			w.U64(uint64(ex.Balance))
+			w.Bool(ex.Stuck)
+			appendBatch(w, ex.Queue)
+			w.U32(uint32(len(ex.UsedDeps)))
+			for _, id := range ex.UsedDeps {
+				w.U64(uint64(id.Spender))
+				w.U64(uint64(id.Seq))
+			}
 		}
 	}
 	w.U32(uint32(len(img.endorsed)))
@@ -152,13 +168,16 @@ func countFits(r *wire.Reader, n uint32, minSize int) bool {
 	return uint64(n)*uint64(minSize) <= uint64(r.Remaining())
 }
 
-// decodeReplicaImage parses a full image produced by encodeReplicaImage.
+// decodeReplicaImage parses a full (v1) or manifest (v2) image produced
+// by encodeReplicaImage.
 func decodeReplicaImage(data []byte) (replicaImage, error) {
 	var img replicaImage
 	r := wire.NewReader(data)
-	if v := r.U8(); r.Err() != nil || v != snapshotVersion {
+	v := r.U8()
+	if r.Err() != nil || (v != snapshotVersion && v != snapshotVersionManifest) {
 		return img, fmt.Errorf("core: snapshot version %d unsupported", v)
 	}
+	img.manifest = v == snapshotVersionManifest
 	img.nextSlot = r.U64()
 	np := r.U32()
 	if r.Err() != nil || !countFits(r, np, 12) {
@@ -173,44 +192,46 @@ func decodeReplicaImage(data []byte) (replicaImage, error) {
 		}
 		img.pending[slot] = slices.Clone(pl)
 	}
-	xlogs, ok := reconfig.ReadStateBody(r)
-	if !ok {
-		return img, fmt.Errorf("core: snapshot xlog section corrupt")
-	}
-	na := r.U32()
-	if r.Err() != nil || !countFits(r, na, 25) {
-		return img, fmt.Errorf("core: snapshot account section corrupt")
-	}
-	img.accounts = make([]AccountExport, 0, na)
-	for i := uint32(0); i < na; i++ {
-		var ex AccountExport
-		ex.Client = types.ClientID(r.U64())
-		ex.Balance = types.Amount(r.U64())
-		ex.Stuck = r.Bool()
-		queue, err := readBatchEntries(r)
-		if err != nil {
-			return img, fmt.Errorf("core: snapshot account queue: %w", err)
+	if !img.manifest {
+		xlogs, ok := reconfig.ReadStateBody(r)
+		if !ok {
+			return img, fmt.Errorf("core: snapshot xlog section corrupt")
 		}
-		if len(queue) > 0 {
-			ex.Queue = queue
-		}
-		nu := r.U32()
-		if r.Err() != nil || !countFits(r, nu, 16) {
+		na := r.U32()
+		if r.Err() != nil || !countFits(r, na, 25) {
 			return img, fmt.Errorf("core: snapshot account section corrupt")
 		}
-		if nu > 0 {
-			ex.UsedDeps = make([]types.PaymentID, nu)
-		}
-		for j := range ex.UsedDeps {
-			ex.UsedDeps[j] = types.PaymentID{
-				Spender: types.ClientID(r.U64()),
-				Seq:     types.Seq(r.U64()),
+		img.accounts = make([]AccountExport, 0, na)
+		for i := uint32(0); i < na; i++ {
+			var ex AccountExport
+			ex.Client = types.ClientID(r.U64())
+			ex.Balance = types.Amount(r.U64())
+			ex.Stuck = r.Bool()
+			queue, err := readBatchEntries(r)
+			if err != nil {
+				return img, fmt.Errorf("core: snapshot account queue: %w", err)
 			}
+			if len(queue) > 0 {
+				ex.Queue = queue
+			}
+			nu := r.U32()
+			if r.Err() != nil || !countFits(r, nu, 16) {
+				return img, fmt.Errorf("core: snapshot account section corrupt")
+			}
+			if nu > 0 {
+				ex.UsedDeps = make([]types.PaymentID, nu)
+			}
+			for j := range ex.UsedDeps {
+				ex.UsedDeps[j] = types.PaymentID{
+					Spender: types.ClientID(r.U64()),
+					Seq:     types.Seq(r.U64()),
+				}
+			}
+			if xl := xlogs[ex.Client]; len(xl) > 0 {
+				ex.XLog = xl
+			}
+			img.accounts = append(img.accounts, ex)
 		}
-		if xl := xlogs[ex.Client]; len(xl) > 0 {
-			ex.XLog = xl
-		}
-		img.accounts = append(img.accounts, ex)
 	}
 	ne := r.U32()
 	if r.Err() != nil || !countFits(r, ne, 48) {
@@ -280,6 +301,15 @@ func encodeBcastDoneRecord(slot uint64) []byte {
 // snapshot build runs on the same flow after those appends, so whatever a
 // truncated record described is already inside the image.
 func (r *Replica) captureImage() replicaImage {
+	img := r.captureMeta()
+	img.accounts = r.state.ExportAccounts()
+	return img
+}
+
+// captureMeta captures every image section except the accounts — the
+// manifest of the incremental snapshot path, whose account state lives
+// as per-account KV records instead of inside the image.
+func (r *Replica) captureMeta() replicaImage {
 	var img replicaImage
 	r.bcastMu.Lock()
 	img.nextSlot = r.nextBcastSlot
@@ -288,7 +318,6 @@ func (r *Replica) captureImage() replicaImage {
 	if img.pending == nil {
 		img.pending = make(map[uint64][]byte)
 	}
-	img.accounts = r.state.ExportAccounts()
 	r.repMu.Lock()
 	img.repDeps = make(map[types.ClientID][]Dependency, len(r.repDeps))
 	for c, ds := range r.repDeps {
@@ -341,7 +370,9 @@ func (r *Replica) recover(be wal.Backend) error {
 			if err != nil {
 				return err
 			}
-			r.installImage(img)
+			if err := r.installImage(img); err != nil {
+				return err
+			}
 			r.recovered = true
 			return nil
 		},
@@ -359,16 +390,47 @@ func (r *Replica) recover(be wal.Backend) error {
 	return nil
 }
 
-// installImage adopts a full image wholesale — the fresh-state snapshot
-// install at the start of recovery.
-func (r *Replica) installImage(img replicaImage) {
-	for _, ex := range img.accounts {
-		r.state.ImportAccount(ex)
+// installImage adopts an image wholesale — the fresh-state snapshot
+// install at the start of recovery. For a manifest (v2) image the
+// account state is already beside it in the KV store: a paged state
+// faults accounts lazily (the bounded-restart win — O(manifest + tail),
+// not O(accounts)); a resident state on a KV directory loads them all
+// now, so disabling paging never hides spilled accounts.
+func (r *Replica) installImage(img replicaImage) error {
+	switch {
+	case !img.manifest:
+		for _, ex := range img.accounts {
+			r.state.ImportAccount(ex)
+		}
+	case r.state.Paged():
+		// Accounts stay in the store; stripe fault-in serves them.
+	case r.accountStore != nil:
+		var exs []AccountExport
+		err := r.accountStore.ForEach(func(k, v []byte) error {
+			if _, ok := accountKeyClient(k); !ok {
+				return nil
+			}
+			ex, err := decodeAccountExport(v)
+			if err != nil {
+				return err
+			}
+			exs = append(exs, ex)
+			return nil
+		})
+		if err != nil {
+			return fmt.Errorf("core: loading spilled accounts: %w", err)
+		}
+		for _, ex := range exs {
+			r.state.ImportAccount(ex)
+		}
+	default:
+		return fmt.Errorf("core: manifest snapshot requires a KV-backed WAL")
 	}
 	r.endorsed = img.endorsed
 	r.repDeps = img.repDeps
 	r.nextBcastSlot = img.nextSlot
 	r.pendingBcast = img.pending
+	return nil
 }
 
 // replayRecord applies one log record on top of the installed snapshot.
@@ -578,13 +640,18 @@ func (r *Replica) MergeFullSnapshot(snap []byte) error {
 	if err != nil {
 		return err
 	}
-	local := make(map[types.ClientID]AccountExport)
-	for _, ex := range r.state.ExportAccounts() {
-		local[ex.Client] = ex
+	if img.manifest {
+		// A manifest carries no account state to merge; state transfer
+		// always ships the full (v1) image.
+		return fmt.Errorf("core: cannot merge a manifest snapshot")
 	}
 	var settled []types.Payment
 	for _, ex := range img.accounts {
-		loc, materialized := local[ex.Client]
+		// Per-account comparison (ExportAccount reads cold accounts
+		// without caching them), not a whole-state local map — a paged
+		// replica merging a million-account peer image must not fault its
+		// entire state in to decide what to adopt.
+		loc, materialized := r.state.ExportAccount(ex.Client)
 		locBal := loc.Balance
 		if !materialized {
 			locBal = r.cfg.Genesis(ex.Client)
@@ -619,12 +686,14 @@ func (r *Replica) MergeFullSnapshot(snap []byte) error {
 // the (now merged) xlogs for settled payments benefiting this replica's
 // own clients that are not yet covered — not materialized into the
 // beneficiary's used-dependency set, not held as an attachable
-// certificate, not riding an in-flight batch — and ask the shard to
-// re-sign them as fresh credit groups. The requests flow through the
-// ordinary CREDIT accumulation path, so f+1 identical re-signatures form
-// a certificate exactly as at settlement time. Spenders outside this
-// replica's shard are skipped: their signers are not enumerable from this
-// shard's configuration.
+// certificate, not riding an in-flight batch — and ask each spender's
+// shard to re-sign them as fresh credit groups. The requests flow
+// through the ordinary CREDIT accumulation path, so f+1 identical
+// re-signatures form a certificate exactly as at settlement time.
+// Cross-shard spenders are reached through the Config.ShardMembers
+// directory — their credits settled in *their* shard, so only its
+// members can vouch; a shard the directory does not know is skipped
+// (the pre-directory behavior).
 func (r *Replica) requestCreditRedo() {
 	if r.cfg.Version != AstroII || r.creditSigner == nil {
 		return
@@ -662,14 +731,13 @@ func (r *Replica) requestCreditRedo() {
 		}
 		used[ex.Client] = set
 	}
-	ownShard := r.cfg.ReplicaShard(r.cfg.Self)
-	var missing []types.Payment
+	// Missing credits bucket by spender shard: a group's signers are the
+	// spender shard's members, and the vouching check (redoGroupVouchable
+	// → creditGroupInShard) requires shard-homogeneous groups.
+	missing := make(map[types.ShardID][]types.Payment)
 	for _, ex := range img.accounts {
 		for _, p := range ex.XLog {
 			if r.cfg.RepOf(p.Beneficiary) != r.cfg.Self {
-				continue
-			}
-			if r.cfg.ShardOf(p.Spender) != ownShard {
 				continue
 			}
 			if _, ok := used[p.Beneficiary][p.ID()]; ok {
@@ -678,33 +746,109 @@ func (r *Replica) requestCreditRedo() {
 			if _, ok := covered[p.ID()]; ok {
 				continue
 			}
-			missing = append(missing, p)
+			s := r.cfg.ShardOf(p.Spender)
+			missing[s] = append(missing[s], p)
 		}
 	}
+	for s, pays := range missing {
+		signers := r.cfg.ShardMembers(s)
+		if len(signers) == 0 {
+			// Unknown shard: no directory entry, no one to ask. The
+			// credits strand exactly as before the directory existed.
+			continue
+		}
+		// Deterministic group composition: every signer re-signs the
+		// identical bytes, so the k responses accumulate into one
+		// certificate.
+		slices.SortFunc(pays, func(a, b types.Payment) int {
+			if a.Spender != b.Spender {
+				return cmp.Compare(a.Spender, b.Spender)
+			}
+			return cmp.Compare(a.Seq, b.Seq)
+		})
+		var groups [][]types.Payment
+		for len(pays) > 0 {
+			n := min(len(pays), maxGroup)
+			groups = append(groups, pays[:n])
+			pays = pays[n:]
+		}
+		for len(groups) > 0 {
+			n := min(len(groups), maxRedoGroups)
+			msg := encodeCreditRedo(groups[:n])
+			groups = groups[n:]
+			for _, peer := range signers {
+				_ = r.cfg.Mux.Send(transport.ReplicaNode(peer), transport.ChanCredit, msg)
+			}
+		}
+	}
+	// Foreign shards hold the xlogs of cross-shard spenders, so credits
+	// lost from there cannot even be enumerated locally: ask each
+	// directory-known foreign shard to rescan its settled state for this
+	// representative's clients and re-sign whatever it finds
+	// (CREDITRESCAN). Over-answering is safe — certificates this replica
+	// still holds are dropped by attach-time dedup.
+	own := r.cfg.ReplicaShard(r.cfg.Self)
+	rescan := encodeCreditRescan()
+	for _, s := range r.cfg.Shards {
+		if s == own {
+			continue
+		}
+		for _, peer := range r.cfg.ShardMembers(s) {
+			_ = r.cfg.Mux.Send(transport.ReplicaNode(peer), transport.ChanCredit, rescan)
+		}
+	}
+}
+
+// serveCreditRescan re-signs, for a restarted foreign representative,
+// every settled payment in this shard's xlogs whose beneficiary the
+// requester represents. The requester cannot name these payments itself —
+// it holds no copy of this shard's xlogs — so the scan runs signer-side.
+// Group composition is deterministic (sorted by spender then seq,
+// chunked at maxGroup): the shard's replicas, whose settled states
+// agree, produce identical groups, so their re-signatures accumulate
+// into f+1 certificates at the requester exactly like CREDITREDO
+// responses. Work per request is bounded by the CREDITREDO caps; the
+// scan streams the account state (paging-friendly) and signing rides
+// the ordinary credit signer, off this dispatch goroutine.
+func (r *Replica) serveCreditRescan(requester types.ReplicaID) {
+	if requester == r.cfg.Self || r.creditSigner == nil {
+		return
+	}
+	own := r.cfg.ReplicaShard(r.cfg.Self)
+	if r.cfg.ReplicaShard(requester) == own {
+		// A same-shard requester enumerates its missing credits itself
+		// (precise CREDITREDO); rescan is the cross-shard fallback only.
+		return
+	}
+	var missing []types.Payment
+	r.state.ForEachAccount(func(ex AccountExport) error {
+		for _, p := range ex.XLog {
+			if r.cfg.ShardOf(p.Spender) != own {
+				continue // merged foreign history: not ours to vouch for
+			}
+			if r.cfg.RepOf(p.Beneficiary) != requester {
+				continue
+			}
+			missing = append(missing, p)
+		}
+		return nil
+	})
 	if len(missing) == 0 {
 		return
 	}
-	// Deterministic group composition: every signer re-signs the identical
-	// bytes, so the k responses accumulate into one certificate.
 	slices.SortFunc(missing, func(a, b types.Payment) int {
 		if a.Spender != b.Spender {
 			return cmp.Compare(a.Spender, b.Spender)
 		}
 		return cmp.Compare(a.Seq, b.Seq)
 	})
-	var groups [][]types.Payment
+	if len(missing) > maxRedoGroups*maxGroup {
+		missing = missing[:maxRedoGroups*maxGroup]
+	}
 	for len(missing) > 0 {
 		n := min(len(missing), maxGroup)
-		groups = append(groups, missing[:n])
+		r.creditSigner.Enqueue(creditJob{rep: requester, group: missing[:n]})
 		missing = missing[n:]
-	}
-	for len(groups) > 0 {
-		n := min(len(groups), maxRedoGroups)
-		msg := encodeCreditRedo(groups[:n])
-		groups = groups[n:]
-		for _, peer := range r.cfg.Replicas {
-			_ = r.cfg.Mux.Send(transport.ReplicaNode(peer), transport.ChanCredit, msg)
-		}
 	}
 }
 
@@ -749,6 +893,26 @@ func (r *Replica) releaseSlot(slot uint64) {
 	r.bcastMu.Unlock()
 }
 
+// walSnapshotBuild builds the compaction payload on the WAL writer's
+// flow (FIFO with appends, so the cut includes every record already
+// logged): paged states flush their dirty accounts into the store and
+// return the small manifest — snapshot cost tracks the write set, not
+// the account population — while resident states return the full image.
+// A pager error skips compaction entirely (the log keeps growing and the
+// sticky error surfaces): neither a manifest over unflushed accounts nor
+// a full export through a failing store is a safe cut.
+func (r *Replica) walSnapshotBuild() []byte {
+	if r.state.Paged() {
+		if err := r.state.FlushDirty(); err != nil {
+			return nil
+		}
+		img := r.captureMeta()
+		img.manifest = true
+		return encodeReplicaImage(img)
+	}
+	return r.FullSnapshot()
+}
+
 // walMaybeSnapshot triggers a compaction every WALSnapshotEvery settled
 // batches.
 func (r *Replica) walMaybeSnapshot() {
@@ -757,7 +921,7 @@ func (r *Replica) walMaybeSnapshot() {
 		return
 	}
 	if r.walBatches.Add(1)%uint64(every) == 0 {
-		r.wal.Snapshot(r.FullSnapshot)
+		r.wal.Snapshot(r.walSnapshotBuild)
 	}
 }
 
@@ -777,6 +941,16 @@ func (r *Replica) WALErr() error {
 	}
 	return r.wal.Err()
 }
+
+// PagerErr surfaces the first account-paging I/O error, if any — the
+// paging analogue of WALErr. A non-nil result means cold-account reads
+// may degrade to genesis values; operators should treat it as fail-stop.
+func (r *Replica) PagerErr() error { return r.state.PagerErr() }
+
+// PagingStats reports the account pager's counters (faults, evictions,
+// writebacks, dirty flushes, resident count); all zero when the state is
+// fully resident.
+func (r *Replica) PagingStats() PagingStats { return r.state.PagingStats() }
 
 // Recovered reports whether this replica replayed any durable state at
 // construction — the signal that a peer catch-up (reconfig.FetchState +

@@ -133,11 +133,11 @@ func (c *cluster) restart(id types.ReplicaID, dir string, donor *Replica) *Repli
 	c.replicas[id].Abandon()
 
 	c.net.Restore(node)
-	be, err := wal.Open(filepath.Join(dir, "rep"+strconv.Itoa(int(id))))
+	cfg := c.cfgs[id]
+	be, err := wal.OpenAuto(filepath.Join(dir, "rep"+strconv.Itoa(int(id))), cfg.StateCacheAccounts > 0)
 	if err != nil {
 		c.t.Fatalf("wal reopen: %v", err)
 	}
-	cfg := c.cfgs[id]
 	cfg.Mux = transport.NewMux(c.net.Node(node))
 	cfg.WAL = be
 	r, err := NewReplica(cfg)

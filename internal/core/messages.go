@@ -109,6 +109,7 @@ const (
 	msgCreditRef      byte = 4
 	msgCreditNack     byte = 5
 	msgCreditRedo     byte = 6
+	msgCreditRescan   byte = 7
 )
 
 // CREDIT message (transport.ChanCredit): a settling replica's signed
@@ -397,6 +398,25 @@ func decodeCreditRedo(payload []byte) ([][]types.Payment, error) {
 		return nil, err
 	}
 	return groups, nil
+}
+
+// encodeCreditRescan encodes a CREDITRESCAN: a restarted representative's
+// request that a *foreign* shard's replica scan its own settled xlogs for
+// payments benefiting the requester's clients and re-sign them as fresh
+// credit groups. Unlike CREDITREDO the requester cannot name the payments
+// — it holds no copy of the foreign shard's xlogs — so the message is
+// just the kind byte; the requester's identity rides the transport, and
+// over-answering is harmless (duplicate certificates are dropped at the
+// requester's attach-time dedup).
+func encodeCreditRescan() []byte {
+	w := wire.NewWriter(1)
+	w.U8(msgCreditRescan)
+	return w.Bytes()
+}
+
+// decodeCreditRescan parses a CREDITRESCAN payload after its kind byte.
+func decodeCreditRescan(payload []byte) error {
+	return wire.NewReader(payload).Finish()
 }
 
 func appendPaymentGroup(w *wire.Writer, group []types.Payment) {

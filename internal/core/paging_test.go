@@ -1,0 +1,306 @@
+package core
+
+import (
+	"path/filepath"
+	"reflect"
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+
+	"astro/internal/kv"
+	"astro/internal/transport"
+	"astro/internal/types"
+	"astro/internal/wal"
+)
+
+// pagedState builds a State paging against a fresh KV store in a temp
+// directory, with the given cache bound.
+func pagedState(t *testing.T, v Version, genesis func(types.ClientID) types.Amount, cache int) (*State, *kv.Store) {
+	t.Helper()
+	store, err := kv.Open(t.TempDir())
+	if err != nil {
+		t.Fatalf("kv open: %v", err)
+	}
+	t.Cleanup(func() { store.Close() })
+	return NewStatePaged(v, genesis, nil, DefaultStateStripes, store, cache), store
+}
+
+// equivalenceOps is a deterministic delivery sequence over nClients
+// accounts: every payment is funded (so settlement is immediate and the
+// final state is order-independent), spenders cycle the key space, and
+// beneficiaries hop a co-prime stride so credits land everywhere.
+func equivalenceOps(nClients, nOps int) []BatchEntry {
+	ops := make([]BatchEntry, 0, nOps)
+	seqs := make(map[types.ClientID]types.Seq)
+	for i := 0; i < nOps; i++ {
+		sp := types.ClientID(i%nClients + 1)
+		bn := types.ClientID((i*7+3)%nClients + 1)
+		if bn == sp {
+			bn = sp%types.ClientID(nClients) + 1
+		}
+		seqs[sp]++
+		ops = append(ops, BatchEntry{Payment: pay(sp, seqs[sp], bn, types.Amount(i%17+1))})
+	}
+	return ops
+}
+
+// TestPagedResidentEquivalence drives the identical delivery sequence
+// through a fully resident state and through paged states at generous and
+// starvation-level cache bounds. Every observable — counters, total
+// settled balance, the canonical account exports — must be identical:
+// paging is a memory-management policy, never a semantics change.
+func TestPagedResidentEquivalence(t *testing.T) {
+	eachVersion(t, func(t *testing.T, v Version) {
+		const nClients, nOps = 200, 2000
+		gen := func(types.ClientID) types.Amount { return 1 << 20 }
+		ops := equivalenceOps(nClients, nOps)
+
+		run := func(s *State) {
+			for _, e := range ops {
+				s.ApplyEntry(e)
+			}
+		}
+		want := NewState(v, gen, nil)
+		run(want)
+		wantAcc := want.ExportAccounts()
+		wantCnt := want.Counters()
+		wantTot := want.TotalSettledBalance()
+
+		for _, cache := range []int{64, 4} {
+			s, _ := pagedState(t, v, gen, cache)
+			run(s)
+			if got := s.Counters(); got != wantCnt {
+				t.Errorf("cache %d: counters %+v, want %+v", cache, got, wantCnt)
+			}
+			if got := s.TotalSettledBalance(); got != wantTot {
+				t.Errorf("cache %d: total %d, want %d", cache, got, wantTot)
+			}
+			if got := s.ExportAccounts(); !reflect.DeepEqual(got, wantAcc) {
+				t.Errorf("cache %d: account exports diverge from resident state", cache)
+			}
+			st := s.PagingStats()
+			if st.Evictions == 0 {
+				t.Errorf("cache %d: no evictions — cache bound not exercised", cache)
+			}
+			if st.Resident > cache+2*DefaultStateStripes {
+				t.Errorf("cache %d: %d accounts resident", cache, st.Resident)
+			}
+			if err := s.PagerErr(); err != nil {
+				t.Errorf("cache %d: pager error: %v", cache, err)
+			}
+		}
+	})
+}
+
+// TestPagedConcurrentEquivalence exercises the pager under the race
+// detector: goroutines with disjoint spender sets settle concurrently
+// against a starvation-level cache, so faults and evictions interleave
+// across stripes, then the result is compared to the resident state.
+func TestPagedConcurrentEquivalence(t *testing.T) {
+	const nClients, nOps, workers = 128, 1536, 8
+	gen := func(types.ClientID) types.Amount { return 1 << 20 }
+	ops := equivalenceOps(nClients, nOps)
+
+	want := NewState(AstroI, gen, nil)
+	for _, e := range ops {
+		want.ApplyEntry(e)
+	}
+
+	s, _ := pagedState(t, AstroI, gen, 8)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for _, e := range ops {
+				if int(e.Payment.Spender)%workers == w {
+					s.ApplyEntry(e)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	if got, wantTot := s.TotalSettledBalance(), want.TotalSettledBalance(); got != wantTot {
+		t.Errorf("total settled balance %d, want %d", got, wantTot)
+	}
+	if got := s.ExportAccounts(); !reflect.DeepEqual(got, want.ExportAccounts()) {
+		t.Error("concurrent paged exports diverge from resident state")
+	}
+	if err := s.PagerErr(); err != nil {
+		t.Errorf("pager error: %v", err)
+	}
+}
+
+// TestPagedPersistenceRoundTrip flushes a paged state to its store,
+// publishes, reopens the directory, and faults every account back into a
+// fresh state: balances, sequence numbers, and xlogs must survive.
+func TestPagedPersistenceRoundTrip(t *testing.T) {
+	eachVersion(t, func(t *testing.T, v Version) {
+		const nClients, nOps = 64, 500
+		gen := func(types.ClientID) types.Amount { return 1 << 20 }
+		dir := t.TempDir()
+		store, err := kv.Open(dir)
+		if err != nil {
+			t.Fatalf("kv open: %v", err)
+		}
+		s := NewStatePaged(v, gen, nil, DefaultStateStripes, store, 16)
+		for _, e := range equivalenceOps(nClients, nOps) {
+			s.ApplyEntry(e)
+		}
+		want := s.ExportAccounts()
+		if err := s.FlushDirty(); err != nil {
+			t.Fatalf("flush: %v", err)
+		}
+		if err := store.Publish(); err != nil {
+			t.Fatalf("publish: %v", err)
+		}
+		if err := store.Close(); err != nil {
+			t.Fatalf("close: %v", err)
+		}
+
+		store2, err := kv.Open(dir)
+		if err != nil {
+			t.Fatalf("kv reopen: %v", err)
+		}
+		defer store2.Close()
+		s2 := NewStatePaged(v, gen, nil, DefaultStateStripes, store2, 16)
+		if got := s2.ExportAccounts(); !reflect.DeepEqual(got, want) {
+			t.Error("exports after reopen diverge")
+		}
+		// Fault a few accounts onto the hot path and re-verify invariants.
+		for cl := types.ClientID(1); cl <= 8; cl++ {
+			if !s2.XLog(cl).Verify() {
+				t.Errorf("client %d: faulted xlog fails Verify", cl)
+			}
+		}
+		if st := s2.PagingStats(); st.Faults == 0 {
+			t.Error("no faults recorded on reopened state")
+		}
+	})
+}
+
+// pagedWalCluster builds a cluster whose replicas page their account
+// state against KV-backed WALs with a starvation-level cache, aggressive
+// snapshot cadence, and therefore constant eviction + incremental
+// manifest traffic.
+func pagedWalCluster(t *testing.T, version Version, n int, dir string, cache int) *cluster {
+	t.Helper()
+	return newCluster(t, version, n, genesis100, func(cfg *Config) {
+		be, err := wal.OpenKV(filepath.Join(dir, "rep"+strconv.Itoa(int(cfg.Self))))
+		if err != nil {
+			t.Fatalf("wal open: %v", err)
+		}
+		cfg.WAL = be
+		cfg.WALSnapshotEvery = 3
+		cfg.StateCacheAccounts = cache
+	})
+}
+
+// TestPagedReplicaCloseRecover is TestReplicaCloseRecover with paging on:
+// a clean shutdown writes an incremental manifest (dirty accounts + meta)
+// instead of a full image, and the restarted replica faults its accounts
+// back from the store.
+func TestPagedReplicaCloseRecover(t *testing.T) {
+	eachVersion(t, func(t *testing.T, v Version) {
+		dir := t.TempDir()
+		c := pagedWalCluster(t, v, 1, dir, 4)
+		alice := c.client(1)
+		for i := 0; i < 5; i++ {
+			c.payAndWait(alice, 2, 10)
+		}
+		c.waitSettledEverywhere(5, 5*time.Second)
+		deadline := time.Now().Add(5 * time.Second)
+		for c.replicas[0].Balance(2) != 150 {
+			if time.Now().After(deadline) {
+				t.Fatalf("client 2's credits never materialized: balance %d",
+					c.replicas[0].Balance(2))
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+
+		c.net.Crash(transport.ReplicaNode(0))
+		c.replicas[0].Close()
+
+		r := c.restart(0, dir, nil)
+		if bal := r.Balance(1); bal != 50 {
+			t.Errorf("balance(1) = %d, want 50", bal)
+		}
+		if bal := r.Balance(2); bal != 150 {
+			t.Errorf("balance(2) = %d, want 150", bal)
+		}
+		if log := r.XLogSnapshot(1); len(log) != 5 {
+			t.Errorf("xlog(1) = %d entries, want 5", len(log))
+		}
+		if seq := r.NextSeq(1); seq != 6 {
+			t.Errorf("nextSeq(1) = %d, want 6", seq)
+		}
+		if err := r.WALErr(); err != nil {
+			t.Errorf("wal error after recovery: %v", err)
+		}
+		if err := r.PagerErr(); err != nil {
+			t.Errorf("pager error after recovery: %v", err)
+		}
+
+		if _, err := alice.SyncSeq(2 * time.Second); err != nil {
+			t.Fatalf("sync seq: %v", err)
+		}
+		c.payAndWait(alice, 2, 10)
+		if bal := r.Balance(1); bal != 40 {
+			t.Errorf("balance(1) after restart payment = %d, want 40", bal)
+		}
+	})
+}
+
+// TestPagedReplicaKillRecover is the kill -9 conservation check with
+// paging on: the victim's synced cut (manifest + published accounts +
+// log tail) must rebuild a state that converges with the healthy peers,
+// including credit-certificate balances.
+func TestPagedReplicaKillRecover(t *testing.T) {
+	dir := t.TempDir()
+	c := pagedWalCluster(t, AstroII, 4, dir, 4)
+	all := []types.ClientID{1, 2, 3, 100}
+	victim := types.ReplicaID(3)
+	for i := 0; i < 4; i++ {
+		c.payAndWait(c.client(1), 100, 1)
+		c.payAndWait(c.client(2), 100, 1)
+	}
+	c.payAndWait(c.client(1), 3, 20)
+	c.payAndWait(c.client(1), 3, 20)
+	c.waitSettledEverywhere(10, 10*time.Second)
+
+	deadline := time.Now().Add(5 * time.Second)
+	for c.replicas[victim].Balance(3) != 140 {
+		if time.Now().After(deadline) {
+			t.Fatalf("victim never saw client 3's credits: balance %d",
+				c.replicas[victim].Balance(3))
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	c.replicas[victim].wal.Barrier()
+
+	c.net.Crash(transport.ReplicaNode(victim))
+	c.replicas[victim].Abandon()
+	for i := 0; i < 3; i++ {
+		c.payAndWait(c.clients[1], 100, 1)
+		c.payAndWait(c.clients[2], 100, 1)
+	}
+
+	r := c.restart(victim, dir, c.replicas[0])
+	waitXLogsMatch(t, c.replicas[0], r, all, 5*time.Second)
+	for _, cl := range all {
+		if want, got := c.replicas[0].state.Balance(cl), r.state.Balance(cl); want != got {
+			t.Errorf("client %d: settled balance %d, want %d", cl, got, want)
+		}
+	}
+	if got := r.Balance(3); got != 140 {
+		t.Errorf("client 3 spendable balance after recovery = %d, want 140", got)
+	}
+	if err := r.PagerErr(); err != nil {
+		t.Errorf("pager error after recovery: %v", err)
+	}
+	if cnt := r.Counters(); cnt.Conflicts != 0 {
+		t.Errorf("recovery produced %d conflicts", cnt.Conflicts)
+	}
+}

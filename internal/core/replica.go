@@ -9,6 +9,7 @@ import (
 
 	"astro/internal/brb"
 	"astro/internal/crypto/verifier"
+	"astro/internal/kv"
 	"astro/internal/sched"
 	"astro/internal/transport"
 	"astro/internal/types"
@@ -124,7 +125,11 @@ type Replica struct {
 	// replica durably reserved but has not yet self-delivered to its batch
 	// payload; nextBcastSlot is the highest slot ever reserved, mirroring
 	// (and, across restarts, seeding) the BRB layer's own sequence.
-	wal           *wal.Writer
+	wal *wal.Writer
+	// accountStore is the WAL backend's embedded KV store, when it has
+	// one (wal.KVBackend): the spill target for the bounded-residency
+	// account pager and the home of the incremental snapshot manifest.
+	accountStore  *kv.Store
 	bcastMu       sync.Mutex
 	pendingBcast  map[uint64][]byte
 	nextBcastSlot uint64
@@ -200,7 +205,17 @@ func NewReplica(cfg Config) (*Replica, error) {
 	// across the verifier pool — not by State under its locks (they used
 	// to verify memoized-but-serial there, lengthening every settlement
 	// critical section). State therefore trusts the deps it is handed.
-	r.state = NewStateStriped(cfg.Version, cfg.Genesis, nil, cfg.StateStripes)
+	//
+	// When the WAL backend embeds a KV store (wal.KVBackend) and a cache
+	// bound is configured, the state pages against that store: cold
+	// accounts spill as per-account records and fault back in on access.
+	if as, ok := cfg.WAL.(interface{ AccountStore() *kv.Store }); ok {
+		r.accountStore = as.AccountStore()
+	}
+	if cfg.StateCacheAccounts > 0 && r.accountStore == nil {
+		return nil, ErrConfigStateCache
+	}
+	r.state = NewStatePaged(cfg.Version, cfg.Genesis, nil, cfg.StateStripes, r.accountStore, cfg.StateCacheAccounts)
 
 	// Pin each settlement stripe to a lane-affine flow on the shared
 	// runtime: a stripe's settle tasks execute in FIFO order on one lane
@@ -312,7 +327,7 @@ func (r *Replica) Close() {
 		r.sendQ = append(r.sendQ, r.takeBatchesLocked()...)
 		r.repMu.Unlock()
 		r.drainBroadcasts()
-		r.wal.Snapshot(r.FullSnapshot)
+		r.wal.Snapshot(r.walSnapshotBuild)
 		r.wal.Close()
 	}
 	for _, fl := range r.stripeFlows {
@@ -1300,6 +1315,17 @@ func (r *Replica) onCredit(from transport.NodeID, payload []byte) {
 			}
 			r.creditSigner.Enqueue(creditJob{rep: peer, group: group})
 		}
+	case msgCreditRescan:
+		if r.creditSigner == nil {
+			return
+		}
+		if err := decodeCreditRescan(payload[1:]); err != nil {
+			return
+		}
+		// A restarted representative in *another* shard cannot enumerate
+		// the payments it is missing (it has no copy of this shard's
+		// xlogs); scan them on its behalf. See serveCreditRescan.
+		r.serveCreditRescan(peer)
 	}
 }
 

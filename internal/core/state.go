@@ -47,6 +47,16 @@ type account struct {
 	// never advance (paper Listing 9's early return). Only a Byzantine
 	// representative produces this.
 	stuck bool
+
+	// Paging fields (pager.go), meaningful only when the owning State is
+	// paged: client keys the account's KV record, dirty marks in-memory
+	// mutations the store has not seen, and lruPrev/lruNext thread the
+	// stripe's recency list (head = most recent). All guarded by the
+	// stripe's lock.
+	client  types.ClientID
+	dirty   bool
+	lruPrev *account
+	lruNext *account
 }
 
 // Counters summarizes a state's lifetime statistics.
@@ -70,22 +80,125 @@ type stateStripe struct {
 	mu       sync.Mutex
 	accounts map[types.ClientID]*account
 	counters Counters
+	// LRU recency list over the resident accounts, maintained only when
+	// the owning State is paged (head = most recently touched).
+	lruHead *account
+	lruTail *account
 }
 
-// account returns the stripe's account for c, materializing it with the
-// genesis balance on first touch. The stripe's lock must be held.
-func (st *stateStripe) account(c types.ClientID, genesis func(types.ClientID) types.Amount) *account {
+// account returns the stripe's account for c — resident, faulted in from
+// the paging store, or materialized with the genesis balance on first
+// touch. The stripe's lock must be held. Fresh genesis accounts are NOT
+// dirty: they re-materialize identically, so evicting one without a
+// write-back is free.
+func (st *stateStripe) account(c types.ClientID, s *State) *account {
 	a, ok := st.accounts[c]
-	if !ok {
-		a = &account{
-			balance:  genesis(c),
-			xlog:     NewXLog(c),
-			queue:    make(map[types.Seq]BatchEntry),
-			usedDeps: make(map[types.PaymentID]struct{}),
+	if ok {
+		if s.pager != nil {
+			st.lruTouch(a)
 		}
-		st.accounts[c] = a
+		return a
 	}
+	if p := s.pager; p != nil {
+		ex, found, err := p.load(c)
+		if err != nil {
+			// Fail-stop via the sticky pager error; the genesis account
+			// below keeps the engine runnable while PagerErr surfaces.
+			p.fail(err)
+		} else if found {
+			a = accountFromExport(ex)
+			st.insertAccount(c, a, s)
+			p.faults.Add(1)
+			return a
+		}
+	}
+	a = &account{
+		balance:  s.genesis(c),
+		xlog:     NewXLog(c),
+		queue:    make(map[types.Seq]BatchEntry),
+		usedDeps: make(map[types.PaymentID]struct{}),
+		client:   c,
+	}
+	st.insertAccount(c, a, s)
 	return a
+}
+
+// insertAccount adds a resident account and, when paged, evicts from the
+// cold end until the stripe is back under its residency bound. The
+// stripe's lock must be held.
+func (st *stateStripe) insertAccount(c types.ClientID, a *account, s *State) {
+	st.accounts[c] = a
+	p := s.pager
+	if p == nil {
+		return
+	}
+	st.lruPush(a)
+	for len(st.accounts) > p.perStripe {
+		victim := st.lruTail
+		// perStripe >= 2 keeps the two most-recently-touched accounts —
+		// the at-most-two pointers the Astro I transfer path holds —
+		// unevictable; the victim therefore is never a live pointer.
+		if victim == nil || victim == a || !st.evict(victim, s) {
+			break
+		}
+	}
+}
+
+// evict writes a dirty victim back to the store and drops it from the
+// stripe. On a write failure the account stays resident (losing it would
+// silently diverge state); the sticky pager error surfaces instead and
+// the cache runs over its bound. The stripe's lock must be held.
+func (st *stateStripe) evict(a *account, s *State) bool {
+	p := s.pager
+	if a.dirty {
+		if err := p.store.Put(accountKey(a.client), encodeAccountExport(exportLocked(a.client, a))); err != nil {
+			p.fail(err)
+			return false
+		}
+		a.dirty = false
+		p.writebacks.Add(1)
+	}
+	st.lruRemove(a)
+	delete(st.accounts, a.client)
+	p.evictions.Add(1)
+	return true
+}
+
+// lruPush links a to the recency head. The stripe's lock must be held.
+func (st *stateStripe) lruPush(a *account) {
+	a.lruPrev = nil
+	a.lruNext = st.lruHead
+	if st.lruHead != nil {
+		st.lruHead.lruPrev = a
+	}
+	st.lruHead = a
+	if st.lruTail == nil {
+		st.lruTail = a
+	}
+}
+
+// lruRemove unlinks a from the recency list. The stripe's lock must be held.
+func (st *stateStripe) lruRemove(a *account) {
+	if a.lruPrev != nil {
+		a.lruPrev.lruNext = a.lruNext
+	} else {
+		st.lruHead = a.lruNext
+	}
+	if a.lruNext != nil {
+		a.lruNext.lruPrev = a.lruPrev
+	} else {
+		st.lruTail = a.lruPrev
+	}
+	a.lruPrev, a.lruNext = nil, nil
+}
+
+// lruTouch moves a to the recency head. The stripe's lock must be held.
+func (st *stateStripe) lruTouch(a *account) {
+	if st.lruHead == a {
+		return
+	}
+	st.lruRemove(a)
+	st.lruPush(a)
 }
 
 // State is one replica's copy of the full system state (all xlogs of its
@@ -130,6 +243,11 @@ type State struct {
 	verifyDep func(Dependency) error // nil: accept (or Astro I, unused)
 	stripeOf  func(types.ClientID) types.ShardID
 	stripes   []*stateStripe
+	// pager, when non-nil, bounds the resident account set and spills
+	// cold accounts to an embedded KV store (pager.go). Nil — the
+	// default — keeps every account resident, exactly the pre-paging
+	// engine.
+	pager *statePager
 }
 
 // DefaultStateStripes is the stripe count used when none is configured:
@@ -203,7 +321,7 @@ func (s *State) Balance(c types.ClientID) types.Amount {
 	st := s.stripeFor(c)
 	st.mu.Lock()
 	defer st.mu.Unlock()
-	return st.account(c, s.genesis).balance
+	return st.account(c, s).balance
 }
 
 // NextSeq returns the sequence number the client's next settleable payment
@@ -212,7 +330,7 @@ func (s *State) NextSeq(c types.ClientID) types.Seq {
 	st := s.stripeFor(c)
 	st.mu.Lock()
 	defer st.mu.Unlock()
-	return types.Seq(st.account(c, s.genesis).xlog.Len() + 1)
+	return types.Seq(st.account(c, s).xlog.Len() + 1)
 }
 
 // SettledAt returns the payment settled under (c, seq), if any — the
@@ -221,7 +339,7 @@ func (s *State) SettledAt(c types.ClientID, seq types.Seq) (types.Payment, bool)
 	st := s.stripeFor(c)
 	st.mu.Lock()
 	defer st.mu.Unlock()
-	x := st.account(c, s.genesis).xlog
+	x := st.account(c, s).xlog
 	// Compare in the unsigned domain: seq comes off the wire, and a huge
 	// value converted to int first would wrap negative and index below
 	// the log.
@@ -236,17 +354,19 @@ func (s *State) XLogSnapshot(c types.ClientID) []types.Payment {
 	st := s.stripeFor(c)
 	st.mu.Lock()
 	defer st.mu.Unlock()
-	return st.account(c, s.genesis).xlog.Snapshot()
+	return st.account(c, s).xlog.Snapshot()
 }
 
 // XLog returns the client's exclusive log as a live reference. It is a
 // test/serial-use accessor: the caller must guarantee no concurrent
-// settlement; concurrent contexts use XLogSnapshot.
+// settlement; concurrent contexts use XLogSnapshot. With paging enabled
+// the reference is only valid until the next state operation (an
+// eviction detaches it); paged contexts use XLogSnapshot.
 func (s *State) XLog(c types.ClientID) *XLog {
 	st := s.stripeFor(c)
 	st.mu.Lock()
 	defer st.mu.Unlock()
-	return st.account(c, s.genesis).xlog
+	return st.account(c, s).xlog
 }
 
 // Counters returns lifetime statistics as one consistent snapshot: every
@@ -268,10 +388,11 @@ func (s *State) PendingCount(c types.ClientID) int {
 	st := s.stripeFor(c)
 	st.mu.Lock()
 	defer st.mu.Unlock()
-	return len(st.account(c, s.genesis).queue)
+	return len(st.account(c, s).queue)
 }
 
-// Clients returns all client identities with materialized accounts.
+// Clients returns all client identities with materialized accounts —
+// resident or, for a paged state, spilled to the store.
 func (s *State) Clients() []types.ClientID {
 	s.lockAll()
 	defer s.unlockAll()
@@ -281,11 +402,25 @@ func (s *State) Clients() []types.ClientID {
 			out = append(out, c)
 		}
 	}
+	if p := s.pager; p != nil {
+		err := p.store.ForEachKey(func(k []byte) error {
+			if c, ok := accountKeyClient(k); ok {
+				if _, resident := s.stripeFor(c).accounts[c]; !resident {
+					out = append(out, c)
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			p.fail(err)
+		}
+	}
 	return out
 }
 
 // Snapshot exports all xlogs — one consistent cut across every stripe —
-// for reconfiguration state transfer.
+// for reconfiguration state transfer. Cold accounts stream from the
+// store without entering the cache.
 func (s *State) Snapshot() map[types.ClientID][]types.Payment {
 	s.lockAll()
 	defer s.unlockAll()
@@ -295,13 +430,18 @@ func (s *State) Snapshot() map[types.ClientID][]types.Payment {
 			out[c] = a.xlog.Snapshot()
 		}
 	}
+	_ = s.forEachColdLocked(func(ex AccountExport) error {
+		out[ex.Client] = ex.XLog
+		return nil
+	})
 	return out
 }
 
 // TotalSettledBalance sums all account balances under every stripe lock —
 // used by conservation tests together with in-flight dependency
 // accounting. Because individual settlements are atomic under their
-// stripes' locks, the sum can never observe a torn transfer.
+// stripes' locks, the sum can never observe a torn transfer. Cold
+// accounts are read from the store without entering the cache.
 func (s *State) TotalSettledBalance() types.Amount {
 	s.lockAll()
 	defer s.unlockAll()
@@ -311,6 +451,10 @@ func (s *State) TotalSettledBalance() types.Amount {
 			sum += a.balance
 		}
 	}
+	_ = s.forEachColdLocked(func(ex AccountExport) error {
+		sum += ex.Balance
+		return nil
+	})
 	return sum
 }
 
@@ -327,43 +471,42 @@ type AccountExport struct {
 	UsedDeps []types.PaymentID // materialized dependency credits, sorted
 }
 
-// ExportAccounts captures every materialized account under all stripe
-// locks — one consistent cut, like Snapshot, so no export can observe a
-// half-applied transfer. Results are sorted by client for deterministic
-// encodings.
+// sortBatchEntries orders a queue export ascending by sequence number —
+// the canonical encoding order.
+func sortBatchEntries(entries []BatchEntry) {
+	slices.SortFunc(entries, func(x, y BatchEntry) int {
+		return int(x.Payment.Seq) - int(y.Payment.Seq)
+	})
+}
+
+// sortPaymentIDs orders a used-deps export by (spender, seq) — the
+// canonical encoding order.
+func sortPaymentIDs(ids []types.PaymentID) {
+	slices.SortFunc(ids, func(x, y types.PaymentID) int {
+		if x.Spender != y.Spender {
+			if x.Spender < y.Spender {
+				return -1
+			}
+			return 1
+		}
+		return int(x.Seq) - int(y.Seq)
+	})
+}
+
+// ExportAccounts captures every materialized account — resident and, for
+// a paged state, spilled — under all stripe locks: one consistent cut,
+// like Snapshot, so no export can observe a half-applied transfer.
+// Results are sorted by client for deterministic encodings. Audit and
+// transfer paths that do not need the whole slice at once should prefer
+// the streaming ForEachAccount.
 func (s *State) ExportAccounts() []AccountExport {
 	s.lockAll()
 	defer s.unlockAll()
 	var out []AccountExport
-	for _, st := range s.stripes {
-		for c, a := range st.accounts {
-			ex := AccountExport{
-				Client:  c,
-				Balance: a.balance,
-				Stuck:   a.stuck,
-				XLog:    a.xlog.Snapshot(),
-			}
-			for _, e := range a.queue {
-				ex.Queue = append(ex.Queue, e)
-			}
-			slices.SortFunc(ex.Queue, func(x, y BatchEntry) int {
-				return int(x.Payment.Seq) - int(y.Payment.Seq)
-			})
-			for id := range a.usedDeps {
-				ex.UsedDeps = append(ex.UsedDeps, id)
-			}
-			slices.SortFunc(ex.UsedDeps, func(x, y types.PaymentID) int {
-				if x.Spender != y.Spender {
-					if x.Spender < y.Spender {
-						return -1
-					}
-					return 1
-				}
-				return int(x.Seq) - int(y.Seq)
-			})
-			out = append(out, ex)
-		}
-	}
+	_ = s.forEachAccountLocked(func(ex AccountExport) error {
+		out = append(out, ex)
+		return nil
+	})
 	slices.SortFunc(out, func(x, y AccountExport) int {
 		if x.Client < y.Client {
 			return -1
@@ -383,23 +526,15 @@ func (s *State) ImportAccount(ex AccountExport) {
 	st := s.stripeFor(ex.Client)
 	st.mu.Lock()
 	defer st.mu.Unlock()
-	a := &account{
-		balance:  ex.Balance,
-		xlog:     NewXLog(ex.Client),
-		queue:    make(map[types.Seq]BatchEntry, len(ex.Queue)),
-		usedDeps: make(map[types.PaymentID]struct{}, len(ex.UsedDeps)),
-		stuck:    ex.Stuck,
+	a := accountFromExport(ex)
+	// Replacing an image the store has not seen: dirty, so an eviction or
+	// the next incremental snapshot writes it back.
+	a.dirty = true
+	if old, ok := st.accounts[ex.Client]; ok && s.pager != nil {
+		st.lruRemove(old)
 	}
-	for _, p := range ex.XLog {
-		a.xlog.Append(p)
-	}
-	for _, e := range ex.Queue {
-		a.queue[e.Payment.Seq] = e
-	}
-	for _, id := range ex.UsedDeps {
-		a.usedDeps[id] = struct{}{}
-	}
-	st.accounts[ex.Client] = a
+	delete(st.accounts, ex.Client)
+	st.insertAccount(ex.Client, a, s)
 }
 
 // XLogLen returns the client's settled-log length without materializing a
@@ -408,9 +543,23 @@ func (s *State) ImportAccount(ex AccountExport) {
 func (s *State) XLogLen(c types.ClientID) int {
 	st := s.stripeFor(c)
 	st.mu.Lock()
-	defer st.mu.Unlock()
 	if a, ok := st.accounts[c]; ok {
-		return a.xlog.Len()
+		n := a.xlog.Len()
+		st.mu.Unlock()
+		return n
+	}
+	st.mu.Unlock()
+	// Cold account: read the spilled record without caching it (this is
+	// a comparison path, not an access).
+	if p := s.pager; p != nil {
+		ex, ok, err := p.load(c)
+		if err != nil {
+			p.fail(err)
+			return 0
+		}
+		if ok {
+			return len(ex.XLog)
+		}
 	}
 	return 0
 }
@@ -422,13 +571,23 @@ func (s *State) XLogLen(c types.ClientID) int {
 func (s *State) DepUsed(c types.ClientID, id types.PaymentID) bool {
 	st := s.stripeFor(c)
 	st.mu.Lock()
-	defer st.mu.Unlock()
-	a, ok := st.accounts[c]
-	if !ok {
-		return false
+	if a, ok := st.accounts[c]; ok {
+		_, used := a.usedDeps[id]
+		st.mu.Unlock()
+		return used
 	}
-	_, used := a.usedDeps[id]
-	return used
+	st.mu.Unlock()
+	if p := s.pager; p != nil {
+		ex, ok, err := p.load(c)
+		if err != nil {
+			p.fail(err)
+			return false
+		}
+		if ok {
+			return slices.Contains(ex.UsedDeps, id)
+		}
+	}
+	return false
 }
 
 // ApplyReplay feeds one logged batch entry back into the engine during
@@ -441,13 +600,14 @@ func (s *State) ApplyReplay(e BatchEntry) []types.Payment {
 	spender := e.Payment.Spender
 	st := s.stripeFor(spender)
 	st.mu.Lock()
-	acct := st.account(spender, s.genesis)
+	acct := st.account(spender, s)
 	if acct.stuck || e.Payment.Seq < types.Seq(acct.xlog.Len()+1) {
 		st.mu.Unlock()
 		return nil // already settled (or unsettleable); snapshot covers it
 	}
 	if _, dup := acct.queue[e.Payment.Seq]; !dup {
 		acct.queue[e.Payment.Seq] = e
+		acct.dirty = true
 	}
 	st.mu.Unlock()
 	return s.drain(spender)
@@ -464,7 +624,7 @@ func (s *State) ApplyEntry(e BatchEntry) []types.Payment {
 	spender := e.Payment.Spender
 	st := s.stripeFor(spender)
 	st.mu.Lock()
-	acct := st.account(spender, s.genesis)
+	acct := st.account(spender, s)
 	switch {
 	case acct.stuck:
 		st.counters.Dropped++
@@ -483,6 +643,7 @@ func (s *State) ApplyEntry(e BatchEntry) []types.Payment {
 			st.counters.Dropped++
 		} else {
 			acct.queue[e.Payment.Seq] = e
+			acct.dirty = true
 			st.mu.Unlock()
 			return s.drain(spender)
 		}
@@ -524,7 +685,7 @@ func (s *State) drainAstroII(c types.ClientID) []types.Payment {
 	st := s.stripeFor(c)
 	st.mu.Lock()
 	defer st.mu.Unlock()
-	acct := st.account(c, s.genesis)
+	acct := st.account(c, s)
 	var settled []types.Payment
 	for !acct.stuck {
 		next := types.Seq(acct.xlog.Len() + 1)
@@ -532,6 +693,9 @@ func (s *State) drainAstroII(c types.ClientID) []types.Payment {
 		if !ok {
 			break
 		}
+		// Every path from here mutates the account (credits, the stuck
+		// mark, or the settlement itself).
+		acct.dirty = true
 		s.creditDependencies(c, acct, e.Deps)
 		if acct.balance < e.Payment.Amount {
 			// Listing 9 early return: the payment never settles and the
@@ -563,7 +727,7 @@ func (s *State) settleHeadAstroI(cur types.ClientID) (types.Payment, bool) {
 	st := s.stripes[si]
 	for {
 		st.mu.Lock()
-		acct := st.account(cur, s.genesis)
+		acct := st.account(cur, s)
 		if acct.stuck {
 			st.mu.Unlock()
 			return types.Payment{}, false
@@ -581,7 +745,7 @@ func (s *State) settleHeadAstroI(cur types.ClientID) (types.Payment, bool) {
 		if sj == si {
 			bacct := acct
 			if ben != cur {
-				bacct = st.account(ben, s.genesis)
+				bacct = st.account(ben, s)
 			}
 			settleTransfer(st, acct, bacct, e, next)
 			st.mu.Unlock()
@@ -590,7 +754,7 @@ func (s *State) settleHeadAstroI(cur types.ClientID) (types.Payment, bool) {
 		if sj > si {
 			bst := s.stripes[sj]
 			bst.mu.Lock()
-			settleTransfer(st, acct, bst.account(ben, s.genesis), e, next)
+			settleTransfer(st, acct, bst.account(ben, s), e, next)
 			bst.mu.Unlock()
 			st.mu.Unlock()
 			return e.Payment, true
@@ -603,11 +767,11 @@ func (s *State) settleHeadAstroI(cur types.ClientID) (types.Payment, bool) {
 		bst := s.stripes[sj]
 		bst.mu.Lock()
 		st.mu.Lock()
-		acct = st.account(cur, s.genesis)
+		acct = st.account(cur, s)
 		next = types.Seq(acct.xlog.Len() + 1)
 		e, ok = acct.queue[next]
 		if ok && !acct.stuck && acct.balance >= e.Payment.Amount && int(s.stripeOf(e.Payment.Beneficiary)) == sj {
-			settleTransfer(st, acct, bst.account(e.Payment.Beneficiary, s.genesis), e, next)
+			settleTransfer(st, acct, bst.account(e.Payment.Beneficiary, s), e, next)
 			bst.mu.Unlock()
 			st.mu.Unlock()
 			return e.Payment, true
@@ -628,6 +792,8 @@ func settleTransfer(st *stateStripe, acct, bacct *account, e BatchEntry, next ty
 	bacct.balance += e.Payment.Amount
 	delete(acct.queue, next)
 	acct.xlog.Append(e.Payment)
+	acct.dirty = true
+	bacct.dirty = true
 	st.counters.Settled++
 }
 

@@ -1,0 +1,64 @@
+// Package kv is a dependency-free embedded key-value store: the paging
+// backend beneath core.State's bounded hot-account cache and the
+// incremental-snapshot side of the durable replica state (PR 10). It
+// stores byte values under byte keys in one CRC-framed page file with an
+// in-memory hash index, batched fsync, and free-page reuse — nothing the
+// standard library does not provide.
+//
+// # On-disk layout
+//
+// A Store is a directory with two files:
+//
+//   - kv.data — the page file: an array of fixed-size pages (PageSize).
+//     Every record occupies one contiguous span of pages and is framed
+//     [magic][lsn][keyLen][valLen][crc32c(key‖value)][key][value]; a
+//     record is valid only if its CRC matches, so a torn write (power cut
+//     mid-span) yields an invalid span, never wrong data.
+//   - kv.index — the published index: the key→span map, the free-span
+//     list, and the high-water LSN as of one publish instant, written
+//     whole with its own trailing CRC.
+//
+// # Durability discipline (what is fsynced when)
+//
+// Writes follow the same discipline as internal/wal:
+//
+//   - Put/Delete write their record's span with pwrite immediately but do
+//     NOT fsync: durability comes from the next Sync (one fsync covers
+//     every record written since the last — batched exactly like the WAL's
+//     tail-sync), or from the next Publish.
+//   - Publish is the atomic checkpoint: fsync kv.data, write the index
+//     image to kv.index.tmp, fsync it, rename over kv.index, fsync the
+//     directory — write-temp → fsync → atomic publish, the rename being
+//     the commit point. A crash anywhere before the rename leaves the
+//     previous index intact.
+//
+// Recovery (Open) loads the published index, then scans only the pages
+// that were free at publish time plus whatever grew past the published
+// file size — the only places a post-publish write can live (see below) —
+// applying any valid record whose LSN exceeds the published high-water
+// mark. Open therefore costs O(index + post-publish writes), not O(file),
+// and ends by publishing a fresh index so the next open starts clean. A
+// missing or corrupt index degrades to a full-file scan in which the
+// highest LSN per key wins; CRCs make torn spans invisible either way.
+//
+// # Free-page reuse and the epoch invariant
+//
+// Records are never overwritten in place: a Put allocates a fresh span
+// (first-fit from the free list, else file growth), and the old span is
+// only *pending* free. Pending spans are promoted to the allocatable free
+// list at the next Publish. This maintains the invariant recovery depends
+// on: every write since the last publish sits either in a span the
+// published index lists as free or beyond the published file length, so
+// the published index plus that bounded scan region is always a complete
+// description of the store. Deletes write a tombstone record (same LSN
+// ordering) whose span is reclaimed at the publish that drops the key.
+//
+// # Locking discipline
+//
+// One mutex guards the whole store — index map, free lists, and file I/O.
+// Store methods never call out while holding it, so callers may invoke
+// the store under their own locks (core's state stripes do, on the
+// fault/evict path). ForEach invokes its callback with the mutex held and
+// transient buffers; the callback must not call back into the store nor
+// retain the slices.
+package kv

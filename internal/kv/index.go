@@ -1,0 +1,178 @@
+package kv
+
+import (
+	"bytes"
+	"slices"
+	"sort"
+)
+
+// maxSpanPages bounds a single record's span: the largest legal record
+// (header + MaxKey + MaxValue) rounded up to whole pages. Index images or
+// recovery scans claiming more are structurally corrupt.
+const maxSpanPages = (recHeader + MaxKey + MaxValue + PageSize - 1) / PageSize
+
+// flatEnt is one entry of the flat index form: 24 bytes, no padding.
+// pages fits uint16 because maxSpanPages does; keyOff/keyLen address the
+// shared key buffer (MaxKey fits uint16).
+type flatEnt struct {
+	off    uint64
+	lsn    uint64
+	keyOff uint32
+	keyLen uint16
+	pages  uint16
+}
+
+// memIndex is the in-memory key index: an immutable sorted flat bulk —
+// every key concatenated into one backing buffer, one fixed-size entry
+// each — plus a small map overlay for keys touched since the bulk was
+// built. The flat form costs ~24 bytes + key length per entry where a
+// map[string]rec costs >100, and with millions of paged-out accounts the
+// index IS the store's memory footprint, so the bulk must stay flat.
+// Publish compacts the overlay back into the bulk (rebuild), which keeps
+// steady-state memory at the flat rate and the overlay proportional to
+// the write set between publishes.
+//
+// An overlay entry with pages == 0 masks a deleted bulk key (no live
+// record occupies zero pages); live tracks the net count.
+type memIndex struct {
+	keys []byte
+	ents []flatEnt
+	over map[string]rec
+	live int
+}
+
+func newMemIndex() *memIndex {
+	return &memIndex{over: make(map[string]rec)}
+}
+
+func (ix *memIndex) flatKey(i int) []byte {
+	e := &ix.ents[i]
+	return ix.keys[e.keyOff : e.keyOff+uint32(e.keyLen)]
+}
+
+func (ix *memIndex) flatRec(i int) rec {
+	e := &ix.ents[i]
+	return rec{span{e.off, uint64(e.pages)}, e.lsn}
+}
+
+func (ix *memIndex) searchFlat(key []byte) (int, bool) {
+	i := sort.Search(len(ix.ents), func(i int) bool {
+		return bytes.Compare(ix.flatKey(i), key) >= 0
+	})
+	return i, i < len(ix.ents) && bytes.Equal(ix.flatKey(i), key)
+}
+
+func (ix *memIndex) get(key []byte) (rec, bool) {
+	if r, ok := ix.over[string(key)]; ok {
+		if r.pages == 0 {
+			return rec{}, false
+		}
+		return r, true
+	}
+	if i, ok := ix.searchFlat(key); ok {
+		return ix.flatRec(i), true
+	}
+	return rec{}, false
+}
+
+// put records key → r and returns the previous record, if any.
+func (ix *memIndex) put(key []byte, r rec) (rec, bool) {
+	prev, had := ix.get(key)
+	ix.over[string(key)] = r
+	if !had {
+		ix.live++
+	}
+	ix.maybeCompact()
+	return prev, had
+}
+
+// del removes key and returns the record it held, if any.
+func (ix *memIndex) del(key []byte) (rec, bool) {
+	prev, had := ix.get(key)
+	if !had {
+		return rec{}, false
+	}
+	ix.live--
+	if _, inFlat := ix.searchFlat(key); inFlat {
+		ix.over[string(key)] = rec{} // mask the bulk entry
+	} else {
+		delete(ix.over, string(key))
+	}
+	ix.maybeCompact()
+	return prev, true
+}
+
+// maybeCompact folds the overlay into the bulk once it outgrows an
+// eighth of the live set: without this, a write burst between publishes
+// would balloon the overlay into exactly the per-key map the flat bulk
+// exists to avoid. The O(live) rebuild amortizes to O(1) per write.
+func (ix *memIndex) maybeCompact() {
+	if n := len(ix.over); n >= 1024 && n >= ix.live/8 {
+		ix.rebuild()
+	}
+}
+
+func (ix *memIndex) len() int { return ix.live }
+
+// forEachSorted merge-walks the bulk and the overlay in ascending key
+// order, overlay winning on equal keys and masks suppressing their bulk
+// entries. Callbacks must not retain the key slice.
+func (ix *memIndex) forEachSorted(fn func(key []byte, r rec) error) error {
+	ov := make([]string, 0, len(ix.over))
+	for k := range ix.over {
+		ov = append(ov, k)
+	}
+	slices.Sort(ov)
+	i, j := 0, 0
+	for i < len(ix.ents) || j < len(ov) {
+		var cmp int
+		switch {
+		case i == len(ix.ents):
+			cmp = 1
+		case j == len(ov):
+			cmp = -1
+		default:
+			cmp = bytes.Compare(ix.flatKey(i), []byte(ov[j]))
+		}
+		if cmp < 0 {
+			if err := fn(ix.flatKey(i), ix.flatRec(i)); err != nil {
+				return err
+			}
+			i++
+			continue
+		}
+		if r := ix.over[ov[j]]; r.pages != 0 {
+			if err := fn([]byte(ov[j]), r); err != nil {
+				return err
+			}
+		}
+		if cmp == 0 {
+			i++
+		}
+		j++
+	}
+	return nil
+}
+
+// rebuild compacts the overlay into a fresh flat bulk and empties it.
+// O(live); runs at publish, so between publishes memory grows only by
+// the overlay.
+func (ix *memIndex) rebuild() {
+	if len(ix.over) == 0 {
+		return
+	}
+	keys := make([]byte, 0, len(ix.keys))
+	ents := make([]flatEnt, 0, ix.live)
+	ix.forEachSorted(func(k []byte, r rec) error {
+		ents = append(ents, flatEnt{
+			off:    r.off,
+			lsn:    r.lsn,
+			keyOff: uint32(len(keys)),
+			keyLen: uint16(len(k)),
+			pages:  uint16(r.pages),
+		})
+		keys = append(keys, k...)
+		return nil
+	})
+	ix.keys, ix.ents, ix.over = keys, ents, make(map[string]rec)
+}

@@ -1,0 +1,813 @@
+package kv
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"slices"
+	"sync"
+)
+
+// PageSize is the allocation unit of the page file. Records occupy whole
+// contiguous spans of pages; the tail of a span is zero padding. 512 keeps
+// per-account overhead small (a fresh account image is a few dozen bytes)
+// while bounding the page-walk cost of recovery scans.
+const PageSize = 512
+
+// Size bounds, mirroring the wire/wal caps: no component of this
+// repository produces larger units, and the bounds keep corrupt length
+// fields from provoking giant allocations during recovery.
+const (
+	MaxKey   = 1 << 10
+	MaxValue = 16 << 20
+)
+
+// ErrClosed is returned by store operations after Close or Abort.
+var ErrClosed = errors.New("kv: store closed")
+
+// File names inside a Store's directory.
+const (
+	dataName  = "kv.data"
+	indexName = "kv.index"
+)
+
+// Record framing within a span (see doc.go): magic, LSN, key length,
+// value length (tombMark for a tombstone), CRC32-Castagnoli over
+// key‖value, then key and value bytes.
+const (
+	recMagic  = 0x414B5631 // "AKV1"
+	recHeader = 4 + 8 + 4 + 4 + 4
+	tombMark  = ^uint32(0)
+)
+
+// Index file framing: magic, version, then the image with a trailing CRC
+// over everything before it.
+const (
+	idxMagic   = 0x414B5649 // "AKVI"
+	idxVersion = 1
+)
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// span is a contiguous run of pages.
+type span struct {
+	off   uint64 // first page
+	pages uint64
+}
+
+// rec locates one live record: its span and the LSN it was written under.
+type rec struct {
+	span
+	lsn uint64
+}
+
+// Stats counts store activity since Open; the paging RUNBOOK section
+// explains how to read them.
+type Stats struct {
+	Puts      uint64
+	Gets      uint64
+	Deletes   uint64
+	Syncs     uint64
+	Publishes uint64
+	// LiveKeys/FilePages/FreePages describe the current layout.
+	LiveKeys  uint64
+	FilePages uint64
+	FreePages uint64
+}
+
+// Store is the embedded KV store. Safe for concurrent use; one internal
+// mutex serializes everything (see doc.go for the locking discipline).
+type Store struct {
+	mu   sync.Mutex
+	dir  string
+	data *os.File
+
+	index       *memIndex
+	free        []span         // allocatable, sorted by off, coalesced
+	pendingFree []span         // freed since the last publish; reusable after it
+	dead        map[string]rec // tombstones written since the last publish
+
+	filePages uint64 // allocation high-water mark, in pages
+	nextLSN   uint64
+	unsynced  bool
+	closed    bool
+	err       error
+
+	puts, gets, deletes, syncs, publishes uint64
+}
+
+// Open creates or recovers a store in dir: load the published index, scan
+// the publish-time free spans and any file growth for post-publish
+// records (highest LSN per key wins, tombstones delete), then publish a
+// fresh index so the next open starts from a clean epoch. A missing or
+// unreadable index degrades to a full-file scan.
+func Open(dir string) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("kv: %w", err)
+	}
+	f, err := os.OpenFile(filepath.Join(dir, dataName), os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("kv: %w", err)
+	}
+	s := &Store{dir: dir, data: f, index: newMemIndex(), dead: make(map[string]rec), nextLSN: 1}
+
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("kv: %w", err)
+	}
+	actualPages := uint64(st.Size()) / PageSize
+
+	var scan []span
+	var minLSN uint64
+	if img, ok := readIndexFile(filepath.Join(dir, indexName)); ok {
+		s.index = img.index
+		// Drop entries the data file no longer covers (truncated outside
+		// our control): the flat bulk is immutable, so mask them.
+		var drop [][]byte
+		for i := range s.index.ents {
+			if e := &s.index.ents[i]; e.off+uint64(e.pages) > actualPages {
+				drop = append(drop, slices.Clone(s.index.flatKey(i)))
+			}
+		}
+		for _, k := range drop {
+			s.index.del(k)
+		}
+		minLSN = img.maxLSN
+		s.nextLSN = img.maxLSN + 1
+		// Post-publish writes live only in publish-time free spans or past
+		// the published file length — the epoch invariant (doc.go).
+		for _, sp := range img.free {
+			if sp.off < actualPages {
+				if sp.off+sp.pages > actualPages {
+					sp.pages = actualPages - sp.off
+				}
+				scan = append(scan, sp)
+			}
+		}
+		if img.filePages < actualPages {
+			scan = append(scan, span{img.filePages, actualPages - img.filePages})
+		}
+	} else {
+		scan = []span{{0, actualPages}}
+	}
+	s.recoverScan(scan, minLSN)
+	s.filePages = actualPages
+	s.rebuildFree()
+	if err := s.publishLocked(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return s, nil
+}
+
+// Dir returns the store's directory.
+func (s *Store) Dir() string { return s.dir }
+
+// recoverScan walks the given page regions for valid records with
+// LSN > minLSN, applying the highest LSN per key. Invalid pages (torn
+// writes, pre-publish leftovers) are skipped page by page.
+func (s *Store) recoverScan(regions []span, minLSN uint64) {
+	maxSeen := s.nextLSN - 1
+	head := make([]byte, PageSize)
+	for _, rg := range regions {
+		p := rg.off
+		end := rg.off + rg.pages
+		for p < end {
+			if _, err := s.data.ReadAt(head, int64(p*PageSize)); err != nil {
+				break
+			}
+			key, _, lsn, tomb, npages, ok := peekRecord(head)
+			if !ok || lsn <= minLSN || p+npages > end {
+				p++
+				continue
+			}
+			var full []byte
+			if npages == 1 {
+				full = head
+			} else {
+				full = make([]byte, npages*PageSize)
+				if _, err := s.data.ReadAt(full, int64(p*PageSize)); err != nil {
+					p++
+					continue
+				}
+			}
+			key, _, lsn, tomb, npages, ok = decodeRecord(full)
+			if !ok {
+				p++
+				continue
+			}
+			if lsn > maxSeen {
+				maxSeen = lsn
+			}
+			if cur, exists := s.index.get(key); !exists || lsn > cur.lsn {
+				if tomb {
+					s.index.del(key)
+				} else {
+					s.index.put(key, rec{span{p, npages}, lsn})
+				}
+			}
+			p += npages
+		}
+	}
+	s.nextLSN = maxSeen + 1
+}
+
+// rebuildFree recomputes the free list as the complement of the live
+// spans — recovery's self-healing step (leaked spans from crashed
+// incarnations return to the pool).
+func (s *Store) rebuildFree() {
+	live := make([]span, 0, s.index.len())
+	s.index.forEachSorted(func(_ []byte, r rec) error {
+		live = append(live, r.span)
+		return nil
+	})
+	slices.SortFunc(live, func(a, b span) int {
+		switch {
+		case a.off < b.off:
+			return -1
+		case a.off > b.off:
+			return 1
+		}
+		return 0
+	})
+	s.free = s.free[:0]
+	var at uint64
+	for _, sp := range live {
+		if sp.off > at {
+			s.free = append(s.free, span{at, sp.off - at})
+		}
+		if sp.off+sp.pages > at {
+			at = sp.off + sp.pages
+		}
+	}
+	if at < s.filePages {
+		s.free = append(s.free, span{at, s.filePages - at})
+	}
+	s.pendingFree = s.pendingFree[:0]
+	s.dead = make(map[string]rec)
+}
+
+// peekRecord parses a record header from the first page of a candidate
+// span, returning the key (if it fits entirely in buf), the LSN, whether
+// it is a tombstone, and the span's page count. The CRC is NOT verified —
+// decodeRecord on the full span does that.
+func peekRecord(buf []byte) (key, val []byte, lsn uint64, tomb bool, npages uint64, ok bool) {
+	if len(buf) < recHeader {
+		return nil, nil, 0, false, 0, false
+	}
+	if binary.BigEndian.Uint32(buf[0:4]) != recMagic {
+		return nil, nil, 0, false, 0, false
+	}
+	lsn = binary.BigEndian.Uint64(buf[4:12])
+	keyLen := binary.BigEndian.Uint32(buf[12:16])
+	valLen := binary.BigEndian.Uint32(buf[16:20])
+	tomb = valLen == tombMark
+	vl := uint64(0)
+	if !tomb {
+		vl = uint64(valLen)
+	}
+	if keyLen == 0 || keyLen > MaxKey || (!tomb && valLen > MaxValue) || lsn == 0 {
+		return nil, nil, 0, false, 0, false
+	}
+	total := uint64(recHeader) + uint64(keyLen) + vl
+	npages = (total + PageSize - 1) / PageSize
+	return nil, nil, lsn, tomb, npages, true
+}
+
+// decodeRecord parses and CRC-verifies one record from the start of buf
+// (a full span, possibly with padding). It returns views into buf.
+func decodeRecord(buf []byte) (key, val []byte, lsn uint64, tomb bool, npages uint64, ok bool) {
+	_, _, lsn, tomb, npages, ok = peekRecord(buf)
+	if !ok {
+		return nil, nil, 0, false, 0, false
+	}
+	keyLen := binary.BigEndian.Uint32(buf[12:16])
+	valLen := binary.BigEndian.Uint32(buf[16:20])
+	vl := uint64(0)
+	if !tomb {
+		vl = uint64(valLen)
+	}
+	total := uint64(recHeader) + uint64(keyLen) + vl
+	if uint64(len(buf)) < total {
+		return nil, nil, 0, false, 0, false
+	}
+	body := buf[recHeader:total]
+	if crc32.Checksum(body, crcTable) != binary.BigEndian.Uint32(buf[20:24]) {
+		return nil, nil, 0, false, 0, false
+	}
+	key = body[:keyLen]
+	if !tomb {
+		val = body[keyLen:]
+	}
+	return key, val, lsn, tomb, npages, true
+}
+
+// encodeRecord frames a record into a whole number of zero-padded pages.
+func encodeRecord(key, val []byte, lsn uint64, tomb bool) []byte {
+	vl := len(val)
+	valLen := uint32(vl)
+	if tomb {
+		valLen = tombMark
+		vl = 0
+	}
+	total := recHeader + len(key) + vl
+	npages := (total + PageSize - 1) / PageSize
+	buf := make([]byte, npages*PageSize)
+	binary.BigEndian.PutUint32(buf[0:4], recMagic)
+	binary.BigEndian.PutUint64(buf[4:12], lsn)
+	binary.BigEndian.PutUint32(buf[12:16], uint32(len(key)))
+	binary.BigEndian.PutUint32(buf[16:20], valLen)
+	copy(buf[recHeader:], key)
+	if !tomb {
+		copy(buf[recHeader+len(key):], val)
+	}
+	binary.BigEndian.PutUint32(buf[20:24], crc32.Checksum(buf[recHeader:total], crcTable))
+	return buf
+}
+
+// alloc reserves a span of n pages: first fit from the free list, else
+// file growth. Spans freed since the last publish are not eligible (the
+// epoch invariant, doc.go).
+func (s *Store) alloc(n uint64) span {
+	for i, sp := range s.free {
+		if sp.pages >= n {
+			out := span{sp.off, n}
+			if sp.pages == n {
+				s.free = slices.Delete(s.free, i, i+1)
+			} else {
+				s.free[i] = span{sp.off + n, sp.pages - n}
+			}
+			return out
+		}
+	}
+	out := span{s.filePages, n}
+	s.filePages += n
+	return out
+}
+
+// Put stores val under key, taking effect immediately for readers;
+// durability comes with the next Sync or Publish.
+func (s *Store) Put(key, val []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.usableLocked(); err != nil {
+		return err
+	}
+	if len(key) == 0 || len(key) > MaxKey {
+		return fmt.Errorf("kv: key of %d bytes outside [1,%d]", len(key), MaxKey)
+	}
+	if len(val) > MaxValue {
+		return fmt.Errorf("kv: value of %d bytes exceeds MaxValue (%d)", len(val), MaxValue)
+	}
+	lsn := s.nextLSN
+	s.nextLSN++
+	buf := encodeRecord(key, val, lsn, false)
+	sp := s.alloc(uint64(len(buf)) / PageSize)
+	if _, err := s.data.WriteAt(buf, int64(sp.off*PageSize)); err != nil {
+		return s.fail(err)
+	}
+	s.unsynced = true
+	if old, ok := s.index.put(key, rec{sp, lsn}); ok {
+		s.pendingFree = append(s.pendingFree, old.span)
+	} else if d, ok := s.dead[string(key)]; ok {
+		// Re-created after a delete: the tombstone is superseded by LSN
+		// order, so its span can queue for reuse too.
+		s.pendingFree = append(s.pendingFree, d.span)
+		delete(s.dead, string(key))
+	}
+	s.puts++
+	return nil
+}
+
+// Get returns the value stored under key (a fresh copy), or ok=false if
+// the key is absent. A read that fails to verify against the index — torn
+// media under a published index — is an I/O error, not a miss.
+func (s *Store) Get(key []byte) ([]byte, bool, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.usableLocked(); err != nil {
+		return nil, false, err
+	}
+	r, ok := s.index.get(key)
+	if !ok {
+		return nil, false, nil
+	}
+	val, err := s.readLocked(key, r)
+	if err != nil {
+		return nil, false, err
+	}
+	s.gets++
+	return val, true, nil
+}
+
+func (s *Store) readLocked(key []byte, r rec) ([]byte, error) {
+	buf := make([]byte, r.pages*PageSize)
+	if _, err := s.data.ReadAt(buf, int64(r.off*PageSize)); err != nil {
+		return nil, s.fail(err)
+	}
+	k, val, lsn, tomb, _, ok := decodeRecord(buf)
+	if !ok || tomb || lsn != r.lsn || string(k) != string(key) {
+		return nil, s.fail(fmt.Errorf("record for %q at page %d fails verification", key, r.off))
+	}
+	return slices.Clone(val), nil
+}
+
+// Delete removes key, writing a tombstone so the removal survives
+// recovery. Deleting an absent key is a no-op.
+func (s *Store) Delete(key []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.usableLocked(); err != nil {
+		return err
+	}
+	ks := string(key)
+	old, ok := s.index.get(key)
+	if !ok {
+		return nil
+	}
+	lsn := s.nextLSN
+	s.nextLSN++
+	buf := encodeRecord(key, nil, lsn, true)
+	sp := s.alloc(uint64(len(buf)) / PageSize)
+	if _, err := s.data.WriteAt(buf, int64(sp.off*PageSize)); err != nil {
+		return s.fail(err)
+	}
+	s.unsynced = true
+	s.index.del(key)
+	s.pendingFree = append(s.pendingFree, old.span)
+	if d, ok := s.dead[ks]; ok {
+		s.pendingFree = append(s.pendingFree, d.span)
+	}
+	s.dead[ks] = rec{sp, lsn}
+	s.deletes++
+	return nil
+}
+
+// Len returns the number of live keys.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.index.len()
+}
+
+// Has reports whether key is present, without reading its value.
+func (s *Store) Has(key []byte) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, ok := s.index.get(key)
+	return ok
+}
+
+// ForEachKey invokes fn for every live key in unspecified order without
+// reading any values — an index-only walk. Same callback rules as
+// ForEach: the mutex is held, fn must not call back into the store nor
+// retain the slice.
+func (s *Store) ForEachKey(fn func(key []byte) error) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.usableLocked(); err != nil {
+		return err
+	}
+	return s.index.forEachSorted(func(key []byte, _ rec) error {
+		return fn(key)
+	})
+}
+
+// ForEach invokes fn for every live key in unspecified order, with the
+// store's mutex held: fn must not call back into the store and must not
+// retain the key/value slices beyond the call.
+func (s *Store) ForEach(fn func(key, val []byte) error) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.usableLocked(); err != nil {
+		return err
+	}
+	return s.index.forEachSorted(func(key []byte, r rec) error {
+		val, err := s.readLocked(key, r)
+		if err != nil {
+			return err
+		}
+		return fn(key, val)
+	})
+}
+
+// Sync makes every record written since the last Sync durable as one
+// batch (one fsync of the page file).
+func (s *Store) Sync() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.usableLocked(); err != nil {
+		return err
+	}
+	return s.syncLocked()
+}
+
+func (s *Store) syncLocked() error {
+	if !s.unsynced {
+		return nil
+	}
+	if err := s.data.Sync(); err != nil {
+		return s.fail(err)
+	}
+	s.unsynced = false
+	s.syncs++
+	return nil
+}
+
+// Publish checkpoints the store: fsync the page file, atomically replace
+// the index file (write-temp → fsync → rename → dir fsync), and promote
+// every span freed since the previous publish to the allocatable pool.
+// After a successful Publish, Open costs O(index) plus whatever is
+// written afterwards.
+func (s *Store) Publish() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.usableLocked(); err != nil {
+		return err
+	}
+	return s.publishLocked()
+}
+
+func (s *Store) publishLocked() error {
+	if err := s.syncLocked(); err != nil {
+		return err
+	}
+	newFree := append(slices.Clone(s.free), s.pendingFree...)
+	for _, d := range s.dead {
+		newFree = append(newFree, d.span)
+	}
+	newFree = coalesce(newFree)
+	img := indexImage{
+		index:     s.index,
+		free:      newFree,
+		maxLSN:    s.nextLSN - 1,
+		filePages: s.filePages,
+	}
+	tmp := filepath.Join(s.dir, indexName+".tmp")
+	f, err := os.Create(tmp)
+	if err != nil {
+		return s.fail(err)
+	}
+	if _, err := f.Write(encodeIndex(img)); err != nil {
+		f.Close()
+		return s.fail(err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return s.fail(err)
+	}
+	if err := f.Close(); err != nil {
+		return s.fail(err)
+	}
+	if err := os.Rename(tmp, filepath.Join(s.dir, indexName)); err != nil {
+		return s.fail(err)
+	}
+	if err := syncDir(s.dir); err != nil {
+		return s.fail(err)
+	}
+	s.free = newFree
+	s.pendingFree = s.pendingFree[:0]
+	s.dead = make(map[string]rec)
+	s.index.rebuild()
+	s.publishes++
+	return nil
+}
+
+// coalesce sorts spans by offset and merges adjacent runs.
+func coalesce(spans []span) []span {
+	if len(spans) == 0 {
+		return spans
+	}
+	slices.SortFunc(spans, func(a, b span) int {
+		switch {
+		case a.off < b.off:
+			return -1
+		case a.off > b.off:
+			return 1
+		}
+		return 0
+	})
+	out := spans[:1]
+	for _, sp := range spans[1:] {
+		last := &out[len(out)-1]
+		if last.off+last.pages == sp.off {
+			last.pages += sp.pages
+		} else {
+			out = append(out, sp)
+		}
+	}
+	return out
+}
+
+// Close publishes a final checkpoint and closes the store. Idempotent.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	var perr error
+	if s.err == nil {
+		perr = s.publishLocked()
+	}
+	s.closed = true
+	if cerr := s.data.Close(); perr == nil {
+		perr = cerr
+	}
+	return perr
+}
+
+// Abort closes the store without syncing or publishing — the in-process
+// kill -9. Whatever the kernel already holds survives; the published
+// index stays at the last Publish.
+func (s *Store) Abort() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return
+	}
+	s.closed = true
+	s.data.Close()
+}
+
+// Err returns the first I/O error, if any (sticky).
+func (s *Store) Err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.err
+}
+
+// Stats returns activity counters and the current layout.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var free uint64
+	for _, sp := range s.free {
+		free += sp.pages
+	}
+	for _, sp := range s.pendingFree {
+		free += sp.pages
+	}
+	return Stats{
+		Puts: s.puts, Gets: s.gets, Deletes: s.deletes,
+		Syncs: s.syncs, Publishes: s.publishes,
+		LiveKeys: uint64(s.index.len()), FilePages: s.filePages, FreePages: free,
+	}
+}
+
+func (s *Store) usableLocked() error {
+	if s.closed {
+		return ErrClosed
+	}
+	return s.err
+}
+
+func (s *Store) fail(err error) error {
+	if s.err == nil {
+		s.err = fmt.Errorf("kv: %w", err)
+	}
+	return s.err
+}
+
+// indexImage is the decoded content of the index file.
+type indexImage struct {
+	index     *memIndex
+	free      []span
+	maxLSN    uint64
+	filePages uint64
+}
+
+// encodeIndex serializes an index image with a trailing CRC. Entries are
+// written in ascending key order so identical state produces identical
+// bytes — and so decode can stream them straight into the flat bulk.
+func encodeIndex(img indexImage) []byte {
+	size := 4 + 1 + 8 + 8 + 4
+	img.index.forEachSorted(func(k []byte, _ rec) error {
+		size += 2 + len(k) + 8 + 8 + 8
+		return nil
+	})
+	size += 4 + len(img.free)*16 + 4
+	buf := make([]byte, 0, size)
+	buf = binary.BigEndian.AppendUint32(buf, idxMagic)
+	buf = append(buf, idxVersion)
+	buf = binary.BigEndian.AppendUint64(buf, img.maxLSN)
+	buf = binary.BigEndian.AppendUint64(buf, img.filePages)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(img.index.len()))
+	img.index.forEachSorted(func(k []byte, r rec) error {
+		buf = binary.BigEndian.AppendUint16(buf, uint16(len(k)))
+		buf = append(buf, k...)
+		buf = binary.BigEndian.AppendUint64(buf, r.off)
+		buf = binary.BigEndian.AppendUint64(buf, r.pages)
+		buf = binary.BigEndian.AppendUint64(buf, r.lsn)
+		return nil
+	})
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(img.free)))
+	for _, sp := range img.free {
+		buf = binary.BigEndian.AppendUint64(buf, sp.off)
+		buf = binary.BigEndian.AppendUint64(buf, sp.pages)
+	}
+	return binary.BigEndian.AppendUint32(buf, crc32.Checksum(buf, crcTable))
+}
+
+// decodeIndex parses an index file image; ok=false on any structural or
+// CRC defect (the caller then falls back to a full-file scan).
+func decodeIndex(data []byte) (indexImage, bool) {
+	var img indexImage
+	if len(data) < 4+1+8+8+4+4+4 {
+		return img, false
+	}
+	body, tail := data[:len(data)-4], data[len(data)-4:]
+	if crc32.Checksum(body, crcTable) != binary.BigEndian.Uint32(tail) {
+		return img, false
+	}
+	if binary.BigEndian.Uint32(body[0:4]) != idxMagic || body[4] != idxVersion {
+		return img, false
+	}
+	img.maxLSN = binary.BigEndian.Uint64(body[5:13])
+	img.filePages = binary.BigEndian.Uint64(body[13:21])
+	p := 21
+	n := int(binary.BigEndian.Uint32(body[p : p+4]))
+	p += 4
+	if n < 0 || uint64(n)*(2+24) > uint64(len(body)-p) {
+		return img, false
+	}
+	ix := newMemIndex()
+	ix.ents = make([]flatEnt, 0, n)
+	for i := 0; i < n; i++ {
+		if p+2 > len(body) {
+			return img, false
+		}
+		kl := int(binary.BigEndian.Uint16(body[p : p+2]))
+		p += 2
+		if kl == 0 || kl > MaxKey || p+kl+24 > len(body) {
+			return img, false
+		}
+		k := body[p : p+kl]
+		p += kl
+		r := rec{span{
+			binary.BigEndian.Uint64(body[p : p+8]),
+			binary.BigEndian.Uint64(body[p+8 : p+16]),
+		}, binary.BigEndian.Uint64(body[p+16 : p+24])}
+		p += 24
+		if r.pages == 0 || r.pages > maxSpanPages || r.lsn == 0 || r.lsn > img.maxLSN || r.off+r.pages < r.off {
+			return img, false
+		}
+		// Entries must arrive in strictly ascending key order (our writer
+		// guarantees it): decode streams them straight into the flat bulk.
+		if len(ix.ents) > 0 && bytes.Compare(ix.flatKey(len(ix.ents)-1), k) >= 0 {
+			return img, false
+		}
+		ix.ents = append(ix.ents, flatEnt{
+			off:    r.off,
+			lsn:    r.lsn,
+			keyOff: uint32(len(ix.keys)),
+			keyLen: uint16(kl),
+			pages:  uint16(r.pages),
+		})
+		ix.keys = append(ix.keys, k...)
+	}
+	ix.live = n
+	img.index = ix
+	if p+4 > len(body) {
+		return img, false
+	}
+	nf := int(binary.BigEndian.Uint32(body[p : p+4]))
+	p += 4
+	if nf < 0 || uint64(nf)*16 != uint64(len(body)-p) {
+		return img, false
+	}
+	img.free = make([]span, nf)
+	for i := range img.free {
+		img.free[i] = span{
+			binary.BigEndian.Uint64(body[p : p+8]),
+			binary.BigEndian.Uint64(body[p+8 : p+16]),
+		}
+		p += 16
+	}
+	return img, true
+}
+
+func readIndexFile(path string) (indexImage, bool) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return indexImage{}, false
+	}
+	return decodeIndex(data)
+}
+
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}

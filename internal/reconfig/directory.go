@@ -1,0 +1,53 @@
+package reconfig
+
+import (
+	"sync"
+
+	"astro/internal/shard"
+	"astro/internal/types"
+)
+
+// ShardDirectory is a mutable shard-membership directory: it starts from
+// a static base (shard.Topology.Directory) and overlays per-shard views
+// as reconfiguration installs them, always keeping the highest-numbered
+// view per shard. A restarted representative consults it — via Members,
+// wired into core.Config.ShardMembers — to enumerate another shard's
+// *current* signers when re-requesting CREDIT signatures for cross-shard
+// spenders, the one lookup the static topology alone cannot answer once
+// a foreign shard has reconfigured.
+type ShardDirectory struct {
+	mu    sync.RWMutex
+	base  shard.Directory
+	views map[types.ShardID]View
+}
+
+// NewShardDirectory builds a directory over the given static base (nil
+// means no static knowledge: only installed views answer).
+func NewShardDirectory(base shard.Directory) *ShardDirectory {
+	return &ShardDirectory{base: base, views: make(map[types.ShardID]View)}
+}
+
+// Install records a shard's view; stale (lower-numbered) views are
+// ignored, so feeds from multiple peers converge on the newest.
+func (d *ShardDirectory) Install(s types.ShardID, v View) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if cur, ok := d.views[s]; ok && cur.Num >= v.Num {
+		return
+	}
+	d.views[s] = v
+}
+
+// Members returns the shard's current membership: the newest installed
+// view if any, else the static base, else nil. The slice is a copy.
+func (d *ShardDirectory) Members(s types.ShardID) []types.ReplicaID {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	if v, ok := d.views[s]; ok {
+		return append([]types.ReplicaID(nil), v.Members...)
+	}
+	if d.base != nil {
+		return append([]types.ReplicaID(nil), d.base(s)...)
+	}
+	return nil
+}

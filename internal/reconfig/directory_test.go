@@ -1,0 +1,63 @@
+package reconfig
+
+import (
+	"slices"
+	"testing"
+
+	"astro/internal/shard"
+	"astro/internal/types"
+)
+
+func TestShardDirectoryPrecedence(t *testing.T) {
+	top := shard.Topology{NumShards: 2, PerShard: 4}
+	d := NewShardDirectory(top.Directory())
+
+	// Before any install, the static base answers.
+	if got := d.Members(1); !slices.Equal(got, top.Replicas(1)) {
+		t.Fatalf("base members = %v, want %v", got, top.Replicas(1))
+	}
+
+	// An installed view overrides the base for its shard only.
+	v2 := View{Num: 2, Members: []types.ReplicaID{4, 5, 6, 7, 9}}
+	d.Install(1, v2)
+	if got := d.Members(1); !slices.Equal(got, v2.Members) {
+		t.Fatalf("installed members = %v, want %v", got, v2.Members)
+	}
+	if got := d.Members(0); !slices.Equal(got, top.Replicas(0)) {
+		t.Fatalf("shard 0 disturbed by shard 1 install: %v", got)
+	}
+
+	// Stale (lower- or equal-numbered) views from laggard peers lose.
+	d.Install(1, View{Num: 1, Members: []types.ReplicaID{4, 5, 6, 7}})
+	d.Install(1, View{Num: 2, Members: []types.ReplicaID{99}})
+	if got := d.Members(1); !slices.Equal(got, v2.Members) {
+		t.Fatalf("stale install won: %v", got)
+	}
+
+	// Newer views keep winning regardless of feed order.
+	v3 := View{Num: 3, Members: []types.ReplicaID{5, 6, 7, 9}}
+	d.Install(1, v3)
+	if got := d.Members(1); !slices.Equal(got, v3.Members) {
+		t.Fatalf("newest install lost: %v", got)
+	}
+
+	// Returned slices are copies: mutating one must not corrupt the
+	// directory the credit-rescan fan-out iterates.
+	got := d.Members(1)
+	got[0] = 1000
+	if again := d.Members(1); !slices.Equal(again, v3.Members) {
+		t.Fatalf("Members leaked internal slice: %v", again)
+	}
+}
+
+func TestShardDirectoryNilBase(t *testing.T) {
+	d := NewShardDirectory(nil)
+	if got := d.Members(0); got != nil {
+		t.Fatalf("nil base answered: %v", got)
+	}
+	v := View{Num: 1, Members: []types.ReplicaID{0, 1, 2, 3}}
+	d.Install(0, v)
+	if got := d.Members(0); !slices.Equal(got, v.Members) {
+		t.Fatalf("install over nil base = %v, want %v", got, v.Members)
+	}
+}

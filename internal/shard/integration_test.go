@@ -41,6 +41,10 @@ func newShardedCluster(t *testing.T, top shard.Topology, genesis func(types.Clie
 		keys[r] = crypto.MustGenerateKeyPair()
 		registry.Add(r, keys[r].Public())
 	}
+	allShards := make([]types.ShardID, top.NumShards)
+	for i := range allShards {
+		allShards[i] = types.ShardID(i)
+	}
 
 	for s := 0; s < top.NumShards; s++ {
 		members := top.Replicas(types.ShardID(s))
@@ -55,6 +59,8 @@ func newShardedCluster(t *testing.T, top shard.Topology, genesis func(types.Clie
 				RepOf:        top.RepOf,
 				ShardOf:      top.ShardOf,
 				ReplicaShard: top.ReplicaShard,
+				ShardMembers: top.Directory(),
+				Shards:       allShards,
 				Genesis:      genesis,
 				BatchSize:    4,
 				BatchDelay:   2 * time.Millisecond,

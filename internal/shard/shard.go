@@ -88,3 +88,22 @@ func (t Topology) RepOf(c types.ClientID) types.ReplicaID {
 func (t Topology) CrossShard(spender, beneficiary types.ClientID) bool {
 	return t.ShardOf(spender) != t.ShardOf(beneficiary)
 }
+
+// Directory enumerates the replica membership of any shard — nil for a
+// shard the caller has no knowledge of. It is the lookup a restarted
+// representative needs to reach *another* shard's signers when
+// re-requesting CREDIT signatures for cross-shard spenders
+// (core.Config.ShardMembers): the spender's shard settled the payment,
+// so only its members can re-sign the credit. Topology implements it
+// statically; reconfig.ShardDirectory overlays view changes.
+type Directory func(types.ShardID) []types.ReplicaID
+
+// Directory returns the topology's static membership directory.
+func (t Topology) Directory() Directory {
+	return func(s types.ShardID) []types.ReplicaID {
+		if int(s) < 0 || int(s) >= t.NumShards {
+			return nil
+		}
+		return t.Replicas(s)
+	}
+}

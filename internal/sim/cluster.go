@@ -73,6 +73,11 @@ type AstroOpts struct {
 	// WALSnapshotEvery is the compaction cadence (core.Config); 0 keeps
 	// the core default.
 	WALSnapshotEvery int
+	// StateCacheAccounts bounds resident accounts per replica
+	// (core.Config.StateCacheAccounts): cold accounts page to the WAL's
+	// embedded KV store and snapshots become incremental. Requires
+	// DataDir; 0 keeps every account resident.
+	StateCacheAccounts int
 	// Chaos, when non-nil, interposes the chaos controller on every
 	// replica and client endpoint: seeded drop/corrupt/duplicate/delay
 	// rules, schedules, and partitions on top of the latency model. See
@@ -184,6 +189,10 @@ func NewAstroCluster(opts AstroOpts) (*AstroCluster, error) {
 		repOf = opts.Topology.RepOf
 	}
 	genesis := func(types.ClientID) types.Amount { return opts.Genesis }
+	allShards := make([]types.ShardID, opts.Topology.NumShards)
+	for i := range allShards {
+		allShards[i] = types.ShardID(i)
+	}
 
 	c := &AstroCluster{
 		Net:      net,
@@ -218,6 +227,8 @@ func NewAstroCluster(opts AstroOpts) (*AstroCluster, error) {
 				RepOf:        repOf,
 				ShardOf:      shardOf,
 				ReplicaShard: opts.Topology.ReplicaShard,
+				ShardMembers: opts.Topology.Directory(),
+				Shards:       allShards,
 				Genesis:      genesis,
 				BatchSize:    opts.BatchSize,
 				BatchDelay:   opts.BatchDelay,
@@ -230,13 +241,14 @@ func NewAstroCluster(opts AstroOpts) (*AstroCluster, error) {
 				ClientKeys:   c.clientReg,
 			}
 			if opts.DataDir != "" {
-				be, err := wal.Open(c.replicaDir(id))
+				be, err := wal.OpenAuto(c.replicaDir(id), opts.StateCacheAccounts > 0)
 				if err != nil {
 					net.Close()
 					return nil, fmt.Errorf("sim: replica %d: %w", id, err)
 				}
 				cfg.WAL = be
 				cfg.WALSnapshotEvery = opts.WALSnapshotEvery
+				cfg.StateCacheAccounts = opts.StateCacheAccounts
 			}
 			rep, err := core.NewReplica(cfg)
 			if err != nil {
@@ -380,7 +392,7 @@ func (c *AstroCluster) Restart(id types.ReplicaID) error {
 	}
 	node := transport.ReplicaNode(id)
 	c.Net.Restore(node)
-	be, err := wal.Open(c.replicaDir(id))
+	be, err := wal.OpenAuto(c.replicaDir(id), cfg.StateCacheAccounts > 0)
 	if err != nil {
 		return fmt.Errorf("sim: restart %d: %w", id, err)
 	}

@@ -1,0 +1,117 @@
+package sim
+
+import (
+	"os"
+	"testing"
+	"time"
+
+	"astro/internal/core"
+	"astro/internal/shard"
+	"astro/internal/types"
+)
+
+// TestCrossShardCreditRescan exercises the one recovery path a replica's
+// own WAL can never cover: a representative that loses a cross-shard
+// dependency certificate cannot even *name* the payment it is missing,
+// because the spender's xlog lives in another shard and representatives
+// never hold foreign xlogs. The restarted representative therefore asks
+// the foreign shard to rescan on its behalf (CREDITRESCAN, routed via
+// the Config.ShardMembers directory), and the spender's shard re-signs
+// every settled payment benefiting the requester's clients.
+//
+// The loss is made deterministic by wiping the victim's data directory
+// outright before the restart — the strongest form of the fault, and
+// immune to the WAL having happened to sync the certificate before the
+// kill. The recovered certificate is then proven genuine by spending
+// above genesis: the payment verifies only if the re-signed f+1
+// dependency certificate convinces every shard-1 replica.
+func TestCrossShardCreditRescan(t *testing.T) {
+	top := shard.Topology{NumShards: 2, PerShard: 4}
+	c, err := NewAstroCluster(AstroOpts{
+		Version:            core.AstroII,
+		Topology:           top,
+		Latency:            fastLatency(),
+		BatchSize:          4,
+		BatchDelay:         time.Millisecond,
+		Seed:               31,
+		Genesis:            1000,
+		DataDir:            t.TempDir(),
+		WALSnapshotEvery:   4,
+		StateCacheAccounts: 4, // paging on: rescan must work against paged state
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+
+	// Client 2 lives in shard 0, client 1 in shard 1; its representative
+	// is the victim.
+	if !top.CrossShard(2, 1) {
+		t.Fatal("test precondition: 2->1 must be cross-shard")
+	}
+	victim := top.RepOf(1)
+
+	waitBalance := func(cl types.ClientID, want types.Amount, what string) {
+		t.Helper()
+		deadline := time.Now().Add(15 * time.Second)
+		for c.Replica(victim).Balance(cl) != want {
+			if time.Now().After(deadline) {
+				t.Fatalf("%s: balance(%d) = %d at replica %d, want %d",
+					what, cl, c.Replica(victim).Balance(cl), victim, want)
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+	}
+
+	spender := c.Client(2)
+	id, err := spender.Pay(1, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := spender.WaitConfirm(id, 15*time.Second); err != nil {
+		t.Fatalf("confirm cross-shard payment: %v", err)
+	}
+	waitBalance(1, 1030, "pre-kill credit accumulation")
+
+	// kill -9, then erase every trace of the victim's durable state: the
+	// WAL, the KV store, and with them the dependency certificate. The
+	// restart rebuilds from genesis plus a shard-1 snapshot — neither of
+	// which knows the shard-0 payment existed.
+	c.Kill(victim)
+	if err := os.RemoveAll(c.replicaDir(victim)); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Restart(victim); err != nil {
+		t.Fatalf("restart: %v", err)
+	}
+	waitBalance(1, 1030, "post-wipe rescan recovery")
+
+	// Spend above genesis out of the recovered credit: 1010 > 1000 is
+	// affordable only with the certificate, and settles only if all
+	// shard-1 replicas accept its re-signed shard-0 signatures.
+	bob := c.Client(1)
+	id, err = bob.Pay(3, 1010)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := bob.WaitConfirm(id, 15*time.Second); err != nil {
+		t.Fatalf("confirm spend of recovered credit: %v", err)
+	}
+	deadline := time.Now().Add(15 * time.Second)
+	for _, rid := range top.Replicas(1) {
+		for c.Replica(rid).Balance(1) != 20 {
+			if time.Now().After(deadline) {
+				t.Fatalf("shard-1 replica %d: balance(1) = %d, want 20",
+					rid, c.Replica(rid).Balance(1))
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+	}
+
+	if err := c.Replica(victim).PagerErr(); err != nil {
+		t.Errorf("restarted replica pager error: %v", err)
+	}
+	if cnt := c.Replica(victim).Counters(); cnt.Conflicts != 0 {
+		t.Errorf("restarted replica observed %d conflicts", cnt.Conflicts)
+	}
+}

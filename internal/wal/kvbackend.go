@@ -1,0 +1,260 @@
+package wal
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"astro/internal/kv"
+)
+
+// manifestKey is the KV key holding the compacted snapshot (the PR 10
+// incremental manifest, or a full image in resident mode). It shares the
+// store with core's per-account records — distinct by prefix — so one
+// index publish commits the manifest and every flushed account
+// atomically.
+var manifestKey = []byte("!manifest")
+
+// KVBackend is a Backend whose snapshot side lives in an embedded KV
+// store (internal/kv) instead of a single snapshot file. The append log
+// keeps the exact FileBackend discipline (buffered appends, one fsync
+// per Sync, torn-tail repair on Load); WriteSnapshot stores the snapshot
+// bytes under a reserved key and publishes the store — fsync of the page
+// file, then one atomic index rename — before truncating the log.
+//
+// The store doubles as the paging backend for core's bounded-residency
+// account state (AccountStore): account records written by evictions and
+// dirty flushes ride the same publish, so the committed cut is always
+// manifest + accounts + log tail, with one commit point.
+type KVBackend struct {
+	dir   string
+	store *kv.Store
+
+	mu     sync.Mutex
+	log    *os.File
+	buf    []byte // framed records appended since the last Sync
+	err    error  // first I/O error; sticky
+	closed bool
+}
+
+var _ Backend = (*KVBackend)(nil)
+
+// OpenKV creates or recovers a KV-backed data directory: the store's own
+// recovery runs here (index load + bounded scan), the log is opened but
+// not read until Load.
+func OpenKV(dir string) (*KVBackend, error) {
+	store, err := kv.Open(dir)
+	if err != nil {
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	f, err := os.OpenFile(filepath.Join(dir, logName), os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		store.Close()
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	return &KVBackend{dir: dir, store: store, log: f}, nil
+}
+
+// OpenAuto selects the backend for dir: the KV backend when paging is
+// requested or when the directory already holds a KV store (so a replica
+// restarted with paging off still sees every spilled account), else the
+// plain file backend. The choice must stay stable per directory in the
+// one remaining direction: a FileBackend directory restarted with paging
+// on starts the store empty, which is safe only because the legacy
+// snapshot file is then still read by Load (see below).
+func OpenAuto(dir string, paged bool) (Backend, error) {
+	if !paged {
+		if _, err := os.Stat(filepath.Join(dir, "kv.index")); err != nil {
+			return Open(dir)
+		}
+	}
+	return OpenKV(dir)
+}
+
+// Dir returns the backend's data directory.
+func (b *KVBackend) Dir() string { return b.dir }
+
+// AccountStore exposes the embedded store for core's account pager. The
+// store is long-lived (owned by this backend); core must stop using it
+// after Close/Abort.
+func (b *KVBackend) AccountStore() *kv.Store { return b.store }
+
+// Append implements Backend: the record is framed into the in-memory
+// batch and becomes durable at the next Sync.
+func (b *KVBackend) Append(kind byte, payload []byte) error {
+	if err := checkRecord(payload); err != nil {
+		return err
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if err := b.usableLocked(); err != nil {
+		return err
+	}
+	b.buf = AppendFrame(b.buf, kind, payload)
+	return nil
+}
+
+// Sync implements Backend: every buffered record is written to the log
+// and fsynced as one batch.
+func (b *KVBackend) Sync() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if err := b.usableLocked(); err != nil {
+		return err
+	}
+	if len(b.buf) == 0 {
+		return nil
+	}
+	if _, err := b.log.Write(b.buf); err != nil {
+		return b.fail(err)
+	}
+	if err := b.log.Sync(); err != nil {
+		return b.fail(err)
+	}
+	b.buf = b.buf[:0]
+	return nil
+}
+
+// WriteSnapshot implements Backend: the snapshot bytes are stored under
+// the manifest key and the store is published — one fsync of the page
+// file, then the atomic index rename that commits the manifest AND every
+// account record written since the last publish — and only then is the
+// log truncated. A crash between publish and truncate leaves a stale
+// tail the snapshot already covers (replay is idempotent); a crash
+// before the publish leaves the previous cut fully intact.
+func (b *KVBackend) WriteSnapshot(snap []byte) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if err := b.usableLocked(); err != nil {
+		return err
+	}
+	if err := b.store.Put(manifestKey, snap); err != nil {
+		return b.fail(err)
+	}
+	if err := b.store.Publish(); err != nil {
+		return b.fail(err)
+	}
+	if err := b.log.Truncate(0); err != nil {
+		return b.fail(err)
+	}
+	if _, err := b.log.Seek(0, 0); err != nil {
+		return b.fail(err)
+	}
+	if err := b.log.Sync(); err != nil {
+		return b.fail(err)
+	}
+	b.buf = b.buf[:0]
+	return nil
+}
+
+// Load implements Backend: the snapshot comes from the store's manifest
+// key (falling back to a legacy FileBackend snapshot file, the
+// paging-was-just-enabled migration), then the log replays with
+// torn-tail repair, exactly like FileBackend.
+func (b *KVBackend) Load(onSnapshot func([]byte) error, onRecord func(byte, []byte) error) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if err := b.usableLocked(); err != nil {
+		return err
+	}
+	snap, ok, err := b.store.Get(manifestKey)
+	if err != nil {
+		return b.fail(err)
+	}
+	if !ok {
+		if legacy, rerr := os.ReadFile(filepath.Join(b.dir, snapName)); rerr == nil {
+			snap, ok = legacy, true
+		}
+	}
+	if ok && len(snap) > 0 && onSnapshot != nil {
+		if err := onSnapshot(snap); err != nil {
+			return err
+		}
+	}
+	data, err := os.ReadFile(filepath.Join(b.dir, logName))
+	if err != nil {
+		return b.fail(err)
+	}
+	valid, err := ScanFrames(data, onRecord)
+	if err != nil {
+		return err
+	}
+	if valid < len(data) {
+		if err := b.log.Truncate(int64(valid)); err != nil {
+			return b.fail(err)
+		}
+		if err := b.log.Sync(); err != nil {
+			return b.fail(err)
+		}
+	}
+	if _, err := b.log.Seek(int64(valid), 0); err != nil {
+		return b.fail(err)
+	}
+	return nil
+}
+
+// Close implements Backend: buffered records are synced, the store
+// publishes a final checkpoint, and both files close. Idempotent.
+func (b *KVBackend) Close() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return nil
+	}
+	var firstErr error
+	if b.err == nil && len(b.buf) > 0 {
+		if _, err := b.log.Write(b.buf); err != nil {
+			firstErr = err
+		} else if err := b.log.Sync(); err != nil {
+			firstErr = err
+		}
+	}
+	b.closed = true
+	b.buf = nil
+	if err := b.store.Close(); firstErr == nil {
+		firstErr = err
+	}
+	if err := b.log.Close(); firstErr == nil {
+		firstErr = err
+	}
+	return firstErr
+}
+
+// Abort implements Backend: unsynced records and unpublished store
+// writes are discarded — the in-process equivalent of kill -9.
+func (b *KVBackend) Abort() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return
+	}
+	b.closed = true
+	b.buf = nil
+	b.store.Abort()
+	b.log.Close()
+}
+
+// Err surfaces the backend's first I/O error (including the store's).
+func (b *KVBackend) Err() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.err != nil {
+		return b.err
+	}
+	return b.store.Err()
+}
+
+func (b *KVBackend) usableLocked() error {
+	if b.closed {
+		return ErrClosed
+	}
+	return b.err
+}
+
+func (b *KVBackend) fail(err error) error {
+	if b.err == nil {
+		b.err = fmt.Errorf("wal: %w", err)
+	}
+	return b.err
+}

@@ -33,6 +33,19 @@ type UniformConfig struct {
 	// Beneficiaries is the pool of destination accounts; each payment
 	// picks one uniformly (excluding the spender when possible).
 	Beneficiaries []types.ClientID
+	// Population synthesizes the beneficiary pool when Beneficiaries is
+	// empty: destination accounts are client IDs 1..Population. Large
+	// populations are how the paged-state experiments open up an account
+	// space far wider than any client set — most of it receives a payment
+	// rarely or never and stays cold.
+	Population int
+	// Skew is the Zipf exponent of the beneficiary draw: rank 1 (the
+	// first pool entry) is the most popular, frequency falling off as
+	// rank^-Skew. Values > 1 enable the skewed picker (math/rand's Zipf
+	// generator requires s > 1); 0 or anything <= 1 keeps the uniform
+	// draw. Skewed draws over a large Population reproduce the
+	// hot-set/cold-tail pattern bounded-residency paging is built for.
+	Skew float64
 	// Duration is how long to generate load.
 	Duration time.Duration
 	// MaxAmount bounds the uniformly drawn payment amount (>= 1).
@@ -74,6 +87,13 @@ func RunUniform(cfg UniformConfig) Result {
 	if cfg.MaxAmount < 1 {
 		cfg.MaxAmount = 1
 	}
+	pool := cfg.Beneficiaries
+	if len(pool) == 0 && cfg.Population > 0 {
+		pool = make([]types.ClientID, cfg.Population)
+		for i := range pool {
+			pool[i] = types.ClientID(i + 1)
+		}
+	}
 	var ops, errs atomic.Uint64
 	stop := make(chan struct{})
 	start := time.Now()
@@ -84,13 +104,17 @@ func RunUniform(cfg UniformConfig) Result {
 		go func(idx int, cl PaymentClient) {
 			defer wg.Done()
 			rng := rand.New(rand.NewSource(cfg.Seed + int64(idx)))
+			var zipf *rand.Zipf
+			if cfg.Skew > 1 && len(pool) > 0 {
+				zipf = rand.NewZipf(rng, cfg.Skew, 1, uint64(len(pool)-1))
+			}
 			for {
 				select {
 				case <-stop:
 					return
 				default:
 				}
-				b := pickBeneficiary(rng, cfg.Beneficiaries, cl.ID())
+				b := pickBeneficiary(rng, zipf, pool, cl.ID())
 				x := types.Amount(rng.Int63n(int64(cfg.MaxAmount))) + 1
 				t0 := time.Now()
 				id, err := cl.Pay(b, x)
@@ -120,13 +144,18 @@ func RunUniform(cfg UniformConfig) Result {
 	return Result{Ops: ops.Load(), Errors: errs.Load(), Elapsed: time.Since(start)}
 }
 
-func pickBeneficiary(rng *rand.Rand, pool []types.ClientID, self types.ClientID) types.ClientID {
+func pickBeneficiary(rng *rand.Rand, zipf *rand.Zipf, pool []types.ClientID, self types.ClientID) types.ClientID {
 	if len(pool) == 0 {
 		return self
 	}
+	draw := func() types.ClientID {
+		if zipf != nil {
+			return pool[zipf.Uint64()]
+		}
+		return pool[rng.Intn(len(pool))]
+	}
 	for attempt := 0; attempt < 4; attempt++ {
-		b := pool[rng.Intn(len(pool))]
-		if b != self {
+		if b := draw(); b != self {
 			return b
 		}
 	}

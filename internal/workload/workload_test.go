@@ -2,6 +2,7 @@ package workload
 
 import (
 	"errors"
+	"math/rand"
 	"sync"
 	"testing"
 	"time"
@@ -216,5 +217,79 @@ func TestResultThroughput(t *testing.T) {
 	}
 	if (Result{}).Throughput() != 0 {
 		t.Error("zero result throughput")
+	}
+}
+
+func TestPopulationSynthesizesPool(t *testing.T) {
+	a := &fakeClient{id: 1}
+	res := RunUniform(UniformConfig{
+		Clients:    []PaymentClient{a},
+		Population: 100,
+		Duration:   30 * time.Millisecond,
+		Seed:       4,
+	})
+	if res.Ops == 0 {
+		t.Fatal("no operations completed")
+	}
+	for _, p := range a.payments() {
+		if p.Beneficiary < 1 || p.Beneficiary > 100 {
+			t.Fatalf("beneficiary %d outside population 1..100", p.Beneficiary)
+		}
+	}
+}
+
+func TestZipfBeneficiarySkew(t *testing.T) {
+	pool := make([]types.ClientID, 1000)
+	for i := range pool {
+		pool[i] = types.ClientID(i + 1)
+	}
+	const draws = 20000
+
+	rng := rand.New(rand.NewSource(7))
+	zipf := rand.NewZipf(rng, 1.5, 1, uint64(len(pool)-1))
+	skewed := map[types.ClientID]int{}
+	for i := 0; i < draws; i++ {
+		skewed[pickBeneficiary(rng, zipf, pool, 0)]++
+	}
+	// Zipf s=1.5 gives rank 1 a ~1/zeta(1.5) ~ 38% share.
+	if frac := float64(skewed[1]) / draws; frac < 0.15 {
+		t.Errorf("rank-1 share under skew = %.3f, want > 0.15", frac)
+	}
+
+	rng = rand.New(rand.NewSource(7))
+	uniform := map[types.ClientID]int{}
+	for i := 0; i < draws; i++ {
+		uniform[pickBeneficiary(rng, nil, pool, 0)]++
+	}
+	for c, n := range uniform {
+		if frac := float64(n) / draws; frac > 0.02 {
+			t.Errorf("uniform draw favors %d with share %.3f", c, frac)
+		}
+	}
+}
+
+func TestSkewedRunStaysInPopulation(t *testing.T) {
+	a := &fakeClient{id: 1}
+	res := RunUniform(UniformConfig{
+		Clients:    []PaymentClient{a},
+		Population: 500,
+		Skew:       1.3,
+		Duration:   30 * time.Millisecond,
+		Seed:       5,
+	})
+	if res.Ops == 0 {
+		t.Fatal("no operations completed")
+	}
+	counts := map[types.ClientID]int{}
+	for _, p := range a.payments() {
+		if p.Beneficiary < 1 || p.Beneficiary > 500 {
+			t.Fatalf("beneficiary %d outside population", p.Beneficiary)
+		}
+		counts[p.Beneficiary]++
+	}
+	// The skewed draw concentrates: far fewer distinct beneficiaries than
+	// a uniform draw over 500 would touch in the same number of payments.
+	if len(counts) >= int(res.Ops) {
+		t.Errorf("no concentration: %d distinct beneficiaries over %d ops", len(counts), res.Ops)
 	}
 }

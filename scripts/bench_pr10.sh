@@ -1,0 +1,87 @@
+#!/bin/sh
+# bench_pr10.sh — regenerate BENCH_PR10.json: the memory and latency
+# story of the paged account state (internal/kv + the core pager):
+#
+#   - resident heap per account across population {100k, 1M} × cache
+#     {unbounded, 64k, 8k} — the O(hot-set) claim, with the flat KV index
+#     as the remaining small per-key term;
+#   - settle cost on a resident (hot) account vs one that must fault in
+#     from the store and evict another (cold) — the paging tax;
+#   - snapshot cost, full image vs incremental (dirty accounts + manifest);
+#   - restart time, paged (index load + demand faults) vs resident
+#     (decode and materialize every account).
+#
+# Usage: scripts/bench_pr10.sh [output.json]   (default BENCH_PR10.json)
+
+set -e
+OUT=${1:-BENCH_PR10.json}
+TMP=$(mktemp)
+trap 'rm -f "$TMP"' EXIT
+
+run() {
+	echo "== $*" >&2
+	go test -run=NONE -bench "$1" -benchtime "$2" "$3" | tee -a "$TMP" >&2
+}
+
+# Heap per account: population × cache grid. One shot each; the metric of
+# interest is bytes/account, not ns/op.
+run 'BenchmarkStateBytesPerAccount' 1x ./internal/core/
+# Paging tax per settled payment: resident hit vs fault+evict.
+run 'BenchmarkSettleHot$|BenchmarkSettleColdFault$' 5000x ./internal/core/
+# Snapshot cost: full 100k-account image vs 1k dirty accounts + manifest.
+run 'BenchmarkSnapshotFull$|BenchmarkSnapshotIncremental$' 5x ./internal/core/
+# Restart-time curve: paged vs resident at 10k and 100k accounts.
+run 'BenchmarkPagedRestart|BenchmarkResidentRestart' 5x ./internal/core/
+
+CORES=$(nproc 2>/dev/null || echo 1)
+CPU=$(awk -F': ' '/model name/{print $2; exit}' /proc/cpuinfo 2>/dev/null || echo unknown)
+
+awk -v cores="$CORES" -v cpu="$CPU" '
+/^Benchmark/ {
+	name = $1
+	sub(/-[0-9]+$/, "", name)
+	for (i = 2; i <= NF; i++) {
+		if ($i == "ns/op") ns[name] = $(i-1)
+		if ($i == "bytes/account") ba[name] = $(i-1)
+	}
+}
+END {
+	printf "{\n"
+	printf "  \"host\": {\n"
+	printf "    \"cpu\": \"%s\",\n", cpu
+	printf "    \"cores\": %s,\n", cores
+	printf "    \"note\": \"bytes/account is live heap after GC divided by population; each account carries a one-payment xlog. cache=0 is the fully resident baseline (no KV store). The paged figure includes the flat in-memory KV index (~33 B/key), the bounded account cache, and the store bookkeeping — the index is the term that stays O(accounts), everything else is O(cache).\"\n"
+	printf "  },\n"
+	printf "  \"resident_bytes_per_account\": {\n"
+	printf "    \"accounts_100k\": { \"resident\": %s, \"cache_64k\": %s, \"cache_8k\": %s },\n", \
+		ba["BenchmarkStateBytesPerAccount/accounts=100000/cache=0"], \
+		ba["BenchmarkStateBytesPerAccount/accounts=100000/cache=65536"], \
+		ba["BenchmarkStateBytesPerAccount/accounts=100000/cache=8192"]
+	printf "    \"accounts_1M\": { \"resident\": %s, \"cache_64k\": %s, \"cache_8k\": %s }\n", \
+		ba["BenchmarkStateBytesPerAccount/accounts=1000000/cache=0"], \
+		ba["BenchmarkStateBytesPerAccount/accounts=1000000/cache=65536"], \
+		ba["BenchmarkStateBytesPerAccount/accounts=1000000/cache=8192"]
+	printf "  },\n"
+	printf "  \"settle_per_payment\": {\n"
+	printf "    \"hot_resident_ns\": %s,\n", ns["BenchmarkSettleHot"]
+	printf "    \"cold_fault_ns\": %s\n", ns["BenchmarkSettleColdFault"]
+	printf "  },\n"
+	printf "  \"snapshot\": {\n"
+	printf "    \"full_100k_accounts_ns\": %s,\n", ns["BenchmarkSnapshotFull"]
+	printf "    \"incremental_1k_dirty_ns\": %s\n", ns["BenchmarkSnapshotIncremental"]
+	printf "  },\n"
+	printf "  \"restart\": {\n"
+	printf "    \"paged_10k_ns\": %s,\n", ns["BenchmarkPagedRestart/accounts=10000"]
+	printf "    \"paged_100k_ns\": %s,\n", ns["BenchmarkPagedRestart/accounts=100000"]
+	printf "    \"resident_10k_ns\": %s,\n", ns["BenchmarkResidentRestart/accounts=10000"]
+	printf "    \"resident_100k_ns\": %s\n", ns["BenchmarkResidentRestart/accounts=100000"]
+	printf "  },\n"
+	printf "  \"summary\": [\n"
+	printf "    \"internal/kv is a dependency-free embedded KV store: CRC-framed records on 512-byte page spans, an atomically published index file, and epoch-based recovery that rescans only publish-free regions — torn or unsynced tails degrade to the last published state plus whatever newer records survive intact.\",\n"
+	printf "    \"core.State pages against it when Config.StateCacheAccounts > 0: a bounded per-stripe account cache with clock eviction, cold accounts spilling as canonical AccountExport records and faulting back on access; resident mode (the default) is byte-identical in behavior and stays the measured baseline.\",\n"
+	printf "    \"WAL snapshots become incremental in paged mode: flush dirty accounts to the store, write a manifest (the image minus xlogs/accounts), publish both atomically, truncate the log — cost proportional to the write set since the last snapshot, not the population.\",\n"
+	printf "    \"Restart replays manifest + log tail and faults accounts on demand, so coming back is index-load fast even at large populations; the in-memory index is a sorted flat bulk (~33 B/key) with a self-compacting map overlay, which is what keeps the paged heap under a quarter of resident at 1M accounts.\"\n"
+	printf "  ]\n"
+	printf "}\n"
+}' "$TMP" > "$OUT"
+echo "wrote $OUT" >&2
